@@ -1,0 +1,41 @@
+# Standard targets; no dependencies beyond the Go toolchain.
+
+.PHONY: all build vet test race fuzz bench experiments examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/eval/parallel/ -run . && go test -race -run TestIntegrationConcurrent .
+
+# Short fuzz sessions over the two parsers (regression seeds always run
+# as part of 'test').
+fuzz:
+	go test -fuzz=FuzzParse -fuzztime=30s ./internal/xpath/parser/
+	go test -fuzz=FuzzParse -fuzztime=30s ./internal/xmltree/
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# The machine-independent experiment suite reproducing every figure and
+# table of the paper (see EXPERIMENTS.md).
+experiments:
+	go run ./cmd/xbench
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/circuitsolver
+	go run ./examples/reachability
+	go run ./examples/bookstore
+	go run ./examples/streaming
+
+clean:
+	go clean ./...

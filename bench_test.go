@@ -1,0 +1,594 @@
+// Benchmarks reproducing every figure and table of the paper (see
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+// results). Machine-independent operation-count versions of the same
+// experiments live in cmd/xbench; the benchmarks here measure wall time
+// with testing.B.
+package xpathcomplexity
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xpathcomplexity/internal/circuit"
+	"xpathcomplexity/internal/eval/corelinear"
+	"xpathcomplexity/internal/eval/cvt"
+	"xpathcomplexity/internal/eval/enginetest"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/eval/naive"
+	"xpathcomplexity/internal/eval/nauxpda"
+	"xpathcomplexity/internal/eval/parallel"
+	"xpathcomplexity/internal/eval/streaming"
+	"xpathcomplexity/internal/graph"
+	"xpathcomplexity/internal/reduction"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+// --- Figure 1: per-fragment engine scaling ---------------------------------
+
+// BenchmarkF1_Oscillation runs the parent/child oscillation query family:
+// the naive engine is exponential in the query length, cvt and corelinear
+// polynomial (the combined-complexity landscape of Figure 1).
+func BenchmarkF1_Oscillation(b *testing.B) {
+	d, err := xmltree.ParseString("<a><b/><b/><b/></a>")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := evalctx.Root(d)
+	for _, steps := range []int{3, 6, 9} {
+		q := "//b"
+		for i := 0; i < steps; i++ {
+			q += "/parent::a/b"
+		}
+		expr := parser.MustParse(q)
+		b.Run(fmt.Sprintf("naive/steps=%d", steps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := naive.Evaluate(expr, ctx, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cvt/steps=%d", steps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cvt.Evaluate(expr, ctx, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("corelinear/steps=%d", steps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := corelinear.Evaluate(expr, ctx, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 2/3: carry-bit adders via Theorem 3.2 --------------------------
+
+// BenchmarkF2_CarryAdder builds and solves n-bit adder carry circuits
+// through the Theorem 3.2 reduction.
+func BenchmarkF2_CarryAdder(b *testing.B) {
+	for _, bits := range []int{2, 4, 8} {
+		a := make([]bool, bits)
+		bb := make([]bool, bits)
+		for i := range a {
+			a[i] = i%2 == 0
+			bb[i] = true
+		}
+		c, err := circuit.CarryBitN(bits, a, bb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		red, err := reduction.BuildTheorem32(c, reduction.Options32{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := evalctx.Root(red.Doc)
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := corelinear.Evaluate(red.Expr, ctx, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 5: reachability via PF ------------------------------------------
+
+// BenchmarkF5_Reachability measures PF-query reachability on random
+// digraphs of growing size.
+func BenchmarkF5_Reachability(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{4, 8, 12} {
+		g := graph.Random(rng, n, 0.25)
+		red, err := reduction.BuildTheorem43(g, 0, n-1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := evalctx.Root(red.Doc)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := corelinear.Evaluate(red.Expr, ctx, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table 1: the NAuxPDA engine vs cvt on pWF ------------------------------
+
+// BenchmarkT1_SingletonSuccess compares deciding membership of one node
+// (nauxpda, no materialization) against materializing the full result
+// (cvt) on a pWF query.
+func BenchmarkT1_SingletonSuccess(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	doc := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: 60, MaxFanout: 3, Tags: []string{"a", "b", "c"}})
+	expr := parser.MustParse("//a[position() = last()]/descendant::b[c]")
+	ctx := evalctx.Root(doc)
+	target := doc.Nodes[len(doc.Nodes)/2]
+	b.Run("nauxpda-decide", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := expr
+			if _, err := nauxpda.SingletonSuccess(e, ctx, nodeSet1(target), nauxpda.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cvt-materialize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cvt.Evaluate(expr, ctx, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func nodeSet1(n *Node) NodeSet { return NodeSet{n} }
+
+// --- Theorem 3.2: naive vs cvt on reduction queries ------------------------
+
+// BenchmarkT32_NaiveVsCVT runs Fibonacci-chain reduction queries: the
+// exponential-vs-polynomial separation of the P-hardness proof.
+func BenchmarkT32_NaiveVsCVT(b *testing.B) {
+	for _, depth := range []int{4, 8, 12} {
+		c := circuit.FibonacciChain(depth, true, true)
+		red, err := reduction.BuildTheorem32(c, reduction.Options32{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := evalctx.Root(red.Doc)
+		b.Run(fmt.Sprintf("naive/gates=%d", depth+2), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := naive.Evaluate(red.Expr, ctx, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cvt/gates=%d", depth+2), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cvt.Evaluate(red.Expr, ctx, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Theorem 4.2: SAC¹ DAG queries ------------------------------------------
+
+// BenchmarkT42_QueryGrowth evaluates the exponentially-unfolding (but
+// polynomially-shared) positive queries of the LOGCFL-hardness proof.
+func BenchmarkT42_QueryGrowth(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, depth := range []int{4, 8} {
+		c := circuit.RandomSAC1(rng, 4, depth, 5)
+		red, err := reduction.BuildTheorem42(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := evalctx.Root(red.Doc)
+		b.Run(fmt.Sprintf("corelinear/depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := corelinear.Evaluate(red.Expr, ctx, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Theorem 5.7: iterated predicates --------------------------------------
+
+// BenchmarkT57_IteratedPredicates evaluates the negation-free
+// iterated-predicate encoding with cvt.
+func BenchmarkT57_IteratedPredicates(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	for _, gates := range []int{4, 8} {
+		c := circuit.RandomMonotone(rng, 3, gates, 3)
+		red, err := reduction.BuildTheorem57(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := evalctx.Root(red.Doc)
+		b.Run(fmt.Sprintf("gates=%d", gates+3), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cvt.Evaluate(red.Expr, ctx, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Theorem 5.9: bounded negation ------------------------------------------
+
+// BenchmarkT59_NegationDepth measures the nauxpda engine as the negation
+// bound grows.
+func BenchmarkT59_NegationDepth(b *testing.B) {
+	d := xmltree.BalancedDocument(5, 2, []string{"a", "b"})
+	ctx := evalctx.Root(d)
+	q := "descendant::a[b]"
+	for depth := 0; depth <= 4; depth += 2 {
+		expr := parser.MustParse("//a[" + q + "]")
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := nauxpda.Evaluate(expr, ctx, nauxpda.Options{Limits: nauxpda.Limits{NegationDepth: depth}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		q = "not(descendant::b[" + q + "])"
+		q = "not(descendant::b[" + q + "])"
+	}
+}
+
+// --- Theorem 7.1: fixed query, growing tree --------------------------------
+
+// BenchmarkT71_DataScaling evaluates the fixed tree-reachability query on
+// growing trees (data complexity).
+func BenchmarkT71_DataScaling(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{64, 256, 1024} {
+		tree := graph.RandomTree(rng, n)
+		red, err := reduction.BuildTheorem71(tree, 0, n-1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := evalctx.Root(red.Doc)
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := corelinear.Evaluate(red.Expr, ctx, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Theorem 7.2: data complexity of full XPath -----------------------------
+
+// BenchmarkT72_DataComplexity scales documents under a fixed full-XPath
+// query (cvt engine).
+func BenchmarkT72_DataComplexity(b *testing.B) {
+	expr := parser.MustParse("//a[count(b) > 1 and not(c)]/b[position() = last()]")
+	rng := rand.New(rand.NewSource(6))
+	for _, size := range []int{100, 400, 1600} {
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: size, MaxFanout: 4, Tags: []string{"a", "b", "c"}})
+		ctx := evalctx.Root(doc)
+		b.Run(fmt.Sprintf("nodes=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cvt.Evaluate(expr, ctx, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Theorem 7.3: query complexity ------------------------------------------
+
+// BenchmarkT73_QueryComplexity scales queries over a fixed document.
+func BenchmarkT73_QueryComplexity(b *testing.B) {
+	doc := xmltree.BalancedDocument(7, 2, []string{"a", "b", "c"})
+	ctx := evalctx.Root(doc)
+	q := "//a"
+	for _, steps := range []int{4, 12, 20} {
+		for cur := 0; cur < steps; cur += 4 {
+			_ = cur
+		}
+		query := q
+		for i := 0; i < steps; i += 4 {
+			query += "/descendant::b[a]/ancestor::a[b]/b/parent::a"
+		}
+		expr := parser.MustParse(query)
+		b.Run(fmt.Sprintf("steps=%d", steps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := corelinear.Evaluate(expr, ctx, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Remark 5.6: parallel speedup -------------------------------------------
+
+// BenchmarkPar_Workers measures the parallel evaluator by worker count
+// (speedup requires a multicore host; see EXPERIMENTS.md).
+func BenchmarkPar_Workers(b *testing.B) {
+	doc := xmltree.BalancedDocument(13, 2, []string{"a", "b", "c"})
+	expr := parser.MustParse("//a[descendant::b[following::c] or descendant::c[preceding::b] or following::b[ancestor::c] or preceding::c[descendant::b]]")
+	ctx := evalctx.Root(doc)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := parallel.Evaluate(expr, ctx, parallel.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §5) -----------------------------------------------
+
+// BenchmarkAblation_CVTContextKeying compares adaptive context keys
+// (position-insensitive subexpressions keyed by node only) against full
+// (node, pos, size) keys.
+func BenchmarkAblation_CVTContextKeying(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	doc := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: 300, MaxFanout: 4, Tags: []string{"a", "b", "c"}})
+	expr := parser.MustParse("//a[descendant::b[c and position() = 1]]/b[last()]")
+	ctx := evalctx.Root(doc)
+	b.Run("adaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cvt.EvaluateOptions(expr, ctx, cvt.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-keys", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cvt.EvaluateOptions(expr, ctx, cvt.Options{DisableAdaptiveKeys: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_NAuxPDAMemo compares the memoized certificate search
+// against the raw nondeterministic search.
+func BenchmarkAblation_NAuxPDAMemo(b *testing.B) {
+	d := xmltree.ChainDocument(16, "a")
+	expr := parser.MustParse("descendant::a/descendant::a/descendant::a/descendant::a/descendant::a/descendant::a")
+	ctx := evalctx.Root(d)
+	b.Run("memo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nauxpda.Evaluate(expr, ctx, nauxpda.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("no-memo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nauxpda.Evaluate(expr, ctx, nauxpda.Options{DisableMemo: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_InvertedAxes compares the corelinear backward
+// condition evaluation (one pass per condition) against probing the
+// condition per node with the memoized cvt engine.
+func BenchmarkAblation_InvertedAxes(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	doc := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: 500, MaxFanout: 4, Tags: []string{"a", "b", "c"}})
+	expr := parser.MustParse("//a[descendant::b[following-sibling::c]]")
+	ctx := evalctx.Root(doc)
+	b.Run("inverted-axes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := corelinear.Evaluate(expr, ctx, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-node-probe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cvt.Evaluate(expr, ctx, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_LabelEncoding compares native label sets (T(l))
+// against the paper's child::l lowering on Theorem 3.2 instances.
+func BenchmarkAblation_LabelEncoding(b *testing.B) {
+	c := circuit.FibonacciChain(8, true, true)
+	for _, lower := range []bool{false, true} {
+		red, err := reduction.BuildTheorem32(c, reduction.Options32{LowerLabels: lower})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := evalctx.Root(red.Doc)
+		name := "native-T"
+		if lower {
+			name = "lowered-child"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := corelinear.Evaluate(red.Expr, ctx, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_ParallelGrain compares branch- vs data-parallel
+// evaluation grains.
+func BenchmarkAblation_ParallelGrain(b *testing.B) {
+	doc := xmltree.BalancedDocument(13, 2, []string{"a", "b", "c"})
+	expr := parser.MustParse("//a[descendant::b[following::c] or preceding::c[descendant::b] or following::b[ancestor::c]]")
+	ctx := evalctx.Root(doc)
+	for _, g := range []parallel.Grain{parallel.GrainNone, parallel.GrainBranch, parallel.GrainData, parallel.GrainBoth} {
+		b.Run(g.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := parallel.Evaluate(expr, ctx, parallel.Options{Grain: g}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PrePostVsWalk compares interval-based ancestor testing
+// against parent-chain walking.
+func BenchmarkAblation_PrePostVsWalk(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	doc := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: 2000, MaxFanout: 3})
+	nodes := doc.Nodes
+	b.Run("prepost", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := nodes[i%len(nodes)]
+			m := nodes[(i*7)%len(nodes)]
+			_ = n.IsAncestorOf(m)
+		}
+	})
+	chainAnc := func(a, x *xmltree.Node) bool {
+		for p := x.Parent; p != nil; p = p.Parent {
+			if p == a {
+				return true
+			}
+		}
+		return false
+	}
+	b.Run("chain-walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := nodes[i%len(nodes)]
+			m := nodes[(i*7)%len(nodes)]
+			_ = chainAnc(n, m)
+		}
+	})
+}
+
+// BenchmarkParser measures query compilation.
+func BenchmarkParser(b *testing.B) {
+	q := "/descendant::a/child::b[descendant::c and not(following-sibling::d)]/following::*[position() + 1 = last()]"
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryGenCorpus measures random-query agreement throughput, the
+// engine-equivalence property that underpins every experiment.
+func BenchmarkQueryGenCorpus(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	gen := enginetest.NewQueryGen(rng, enginetest.GenCore)
+	doc := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: 50, MaxFanout: 3})
+	ctx := evalctx.Root(doc)
+	queries := make([]ast.Expr, 64)
+	for i := range queries {
+		queries[i] = parser.MustParse(gen.Query())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := corelinear.Evaluate(queries[i%len(queries)], ctx, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_EagerVsLazyTables compares the original [VLDB'02]
+// eager full-table construction against the [ICDE'03] lazy
+// meaningful-contexts mode that this repository defaults to — the
+// improvement the paper's introduction describes.
+func BenchmarkAblation_EagerVsLazyTables(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	doc := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: 400, MaxFanout: 4, Tags: []string{"a", "b", "c"}})
+	expr := parser.MustParse("/a//b[c and not(descendant::a)]")
+	ctx := evalctx.Root(doc)
+	b.Run("lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cvt.EvaluateOptions(expr, ctx, cvt.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cvt.EvaluateOptions(expr, ctx, cvt.Options{EagerTables: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_NCClosures compares the sequential single-sweep
+// closure operations against the log-depth NC algorithms (pointer
+// doubling / parallel RMQ) on a deep document. On a single-core host the
+// NC versions lose by their Θ(|D| log |D|) work — the classic NC
+// work-vs-depth trade-off; their payoff is depth, not work.
+func BenchmarkAblation_NCClosures(b *testing.B) {
+	doc := xmltree.ChainDocument(4096, "a")
+	expr := parser.MustParse("//a[descendant::a]/ancestor::a")
+	ctx := evalctx.Root(doc)
+	b.Run("sequential-sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := parallel.Evaluate(expr, ctx, parallel.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nc-doubling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := parallel.Evaluate(expr, ctx, parallel.Options{NCClosures: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStreaming compares the one-pass streaming engine against
+// parse-then-evaluate on downward PF queries over a large document.
+func BenchmarkStreaming(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<log>")
+	for i := 0; i < 20_000; i++ {
+		fmt.Fprintf(&sb, "<entry><sev>info</sev><msg>m%d</msg></entry>", i)
+	}
+	sb.WriteString("</log>")
+	src := sb.String()
+	prog, err := streaming.Compile(parser.MustParse("/log/entry/msg"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prog.Count(strings.NewReader(src)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parse+corelinear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			doc, err := xmltree.ParseString(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := corelinear.Evaluate(parser.MustParse("/log/entry/msg"), evalctx.Root(doc), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+// Command circuit2xpath materializes the paper's hardness reductions: it
+// builds a circuit (the Figure 2 carry-bit adder, a random monotone
+// circuit, or a random SAC¹ circuit), runs the selected reduction
+// (Theorem 3.2, Corollary 3.3, Theorem 4.2 or Theorem 5.7), writes the
+// encoded XML document and query, and verifies the reduction by evaluating
+// the query and comparing against direct circuit evaluation.
+//
+// Usage:
+//
+//	circuit2xpath -circuit carry2 -inputs 1011 -theorem 3.2
+//	circuit2xpath -circuit random -gates 12 -theorem 5.7 -o /tmp/red
+//	circuit2xpath -circuit sac1 -depth 4 -theorem 4.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"xpathcomplexity/internal/circuit"
+	"xpathcomplexity/internal/eval/corelinear"
+	"xpathcomplexity/internal/eval/cvt"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/reduction"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+func main() {
+	var (
+		kind    = flag.String("circuit", "carry2", "circuit: carry2|random|sac1")
+		inputs  = flag.String("inputs", "1011", "input bits for carry2 (a1 b1 a0 b0)")
+		gates   = flag.Int("gates", 10, "non-input gates for random circuits")
+		nin     = flag.Int("in", 4, "input gates for random circuits")
+		depth   = flag.Int("depth", 4, "depth for sac1 circuits")
+		seed    = flag.Int64("seed", 1, "random seed")
+		theorem = flag.String("theorem", "3.2", "reduction: 3.2|3.3|4.2|5.7")
+		outDir  = flag.String("o", "", "write document.xml and query.txt to this directory")
+	)
+	flag.Parse()
+
+	c, err := buildCircuit(*kind, *inputs, *nin, *gates, *depth, *seed)
+	if err != nil {
+		fail("%v", err)
+	}
+	want, _, err := c.Eval()
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("circuit: %d inputs, %d gates, depth %d, value %v\n",
+		c.NumInputs(), c.NumNonInputs(), c.Depth(), want)
+
+	doc, expr, queryText, engineName, got, err := runReduction(*theorem, c)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("reduction: Theorem %s\n", *theorem)
+	fmt.Printf("document: %d nodes\n", doc.Size())
+	if *theorem == "4.2" {
+		// ast.Size would unfold the shared-DAG query; report the compact
+		// description instead.
+		fmt.Printf("query: %s (%s engine)\n", queryText, engineName)
+	} else {
+		fmt.Printf("query: %d AST nodes (%s engine)\n", ast.Size(expr), engineName)
+	}
+	fmt.Printf("query result nonempty: %v\n", got)
+	if got == want {
+		fmt.Println("VERIFIED: query result matches circuit value")
+	} else {
+		fail("MISMATCH: query %v, circuit %v", got, want)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, "document.xml"), []byte(doc.XMLString()), 0o644); err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, "query.txt"), []byte(queryText+"\n"), 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("wrote %s/document.xml and %s/query.txt\n", *outDir, *outDir)
+	}
+}
+
+func buildCircuit(kind, inputs string, nin, gates, depth int, seed int64) (*circuit.Circuit, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "carry2":
+		if len(inputs) != 4 {
+			return nil, fmt.Errorf("carry2 needs 4 input bits, got %q", inputs)
+		}
+		bit := func(i int) bool { return inputs[i] == '1' }
+		return circuit.CarryBit2(bit(0), bit(1), bit(2), bit(3)), nil
+	case "random":
+		return circuit.RandomMonotone(rng, nin, gates, 3), nil
+	case "sac1":
+		return circuit.RandomSAC1(rng, nin, depth, 6), nil
+	default:
+		return nil, fmt.Errorf("unknown circuit kind %q", kind)
+	}
+}
+
+func runReduction(theorem string, c *circuit.Circuit) (*xmltree.Document, ast.Expr, string, string, bool, error) {
+	nonEmpty := func(v value.Value, err error) (bool, error) {
+		if err != nil {
+			return false, err
+		}
+		return len(v.(value.NodeSet)) > 0, nil
+	}
+	switch theorem {
+	case "3.2", "3.3":
+		red, err := reduction.BuildTheorem32(c, reduction.Options32{Corollary33: theorem == "3.3"})
+		if err != nil {
+			return nil, nil, "", "", false, err
+		}
+		got, err := nonEmpty(corelinear.Evaluate(red.Expr, evalctx.Root(red.Doc), nil))
+		return red.Doc, red.Expr, red.Query, "corelinear", got, err
+	case "4.2":
+		red, err := reduction.BuildTheorem42(c)
+		if err != nil {
+			return nil, nil, "", "", false, err
+		}
+		got, err := nonEmpty(corelinear.Evaluate(red.Expr, evalctx.Root(red.Doc), nil))
+		text := fmt.Sprintf("(DAG of %d nodes; unfolded size %.0f)", red.DAGSize, red.UnfoldedSize)
+		return red.Doc, red.Expr, text, "corelinear", got, err
+	case "5.7":
+		red, err := reduction.BuildTheorem57(c)
+		if err != nil {
+			return nil, nil, "", "", false, err
+		}
+		got, err := nonEmpty(cvt.Evaluate(red.Expr, evalctx.Root(red.Doc), nil))
+		return red.Doc, red.Expr, red.Query, "cvt", got, err
+	default:
+		return nil, nil, "", "", false, fmt.Errorf("unknown theorem %q (want 3.2, 3.3, 4.2 or 5.7)", theorem)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "circuit2xpath: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildCircuitKinds(t *testing.T) {
+	c, err := buildCircuit("carry2", "1011", 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 4 || c.NumNonInputs() != 5 {
+		t.Fatalf("carry2 shape: %d/%d", c.NumInputs(), c.NumNonInputs())
+	}
+	if _, err := buildCircuit("carry2", "10", 0, 0, 0, 1); err == nil {
+		t.Error("short input accepted")
+	}
+	c, err = buildCircuit("random", "", 4, 6, 0, 2)
+	if err != nil || c.NumNonInputs() != 6 {
+		t.Fatalf("random circuit: %v", err)
+	}
+	c, err = buildCircuit("sac1", "", 4, 0, 3, 3)
+	if err != nil || !c.IsSemiUnbounded() {
+		t.Fatalf("sac1 circuit: %v", err)
+	}
+	if _, err := buildCircuit("nonesuch", "", 0, 0, 0, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRunReductionAllTheorems(t *testing.T) {
+	for _, theorem := range []string{"3.2", "3.3", "4.2", "5.7"} {
+		kind := "random"
+		if theorem == "4.2" {
+			kind = "sac1"
+		}
+		c, err := buildCircuit(kind, "", 4, 5, 3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := c.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, expr, text, engine, got, err := runReduction(theorem, c)
+		if err != nil {
+			t.Fatalf("theorem %s: %v", theorem, err)
+		}
+		if doc == nil || expr == nil || engine == "" {
+			t.Fatalf("theorem %s: incomplete artifacts", theorem)
+		}
+		if got != want {
+			t.Fatalf("theorem %s: query %v, circuit %v", theorem, got, want)
+		}
+		if theorem == "4.2" && !strings.Contains(text, "DAG") {
+			t.Errorf("theorem 4.2 text should describe the DAG: %q", text)
+		}
+	}
+	if _, _, _, _, _, err := runReduction("9.9", nil); err == nil {
+		t.Error("unknown theorem accepted")
+	}
+}

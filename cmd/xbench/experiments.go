@@ -1,0 +1,553 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"xpathcomplexity/internal/circuit"
+	"xpathcomplexity/internal/eval/corelinear"
+	"xpathcomplexity/internal/eval/cvt"
+	"xpathcomplexity/internal/eval/enginetest"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/eval/naive"
+	"xpathcomplexity/internal/eval/nauxpda"
+	"xpathcomplexity/internal/eval/parallel"
+	"xpathcomplexity/internal/fragment"
+	"xpathcomplexity/internal/graph"
+	"xpathcomplexity/internal/reduction"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/workload"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+// naiveBudget caps the exponential baseline so experiments terminate.
+const naiveBudget = 50_000_000
+
+// expF1 reproduces the content of Figure 1 behaviourally: for
+// representative queries of each fragment, the recommended engine's cost
+// scales with the fragment's complexity class. The headline series is the
+// parent/child oscillation query family, where the naive engine grows
+// exponentially and cvt linearly.
+func expF1(seed int64) {
+	d, _ := xmltree.ParseString("<a><b/><b/><b/></a>")
+	ctx := evalctx.Root(d)
+	t := newTable("querySteps", "naiveOps", "cvtOps", "corelinearOps", "naive/cvt")
+	q := "//b"
+	for i := 0; i < 8; i++ {
+		expr := parser.MustParse(q)
+		nOps := "-"
+		ratio := "-"
+		ctr := &evalctx.Counter{Budget: naiveBudget}
+		_, err := naive.Evaluate(expr, ctx, ctr)
+		naiveOps := ctr.Ops
+		if err == nil {
+			nOps = fmt.Sprint(naiveOps)
+		} else {
+			nOps = fmt.Sprintf(">%d", naiveBudget)
+		}
+		c2 := &evalctx.Counter{}
+		if _, err := cvt.Evaluate(expr, ctx, c2); err != nil {
+			fmt.Println("  cvt error:", err)
+			return
+		}
+		c3 := &evalctx.Counter{}
+		if _, err := corelinear.Evaluate(expr, ctx, c3); err != nil {
+			fmt.Println("  corelinear error:", err)
+			return
+		}
+		if err == nil {
+			ratio = fmt.Sprintf("%.1f", float64(naiveOps)/float64(c2.Ops))
+		}
+		t.add(1+2*i, nOps, c2.Ops, c3.Ops, ratio)
+		q += "/parent::a/b"
+	}
+	t.print()
+	fmt.Println("  expectation: naive column grows ~3x per row (exponential); cvt and corelinear grow additively (Figure 1: XPath is P-complete, the naive strategy is exponential).")
+}
+
+// expF2 runs the carry-bit adders of Figure 2 (generalized to n bits)
+// through the Theorem 3.2 reduction and checks the query agrees with the
+// circuit on random inputs (exhaustively for n ≤ 3).
+func expF2(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	t := newTable("bits", "gates", "docNodes", "querySize", "inputsTried", "allCorrect")
+	for n := 1; n <= 8; n++ {
+		tried, correct := 0, 0
+		var docNodes, querySize int
+		var gates int
+		checkInput := func(a, b []bool) {
+			c, err := circuit.CarryBitN(n, a, b)
+			if err != nil {
+				panic(err)
+			}
+			want, _, _ := c.Eval()
+			red, err := reduction.BuildTheorem32(c, reduction.Options32{})
+			if err != nil {
+				panic(err)
+			}
+			got, err := corelinear.Evaluate(red.Expr, evalctx.Root(red.Doc), nil)
+			if err != nil {
+				panic(err)
+			}
+			docNodes = red.Doc.Size()
+			querySize = ast.Size(red.Expr)
+			gates = len(red.Circuit.Gates)
+			tried++
+			if (len(got.(value.NodeSet)) > 0) == want {
+				correct++
+			}
+		}
+		if n <= 3 {
+			total := 1 << (2 * n)
+			for mask := 0; mask < total; mask++ {
+				a := make([]bool, n)
+				b := make([]bool, n)
+				for i := 0; i < n; i++ {
+					a[i] = mask&(1<<i) != 0
+					b[i] = mask&(1<<(n+i)) != 0
+				}
+				checkInput(a, b)
+			}
+		} else {
+			for trial := 0; trial < 32; trial++ {
+				a := make([]bool, n)
+				b := make([]bool, n)
+				for i := range a {
+					a[i] = rng.Intn(2) == 0
+					b[i] = rng.Intn(2) == 0
+				}
+				checkInput(a, b)
+			}
+		}
+		t.add(n, gates, docNodes, querySize, tried, correct == tried)
+	}
+	t.print()
+	fmt.Println("  expectation: allCorrect for every width; doc and query grow linearly in circuit size (Theorem 3.2 is a logspace reduction).")
+}
+
+// expF4 checks the Figure 4 matching invariant vi ∈ [[ϕk]] ⇔ Gi true on
+// random circuits and reports the number of (layer, gate) checks.
+func expF4(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	t := newTable("trial", "gates", "layers", "checks", "violations")
+	for trial := 0; trial < 8; trial++ {
+		c := circuit.RandomMonotone(rng, 3+rng.Intn(3), 2+rng.Intn(6), 3)
+		red, err := reduction.BuildTheorem32(c, reduction.Options32{})
+		if err != nil {
+			panic(err)
+		}
+		_, gateVals, _ := red.Circuit.Eval()
+		m, n := red.Circuit.NumInputs(), red.Circuit.NumNonInputs()
+		checks, violations := 0, 0
+		for k := 0; k <= n; k++ {
+			got, err := corelinear.Evaluate(parser.MustParse(red.PhiQuery(k, reduction.Options32{})), evalctx.Root(red.Doc), nil)
+			if err != nil {
+				panic(err)
+			}
+			in := map[*xmltree.Node]bool{}
+			for _, nd := range got.(value.NodeSet) {
+				in[nd] = true
+			}
+			for i := 0; i < m+k; i++ {
+				checks++
+				if in[red.VNodes[i]] != gateVals[i] {
+					violations++
+				}
+			}
+		}
+		t.add(trial, m+n, n, checks, violations)
+	}
+	t.print()
+	fmt.Println("  expectation: zero violations — the induction claim of the Theorem 3.2 proof holds computationally.")
+}
+
+// expF5 compares PF-query reachability against BFS on random digraphs and
+// reports the scaling of corelinear ops with graph size.
+func expF5(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	t := newTable("vertices", "edges(closed)", "docNodes", "querySteps", "pairs", "agree", "opsPerPair")
+	for _, n := range []int{3, 4, 5, 6, 8, 10} {
+		g := graph.Random(rng, n, 0.25)
+		pairs, agree := 0, 0
+		var totalOps int64
+		var docNodes, steps, edges int
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				red, err := reduction.BuildTheorem43(g, src, dst)
+				if err != nil {
+					panic(err)
+				}
+				ctr := &evalctx.Counter{}
+				got, err := corelinear.Evaluate(red.Expr, evalctx.Root(red.Doc), ctr)
+				if err != nil {
+					panic(err)
+				}
+				pairs++
+				if (len(got.(value.NodeSet)) > 0) == g.Reachable(src, dst) {
+					agree++
+				}
+				totalOps += ctr.Ops
+				docNodes = red.Doc.Size()
+				edges = red.Steps
+				var stepCount int
+				ast.Walk(red.Expr, func(e ast.Expr) bool {
+					if p, ok := e.(*ast.Path); ok {
+						stepCount += len(p.Steps)
+					}
+					return true
+				})
+				steps = stepCount
+			}
+		}
+		t.add(n, edges, docNodes, steps, pairs, agree, totalOps/int64(pairs))
+	}
+	t.print()
+	fmt.Println("  expectation: agree == pairs everywhere; ops grow polynomially (PF is NL-complete ⊆ P; Figure 5 encoding is quadratic).")
+}
+
+// expT1 compares the nauxpda decision engine against cvt on random pWF
+// queries: agreement plus relative cost of decision vs materialization.
+func expT1(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	gen := enginetest.NewQueryGen(rng, enginetest.GenPWF)
+	t := newTable("docNodes", "queries", "agree", "cvtOps/q", "nauxpdaOps/q")
+	for _, size := range []int{10, 20, 40} {
+		var cvtOps, pdaOps int64
+		queries, agree := 0, 0
+		for trial := 0; trial < 40; trial++ {
+			doc := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: size, MaxFanout: 3})
+			expr := parser.MustParse(gen.Query())
+			ctx := evalctx.Root(doc)
+			c1 := &evalctx.Counter{}
+			want, err := cvt.Evaluate(expr, ctx, c1)
+			if err != nil {
+				continue
+			}
+			c2 := &evalctx.Counter{}
+			got, err := nauxpda.Evaluate(expr, ctx, nauxpda.Options{Counter: c2})
+			if err != nil {
+				continue
+			}
+			queries++
+			if value.Equal(want, got) {
+				agree++
+			}
+			cvtOps += c1.Ops
+			pdaOps += c2.Ops
+		}
+		t.add(size, queries, agree, cvtOps/int64(queries), pdaOps/int64(queries))
+	}
+	t.print()
+	fmt.Println("  expectation: full agreement; nauxpda pays a polynomial overhead for never materializing node sets (Table 1 checks per certificate).")
+}
+
+// expT32 shows the P-hardness separation behaviourally: on Theorem 3.2
+// reduction queries of growing circuit size, the naive engine's cost
+// explodes while cvt/corelinear stay polynomial.
+func expT32(seed int64) {
+	t := newTable("gates", "querySize", "naiveOps", "cvtOps", "corelinearOps")
+	for _, n := range []int{2, 4, 6, 8, 10, 12, 14, 16} {
+		// Fibonacci chains are the worst case for evaluation without
+		// sharing: each gate reads the two previous gates, so unshared
+		// evaluation explores ~φ^n paths.
+		c := circuit.FibonacciChain(n, true, true)
+		red, err := reduction.BuildTheorem32(c, reduction.Options32{})
+		if err != nil {
+			panic(err)
+		}
+		ctx := evalctx.Root(red.Doc)
+		nOps := "-"
+		ctr := &evalctx.Counter{Budget: naiveBudget}
+		if _, err := naive.Evaluate(red.Expr, ctx, ctr); err == nil {
+			nOps = fmt.Sprint(ctr.Ops)
+		} else {
+			nOps = fmt.Sprintf(">%d", naiveBudget)
+		}
+		c2 := &evalctx.Counter{}
+		if _, err := cvt.Evaluate(red.Expr, ctx, c2); err != nil {
+			panic(err)
+		}
+		c3 := &evalctx.Counter{}
+		if _, err := corelinear.Evaluate(red.Expr, ctx, c3); err != nil {
+			panic(err)
+		}
+		t.add(3+n, ast.Size(red.Expr), nOps, c2.Ops, c3.Ops)
+	}
+	t.print()
+	fmt.Println("  expectation: naiveOps grows exponentially with the gate count and hits the budget; cvt and corelinear grow polynomially (Theorem 3.2 ⇒ no better than poly, Prop. 2.7 ⇒ poly suffices).")
+}
+
+// expT42 reports the Theorem 4.2 query growth: DAG size polynomial,
+// unfolded (string) size exponential in circuit depth — and that the
+// memoizing engines evaluate the DAG in polynomial time.
+func expT42(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	t := newTable("depth", "gates", "dagSize", "unfoldedSize", "corelinearOps", "correct")
+	for _, depth := range []int{2, 4, 6, 8, 10} {
+		c := circuit.RandomSAC1(rng, 4, depth, 5)
+		want, _, _ := c.Eval()
+		red, err := reduction.BuildTheorem42(c)
+		if err != nil {
+			panic(err)
+		}
+		ctr := &evalctx.Counter{}
+		got, err := corelinear.Evaluate(red.Expr, evalctx.Root(red.Doc), ctr)
+		if err != nil {
+			panic(err)
+		}
+		t.add(depth, len(red.Circuit.Gates), red.DAGSize,
+			fmt.Sprintf("%.3g", red.UnfoldedSize), ctr.Ops,
+			(len(got.(value.NodeSet)) > 0) == want)
+	}
+	t.print()
+	fmt.Println("  expectation: unfoldedSize grows exponentially in depth while dagSize and engine ops stay polynomial — the query 'grows exponentially in the depth of the circuit' yet is evaluable (Theorem 4.2).")
+}
+
+// expT57 measures the iterated-predicate encoding: correctness plus the
+// cost of evaluating the negation-free query with cvt.
+func expT57(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	t := newTable("gates", "docNodes", "querySize", "maxPredSeq", "cvtOps", "correct")
+	for _, n := range []int{2, 4, 6, 8} {
+		c := circuit.RandomMonotone(rng, 3, n, 3)
+		want, _, _ := c.Eval()
+		red, err := reduction.BuildTheorem57(c)
+		if err != nil {
+			panic(err)
+		}
+		ctr := &evalctx.Counter{}
+		got, err := cvt.Evaluate(red.Expr, evalctx.Root(red.Doc), ctr)
+		if err != nil {
+			panic(err)
+		}
+		t.add(3+n, red.Doc.Size(), ast.Size(red.Expr), ast.MaxPredicateSeq(red.Expr),
+			ctr.Ops, (len(got.(value.NodeSet)) > 0) == want)
+	}
+	t.print()
+	fmt.Println("  expectation: correct throughout with predicate sequences of length exactly 2 and no not() — iterated predicates alone recover P-hardness (Theorem 5.7/Corollary 5.8).")
+}
+
+// expT59 measures nauxpda cost as the negation depth grows (the bound K
+// of Theorem 5.9 appears as a polynomial-degree knob).
+func expT59(seed int64) {
+	d := xmltree.BalancedDocument(7, 2, []string{"a", "b"})
+	ctx := evalctx.Root(d)
+	t := newTable("negDepth", "querySize", "nauxpdaOps", "cvtOps", "agree")
+	q := "descendant::a[b]"
+	for depth := 0; depth <= 5; depth++ {
+		expr := parser.MustParse("//a[" + q + "]")
+		c1 := &evalctx.Counter{}
+		got, err := nauxpda.Evaluate(expr, ctx, nauxpda.Options{
+			Limits: nauxpda.Limits{NegationDepth: depth}, Counter: c1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		c2 := &evalctx.Counter{}
+		want, err := cvt.Evaluate(expr, ctx, c2)
+		if err != nil {
+			panic(err)
+		}
+		t.add(depth, ast.Size(expr), c1.Ops, c2.Ops, value.Equal(got, want))
+		q = "not(descendant::b[" + q + "])"
+	}
+	t.print()
+	fmt.Println("  expectation: agreement at every depth; nauxpda ops grow polynomially with the bound (each not() adds one dom-loop, Theorem 5.9).")
+}
+
+// expT71 scales the fixed tree-reachability query with the data size.
+func expT71(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	t := newTable("treeNodes", "pairsChecked", "agree", "opsPerPair")
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		tree := graph.RandomTree(rng, n)
+		pairs, agree := 0, 0
+		var ops int64
+		for trial := 0; trial < 30; trial++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			red, err := reduction.BuildTheorem71(tree, src, dst)
+			if err != nil {
+				panic(err)
+			}
+			ctr := &evalctx.Counter{}
+			got, err := corelinear.Evaluate(red.Expr, evalctx.Root(red.Doc), ctr)
+			if err != nil {
+				panic(err)
+			}
+			want := src != dst && tree.Reachable(src, dst)
+			pairs++
+			if (len(got.(value.NodeSet)) > 0) == want {
+				agree++
+			}
+			ops += ctr.Ops
+		}
+		t.add(n, pairs, agree, ops/int64(pairs))
+	}
+	t.print()
+	fmt.Println("  expectation: full agreement; ops grow linearly in the tree size — the query is fixed, only the data grows (Theorem 7.1: data complexity is L-hard, and the evaluation here is linear time).")
+}
+
+// expT72 scales documents for fixed full-XPath queries and reports cvt
+// ops and context-value-table sizes (the space story of Theorem 7.2).
+func expT72(seed int64) {
+	queries := []string{
+		"//a[count(b) > 1 and not(c)]/b[position() = last()]",
+		"sum(//b[@x]/preceding-sibling::a)",
+	}
+	t := newTable("query#", "docNodes", "cvtOps", "tables", "tableEntries")
+	rng := rand.New(rand.NewSource(seed))
+	for qi, q := range queries {
+		expr := parser.MustParse(q)
+		for _, size := range []int{50, 100, 200, 400, 800} {
+			doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+				Nodes: size, MaxFanout: 4, Tags: []string{"a", "b", "c"}, AttrProb: 0.2,
+			})
+			ctr := &evalctx.Counter{}
+			_, stats, err := cvt.EvaluateWithStats(expr, evalctx.Root(doc), cvt.Options{Counter: ctr})
+			if err != nil {
+				panic(err)
+			}
+			t.add(qi+1, doc.Size(), ctr.Ops, stats.Tables, stats.Entries)
+		}
+	}
+	t.print()
+	fmt.Println("  expectation: ops and table entries grow polynomially (near-linearly here) in |D| for fixed queries — the shape behind 'XPath is in L w.r.t. data complexity' (Theorem 7.2).")
+}
+
+// expT73 scales queries over a fixed document and reports cvt/corelinear
+// ops (query complexity, Theorem 7.3).
+func expT73(seed int64) {
+	doc := xmltree.BalancedDocument(7, 2, []string{"a", "b", "c"})
+	ctx := evalctx.Root(doc)
+	t := newTable("querySteps", "cvtOps", "corelinearOps")
+	q := "//a"
+	for i := 1; i <= 24; i += 4 {
+		expr := parser.MustParse(q)
+		c1 := &evalctx.Counter{}
+		if _, err := cvt.Evaluate(expr, ctx, c1); err != nil {
+			panic(err)
+		}
+		c2 := &evalctx.Counter{}
+		if _, err := corelinear.Evaluate(expr, ctx, c2); err != nil {
+			panic(err)
+		}
+		t.add(i, c1.Ops, c2.Ops)
+		// Tags cycle a→b→c by level in BalancedDocument, so this step
+		// pattern keeps a non-empty frontier at every round.
+		q += "/descendant::c[a]/ancestor::a[b]/b/parent::a"
+	}
+	t.print()
+	fmt.Println("  expectation: both engines grow linearly in query size on a fixed document (Theorem 7.3: query complexity in L; Core XPath evaluation is O(|D|·|Q|)).")
+}
+
+// expPar measures the parallel evaluator's speedup across worker counts
+// and grains on a large document.
+func expPar(seed int64) {
+	doc := xmltree.BalancedDocument(15, 2, []string{"a", "b", "c"})
+	// A wide disjunction of independent, individually expensive conditions:
+	// branch parallelism evaluates them concurrently (Remark 5.6: "at the
+	// branches, the subexpressions below can be evaluated in parallel").
+	conds := []string{
+		"descendant::b[following::c]", "descendant::c[preceding::b]",
+		"following::b[ancestor::c]", "preceding::c[descendant::b]",
+		"descendant::a[following-sibling::b]", "following::c[preceding-sibling::a]",
+		"descendant::b[preceding::a]", "preceding::b[following::c]",
+		"descendant::c[following::a]", "following::a[descendant::c]",
+		"preceding::a[ancestor::b]", "descendant::a[preceding::c]",
+		"following::b[descendant::a]", "preceding::c[following-sibling::b]",
+		"descendant::b[ancestor::c]", "following::c[ancestor::a]",
+	}
+	q := "//a[" + conds[0]
+	for _, c := range conds[1:] {
+		q += " or " + c
+	}
+	q += "]"
+	expr := parser.MustParse(q)
+	ctx := evalctx.Root(doc)
+	base := time.Duration(0)
+	t := newTable("workers", "grain", "wallTime", "speedup")
+	for _, cfg := range []struct {
+		workers int
+		grain   parallel.Grain
+	}{
+		{1, parallel.GrainNone},
+		{2, parallel.GrainBoth},
+		{4, parallel.GrainBoth},
+		{8, parallel.GrainBoth},
+		{8, parallel.GrainBranch},
+		{8, parallel.GrainData},
+	} {
+		best := time.Duration(math.MaxInt64)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			if _, err := parallel.Evaluate(expr, ctx, parallel.Options{Workers: cfg.workers, Grain: cfg.grain}); err != nil {
+				panic(err)
+			}
+			if el := time.Since(start); el < best {
+				best = el
+			}
+		}
+		if base == 0 {
+			base = best
+		}
+		t.add(cfg.workers, cfg.grain.String(), best.Round(time.Microsecond),
+			fmt.Sprintf("%.2fx", float64(base)/float64(best)))
+	}
+	t.print()
+	fmt.Printf("  document: %d nodes.\n", doc.Size())
+	fmt.Println("  expectation: speedup > 1 with multiple workers on multicore hosts (Remark 5.6: positive queries parallelize; absolute factors are machine-dependent).")
+}
+
+// expReal runs the XMark-style workload mix: every query classified in the
+// Figure 1 lattice and evaluated with its recommended engine, with the
+// naive baseline cost alongside — the paper's pXPath thesis ("most
+// practical XPath queries") on realistic data.
+func expReal(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	doc := workload.Auction(rng, workload.Config{People: 60, Items: 120, MaxBids: 6})
+	ctx := evalctx.Root(doc)
+	t := newTable("query", "fragment", "class", "parallel", "autoOps", "naiveOps", "result")
+	parallelizable := 0
+	for _, q := range workload.Queries() {
+		expr := parser.MustParse(q.Text)
+		cls := fragment.Classify(expr)
+		if cls.Minimal.Parallelizable() {
+			parallelizable++
+		}
+		// Recommended engine.
+		ctr := &evalctx.Counter{}
+		var v value.Value
+		var err error
+		if cls.RecommendEngine() == fragment.EngineCoreLinear {
+			v, err = corelinear.Evaluate(expr, ctx, ctr)
+		} else {
+			v, err = cvt.Evaluate(expr, ctx, ctr)
+		}
+		if err != nil {
+			panic(err)
+		}
+		nctr := &evalctx.Counter{Budget: naiveBudget}
+		naiveOps := "-"
+		if _, err := naive.Evaluate(expr, ctx, nctr); err == nil {
+			naiveOps = fmt.Sprint(nctr.Ops)
+		} else {
+			naiveOps = fmt.Sprintf(">%d", naiveBudget)
+		}
+		res := ""
+		switch x := v.(type) {
+		case value.NodeSet:
+			res = fmt.Sprintf("%d nodes", len(x))
+		default:
+			res = value.ToString(v)
+		}
+		t.add(q.Name, cls.Minimal.String(), cls.Minimal.ComplexityClass(),
+			cls.Minimal.Parallelizable(), ctr.Ops, naiveOps, res)
+	}
+	t.print()
+	fmt.Printf("  document: %d nodes; %d/%d queries in parallelizable (LOGCFL/NL) fragments — the paper's closing thesis that pXPath 'contains most practical XPath queries'.\n",
+		doc.Size(), parallelizable, len(workload.Queries()))
+}

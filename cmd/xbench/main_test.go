@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		n, _ := r.Read(buf)
+		done <- string(buf[:n])
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestTablePrinter(t *testing.T) {
+	out := captureStdout(t, func() {
+		tb := newTable("col", "longer-column")
+		tb.add("a", 1)
+		tb.add("bbbb", 22)
+		tb.print()
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "col") || !strings.Contains(lines[0], "longer-column") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator wrong: %q", lines[1])
+	}
+	// Column alignment: "col" is padded to width 4 ("bbbb").
+	if !strings.HasPrefix(lines[2], "  a     1") {
+		t.Errorf("row alignment wrong: %q", lines[2])
+	}
+}
+
+// Every experiment runs end to end without panicking (smoke; the
+// assertions about the numbers live in EXPERIMENTS.md and the unit
+// tests).
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped in -short mode")
+	}
+	for _, e := range experiments {
+		if e.name == "par" || e.name == "t59" || e.name == "f1" || e.name == "t32" {
+			continue // the slowest ones; covered by the xbench runs in EXPERIMENTS.md
+		}
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			_ = captureStdout(t, func() { e.run(1) })
+		})
+	}
+}

@@ -1,0 +1,89 @@
+// Command xfrag classifies XPath queries into the fragment lattice of
+// Figure 1 of the paper, printing the smallest containing fragment, its
+// combined complexity, full membership, and the features that caused each
+// promotion.
+//
+// Usage:
+//
+//	xfrag '//book[not(price)]'
+//	xfrag -v '//a[position() = last()]' '//b[c]'
+//	echo '//a[1]' | xfrag -
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xpathcomplexity/internal/fragment"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print full membership and feature analysis")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: xfrag [-v] <query> [<query>...] | xfrag -")
+		os.Exit(2)
+	}
+	status := 0
+	var queries []string
+	if len(args) == 1 && args[0] == "-" {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			if line := strings.TrimSpace(sc.Text()); line != "" {
+				queries = append(queries, line)
+			}
+		}
+	} else {
+		queries = args
+	}
+	for _, q := range queries {
+		if err := classify(q, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "xfrag: %v\n", err)
+			status = 1
+		}
+	}
+	os.Exit(status)
+}
+
+func classify(q string, verbose bool) error {
+	expr, err := parser.Parse(q)
+	if err != nil {
+		return err
+	}
+	c := fragment.Classify(expr)
+	fmt.Printf("%s\n", q)
+	fmt.Printf("  fragment:   %s\n", c.Minimal)
+	fmt.Printf("  complexity: %s (combined)\n", c.Minimal.ComplexityClass())
+	fmt.Printf("  parallel:   %v (inside NC²: %v)\n", c.Minimal.Parallelizable(), c.Minimal.Parallelizable())
+	if !verbose {
+		return nil
+	}
+	fmt.Printf("  membership:\n")
+	for f := fragment.PF; f <= fragment.XPath; f++ {
+		fmt.Printf("    %-20s %v\n", f.String()+":", c.Member[f])
+	}
+	ft := c.Features
+	fmt.Printf("  features:\n")
+	fmt.Printf("    predicates:          %v\n", ft.HasPredicates)
+	fmt.Printf("    negation depth:      %d\n", ft.NegationDepth)
+	fmt.Printf("    max predicate seq:   %d\n", ft.MaxPredicateSeq)
+	fmt.Printf("    position()/last():   %v\n", ft.UsesPositionLast)
+	fmt.Printf("    arithmetic (depth):  %v (%d)\n", ft.UsesArithmetic, ft.ArithDepth)
+	fmt.Printf("    strings:             %v\n", ft.UsesStrings)
+	fmt.Printf("    relop on non-number: %v\n", ft.RelOpOnNonNumbers)
+	fmt.Printf("    relop on boolean:    %v\n", ft.RelOpOnBooleans)
+	if len(ft.Functions) > 0 {
+		fmt.Printf("    functions:           %s\n", strings.Join(ft.Functions, ", "))
+	}
+	if len(ft.ForbiddenFunctions) > 0 {
+		fmt.Printf("    pXPath-forbidden:    %s\n", strings.Join(ft.ForbiddenFunctions, ", "))
+	}
+	fmt.Printf("  recommended engine: %s (evaluation), %s (decision)\n",
+		c.RecommendEngine(), c.RecommendDecisionEngine())
+	return nil
+}

@@ -1,0 +1,139 @@
+// Command xpatheval evaluates an XPath query against an XML document with
+// a selectable evaluation engine, reporting the query's Figure 1 fragment
+// and complexity class, the result, and (optionally) the operation count.
+//
+// Usage:
+//
+//	xpatheval -q '//book[price > 20]/title' -f catalog.xml
+//	cat doc.xml | xpatheval -q '//a[not(b)]' -engine corelinear -ops
+//	xpatheval -q '//book[2]' -f catalog.xml -engine naive -budget 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	xpc "xpathcomplexity"
+	"xpathcomplexity/internal/eval/streaming"
+	"xpathcomplexity/internal/value"
+)
+
+func main() {
+	var (
+		queryStr = flag.String("q", "", "XPath query (required)")
+		file     = flag.String("f", "", "XML document file (default: stdin)")
+		engine   = flag.String("engine", "auto", "engine: auto|naive|cvt|corelinear|nauxpda|parallel|streaming")
+		showOps  = flag.Bool("ops", false, "print the elementary operation count")
+		budget   = flag.Int64("budget", 0, "abort after this many operations (0 = unlimited)")
+		negBound = flag.Int("neg", 4, "negation-depth bound for the nauxpda engine")
+		quiet    = flag.Bool("quiet", false, "print only the result")
+		explain  = flag.Bool("explain", false, "print the query analysis and exit")
+		whyOrd   = flag.Int("why", -1, "print the Table 1 membership certificate for the node with this document-order index (pWF/pXPath queries)")
+	)
+	flag.Parse()
+	if *queryStr == "" {
+		fmt.Fprintln(os.Stderr, "xpatheval: -q query is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	q, err := xpc.Compile(*queryStr)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *explain {
+		fmt.Print(q.Explain())
+		return
+	}
+	in := os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	if *engine == "streaming" {
+		prog, err := streaming.Compile(q.Expr)
+		if err != nil {
+			fail("%v", err)
+		}
+		n, err := prog.Run(in, func(m streaming.Match) {
+			if !*quiet {
+				if m.Text != "" {
+					fmt.Printf("  text %q at depth %d\n", m.Text, m.Depth)
+				} else {
+					fmt.Printf("  <%s> at depth %d\n", m.Name, m.Depth)
+				}
+			}
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("result:    %d match(es) (streamed, no tree built)\n", n)
+		return
+	}
+	eng, ok := xpc.EngineByName[*engine]
+	if !ok {
+		fail("unknown engine %q", *engine)
+	}
+	doc, err := xpc.ParseDocument(in)
+	if err != nil {
+		fail("%v", err)
+	}
+	if !*quiet {
+		fmt.Printf("query:     %s\n", q.Source)
+		fmt.Printf("fragment:  %s (combined complexity: %s)\n", q.Fragment(), q.ComplexityClass())
+		fmt.Printf("engine:    %s\n", eng)
+		fmt.Printf("document:  %d nodes\n", doc.Size())
+	}
+	if *whyOrd >= 0 {
+		doc2 := doc
+		if *whyOrd >= doc2.Size() {
+			fail("node ord %d out of range [0, %d)", *whyOrd, doc2.Size())
+		}
+		why, err := q.Why(doc2.Nodes[*whyOrd])
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Print(why)
+		return
+	}
+	ctr := &xpc.Counter{Budget: *budget}
+	v, err := q.EvalOptions(xpc.RootContext(doc), xpc.EvalOptions{
+		Engine: eng, Counter: ctr, NegationBound: *negBound,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	printValue(v)
+	if *showOps {
+		fmt.Printf("ops:       %d\n", ctr.Ops)
+	}
+}
+
+func printValue(v xpc.Value) {
+	switch x := v.(type) {
+	case xpc.NodeSet:
+		fmt.Printf("result:    node-set of %d node(s)\n", len(x))
+		for i, n := range x {
+			if i >= 20 {
+				fmt.Printf("  ... and %d more\n", len(x)-20)
+				break
+			}
+			sv := n.StringValue()
+			if len(sv) > 40 {
+				sv = sv[:40] + "..."
+			}
+			fmt.Printf("  [%d] <%s> ord=%d string-value=%q\n", i+1, n.Name, n.Ord, sv)
+		}
+	default:
+		fmt.Printf("result:    %s %s\n", v.Kind(), value.ToString(v))
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xpatheval: "+format+"\n", args...)
+	os.Exit(1)
+}

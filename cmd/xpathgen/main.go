@@ -1,0 +1,78 @@
+// Command xpathgen generates random XML documents and random XPath
+// queries per fragment of the paper's Figure 1 lattice — the workload
+// generator behind the repository's cross-engine agreement tests and
+// scaling experiments, exposed for external use (e.g. differential
+// testing against other XPath implementations).
+//
+// Usage:
+//
+//	xpathgen -doc -nodes 500 > doc.xml
+//	xpathgen -queries 20 -fragment core
+//	xpathgen -queries 5 -fragment pwf -seed 7 -tags x,y,z
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"xpathcomplexity/internal/eval/enginetest"
+	"xpathcomplexity/internal/fragment"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+var profiles = map[string]enginetest.GenProfile{
+	"pf":   enginetest.GenPF,
+	"pos":  enginetest.GenPositiveCore,
+	"core": enginetest.GenCore,
+	"pwf":  enginetest.GenPWF,
+	"full": enginetest.GenFull,
+}
+
+func main() {
+	var (
+		genDoc   = flag.Bool("doc", false, "generate an XML document to stdout")
+		nodes    = flag.Int("nodes", 200, "approximate element count for -doc")
+		fanout   = flag.Int("fanout", 4, "max children per element for -doc")
+		queries  = flag.Int("queries", 0, "number of queries to generate")
+		frag     = flag.String("fragment", "core", "query fragment: pf|pos|core|pwf|full")
+		seed     = flag.Int64("seed", 1, "random seed")
+		tagsFlag = flag.String("tags", "a,b,c", "comma-separated tag alphabet")
+		classify = flag.Bool("classify", false, "print each query's Figure 1 classification")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	tags := strings.Split(*tagsFlag, ",")
+
+	if *genDoc {
+		d := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: *nodes, MaxFanout: *fanout, Tags: tags, TextProb: 0.2, AttrProb: 0.2,
+		})
+		fmt.Println(d.XMLString())
+	}
+	if *queries > 0 {
+		profile, ok := profiles[*frag]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "xpathgen: unknown fragment %q (want pf|pos|core|pwf|full)\n", *frag)
+			os.Exit(2)
+		}
+		gen := enginetest.NewQueryGen(rng, profile)
+		gen.Tags = tags
+		for i := 0; i < *queries; i++ {
+			q := gen.Query()
+			if *classify {
+				c := fragment.Classify(parser.MustParse(q))
+				fmt.Printf("%-60s # %s, %s\n", q, c.Minimal, c.Minimal.ComplexityClass())
+			} else {
+				fmt.Println(q)
+			}
+		}
+	}
+	if !*genDoc && *queries == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,78 @@
+package xpathcomplexity_test
+
+import (
+	"fmt"
+
+	xpc "xpathcomplexity"
+)
+
+const catalog = `<catalog>` +
+	`<book year="1994"><title>Dune</title><price>12</price></book>` +
+	`<book year="2001"><title>Teranesia</title><price>30</price></book>` +
+	`<book year="2001"><title>Norstrilia</title><price>8</price><used/></book>` +
+	`</catalog>`
+
+// Compile parses and classifies a query in the paper's Figure 1 lattice.
+func ExampleCompile() {
+	q, err := xpc.Compile("//book[not(used)]/title")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.Fragment())
+	fmt.Println(q.ComplexityClass())
+	// Output:
+	// Core XPath
+	// P-complete
+}
+
+// Select evaluates a node-set query from the document root with the
+// automatically chosen engine.
+func ExampleQuery_Select() {
+	doc, _ := xpc.ParseDocumentString(catalog)
+	ns, _ := xpc.MustCompile("//book[price < 15]/title").Select(doc)
+	for _, n := range ns {
+		fmt.Println(n.StringValue())
+	}
+	// Output:
+	// Dune
+	// Norstrilia
+}
+
+// EvalOptions selects a specific evaluation strategy; all engines agree
+// on results and differ only in complexity.
+func ExampleQuery_EvalOptions() {
+	doc, _ := xpc.ParseDocumentString(catalog)
+	q := xpc.MustCompile("count(//book[@year = 2001])")
+	v, _ := q.EvalOptions(xpc.RootContext(doc), xpc.EvalOptions{Engine: xpc.EngineCVT})
+	fmt.Println(v)
+	// Output:
+	// 2
+}
+
+// Matches decides the Singleton-Success problem (Definition 5.3 of the
+// paper): membership of one node in the query result, decided by the
+// LOGCFL procedure for pWF/pXPath queries.
+func ExampleQuery_Matches() {
+	doc, _ := xpc.ParseDocumentString(catalog)
+	books := doc.FindAll(func(n *xpc.Node) bool { return n.Name == "book" })
+	q := xpc.MustCompile("//book[position() = last()]")
+	for i, b := range books {
+		ok, _ := q.Matches(b)
+		fmt.Printf("book %d: %v\n", i+1, ok)
+	}
+	// Output:
+	// book 1: false
+	// book 2: false
+	// book 3: true
+}
+
+// ResultEquals decides the classical Success problem: does the query
+// evaluate to exactly this value?
+func ExampleQuery_ResultEquals() {
+	doc, _ := xpc.ParseDocumentString(catalog)
+	q := xpc.MustCompile("sum(//price)")
+	ok, _ := q.ResultEquals(xpc.RootContext(doc), xpc.Number(50))
+	fmt.Println(ok)
+	// Output:
+	// true
+}

@@ -1,0 +1,122 @@
+// Bookstore: a realistic catalog workload showing how the fragment
+// classifier routes everyday queries to the cheapest engine, and what the
+// paper's complexity map means for an application: most practical queries
+// land in the highly parallelizable fragments (the paper's thesis that
+// pXPath "contains most practical XPath queries").
+//
+// Run with: go run ./examples/bookstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	xpc "xpathcomplexity"
+	"xpathcomplexity/internal/xmltree"
+)
+
+func main() {
+	d := buildCatalog(400)
+	fmt.Printf("catalog: %d nodes\n\n", d.Size())
+
+	queries := []string{
+		// Navigation (PF).
+		"/catalog/section/book/title",
+		"//book/author",
+		// Filters (positive Core XPath).
+		"//book[author and price]",
+		"//section[book[award]]/title",
+		// Negation (Core XPath).
+		"//book[not(award)]",
+		"//section[not(book[not(price)])]",
+		// Positional (pWF).
+		"//book[position() = last()]",
+		"//section/book[1]",
+		// Value comparisons and strings (pXPath).
+		"//book[price < 15]/title",
+		"//book[starts-with(title, 'T')]",
+		"//book[@year = 2001]",
+		// Aggregates (full XPath).
+		"count(//book[award])",
+		"sum(//book[@year > 1990]/price) div count(//book[@year > 1990])",
+	}
+
+	fmt.Printf("%-58s %-20s %-16s %-10s %s\n", "query", "fragment", "complexity", "parallel?", "result")
+	fmt.Println(strings.Repeat("-", 130))
+	for _, src := range queries {
+		q, err := xpc.Compile(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := q.EvalRoot(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-58s %-20s %-16s %-10v %s\n",
+			src, q.Fragment(), q.ComplexityClass(), q.Fragment().Parallelizable(), summary(v))
+	}
+
+	// The practical payoff of the classification: engine cost per query.
+	fmt.Println("\nengine operation counts (auto picks the cheapest sound engine):")
+	fmt.Printf("%-42s %-12s %-12s %-12s\n", "query", "auto", "cvt", "naive")
+	for _, src := range []string{
+		"//book[not(award)]/title",
+		"//section/book[position() = last()]",
+		"//book[price < 15]",
+	} {
+		q := xpc.MustCompile(src)
+		row := []string{}
+		for _, e := range []xpc.Engine{xpc.EngineAuto, xpc.EngineCVT, xpc.EngineNaive} {
+			ctr := &xpc.Counter{Budget: 10_000_000}
+			if _, err := q.EvalOptions(xpc.RootContext(d), xpc.EvalOptions{Engine: e, Counter: ctr}); err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, fmt.Sprint(ctr.Ops))
+		}
+		fmt.Printf("%-42s %-12s %-12s %-12s\n", src, row[0], row[1], row[2])
+	}
+}
+
+// buildCatalog generates a deterministic synthetic catalog with nBooks
+// books across sections.
+func buildCatalog(nBooks int) *xpc.Document {
+	rng := rand.New(rand.NewSource(42))
+	titles := []string{"The Dispossessed", "Dune", "Teranesia", "Blindsight", "Norstrilia", "Solaris", "Ubik", "The Algebraist"}
+	authors := []string{"LeGuin", "Herbert", "Egan", "Watts", "Smith", "Lem", "Dick", "Banks"}
+	var sections []*xmltree.Node
+	var cur *xmltree.Node
+	for i := 0; i < nBooks; i++ {
+		if i%25 == 0 {
+			cur = xmltree.Elem("section", xmltree.Elem("title", xmltree.Text(fmt.Sprintf("Section %d", len(sections)+1))))
+			sections = append(sections, cur)
+		}
+		book := xmltree.Elem("book",
+			xmltree.Elem("title", xmltree.Text(titles[rng.Intn(len(titles))])),
+			xmltree.Elem("author", xmltree.Text(authors[rng.Intn(len(authors))])),
+			xmltree.Elem("price", xmltree.Text(fmt.Sprint(5+rng.Intn(40)))),
+		)
+		book.Attrs = append(book.Attrs, xmltree.Attr("year", fmt.Sprint(1960+rng.Intn(60))))
+		if rng.Intn(6) == 0 {
+			book.Children = append(book.Children, xmltree.Elem("award", xmltree.Text("Hugo")))
+		}
+		cur.Children = append(cur.Children, book)
+	}
+	return xmltree.NewDocument(xmltree.Elem("catalog", sections...))
+}
+
+func summary(v xpc.Value) string {
+	if ns, ok := v.(xpc.NodeSet); ok {
+		if len(ns) == 0 {
+			return "0 nodes"
+		}
+		first := ns[0].StringValue()
+		if len(first) > 24 {
+			first = first[:24]
+		}
+		return fmt.Sprintf("%d nodes (first: %q)", len(ns), first)
+	}
+	return fmt.Sprint(v)
+}

@@ -1,0 +1,90 @@
+// Quickstart: parse a document, compile a query, inspect its Figure 1
+// fragment and complexity class, and evaluate it with several engines.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xpc "xpathcomplexity"
+)
+
+const doc = `
+<library>
+  <book year="1994"><title>Dune</title><price>12</price></book>
+  <book year="2001"><title>Ptolemy's Almagest</title><price>30</price></book>
+  <book year="2001"><title>Norstrilia</title><price>8</price><note>used</note></book>
+</library>`
+
+func main() {
+	d, err := xpc.ParseDocumentString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compile classifies the query in the paper's fragment lattice.
+	queries := []string{
+		"/library/book/title",            // PF — NL-complete
+		"//book[note]",                   // positive Core XPath — LOGCFL-complete
+		"//book[not(note)]",              // Core XPath — P-complete
+		"//book[position() = last()]",    // pWF — LOGCFL-complete
+		"//book[title = 'Dune']",         // pXPath — LOGCFL-complete
+		"sum(//price) div count(//book)", // full XPath — P-complete
+	}
+	for _, src := range queries {
+		q, err := xpc.Compile(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := q.EvalRoot(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %-20s %-16s → %s\n",
+			src, q.Fragment(), q.ComplexityClass(), render(v))
+	}
+
+	// The same query through every applicable engine gives the same answer;
+	// the engines differ only in complexity.
+	q := xpc.MustCompile("//book[not(note)]/title")
+	fmt.Println("\nengines on", q.Source)
+	for _, e := range []xpc.Engine{xpc.EngineNaive, xpc.EngineCVT, xpc.EngineCoreLinear, xpc.EngineParallel} {
+		ctr := &xpc.Counter{}
+		v, err := q.EvalOptions(xpc.RootContext(d), xpc.EvalOptions{Engine: e, Counter: ctr})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-11s %-28s (%d ops)\n", e, render(v), ctr.Ops)
+	}
+
+	// Singleton-Success membership (Definition 5.3): is this node in the
+	// query result? For pWF/pXPath queries this runs the LOGCFL decision
+	// procedure without materializing node sets.
+	second := d.FindAll(func(n *xpc.Node) bool { return n.Name == "book" })[1]
+	member, err := xpc.MustCompile("//book[position() = 2]").Matches(second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSingleton-Success: second book ∈ //book[position() = 2]? %v\n", member)
+
+	// And the certificate behind that answer: the instantiated Table 1
+	// derivation whose polynomial size is the LOGCFL upper bound.
+	why, err := xpc.MustCompile("//book[position() = 2]").Why(second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n" + why)
+}
+
+func render(v xpc.Value) string {
+	if ns, ok := v.(xpc.NodeSet); ok {
+		out := fmt.Sprintf("%d node(s):", len(ns))
+		for _, n := range ns {
+			out += " " + n.StringValue()
+		}
+		return out
+	}
+	return fmt.Sprint(v)
+}

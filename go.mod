@@ -1,0 +1,3 @@
+module xpathcomplexity
+
+go 1.22

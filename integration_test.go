@@ -1,0 +1,362 @@
+package xpathcomplexity
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"xpathcomplexity/internal/circuit"
+	"xpathcomplexity/internal/eval/corelinear"
+	"xpathcomplexity/internal/eval/enginetest"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/eval/nauxpda"
+	"xpathcomplexity/internal/graph"
+	"xpathcomplexity/internal/reduction"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+// Integration: a full workload through the public API — parse a document,
+// compile queries across all fragments, evaluate with every applicable
+// engine, and assert pairwise agreement.
+func TestIntegrationEngineMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+		Nodes: 120, MaxFanout: 4, Tags: []string{"a", "b", "c", "d"}, TextProb: 0.3, AttrProb: 0.3,
+	})
+	queries := []struct {
+		src     string
+		engines []Engine
+	}{
+		{"//a/b", []Engine{EngineNaive, EngineCVT, EngineCoreLinear, EngineParallel}},
+		{"//a[b and not(c)]", []Engine{EngineNaive, EngineCVT, EngineCoreLinear, EngineParallel}},
+		{"//a[descendant::b[following-sibling::c]]", []Engine{EngineNaive, EngineCVT, EngineCoreLinear, EngineParallel}},
+		{"//b[position() = last()]", []Engine{EngineNaive, EngineCVT, EngineNAuxPDA}},
+		{"//a[b]/c[1]", []Engine{EngineNaive, EngineCVT, EngineNAuxPDA}},
+		{"//d[@id]", []Engine{EngineNaive, EngineCVT, EngineCoreLinear, EngineParallel}},
+	}
+	for _, tc := range queries {
+		q := MustCompile(tc.src)
+		var ref Value
+		for i, e := range tc.engines {
+			v, err := q.EvalOptions(RootContext(doc), EvalOptions{Engine: e, NegationBound: 4})
+			if err != nil {
+				t.Fatalf("%s via %v: %v", tc.src, e, err)
+			}
+			if i == 0 {
+				ref = v
+				continue
+			}
+			if !value.Equal(ref, v) {
+				t.Fatalf("%s: %v disagrees with %v:\n %v\n %v", tc.src, e, tc.engines[0], v, ref)
+			}
+		}
+	}
+}
+
+// Integration: reduction artifacts survive serialization. The Theorem 3.2
+// document (with Remark 3.1 label sets) is written to XML, re-parsed with
+// label restoration, and the query still decides the circuit.
+func TestIntegrationReductionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 10; trial++ {
+		c := circuit.RandomMonotone(rng, 3, 5, 3)
+		want, _, err := c.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := reduction.BuildTheorem32(c, reduction.Options32{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialized := red.Doc.XMLString()
+		parsed, err := xmltree.ParseString(serialized)
+		if err != nil {
+			t.Fatalf("reduction doc does not re-parse: %v\n%s", err, serialized)
+		}
+		restored := xmltree.ParseLabels(parsed)
+		got, err := corelinear.Evaluate(red.Expr, evalctx.Root(restored), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(got.(value.NodeSet)) > 0) != want {
+			t.Fatalf("round-tripped reduction wrong: circuit %v\n%s", want, serialized)
+		}
+	}
+}
+
+// Integration: golden artifacts. The exact Figure 2 / Figure 5 instances
+// are written to testdata once and pinned; regeneration must reproduce
+// them byte for byte (set -update to refresh).
+func TestIntegrationGoldenArtifacts(t *testing.T) {
+	update := os.Getenv("UPDATE_GOLDEN") == "1"
+	golden := func(name, got string) {
+		t.Helper()
+		path := filepath.Join("testdata", name)
+		if update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file %s (run with UPDATE_GOLDEN=1): %v", path, err)
+		}
+		if string(want) != got {
+			t.Errorf("%s drifted from golden content:\n--- got ---\n%.400s\n--- want ---\n%.400s", name, got, want)
+		}
+	}
+	// Figure 2 through Theorem 3.2 with inputs a=10, b=11.
+	red32, err := reduction.BuildTheorem32(circuit.CarryBit2(true, true, false, true), reduction.Options32{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden("figure2_theorem32_document.xml", red32.Doc.XMLString()+"\n")
+	golden("figure2_theorem32_query.txt", red32.Query+"\n")
+	// Figure 5 graph, v1 → v4.
+	red43, err := reduction.BuildTheorem43(graph.Figure5(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden("figure5_theorem43_document.xml", red43.Doc.XMLString()+"\n")
+	golden("figure5_theorem43_query.txt", red43.Query+"\n")
+}
+
+// Integration: the full decision pipeline — Compile, classify, fold,
+// decide membership via the LOGCFL engine, cross-checked against full
+// evaluation — over a realistic document.
+func TestIntegrationDecisionPipeline(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<feed>")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, `<entry idx="%d"><title>t%d</title>`, i, i)
+		if i%3 == 0 {
+			b.WriteString("<star/>")
+		}
+		b.WriteString("</entry>")
+	}
+	b.WriteString("</feed>")
+	doc, err := ParseDocumentString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{
+		"//entry[star]",
+		"//entry[title][star]",
+		"//entry[position() = last()]",
+		"//entry[@idx = 7]",
+	} {
+		q := MustCompile(src)
+		ns, err := q.Select(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		inResult := map[*Node]bool{}
+		for _, n := range ns {
+			inResult[n] = true
+		}
+		for _, n := range doc.FindAll(func(n *Node) bool { return n.Name == "entry" }) {
+			got, err := q.Matches(n)
+			if err != nil {
+				t.Fatalf("%s Matches: %v", src, err)
+			}
+			if got != inResult[n] {
+				t.Fatalf("%s: Matches(#%d) = %v, Select says %v", src, n.Ord, got, inResult[n])
+			}
+		}
+	}
+}
+
+// Integration: the complexity story end to end — the same reduction
+// instance drives all three upper-bound algorithms plus the literal
+// machine on a small case.
+func TestIntegrationFourWayAgreementOnReduction(t *testing.T) {
+	c := circuit.CarryBit2(true, false, true, true)
+	want, _, err := c.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := reduction.BuildTheorem32(c, reduction.Options32{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := evalctx.Root(red.Doc)
+	q := MustCompile(red.Query)
+	for _, e := range []Engine{EngineNaive, EngineCVT, EngineCoreLinear, EngineParallel} {
+		v, err := q.EvalOptions(ctx, EvalOptions{Engine: e, NegationBound: 16})
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if (len(v.(NodeSet)) > 0) != want {
+			t.Fatalf("%v wrong on reduction", e)
+		}
+	}
+	// The nauxpda *engine* requires the positive fragment; the reduction
+	// query uses unbounded negation depth proportional to the circuit, so
+	// it must be accepted only under a sufficient bound.
+	if _, err := nauxpda.Evaluate(parser.MustParse(red.Query), ctx, nauxpda.Options{Limits: nauxpda.Limits{NegationDepth: 64}}); err != nil {
+		t.Fatalf("nauxpda with generous bound: %v", err)
+	}
+	if _, err := nauxpda.Evaluate(parser.MustParse(red.Query), ctx, nauxpda.Options{}); err == nil {
+		t.Fatal("nauxpda without negation bound should reject the Theorem 3.2 query")
+	}
+}
+
+// Algebraic laws every engine must satisfy, checked with testing/quick
+// over random documents and random Core XPath queries:
+//
+//	eval(a | b) = eval(b | a)                 (union commutes)
+//	eval(a | a) = eval(a)                     (union idempotent)
+//	eval twice = eval once                    (engines are pure)
+//	result ⊆ document nodes, in document order
+func TestIntegrationEngineLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(2222))
+	doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+		Nodes: 40, MaxFanout: 3, Tags: []string{"a", "b", "c"},
+	})
+	ctx := RootContext(doc)
+	gen := enginetest.NewQueryGen(rng, enginetest.GenCore)
+	for trial := 0; trial < 120; trial++ {
+		qa, qb := gen.Query(), gen.Query()
+		a := parser.MustParse(qa)
+		b := parser.MustParse(qb)
+		union1 := &ast.Binary{Op: ast.OpUnion, Left: a, Right: b}
+		union2 := &ast.Binary{Op: ast.OpUnion, Left: b, Right: a}
+		self := &ast.Binary{Op: ast.OpUnion, Left: a, Right: a}
+		v1, err := corelinear.Evaluate(union1, ctx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := corelinear.Evaluate(union2, ctx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(v1, v2) {
+			t.Fatalf("union not commutative: %q | %q", qa, qb)
+		}
+		vs, err := corelinear.Evaluate(self, ctx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va, err := corelinear.Evaluate(a, ctx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(vs, va) {
+			t.Fatalf("union not idempotent: %q", qa)
+		}
+		// Purity and document-order invariants.
+		va2, err := corelinear.Evaluate(a, ctx, nil)
+		if err != nil || !value.Equal(va, va2) {
+			t.Fatalf("engine not pure on %q: %v", qa, err)
+		}
+		ns := va.(value.NodeSet)
+		for i := 1; i < len(ns); i++ {
+			if ns[i-1].Ord >= ns[i].Ord {
+				t.Fatalf("result not in document order for %q", qa)
+			}
+		}
+		for _, n := range ns {
+			if n.Document() != doc {
+				t.Fatalf("foreign node in result of %q", qa)
+			}
+		}
+	}
+}
+
+// Absolute queries are context-independent: evaluating /π from any node
+// of the document yields the same result (the "absolute-ignores-context"
+// law behind the backwardPath root handling).
+func TestIntegrationAbsoluteContextIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3333))
+	doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+		Nodes: 25, MaxFanout: 3, Tags: []string{"a", "b", "c"},
+	})
+	gen := enginetest.NewQueryGen(rng, enginetest.GenCore)
+	for trial := 0; trial < 60; trial++ {
+		q := "/" + gen.Query()
+		expr, err := parser.Parse(q)
+		if err != nil || ast.StaticType(expr) != ast.TypeNodeSet {
+			continue
+		}
+		ref, err := corelinear.Evaluate(expr, RootContext(doc), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, len(doc.Nodes) / 2, len(doc.Nodes) - 1} {
+			got, err := corelinear.Evaluate(expr, At(doc.Nodes[n]), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !value.Equal(ref, got) {
+				t.Fatalf("absolute query %q depends on context node #%d", q, n)
+			}
+		}
+	}
+}
+
+// Documents are immutable after construction and engines are stateless
+// across calls, so one compiled query must be safely usable from many
+// goroutines (run under -race in CI).
+func TestIntegrationConcurrentEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4444))
+	doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+		Nodes: 200, MaxFanout: 4, Tags: []string{"a", "b", "c"}, AttrProb: 0.2,
+	})
+	queries := []*Query{
+		MustCompile("//a[b and not(c)]"),
+		MustCompile("//b[position() = last()]"),
+		MustCompile("count(//c)"),
+		MustCompile("//a/descendant::b[following-sibling::c]"),
+	}
+	refs := make([]Value, len(queries))
+	for i, q := range queries {
+		v, err := q.EvalRoot(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = v
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				qi := (g + i) % len(queries)
+				engines := []Engine{EngineAuto, EngineCVT, EngineNaive}
+				if qi == 0 || qi == 3 {
+					engines = append(engines, EngineParallel) // Core XPath only
+				}
+				v, err := queries[qi].EvalOptions(RootContext(doc), EvalOptions{
+					Engine:        engines[i%len(engines)],
+					NegationBound: 4,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !value.Equal(v, refs[qi]) {
+					errs <- fmt.Errorf("goroutine %d: result drift on query %d", g, qi)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,281 @@
+// Package axes implements the twelve XPath 1.0 axes (namespace excluded)
+// over the xmltree document model, together with node-test matching and
+// proximity-position ordering for reverse axes.
+//
+// Two access styles are provided:
+//
+//   - Nodes / Select return materialized slices, used by the naive and cvt
+//     evaluators;
+//   - Reachable and CountSelect answer membership and position/size queries
+//     without materializing the node set, which is what makes the nauxpda
+//     evaluator's worktape logarithmic (cf. the χ::t[e] row of Table 1:
+//     "checking r ∈ Y and determining the position of r in Y and the size
+//     of Y can be done without explicitly computing the node set Y").
+package axes
+
+import (
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// MatchTest reports whether node n passes node test t under axis a. The
+// principal node type is attribute for the attribute axis and element
+// otherwise (XPath 1.0 §2.3).
+func MatchTest(a ast.Axis, n *xmltree.Node, t ast.NodeTest) bool {
+	principal := xmltree.ElementNode
+	if a == ast.AxisAttribute {
+		principal = xmltree.AttributeNode
+	}
+	switch t.Kind {
+	case ast.TestName:
+		return n.Type == principal && n.Name == t.Name
+	case ast.TestStar:
+		return n.Type == principal
+	case ast.TestText:
+		return n.Type == xmltree.TextNode
+	case ast.TestComment:
+		return n.Type == xmltree.CommentNode
+	case ast.TestPI:
+		return n.Type == xmltree.ProcInstNode && (t.Name == "" || n.Name == t.Name)
+	case ast.TestNode:
+		return true
+	default:
+		return false
+	}
+}
+
+// Nodes returns the nodes on axis a from context node n, in document order.
+func Nodes(a ast.Axis, n *xmltree.Node) []*xmltree.Node {
+	switch a {
+	case ast.AxisSelf:
+		return []*xmltree.Node{n}
+	case ast.AxisChild:
+		return n.Children
+	case ast.AxisParent:
+		if n.Parent == nil {
+			return nil
+		}
+		return []*xmltree.Node{n.Parent}
+	case ast.AxisDescendant:
+		var out []*xmltree.Node
+		appendDescendants(n, &out)
+		return out
+	case ast.AxisDescendantOrSelf:
+		out := []*xmltree.Node{n}
+		appendDescendants(n, &out)
+		return out
+	case ast.AxisAncestor:
+		return ancestors(n, false)
+	case ast.AxisAncestorOrSelf:
+		return ancestors(n, true)
+	case ast.AxisFollowingSibling:
+		return followingSiblings(n)
+	case ast.AxisPrecedingSibling:
+		return precedingSiblings(n)
+	case ast.AxisFollowing:
+		return following(n)
+	case ast.AxisPreceding:
+		return preceding(n)
+	case ast.AxisAttribute:
+		return n.Attrs
+	default:
+		return nil
+	}
+}
+
+func appendDescendants(n *xmltree.Node, out *[]*xmltree.Node) {
+	for _, c := range n.Children {
+		*out = append(*out, c)
+		appendDescendants(c, out)
+	}
+}
+
+// ancestors returns ancestors in document order (root first).
+func ancestors(n *xmltree.Node, orSelf bool) []*xmltree.Node {
+	var rev []*xmltree.Node
+	if orSelf {
+		rev = append(rev, n)
+	}
+	for p := n.Parent; p != nil; p = p.Parent {
+		rev = append(rev, p)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func followingSiblings(n *xmltree.Node) []*xmltree.Node {
+	if n.Parent == nil || n.Type == xmltree.AttributeNode {
+		return nil
+	}
+	sibs := n.Parent.Children
+	return sibs[n.SiblingIdx+1:]
+}
+
+func precedingSiblings(n *xmltree.Node) []*xmltree.Node {
+	if n.Parent == nil || n.Type == xmltree.AttributeNode {
+		return nil
+	}
+	return n.Parent.Children[:n.SiblingIdx]
+}
+
+// following returns all nodes after n in document order, excluding n's
+// descendants and all attribute nodes (XPath 1.0 §2.2). For an attribute
+// context node this includes the owner's children: an attribute precedes
+// them in document order and has no descendants.
+func following(n *xmltree.Node) []*xmltree.Node {
+	doc := n.Document()
+	var out []*xmltree.Node
+	for _, m := range doc.Nodes {
+		if m.Type == xmltree.AttributeNode {
+			continue
+		}
+		if reachFollowing(n, m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// preceding returns all nodes before n in document order, excluding n's
+// ancestors and all attribute nodes (XPath 1.0 §2.2).
+func preceding(n *xmltree.Node) []*xmltree.Node {
+	doc := n.Document()
+	var out []*xmltree.Node
+	for _, m := range doc.Nodes {
+		if m.Ord >= n.Ord {
+			break
+		}
+		if m.Type == xmltree.AttributeNode {
+			continue
+		}
+		if reachPreceding(n, m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func reachFollowing(n, m *xmltree.Node) bool {
+	if m.Type == xmltree.AttributeNode {
+		return false
+	}
+	if n.Type == xmltree.AttributeNode {
+		return m.Ord > n.Ord
+	}
+	return m.Pre > n.Pre && !n.IsAncestorOf(m)
+}
+
+func reachPreceding(n, m *xmltree.Node) bool {
+	if m.Type == xmltree.AttributeNode || m.Ord >= n.Ord {
+		return false
+	}
+	return !m.IsAncestorOf(n)
+}
+
+// Select returns the nodes selected by axis::test from n, in document
+// order.
+func Select(a ast.Axis, t ast.NodeTest, n *xmltree.Node) []*xmltree.Node {
+	all := Nodes(a, n)
+	out := make([]*xmltree.Node, 0, len(all))
+	for _, m := range all {
+		if MatchTest(a, m, t) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// SelectProximity returns the nodes selected by axis::test from n in
+// proximity order: document order for forward axes, reverse document order
+// for reverse axes. Proximity position k corresponds to index k-1.
+func SelectProximity(a ast.Axis, t ast.NodeTest, n *xmltree.Node) []*xmltree.Node {
+	out := Select(a, t, n)
+	if a.IsReverse() {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}
+
+// Reachable reports whether m is reachable from n via axis a (ignoring node
+// tests), using interval arithmetic rather than materialization wherever
+// possible.
+func Reachable(a ast.Axis, n, m *xmltree.Node) bool {
+	switch a {
+	case ast.AxisSelf:
+		return n == m
+	case ast.AxisChild:
+		return m.Parent == n && m.Type != xmltree.AttributeNode
+	case ast.AxisParent:
+		return n.Parent == m
+	case ast.AxisDescendant:
+		return m.Type != xmltree.AttributeNode && n.IsAncestorOf(m)
+	case ast.AxisDescendantOrSelf:
+		return n == m || (m.Type != xmltree.AttributeNode && n.IsAncestorOf(m))
+	case ast.AxisAncestor:
+		return m.IsAncestorOf(n)
+	case ast.AxisAncestorOrSelf:
+		return n == m || m.IsAncestorOf(n)
+	case ast.AxisFollowingSibling:
+		return n.Parent != nil && m.Parent == n.Parent &&
+			n.Type != xmltree.AttributeNode && m.Type != xmltree.AttributeNode &&
+			m.SiblingIdx > n.SiblingIdx
+	case ast.AxisPrecedingSibling:
+		return n.Parent != nil && m.Parent == n.Parent &&
+			n.Type != xmltree.AttributeNode && m.Type != xmltree.AttributeNode &&
+			m.SiblingIdx < n.SiblingIdx
+	case ast.AxisFollowing:
+		return reachFollowing(n, m)
+	case ast.AxisPreceding:
+		return reachPreceding(n, m)
+	case ast.AxisAttribute:
+		return m.Type == xmltree.AttributeNode && m.Parent == n
+	default:
+		return false
+	}
+}
+
+// ReachableTest reports whether m is reachable from n via axis::test.
+func ReachableTest(a ast.Axis, t ast.NodeTest, n, m *xmltree.Node) bool {
+	return Reachable(a, n, m) && MatchTest(a, m, t)
+}
+
+// CountSelect returns the size of the node set axis::test from n and the
+// proximity position of member m within it (0 when m is not a member),
+// scanning the document once without materializing the set. This is the
+// logarithmic-space position/size computation used by the nauxpda engine.
+func CountSelect(a ast.Axis, t ast.NodeTest, n, m *xmltree.Node) (pos, size int) {
+	doc := n.Document()
+	for _, cand := range doc.Nodes {
+		if ReachableTest(a, t, n, cand) {
+			size++
+			if a.IsReverse() {
+				continue
+			}
+			if cand == m {
+				pos = size
+			}
+		}
+	}
+	if a.IsReverse() && size > 0 {
+		// Proximity order is reverse document order: re-scan counting from
+		// the far end. Position of m = size - (#members before m in doc
+		// order).
+		before := 0
+		for _, cand := range doc.Nodes {
+			if cand == m {
+				if ReachableTest(a, t, n, cand) {
+					pos = size - before
+				}
+				break
+			}
+			if ReachableTest(a, t, n, cand) {
+				before++
+			}
+		}
+	}
+	return pos, size
+}

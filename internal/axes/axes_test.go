@@ -1,0 +1,253 @@
+package axes
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// The running example document used across axis tests:
+//
+//	<a>
+//	  <b i="1"><c/><d/></b>
+//	  <e><f/>text</e>
+//	  <g/>
+//	</a>
+func testDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(`<a><b i="1"><c/><d/></b><e><f/>tx</e><g/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func names(nodes []*xmltree.Node) string {
+	var parts []string
+	for _, n := range nodes {
+		switch n.Type {
+		case xmltree.RootNode:
+			parts = append(parts, "/")
+		case xmltree.AttributeNode:
+			parts = append(parts, "@"+n.Name)
+		case xmltree.TextNode:
+			parts = append(parts, "#"+n.Data)
+		default:
+			parts = append(parts, n.Name)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestAxisNodes(t *testing.T) {
+	d := testDoc(t)
+	get := func(n string) *xmltree.Node { return d.FindFirstElement(n) }
+	a, b, c, e, f, g := get("a"), get("b"), get("c"), get("e"), get("f"), get("g")
+	dd := get("d")
+	cases := []struct {
+		axis ast.Axis
+		from *xmltree.Node
+		want string
+	}{
+		{ast.AxisSelf, b, "b"},
+		{ast.AxisChild, a, "b e g"},
+		{ast.AxisChild, b, "c d"},
+		{ast.AxisChild, c, ""},
+		{ast.AxisParent, c, "b"},
+		{ast.AxisParent, d.Root, ""},
+		{ast.AxisDescendant, a, "b c d e f #tx g"},
+		{ast.AxisDescendant, b, "c d"},
+		{ast.AxisDescendantOrSelf, b, "b c d"},
+		{ast.AxisAncestor, c, "/ a b"},
+		{ast.AxisAncestorOrSelf, c, "/ a b c"},
+		{ast.AxisAncestor, d.Root, ""},
+		{ast.AxisFollowingSibling, b, "e g"},
+		{ast.AxisFollowingSibling, g, ""},
+		{ast.AxisPrecedingSibling, g, "b e"},
+		{ast.AxisPrecedingSibling, b, ""},
+		{ast.AxisFollowing, b, "e f #tx g"},
+		{ast.AxisFollowing, dd, "e f #tx g"},
+		{ast.AxisFollowing, f, "#tx g"},
+		{ast.AxisPreceding, e, "b c d"},
+		{ast.AxisPreceding, g, "b c d e f #tx"},
+		{ast.AxisPreceding, b, ""},
+		{ast.AxisAttribute, b, "@i"},
+		{ast.AxisAttribute, a, ""},
+	}
+	for _, tc := range cases {
+		if got := names(Nodes(tc.axis, tc.from)); got != tc.want {
+			t.Errorf("%v from %s = %q, want %q", tc.axis, names([]*xmltree.Node{tc.from}), got, tc.want)
+		}
+	}
+	_ = e
+	_ = c
+}
+
+func TestAttributeContextAxes(t *testing.T) {
+	d := testDoc(t)
+	b := d.FindFirstElement("b")
+	at := b.Attrs[0]
+	// The attribute precedes b's children in document order, so they are on
+	// its following axis.
+	if got := names(Nodes(ast.AxisFollowing, at)); got != "c d e f #tx g" {
+		t.Errorf("following(@i) = %q", got)
+	}
+	if got := names(Nodes(ast.AxisAncestor, at)); got != "/ a b" {
+		t.Errorf("ancestor(@i) = %q", got)
+	}
+	if got := names(Nodes(ast.AxisParent, at)); got != "b" {
+		t.Errorf("parent(@i) = %q", got)
+	}
+	if got := names(Nodes(ast.AxisChild, at)); got != "" {
+		t.Errorf("child(@i) = %q", got)
+	}
+	if got := names(Nodes(ast.AxisFollowingSibling, at)); got != "" {
+		t.Errorf("following-sibling(@i) = %q", got)
+	}
+}
+
+func TestMatchTest(t *testing.T) {
+	d := testDoc(t)
+	b := d.FindFirstElement("b")
+	at := b.Attrs[0]
+	txt := d.FindAll(func(n *xmltree.Node) bool { return n.Type == xmltree.TextNode })[0]
+	cases := []struct {
+		axis ast.Axis
+		n    *xmltree.Node
+		test ast.NodeTest
+		want bool
+	}{
+		{ast.AxisChild, b, ast.NodeTest{Kind: ast.TestName, Name: "b"}, true},
+		{ast.AxisChild, b, ast.NodeTest{Kind: ast.TestName, Name: "x"}, false},
+		{ast.AxisChild, b, ast.NodeTest{Kind: ast.TestStar}, true},
+		{ast.AxisChild, txt, ast.NodeTest{Kind: ast.TestStar}, false},
+		{ast.AxisChild, txt, ast.NodeTest{Kind: ast.TestText}, true},
+		{ast.AxisChild, txt, ast.NodeTest{Kind: ast.TestNode}, true},
+		{ast.AxisChild, at, ast.NodeTest{Kind: ast.TestStar}, false},
+		{ast.AxisAttribute, at, ast.NodeTest{Kind: ast.TestStar}, true},
+		{ast.AxisAttribute, at, ast.NodeTest{Kind: ast.TestName, Name: "i"}, true},
+		{ast.AxisAttribute, b, ast.NodeTest{Kind: ast.TestStar}, false},
+	}
+	for i, tc := range cases {
+		if got := MatchTest(tc.axis, tc.n, tc.test); got != tc.want {
+			t.Errorf("case %d: MatchTest = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestSelectProximityReverse(t *testing.T) {
+	d := testDoc(t)
+	c := d.FindFirstElement("c")
+	// ancestor-or-self from c in proximity order: c, b, a, root.
+	got := SelectProximity(ast.AxisAncestorOrSelf, ast.NodeTest{Kind: ast.TestNode}, c)
+	if names(got) != "c b a /" {
+		t.Errorf("proximity ancestor-or-self = %q", names(got))
+	}
+	// Forward axis keeps document order.
+	a := d.FindFirstElement("a")
+	got = SelectProximity(ast.AxisChild, ast.NodeTest{Kind: ast.TestStar}, a)
+	if names(got) != "b e g" {
+		t.Errorf("proximity child = %q", names(got))
+	}
+}
+
+// Property: Reachable agrees with membership in Nodes for every axis and
+// every node pair of random documents.
+func TestReachableAgreesWithNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	allAxes := []ast.Axis{
+		ast.AxisSelf, ast.AxisChild, ast.AxisParent, ast.AxisDescendant,
+		ast.AxisDescendantOrSelf, ast.AxisAncestor, ast.AxisAncestorOrSelf,
+		ast.AxisFollowing, ast.AxisFollowingSibling, ast.AxisPreceding,
+		ast.AxisPrecedingSibling, ast.AxisAttribute,
+	}
+	for trial := 0; trial < 10; trial++ {
+		d := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: 40, MaxFanout: 4, AttrProb: 0.3, TextProb: 0.2})
+		for _, axis := range allAxes {
+			for _, n := range d.Nodes {
+				member := make(map[*xmltree.Node]bool)
+				for _, m := range Nodes(axis, n) {
+					member[m] = true
+				}
+				for _, m := range d.Nodes {
+					if got := Reachable(axis, n, m); got != member[m] {
+						t.Fatalf("Reachable(%v, #%d, #%d) = %v, membership = %v",
+							axis, n.Ord, m.Ord, got, member[m])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: CountSelect agrees with positions in the materialized
+// proximity-ordered selection.
+func TestCountSelectAgreesWithMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tests := []ast.NodeTest{
+		{Kind: ast.TestStar},
+		{Kind: ast.TestName, Name: "a"},
+		{Kind: ast.TestNode},
+	}
+	allAxes := []ast.Axis{
+		ast.AxisChild, ast.AxisDescendant, ast.AxisAncestorOrSelf,
+		ast.AxisFollowing, ast.AxisPreceding, ast.AxisFollowingSibling,
+		ast.AxisPrecedingSibling, ast.AxisSelf, ast.AxisParent,
+	}
+	for trial := 0; trial < 6; trial++ {
+		d := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: 30, MaxFanout: 3})
+		for _, axis := range allAxes {
+			for _, test := range tests {
+				for _, n := range d.Nodes {
+					sel := SelectProximity(axis, test, n)
+					wantPos := make(map[*xmltree.Node]int)
+					for i, m := range sel {
+						wantPos[m] = i + 1
+					}
+					for _, m := range d.Nodes {
+						pos, size := CountSelect(axis, test, n, m)
+						if size != len(sel) {
+							t.Fatalf("CountSelect size = %d, want %d (axis %v)", size, len(sel), axis)
+						}
+						if pos != wantPos[m] {
+							t.Fatalf("CountSelect pos(#%d) = %d, want %d (axis %v, test %v, from #%d)",
+								m.Ord, pos, wantPos[m], axis, test, n.Ord)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The symmetry laws of the axes: following/preceding partition the
+// document (minus ancestors, descendants, self and attributes).
+func TestAxisPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: 50, MaxFanout: 4})
+	for _, n := range d.Nodes {
+		if n.Type == xmltree.AttributeNode {
+			continue
+		}
+		seen := make(map[*xmltree.Node]int)
+		for _, axis := range []ast.Axis{
+			ast.AxisSelf, ast.AxisAncestor, ast.AxisDescendant,
+			ast.AxisFollowing, ast.AxisPreceding,
+		} {
+			for _, m := range Nodes(axis, n) {
+				seen[m]++
+			}
+		}
+		for _, m := range d.Nodes {
+			if m.Type == xmltree.AttributeNode {
+				continue
+			}
+			if seen[m] != 1 {
+				t.Fatalf("node #%d covered %d times from #%d; self|ancestor|descendant|following|preceding must partition", m.Ord, seen[m], n.Ord)
+			}
+		}
+	}
+}

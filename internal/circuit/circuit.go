@@ -1,0 +1,402 @@
+// Package circuit implements monotone boolean circuits, the circuit value
+// problem, SAC¹ (semi-unbounded) circuits, and the layered "serialized"
+// circuit view of Figure 3 — the source problems of the paper's hardness
+// reductions:
+//
+//   - monotone circuit value is P-complete and reduces to Core XPath
+//     evaluation (Theorem 3.2);
+//   - SAC¹ circuit value is LOGCFL-complete (Proposition 2.2) and reduces
+//     to positive Core XPath evaluation (Theorem 4.2);
+//   - the same monotone circuits reduce to pWF+iterated-predicates
+//     evaluation (Theorem 5.7).
+//
+// Circuits follow the paper's conventions: gates are named G1..G(M+N)
+// (0-indexed internally), the M input gates come first, gates are
+// topologically ordered (no gate depends on a later gate), and the output
+// is the last gate. Normalize establishes this form for arbitrarily built
+// circuits — the paper's footnote 6 ("the gates can be sorted to adhere to
+// such an ordering in logarithmic space").
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates gate kinds of a monotone circuit.
+type Kind int
+
+// Gate kinds. Monotone circuits have no NOT gates.
+const (
+	// Input is a circuit input gate carrying a boolean value.
+	Input Kind = iota
+	// And is a conjunction gate of arbitrary fan-in ≥ 1.
+	And
+	// Or is a disjunction gate of arbitrary fan-in ≥ 1.
+	Or
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Input:
+		return "input"
+	case And:
+		return "and"
+	case Or:
+		return "or"
+	default:
+		return "invalid"
+	}
+}
+
+// Gate is a single gate. Inputs are indices of earlier gates (after
+// Normalize).
+type Gate struct {
+	Kind   Kind
+	Inputs []int
+	// Value is the assigned input value (Input gates only).
+	Value bool
+	// Name is an optional human-readable label (e.g. "a1" in Figure 2).
+	Name string
+}
+
+// Circuit is a boolean circuit with a distinguished output gate.
+type Circuit struct {
+	// Gates in construction order; after Normalize, topological order
+	// with inputs first and the output last.
+	Gates []Gate
+	// Output is the index of the output gate.
+	Output int
+}
+
+// New returns an empty circuit.
+func New() *Circuit { return &Circuit{Output: -1} }
+
+// AddInput appends an input gate and returns its index.
+func (c *Circuit) AddInput(name string, val bool) int {
+	c.Gates = append(c.Gates, Gate{Kind: Input, Value: val, Name: name})
+	return len(c.Gates) - 1
+}
+
+// AddAnd appends an AND gate over the given gate indices.
+func (c *Circuit) AddAnd(inputs ...int) int {
+	c.Gates = append(c.Gates, Gate{Kind: And, Inputs: inputs})
+	return len(c.Gates) - 1
+}
+
+// AddOr appends an OR gate over the given gate indices.
+func (c *Circuit) AddOr(inputs ...int) int {
+	c.Gates = append(c.Gates, Gate{Kind: Or, Inputs: inputs})
+	return len(c.Gates) - 1
+}
+
+// SetOutput designates the output gate.
+func (c *Circuit) SetOutput(g int) { c.Output = g }
+
+// NumInputs returns the number of input gates (the paper's M).
+func (c *Circuit) NumInputs() int {
+	m := 0
+	for _, g := range c.Gates {
+		if g.Kind == Input {
+			m++
+		}
+	}
+	return m
+}
+
+// NumNonInputs returns the number of non-input gates (the paper's N).
+func (c *Circuit) NumNonInputs() int { return len(c.Gates) - c.NumInputs() }
+
+// Validate checks structural sanity: a designated output, inputs without
+// fan-in, non-inputs with fan-in ≥ 1 referencing valid gates, and
+// acyclicity.
+func (c *Circuit) Validate() error {
+	if c.Output < 0 || c.Output >= len(c.Gates) {
+		return fmt.Errorf("circuit: invalid output gate %d", c.Output)
+	}
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case Input:
+			if len(g.Inputs) != 0 {
+				return fmt.Errorf("circuit: input gate G%d has fan-in", i+1)
+			}
+		case And, Or:
+			if len(g.Inputs) == 0 {
+				return fmt.Errorf("circuit: gate G%d has fan-in 0", i+1)
+			}
+			for _, in := range g.Inputs {
+				if in < 0 || in >= len(c.Gates) {
+					return fmt.Errorf("circuit: gate G%d references invalid gate %d", i+1, in)
+				}
+			}
+		default:
+			return fmt.Errorf("circuit: gate G%d has invalid kind", i+1)
+		}
+	}
+	// Acyclicity via DFS.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(c.Gates))
+	var visit func(int) error
+	visit = func(i int) error {
+		color[i] = gray
+		for _, in := range c.Gates[i].Inputs {
+			switch color[in] {
+			case gray:
+				return fmt.Errorf("circuit: cycle through gate G%d", in+1)
+			case white:
+				if err := visit(in); err != nil {
+					return err
+				}
+			}
+		}
+		color[i] = black
+		return nil
+	}
+	for i := range c.Gates {
+		if color[i] == white {
+			if err := visit(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// IsNormalized reports whether gates are topologically ordered with all
+// inputs first and the output last — the paper's naming convention.
+func (c *Circuit) IsNormalized() bool {
+	m := c.NumInputs()
+	for i, g := range c.Gates {
+		if (i < m) != (g.Kind == Input) {
+			return false
+		}
+		for _, in := range g.Inputs {
+			if in >= i {
+				return false
+			}
+		}
+	}
+	return c.Output == len(c.Gates)-1
+}
+
+// Normalize returns an equivalent circuit in the paper's convention:
+// gates reachable from the output only, inputs first, topologically
+// sorted, output last. All input gates are kept (even unused ones) so that
+// input vectors keep their meaning.
+func (c *Circuit) Normalize() (*Circuit, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	// Reachability from the output.
+	needed := make([]bool, len(c.Gates))
+	var mark func(int)
+	mark = func(i int) {
+		if needed[i] {
+			return
+		}
+		needed[i] = true
+		for _, in := range c.Gates[i].Inputs {
+			mark(in)
+		}
+	}
+	mark(c.Output)
+	for i, g := range c.Gates {
+		if g.Kind == Input {
+			needed[i] = true
+		}
+	}
+	// Topological order: inputs first (original order), then non-inputs in
+	// dependency order, output last among its dependents by construction
+	// (nothing needed depends on the output).
+	order := make([]int, 0, len(c.Gates))
+	state := make([]int, len(c.Gates)) // 0 unvisited, 1 in stack, 2 done
+	var topo func(int) error
+	topo = func(i int) error {
+		if state[i] == 2 {
+			return nil
+		}
+		if state[i] == 1 {
+			return fmt.Errorf("circuit: cycle through gate G%d", i+1)
+		}
+		state[i] = 1
+		for _, in := range c.Gates[i].Inputs {
+			if err := topo(in); err != nil {
+				return err
+			}
+		}
+		state[i] = 2
+		if c.Gates[i].Kind != Input {
+			order = append(order, i)
+		}
+		return nil
+	}
+	var inputs []int
+	for i, g := range c.Gates {
+		if g.Kind == Input {
+			inputs = append(inputs, i)
+		}
+	}
+	for i := range c.Gates {
+		if needed[i] && c.Gates[i].Kind != Input && i != c.Output {
+			if err := topo(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := topo(c.Output); err != nil {
+		return nil, err
+	}
+	// Move the output to the end (nothing reachable depends on it).
+	for k, i := range order {
+		if i == c.Output {
+			order = append(order[:k], order[k+1:]...)
+			break
+		}
+	}
+	order = append(order, c.Output)
+	full := append(append([]int{}, inputs...), order...)
+	remap := make(map[int]int, len(full))
+	for newIdx, oldIdx := range full {
+		remap[oldIdx] = newIdx
+	}
+	out := New()
+	for _, oldIdx := range full {
+		g := c.Gates[oldIdx]
+		ng := Gate{Kind: g.Kind, Value: g.Value, Name: g.Name}
+		for _, in := range g.Inputs {
+			ng.Inputs = append(ng.Inputs, remap[in])
+		}
+		out.Gates = append(out.Gates, ng)
+	}
+	out.Output = remap[c.Output]
+	if !out.IsNormalized() {
+		return nil, fmt.Errorf("circuit: normalization failed (internal error)")
+	}
+	return out, nil
+}
+
+// SetInputs assigns values to the input gates in order. The slice length
+// must equal NumInputs.
+func (c *Circuit) SetInputs(vals []bool) error {
+	m := 0
+	for i := range c.Gates {
+		if c.Gates[i].Kind != Input {
+			continue
+		}
+		if m >= len(vals) {
+			return fmt.Errorf("circuit: %d input values for %d inputs", len(vals), c.NumInputs())
+		}
+		c.Gates[i].Value = vals[m]
+		m++
+	}
+	if m != len(vals) {
+		return fmt.Errorf("circuit: %d input values for %d inputs", len(vals), m)
+	}
+	return nil
+}
+
+// Eval solves the circuit value problem: it returns the output value and
+// the value of every gate.
+func (c *Circuit) Eval() (bool, []bool, error) {
+	if err := c.Validate(); err != nil {
+		return false, nil, err
+	}
+	vals := make([]bool, len(c.Gates))
+	done := make([]bool, len(c.Gates))
+	var ev func(int) bool
+	ev = func(i int) bool {
+		if done[i] {
+			return vals[i]
+		}
+		done[i] = true
+		g := c.Gates[i]
+		switch g.Kind {
+		case Input:
+			vals[i] = g.Value
+		case And:
+			vals[i] = true
+			for _, in := range g.Inputs {
+				if !ev(in) {
+					vals[i] = false
+				}
+			}
+		case Or:
+			vals[i] = false
+			for _, in := range g.Inputs {
+				if ev(in) {
+					vals[i] = true
+				}
+			}
+		}
+		return vals[i]
+	}
+	for i := range c.Gates {
+		ev(i)
+	}
+	return vals[c.Output], vals, nil
+}
+
+// Depth returns the longest input-to-output path length (edges), the depth
+// relevant to the SAC¹ condition.
+func (c *Circuit) Depth() int {
+	depth := make([]int, len(c.Gates))
+	done := make([]bool, len(c.Gates))
+	var d func(int) int
+	d = func(i int) int {
+		if done[i] {
+			return depth[i]
+		}
+		done[i] = true
+		max := 0
+		for _, in := range c.Gates[i].Inputs {
+			if dd := d(in) + 1; dd > max {
+				max = dd
+			}
+		}
+		depth[i] = max
+		return max
+	}
+	return d(c.Output)
+}
+
+// IsSemiUnbounded reports whether the circuit satisfies the SAC¹ gate
+// condition: monotone with AND fan-in at most 2 (OR fan-in unrestricted).
+func (c *Circuit) IsSemiUnbounded() bool {
+	for _, g := range c.Gates {
+		if g.Kind == And && len(g.Inputs) > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the circuit in a readable form, e.g.
+// "G5 = and(G1, G2)".
+func (c *Circuit) String() string {
+	var b strings.Builder
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case Input:
+			fmt.Fprintf(&b, "G%d = input(%v)", i+1, g.Value)
+			if g.Name != "" {
+				fmt.Fprintf(&b, " %q", g.Name)
+			}
+		default:
+			names := make([]string, len(g.Inputs))
+			for j, in := range g.Inputs {
+				names[j] = fmt.Sprintf("G%d", in+1)
+			}
+			fmt.Fprintf(&b, "G%d = %s(%s)", i+1, g.Kind, strings.Join(names, ", "))
+		}
+		if i == c.Output {
+			b.WriteString(" [output]")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,286 @@
+package circuit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// EXP-F2: the exact Figure 2 circuit computes the 2-bit adder carry for
+// all 16 input combinations.
+func TestCarryBitCircuitAllInputs(t *testing.T) {
+	for mask := 0; mask < 16; mask++ {
+		a1 := mask&1 != 0
+		b1 := mask&2 != 0
+		a0 := mask&4 != 0
+		b0 := mask&8 != 0
+		c := CarryBit2(a1, b1, a0, b0)
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := c.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := CarryReference([]bool{a0, a1}, []bool{b0, b1})
+		if got != want {
+			t.Errorf("carry(a=%v%v b=%v%v) = %v, want %v", a1, a0, b1, b0, got, want)
+		}
+	}
+}
+
+func TestCarryBit2Shape(t *testing.T) {
+	c := CarryBit2(false, false, false, false)
+	if c.NumInputs() != 4 || c.NumNonInputs() != 5 {
+		t.Fatalf("M=%d N=%d, want 4 and 5", c.NumInputs(), c.NumNonInputs())
+	}
+	if !c.IsNormalized() {
+		t.Fatal("Figure 2 circuit should be normalized as built")
+	}
+	// G9 (index 8) is the OR output over G6, G7, G8.
+	out := c.Gates[8]
+	if out.Kind != Or || len(out.Inputs) != 3 {
+		t.Fatalf("output gate = %+v", out)
+	}
+}
+
+func TestCarryBitNMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 1; n <= 8; n++ {
+		for trial := 0; trial < 30; trial++ {
+			a := make([]bool, n)
+			b := make([]bool, n)
+			for i := range a {
+				a[i] = rng.Intn(2) == 0
+				b[i] = rng.Intn(2) == 0
+			}
+			c, err := CarryBitN(n, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := c.Eval()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := CarryReference(a, b); got != want {
+				t.Fatalf("n=%d a=%v b=%v: got %v, want %v", n, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	c := New()
+	if err := c.Validate(); err == nil {
+		t.Error("no output should fail")
+	}
+	c = New()
+	c.AddInput("x", true)
+	g := c.AddAnd() // fan-in 0
+	c.SetOutput(g)
+	if err := c.Validate(); err == nil {
+		t.Error("fan-in 0 should fail")
+	}
+	c = New()
+	i := c.AddInput("x", true)
+	g = c.AddAnd(i, 99)
+	c.SetOutput(g)
+	if err := c.Validate(); err == nil {
+		t.Error("dangling input should fail")
+	}
+	// Cycle.
+	c = New()
+	c.Gates = append(c.Gates, Gate{Kind: And, Inputs: []int{1}})
+	c.Gates = append(c.Gates, Gate{Kind: And, Inputs: []int{0}})
+	c.SetOutput(0)
+	if err := c.Validate(); err == nil {
+		t.Error("cycle should fail")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	// Build a scrambled circuit: output in the middle, a dead gate, inputs
+	// interleaved.
+	c := New()
+	x := c.AddInput("x", true)
+	a1 := c.AddAnd(x, x)
+	y := c.AddInput("y", false)
+	o := c.AddOr(a1, y)
+	_ = c.AddAnd(x, y) // dead gate
+	c.SetOutput(o)
+	if c.IsNormalized() {
+		t.Fatal("scrambled circuit should not be normalized")
+	}
+	wantVal, _, err := c.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsNormalized() {
+		t.Fatalf("not normalized:\n%s", n)
+	}
+	gotVal, _, err := n.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotVal != wantVal {
+		t.Fatalf("normalization changed value: %v → %v", wantVal, gotVal)
+	}
+	if n.NumInputs() != 2 {
+		t.Fatalf("inputs dropped: %d", n.NumInputs())
+	}
+	if n.NumNonInputs() != 2 {
+		t.Fatalf("dead gate not pruned: N = %d", n.NumNonInputs())
+	}
+}
+
+// Property: Normalize preserves the circuit value on random circuits and
+// random inputs.
+func TestQuickNormalizePreservesValue(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomMonotone(rng, 2+rng.Intn(5), 1+rng.Intn(12), 3)
+		want, _, err := c.Eval()
+		if err != nil {
+			return false
+		}
+		n, err := c.Normalize()
+		if err != nil {
+			return false
+		}
+		got, _, err := n.Eval()
+		return err == nil && got == want && n.IsNormalized()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// EXP-F3: the layered evaluation (Figure 3) is equivalent to direct
+// evaluation, and the dummy-gate bookkeeping matches the figure.
+func TestLayeringEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		c := RandomMonotone(rng, 2+rng.Intn(4), 1+rng.Intn(10), 3)
+		n, err := c.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Layerize(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantVals, err := n.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotVals, err := l.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("layered value %v, direct %v\n%s", got, want, n)
+		}
+		for i := range wantVals {
+			if wantVals[i] != gotVals[i] {
+				t.Fatalf("gate G%d: layered %v, direct %v", i+1, gotVals[i], wantVals[i])
+			}
+		}
+	}
+}
+
+func TestLayeringFigure2(t *testing.T) {
+	c := CarryBit2(true, false, true, true) // a=10₂+carry structure
+	l, err := Layerize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Layers) != 5 {
+		t.Fatalf("layers = %d, want 5 (L1..L5 in Figure 3)", len(l.Layers))
+	}
+	// Layer k propagates M+k-1 = 4+k-1 values; total dummies = 4+5+6+7+8.
+	if got := l.DummyCount(); got != 30 {
+		t.Fatalf("dummy count = %d, want 30", got)
+	}
+	// Layers 1..4 are ∧, layer 5 is ∨ — exactly Figure 3.
+	for k, layer := range l.Layers {
+		want := And
+		if k == 4 {
+			want = Or
+		}
+		if layer.Kind != want {
+			t.Errorf("layer L%d kind = %v, want %v", k+1, layer.Kind, want)
+		}
+	}
+}
+
+func TestLayerizeRequiresNormalized(t *testing.T) {
+	c := New()
+	x := c.AddInput("x", true)
+	o := c.AddOr(x)
+	_ = c.AddInput("y", false) // input after gate: not normalized
+	c.SetOutput(o)
+	if _, err := Layerize(c); err == nil {
+		t.Fatal("Layerize should reject non-normalized circuits")
+	}
+}
+
+func TestSAC1Properties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := RandomSAC1(rng, 8, 6, 10)
+	if !c.IsSemiUnbounded() {
+		t.Fatal("RandomSAC1 must be semi-unbounded")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Depth(); d > 7 {
+		t.Fatalf("depth = %d, want ≤ depth+1", d)
+	}
+	n, err := c.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsSemiUnbounded() {
+		t.Fatal("normalization must preserve semi-unboundedness")
+	}
+	// A fan-in-3 AND is not semi-unbounded.
+	c2 := New()
+	a := c2.AddInput("a", true)
+	g := c2.AddAnd(a, a, a)
+	c2.SetOutput(g)
+	if c2.IsSemiUnbounded() {
+		t.Fatal("fan-in-3 AND misclassified")
+	}
+}
+
+func TestSetInputs(t *testing.T) {
+	c := CarryBit2(false, false, false, false)
+	if err := c.SetInputs([]bool{true, true, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got { // a1∧b1 alone sets the carry
+		t.Fatal("carry should be true for a1=b1=1")
+	}
+	if err := c.SetInputs([]bool{true}); err == nil {
+		t.Fatal("wrong input count should fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := CarryBit2(true, false, true, true)
+	s := c.String()
+	for _, want := range []string{"G9 = or(G6, G7, G8) [output]", "G5 = and(G3, G4)", `input(true) "a1"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CarryBit2 constructs exactly the circuit of Figure 2 of the paper: the
+// carry-bit of a 2-bit full adder, with gates numbered G1..G9 as in the
+// figure. Inputs are (a1, b1, a0, b0) — note the figure's input order.
+//
+//	G5 = G3 ∧ G4 (= a0 ∧ b0, the low carry c0)
+//	G6 = G1 ∧ G2 (= a1 ∧ b1)
+//	G7 = G1 ∧ G5 (= a1 ∧ c0)
+//	G8 = G2 ∧ G5 (= b1 ∧ c0)
+//	G9 = G6 ∨ G7 ∨ G8 (the carry c1, output)
+func CarryBit2(a1, b1, a0, b0 bool) *Circuit {
+	c := New()
+	g1 := c.AddInput("a1", a1)
+	g2 := c.AddInput("b1", b1)
+	g3 := c.AddInput("a0", a0)
+	g4 := c.AddInput("b0", b0)
+	g5 := c.AddAnd(g3, g4)
+	g6 := c.AddAnd(g1, g2)
+	g7 := c.AddAnd(g1, g5)
+	g8 := c.AddAnd(g2, g5)
+	g9 := c.AddOr(g6, g7, g8)
+	c.SetOutput(g9)
+	return c
+}
+
+// CarryBitN generalizes Figure 2 to n-bit adders: the circuit outputs the
+// carry-out of adding two n-bit numbers a and b (most significant bit
+// first in the input gate order a_{n-1}, b_{n-1}, ..., a0, b0, matching
+// CarryBit2 for n = 2).
+func CarryBitN(n int, a, b []bool) (*Circuit, error) {
+	if len(a) != n || len(b) != n {
+		return nil, fmt.Errorf("circuit: CarryBitN(%d) needs %d bits per operand", n, n)
+	}
+	c := New()
+	ai := make([]int, n)
+	bi := make([]int, n)
+	for i := n - 1; i >= 0; i-- { // most significant first, as in Figure 2
+		ai[i] = c.AddInput(fmt.Sprintf("a%d", i), a[i])
+		bi[i] = c.AddInput(fmt.Sprintf("b%d", i), b[i])
+	}
+	// carry = a0∧b0, then carry_{i} = (ai∧bi) ∨ (ai∧carry) ∨ (bi∧carry).
+	carry := c.AddAnd(ai[0], bi[0])
+	for i := 1; i < n; i++ {
+		gen := c.AddAnd(ai[i], bi[i])
+		p1 := c.AddAnd(ai[i], carry)
+		p2 := c.AddAnd(bi[i], carry)
+		carry = c.AddOr(gen, p1, p2)
+	}
+	c.SetOutput(carry)
+	return c, nil
+}
+
+// CarryReference computes the expected carry-out of adding two n-bit
+// numbers given as bit slices (index 0 = least significant), the ground
+// truth for the adder circuits.
+func CarryReference(a, b []bool) bool {
+	carry := false
+	for i := 0; i < len(a); i++ {
+		ai, bi := a[i], b[i]
+		carry = (ai && bi) || (ai && carry) || (bi && carry)
+	}
+	return carry
+}
+
+// DiamondChain builds the worst-case circuit for evaluators without
+// sharing: one input followed by depth AND gates, each reading the
+// previous gate twice. Every memoless unfolding doubles per layer (2^depth
+// paths), while the circuit itself — and the Theorem 3.2 reduction of it —
+// stays linear. Used by the naive-vs-cvt separation experiments.
+func DiamondChain(depth int, val bool) *Circuit {
+	c := New()
+	prev := c.AddInput("x", val)
+	for i := 0; i < depth; i++ {
+		prev = c.AddAnd(prev, prev)
+	}
+	c.SetOutput(prev)
+	return c
+}
+
+// FibonacciChain builds the adversarial circuit for evaluators without
+// sharing across *distinct* subcircuits: gates G3.. read the two previous
+// gates, so the number of input-to-output paths grows like the Fibonacci
+// numbers (~φ^depth) while the circuit itself is linear. In the Theorem
+// 3.2 reduction this makes the naive engine's work exponential while the
+// context-value-table engine stays linear — the behavioural content of
+// P-hardness vs Proposition 2.7.
+func FibonacciChain(depth int, v1, v2 bool) *Circuit {
+	c := New()
+	a := c.AddInput("x1", v1)
+	b := c.AddInput("x2", v2)
+	prev2, prev1 := a, b
+	for i := 0; i < depth; i++ {
+		g := c.AddAnd(prev1, prev2)
+		prev2, prev1 = prev1, g
+	}
+	c.SetOutput(prev1)
+	return c
+}
+
+// RandomMonotone generates a random normalized monotone circuit with m
+// inputs and n non-input gates of fan-in ≤ maxFanin, output last. Input
+// values are random.
+func RandomMonotone(rng *rand.Rand, m, n, maxFanin int) *Circuit {
+	if m < 1 {
+		m = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	if maxFanin < 1 {
+		maxFanin = 2
+	}
+	c := New()
+	for i := 0; i < m; i++ {
+		c.AddInput(fmt.Sprintf("x%d", i), rng.Intn(2) == 0)
+	}
+	for k := 0; k < n; k++ {
+		avail := m + k
+		fanin := 1 + rng.Intn(maxFanin)
+		if fanin > avail {
+			fanin = avail
+		}
+		ins := rng.Perm(avail)[:fanin]
+		if rng.Intn(2) == 0 {
+			c.AddAnd(ins...)
+		} else {
+			c.AddOr(ins...)
+		}
+	}
+	c.SetOutput(len(c.Gates) - 1)
+	return c
+}
+
+// RandomSAC1 generates a random semi-unbounded circuit: alternating
+// OR-layers (unbounded fan-in) and AND-layers (fan-in 2) of the given
+// depth and width over m inputs. Depth counts gate layers; for the
+// LOGCFL/SAC¹ regime callers choose depth = O(log width).
+func RandomSAC1(rng *rand.Rand, m, depth, width int) *Circuit {
+	if m < 2 {
+		m = 2
+	}
+	if width < 2 {
+		width = 2
+	}
+	c := New()
+	var prev []int
+	for i := 0; i < m; i++ {
+		prev = append(prev, c.AddInput(fmt.Sprintf("x%d", i), rng.Intn(2) == 0))
+	}
+	for l := 0; l < depth; l++ {
+		var cur []int
+		isAnd := l%2 == 1
+		for w := 0; w < width; w++ {
+			if isAnd {
+				a := prev[rng.Intn(len(prev))]
+				b := prev[rng.Intn(len(prev))]
+				cur = append(cur, c.AddAnd(a, b))
+			} else {
+				fanin := 1 + rng.Intn(len(prev))
+				ins := make([]int, 0, fanin)
+				for _, idx := range rng.Perm(len(prev))[:fanin] {
+					ins = append(ins, prev[idx])
+				}
+				cur = append(cur, c.AddOr(ins...))
+			}
+		}
+		prev = cur
+	}
+	// Collapse the last layer into a single OR output.
+	out := c.AddOr(prev...)
+	c.SetOutput(out)
+	return c
+}

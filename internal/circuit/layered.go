@@ -1,0 +1,105 @@
+package circuit
+
+import "fmt"
+
+// Layered is the "serialized" circuit view of Figure 3: the N non-input
+// gates of a normalized circuit are stretched into N layers L1..LN, where
+// layer Lk computes the one real gate G(M+k) and propagates all previously
+// available values G1..G(M+k-1) through dummy gates of fan-in one. This is
+// the alternative circuit reading that the Theorem 3.2 reduction encodes
+// into its document labels: the Ik/Ok labels of layer k correspond exactly
+// to the wires entering and leaving Lk.
+type Layered struct {
+	// C is the underlying normalized circuit.
+	C *Circuit
+	// Layers has one entry per non-input gate, in order.
+	Layers []Layer
+}
+
+// Layer is one layer of the serialized circuit.
+type Layer struct {
+	// Real is the index (into C.Gates) of the layer's one gate of
+	// interesting fan-in, G(M+k).
+	Real int
+	// Kind is the gate type shared by the whole layer (the type of the
+	// real gate; dummy gate types are irrelevant, footnote 7).
+	Kind Kind
+	// Dummies lists the gate indices whose values the layer propagates
+	// unchanged: G1..G(M+k-1).
+	Dummies []int
+}
+
+// Layerize builds the Figure 3 view of a normalized circuit.
+func Layerize(c *Circuit) (*Layered, error) {
+	if !c.IsNormalized() {
+		return nil, fmt.Errorf("circuit: Layerize requires a normalized circuit")
+	}
+	m := c.NumInputs()
+	l := &Layered{C: c}
+	for k := 1; k <= c.NumNonInputs(); k++ {
+		real := m + k - 1
+		dummies := make([]int, real)
+		for i := range dummies {
+			dummies[i] = i
+		}
+		l.Layers = append(l.Layers, Layer{
+			Real:    real,
+			Kind:    c.Gates[real].Kind,
+			Dummies: dummies,
+		})
+	}
+	return l, nil
+}
+
+// Eval evaluates the layered circuit layer by layer, exactly as the
+// Theorem 3.2 query does ("processing one gate out of G(M+1)..G(M+N) at a
+// time, in the order of ascending index"): after layer k, the values of
+// G1..G(M+k) are available. Returns the output value and the full value
+// vector.
+func (l *Layered) Eval() (bool, []bool, error) {
+	m := l.C.NumInputs()
+	vals := make([]bool, 0, len(l.C.Gates))
+	for i := 0; i < m; i++ {
+		vals = append(vals, l.C.Gates[i].Value)
+	}
+	for _, layer := range l.Layers {
+		g := l.C.Gates[layer.Real]
+		var v bool
+		switch g.Kind {
+		case And:
+			v = true
+			for _, in := range g.Inputs {
+				if in >= len(vals) {
+					return false, nil, fmt.Errorf("circuit: layer for G%d reads unavailable G%d", layer.Real+1, in+1)
+				}
+				v = v && vals[in]
+			}
+		case Or:
+			v = false
+			for _, in := range g.Inputs {
+				if in >= len(vals) {
+					return false, nil, fmt.Errorf("circuit: layer for G%d reads unavailable G%d", layer.Real+1, in+1)
+				}
+				v = v || vals[in]
+			}
+		default:
+			return false, nil, fmt.Errorf("circuit: layer real gate G%d is an input", layer.Real+1)
+		}
+		// Dummy gates propagate vals[0..real-1] unchanged; the append
+		// realizes "the truth value of gate Gi, once computed, remains
+		// available to layers above".
+		vals = append(vals, v)
+	}
+	return vals[l.C.Output], vals, nil
+}
+
+// DummyCount returns the total number of dummy gates in the layered view,
+// which grows quadratically — the price of serialization that the
+// document encoding of Theorem 3.2 pays in labels rather than nodes.
+func (l *Layered) DummyCount() int {
+	n := 0
+	for _, layer := range l.Layers {
+		n += len(layer.Dummies)
+	}
+	return n
+}

@@ -1,0 +1,250 @@
+// Package corelinear implements the O(|D|·|Q|) Core XPath evaluator of
+// Gottlob/Koch (Proposition 2.7, second part; algorithm from [VLDB'02]).
+//
+// Core XPath (Definition 2.5 of the paper) is the logic-and-paths fragment:
+// location paths over all axes, conditions built from 'and', 'or', 'not'
+// and location paths, plus the T(l) label test of Remark 3.1. The key to
+// linearity is that every syntactic query node is translated into one node
+// *set* over the document:
+//
+//   - forward pass for the main path: the frontier after each step is
+//     χ(F) ∩ test ∩ E[conditions], each an O(|D|) set operation;
+//   - backward pass for condition paths: E[χ::t[e]/rest] =
+//     χ⁻¹(test ∩ E[e] ∩ E[rest]), using the inverse-axis set operations of
+//     package nodeset, again O(|D|) each.
+//
+// Every query-tree node is processed exactly once, so the total running
+// time is O(|D|·|Q|). The package rejects queries outside Core XPath with
+// ErrNotCore.
+package corelinear
+
+import (
+	"errors"
+	"fmt"
+
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/nodeset"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// ErrNotCore reports that a query lies outside Core XPath.
+var ErrNotCore = errors.New("query is not in Core XPath")
+
+// CheckCore verifies that expr is a Core XPath query (Definition 2.5 plus
+// the T(l) extension and the explicit boolean()/true()/false() conversions
+// of Lemma 5.4). It returns a descriptive error wrapping ErrNotCore
+// otherwise. Shared subexpressions (DAG-shaped queries, e.g. from the
+// Theorem 4.2 reduction) are visited once.
+func CheckCore(expr ast.Expr) error {
+	return checkCore(expr, make(map[ast.Expr]bool))
+}
+
+func checkCore(expr ast.Expr, seen map[ast.Expr]bool) error {
+	if seen[expr] {
+		return nil
+	}
+	seen[expr] = true
+	switch x := expr.(type) {
+	case *ast.Path:
+		for _, s := range x.Steps {
+			for _, p := range s.Preds {
+				if err := checkCore(p, seen); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case *ast.Binary:
+		switch x.Op {
+		case ast.OpAnd, ast.OpOr, ast.OpUnion:
+			if err := checkCore(x.Left, seen); err != nil {
+				return err
+			}
+			return checkCore(x.Right, seen)
+		default:
+			return fmt.Errorf("%w: operator %q", ErrNotCore, x.Op)
+		}
+	case *ast.Call:
+		switch x.Name {
+		case "not", "boolean":
+			return checkCore(x.Args[0], seen)
+		case "true", "false":
+			return nil
+		default:
+			return fmt.Errorf("%w: function %q", ErrNotCore, x.Name)
+		}
+	case *ast.LabelTest:
+		return nil
+	default:
+		return fmt.Errorf("%w: %T expression", ErrNotCore, expr)
+	}
+}
+
+// Evaluate evaluates a Core XPath query. Node-set queries return a
+// value.NodeSet; condition queries (boolean combinations at top level)
+// return a value.Boolean for the context node.
+func Evaluate(expr ast.Expr, ctx evalctx.Context, ctr *evalctx.Counter) (value.Value, error) {
+	if err := CheckCore(expr); err != nil {
+		return nil, err
+	}
+	if ctx.Node == nil {
+		return nil, fmt.Errorf("corelinear: nil context node")
+	}
+	e := &evaluator{
+		doc:  ctx.Node.Document(),
+		ctr:  ctr,
+		memo: make(map[ast.Expr]nodeset.Set),
+	}
+	if p, ok := expr.(*ast.Path); ok {
+		res, err := e.forwardPath(p, ctx.Node)
+		if err != nil {
+			return nil, err
+		}
+		return value.NewNodeSet(res.Nodes()...), nil
+	}
+	if b, ok := expr.(*ast.Binary); ok && b.Op == ast.OpUnion {
+		l, err := Evaluate(b.Left, ctx, ctr)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Evaluate(b.Right, ctx, ctr)
+		if err != nil {
+			return nil, err
+		}
+		return l.(value.NodeSet).Union(r.(value.NodeSet)), nil
+	}
+	set, err := e.condSet(expr)
+	if err != nil {
+		return nil, err
+	}
+	return value.Boolean(set.Has(ctx.Node)), nil
+}
+
+type evaluator struct {
+	doc  *xmltree.Document
+	ctr  *evalctx.Counter
+	memo map[ast.Expr]nodeset.Set
+}
+
+// forwardPath evaluates a location path from a single start node,
+// left-to-right over set frontiers.
+func (e *evaluator) forwardPath(p *ast.Path, start *xmltree.Node) (nodeset.Set, error) {
+	frontier := nodeset.New(e.doc)
+	if p.Absolute {
+		frontier.Add(e.doc.Root)
+	} else {
+		frontier.Add(start)
+	}
+	for _, step := range p.Steps {
+		if err := e.ctr.Step(int64(len(e.doc.Nodes))); err != nil {
+			return nodeset.Set{}, err
+		}
+		next := nodeset.ApplyAxis(step.Axis, frontier).And(nodeset.TestSet(e.doc, step.Axis, step.Test))
+		for _, pred := range step.Preds {
+			cond, err := e.condSet(pred)
+			if err != nil {
+				return nodeset.Set{}, err
+			}
+			next = next.And(cond)
+		}
+		frontier = next
+	}
+	return frontier, nil
+}
+
+// condSet computes E[cond] = the set of nodes at which the condition
+// holds. Each syntactic condition node is computed exactly once (memo).
+func (e *evaluator) condSet(expr ast.Expr) (nodeset.Set, error) {
+	if s, ok := e.memo[expr]; ok {
+		return s, nil
+	}
+	if err := e.ctr.Step(int64(len(e.doc.Nodes))); err != nil {
+		return nodeset.Set{}, err
+	}
+	var out nodeset.Set
+	var err error
+	switch x := expr.(type) {
+	case *ast.Binary:
+		var l, r nodeset.Set
+		switch x.Op {
+		case ast.OpAnd:
+			if l, err = e.condSet(x.Left); err != nil {
+				return nodeset.Set{}, err
+			}
+			if r, err = e.condSet(x.Right); err != nil {
+				return nodeset.Set{}, err
+			}
+			out = l.And(r)
+		case ast.OpOr, ast.OpUnion:
+			if l, err = e.condSet(x.Left); err != nil {
+				return nodeset.Set{}, err
+			}
+			if r, err = e.condSet(x.Right); err != nil {
+				return nodeset.Set{}, err
+			}
+			out = l.Or(r)
+		default:
+			return nodeset.Set{}, fmt.Errorf("%w: operator %q", ErrNotCore, x.Op)
+		}
+	case *ast.Call:
+		switch x.Name {
+		case "not":
+			inner, err := e.condSet(x.Args[0])
+			if err != nil {
+				return nodeset.Set{}, err
+			}
+			out = inner.Not()
+		case "boolean":
+			return e.condSet(x.Args[0])
+		case "true":
+			out = nodeset.Full(e.doc)
+		case "false":
+			out = nodeset.New(e.doc)
+		default:
+			return nodeset.Set{}, fmt.Errorf("%w: function %q", ErrNotCore, x.Name)
+		}
+	case *ast.LabelTest:
+		out = nodeset.LabelSet(e.doc, x.Label)
+	case *ast.Path:
+		out, err = e.backwardPath(x)
+		if err != nil {
+			return nodeset.Set{}, err
+		}
+	default:
+		return nodeset.Set{}, fmt.Errorf("%w: %T in condition", ErrNotCore, expr)
+	}
+	e.memo[expr] = out
+	return out, nil
+}
+
+// backwardPath computes E[π] = { x | π evaluated at x selects ≥1 node }
+// by processing the steps right-to-left with inverse-axis set operations.
+func (e *evaluator) backwardPath(p *ast.Path) (nodeset.Set, error) {
+	s := nodeset.Full(e.doc)
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		step := p.Steps[i]
+		if err := e.ctr.Step(int64(len(e.doc.Nodes))); err != nil {
+			return nodeset.Set{}, err
+		}
+		s = s.And(nodeset.TestSet(e.doc, step.Axis, step.Test))
+		for _, pred := range step.Preds {
+			cond, err := e.condSet(pred)
+			if err != nil {
+				return nodeset.Set{}, err
+			}
+			s = s.And(cond)
+		}
+		s = nodeset.ApplyInverseAxis(step.Axis, s)
+	}
+	if p.Absolute {
+		// The condition /π holds everywhere or nowhere, depending on the
+		// root.
+		if s.Has(e.doc.Root) {
+			return nodeset.Full(e.doc), nil
+		}
+		return nodeset.New(e.doc), nil
+	}
+	return s, nil
+}

@@ -1,0 +1,388 @@
+// Package cvt implements the context-value-table evaluator of
+// Gottlob/Koch/Pichler — the dynamic-programming algorithm behind
+// Proposition 2.7 ("XPath query evaluation is in P with respect to combined
+// complexity") and Theorems 7.2/7.3 of the paper.
+//
+// The idea of [VLDB'02]: for every node of the query tree, compute a
+// context-value table relating evaluation contexts to result values, so
+// that no (subexpression, context) pair is ever evaluated twice. This
+// implementation realizes the table as a memo map filled on demand, which
+// computes exactly the "meaningful contexts" subset of the full table —
+// the time- and space-improvement direction of [ICDE'03].
+//
+// Two further properties matter for the paper's bounds:
+//
+//   - intermediate location-step results are node *sets* (normalized after
+//     every step), never bags, bounding them by |D|;
+//   - subexpressions that cannot observe position()/last() are keyed by
+//     context node alone (location paths re-bind position and size, so a
+//     path is always keyed by node only). The Options.DisableAdaptiveKeys
+//     switch turns this off for the ablation benchmark
+//     (BenchmarkAblation_CVTContextKeying).
+package cvt
+
+import (
+	"fmt"
+
+	"xpathcomplexity/internal/axes"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/funcs"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// Options configure an evaluation.
+type Options struct {
+	// Counter counts elementary operations; may be nil.
+	Counter *evalctx.Counter
+	// DisableAdaptiveKeys keys every memo entry by the full
+	// (node, position, size) triple even for position-insensitive
+	// subexpressions. Used by the ablation benchmark.
+	DisableAdaptiveKeys bool
+	// DisableMemo turns the memo off entirely, recovering naive
+	// set-semantics recursion; used by tests demonstrating that the
+	// polynomial bound comes from the table, not from set semantics alone.
+	DisableMemo bool
+	// EagerTables precomputes, bottom-up over the query tree, the full
+	// context-value table of every position-insensitive subexpression for
+	// every document node before answering the query — the original
+	// [VLDB'02] algorithm that Proposition 2.7 cites. The default lazy
+	// mode fills only the "meaningful contexts" reached from the actual
+	// query context, which is the [ICDE'03] time/space improvement the
+	// paper's introduction describes. Results are identical; the ablation
+	// benchmark measures the difference.
+	EagerTables bool
+}
+
+// Evaluate evaluates expr in ctx with the default options.
+func Evaluate(expr ast.Expr, ctx evalctx.Context, ctr *evalctx.Counter) (value.Value, error) {
+	return EvaluateOptions(expr, ctx, Options{Counter: ctr})
+}
+
+// EvaluateOptions evaluates expr in ctx with explicit options.
+func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, error) {
+	e := &evaluator{
+		opts:      opts,
+		sensitive: make(map[ast.Expr]bool),
+		tables:    make(map[ast.Expr]map[ctxKey]value.Value),
+	}
+	markSensitive(expr, e.sensitive)
+	if opts.EagerTables && ctx.Node != nil {
+		if err := e.fillTables(expr, ctx.Node.Document()); err != nil {
+			return nil, err
+		}
+	}
+	return e.eval(expr, ctx)
+}
+
+// fillTables materializes the context-value table of every
+// position-insensitive subexpression over the whole document, bottom-up
+// (children first, which the recursive eval guarantees anyway via the
+// memo). Position-sensitive subexpressions have no node-only table and
+// stay lazy: their meaningful (pos, size) pairs only arise inside
+// concrete selections.
+func (e *evaluator) fillTables(expr ast.Expr, doc *xmltree.Document) error {
+	var subs []ast.Expr
+	seen := make(map[ast.Expr]bool)
+	var collect func(x ast.Expr)
+	collect = func(x ast.Expr) {
+		if x == nil || seen[x] {
+			return
+		}
+		seen[x] = true
+		switch y := x.(type) {
+		case *ast.Path:
+			for _, s := range y.Steps {
+				for _, p := range s.Preds {
+					collect(p)
+				}
+			}
+		case *ast.Binary:
+			collect(y.Left)
+			collect(y.Right)
+		case *ast.Unary:
+			collect(y.Operand)
+		case *ast.Call:
+			for _, a := range y.Args {
+				collect(a)
+			}
+		}
+		subs = append(subs, x) // post-order: children before parents
+	}
+	collect(expr)
+	for _, sub := range subs {
+		if e.sensitive[sub] {
+			continue
+		}
+		for _, n := range doc.Nodes {
+			if _, err := e.eval(sub, evalctx.Context{Node: n, Pos: 1, Size: 1}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TableStats reports the size of the context-value tables built during an
+// evaluation; exposed for the space-complexity experiments (EXP-T72).
+type TableStats struct {
+	// Tables is the number of distinct subexpressions with a table.
+	Tables int
+	// Entries is the total number of (context, value) rows.
+	Entries int
+}
+
+// EvaluateWithStats is Evaluate plus the table statistics of the run.
+func EvaluateWithStats(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, TableStats, error) {
+	e := &evaluator{
+		opts:      opts,
+		sensitive: make(map[ast.Expr]bool),
+		tables:    make(map[ast.Expr]map[ctxKey]value.Value),
+	}
+	markSensitive(expr, e.sensitive)
+	if opts.EagerTables && ctx.Node != nil {
+		if err := e.fillTables(expr, ctx.Node.Document()); err != nil {
+			return nil, TableStats{}, err
+		}
+	}
+	v, err := e.eval(expr, ctx)
+	st := TableStats{Tables: len(e.tables)}
+	for _, tbl := range e.tables {
+		st.Entries += len(tbl)
+	}
+	return v, st, err
+}
+
+// ctxKey identifies a context in a context-value table. For
+// position-insensitive expressions pos and size are zeroed, collapsing all
+// contexts over the same node into one row.
+type ctxKey struct {
+	node *xmltree.Node
+	pos  int
+	size int
+}
+
+type evaluator struct {
+	opts      Options
+	sensitive map[ast.Expr]bool
+	tables    map[ast.Expr]map[ctxKey]value.Value
+}
+
+// markSensitive computes, per subexpression, whether its value can depend
+// on the context position or size. Location paths re-bind position/size
+// for their predicates, so a Path is never sensitive regardless of its
+// predicate contents. Shared subexpressions (DAG-shaped queries) are
+// visited once.
+func markSensitive(e ast.Expr, out map[ast.Expr]bool) bool {
+	if v, ok := out[e]; ok {
+		return v
+	}
+	switch x := e.(type) {
+	case *ast.Call:
+		s := x.Name == "position" || x.Name == "last"
+		for _, a := range x.Args {
+			if markSensitive(a, out) {
+				s = true
+			}
+		}
+		out[e] = s
+	case *ast.Binary:
+		l := markSensitive(x.Left, out)
+		r := markSensitive(x.Right, out)
+		out[e] = l || r
+	case *ast.Unary:
+		out[e] = markSensitive(x.Operand, out)
+	case *ast.Path:
+		for _, st := range x.Steps {
+			for _, p := range st.Preds {
+				markSensitive(p, out) // fills the map for inner expressions
+			}
+		}
+		out[e] = false
+	default:
+		out[e] = false
+	}
+	return out[e]
+}
+
+func (e *evaluator) key(expr ast.Expr, ctx evalctx.Context) ctxKey {
+	if !e.opts.DisableAdaptiveKeys && !e.sensitive[expr] {
+		return ctxKey{node: ctx.Node}
+	}
+	return ctxKey{node: ctx.Node, pos: ctx.Pos, size: ctx.Size}
+}
+
+func (e *evaluator) eval(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	if err := e.opts.Counter.Step(1); err != nil {
+		return nil, err
+	}
+	var k ctxKey
+	if !e.opts.DisableMemo {
+		k = e.key(expr, ctx)
+		if tbl, ok := e.tables[expr]; ok {
+			if v, hit := tbl[k]; hit {
+				return v, nil
+			}
+		}
+	}
+	v, err := e.compute(expr, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if !e.opts.DisableMemo {
+		tbl := e.tables[expr]
+		if tbl == nil {
+			tbl = make(map[ctxKey]value.Value)
+			e.tables[expr] = tbl
+		}
+		tbl[k] = v
+	}
+	return v, nil
+}
+
+func (e *evaluator) compute(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	switch x := expr.(type) {
+	case *ast.Path:
+		return e.evalPath(x, ctx)
+	case *ast.Binary:
+		return e.evalBinary(x, ctx)
+	case *ast.Unary:
+		v, err := e.eval(x.Operand, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Number(-value.ToNumber(v)), nil
+	case *ast.Call:
+		args := make([]value.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := e.eval(a, ctx)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return funcs.Call(x.Name, ctx, args)
+	case *ast.Number:
+		return value.Number(x.Val), nil
+	case *ast.Literal:
+		return value.String(x.Val), nil
+	case *ast.LabelTest:
+		return value.Boolean(ctx.Node != nil && ctx.Node.HasLabel(x.Label)), nil
+	default:
+		return nil, fmt.Errorf("cvt: unsupported expression %T", expr)
+	}
+}
+
+func (e *evaluator) evalBinary(b *ast.Binary, ctx evalctx.Context) (value.Value, error) {
+	switch {
+	case b.Op == ast.OpOr || b.Op == ast.OpAnd:
+		l, err := e.eval(b.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		lb := value.ToBoolean(l)
+		if b.Op == ast.OpOr && lb {
+			return value.Boolean(true), nil
+		}
+		if b.Op == ast.OpAnd && !lb {
+			return value.Boolean(false), nil
+		}
+		r, err := e.eval(b.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Boolean(value.ToBoolean(r)), nil
+	case b.Op == ast.OpUnion:
+		l, err := e.eval(b.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(b.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		ln, ok1 := l.(value.NodeSet)
+		rn, ok2 := r.(value.NodeSet)
+		if !ok1 || !ok2 {
+			return nil, &evalctx.TypeError{Op: "union", Want: "node-set", Got: fmt.Sprintf("%s | %s", l.Kind(), r.Kind())}
+		}
+		return ln.Union(rn), nil
+	case b.Op.IsRelational():
+		l, err := e.eval(b.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(b.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Boolean(value.Compare(b.Op, l, r)), nil
+	default:
+		l, err := e.eval(b.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(b.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Number(value.Arith(b.Op, value.ToNumber(l), value.ToNumber(r))), nil
+	}
+}
+
+// evalPath evaluates a location path with set semantics: the frontier
+// after every step is a normalized node set, which is the invariant that
+// keeps intermediate results bounded by |D|.
+func (e *evaluator) evalPath(p *ast.Path, ctx evalctx.Context) (value.Value, error) {
+	var frontier value.NodeSet
+	if p.Absolute {
+		if ctx.Node == nil {
+			return nil, fmt.Errorf("cvt: absolute path with no context document")
+		}
+		frontier = value.NewNodeSet(ctx.Node.Document().Root)
+	} else {
+		frontier = value.NewNodeSet(ctx.Node)
+	}
+	for _, step := range p.Steps {
+		var collected []*xmltree.Node
+		for _, n := range frontier {
+			sel := axes.SelectProximity(step.Axis, step.Test, n)
+			if err := e.opts.Counter.Step(int64(len(sel) + 1)); err != nil {
+				return nil, err
+			}
+			for _, pred := range step.Preds {
+				filtered, err := e.filterPredicate(sel, pred)
+				if err != nil {
+					return nil, err
+				}
+				sel = filtered
+			}
+			collected = append(collected, sel...)
+		}
+		frontier = value.NewNodeSet(collected...)
+	}
+	return frontier, nil
+}
+
+func (e *evaluator) filterPredicate(sel []*xmltree.Node, pred ast.Expr) ([]*xmltree.Node, error) {
+	out := make([]*xmltree.Node, 0, len(sel))
+	size := len(sel)
+	for i, n := range sel {
+		pctx := evalctx.Context{Node: n, Pos: i + 1, Size: size}
+		v, err := e.eval(pred, pctx)
+		if err != nil {
+			return nil, err
+		}
+		keep := false
+		if num, isNum := v.(value.Number); isNum {
+			keep = float64(num) == float64(i+1)
+		} else {
+			keep = value.ToBoolean(v)
+		}
+		if keep {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package cvt
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpathcomplexity/internal/eval/enginetest"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/eval/naive"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+func engine(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	return Evaluate(expr, ctx, nil)
+}
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, engine, enginetest.FullCaps)
+}
+
+func TestConformanceWithoutAdaptiveKeys(t *testing.T) {
+	enginetest.Run(t, func(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+		return EvaluateOptions(expr, ctx, Options{DisableAdaptiveKeys: true})
+	}, enginetest.FullCaps)
+}
+
+// The defining property: on the parent/child oscillation query where the
+// naive engine is exponential, cvt stays polynomial (here: essentially
+// linear in query length, since tables are reused across steps).
+func TestPolynomialOnOscillation(t *testing.T) {
+	d, err := xmltree.ParseString("<a><b/><b/><b/></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := "//b"
+	var ops []int64
+	for i := 0; i < 8; i++ {
+		ctr := &evalctx.Counter{}
+		v, err := Evaluate(parser.MustParse(query), evalctx.Root(d), ctr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v.(value.NodeSet)) != 3 {
+			t.Fatalf("wrong result size %d", len(v.(value.NodeSet)))
+		}
+		ops = append(ops, ctr.Ops)
+		query += "/parent::a/b"
+	}
+	// Growth per added step pair must be bounded by a constant increment
+	// (linear), far from the ×3 of the naive engine.
+	for i := 2; i < len(ops); i++ {
+		d1 := ops[i] - ops[i-1]
+		d0 := ops[i-1] - ops[i-2]
+		if d1 > 2*d0+16 {
+			t.Fatalf("op growth looks superlinear: %v", ops)
+		}
+	}
+}
+
+// Agreement: cvt must compute exactly what naive computes on the whole
+// conformance corpus plus randomly generated queries over random docs.
+func TestAgreementWithNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	gen := enginetest.NewQueryGen(rng, enginetest.GenFull)
+	for trial := 0; trial < 300; trial++ {
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 20, MaxFanout: 3, Tags: []string{"a", "b", "c"}, TextProb: 0.3, AttrProb: 0.2,
+		})
+		q := gen.Query()
+		expr, err := parser.Parse(q)
+		if err != nil {
+			t.Fatalf("generated query %q does not parse: %v", q, err)
+		}
+		ctx := evalctx.Root(doc)
+		want, err1 := naive.Evaluate(expr, ctx, &evalctx.Counter{Budget: 2_000_000})
+		got, err2 := Evaluate(expr, ctx, nil)
+		if err1 != nil {
+			continue // budget exceeded on pathological generated query
+		}
+		if err2 != nil {
+			t.Fatalf("cvt failed where naive succeeded on %q: %v", q, err2)
+		}
+		if !value.Equal(want, got) {
+			t.Fatalf("disagreement on %q:\n naive: %v\n cvt:   %v\n doc: %s",
+				q, want, got, doc.XMLString())
+		}
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	d, err := xmltree.ParseString("<a><b/><b/><c><b/></c></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := parser.MustParse("//b[following-sibling::b or parent::c]")
+	_, st, err := EvaluateWithStats(expr, evalctx.Root(d), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tables == 0 || st.Entries == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	// Position-insensitive subexpressions keyed by node only: entries are
+	// bounded by |subexprs| × |D| for this query.
+	if st.Entries > 200 {
+		t.Fatalf("implausibly many table entries: %+v", st)
+	}
+}
+
+// Disabling the memo must not change results (only cost).
+func TestMemoOffAgreement(t *testing.T) {
+	for _, tc := range enginetest.Cases {
+		if tc.Need.Aggregates || tc.Need.Strings {
+			continue // keep runtime small; semantics identical anyway
+		}
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			enginetest.RunCase(t, func(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+				return EvaluateOptions(expr, ctx, Options{DisableMemo: true, Counter: &evalctx.Counter{Budget: 5_000_000}})
+			}, tc)
+		})
+	}
+}
+
+func TestPositionSensitivityMarking(t *testing.T) {
+	m := make(map[ast.Expr]bool)
+	// A path is never position-sensitive even when its predicates are.
+	p := parser.MustParse("a[position() = last()]")
+	markSensitive(p, m)
+	if m[p] {
+		t.Error("path marked sensitive")
+	}
+	e := parser.MustParse("position() + 1")
+	m2 := make(map[ast.Expr]bool)
+	markSensitive(e, m2)
+	if !m2[e] {
+		t.Error("position()+1 not marked sensitive")
+	}
+}
+
+// Eager table construction ([VLDB'02]) gives identical results to the
+// lazy meaningful-contexts mode ([ICDE'03]) but computes at least as many
+// table entries.
+func TestEagerTables(t *testing.T) {
+	for _, tc := range enginetest.Cases {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			enginetest.RunCase(t, func(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+				return EvaluateOptions(expr, ctx, Options{EagerTables: true})
+			}, tc)
+		})
+	}
+}
+
+func TestEagerComputesMoreEntries(t *testing.T) {
+	d, err := xmltree.ParseString("<a><b/><b/><c><b/><d/></c><d/></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := parser.MustParse("/a/c[b and not(d/e)]")
+	_, lazy, err := EvaluateWithStats(expr, evalctx.Root(d), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, eager, err := EvaluateWithStats(expr, evalctx.Root(d), Options{EagerTables: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.(value.NodeSet); !ok {
+		t.Fatalf("result type %T", v)
+	}
+	if eager.Entries <= lazy.Entries {
+		t.Fatalf("eager should fill more entries: eager %d, lazy %d", eager.Entries, lazy.Entries)
+	}
+}

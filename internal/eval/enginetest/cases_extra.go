@@ -1,0 +1,114 @@
+package enginetest
+
+// cases_extra.go extends the conformance corpus with the awkward corners
+// of the XPath 1.0 semantics: reverse-axis proximity positions under
+// numeric and positional predicates, predicate re-ranking, NaN behaviour,
+// node-set comparison subtleties, text and attribute string-values, deep
+// nesting, and mixed-type coercions. These are cases where independent
+// XPath implementations historically disagreed; keeping them in the shared
+// suite pins all five engines to one reading.
+
+func init() {
+	Cases = append(Cases, extraCases...)
+}
+
+var extraCases = []Case{
+	// --- reverse axes and proximity positions ---
+	{Name: "x-ancestor-numeric-2", Doc: "tree", CtxID: "c2", Query: "ancestor::*[2]", WantIDs: []string{"a1"}, Need: needArith},
+	{Name: "x-ancestor-last", Doc: "tree", CtxID: "c2", Query: "ancestor::*[last()]", WantIDs: []string{"r"}, Need: needPos},
+	{Name: "x-preceding-sibling-1", Doc: "library", CtxID: "j1", Query: "preceding-sibling::*[1]", WantIDs: []string{"b3"}, Need: needArith},
+	{Name: "x-preceding-sibling-pos", Doc: "library", CtxID: "j1", Query: "preceding-sibling::book[position() = 3]", WantIDs: []string{"b1"}, Need: needPos},
+	{Name: "x-preceding-numeric", Doc: "tree", CtxID: "a2", Query: "preceding::*[2]", WantIDs: []string{"c2"}, Need: needArith},
+	{Name: "x-following-numeric", Doc: "tree", CtxID: "c1", Query: "following::*[1]", WantIDs: []string{"c2"}, Need: needArith},
+	{Name: "x-parent-pos-1", Doc: "tree", CtxID: "c1", Query: "parent::*[1]", WantIDs: []string{"b1"}, Need: needArith},
+	{Name: "x-self-pos-1", Doc: "tree", CtxID: "b1", Query: "self::*[1]", WantIDs: []string{"b1"}, Need: needArith},
+	{Name: "x-reverse-pred-then-forward", Doc: "tree", CtxID: "b3", Query: "ancestor::*[1]/b", WantIDs: []string{"b3"}, Need: needArith},
+
+	// --- predicate sequencing and re-ranking ---
+	{Name: "x-rerank-twice", Doc: "library", Query: "//book[position() > 1][position() > 1]", WantIDs: []string{"b3"}, Need: needIterPos},
+	{Name: "x-rerank-last", Doc: "library", Query: "//book[position() < 3][last()]", WantIDs: []string{"b2"}, Need: needIterPos},
+	{Name: "x-numeric-out-of-range", Doc: "library", Query: "//book[7]", WantIDs: []string{}, Need: needArith},
+	{Name: "x-numeric-zero", Doc: "library", Query: "//book[0]", WantIDs: []string{}, Need: needArith},
+	{Name: "x-numeric-fraction", Doc: "library", Query: "//book[1.5]", WantIDs: []string{}, Need: needArith},
+	{Name: "x-numeric-computed", Doc: "library", Query: "//book[1 + 1]", WantIDs: []string{"b2"}, Need: needArith},
+	{Name: "x-pred-on-each-step", Doc: "tree", Query: "/r/a[b]/b[c]/c[1]", WantIDs: []string{"c1"}, Need: needArith},
+	{Name: "x-pos-within-filtered", Doc: "library", Query: "//book[@cat = 'f'][2]", WantIDs: []string{"b3"}, Need: Caps{Arithmetic: true, Strings: true, IteratedPredicates: true}},
+
+	// --- position() in nested contexts ---
+	{Name: "x-nested-position", Doc: "tree", Query: "/r/a[b[position() = 2]]", WantIDs: []string{"a1"}, Need: needPos},
+	{Name: "x-position-independent-outer", Doc: "tree", Query: "/r/a[2]/b[1]", WantIDs: []string{"b3"}, Need: needArith},
+	{Name: "x-last-in-inner-pred", Doc: "library", Query: "//book[title[last()]]", WantIDs: []string{"b1", "b2", "b3"}, Need: needPos},
+
+	// --- comparisons: NaN, numbers vs strings, node-sets ---
+	{Name: "x-nan-neq-self", Doc: "library", Query: "number('x') != number('x')", WantBool: boolean(true), Need: Caps{Arithmetic: true, Strings: true, Conversions: true}},
+	{Name: "x-nan-not-lt", Doc: "library", Query: "number('x') < 1", WantBool: boolean(false), Need: Caps{Arithmetic: true, Strings: true, Conversions: true}},
+	{Name: "x-string-number-eq", Doc: "library", Query: "'12' = 12", WantBool: boolean(true), Need: needStrArith},
+	{Name: "x-empty-nodeset-eq", Doc: "library", Query: "//zzz = //price", WantBool: boolean(false), Need: needArith},
+	{Name: "x-empty-nodeset-neq", Doc: "library", Query: "//zzz != //price", WantBool: boolean(false), Need: needArith},
+	{Name: "x-nodeset-self-neq", Doc: "library", Query: "//price != //price", WantBool: boolean(true), Need: needArith},
+	{Name: "x-attr-vs-attr", Doc: "library", Query: "//book[@year = //book[3]/@year]", WantIDs: []string{"b2", "b3"}, Need: needIterPos},
+	{Name: "x-lt-node-sets", Doc: "library", Query: "//price < //price", WantBool: boolean(true), Need: needArith},
+	{Name: "x-ge-same", Doc: "library", Query: "//price >= 30", WantBool: boolean(true), Need: needArith},
+	{Name: "x-bool-eq-nodeset", Doc: "library", Query: "true() = //zzz", WantBool: boolean(false), Need: Caps{Arithmetic: true, BooleanRelOp: true}},
+	{Name: "x-bool-neq-empty", Doc: "library", Query: "false() = //zzz", WantBool: boolean(true), Need: Caps{Arithmetic: true, BooleanRelOp: true}},
+
+	// --- arithmetic edge cases ---
+	{Name: "x-div-zero", Doc: "library", Query: "1 div 0 > 1000000", WantBool: boolean(true), Need: needArith},
+	{Name: "x-neg-div", Doc: "library", Query: "-1 div 0 < 0", WantBool: boolean(true), Need: needArith},
+	{Name: "x-mod-sign", Doc: "library", Query: "-5 mod 2", WantNum: num(-1), Need: needArith},
+	{Name: "x-unary-chain", Doc: "library", Query: "- - 3", WantNum: num(3), Need: needArith},
+	{Name: "x-precedence", Doc: "library", Query: "2 + 3 * 4 - 1", WantNum: num(13), Need: needArith},
+	{Name: "x-sum-prices", Doc: "library", Query: "sum(//price) mod 7", WantNum: num(1), Need: needAgg},
+
+	// --- string-value semantics ---
+	{Name: "x-elem-string-value", Doc: "mixed", Query: "string(/m/y)", WantStr: str("beta"), Need: needConv},
+	{Name: "x-root-string-value", Doc: "mixed", Query: "string(/)", WantStr: str("alphabetaalpha"), Need: needConv},
+	{Name: "x-text-node-compare", Doc: "mixed", Query: "//x/text() = 'beta'", WantBool: boolean(true), Need: needStr},
+	{Name: "x-attr-string", Doc: "library", CtxID: "b1", Query: "string(@year)", WantStr: str("1994"), Need: needConv},
+	{Name: "x-substring-nested", Doc: "library", Query: "substring(string(//title), 2, 2)", WantStr: str("un"), Need: needConvArith},
+	{Name: "x-concat-nodesets", Doc: "mixed", Query: "concat(/m/x, '-', /m/y/x)", WantStr: str("alpha-beta"), Need: needStr},
+	{Name: "x-translate-chain", Doc: "library", Query: "translate('abcabc', 'ab', 'ba')", WantStr: str("bacbac"), Need: needStr},
+
+	// --- deep structures and combined navigation ---
+	{Name: "x-grandparent", Doc: "tree", CtxID: "c1", Query: "../..", WantIDs: []string{"a1"}},
+	{Name: "x-up-down-up", Doc: "tree", CtxID: "c1", Query: "../../b/c/../..", WantIDs: []string{"a1"}},
+	{Name: "x-union-three", Doc: "tree", Query: "//c | //a | //b", WantIDs: []string{"a1", "b1", "c1", "c2", "b2", "a2", "b3"}},
+	{Name: "x-union-with-pred", Doc: "library", Query: "//book[note] | //journal", WantIDs: []string{"b3", "j1"}},
+	{Name: "x-union-then-pred", Doc: "tree", Query: "//a[c] | //b[c]", WantIDs: []string{"b1"}},
+	{Name: "x-deep-nesting", Doc: "tree", Query: "//a[b[c[ancestor::a[b[not(c)]]]]]", WantIDs: []string{"a1"}, Need: needNeg},
+	{Name: "x-root-of-anything", Doc: "tree", CtxID: "c2", Query: "/", WantIDs: []string{""}},
+	{Name: "x-following-from-attr-ctx", Doc: "library", CtxID: "b1", Query: "@year/following::note", WantCount: cnt(1)},
+
+	// --- boolean connective corners ---
+	{Name: "x-or-chain", Doc: "library", Query: "//book[note or journal or title]", WantIDs: []string{"b1", "b2", "b3"}},
+	{Name: "x-and-or-precedence", Doc: "library", Query: "//book[note and journal or title]", WantIDs: []string{"b1", "b2", "b3"}},
+	{Name: "x-not-of-or", Doc: "library", Query: "//book[not(note or zzz)]", WantIDs: []string{"b1", "b2"}, Need: needNeg},
+	{Name: "x-triple-not", Doc: "library", Query: "//book[not(not(not(note)))]", WantIDs: []string{"b1", "b2"}, Need: needNeg},
+	{Name: "x-boolean-number", Doc: "library", Query: "boolean(0)", WantBool: boolean(false), Need: needArith},
+	{Name: "x-boolean-string", Doc: "library", Query: "boolean('false')", WantBool: boolean(true), Need: needStr},
+}
+
+// Documents exercising the remaining node kinds and deep nesting.
+func init() {
+	Docs["kinds"] = `<k id="k"><!--c1--><a id="ka">x<?pi one?></a><!--c2--><b id="kb"><?pi two?><?other three?></b></k>`
+	Docs["deep"] = `<d id="d0"><d id="d1"><d id="d2"><d id="d3"><d id="d4"><leaf id="leaf"/></d></d></d></d></d>`
+	Cases = append(Cases, kindCases...)
+}
+
+var kindCases = []Case{
+	// comment() and processing-instruction() node tests, across engines.
+	{Name: "k-comments", Doc: "kinds", Query: "/k/comment()", WantCount: cnt(2)},
+	{Name: "k-all-pis", Doc: "kinds", Query: "//processing-instruction()", WantCount: cnt(3)},
+	{Name: "k-pi-target", Doc: "kinds", Query: "//processing-instruction('pi')", WantCount: cnt(2)},
+	{Name: "k-pi-under-b", Doc: "kinds", CtxID: "kb", Query: "processing-instruction('other')", WantCount: cnt(1)},
+	{Name: "k-node-includes-all", Doc: "kinds", CtxID: "k", Query: "child::node()", WantCount: cnt(4)},
+	{Name: "k-comment-following", Doc: "kinds", CtxID: "ka", Query: "following::comment()", WantCount: cnt(1)},
+	{Name: "k-pred-on-comment-holder", Doc: "kinds", Query: "//b[processing-instruction()]", WantIDs: []string{"kb"}},
+	{Name: "k-no-comment-kids", Doc: "kinds", Query: "//a[comment()]", WantIDs: []string{}},
+	// Deep documents: reverse axes and closures at depth.
+	{Name: "deep-ancestors", Doc: "deep", CtxID: "leaf", Query: "ancestor::d", WantIDs: []string{"d0", "d1", "d2", "d3", "d4"}},
+	{Name: "deep-ancestor-pos", Doc: "deep", CtxID: "leaf", Query: "ancestor::d[3]", WantIDs: []string{"d2"}, Need: needArith},
+	{Name: "deep-nested-pred-chain", Doc: "deep", Query: "//d[d[d[d[d[leaf]]]]]", WantIDs: []string{"d0"}},
+	{Name: "deep-descendant-leaf", Doc: "deep", Query: "/d//leaf", WantIDs: []string{"leaf"}},
+	{Name: "deep-aos-from-leaf", Doc: "deep", CtxID: "leaf", Query: "ancestor-or-self::*[not(d)]", WantIDs: []string{"d4", "leaf"}, Need: needNeg},
+}

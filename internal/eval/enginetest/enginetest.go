@@ -1,0 +1,369 @@
+// Package enginetest provides the engine-independent conformance suite:
+// a corpus of (document, query, context, expected result) cases that every
+// evaluator in this repository must satisfy, plus helpers for cross-engine
+// agreement testing on randomly generated queries.
+//
+// Keeping one suite shared by all five engines is what guarantees the
+// paper's algorithms are compared on identical semantics: an engine that
+// diverged would fail here rather than silently producing different
+// benchmark numbers.
+package enginetest
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+// Engine is the evaluation signature all engines expose for testing.
+type Engine func(expr ast.Expr, ctx evalctx.Context) (value.Value, error)
+
+// Caps describes which language features an engine supports; conformance
+// cases requiring a missing capability are skipped for that engine.
+type Caps struct {
+	// Arithmetic: numbers, + - * div mod, relational operators on numbers.
+	Arithmetic bool
+	// Positional: position() and last().
+	Positional bool
+	// Strings: string literals, string functions, string comparisons.
+	Strings bool
+	// Negation: not(...).
+	Negation bool
+	// IteratedPredicates: steps with two or more predicates.
+	IteratedPredicates bool
+	// Aggregates: count() and sum().
+	Aggregates bool
+	// Conversions: the explicit conversion and node-inspection functions
+	// string(), number(), name(), local-name(), string-length(),
+	// normalize-space() — the functions Definition 6.1(2) excludes from
+	// pXPath.
+	Conversions bool
+	// BooleanRelOp: relational operators with boolean-typed operands,
+	// which Definition 6.1(3) excludes from pXPath (they can encode
+	// negation).
+	BooleanRelOp bool
+}
+
+// FullCaps is the capability set of a complete XPath 1.0 engine.
+var FullCaps = Caps{
+	Arithmetic: true, Positional: true, Strings: true,
+	Negation: true, IteratedPredicates: true, Aggregates: true,
+	Conversions: true, BooleanRelOp: true,
+}
+
+// PXPathCaps is the capability set of a pXPath engine with bounded
+// negation (Definition 6.1 + Theorem 6.3): everything except iterated
+// predicates, aggregates and the excluded conversion functions.
+var PXPathCaps = Caps{
+	Arithmetic: true, Positional: true, Strings: true, Negation: true,
+}
+
+// CoreCaps is the capability set of a Core XPath engine (Definition 2.5
+// plus T(l)): logic and paths only.
+var CoreCaps = Caps{Negation: true, IteratedPredicates: true}
+
+// Case is one conformance case.
+type Case struct {
+	Name  string
+	Doc   string // key into the Docs map
+	Query string
+	CtxID string // id attribute of the context node; "" = conceptual root
+	// Exactly one of the Want fields is set.
+	WantIDs   []string // node-set result, as id attributes in document order
+	WantNum   *float64
+	WantStr   *string
+	WantBool  *bool
+	WantCount *int // node-set result size only (for nodes without ids)
+	Need      Caps
+}
+
+func num(f float64) *float64 { return &f }
+func str(s string) *string   { return &s }
+func boolean(b bool) *bool   { return &b }
+func cnt(n int) *int         { return &n }
+
+// Docs is the document corpus of the conformance suite, keyed by name.
+var Docs = map[string]string{
+	"library": `<library id="L">` +
+		`<book id="b1" year="1994" cat="f"><title id="t1">Dune</title><price id="p1">12</price></book>` +
+		`<book id="b2" year="2001" cat="s"><title id="t2">Ptolemy</title><price id="p2">30</price></book>` +
+		`<book id="b3" year="2001" cat="f"><title id="t3">Norna</title><price id="p3">8</price><note id="n1">used</note></book>` +
+		`<journal id="j1"><title id="t4">Sci</title></journal>` +
+		`</library>`,
+	"tree": `<r id="r">` +
+		`<a id="a1"><b id="b1"><c id="c1"/><c id="c2"/></b><b id="b2"/></a>` +
+		`<a id="a2"><b id="b3"/></a>` +
+		`</r>`,
+	"mixed": `<m id="m"><x id="x1">alpha</x><y id="y1"><x id="x2">beta</x></y><x id="x3">alpha</x></m>`,
+}
+
+// needPositional etc. are shorthands for the Need field.
+var (
+	needArith      = Caps{Arithmetic: true}
+	needPos        = Caps{Arithmetic: true, Positional: true}
+	needStr        = Caps{Strings: true}
+	needNeg        = Caps{Negation: true}
+	needIter       = Caps{IteratedPredicates: true}
+	needAgg        = Caps{Aggregates: true, Arithmetic: true}
+	needConv       = Caps{Strings: true, Conversions: true}
+	needConvArith  = Caps{Strings: true, Conversions: true, Arithmetic: true}
+	needIterPos    = Caps{IteratedPredicates: true, Arithmetic: true, Positional: true}
+	needStrArith   = Caps{Strings: true, Arithmetic: true}
+	needNegPosIter = Caps{Negation: true, Arithmetic: true, Positional: true, IteratedPredicates: true}
+)
+
+// Cases is the conformance corpus.
+var Cases = []Case{
+	// --- PF: plain location paths, all axes ---
+	{Name: "root", Doc: "tree", Query: "/", WantIDs: []string{""}},
+	{Name: "child-name", Doc: "tree", Query: "/child::r/child::a", WantIDs: []string{"a1", "a2"}},
+	{Name: "child-star", Doc: "tree", Query: "/r/a[1]/*", WantIDs: []string{"b1", "b2"}, Need: needArith},
+	{Name: "descendant", Doc: "tree", Query: "/descendant::b", WantIDs: []string{"b1", "b2", "b3"}},
+	{Name: "descendant-or-self-star", Doc: "tree", Query: "/descendant-or-self::*", WantIDs: []string{"r", "a1", "b1", "c1", "c2", "b2", "a2", "b3"}},
+	{Name: "dslash", Doc: "tree", Query: "//c", WantIDs: []string{"c1", "c2"}},
+	{Name: "parent", Doc: "tree", Query: "//c/parent::b", WantIDs: []string{"b1"}},
+	{Name: "dotdot", Doc: "tree", Query: "//c/..", WantIDs: []string{"b1"}},
+	{Name: "ancestor", Doc: "tree", Query: "//c/ancestor::*", WantIDs: []string{"r", "a1", "b1"}},
+	{Name: "ancestor-or-self", Doc: "tree", CtxID: "c2", Query: "ancestor-or-self::*", WantIDs: []string{"r", "a1", "b1", "c2"}},
+	{Name: "following-sibling", Doc: "tree", CtxID: "b1", Query: "following-sibling::*", WantIDs: []string{"b2"}},
+	{Name: "preceding-sibling", Doc: "tree", CtxID: "b2", Query: "preceding-sibling::*", WantIDs: []string{"b1"}},
+	{Name: "following", Doc: "tree", CtxID: "b1", Query: "following::*", WantIDs: []string{"b2", "a2", "b3"}},
+	{Name: "preceding", Doc: "tree", CtxID: "a2", Query: "preceding::*", WantIDs: []string{"a1", "b1", "c1", "c2", "b2"}},
+	{Name: "self", Doc: "tree", CtxID: "b1", Query: "self::b", WantIDs: []string{"b1"}},
+	{Name: "self-nomatch", Doc: "tree", CtxID: "b1", Query: "self::c", WantIDs: []string{}},
+	{Name: "attribute", Doc: "library", CtxID: "b1", Query: "attribute::year", WantCount: cnt(1)},
+	{Name: "attribute-star", Doc: "library", CtxID: "b1", Query: "@*", WantCount: cnt(3)},
+	{Name: "attr-then-up", Doc: "library", CtxID: "b1", Query: "@year/..", WantIDs: []string{"b1"}},
+	{Name: "path-composition", Doc: "tree", Query: "/r/a/b/c", WantIDs: []string{"c1", "c2"}},
+	{Name: "dedup-after-steps", Doc: "tree", Query: "//c/ancestor::*/descendant::b", WantIDs: []string{"b1", "b2", "b3"}},
+	{Name: "union", Doc: "tree", Query: "//c | //b", WantIDs: []string{"b1", "c1", "c2", "b2", "b3"}},
+	{Name: "union-dedup", Doc: "tree", Query: "//b | /r/a/b", WantIDs: []string{"b1", "b2", "b3"}},
+	{Name: "text-test", Doc: "mixed", Query: "//x/text()", WantCount: cnt(3)},
+	{Name: "node-test", Doc: "mixed", CtxID: "m", Query: "child::node()", WantCount: cnt(3)},
+	{Name: "empty-result", Doc: "tree", Query: "//zzz", WantIDs: []string{}},
+	{Name: "relative-from-ctx", Doc: "tree", CtxID: "a1", Query: "b", WantIDs: []string{"b1", "b2"}},
+	{Name: "absolute-ignores-ctx", Doc: "tree", CtxID: "c1", Query: "/r/a", WantIDs: []string{"a1", "a2"}},
+
+	// --- Core XPath: predicates with logic ---
+	{Name: "pred-exists", Doc: "tree", Query: "//b[c]", WantIDs: []string{"b1"}},
+	{Name: "pred-and", Doc: "library", Query: "//book[title and price]", WantIDs: []string{"b1", "b2", "b3"}},
+	{Name: "pred-and-false", Doc: "library", Query: "//book[title and note]", WantIDs: []string{"b3"}},
+	{Name: "pred-or", Doc: "library", Query: "//book[note or journal]", WantIDs: []string{"b3"}},
+	{Name: "pred-not", Doc: "library", Query: "//book[not(note)]", WantIDs: []string{"b1", "b2"}, Need: needNeg},
+	{Name: "pred-nested-path", Doc: "tree", Query: "//a[b/c]", WantIDs: []string{"a1"}},
+	{Name: "pred-absolute-path", Doc: "tree", Query: "//b[/r/a]", WantIDs: []string{"b1", "b2", "b3"}},
+	{Name: "pred-not-not", Doc: "tree", Query: "//a[not(not(b))]", WantIDs: []string{"a1", "a2"}, Need: needNeg},
+	{Name: "pred-deep", Doc: "tree", Query: "//a[b[c[not(b)]]]", WantIDs: []string{"a1"}, Need: needNeg},
+	{Name: "paper-example-empty", Doc: "tree", Query: "/descendant::a/child::b[descendant::c and not(following-sibling::b)]", WantIDs: []string{}, Need: needNeg},
+	{Name: "paper-example-shape", Doc: "tree", Query: "/descendant::a/child::b[descendant::c and not(preceding-sibling::b)]", WantIDs: []string{"b1"}, Need: needNeg},
+	{Name: "pred-reverse-inner", Doc: "tree", CtxID: "c2", Query: "ancestor::*[parent::r]", WantIDs: []string{"a1"}},
+
+	// --- positional predicates ---
+	{Name: "pred-number", Doc: "library", Query: "//book[2]", WantIDs: []string{"b2"}, Need: needArith},
+	{Name: "pred-position", Doc: "library", Query: "//book[position() = 2]", WantIDs: []string{"b2"}, Need: needPos},
+	{Name: "pred-last", Doc: "library", Query: "//book[last()]", WantIDs: []string{"b3"}, Need: needPos},
+	{Name: "pred-position-lt", Doc: "library", Query: "//book[position() < 3]", WantIDs: []string{"b1", "b2"}, Need: needPos},
+	{Name: "paper-pos-example", Doc: "library", Query: "child::library/child::book[position() + 1 = last()]", WantIDs: []string{"b2"}, Need: needPos},
+	{Name: "pred-number-reverse-axis", Doc: "tree", CtxID: "c2", Query: "ancestor::*[1]", WantIDs: []string{"b1"}, Need: needArith},
+	{Name: "pred-position-reverse", Doc: "tree", CtxID: "b3", Query: "preceding::*[position() = 1]", WantIDs: []string{"b2"}, Need: needPos},
+	{Name: "iterated-preds-rerank", Doc: "library", Query: "//book[position() > 1][1]", WantIDs: []string{"b2"}, Need: needIterPos},
+	{Name: "iterated-preds-logic", Doc: "library", Query: "//book[price][note]", WantIDs: []string{"b3"}, Need: needIter},
+	{Name: "iterated-equals-and", Doc: "library", Query: "//book[price and note]", WantIDs: []string{"b3"}},
+
+	// --- arithmetic and comparisons ---
+	{Name: "arith-basic", Doc: "library", Query: "1 + 2 * 3", WantNum: num(7), Need: needArith},
+	{Name: "arith-div", Doc: "library", Query: "7 div 2", WantNum: num(3.5), Need: needArith},
+	{Name: "arith-mod", Doc: "library", Query: "7 mod 2", WantNum: num(1), Need: needArith},
+	{Name: "arith-unary", Doc: "library", Query: "-(1 + 2)", WantNum: num(-3), Need: needArith},
+	{Name: "cmp-num", Doc: "library", Query: "1 < 2", WantBool: boolean(true), Need: needArith},
+	{Name: "cmp-nodeset-num", Doc: "library", Query: "//price < 10", WantBool: boolean(true), Need: needArith},
+	{Name: "cmp-nodeset-num-all", Doc: "library", Query: "//price > 100", WantBool: boolean(false), Need: needArith},
+	{Name: "cmp-nodeset-eq-str", Doc: "mixed", Query: "//x = 'alpha'", WantBool: boolean(true), Need: needStr},
+	{Name: "cmp-nodeset-nodeset", Doc: "mixed", Query: "/m/x = /m/y/x", WantBool: boolean(false), Need: needStr},
+	{Name: "cmp-attr", Doc: "library", Query: "//book[@year = 2001]", WantIDs: []string{"b2", "b3"}, Need: needArith},
+	{Name: "cmp-attr-str", Doc: "library", Query: "//book[@cat = 'f']", WantIDs: []string{"b1", "b3"}, Need: needStr},
+	{Name: "pred-value", Doc: "library", Query: "//book[price = 30]", WantIDs: []string{"b2"}, Need: needArith},
+	{Name: "pred-value-lt", Doc: "library", Query: "//book[price < 10]", WantIDs: []string{"b3"}, Need: needArith},
+	{Name: "existential-multi", Doc: "mixed", Query: "//x[. = 'alpha']", WantIDs: []string{"x1", "x3"}, Need: needStr},
+
+	// --- functions ---
+	{Name: "count", Doc: "library", Query: "count(//book)", WantNum: num(3), Need: needAgg},
+	{Name: "count-empty", Doc: "library", Query: "count(//zzz)", WantNum: num(0), Need: needAgg},
+	{Name: "sum", Doc: "library", Query: "sum(//price)", WantNum: num(50), Need: needAgg},
+	{Name: "count-in-pred", Doc: "tree", Query: "//a[count(b) = 2]", WantIDs: []string{"a1"}, Need: needAgg},
+	{Name: "boolean-conv", Doc: "library", Query: "boolean(//note)", WantBool: boolean(true)},
+	{Name: "boolean-conv-empty", Doc: "library", Query: "boolean(//zzz)", WantBool: boolean(false)},
+	{Name: "string-value", Doc: "library", Query: "string(//title)", WantStr: str("Dune"), Need: needConv},
+	{Name: "concat", Doc: "library", Query: "concat('a', 'b')", WantStr: str("ab"), Need: needStr},
+	{Name: "contains-pred", Doc: "library", Query: "//book[contains(title, 'un')]", WantIDs: []string{"b1"}, Need: needStr},
+	{Name: "starts-with-pred", Doc: "library", Query: "//book[starts-with(title, 'P')]", WantIDs: []string{"b2"}, Need: needStr},
+	{Name: "string-length", Doc: "library", Query: "string-length(string(//title))", WantNum: num(4), Need: needConvArith},
+	{Name: "number-conv", Doc: "library", Query: "number(string(//price))", WantNum: num(12), Need: needConvArith},
+	{Name: "name-fn", Doc: "tree", CtxID: "b1", Query: "name()", WantStr: str("b"), Need: needConv},
+	{Name: "normalize", Doc: "library", Query: "normalize-space('  a  b ')", WantStr: str("a b"), Need: needConv},
+	{Name: "true-false", Doc: "library", Query: "true() and not(false())", WantBool: boolean(true), Need: needNeg},
+
+	// --- mixed / tricky ---
+	{Name: "pred-on-mid-step", Doc: "tree", Query: "/r/a[b/c]/b", WantIDs: []string{"b1", "b2"}},
+	{Name: "last-on-reverse", Doc: "tree", CtxID: "c2", Query: "ancestor::*[last()]", WantIDs: []string{"r"}, Need: needPos},
+	{Name: "pos-neq", Doc: "library", Query: "//book[position() != 2]", WantIDs: []string{"b1", "b3"}, Need: needPos},
+	{Name: "not-pos", Doc: "library", Query: "//book[not(position() = 2)]", WantIDs: []string{"b1", "b3"}, Need: needNegPosIter},
+	{Name: "complex-combo", Doc: "library",
+		Query:   "//book[@year = 2001 and (note or starts-with(title, 'P'))]",
+		WantIDs: []string{"b2", "b3"}, Need: Caps{Arithmetic: true, Strings: true}},
+	{Name: "union-in-pred", Doc: "library", Query: "//book[note | journal]", WantIDs: []string{"b3"}},
+	{Name: "double-slash-mid", Doc: "tree", Query: "/r//b", WantIDs: []string{"b1", "b2", "b3"}},
+	{Name: "dslash-self", Doc: "tree", CtxID: "b1", Query: ".//c", WantIDs: []string{"c1", "c2"}},
+}
+
+// Run executes every conformance case the engine's capabilities allow.
+func Run(t *testing.T, engine Engine, caps Caps) {
+	t.Helper()
+	for _, tc := range Cases {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			if skip, why := needsMissing(tc.Need, caps); skip {
+				t.Skipf("engine lacks %s", why)
+			}
+			RunCase(t, engine, tc)
+		})
+	}
+}
+
+func needsMissing(need, have Caps) (bool, string) {
+	switch {
+	case need.Arithmetic && !have.Arithmetic:
+		return true, "arithmetic"
+	case need.Positional && !have.Positional:
+		return true, "position()/last()"
+	case need.Strings && !have.Strings:
+		return true, "strings"
+	case need.Negation && !have.Negation:
+		return true, "negation"
+	case need.IteratedPredicates && !have.IteratedPredicates:
+		return true, "iterated predicates"
+	case need.Aggregates && !have.Aggregates:
+		return true, "aggregates"
+	case need.Conversions && !have.Conversions:
+		return true, "conversion functions"
+	case need.BooleanRelOp && !have.BooleanRelOp:
+		return true, "relational operators on booleans"
+	default:
+		return false, ""
+	}
+}
+
+// RunCase executes a single conformance case against an engine.
+func RunCase(t *testing.T, engine Engine, tc Case) {
+	t.Helper()
+	doc := MustDoc(tc.Doc)
+	ctx := evalctx.Root(doc)
+	if tc.CtxID != "" {
+		n := NodeByID(doc, tc.CtxID)
+		if n == nil {
+			t.Fatalf("case %s: no node with id %q", tc.Name, tc.CtxID)
+		}
+		ctx = evalctx.At(n)
+	}
+	expr, err := parser.Parse(tc.Query)
+	if err != nil {
+		t.Fatalf("case %s: parse: %v", tc.Name, err)
+	}
+	got, err := engine(expr, ctx)
+	if err != nil {
+		t.Fatalf("case %s: eval: %v", tc.Name, err)
+	}
+	if err := CheckExpected(doc, tc, got); err != nil {
+		t.Errorf("case %s (query %s): %v", tc.Name, tc.Query, err)
+	}
+}
+
+// CheckExpected compares an engine result against the case expectation.
+func CheckExpected(doc *xmltree.Document, tc Case, got value.Value) error {
+	switch {
+	case tc.WantIDs != nil:
+		ns, ok := got.(value.NodeSet)
+		if !ok {
+			return fmt.Errorf("got %s %v, want node-set", got.Kind(), got)
+		}
+		gotIDs := make([]string, len(ns))
+		for i, n := range ns {
+			id, _ := n.Attr("id")
+			gotIDs[i] = id
+		}
+		if len(gotIDs) != len(tc.WantIDs) {
+			return fmt.Errorf("got ids %v, want %v", gotIDs, tc.WantIDs)
+		}
+		for i := range gotIDs {
+			if gotIDs[i] != tc.WantIDs[i] {
+				return fmt.Errorf("got ids %v, want %v", gotIDs, tc.WantIDs)
+			}
+		}
+	case tc.WantCount != nil:
+		ns, ok := got.(value.NodeSet)
+		if !ok {
+			return fmt.Errorf("got %s, want node-set", got.Kind())
+		}
+		if len(ns) != *tc.WantCount {
+			return fmt.Errorf("got %d nodes, want %d", len(ns), *tc.WantCount)
+		}
+	case tc.WantNum != nil:
+		n, ok := got.(value.Number)
+		if !ok {
+			return fmt.Errorf("got %s %v, want number", got.Kind(), got)
+		}
+		if float64(n) != *tc.WantNum && !(math.IsNaN(float64(n)) && math.IsNaN(*tc.WantNum)) {
+			return fmt.Errorf("got %v, want %v", float64(n), *tc.WantNum)
+		}
+	case tc.WantStr != nil:
+		s, ok := got.(value.String)
+		if !ok {
+			return fmt.Errorf("got %s %v, want string", got.Kind(), got)
+		}
+		if string(s) != *tc.WantStr {
+			return fmt.Errorf("got %q, want %q", s, *tc.WantStr)
+		}
+	case tc.WantBool != nil:
+		b, ok := got.(value.Boolean)
+		if !ok {
+			return fmt.Errorf("got %s %v, want boolean", got.Kind(), got)
+		}
+		if bool(b) != *tc.WantBool {
+			return fmt.Errorf("got %v, want %v", b, *tc.WantBool)
+		}
+	default:
+		return fmt.Errorf("case has no expectation")
+	}
+	return nil
+}
+
+// MustDoc parses a corpus document by key, panicking on unknown keys.
+func MustDoc(key string) *xmltree.Document {
+	src, ok := Docs[key]
+	if !ok {
+		panic(fmt.Sprintf("enginetest: unknown doc %q", key))
+	}
+	d, err := xmltree.ParseString(src)
+	if err != nil {
+		panic(fmt.Sprintf("enginetest: doc %q: %v", key, err))
+	}
+	return d
+}
+
+// NodeByID finds the element with the given id attribute.
+func NodeByID(d *xmltree.Document, id string) *xmltree.Node {
+	for _, n := range d.Nodes {
+		if n.Type == xmltree.ElementNode {
+			if v, ok := n.Attr("id"); ok && v == id {
+				return n
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// Package evalctx defines the types shared by all five evaluators: the
+// evaluation context triple of XPath 1.0 (context node, context position,
+// context size), evaluation errors, and the operation counter with which
+// the experiment harness measures work in machine-independent units.
+package evalctx
+
+import (
+	"errors"
+	"fmt"
+
+	"xpathcomplexity/internal/xmltree"
+)
+
+// Context is the XPath 1.0 evaluation context: a context node and the two
+// integers context position and context size (§1 of the recommendation,
+// §2.2 of the paper). Pos and Size satisfy 1 ≤ Pos ≤ Size except in the
+// initial context of a query evaluated against a bare node, where both
+// are 1.
+type Context struct {
+	Node *xmltree.Node
+	Pos  int
+	Size int
+}
+
+// Root returns the canonical initial context for evaluating a query
+// against a document: the conceptual root with position and size 1.
+func Root(d *xmltree.Document) Context {
+	return Context{Node: d.Root, Pos: 1, Size: 1}
+}
+
+// At returns a context focused on n with position and size 1, the
+// convention for evaluating a query "at" a node.
+func At(n *xmltree.Node) Context {
+	return Context{Node: n, Pos: 1, Size: 1}
+}
+
+// String renders the context for error messages.
+func (c Context) String() string {
+	name := "<nil>"
+	if c.Node != nil {
+		name = fmt.Sprintf("#%d(%s)", c.Node.Ord, c.Node.Type)
+	}
+	return fmt.Sprintf("(%s, %d, %d)", name, c.Pos, c.Size)
+}
+
+// ErrBudget is returned when an evaluator exceeds its operation budget;
+// the benchmark harness uses budgets to cut off the exponential baseline
+// without hanging the suite.
+var ErrBudget = errors.New("evaluation operation budget exceeded")
+
+// Counter counts elementary evaluator operations. All evaluators bump the
+// counter once per (subexpression, context) visit, giving a
+// machine-independent work measure for the complexity experiments
+// (EXPERIMENTS.md). A nil *Counter is valid and counts nothing.
+type Counter struct {
+	// Ops is the number of elementary operations performed.
+	Ops int64
+	// Budget, when positive, bounds Ops; exceeding it aborts evaluation
+	// with ErrBudget.
+	Budget int64
+}
+
+// Step adds n operations and reports whether the budget (if any) is
+// exhausted.
+func (c *Counter) Step(n int64) error {
+	if c == nil {
+		return nil
+	}
+	c.Ops += n
+	if c.Budget > 0 && c.Ops > c.Budget {
+		return ErrBudget
+	}
+	return nil
+}
+
+// TypeError reports an XPath type mismatch (e.g. count() of a number).
+type TypeError struct {
+	Op   string
+	Want string
+	Got  string
+}
+
+// Error implements the error interface.
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("xpath: type error in %s: want %s, got %s", e.Op, e.Want, e.Got)
+}

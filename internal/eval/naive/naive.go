@@ -1,0 +1,195 @@
+// Package naive implements the "standards-document" XPath evaluator: a
+// direct recursive interpretation of the XPath 1.0 semantics with no
+// sharing of intermediate results.
+//
+// This is the paper's baseline. Section 1 observes that "all publicly
+// available XPath engines ... take time exponential in the sizes of the
+// XPath expressions in the input", because they evaluate e1/e2 by
+// re-evaluating e2 for every node produced by e1 — over intermediate
+// *bags* rather than sets — and re-evaluate conditions at every context
+// with no memoization. This package reproduces exactly that behaviour
+// (including bag semantics for intermediate location-step results), so the
+// benchmarks can exhibit the exponential-vs-polynomial separation against
+// the cvt engine (EXP-F1, EXP-T32).
+//
+// Results are still correct XPath results: bags are normalized to sets at
+// every point where a node-set value is observed.
+package naive
+
+import (
+	"fmt"
+
+	"xpathcomplexity/internal/axes"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/funcs"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// Evaluate evaluates expr in the given context. The counter (optional) is
+// bumped once per subexpression visit and once per node touched in a
+// location step; give it a Budget to cut off exponential runs.
+func Evaluate(expr ast.Expr, ctx evalctx.Context, ctr *evalctx.Counter) (value.Value, error) {
+	e := &evaluator{ctr: ctr}
+	return e.eval(expr, ctx)
+}
+
+type evaluator struct {
+	ctr *evalctx.Counter
+}
+
+func (e *evaluator) eval(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	if err := e.ctr.Step(1); err != nil {
+		return nil, err
+	}
+	switch x := expr.(type) {
+	case *ast.Path:
+		bag, err := e.evalPath(x, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.NewNodeSet(bag...), nil
+	case *ast.Binary:
+		return e.evalBinary(x, ctx)
+	case *ast.Unary:
+		v, err := e.eval(x.Operand, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Number(-value.ToNumber(v)), nil
+	case *ast.Call:
+		args := make([]value.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := e.eval(a, ctx)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return funcs.Call(x.Name, ctx, args)
+	case *ast.Number:
+		return value.Number(x.Val), nil
+	case *ast.Literal:
+		return value.String(x.Val), nil
+	case *ast.LabelTest:
+		return value.Boolean(ctx.Node != nil && ctx.Node.HasLabel(x.Label)), nil
+	default:
+		return nil, fmt.Errorf("naive: unsupported expression %T", expr)
+	}
+}
+
+func (e *evaluator) evalBinary(b *ast.Binary, ctx evalctx.Context) (value.Value, error) {
+	switch {
+	case b.Op == ast.OpOr || b.Op == ast.OpAnd:
+		l, err := e.eval(b.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		lb := value.ToBoolean(l)
+		// Short-circuit, as the recommendation permits.
+		if b.Op == ast.OpOr && lb {
+			return value.Boolean(true), nil
+		}
+		if b.Op == ast.OpAnd && !lb {
+			return value.Boolean(false), nil
+		}
+		r, err := e.eval(b.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Boolean(value.ToBoolean(r)), nil
+	case b.Op == ast.OpUnion:
+		l, err := e.eval(b.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(b.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		ln, ok1 := l.(value.NodeSet)
+		rn, ok2 := r.(value.NodeSet)
+		if !ok1 || !ok2 {
+			return nil, &evalctx.TypeError{Op: "union", Want: "node-set", Got: fmt.Sprintf("%s | %s", l.Kind(), r.Kind())}
+		}
+		return ln.Union(rn), nil
+	case b.Op.IsRelational():
+		l, err := e.eval(b.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(b.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Boolean(value.Compare(b.Op, l, r)), nil
+	default: // arithmetic
+		l, err := e.eval(b.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(b.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Number(value.Arith(b.Op, value.ToNumber(l), value.ToNumber(r))), nil
+	}
+}
+
+// evalPath evaluates a location path to a *bag* of nodes (duplicates
+// preserved between steps — the historical engine behaviour).
+func (e *evaluator) evalPath(p *ast.Path, ctx evalctx.Context) ([]*xmltree.Node, error) {
+	var cur []*xmltree.Node
+	if p.Absolute {
+		if ctx.Node == nil {
+			return nil, fmt.Errorf("naive: absolute path with no context document")
+		}
+		cur = []*xmltree.Node{ctx.Node.Document().Root}
+	} else {
+		cur = []*xmltree.Node{ctx.Node}
+	}
+	for _, step := range p.Steps {
+		var next []*xmltree.Node
+		for _, n := range cur {
+			sel := axes.SelectProximity(step.Axis, step.Test, n)
+			if err := e.ctr.Step(int64(len(sel) + 1)); err != nil {
+				return nil, err
+			}
+			for _, pred := range step.Preds {
+				filtered, err := e.filterPredicate(sel, pred)
+				if err != nil {
+					return nil, err
+				}
+				sel = filtered
+			}
+			next = append(next, sel...)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// filterPredicate applies one predicate to a proximity-ordered selection,
+// implementing the numeric-predicate shorthand ([2] ≡ [position()=2]).
+func (e *evaluator) filterPredicate(sel []*xmltree.Node, pred ast.Expr) ([]*xmltree.Node, error) {
+	out := make([]*xmltree.Node, 0, len(sel))
+	size := len(sel)
+	for i, n := range sel {
+		pctx := evalctx.Context{Node: n, Pos: i + 1, Size: size}
+		v, err := e.eval(pred, pctx)
+		if err != nil {
+			return nil, err
+		}
+		keep := false
+		if num, isNum := v.(value.Number); isNum {
+			keep = float64(num) == float64(i+1)
+		} else {
+			keep = value.ToBoolean(v)
+		}
+		if keep {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package naive
+
+import (
+	"errors"
+	"testing"
+
+	"xpathcomplexity/internal/eval/enginetest"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+func engine(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	return Evaluate(expr, ctx, nil)
+}
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, engine, enginetest.FullCaps)
+}
+
+func TestLabelTest(t *testing.T) {
+	v := xmltree.ElemL("v", []string{"G", "R"})
+	d := xmltree.NewDocument(v)
+	got, err := Evaluate(parser.MustParse("/descendant-or-self::*[T(R) and T(G)]"), evalctx.Root(d), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := got.(value.NodeSet)
+	if len(ns) != 1 || ns[0] != d.FindFirstElement("v") {
+		t.Fatalf("label query selected %v", ns)
+	}
+	got, err = Evaluate(parser.MustParse("/descendant-or-self::*[T(X)]"), evalctx.Root(d), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.(value.NodeSet)) != 0 {
+		t.Fatal("T(X) should match nothing")
+	}
+}
+
+// The naive engine's defining property: work grows exponentially with
+// query size on parent/child oscillation queries, because intermediate
+// results are bags. With k children per parent, each /parent::a/b pair
+// multiplies the bag size by k.
+func TestExponentialBagBlowup(t *testing.T) {
+	d, err := xmltree.ParseString("<a><b/><b/><b/></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := "//b"
+	var prevOps int64
+	var ratios []float64
+	for i := 0; i < 5; i++ {
+		ctr := &evalctx.Counter{}
+		v, err := Evaluate(parser.MustParse(query), evalctx.Root(d), ctr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v.(value.NodeSet)) != 3 {
+			t.Fatalf("query %s: got %d nodes, want 3", query, len(v.(value.NodeSet)))
+		}
+		if prevOps > 0 {
+			ratios = append(ratios, float64(ctr.Ops)/float64(prevOps))
+		}
+		prevOps = ctr.Ops
+		query += "/parent::a/b"
+	}
+	// The last growth ratio should approach the fanout (3); anything
+	// clearly above 2 demonstrates the exponential regime.
+	last := ratios[len(ratios)-1]
+	if last < 2 {
+		t.Errorf("bag blowup ratio = %v, want ≥ 2 (ratios %v)", last, ratios)
+	}
+}
+
+func TestBudgetAborts(t *testing.T) {
+	d, err := xmltree.ParseString("<a><b/><b/><b/></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := "//b/parent::a/b/parent::a/b/parent::a/b/parent::a/b/parent::a/b"
+	ctr := &evalctx.Counter{Budget: 50}
+	_, err = Evaluate(parser.MustParse(q), evalctx.Root(d), ctr)
+	if !errors.Is(err, evalctx.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestUnionTypeError(t *testing.T) {
+	// The parser rejects literal non-node-set unions, so build the AST
+	// directly to exercise the evaluator's own guard.
+	bad := &ast.Binary{Op: ast.OpUnion, Left: &ast.Number{Val: 1}, Right: &ast.Path{Steps: []*ast.Step{{Axis: ast.AxisChild, Test: ast.NodeTest{Kind: ast.TestStar}}}}}
+	d, _ := xmltree.ParseString("<a/>")
+	if _, err := Evaluate(bad, evalctx.Root(d), nil); err == nil {
+		t.Fatal("union of number should be a type error")
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// 'or' with a true left side must not evaluate the right side: give the
+	// right side something that would blow the budget.
+	d, _ := xmltree.ParseString("<a><b/><b/><b/></a>")
+	expensive := "//b/parent::a/b/parent::a/b/parent::a/b/parent::a/b/parent::a/b/parent::a/b/parent::a/b"
+	q := "//b[true() or " + expensive + "]"
+	ctr := &evalctx.Counter{Budget: 2000}
+	v, err := Evaluate(parser.MustParse(q), evalctx.Root(d), ctr)
+	if err != nil {
+		t.Fatalf("short-circuit or still evaluated right side: %v", err)
+	}
+	if len(v.(value.NodeSet)) != 3 {
+		t.Fatalf("got %d nodes", len(v.(value.NodeSet)))
+	}
+}

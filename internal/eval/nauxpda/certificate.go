@@ -1,0 +1,307 @@
+package nauxpda
+
+import (
+	"fmt"
+	"strings"
+
+	"xpathcomplexity/internal/axes"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// A Derivation is an accepting certificate of the Singleton-Success
+// decision procedure: the tree of Table 1 rows (with their instantiated
+// guesses) that witnesses membership. This is the object whose
+// polynomial size underlies LOGCFL ⊆ P — Certificate makes it printable
+// so users can see *why* a node is in a query's result.
+type Derivation struct {
+	// Rule is the Table 1 row (or extension) applied, e.g. "π1/π2".
+	Rule string
+	// Detail instantiates the rule: which nodes, positions, sizes.
+	Detail string
+	// Children are the sub-derivations the rule depends on.
+	Children []*Derivation
+}
+
+// String renders the derivation as an indented proof tree.
+func (d *Derivation) String() string {
+	var b strings.Builder
+	d.render(&b, 0)
+	return b.String()
+}
+
+func (d *Derivation) render(b *strings.Builder, depth int) {
+	fmt.Fprintf(b, "%s%-8s %s\n", strings.Repeat("  ", depth), d.Rule, d.Detail)
+	for _, c := range d.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// Size counts derivation nodes (certificate size).
+func (d *Derivation) Size() int {
+	n := 1
+	for _, c := range d.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Certificate produces the accepting derivation for "node r is selected
+// by expr evaluated at ctx", or reports that none exists. The query must
+// lie in the fragment the nauxpda engine accepts.
+func Certificate(expr ast.Expr, ctx evalctx.Context, r *xmltree.Node, opts Options) (*Derivation, bool, error) {
+	expr, err := prepare(expr, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if ast.StaticType(expr) != ast.TypeNodeSet {
+		return nil, false, fmt.Errorf("nauxpda: Certificate explains node-set membership; query is %v-typed", ast.StaticType(expr))
+	}
+	c := newChecker(ctx, opts)
+	d := &deriver{checker: c}
+	der, ok, err := d.holdsExpr(expr, ctx.Node, r)
+	if err != nil {
+		return nil, false, err
+	}
+	return der, ok, nil
+}
+
+// deriver mirrors the checker's judgments but records the instantiated
+// Table 1 rows of the accepting run. It reuses the memoized checker for
+// search (finding witnesses cheaply) and only rebuilds derivations along
+// the accepting path, so certificate extraction stays polynomial.
+type deriver struct {
+	checker *checker
+}
+
+func nodeRef(n *xmltree.Node) string {
+	if n == nil {
+		return "⊥"
+	}
+	switch n.Type {
+	case xmltree.RootNode:
+		return "root"
+	case xmltree.AttributeNode:
+		return fmt.Sprintf("@%s#%d", n.Name, n.Ord)
+	case xmltree.TextNode:
+		return fmt.Sprintf("text#%d", n.Ord)
+	default:
+		return fmt.Sprintf("<%s>#%d", n.Name, n.Ord)
+	}
+}
+
+func (d *deriver) holdsExpr(expr ast.Expr, n, r *xmltree.Node) (*Derivation, bool, error) {
+	switch x := expr.(type) {
+	case *ast.Path:
+		return d.holdsPath(x, n, r)
+	case *ast.Binary:
+		if x.Op != ast.OpUnion {
+			return nil, false, fmt.Errorf("nauxpda: %v is not a node-set expression", x.Op)
+		}
+		// Row π1|π2: pick the accepting branch.
+		if der, ok, err := d.holdsExpr(x.Left, n, r); err != nil || ok {
+			if ok {
+				return &Derivation{Rule: "π1|π2", Detail: fmt.Sprintf("left branch selects %s", nodeRef(r)), Children: []*Derivation{der}}, true, err
+			}
+			return nil, false, err
+		}
+		der, ok, err := d.holdsExpr(x.Right, n, r)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		return &Derivation{Rule: "π1|π2", Detail: fmt.Sprintf("right branch selects %s", nodeRef(r)), Children: []*Derivation{der}}, true, nil
+	default:
+		return nil, false, fmt.Errorf("nauxpda: unsupported node-set expression %T", expr)
+	}
+}
+
+func (d *deriver) holdsPath(p *ast.Path, n, r *xmltree.Node) (*Derivation, bool, error) {
+	if p.Absolute {
+		root := d.checker.doc.Root
+		der, ok, err := d.holdsSteps(p, 0, root, r)
+		if err != nil || !ok {
+			if p.Absolute && len(p.Steps) == 0 {
+				return &Derivation{Rule: "/π", Detail: "bare '/' selects the root"}, r == root, nil
+			}
+			return nil, false, err
+		}
+		return &Derivation{Rule: "/π", Detail: "n := root", Children: []*Derivation{der}}, true, nil
+	}
+	return d.holdsSteps(p, 0, n, r)
+}
+
+func (d *deriver) holdsSteps(p *ast.Path, i int, n, r *xmltree.Node) (*Derivation, bool, error) {
+	if len(p.Steps) == 0 {
+		return nil, false, fmt.Errorf("nauxpda: empty path")
+	}
+	step := p.Steps[i]
+	if i == len(p.Steps)-1 {
+		return d.holdsStep(step, n, r)
+	}
+	// Row π1/π2: find the accepting intermediate with the memoized
+	// checker, then derive both halves.
+	for _, mid := range d.checker.doc.Nodes {
+		ok, err := d.checker.holdsStep(step, n, mid)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			continue
+		}
+		ok, err = d.checker.holdsSteps(p, i+1, mid, r)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			continue
+		}
+		left, _, err := d.holdsStep(step, n, mid)
+		if err != nil {
+			return nil, false, err
+		}
+		right, _, err := d.holdsSteps(p, i+1, mid, r)
+		if err != nil {
+			return nil, false, err
+		}
+		return &Derivation{
+			Rule:     "π1/π2",
+			Detail:   fmt.Sprintf("intermediate r1 := %s", nodeRef(mid)),
+			Children: []*Derivation{left, right},
+		}, true, nil
+	}
+	return nil, false, nil
+}
+
+func (d *deriver) holdsStep(step *ast.Step, n, r *xmltree.Node) (*Derivation, bool, error) {
+	if !axes.ReachableTest(step.Axis, step.Test, n, r) {
+		return nil, false, nil
+	}
+	if len(step.Preds) == 0 {
+		return &Derivation{
+			Rule:   "χ::t",
+			Detail: fmt.Sprintf("%s reachable from %s via %s::%s", nodeRef(r), nodeRef(n), step.Axis, step.Test),
+		}, true, nil
+	}
+	pred := step.Preds[0]
+	pos, size := axes.CountSelect(step.Axis, step.Test, n, r)
+	pctx := evalctx.Context{Node: r, Pos: pos, Size: size}
+	ok, err := d.checker.predicate(pred, pctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	child, err := d.truth(pred, pctx)
+	if err != nil {
+		return nil, false, err
+	}
+	return &Derivation{
+		Rule: "χ::t[e]",
+		Detail: fmt.Sprintf("%s ∈ Y = %s::%s(%s) at position %d of %d; predicate holds",
+			nodeRef(r), step.Axis, step.Test, nodeRef(n), pos, size),
+		Children: []*Derivation{child},
+	}, true, nil
+}
+
+// truth derives the boolean rows; it is only called on predicates already
+// known to hold.
+func (d *deriver) truth(expr ast.Expr, ctx evalctx.Context) (*Derivation, error) {
+	ctxStr := fmt.Sprintf("at (%s, %d, %d)", nodeRef(ctx.Node), ctx.Pos, ctx.Size)
+	switch x := expr.(type) {
+	case *ast.Binary:
+		switch {
+		case x.Op == ast.OpAnd:
+			l, err := d.truth(x.Left, ctx)
+			if err != nil {
+				return nil, err
+			}
+			r, err := d.truth(x.Right, ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &Derivation{Rule: "e1∧e2", Detail: ctxStr, Children: []*Derivation{l, r}}, nil
+		case x.Op == ast.OpOr:
+			if ok, err := d.checker.truthOrExists(x.Left, ctx); err == nil && ok {
+				l, err := d.truth(x.Left, ctx)
+				if err != nil {
+					return nil, err
+				}
+				return &Derivation{Rule: "e1∨e2", Detail: "left disjunct " + ctxStr, Children: []*Derivation{l}}, nil
+			}
+			r, err := d.truth(x.Right, ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &Derivation{Rule: "e1∨e2", Detail: "right disjunct " + ctxStr, Children: []*Derivation{r}}, nil
+		case x.Op == ast.OpUnion:
+			return d.exists(x, ctx)
+		case x.Op.IsRelational():
+			return &Derivation{Rule: "RelOp", Detail: fmt.Sprintf("%s holds %s", x, ctxStr)}, nil
+		default:
+			return nil, fmt.Errorf("nauxpda: %v in boolean position", x.Op)
+		}
+	case *ast.Call:
+		switch x.Name {
+		case "boolean":
+			return d.truth(x.Args[0], ctx)
+		case "not":
+			return &Derivation{Rule: "not(e)", Detail: fmt.Sprintf("complement check: %s is false %s (Theorem 5.9 loop)", x.Args[0], ctxStr)}, nil
+		case "true":
+			return &Derivation{Rule: "true()", Detail: ctxStr}, nil
+		case "contains", "starts-with":
+			return &Derivation{Rule: x.Name + "()", Detail: fmt.Sprintf("%s holds %s", x, ctxStr)}, nil
+		default:
+			return nil, fmt.Errorf("nauxpda: function %q in certificate", x.Name)
+		}
+	case *ast.LabelTest:
+		return &Derivation{Rule: "T(l)", Detail: fmt.Sprintf("%s carries label %s", nodeRef(ctx.Node), x.Label)}, nil
+	case *ast.Path:
+		return d.exists(x, ctx)
+	default:
+		return nil, fmt.Errorf("nauxpda: unsupported boolean expression %T in certificate", expr)
+	}
+}
+
+// exists derives the boolean(π) row by exhibiting the witness node.
+func (d *deriver) exists(expr ast.Expr, ctx evalctx.Context) (*Derivation, error) {
+	for _, r := range d.checker.doc.Nodes {
+		ok, err := d.checker.holdsExpr(expr, ctx.Node, r)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		child, _, err := d.holdsExpr(expr, ctx.Node, r)
+		if err != nil {
+			return nil, err
+		}
+		return &Derivation{
+			Rule:     "boolean(π)",
+			Detail:   fmt.Sprintf("witness r1 := %s", nodeRef(r)),
+			Children: []*Derivation{child},
+		}, nil
+	}
+	return nil, fmt.Errorf("nauxpda: exists-derivation requested for a false condition")
+}
+
+// WhyMember is a convenience wrapper: it renders the certificate for node
+// membership, or explains the absence of one.
+func WhyMember(expr ast.Expr, ctx evalctx.Context, r *xmltree.Node, opts Options) (string, error) {
+	der, ok, err := Certificate(expr, ctx, r, opts)
+	if err != nil {
+		return "", err
+	}
+	if !ok {
+		// Sanity: agree with the decision procedure.
+		member, err := SingletonSuccess(expr, ctx, value.NewNodeSet(r), opts)
+		if err != nil {
+			return "", err
+		}
+		if member {
+			return "", fmt.Errorf("nauxpda: internal disagreement between Certificate and SingletonSuccess")
+		}
+		return fmt.Sprintf("%s is NOT selected: no consistent certificate exists (every guess fails some Table 1 check)\n", nodeRef(r)), nil
+	}
+	return fmt.Sprintf("%s IS selected; accepting certificate (%d Table 1 rows):\n%s", nodeRef(r), der.Size(), der), nil
+}

@@ -1,0 +1,136 @@
+package nauxpda
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xpathcomplexity/internal/eval/enginetest"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+func TestCertificateBasic(t *testing.T) {
+	d, err := xmltree.ParseString(`<a><b>5</b><b>7</b><c><b>9</b></c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := d.FindAll(func(n *xmltree.Node) bool { return n.Name == "b" })
+	expr := parser.MustParse("/a/c/b")
+	der, ok, err := Certificate(expr, evalctx.Root(d), bs[2], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("b under c should be selected")
+	}
+	s := der.String()
+	for _, want := range []string{"/π", "π1/π2", "χ::t", "intermediate"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("certificate missing %q:\n%s", want, s)
+		}
+	}
+	// A non-member yields no certificate.
+	_, ok, err = Certificate(expr, evalctx.Root(d), bs[0], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("first b should not be selected by /a/c/b")
+	}
+}
+
+func TestCertificateWithPredicates(t *testing.T) {
+	d, err := xmltree.ParseString(`<a><b><c/></b><b/><b><c/></b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := d.FindAll(func(n *xmltree.Node) bool { return n.Name == "b" })
+	expr := parser.MustParse("//b[c and position() > 1]")
+	der, ok, err := Certificate(expr, evalctx.Root(d), bs[2], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("third b has c and position 3")
+	}
+	s := der.String()
+	for _, want := range []string{"χ::t[e]", "position 3 of 3", "e1∧e2", "boolean(π)", "RelOp"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("certificate missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWhyMember(t *testing.T) {
+	d, _ := xmltree.ParseString(`<a><b/><c/></a>`)
+	b := d.FindFirstElement("b")
+	c := d.FindFirstElement("c")
+	expr := parser.MustParse("/a/b | /a/z")
+	why, err := WhyMember(expr, evalctx.Root(d), b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(why, "IS selected") || !strings.Contains(why, "π1|π2") {
+		t.Errorf("WhyMember positive wrong:\n%s", why)
+	}
+	why, err = WhyMember(expr, evalctx.Root(d), c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(why, "NOT selected") {
+		t.Errorf("WhyMember negative wrong:\n%s", why)
+	}
+}
+
+// Property: Certificate(ok) agrees with SingletonSuccess on random pWF
+// queries, and accepting certificates are polynomial in |Q|·|D|.
+func TestCertificateAgreesWithDecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	gen := enginetest.NewQueryGen(rng, enginetest.GenPWF)
+	checked := 0
+	for trial := 0; trial < 120; trial++ {
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 12, MaxFanout: 3, Tags: []string{"a", "b"},
+		})
+		q := gen.Query()
+		expr := parser.MustParse(q)
+		if ast.StaticType(expr) != ast.TypeNodeSet {
+			continue
+		}
+		ctx := evalctx.Root(doc)
+		for _, r := range doc.Nodes {
+			want, err := SingletonSuccess(expr, ctx, value.NewNodeSet(r), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			der, got, err := Certificate(expr, ctx, r, Options{})
+			if err != nil {
+				t.Fatalf("Certificate(%q): %v", q, err)
+			}
+			if got != want {
+				t.Fatalf("Certificate/decision disagreement on %q node #%d: %v vs %v", q, r.Ord, got, want)
+			}
+			if got {
+				bound := ast.Size(expr) * len(doc.Nodes) * len(doc.Nodes)
+				if der.Size() > bound {
+					t.Fatalf("certificate size %d exceeds |Q|·|D|² = %d on %q", der.Size(), bound, q)
+				}
+			}
+			checked++
+		}
+	}
+	if checked < 200 {
+		t.Fatalf("only %d membership instances checked", checked)
+	}
+}
+
+func TestCertificateRejectsNonNodeSet(t *testing.T) {
+	d, _ := xmltree.ParseString("<a/>")
+	if _, _, err := Certificate(parser.MustParse("1 + 1"), evalctx.Root(d), d.Root, Options{}); err == nil {
+		t.Fatal("number query should be rejected")
+	}
+}

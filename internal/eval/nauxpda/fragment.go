@@ -1,0 +1,89 @@
+package nauxpda
+
+import (
+	"errors"
+	"fmt"
+
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// Fragment-violation errors. Each corresponds to one of the restrictions
+// of Definitions 5.1 and 6.1 — the constructs whose presence pushes the
+// combined complexity from LOGCFL up to P (Theorems 3.2, 5.7).
+var (
+	// ErrIteratedPredicates: steps of the form χ::t[e1][e2]... are
+	// P-hard to add (Theorem 5.7 / Corollary 5.8).
+	ErrIteratedPredicates = errors.New("iterated predicates are outside pXPath (Definition 6.1(1))")
+	// ErrNegationDepth: not() beyond the configured bound (Theorems
+	// 5.9/6.3 allow only constant-depth negation).
+	ErrNegationDepth = errors.New("negation depth exceeds the configured bound (Theorem 5.9)")
+	// ErrForbiddenFunction: count, sum, string, number and the listed
+	// string functions force materialized node sets or unbounded scalars
+	// (Definition 6.1(2)).
+	ErrForbiddenFunction = errors.New("function is outside pXPath (Definition 6.1(2))")
+	// ErrBooleanRelOp: relational operators over boolean operands can
+	// encode negation (Definition 6.1(3)).
+	ErrBooleanRelOp = errors.New("relational operator on boolean operand is outside pXPath (Definition 6.1(3))")
+	// ErrArithDepth: arithmetic nesting beyond the configured constant
+	// (Definition 5.1(3) / 6.1(4)).
+	ErrArithDepth = errors.New("arithmetic nesting exceeds the configured bound (Definition 6.1(4))")
+)
+
+// forbiddenFunctions are the functions Definition 6.1(2) excludes from
+// pXPath.
+var forbiddenFunctions = map[string]bool{
+	"not":   true, // handled separately via the negation bound
+	"count": true, "sum": true, "string": true, "number": true,
+	"local-name": true, "namespace-uri": true, "name": true,
+	"string-length": true, "normalize-space": true,
+}
+
+// Limits configure the constant bounds of Definitions 5.1/6.1 and
+// Theorem 5.9.
+type Limits struct {
+	// NegationDepth is the maximal nesting depth of not() accepted
+	// (0 = pure pXPath; k > 0 = the bounded-negation extension of
+	// Theorems 5.9/6.3).
+	NegationDepth int
+	// ArithDepth is the constant K of Definition 6.1(4). Zero means the
+	// default of 8.
+	ArithDepth int
+}
+
+func (l Limits) arithDepth() int {
+	if l.ArithDepth == 0 {
+		return 8
+	}
+	return l.ArithDepth
+}
+
+// Check verifies that expr lies in pXPath extended with negation up to
+// lim.NegationDepth, returning a descriptive error naming the violated
+// restriction otherwise.
+func Check(expr ast.Expr, lim Limits) error {
+	if m := ast.MaxPredicateSeq(expr); m >= 2 {
+		return fmt.Errorf("%w: a step carries %d predicates", ErrIteratedPredicates, m)
+	}
+	if d := ast.NegationDepth(expr); d > lim.NegationDepth {
+		return fmt.Errorf("%w: depth %d > bound %d", ErrNegationDepth, d, lim.NegationDepth)
+	}
+	if d := ast.ArithDepth(expr); d > lim.arithDepth() {
+		return fmt.Errorf("%w: depth %d > bound %d", ErrArithDepth, d, lim.arithDepth())
+	}
+	for name := range ast.FunctionsUsed(expr) {
+		if name != "not" && forbiddenFunctions[name] {
+			return fmt.Errorf("%w: %s()", ErrForbiddenFunction, name)
+		}
+	}
+	var walkErr error
+	ast.Walk(expr, func(e ast.Expr) bool {
+		if b, ok := e.(*ast.Binary); ok && b.Op.IsRelational() {
+			if ast.StaticType(b.Left) == ast.TypeBoolean || ast.StaticType(b.Right) == ast.TypeBoolean {
+				walkErr = fmt.Errorf("%w: %s", ErrBooleanRelOp, b)
+				return false
+			}
+		}
+		return walkErr == nil
+	})
+	return walkErr
+}

@@ -1,0 +1,810 @@
+package nauxpda
+
+import (
+	"fmt"
+
+	"xpathcomplexity/internal/axes"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// This file implements the NAuxPDA of the Lemma 5.4 proof *literally*: an
+// explicit machine with
+//
+//   - a worktape holding CurrN, Dir, and the K+2 value records CurrVal,
+//     AuxVal and ChildVal[1..K] (each with cnode, cpos, csize, res);
+//   - a stack onto which (CurrVal, ChildVal[·], CurrN) is pushed on every
+//     downward move and popped before every upward move;
+//   - a depth-first, left-to-right traversal of the query tree that
+//     guesses a context and result when entering a node downward and
+//     checks the Table 1 local consistency condition when leaving it
+//     upward.
+//
+// Nondeterminism is realized by a backtracking chooser: the machine runs
+// deterministically against a recorded choice string, and the driver
+// explores the choice tree depth-first. This is exponential in the worst
+// case — which is the point: the machine exists to *validate* the
+// memoized polynomial simulation in nauxpda.go against the paper's
+// automaton on small instances, not to replace it. The one shortcut taken
+// is that number- and string-valued results, being functionally
+// determined by the guessed context (see the package comment), are
+// computed instead of guessed from an infinite domain; acceptance is
+// unchanged.
+//
+// The machine handles the pWF-shaped core (Definition 5.1): location
+// paths decomposed into binary compositions, single predicates, and, or,
+// boolean(), numeric RelOp/ArithOp, position(), last(), constants, T(l).
+
+// qnode is a node of the machine's query tree. The paper's K (maximum
+// child count) is 2; children beyond the nondeterministically relevant
+// one are skipped exactly as in the proof ("ignore the whole subtree ...
+// rooted at the other child node").
+type qnode struct {
+	kind     qkind
+	children []*qnode
+
+	// Leaf/step payload.
+	step  *ast.Step // qStep: χ::t with optional single predicate (child 0)
+	op    ast.BinOp // qRelOp
+	num   float64   // qConst
+	label string    // qLabel
+	expr  ast.Expr  // original numeric/string subexpression for qScalar
+}
+
+type qkind int
+
+const (
+	qStep     qkind = iota // χ::t or χ::t[e]; child 0 (if any) is e
+	qRoot                  // /π (child 0 = π)
+	qCompose               // π1/π2
+	qUnion                 // π1|π2
+	qAnd                   // e1 and e2
+	qOr                    // e1 or e2
+	qBoolean               // boolean(π) / implicit exists
+	qNot                   // not(e) — bounded negation extension
+	qRelOp                 // e1 RelOp e2 over scalars (children are qScalar)
+	qScalar                // a number-valued expression, computed directly
+	qPosition              // position()
+	qLast                  // last()
+	qConst                 // numeric constant
+	qLabel                 // T(l)
+)
+
+func (k qkind) String() string {
+	switch k {
+	case qStep:
+		return "step"
+	case qRoot:
+		return "/"
+	case qCompose:
+		return "compose"
+	case qUnion:
+		return "union"
+	case qAnd:
+		return "and"
+	case qOr:
+		return "or"
+	case qBoolean:
+		return "boolean"
+	case qNot:
+		return "not"
+	case qRelOp:
+		return "relop"
+	case qScalar:
+		return "scalar"
+	case qPosition:
+		return "position"
+	case qLast:
+		return "last"
+	case qConst:
+		return "const"
+	case qLabel:
+		return "label"
+	default:
+		return "?"
+	}
+}
+
+// buildQueryTree compiles an expression into the machine's query tree.
+// Unsupported constructs return an error (the machine covers the pWF core
+// plus T(l) and bounded not()).
+func buildQueryTree(e ast.Expr) (*qnode, error) {
+	switch x := e.(type) {
+	case *ast.Path:
+		return buildPathTree(x)
+	case *ast.Binary:
+		switch {
+		case x.Op == ast.OpAnd || x.Op == ast.OpOr:
+			l, err := buildCondTree(x.Left)
+			if err != nil {
+				return nil, err
+			}
+			r, err := buildCondTree(x.Right)
+			if err != nil {
+				return nil, err
+			}
+			k := qAnd
+			if x.Op == ast.OpOr {
+				k = qOr
+			}
+			return &qnode{kind: k, children: []*qnode{l, r}}, nil
+		case x.Op == ast.OpUnion:
+			l, err := buildQueryTree(x.Left)
+			if err != nil {
+				return nil, err
+			}
+			r, err := buildQueryTree(x.Right)
+			if err != nil {
+				return nil, err
+			}
+			return &qnode{kind: qUnion, children: []*qnode{l, r}}, nil
+		case x.Op.IsRelational():
+			if ast.StaticType(x.Left) != ast.TypeNumber || ast.StaticType(x.Right) != ast.TypeNumber {
+				return nil, fmt.Errorf("nauxpda machine: RelOp over non-numbers is outside the machine's pWF core")
+			}
+			return &qnode{kind: qRelOp, op: x.Op, children: []*qnode{
+				{kind: qScalar, expr: x.Left},
+				{kind: qScalar, expr: x.Right},
+			}}, nil
+		default:
+			if ast.StaticType(e) == ast.TypeNumber {
+				return &qnode{kind: qScalar, expr: e}, nil
+			}
+			return nil, fmt.Errorf("nauxpda machine: %v at query top level unsupported", x.Op)
+		}
+	case *ast.Call:
+		switch x.Name {
+		case "boolean":
+			inner, err := buildQueryTree(x.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			return &qnode{kind: qBoolean, children: []*qnode{inner}}, nil
+		case "not":
+			inner, err := buildCondTree(x.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			return &qnode{kind: qNot, children: []*qnode{inner}}, nil
+		case "position":
+			return &qnode{kind: qPosition}, nil
+		case "last":
+			return &qnode{kind: qLast}, nil
+		case "true":
+			return &qnode{kind: qConst, num: 1}, nil
+		case "false":
+			return &qnode{kind: qConst, num: 0}, nil
+		default:
+			return nil, fmt.Errorf("nauxpda machine: function %q unsupported", x.Name)
+		}
+	case *ast.Number:
+		return &qnode{kind: qConst, num: x.Val}, nil
+	case *ast.Unary:
+		return &qnode{kind: qScalar, expr: x}, nil
+	case *ast.LabelTest:
+		return &qnode{kind: qLabel, label: x.Label}, nil
+	default:
+		return nil, fmt.Errorf("nauxpda machine: %T unsupported", e)
+	}
+}
+
+// buildCondTree builds a boolean-context subtree: node-set expressions get
+// the implicit exists-semantics (wrapped in qBoolean).
+func buildCondTree(e ast.Expr) (*qnode, error) {
+	n, err := buildQueryTree(e)
+	if err != nil {
+		return nil, err
+	}
+	switch n.kind {
+	case qStep, qCompose, qRoot, qUnion:
+		return &qnode{kind: qBoolean, children: []*qnode{n}}, nil
+	default:
+		return n, nil
+	}
+}
+
+// buildPathTree decomposes a location path into binary composition nodes,
+// with χ::t[e] steps carrying their predicate as child 0.
+func buildPathTree(p *ast.Path) (*qnode, error) {
+	var cur *qnode
+	for _, s := range p.Steps {
+		if len(s.Preds) > 1 {
+			return nil, fmt.Errorf("nauxpda machine: %w", ErrIteratedPredicates)
+		}
+		sn := &qnode{kind: qStep, step: s}
+		if len(s.Preds) == 1 {
+			pred := s.Preds[0]
+			if ast.StaticType(pred) == ast.TypeNumber {
+				// Positional shorthand [k] ≡ [position() = k].
+				pn := &qnode{kind: qRelOp, op: ast.OpEq, children: []*qnode{
+					{kind: qPosition},
+					{kind: qScalar, expr: pred},
+				}}
+				sn.children = []*qnode{pn}
+			} else {
+				pn, err := buildCondTree(pred)
+				if err != nil {
+					return nil, err
+				}
+				sn.children = []*qnode{pn}
+			}
+		}
+		if cur == nil {
+			cur = sn
+		} else {
+			cur = &qnode{kind: qCompose, children: []*qnode{cur, sn}}
+		}
+	}
+	if cur == nil {
+		// A bare "/": selects exactly the root.
+		cur = &qnode{kind: qStep, step: &ast.Step{Axis: ast.AxisSelf, Test: ast.NodeTest{Kind: ast.TestNode}}}
+	}
+	if p.Absolute {
+		cur = &qnode{kind: qRoot, children: []*qnode{cur}}
+	}
+	return cur, nil
+}
+
+// val is one value record of the worktape: a context triple plus a result
+// component. Exactly the cnode/cpos/csize/res of the proof; undefined
+// components are nil/0.
+type val struct {
+	cnode *xmltree.Node
+	cpos  int
+	csize int
+	// res is the guessed result: a node (node-set typed subexpressions),
+	// true (boolean), or a number.
+	resNode *xmltree.Node
+	resBool bool
+	resNum  float64
+}
+
+// chooser drives the machine's nondeterminism by replaying a recorded
+// choice string and extending it depth-first.
+type chooser struct {
+	replay []int // fixed prefix of choices
+	used   int   // choices consumed this run
+	maxes  []int // branching factor at each consumed choice point
+	budget *evalctx.Counter
+	stats  *MachineStats
+}
+
+var errDead = fmt.Errorf("nauxpda machine: run rejected")
+
+// choose returns the current run's choice in [0, max); recording the
+// branching factor for the driver.
+func (c *chooser) choose(max int) (int, error) {
+	if max <= 0 {
+		return 0, errDead
+	}
+	if err := c.budget.Step(1); err != nil {
+		return 0, err
+	}
+	if c.stats != nil {
+		c.stats.Choices++
+	}
+	c.maxes = append(c.maxes, max)
+	if c.used < len(c.replay) {
+		v := c.replay[c.used]
+		c.used++
+		return v, nil
+	}
+	c.used++
+	c.replay = append(c.replay, 0)
+	return 0, nil
+}
+
+// MachineOptions configure the literal automaton.
+type MachineOptions struct {
+	// MaxRuns bounds the number of nondeterministic runs explored; 0
+	// means 1<<20. The machine is a validation artifact for small
+	// instances, not a production evaluator.
+	MaxRuns int
+	// Counter counts choice steps across all runs; may be nil.
+	Counter *evalctx.Counter
+	// Stats, when non-nil, receives resource measurements across all
+	// runs — the quantitative face of the Lemma 5.4 space argument.
+	Stats *MachineStats
+}
+
+// MachineStats reports the machine's resource use.
+type MachineStats struct {
+	// Runs is the number of nondeterministic runs explored.
+	Runs int
+	// MaxStack is the deepest stack across all runs; the Lemma 5.4
+	// machine pushes one frame per query-tree level, so this is bounded
+	// by the query-tree depth — NOT by the document size.
+	MaxStack int
+	// Choices is the total number of nondeterministic choices made.
+	Choices int64
+}
+
+// MachineAccepts runs the literal NAuxPDA on a Singleton-Success instance
+// (D through ctx, Q, v) and reports whether some nondeterministic run
+// accepts. Query support is the pWF core (plus T(l), bounded not()); the
+// result v must be a singleton node-set, Boolean(true), or a number.
+func MachineAccepts(expr ast.Expr, ctx evalctx.Context, v value.Value, opts MachineOptions) (bool, error) {
+	root, err := buildQueryTree(expr)
+	if err != nil {
+		return false, err
+	}
+	doc := ctx.Node.Document()
+	initial := val{cnode: ctx.Node, cpos: ctx.Pos, csize: ctx.Size}
+	switch x := v.(type) {
+	case value.NodeSet:
+		if len(x) != 1 {
+			return false, fmt.Errorf("nauxpda machine: need a singleton node-set, got %d nodes", len(x))
+		}
+		initial.resNode = x[0]
+	case value.Boolean:
+		if !bool(x) {
+			return false, fmt.Errorf("nauxpda machine: boolean instances check the value true (Definition 5.3)")
+		}
+		initial.resBool = true
+	case value.Number:
+		initial.resNum = float64(x)
+	default:
+		return false, fmt.Errorf("nauxpda machine: unsupported result type %v", v.Kind())
+	}
+
+	maxRuns := opts.MaxRuns
+	if maxRuns == 0 {
+		maxRuns = 1 << 20
+	}
+	// Depth-first exploration of the choice tree: run the machine with a
+	// replay prefix; on rejection, increment the last choice point with
+	// room, truncating deeper ones.
+	replay := []int{}
+	for run := 0; run < maxRuns; run++ {
+		if opts.Stats != nil {
+			opts.Stats.Runs++
+		}
+		c := &chooser{replay: append([]int(nil), replay...), budget: opts.Counter, stats: opts.Stats}
+		ok, err := machineRun(doc, root, initial, c, opts.Stats)
+		if err != nil && err != errDead {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		// Advance to the next choice string.
+		i := len(c.maxes) - 1
+		replay = c.replay[:c.used]
+		maxes := c.maxes
+		for i >= 0 {
+			if replay[i]+1 < maxes[i] {
+				replay[i]++
+				replay = replay[:i+1]
+				break
+			}
+			i--
+		}
+		if i < 0 {
+			return false, nil // choice tree exhausted
+		}
+	}
+	return false, fmt.Errorf("nauxpda machine: run budget exhausted (%d runs)", maxRuns)
+}
+
+// frame is one stack entry: the values pushed when leaving a node in
+// downward direction, exactly (CurrVal, ChildVal[1..K], CurrN) as in the
+// proof.
+type frame struct {
+	currVal  val
+	childVal [2]val
+	childSet [2]bool
+	currN    *qnode
+	// visiting is the index of the child being processed below this
+	// frame.
+	visiting int
+}
+
+// machineRun executes one nondeterministic run, with all guesses resolved
+// through the chooser. It mirrors the proof's structure: an explicit
+// stack, downward entries guessing CurrVal, upward returns filling the
+// parent's ChildVal and triggering the local consistency check.
+func machineRun(doc *xmltree.Document, root *qnode, initial val, c *chooser, stats *MachineStats) (bool, error) {
+	var stack []*frame
+
+	// Machine registers.
+	currN := root
+	currVal := initial
+	var childVal [2]val
+	var childSet [2]bool
+
+	// moveDown pushes the current node and enters child i with a freshly
+	// guessed value record.
+	moveDown := func(i int) error {
+		stack = append(stack, &frame{
+			currVal: currVal, childVal: childVal, childSet: childSet,
+			currN: currN, visiting: i,
+		})
+		if stats != nil && len(stack) > stats.MaxStack {
+			stats.MaxStack = len(stack)
+		}
+		child := currN.children[i]
+		guessed, err := guessVal(doc, currN, i, currVal, childVal, child, c)
+		if err != nil {
+			return err
+		}
+		currN = child
+		currVal = guessed
+		childVal = [2]val{}
+		childSet = [2]bool{}
+		return nil
+	}
+
+	// moveUp pops the parent frame, stores the finished value in
+	// ChildVal[i] (via AuxVal, as in the proof) and restores registers.
+	moveUp := func() {
+		auxVal := currVal
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		currN = f.currN
+		currVal = f.currVal
+		childVal = f.childVal
+		childSet = f.childSet
+		childVal[f.visiting] = auxVal
+		childSet[f.visiting] = true
+	}
+
+	for {
+		// Decide what to process next at currN.
+		next, done, err := nextChild(currN, childSet, c)
+		if err != nil {
+			return false, err
+		}
+		if !done {
+			if err := moveDown(next); err != nil {
+				return false, err
+			}
+			continue
+		}
+		// All required children processed (or leaf): local consistency.
+		ok, err := consistent(doc, currN, currVal, childVal, childSet)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, errDead
+		}
+		if len(stack) == 0 {
+			return true, nil // back at R with success
+		}
+		moveUp()
+	}
+}
+
+// nextChild selects the next child to visit at node n, or reports that
+// the node is ready for its consistency check. For or/union nodes a
+// single child is chosen nondeterministically ("we choose
+// nondeterministically a single child ... and ignore the whole subtree
+// rooted at the other child node").
+func nextChild(n *qnode, childSet [2]bool, c *chooser) (int, bool, error) {
+	switch n.kind {
+	case qOr, qUnion:
+		if childSet[0] || childSet[1] {
+			return 0, true, nil
+		}
+		pick, err := c.choose(2)
+		if err != nil {
+			return 0, false, err
+		}
+		return pick, false, nil
+	case qRelOp:
+		// Scalar operands are functionally determined; the consistency
+		// check computes them directly (no downward move).
+		return 0, true, nil
+	case qNot:
+		// Bounded negation is decided by the complementary deterministic
+		// check (the recursive NAuxPDA call of the Theorem 5.9 proof); a
+		// nondeterministic descent cannot witness nonexistence.
+		return 0, true, nil
+	default:
+		for i := range n.children {
+			if !childSet[i] {
+				return i, false, nil
+			}
+		}
+		return 0, true, nil
+	}
+}
+
+// guessVal guesses the value record for child number idx of parent,
+// entered downward. The nondeterministic machine of the proof guesses all
+// four components freely and prunes at the later consistency check; the
+// deterministic driver would drown in those runs, so components that the
+// parent's Table 1 row *forces* (child context node of a composition, the
+// position/size a step predicate receives, the propagated result of /π
+// and π1|π2, ...) are derived instead of guessed. The surviving choices —
+// the intermediate node of π1/π2, the witness node of boolean(π), the
+// branch of or/| — are exactly the instance's real nondeterminism, so
+// acceptance is unchanged.
+func guessVal(doc *xmltree.Document, parent *qnode, idx int, parentVal val, siblings [2]val, child *qnode, c *chooser) (val, error) {
+	var v val
+	// Context triple.
+	switch parent.kind {
+	case qCompose:
+		if idx == 0 {
+			v.cnode = parentVal.cnode // n1 = n
+		} else {
+			v.cnode = siblings[0].resNode // n2 = r1
+		}
+		v.cpos, v.csize = 1, 1 // paths never read the outer position
+	case qRoot:
+		v.cnode = doc.Root // n1 = root
+		v.cpos, v.csize = 1, 1
+	case qUnion:
+		v.cnode = parentVal.cnode // n_i = n
+		v.cpos, v.csize = 1, 1
+	case qStep:
+		// The predicate's context is (r, pnew, snew).
+		v.cnode = parentVal.resNode
+		if v.cnode == nil {
+			return v, errDead
+		}
+		v.cpos, v.csize = axes.CountSelect(parent.step.Axis, parent.step.Test, parentVal.cnode, parentVal.resNode)
+		if v.cpos == 0 {
+			return v, errDead // r not in Y: doomed run
+		}
+	default:
+		// Boolean connectives and RelOp children: n_i = n, p_i = p,
+		// s_i = s.
+		v.cnode = parentVal.cnode
+		v.cpos, v.csize = parentVal.cpos, parentVal.csize
+	}
+	// Result component.
+	switch child.kind {
+	case qStep, qCompose, qRoot, qUnion:
+		switch parent.kind {
+		case qCompose:
+			if idx == 0 {
+				// r1 is the genuinely nondeterministic intermediate node.
+				ri, err := c.choose(len(doc.Nodes))
+				if err != nil {
+					return v, err
+				}
+				v.resNode = doc.Nodes[ri]
+			} else {
+				v.resNode = parentVal.resNode // r = r2
+			}
+		case qRoot, qUnion:
+			v.resNode = parentVal.resNode // r = r1 / r = r_i
+		case qBoolean:
+			// The witness r1 ∈ dom of the boolean(π) row.
+			ri, err := c.choose(len(doc.Nodes))
+			if err != nil {
+				return v, err
+			}
+			v.resNode = doc.Nodes[ri]
+		default:
+			ri, err := c.choose(len(doc.Nodes))
+			if err != nil {
+				return v, err
+			}
+			v.resNode = doc.Nodes[ri]
+		}
+	case qAnd, qOr, qBoolean, qNot, qRelOp, qLabel:
+		// Condition nodes must come out true in accepted runs (footnote 3
+		// exists-semantics); not() is checked by complement.
+		v.resBool = true
+	case qScalar, qPosition, qLast, qConst:
+		// Functionally determined; computed in consistent().
+	}
+	return v, nil
+}
+
+// consistent implements Table 1 for the machine's node kinds, over the
+// guessed CurrVal and the collected ChildVal records.
+func consistent(doc *xmltree.Document, n *qnode, cur val, child [2]val, childSet [2]bool) (bool, error) {
+	switch n.kind {
+	case qStep:
+		// χ::t (leaf) or χ::t[e]: r reachable from n via χ::t; with a
+		// predicate, the child's context must be (r, pnew, snew) and its
+		// result true (or the flattened positional check).
+		if cur.cnode == nil || cur.resNode == nil {
+			return false, nil
+		}
+		if !axes.ReachableTest(n.step.Axis, n.step.Test, cur.cnode, cur.resNode) {
+			return false, nil
+		}
+		if len(n.children) == 0 {
+			return true, nil
+		}
+		if !childSet[0] {
+			return false, nil
+		}
+		pnew, snew := axes.CountSelect(n.step.Axis, n.step.Test, cur.cnode, cur.resNode)
+		cv := child[0]
+		return cv.cnode == cur.resNode && cv.cpos == pnew && cv.csize == snew && cv.resBool, nil
+	case qRoot:
+		// /π: n1 = root ∧ r = r1.
+		cv := child[0]
+		return childSet[0] && cv.cnode == doc.Root && cv.resNode == cur.resNode, nil
+	case qCompose:
+		// π1/π2: n1 = n ∧ n2 = r1 ∧ r = r2.
+		l, r := child[0], child[1]
+		return childSet[0] && childSet[1] &&
+			l.cnode == cur.cnode && r.cnode == l.resNode && r.resNode == cur.resNode, nil
+	case qUnion:
+		// One child chosen: (n_i = n ∧ r = r_i).
+		for i := range n.children {
+			if childSet[i] && child[i].cnode == cur.cnode && child[i].resNode == cur.resNode {
+				return true, nil
+			}
+		}
+		return false, nil
+	case qAnd:
+		l, r := child[0], child[1]
+		return childSet[0] && childSet[1] &&
+			sameContext(l, cur) && sameContext(r, cur) && l.resBool && r.resBool && cur.resBool, nil
+	case qOr:
+		for i := range n.children {
+			if childSet[i] && sameContext(child[i], cur) && child[i].resBool {
+				return cur.resBool, nil
+			}
+		}
+		return false, nil
+	case qBoolean:
+		// r = true ∧ n1 = n ∧ r1 ∈ dom: the child guessed some witness
+		// node.
+		cv := child[0]
+		return childSet[0] && cv.cnode == cur.cnode && cv.resNode != nil && cur.resBool, nil
+	case qNot:
+		// Bounded negation: decided by the complementary deterministic
+		// check (Theorem 5.9's recursive call), since a nondeterministic
+		// machine cannot verify nonexistence by guessing.
+		chk := newChecker(evalctx.Context{Node: cur.cnode, Pos: cur.cpos, Size: cur.csize}, Options{})
+		inner, err := chk.truthQNode(n.children[0], evalctx.Context{Node: cur.cnode, Pos: cur.cpos, Size: cur.csize})
+		if err != nil {
+			return false, err
+		}
+		return !inner && cur.resBool, nil
+	case qRelOp:
+		l, err := evalScalarQ(n.children[0], cur)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalScalarQ(n.children[1], cur)
+		if err != nil {
+			return false, err
+		}
+		return value.Compare(n.op, value.Number(l), value.Number(r)) && cur.resBool, nil
+	case qLabel:
+		return cur.cnode != nil && cur.cnode.HasLabel(n.label) && cur.resBool, nil
+	case qPosition, qLast, qConst, qScalar:
+		// Stand-alone scalar queries: result equals the computed value.
+		got, err := evalScalarQ(n, cur)
+		if err != nil {
+			return false, err
+		}
+		return got == cur.resNum, nil
+	default:
+		return false, fmt.Errorf("nauxpda machine: consistency for %v not implemented", n.kind)
+	}
+}
+
+func sameContext(a val, b val) bool {
+	return a.cnode == b.cnode && a.cpos == b.cpos && a.csize == b.csize
+}
+
+// evalScalarQ computes a functionally determined scalar value.
+func evalScalarQ(n *qnode, cur val) (float64, error) {
+	switch n.kind {
+	case qPosition:
+		return float64(cur.cpos), nil
+	case qLast:
+		return float64(cur.csize), nil
+	case qConst:
+		return n.num, nil
+	case qScalar:
+		chk := &checker{doc: cur.cnode.Document(), holdsMemo: map[holdsKey]memoBool{}, truthMemo: map[truthKey]memoBool{}}
+		return chk.number(n.expr, evalctx.Context{Node: cur.cnode, Pos: cur.cpos, Size: cur.csize})
+	default:
+		return 0, fmt.Errorf("nauxpda machine: %v is not scalar", n.kind)
+	}
+}
+
+// truthQNode bridges a machine condition subtree back to the memoized
+// checker (used only for the bounded-negation complement).
+func (e *checker) truthQNode(n *qnode, ctx evalctx.Context) (bool, error) {
+	switch n.kind {
+	case qAnd:
+		l, err := e.truthQNode(n.children[0], ctx)
+		if err != nil || !l {
+			return false, err
+		}
+		return e.truthQNode(n.children[1], ctx)
+	case qOr:
+		l, err := e.truthQNode(n.children[0], ctx)
+		if err != nil || l {
+			return l, err
+		}
+		return e.truthQNode(n.children[1], ctx)
+	case qNot:
+		inner, err := e.truthQNode(n.children[0], ctx)
+		if err != nil {
+			return false, err
+		}
+		return !inner, nil
+	case qBoolean:
+		return e.existsQNode(n.children[0], ctx)
+	case qLabel:
+		return ctx.Node != nil && ctx.Node.HasLabel(n.label), nil
+	case qRelOp:
+		cv := val{cnode: ctx.Node, cpos: ctx.Pos, csize: ctx.Size}
+		l, err := evalScalarQ(n.children[0], cv)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalScalarQ(n.children[1], cv)
+		if err != nil {
+			return false, err
+		}
+		return value.Compare(n.op, value.Number(l), value.Number(r)), nil
+	case qStep, qCompose, qRoot, qUnion:
+		return e.existsQNode(n, ctx)
+	default:
+		return false, fmt.Errorf("nauxpda machine: truth of %v unsupported", n.kind)
+	}
+}
+
+// existsQNode decides nonemptiness of a machine path subtree via the
+// memoized holds judgment.
+func (e *checker) existsQNode(n *qnode, ctx evalctx.Context) (bool, error) {
+	for _, r := range e.doc.Nodes {
+		ok, err := e.holdsQNode(n, ctx.Node, r)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// holdsQNode mirrors holdsSteps over the machine's binary path trees.
+func (e *checker) holdsQNode(n *qnode, ctxNode, r *xmltree.Node) (bool, error) {
+	switch n.kind {
+	case qRoot:
+		return e.holdsQNode(n.children[0], e.doc.Root, r)
+	case qUnion:
+		ok, err := e.holdsQNode(n.children[0], ctxNode, r)
+		if err != nil || ok {
+			return ok, err
+		}
+		return e.holdsQNode(n.children[1], ctxNode, r)
+	case qCompose:
+		for _, mid := range e.doc.Nodes {
+			ok, err := e.holdsQNode(n.children[0], ctxNode, mid)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				continue
+			}
+			ok, err = e.holdsQNode(n.children[1], mid, r)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case qStep:
+		if !axes.ReachableTest(n.step.Axis, n.step.Test, ctxNode, r) {
+			return false, nil
+		}
+		if len(n.children) == 0 {
+			return true, nil
+		}
+		pnew, snew := axes.CountSelect(n.step.Axis, n.step.Test, ctxNode, r)
+		return e.truthQNode(n.children[0], evalctx.Context{Node: r, Pos: pnew, Size: snew})
+	default:
+		return false, fmt.Errorf("nauxpda machine: holds of %v unsupported", n.kind)
+	}
+}

@@ -1,0 +1,298 @@
+package nauxpda
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpathcomplexity/internal/eval/enginetest"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+// The literal machine agrees with the memoized checker on hand-picked
+// Singleton-Success instances covering every node kind.
+func TestMachineBasic(t *testing.T) {
+	d, err := xmltree.ParseString(`<a><b>5</b><b>7</b><c><b>9</b></c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.FindFirstElement("a")
+	bs := d.FindAll(func(n *xmltree.Node) bool { return n.Name == "b" })
+	c := d.FindFirstElement("c")
+	one := func(n *xmltree.Node) value.Value { return value.NewNodeSet(n) }
+	cases := []struct {
+		q    string
+		ctx  evalctx.Context
+		v    value.Value
+		want bool
+	}{
+		{"child::b", evalctx.At(a), one(bs[0]), true},
+		{"child::b", evalctx.At(a), one(bs[2]), false},
+		{"child::c/child::b", evalctx.At(a), one(bs[2]), true},
+		{"child::c/child::b", evalctx.At(a), one(bs[0]), false},
+		{"/a/c", evalctx.At(bs[0]), one(c), true},
+		{"child::b | child::c", evalctx.At(a), one(c), true},
+		{"child::b[position() = 2]", evalctx.At(a), one(bs[1]), true},
+		{"child::b[position() = 2]", evalctx.At(a), one(bs[0]), false},
+		{"child::b[2]", evalctx.At(a), one(bs[1]), true},
+		{"descendant::b[last() = 3]", evalctx.At(a), one(bs[0]), true},
+		{"boolean(child::c)", evalctx.At(a), value.Boolean(true), true},
+		{"boolean(child::zz) or boolean(child::c)", evalctx.At(a), value.Boolean(true), true},
+		{"boolean(child::zz) and boolean(child::c)", evalctx.At(a), value.Boolean(true), false},
+		{"position() + 1", evalctx.Context{Node: a, Pos: 3, Size: 9}, value.Number(4), true},
+		{"descendant::b[c]", evalctx.At(a), one(bs[2]), false},
+		{"descendant::*[b]", evalctx.At(a), one(c), true},
+		{"child::c[not(child::zz)]", evalctx.At(a), one(c), true},
+	}
+	for _, tc := range cases {
+		got, err := MachineAccepts(parser.MustParse(tc.q), tc.ctx, tc.v, MachineOptions{})
+		if err != nil {
+			t.Fatalf("MachineAccepts(%q): %v", tc.q, err)
+		}
+		if got != tc.want {
+			t.Errorf("MachineAccepts(%q, %v) = %v, want %v", tc.q, tc.v, got, tc.want)
+		}
+	}
+}
+
+// Agreement property: the literal machine accepts exactly the instances
+// the memoized checker accepts, on random small documents and pWF
+// queries. This validates the deterministic simulation against the
+// paper's automaton.
+func TestMachineAgreesWithChecker(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	gen := enginetest.NewQueryGen(rng, enginetest.GenPWF)
+	gen.MaxSteps = 2
+	gen.MaxDepth = 2
+	instances := 0
+	for trial := 0; trial < 200 && instances < 400; trial++ {
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 7, MaxFanout: 3, Tags: []string{"a", "b"},
+		})
+		q := gen.Query()
+		expr := parser.MustParse(q)
+		// The machine covers the pWF core without string functions.
+		if err := Check(expr, Limits{NegationDepth: 0}); err != nil {
+			continue
+		}
+		if _, err := buildQueryTree(expr); err != nil {
+			continue
+		}
+		ctx := evalctx.Root(doc)
+		for _, r := range doc.Nodes {
+			want, err := SingletonSuccess(expr, ctx, value.NewNodeSet(r), Options{})
+			if err != nil {
+				t.Fatalf("checker failed on %q: %v", q, err)
+			}
+			got, err := MachineAccepts(expr, ctx, value.NewNodeSet(r), MachineOptions{})
+			if err != nil {
+				t.Fatalf("machine failed on %q: %v", q, err)
+			}
+			if got != want {
+				t.Fatalf("machine/checker disagreement on %q, node #%d: machine %v, checker %v\ndoc: %s",
+					q, r.Ord, got, want, doc.XMLString())
+			}
+			instances++
+		}
+	}
+	if instances < 100 {
+		t.Fatalf("only %d instances checked", instances)
+	}
+}
+
+func TestMachineRejectsUnsupported(t *testing.T) {
+	d, _ := xmltree.ParseString("<a/>")
+	for _, q := range []string{"count(//a)", "//a[b = 'x']", "//a[b][c]"} {
+		if _, err := MachineAccepts(parser.MustParse(q), evalctx.Root(d), value.NewNodeSet(d.Root), MachineOptions{}); err == nil {
+			t.Errorf("machine accepted unsupported query %q", q)
+		}
+	}
+}
+
+func TestMachineRunBudget(t *testing.T) {
+	// A wide document with a deep composition forces many runs; a tiny
+	// budget must abort cleanly.
+	d := xmltree.WideDocument(12, "r", "a")
+	q := parser.MustParse("descendant::a/following-sibling::a/following-sibling::a")
+	last := d.Nodes[len(d.Nodes)-1]
+	_, err := MachineAccepts(q, evalctx.Root(d), value.NewNodeSet(last), MachineOptions{MaxRuns: 3})
+	if err == nil {
+		t.Skip("instance accepted within 3 runs; budget untestable here")
+	}
+}
+
+func TestQueryTreeShapes(t *testing.T) {
+	// π1/π2/π3 becomes left-nested compositions.
+	n, err := buildQueryTree(parser.MustParse("a/b/c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.kind != qCompose || n.children[0].kind != qCompose || n.children[1].kind != qStep {
+		t.Fatalf("composition shape wrong: %v(%v, %v)", n.kind, n.children[0].kind, n.children[1].kind)
+	}
+	// Absolute path gets a root node.
+	n, _ = buildQueryTree(parser.MustParse("/a"))
+	if n.kind != qRoot || n.children[0].kind != qStep {
+		t.Fatalf("root shape wrong: %v", n.kind)
+	}
+	// Bare "/" is self::node() at the root.
+	n, _ = buildQueryTree(parser.MustParse("/"))
+	if n.kind != qRoot || n.children[0].kind != qStep {
+		t.Fatalf("bare-slash shape wrong: %v", n.kind)
+	}
+	// A numeric predicate becomes position() = k.
+	n, _ = buildQueryTree(parser.MustParse("a[2]"))
+	if n.kind != qStep || len(n.children) != 1 || n.children[0].kind != qRelOp {
+		t.Fatalf("numeric predicate shape wrong")
+	}
+	// Iterated predicates are rejected.
+	if _, err := buildQueryTree(parser.MustParse("a[b][c]")); err == nil {
+		t.Fatal("iterated predicates accepted")
+	}
+}
+
+// The Lemma 5.4 space claim, measured: the machine's stack depth is
+// bounded by the query-tree depth and does not grow with the document.
+func TestMachineStackBoundedByQuery(t *testing.T) {
+	expr := parser.MustParse("descendant::a/child::a[descendant::a]/descendant::a")
+	root, err := buildQueryTree(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qDepth := qtreeDepth(root)
+	var prevStack int
+	for _, docDepth := range []int{4, 8, 16} {
+		d := xmltree.ChainDocument(docDepth, "a")
+		target := d.Nodes[len(d.Nodes)-1]
+		stats := &MachineStats{}
+		if _, err := MachineAccepts(expr, evalctx.Root(d), value.NewNodeSet(target),
+			MachineOptions{Stats: stats, MaxRuns: 1 << 22}); err != nil {
+			t.Fatal(err)
+		}
+		if stats.MaxStack > qDepth {
+			t.Fatalf("stack %d exceeds query-tree depth %d", stats.MaxStack, qDepth)
+		}
+		if prevStack != 0 && stats.MaxStack != prevStack {
+			t.Fatalf("stack depth varies with document size: %d then %d", prevStack, stats.MaxStack)
+		}
+		prevStack = stats.MaxStack
+		if stats.Runs == 0 || stats.Choices == 0 {
+			t.Fatalf("stats not collected: %+v", stats)
+		}
+	}
+}
+
+func qtreeDepth(n *qnode) int {
+	max := 0
+	for _, c := range n.children {
+		if d := qtreeDepth(c); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// The machine's bounded-negation complement path (truthQNode/holdsQNode)
+// across every condition shape.
+func TestMachineNegationComplement(t *testing.T) {
+	d, err := xmltree.ParseString(`<a><b><c/></b><b/><e><c/></e></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.FindFirstElement("a")
+	bs := d.FindAll(func(n *xmltree.Node) bool { return n.Type == xmltree.ElementNode && n.Name == "b" })
+	e := d.FindFirstElement("e")
+	one := func(n *xmltree.Node) value.Value { return value.NewNodeSet(n) }
+	cases := []struct {
+		q    string
+		v    value.Value
+		node *xmltree.Node
+		want bool
+	}{
+		// not over a bare path.
+		{"child::b[not(child::c)]", one(bs[1]), nil, true},
+		{"child::b[not(child::c)]", one(bs[0]), nil, false},
+		// not over a composition.
+		{"child::*[not(child::c/child::z)]", one(e), nil, true},
+		// not over a union.
+		{"child::b[not(child::c | child::z)]", one(bs[1]), nil, true},
+		{"child::b[not(child::c | child::z)]", one(bs[0]), nil, false},
+		// not over and/or.
+		{"child::*[not(child::c and child::z)]", one(e), nil, true},
+		{"child::*[not(child::c or child::z)]", one(bs[1]), nil, true},
+		{"child::*[not(child::c or child::z)]", one(e), nil, false},
+		// not over a relational operator.
+		{"child::b[not(position() = 2)]", one(bs[0]), nil, true},
+		{"child::b[not(position() = 2)]", one(bs[1]), nil, false},
+		// not over an absolute path.
+		{"child::b[not(/a/z)]", one(bs[0]), nil, true},
+		// nested not.
+		{"child::b[not(not(child::c))]", one(bs[0]), nil, true},
+		{"child::b[not(not(child::c))]", one(bs[1]), nil, false},
+		// not over a label test.
+		{"child::b[not(T(X))]", one(bs[0]), nil, true},
+	}
+	for _, tc := range cases {
+		got, err := MachineAccepts(parser.MustParse(tc.q), evalctx.At(a), tc.v, MachineOptions{})
+		if err != nil {
+			t.Fatalf("MachineAccepts(%q): %v", tc.q, err)
+		}
+		if got != tc.want {
+			t.Errorf("MachineAccepts(%q, %v) = %v, want %v", tc.q, tc.v, got, tc.want)
+		}
+		// Cross-check against the memoized checker.
+		want2, err := SingletonSuccess(parser.MustParse(tc.q), evalctx.At(a), tc.v, Options{Limits: Limits{NegationDepth: 4}})
+		if err != nil {
+			t.Fatalf("checker on %q: %v", tc.q, err)
+		}
+		if got != want2 {
+			t.Errorf("machine/checker differ on %q: %v vs %v", tc.q, got, want2)
+		}
+	}
+}
+
+func TestMachineScalarInstances(t *testing.T) {
+	d, _ := xmltree.ParseString("<a><b/></a>")
+	a := d.FindFirstElement("a")
+	ctx := evalctx.Context{Node: a, Pos: 2, Size: 5}
+	cases := []struct {
+		q    string
+		v    value.Value
+		want bool
+	}{
+		{"last()", value.Number(5), true},
+		{"last()", value.Number(4), false},
+		{"position() * last()", value.Number(10), true},
+		{"- position()", value.Number(-2), true},
+		{"3 div 2", value.Number(1.5), true},
+	}
+	for _, tc := range cases {
+		got, err := MachineAccepts(parser.MustParse(tc.q), ctx, tc.v, MachineOptions{})
+		if err != nil {
+			t.Fatalf("%q: %v", tc.q, err)
+		}
+		if got != tc.want {
+			t.Errorf("MachineAccepts(%q, %v) = %v, want %v", tc.q, tc.v, got, tc.want)
+		}
+	}
+	// Boolean false instances are rejected with a clear error (Definition
+	// 5.3 checks true only).
+	if _, err := MachineAccepts(parser.MustParse("boolean(child::b)"), ctx, value.Boolean(false), MachineOptions{}); err == nil {
+		t.Error("Boolean(false) instance should be rejected")
+	}
+	// Multi-node node-sets are rejected.
+	b := d.FindFirstElement("b")
+	if _, err := MachineAccepts(parser.MustParse("child::b"), ctx, value.NewNodeSet(a, b), MachineOptions{}); err == nil {
+		t.Error("two-node instance should be rejected")
+	}
+}
+
+func TestQKindStrings(t *testing.T) {
+	for k := qStep; k <= qLabel; k++ {
+		if k.String() == "?" {
+			t.Errorf("qkind %d unnamed", int(k))
+		}
+	}
+}

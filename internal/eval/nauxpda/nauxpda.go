@@ -1,0 +1,709 @@
+// Package nauxpda implements the paper's central algorithmic contribution:
+// the LOGCFL decision procedure for the Singleton-Success problem on pWF
+// and pXPath queries (Definition 5.3, Lemma 5.4, Theorems 5.5/6.2), with
+// the bounded-depth negation extension of Theorems 5.9/6.3.
+//
+// # From the NAuxPDA to this implementation
+//
+// Lemma 5.4 describes a nondeterministic auxiliary pushdown automaton that
+// traverses the query tree depth-first, guessing at each query node a
+// context (cnode, cpos, csize) and a result, and verifying the guesses
+// against the local consistency conditions of Table 1. An NAuxPDA running
+// in logarithmic space and polynomial time characterizes LOGCFL
+// (Proposition 2.3).
+//
+// A deterministic program cannot guess, but it can search the certificate
+// space, which is polynomial precisely because every guessed component is
+// logarithmic-size: a node id, a position/size in [0, |D|], or a scalar of
+// bounded arithmetic depth. The memoized recursion below visits each
+// (query node, certificate) pair at most once, which is the standard
+// LOGCFL ⊆ P simulation (evaluate the polynomial-size SAC¹ proof DAG
+// bottom-up). The three mutually recursive judgments mirror Table 1:
+//
+//   - holds(π, n, r): location path π evaluated at context node n selects
+//     node r — the rows for χ::t, /π, π1|π2, π1/π2 and χ::t[e] (with the
+//     position/size of r computed by counting, never materializing Y);
+//   - truth(e, c): boolean expression e is true in context c — the rows
+//     for and, or, boolean(π), RelOp, plus T(l) and bounded not();
+//   - scalar(e, c): number- and string-valued expressions, which are
+//     functionally determined by the context (the NAuxPDA's guesses for
+//     them are forced), so they are evaluated directly.
+//
+// Node sets are never materialized: the χ::t[e] row uses
+// axes.CountSelect, which answers "is r in Y, at which proximity position,
+// and how big is Y" with a counting scan — the logarithmic-space argument
+// at the end of the Lemma 5.4 proof.
+package nauxpda
+
+import (
+	"fmt"
+
+	"xpathcomplexity/internal/axes"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/funcs"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/rewrite"
+)
+
+// Options configure the decision procedure.
+type Options struct {
+	// Limits are the fragment bounds (negation depth, arithmetic depth).
+	Limits Limits
+	// Counter counts elementary operations; may be nil.
+	Counter *evalctx.Counter
+	// DisableMemo disables certificate memoization, recovering the raw
+	// nondeterministic search (exponential time); used by the ablation
+	// benchmark BenchmarkAblation_NAuxPDAMemo.
+	DisableMemo bool
+	// NormalizeNegation applies the de Morgan preprocessing of the
+	// Theorem 5.9 proof before the fragment check: negations are pushed
+	// down to location paths (cancelling double negations and flipping
+	// numeric RelOps), which can only shrink the negation depth the
+	// Limits bound is checked against.
+	NormalizeNegation bool
+}
+
+// prepare applies the optional normalization and the fragment check.
+func prepare(expr ast.Expr, opts Options) (ast.Expr, error) {
+	if opts.NormalizeNegation {
+		expr = rewrite.PushNegation(expr)
+	}
+	if err := Check(expr, opts.Limits); err != nil {
+		return nil, err
+	}
+	return expr, nil
+}
+
+// SingletonSuccess decides the Singleton-Success problem (Definition 5.3):
+// given document context ctx and value v, does Q evaluate to v? For
+// node-set queries v must be a singleton node-set and membership is
+// decided; for boolean queries v must be Boolean(true) per the definition
+// (Theorem 5.5 handles false via closure under complement — use Evaluate).
+func SingletonSuccess(expr ast.Expr, ctx evalctx.Context, v value.Value, opts Options) (bool, error) {
+	expr, err := prepare(expr, opts)
+	if err != nil {
+		return false, err
+	}
+	e := newChecker(ctx, opts)
+	switch ast.StaticType(expr) {
+	case ast.TypeNodeSet:
+		ns, ok := v.(value.NodeSet)
+		if !ok || len(ns) != 1 {
+			return false, fmt.Errorf("nauxpda: Singleton-Success on a node-set query needs a single node, got %v", v)
+		}
+		return e.holdsExpr(expr, ctx.Node, ns[0])
+	case ast.TypeBoolean:
+		b, ok := v.(value.Boolean)
+		if !ok || !bool(b) {
+			return false, fmt.Errorf("nauxpda: Singleton-Success on a boolean query checks the value true (Definition 5.3)")
+		}
+		return e.truth(expr, ctx)
+	case ast.TypeNumber:
+		want, ok := v.(value.Number)
+		if !ok {
+			return false, fmt.Errorf("nauxpda: number query compared against %v", v.Kind())
+		}
+		got, err := e.number(expr, ctx)
+		if err != nil {
+			return false, err
+		}
+		return value.Equal(value.Number(got), want), nil
+	default:
+		want, ok := v.(value.String)
+		if !ok {
+			return false, fmt.Errorf("nauxpda: string query compared against %v", v.Kind())
+		}
+		got, err := e.str(expr, ctx)
+		if err != nil {
+			return false, err
+		}
+		return got == string(want), nil
+	}
+}
+
+// Evaluate computes the full query result by running the decision
+// procedure in a loop over the document (proof of Theorem 5.5: "checking
+// whether a given XPath query evaluates to some node set X ... can be done
+// by deciding the Singleton-Success problem in a loop over all elements
+// v ∈ X"; booleans use closure of LOGCFL under complement,
+// Proposition 2.4).
+func Evaluate(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, error) {
+	expr, err := prepare(expr, opts)
+	if err != nil {
+		return nil, err
+	}
+	e := newChecker(ctx, opts)
+	switch ast.StaticType(expr) {
+	case ast.TypeNodeSet:
+		var out []*xmltree.Node
+		for _, r := range e.doc.Nodes {
+			ok, err := e.holdsExpr(expr, ctx.Node, r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+		return value.NewNodeSet(out...), nil
+	case ast.TypeBoolean:
+		b, err := e.truth(expr, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Boolean(b), nil
+	case ast.TypeNumber:
+		n, err := e.number(expr, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Number(n), nil
+	default:
+		s, err := e.str(expr, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.String(s), nil
+	}
+}
+
+// checker carries the memo tables of one run.
+type checker struct {
+	doc  *xmltree.Document
+	opts Options
+	// holdsMemo caches the holds(path, stepIdx, ctxNode, r) judgment.
+	holdsMemo map[holdsKey]memoBool
+	// truthMemo caches the truth(expr, node, pos, size) judgment.
+	truthMemo map[truthKey]memoBool
+}
+
+type memoBool uint8
+
+const (
+	memoUnknown memoBool = iota
+	memoInProgress
+	memoTrue
+	memoFalse
+)
+
+type holdsKey struct {
+	path *ast.Path
+	step int
+	ctx  *xmltree.Node
+	r    *xmltree.Node
+}
+
+type truthKey struct {
+	expr ast.Expr
+	node *xmltree.Node
+	pos  int
+	size int
+}
+
+func newChecker(ctx evalctx.Context, opts Options) *checker {
+	return &checker{
+		doc:       ctx.Node.Document(),
+		opts:      opts,
+		holdsMemo: make(map[holdsKey]memoBool),
+		truthMemo: make(map[truthKey]memoBool),
+	}
+}
+
+// holdsExpr decides whether node-set expression expr, evaluated at context
+// node n, selects node r. Handles unions on top of paths.
+func (e *checker) holdsExpr(expr ast.Expr, n, r *xmltree.Node) (bool, error) {
+	if err := e.opts.Counter.Step(1); err != nil {
+		return false, err
+	}
+	switch x := expr.(type) {
+	case *ast.Path:
+		return e.holdsPath(x, n, r)
+	case *ast.Binary:
+		if x.Op != ast.OpUnion {
+			return false, fmt.Errorf("nauxpda: %v is not a node-set expression", x.Op)
+		}
+		// Table 1 row π1|π2: (n=n1 ∧ r=r1) ∨ (n=n2 ∧ r=r2).
+		ok, err := e.holdsExpr(x.Left, n, r)
+		if err != nil || ok {
+			return ok, err
+		}
+		return e.holdsExpr(x.Right, n, r)
+	default:
+		return false, fmt.Errorf("nauxpda: unsupported node-set expression %T", expr)
+	}
+}
+
+// holdsPath decides holds for a whole location path, dispatching to the
+// step-indexed recursion. Table 1 row /π: n = root ∧ r = r1.
+func (e *checker) holdsPath(p *ast.Path, n, r *xmltree.Node) (bool, error) {
+	if p.Absolute {
+		n = e.doc.Root
+		if len(p.Steps) == 0 {
+			return r == n, nil
+		}
+	}
+	return e.holdsSteps(p, 0, n, r)
+}
+
+// holdsSteps decides whether steps[i:] of path p, started at context node
+// n, select r. The composition row of Table 1 (π1/π2: n1 = n ∧ n2 = r1 ∧
+// r = r2) introduces the existential guess of the intermediate node r1,
+// realized as a loop over dom.
+func (e *checker) holdsSteps(p *ast.Path, i int, n, r *xmltree.Node) (bool, error) {
+	k := holdsKey{path: p, step: i, ctx: n, r: r}
+	if !e.opts.DisableMemo {
+		switch e.holdsMemo[k] {
+		case memoTrue:
+			return true, nil
+		case memoFalse, memoInProgress:
+			// Path judgments cannot be cyclic (steps strictly advance), but
+			// guard anyway.
+			return false, nil
+		}
+		e.holdsMemo[k] = memoInProgress
+	}
+	res, err := e.holdsStepsCompute(p, i, n, r)
+	if err != nil {
+		return false, err
+	}
+	if !e.opts.DisableMemo {
+		if res {
+			e.holdsMemo[k] = memoTrue
+		} else {
+			e.holdsMemo[k] = memoFalse
+		}
+	}
+	return res, nil
+}
+
+func (e *checker) holdsStepsCompute(p *ast.Path, i int, n, r *xmltree.Node) (bool, error) {
+	if err := e.opts.Counter.Step(1); err != nil {
+		return false, err
+	}
+	step := p.Steps[i]
+	last := i == len(p.Steps)-1
+	if last {
+		return e.holdsStep(step, n, r)
+	}
+	// Guess the intermediate node r1 ∈ dom.
+	for _, mid := range e.doc.Nodes {
+		ok, err := e.holdsStep(step, n, mid)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			continue
+		}
+		ok, err = e.holdsSteps(p, i+1, mid, r)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// holdsStep is the χ::t and χ::t[e] rows of Table 1: r must be reachable
+// from n via χ::t, and if a predicate is present it must hold at
+// (r, pnew, snew) where pnew is the proximity position of r in
+// Y = χ::t(n) and snew = |Y| — computed by counting, without
+// materializing Y.
+func (e *checker) holdsStep(step *ast.Step, n, r *xmltree.Node) (bool, error) {
+	if err := e.opts.Counter.Step(1); err != nil {
+		return false, err
+	}
+	if !axes.ReachableTest(step.Axis, step.Test, n, r) {
+		return false, nil
+	}
+	if len(step.Preds) == 0 {
+		return true, nil
+	}
+	// Check is rejected earlier for ≥2 predicates; exactly one here.
+	pred := step.Preds[0]
+	pos, size := axes.CountSelect(step.Axis, step.Test, n, r)
+	if err := e.opts.Counter.Step(int64(len(e.doc.Nodes))); err != nil {
+		return false, err
+	}
+	pctx := evalctx.Context{Node: r, Pos: pos, Size: size}
+	return e.predicate(pred, pctx)
+}
+
+// predicate applies the XPath predicate conversion: numbers test the
+// proximity position, everything else converts to boolean.
+func (e *checker) predicate(pred ast.Expr, ctx evalctx.Context) (bool, error) {
+	switch ast.StaticType(pred) {
+	case ast.TypeNumber:
+		v, err := e.number(pred, ctx)
+		if err != nil {
+			return false, err
+		}
+		return v == float64(ctx.Pos), nil
+	default:
+		return e.truthOrExists(pred, ctx)
+	}
+}
+
+// truth decides boolean expressions: the and/or/boolean(π)/RelOp rows of
+// Table 1, plus T(l) and the bounded not() of Theorem 5.9.
+func (e *checker) truth(expr ast.Expr, ctx evalctx.Context) (bool, error) {
+	k := truthKey{expr: expr, node: ctx.Node, pos: ctx.Pos, size: ctx.Size}
+	if !e.opts.DisableMemo {
+		switch e.truthMemo[k] {
+		case memoTrue:
+			return true, nil
+		case memoFalse:
+			return false, nil
+		}
+	}
+	res, err := e.truthCompute(expr, ctx)
+	if err != nil {
+		return false, err
+	}
+	if !e.opts.DisableMemo {
+		if res {
+			e.truthMemo[k] = memoTrue
+		} else {
+			e.truthMemo[k] = memoFalse
+		}
+	}
+	return res, nil
+}
+
+func (e *checker) truthCompute(expr ast.Expr, ctx evalctx.Context) (bool, error) {
+	if err := e.opts.Counter.Step(1); err != nil {
+		return false, err
+	}
+	switch x := expr.(type) {
+	case *ast.Binary:
+		switch {
+		case x.Op == ast.OpAnd:
+			l, err := e.truthOrExists(x.Left, ctx)
+			if err != nil || !l {
+				return false, err
+			}
+			return e.truthOrExists(x.Right, ctx)
+		case x.Op == ast.OpOr:
+			l, err := e.truthOrExists(x.Left, ctx)
+			if err != nil || l {
+				return l, err
+			}
+			return e.truthOrExists(x.Right, ctx)
+		case x.Op == ast.OpUnion:
+			return e.exists(x, ctx)
+		case x.Op.IsRelational():
+			return e.relational(x, ctx)
+		default:
+			return false, fmt.Errorf("nauxpda: %v is not boolean", x.Op)
+		}
+	case *ast.Call:
+		switch x.Name {
+		case "boolean":
+			return e.truthOrExists(x.Args[0], ctx)
+		case "not":
+			// Theorem 5.9: treat not(π) by a loop over all element nodes x
+			// in D (here folded into the memoized truth of the operand).
+			inner, err := e.truthOrExists(x.Args[0], ctx)
+			if err != nil {
+				return false, err
+			}
+			return !inner, nil
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		case "contains", "starts-with":
+			a, err := e.str(x.Args[0], ctx)
+			if err != nil {
+				return false, err
+			}
+			b, err := e.str(x.Args[1], ctx)
+			if err != nil {
+				return false, err
+			}
+			v, err := funcs.Call(x.Name, ctx, []value.Value{value.String(a), value.String(b)})
+			if err != nil {
+				return false, err
+			}
+			return bool(v.(value.Boolean)), nil
+		default:
+			return false, fmt.Errorf("nauxpda: function %q is not boolean in pXPath", x.Name)
+		}
+	case *ast.LabelTest:
+		return ctx.Node != nil && ctx.Node.HasLabel(x.Label), nil
+	case *ast.Path:
+		return e.exists(x, ctx)
+	default:
+		return false, fmt.Errorf("nauxpda: unsupported boolean expression %T", expr)
+	}
+}
+
+// truthOrExists evaluates a boolean subexpression, converting node-set
+// operands with the implicit exists-semantics of conditions (footnote 3 of
+// the paper).
+func (e *checker) truthOrExists(expr ast.Expr, ctx evalctx.Context) (bool, error) {
+	switch ast.StaticType(expr) {
+	case ast.TypeNodeSet:
+		return e.exists(expr, ctx)
+	case ast.TypeBoolean:
+		return e.truth(expr, ctx)
+	case ast.TypeNumber:
+		v, err := e.number(expr, ctx)
+		if err != nil {
+			return false, err
+		}
+		return value.ToBoolean(value.Number(v)), nil
+	default:
+		v, err := e.str(expr, ctx)
+		if err != nil {
+			return false, err
+		}
+		return v != "", nil
+	}
+}
+
+// exists decides boolean(π): the Table 1 row "r = true ∧ (n1 = n ∧ ... ∧
+// r1 ∈ dom)" — the guess of r1 becomes a loop over dom.
+func (e *checker) exists(expr ast.Expr, ctx evalctx.Context) (bool, error) {
+	for _, r := range e.doc.Nodes {
+		ok, err := e.holdsExpr(expr, ctx.Node, r)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// relational decides e1 RelOp e2. For number×number operands this is the
+// Table 1 row "r = true ∧ r1 RelOp r2"; node-set operands get the
+// existential semantics of §3.4, with the witnessing node guessed by a
+// loop over dom (the same technique as Theorem 5.9's negation loop).
+func (e *checker) relational(x *ast.Binary, ctx evalctx.Context) (bool, error) {
+	lt, rt := ast.StaticType(x.Left), ast.StaticType(x.Right)
+	if lt == ast.TypeBoolean || rt == ast.TypeBoolean {
+		return false, ErrBooleanRelOp
+	}
+	if lt == ast.TypeNodeSet && rt == ast.TypeNodeSet {
+		for _, a := range e.doc.Nodes {
+			okA, err := e.holdsExpr(x.Left, ctx.Node, a)
+			if err != nil {
+				return false, err
+			}
+			if !okA {
+				continue
+			}
+			for _, b := range e.doc.Nodes {
+				okB, err := e.holdsExpr(x.Right, ctx.Node, b)
+				if err != nil {
+					return false, err
+				}
+				if okB && value.Compare(x.Op, value.String(a.StringValue()), value.String(b.StringValue())) {
+					return true, nil
+				}
+			}
+		}
+		return false, nil
+	}
+	if lt == ast.TypeNodeSet || rt == ast.TypeNodeSet {
+		nodeSide, scalarSide := x.Left, x.Right
+		if rt == ast.TypeNodeSet {
+			nodeSide, scalarSide = x.Right, x.Left
+		}
+		sv, err := e.scalarValue(scalarSide, ctx)
+		if err != nil {
+			return false, err
+		}
+		for _, a := range e.doc.Nodes {
+			ok, err := e.holdsExpr(nodeSide, ctx.Node, a)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				continue
+			}
+			op := x.Op
+			var res bool
+			if nodeSide == x.Left {
+				res = value.Compare(op, value.NewNodeSet(a), sv)
+			} else {
+				res = value.Compare(op, sv, value.NewNodeSet(a))
+			}
+			if res {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	// Scalar × scalar.
+	l, err := e.scalarValue(x.Left, ctx)
+	if err != nil {
+		return false, err
+	}
+	r, err := e.scalarValue(x.Right, ctx)
+	if err != nil {
+		return false, err
+	}
+	return value.Compare(x.Op, l, r), nil
+}
+
+// scalarValue evaluates a number- or string-typed expression.
+func (e *checker) scalarValue(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	if ast.StaticType(expr) == ast.TypeNumber {
+		n, err := e.number(expr, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Number(n), nil
+	}
+	s, err := e.str(expr, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return value.String(s), nil
+}
+
+// number evaluates a number-typed expression; the value is functionally
+// determined by the context (position(), last(), constants, bounded
+// arithmetic), so the NAuxPDA's guess is forced and we compute directly.
+func (e *checker) number(expr ast.Expr, ctx evalctx.Context) (float64, error) {
+	if err := e.opts.Counter.Step(1); err != nil {
+		return 0, err
+	}
+	switch x := expr.(type) {
+	case *ast.Number:
+		return x.Val, nil
+	case *ast.Unary:
+		v, err := e.number(x.Operand, ctx)
+		if err != nil {
+			return 0, err
+		}
+		return -v, nil
+	case *ast.Binary:
+		if !x.Op.IsArithmetic() {
+			return 0, fmt.Errorf("nauxpda: %v is not numeric", x.Op)
+		}
+		l, err := e.number(x.Left, ctx)
+		if err != nil {
+			return 0, err
+		}
+		r, err := e.number(x.Right, ctx)
+		if err != nil {
+			return 0, err
+		}
+		return value.Arith(x.Op, l, r), nil
+	case *ast.Call:
+		switch x.Name {
+		case "position":
+			return float64(ctx.Pos), nil
+		case "last":
+			return float64(ctx.Size), nil
+		case "floor", "ceiling", "round":
+			v, err := e.number(x.Args[0], ctx)
+			if err != nil {
+				return 0, err
+			}
+			out, err := funcs.Call(x.Name, ctx, []value.Value{value.Number(v)})
+			if err != nil {
+				return 0, err
+			}
+			return float64(out.(value.Number)), nil
+		default:
+			return 0, fmt.Errorf("nauxpda: function %q is not numeric in pXPath", x.Name)
+		}
+	default:
+		return 0, fmt.Errorf("nauxpda: unsupported numeric expression %T", expr)
+	}
+}
+
+// str evaluates a string-typed expression. Node-set arguments are
+// converted via their first node in document order, found by scanning dom
+// with the holds judgment (no materialization).
+func (e *checker) str(expr ast.Expr, ctx evalctx.Context) (string, error) {
+	if err := e.opts.Counter.Step(1); err != nil {
+		return "", err
+	}
+	switch x := expr.(type) {
+	case *ast.Literal:
+		return x.Val, nil
+	case *ast.Path, *ast.Binary:
+		if ast.StaticType(expr) == ast.TypeNodeSet {
+			// First selected node in document order, or "".
+			for _, r := range e.doc.Nodes {
+				ok, err := e.holdsExpr(expr, ctx.Node, r)
+				if err != nil {
+					return "", err
+				}
+				if ok {
+					return r.StringValue(), nil
+				}
+			}
+			return "", nil
+		}
+		return "", fmt.Errorf("nauxpda: unsupported string expression %T", expr)
+	case *ast.Call:
+		switch x.Name {
+		case "concat":
+			out := ""
+			for _, a := range x.Args {
+				s, err := e.str(a, ctx)
+				if err != nil {
+					return "", err
+				}
+				out += s
+			}
+			return out, nil
+		case "substring", "substring-before", "substring-after", "translate":
+			args := make([]value.Value, len(x.Args))
+			for i, a := range x.Args {
+				v, err := e.scalarOrNodeString(a, ctx)
+				if err != nil {
+					return "", err
+				}
+				args[i] = v
+			}
+			v, err := funcs.Call(x.Name, ctx, args)
+			if err != nil {
+				return "", err
+			}
+			return string(v.(value.String)), nil
+		default:
+			return "", fmt.Errorf("nauxpda: function %q is not a pXPath string function", x.Name)
+		}
+	default:
+		return "", fmt.Errorf("nauxpda: unsupported string expression %T", expr)
+	}
+}
+
+// scalarOrNodeString evaluates an argument to a string function: node-set
+// arguments become their string conversion, numbers stay numbers (for
+// substring positions).
+func (e *checker) scalarOrNodeString(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	switch ast.StaticType(expr) {
+	case ast.TypeNodeSet:
+		s, err := e.str(expr, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.String(s), nil
+	case ast.TypeNumber:
+		n, err := e.number(expr, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Number(n), nil
+	case ast.TypeString:
+		s, err := e.str(expr, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.String(s), nil
+	default:
+		return nil, fmt.Errorf("nauxpda: boolean argument to string function")
+	}
+}

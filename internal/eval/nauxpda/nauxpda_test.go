@@ -1,0 +1,441 @@
+package nauxpda
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"xpathcomplexity/internal/eval/cvt"
+	"xpathcomplexity/internal/eval/enginetest"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+func engine(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	return Evaluate(expr, ctx, Options{Limits: Limits{NegationDepth: 8}})
+}
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, engine, enginetest.PXPathCaps)
+}
+
+func TestFragmentCheck(t *testing.T) {
+	cases := []struct {
+		q       string
+		lim     Limits
+		wantErr error
+	}{
+		{"a[b][c]", Limits{}, ErrIteratedPredicates},
+		{"a[not(b)]", Limits{}, ErrNegationDepth},
+		{"a[not(b)]", Limits{NegationDepth: 1}, nil},
+		{"a[not(b[not(c)])]", Limits{NegationDepth: 1}, ErrNegationDepth},
+		{"a[not(b[not(c)])]", Limits{NegationDepth: 2}, nil},
+		{"count(a)", Limits{}, ErrForbiddenFunction},
+		{"a[sum(b) > 1]", Limits{}, ErrForbiddenFunction},
+		{"string(a)", Limits{}, ErrForbiddenFunction},
+		{"a[string-length(b) = 1]", Limits{}, ErrForbiddenFunction},
+		{"a[normalize-space(b) = 'x']", Limits{}, ErrForbiddenFunction},
+		{"a[b = true()]", Limits{}, ErrBooleanRelOp},
+		{"a[(b and c) != true()]", Limits{}, ErrBooleanRelOp},
+		{"a[1+1+1+1 = 4]", Limits{ArithDepth: 2}, ErrArithDepth},
+		{"a[1+1+1+1 = 4]", Limits{ArithDepth: 4}, nil},
+		{"a[position() = last()]", Limits{}, nil},
+		{"a[b and c or d]", Limits{}, nil},
+		{"a[contains(b, 'x')]", Limits{}, nil},
+	}
+	for _, tc := range cases {
+		err := Check(parser.MustParse(tc.q), tc.lim)
+		if tc.wantErr == nil && err != nil {
+			t.Errorf("Check(%q, %+v) = %v, want nil", tc.q, tc.lim, err)
+		}
+		if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+			t.Errorf("Check(%q, %+v) = %v, want %v", tc.q, tc.lim, err, tc.wantErr)
+		}
+	}
+}
+
+// One unit test per row of Table 1 (EXP-T1). Each exercises exactly the
+// local consistency condition of that row through SingletonSuccess.
+func TestTable1Rows(t *testing.T) {
+	d, err := xmltree.ParseString(`<a><b>5</b><b>7</b><c><b>9</b></c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.FindFirstElement("a")
+	bs := d.FindAll(func(n *xmltree.Node) bool { return n.Name == "b" })
+	c := d.FindFirstElement("c")
+	check := func(q string, ctx evalctx.Context, v value.Value, want bool) {
+		t.Helper()
+		got, err := SingletonSuccess(parser.MustParse(q), ctx, v, Options{Limits: Limits{NegationDepth: 2}})
+		if err != nil {
+			t.Fatalf("SingletonSuccess(%q): %v", q, err)
+		}
+		if got != want {
+			t.Errorf("SingletonSuccess(%q, %v) = %v, want %v", q, v, got, want)
+		}
+	}
+	one := func(n *xmltree.Node) value.Value { return value.NewNodeSet(n) }
+	// Row χ::t (leaf): r reachable from n via χ::t.
+	check("child::b", evalctx.At(a), one(bs[0]), true)
+	check("child::b", evalctx.At(a), one(bs[2]), false) // b under c, not a child of a
+	// Row position(): r = p.
+	check("position()", evalctx.Context{Node: a, Pos: 3, Size: 9}, value.Number(3), true)
+	check("position()", evalctx.Context{Node: a, Pos: 3, Size: 9}, value.Number(4), false)
+	// Row last(): r = s.
+	check("last()", evalctx.Context{Node: a, Pos: 3, Size: 9}, value.Number(9), true)
+	// Row constant.
+	check("3.5", evalctx.At(a), value.Number(3.5), true)
+	check("3.5", evalctx.At(a), value.Number(3), false)
+	// Row /π: n = root ∧ r = r1.
+	check("/a/c", evalctx.At(bs[0]), one(c), true)
+	// Row π1|π2.
+	check("child::b | child::c", evalctx.At(a), one(c), true)
+	check("child::b | child::c", evalctx.At(a), one(bs[1]), true)
+	// Row π1/π2: intermediate node guessed.
+	check("child::c/child::b", evalctx.At(a), one(bs[2]), true)
+	check("child::c/child::b", evalctx.At(a), one(bs[0]), false)
+	// Row χ::t[e]: position/size of r within Y.
+	check("child::b[position() = 2]", evalctx.At(a), one(bs[1]), true)
+	check("child::b[position() = 2]", evalctx.At(a), one(bs[0]), false)
+	check("child::b[last() = 2]", evalctx.At(a), one(bs[0]), true)
+	// Row boolean(π): r = true ∧ r1 ∈ dom.
+	check("boolean(child::c)", evalctx.At(a), value.Boolean(true), true)
+	// Row e1 and e2 / e1 or e2.
+	check("boolean(child::b) and boolean(child::c)", evalctx.At(a), value.Boolean(true), true)
+	check("boolean(child::zz) or boolean(child::c)", evalctx.At(a), value.Boolean(true), true)
+	// Row e1 RelOp e2 (both numbers).
+	check("1 + 1 < 3", evalctx.At(a), value.Boolean(true), true)
+	// Row e1 ArithOp e2.
+	check("2 * 3 + 1", evalctx.At(a), value.Number(7), true)
+	check("7 div 2", evalctx.At(a), value.Number(3.5), true)
+}
+
+// Boolean false results are decided via the complement (Theorem 5.5 /
+// Proposition 2.4): Evaluate returns Boolean(false) and
+// SingletonSuccess(true) returns false.
+func TestBooleanComplement(t *testing.T) {
+	d, _ := xmltree.ParseString("<a><b/></a>")
+	a := d.FindFirstElement("a")
+	q := parser.MustParse("boolean(child::zz)")
+	got, err := Evaluate(q, evalctx.At(a), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != value.Boolean(false) {
+		t.Fatalf("Evaluate = %v", got)
+	}
+	ok, err := SingletonSuccess(q, evalctx.At(a), value.Boolean(true), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("SingletonSuccess(true) should fail for a false query")
+	}
+}
+
+// Agreement with cvt on random pWF queries (EXP-T1 property part).
+func TestAgreementWithCVTRandomPWF(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for _, profile := range []enginetest.GenProfile{enginetest.GenPF, enginetest.GenPositiveCore, enginetest.GenPWF} {
+		gen := enginetest.NewQueryGen(rng, profile)
+		for trial := 0; trial < 150; trial++ {
+			doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+				Nodes: 15, MaxFanout: 3, Tags: []string{"a", "b", "c"}, TextProb: 0.2,
+			})
+			q := gen.Query()
+			expr := parser.MustParse(q)
+			ctx := evalctx.Root(doc)
+			want, err := cvt.Evaluate(expr, ctx, nil)
+			if err != nil {
+				t.Fatalf("cvt failed on %q: %v", q, err)
+			}
+			got, err := Evaluate(expr, ctx, Options{})
+			if err != nil {
+				t.Fatalf("nauxpda failed on %q: %v", q, err)
+			}
+			if !value.Equal(want, got) {
+				t.Fatalf("disagreement on %q:\n cvt:     %v\n nauxpda: %v\n doc: %s",
+					q, want, got, doc.XMLString())
+			}
+		}
+	}
+}
+
+// Agreement with cvt on bounded-negation queries (Theorem 5.9).
+func TestBoundedNegationAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	gen := enginetest.NewQueryGen(rng, enginetest.GenCore)
+	checked := 0
+	for trial := 0; trial < 400 && checked < 120; trial++ {
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 12, MaxFanout: 3, Tags: []string{"a", "b", "c"},
+		})
+		q := gen.Query()
+		expr := parser.MustParse(q)
+		if ast.NegationDepth(expr) == 0 {
+			continue
+		}
+		checked++
+		ctx := evalctx.Root(doc)
+		want, err := cvt.Evaluate(expr, ctx, nil)
+		if err != nil {
+			t.Fatalf("cvt failed on %q: %v", q, err)
+		}
+		got, err := Evaluate(expr, ctx, Options{Limits: Limits{NegationDepth: 8}})
+		if err != nil {
+			t.Fatalf("nauxpda failed on %q: %v", q, err)
+		}
+		if !value.Equal(want, got) {
+			t.Fatalf("disagreement on %q:\n cvt:     %v\n nauxpda: %v\n doc: %s",
+				q, want, got, doc.XMLString())
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d negation queries generated", checked)
+	}
+}
+
+// The memo is what keeps the certificate search polynomial: with it
+// disabled, the same query costs strictly more operations on a chain
+// document (and exponentially more as the chain grows).
+func TestMemoMatters(t *testing.T) {
+	d := xmltree.ChainDocument(10, "a")
+	// A chain of descendant steps: the same holds(steps[i:], mid, r)
+	// judgment is reached through many intermediate guesses, so the
+	// certificate DAG has massive sharing.
+	q := parser.MustParse("descendant::a/descendant::a/descendant::a/descendant::a")
+	ctx := evalctx.Root(d)
+	withMemo := &evalctx.Counter{}
+	if _, err := Evaluate(q, ctx, Options{Counter: withMemo}); err != nil {
+		t.Fatal(err)
+	}
+	without := &evalctx.Counter{}
+	if _, err := Evaluate(q, ctx, Options{Counter: without, DisableMemo: true}); err != nil {
+		t.Fatal(err)
+	}
+	if without.Ops <= withMemo.Ops {
+		t.Fatalf("memo should reduce ops: with=%d without=%d", withMemo.Ops, without.Ops)
+	}
+}
+
+// Certificate-space size sanity: the memo tables stay polynomial —
+// bounded by |Q| · |D|² entries for holds.
+func TestCertificateSpacePolynomial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	doc := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: 30, MaxFanout: 3})
+	expr := parser.MustParse("//a[b and descendant::c]/following::b[position() < 3]")
+	e := newChecker(evalctx.Root(doc), Options{})
+	for _, r := range doc.Nodes {
+		if _, err := e.holdsExpr(expr, doc.Root, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qSize := ast.Size(expr)
+	dSize := len(doc.Nodes)
+	bound := qSize * dSize * dSize
+	if len(e.holdsMemo) > bound {
+		t.Fatalf("holds memo has %d entries, bound %d", len(e.holdsMemo), bound)
+	}
+}
+
+func TestSingletonSuccessNodeMembership(t *testing.T) {
+	d, _ := xmltree.ParseString("<a><b/><c/></a>")
+	b := d.FindFirstElement("b")
+	c := d.FindFirstElement("c")
+	q := parser.MustParse("/a/b")
+	ok, err := SingletonSuccess(q, evalctx.Root(d), value.NewNodeSet(b), Options{})
+	if err != nil || !ok {
+		t.Fatalf("b should be in /a/b: %v %v", ok, err)
+	}
+	ok, err = SingletonSuccess(q, evalctx.Root(d), value.NewNodeSet(c), Options{})
+	if err != nil || ok {
+		t.Fatalf("c should not be in /a/b: %v %v", ok, err)
+	}
+}
+
+func TestEvaluateRejectsOutOfFragment(t *testing.T) {
+	d, _ := xmltree.ParseString("<a/>")
+	if _, err := Evaluate(parser.MustParse("//a[b][c]"), evalctx.Root(d), Options{}); !errors.Is(err, ErrIteratedPredicates) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Evaluate(parser.MustParse("count(//a)"), evalctx.Root(d), Options{}); !errors.Is(err, ErrForbiddenFunction) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStringOperations(t *testing.T) {
+	d, _ := xmltree.ParseString(`<a><b>hello</b><c>world</c></a>`)
+	ctx := evalctx.Root(d)
+	cases := []struct {
+		q    string
+		want value.Value
+	}{
+		{"concat('x', 'y')", value.String("xy")},
+		{"substring('12345', 2, 3)", value.String("234")},
+		{"substring-before('a-b', '-')", value.String("a")},
+		{"substring-after('a-b', '-')", value.String("b")},
+		{"translate('abc', 'ab', 'xy')", value.String("xyc")},
+	}
+	for _, tc := range cases {
+		got, err := Evaluate(parser.MustParse(tc.q), ctx, Options{})
+		if err != nil {
+			t.Fatalf("%q: %v", tc.q, err)
+		}
+		if !value.Equal(got, tc.want) {
+			t.Errorf("%q = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Node-set argument to a boolean string function.
+	got, err := Evaluate(parser.MustParse("//a[contains(b, 'ell')]"), ctx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.(value.NodeSet)) != 1 {
+		t.Fatalf("contains(node-set) = %v", got)
+	}
+}
+
+// NormalizeNegation (the de Morgan preprocessing of the Theorem 5.9
+// proof) lets queries whose raw negation depth exceeds the bound pass
+// after double negations cancel — without changing semantics.
+func TestNormalizeNegationWidensAcceptance(t *testing.T) {
+	d, _ := xmltree.ParseString("<a><b/><c/></a>")
+	ctx := evalctx.Root(d)
+	q := parser.MustParse("//a[not(not(b))]") // raw depth 2
+	if _, err := Evaluate(q, ctx, Options{Limits: Limits{NegationDepth: 0}}); err == nil {
+		t.Fatal("raw depth-2 negation should be rejected at bound 0")
+	}
+	got, err := Evaluate(q, ctx, Options{Limits: Limits{NegationDepth: 0}, NormalizeNegation: true})
+	if err != nil {
+		t.Fatalf("normalized query rejected: %v", err)
+	}
+	want, err := cvt.Evaluate(q, ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got, want) {
+		t.Fatalf("normalized evaluation differs: %v vs %v", got, want)
+	}
+	// A numeric RelOp under not() flips instead of counting as negation.
+	q2 := parser.MustParse("//a/b[not(position() = 2)]")
+	got2, err := Evaluate(q2, ctx, Options{Limits: Limits{NegationDepth: 0}, NormalizeNegation: true})
+	if err != nil {
+		t.Fatalf("flipped RelOp rejected: %v", err)
+	}
+	want2, _ := cvt.Evaluate(q2, ctx, nil)
+	if !value.Equal(got2, want2) {
+		t.Fatalf("flipped RelOp differs: %v vs %v", got2, want2)
+	}
+}
+
+// NormalizeNegation agrees with cvt on random Core XPath queries even at
+// a generous bound (the normal form never increases depth).
+func TestNormalizeNegationAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(888))
+	gen := enginetest.NewQueryGen(rng, enginetest.GenCore)
+	for trial := 0; trial < 120; trial++ {
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 12, MaxFanout: 3, Tags: []string{"a", "b", "c"},
+		})
+		q := gen.Query()
+		expr := parser.MustParse(q)
+		ctx := evalctx.Root(doc)
+		want, err := cvt.Evaluate(expr, ctx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Evaluate(expr, ctx, Options{Limits: Limits{NegationDepth: 10}, NormalizeNegation: true})
+		if err != nil {
+			t.Fatalf("nauxpda(normalized) failed on %q: %v", q, err)
+		}
+		if !value.Equal(want, got) {
+			t.Fatalf("disagreement on %q:\n cvt: %v\n pda: %v\n doc: %s", q, want, got, doc.XMLString())
+		}
+	}
+}
+
+// SingletonSuccess over every result type of Definition 5.3.
+func TestSingletonSuccessResultTypes(t *testing.T) {
+	d, _ := xmltree.ParseString("<a><b>hi</b></a>")
+	a := d.FindFirstElement("a")
+	ctx := evalctx.Context{Node: a, Pos: 2, Size: 3}
+	// Number instances.
+	ok, err := SingletonSuccess(parser.MustParse("position() + last()"), ctx, value.Number(5), Options{})
+	if err != nil || !ok {
+		t.Fatalf("number instance: %v %v", ok, err)
+	}
+	ok, err = SingletonSuccess(parser.MustParse("position()"), ctx, value.Number(9), Options{})
+	if err != nil || ok {
+		t.Fatalf("wrong number accepted: %v %v", ok, err)
+	}
+	// String instances.
+	ok, err = SingletonSuccess(parser.MustParse("concat('h', 'i')"), ctx, value.String("hi"), Options{})
+	if err != nil || !ok {
+		t.Fatalf("string instance: %v %v", ok, err)
+	}
+	ok, err = SingletonSuccess(parser.MustParse("substring-after('a-b', '-')"), ctx, value.String("a"), Options{})
+	if err != nil || ok {
+		t.Fatalf("wrong string accepted: %v %v", ok, err)
+	}
+	// Type mismatches are errors, not false.
+	if _, err := SingletonSuccess(parser.MustParse("position()"), ctx, value.String("2"), Options{}); err == nil {
+		t.Error("number query vs string instance should error")
+	}
+	if _, err := SingletonSuccess(parser.MustParse("concat('a','b')"), ctx, value.Number(1), Options{}); err == nil {
+		t.Error("string query vs number instance should error")
+	}
+	if _, err := SingletonSuccess(parser.MustParse("child::b"), ctx, value.Number(1), Options{}); err == nil {
+		t.Error("node-set query vs number instance should error")
+	}
+}
+
+// The numeric judgment across every arithmetic shape, including node-set
+// operands in relational operators via the string-value route.
+func TestNumericAndStringJudgments(t *testing.T) {
+	d, _ := xmltree.ParseString("<a><n>4</n><n>9</n><s>abc</s></a>")
+	ctx := evalctx.Root(d)
+	cases := []struct {
+		q    string
+		want value.Value
+	}{
+		{"floor(7 div 2)", value.Number(3)},
+		{"ceiling(7 div 2)", value.Number(4)},
+		{"round(2.5)", value.Number(3)},
+		{"//a[n > 8]", nil}, // checked below as nonempty
+	}
+	for _, tc := range cases[:3] {
+		got, err := Evaluate(parser.MustParse(tc.q), ctx, Options{})
+		if err != nil {
+			t.Fatalf("%q: %v", tc.q, err)
+		}
+		if !value.Equal(got, tc.want) {
+			t.Errorf("%q = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	got, err := Evaluate(parser.MustParse("//a[n > 8]"), ctx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.(value.NodeSet)) != 1 {
+		t.Fatalf("node-set RelOp: %v", got)
+	}
+	// Node-set vs node-set relational comparison (double existential).
+	got, err = Evaluate(parser.MustParse("//a[n < n]"), ctx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.(value.NodeSet)) != 1 { // 4 < 9
+		t.Fatalf("set-vs-set RelOp: %v", got)
+	}
+	// String-typed node-set argument conversion (first node in doc order).
+	got, err = Evaluate(parser.MustParse("//a[starts-with(s, 'ab')]"), ctx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.(value.NodeSet)) != 1 {
+		t.Fatalf("starts-with on node-set: %v", got)
+	}
+}

@@ -1,0 +1,388 @@
+// Package parallel implements the parallel Core XPath evaluator sketched
+// in Remark 5.6 of the paper: "at the branches, the subexpressions below
+// can be evaluated in parallel before finalizing the branch (i.e.,
+// proceeding bottom-up)".
+//
+// The evaluator reuses the node-set algebra of the corelinear engine
+// (package nodeset) and adds two orthogonal axes of parallelism, selected
+// by Options.Grain for the ablation benchmark:
+//
+//   - branch parallelism: the two operands of every 'and'/'or'/'|' node
+//     and the independent condition sets of a path are computed in
+//     concurrent goroutines — the circuit-depth intuition behind
+//     LOGCFL ⊆ NC²;
+//   - data parallelism: the pointwise set operations (∩, ∪, complement,
+//     node-test masks) are partitioned across worker goroutines — the
+//     "polynomially many processors" half of the NC picture.
+//
+// The evaluator accepts all of Core XPath, including negation. The NC
+// upper bound of the paper is for *positive* Core XPath (Theorem 4.1);
+// negation still parallelizes per instance here, but Theorem 3.2 shows the
+// language with negation is P-complete, so no algorithm can be expected to
+// achieve polylogarithmic depth on all inputs.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"xpathcomplexity/internal/eval/corelinear"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/nodeset"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// Grain selects which parallelism dimensions are active.
+type Grain int
+
+// Grain values.
+const (
+	// GrainBoth enables branch- and data-parallelism (default).
+	GrainBoth Grain = iota
+	// GrainBranch parallelizes only across query-tree branches.
+	GrainBranch
+	// GrainData parallelizes only within set operations.
+	GrainData
+	// GrainNone disables all parallelism (sequential reference).
+	GrainNone
+)
+
+// String names the grain.
+func (g Grain) String() string {
+	switch g {
+	case GrainBoth:
+		return "both"
+	case GrainBranch:
+		return "branch"
+	case GrainData:
+		return "data"
+	case GrainNone:
+		return "none"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configure the parallel evaluation.
+type Options struct {
+	// Workers bounds concurrent goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Grain selects the parallelism dimensions.
+	Grain Grain
+	// Counter receives the operation count after evaluation; may be nil.
+	Counter *evalctx.Counter
+	// NCClosures replaces the sequential single-sweep closure operations
+	// (descendant/ancestor, or-self) by the log-depth NC algorithms of
+	// ncops.go — pointer doubling and parallel range-min tables. They do
+	// Θ(|D| log |D|) work for O(log |D|) depth, the classic NC trade-off;
+	// see BenchmarkAblation_NCClosures.
+	NCClosures bool
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Evaluate evaluates a Core XPath query with the configured parallelism.
+// Results are identical to corelinear.Evaluate.
+func Evaluate(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, error) {
+	if err := corelinear.CheckCore(expr); err != nil {
+		return nil, err
+	}
+	if ctx.Node == nil {
+		return nil, fmt.Errorf("parallel: nil context node")
+	}
+	e := &evaluator{
+		doc:     ctx.Node.Document(),
+		opts:    opts,
+		workers: opts.workers(),
+		sem:     make(chan struct{}, opts.workers()),
+	}
+	if opts.NCClosures {
+		e.nc = buildNCIndex(e.doc)
+	}
+	defer func() {
+		if opts.Counter != nil {
+			opts.Counter.Ops += e.ops.Load()
+		}
+	}()
+	if p, ok := expr.(*ast.Path); ok {
+		res, err := e.forwardPath(p, ctx.Node)
+		if err != nil {
+			return nil, err
+		}
+		return value.NewNodeSet(res.Nodes()...), nil
+	}
+	if b, ok := expr.(*ast.Binary); ok && b.Op == ast.OpUnion {
+		l, r, err := e.bothValues(b, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return l.(value.NodeSet).Union(r.(value.NodeSet)), nil
+	}
+	set, err := e.condSet(expr)
+	if err != nil {
+		return nil, err
+	}
+	return value.Boolean(set.Has(ctx.Node)), nil
+}
+
+type evaluator struct {
+	doc     *xmltree.Document
+	opts    Options
+	workers int
+	sem     chan struct{}
+	ops     atomic.Int64
+	// nc holds the pointer-doubling / RMQ tables when NCClosures is on.
+	nc *ncIndex
+}
+
+// applyAxis routes closure axes through the NC algorithms when enabled.
+func (e *evaluator) applyAxis(a ast.Axis, s nodeset.Set) nodeset.Set {
+	if e.nc != nil {
+		switch a {
+		case ast.AxisDescendantOrSelf:
+			return e.descendantOrSelfDoubling(e.nc, s)
+		case ast.AxisDescendant:
+			return e.descendantDoubling(e.nc, s)
+		case ast.AxisAncestorOrSelf:
+			return e.ancestorRMQ(e.nc, s, true)
+		case ast.AxisAncestor:
+			return e.ancestorRMQ(e.nc, s, false)
+		}
+	}
+	return nodeset.ApplyAxis(a, s)
+}
+
+func (e *evaluator) step(n int64) { e.ops.Add(n) }
+
+func (e *evaluator) branchy() bool {
+	return (e.opts.Grain == GrainBoth || e.opts.Grain == GrainBranch) && e.workers > 1
+}
+
+func (e *evaluator) datay() bool {
+	return (e.opts.Grain == GrainBoth || e.opts.Grain == GrainData) && e.workers > 1
+}
+
+// bothValues evaluates both operands of a top-level union, in parallel
+// when branch parallelism is on.
+func (e *evaluator) bothValues(b *ast.Binary, ctx evalctx.Context) (value.Value, value.Value, error) {
+	if !e.branchy() {
+		l, err := Evaluate(b.Left, ctx, e.opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := Evaluate(b.Right, ctx, e.opts)
+		return l, r, err
+	}
+	var l, r value.Value
+	var errL, errR error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		l, errL = Evaluate(b.Left, ctx, e.opts)
+	}()
+	r, errR = Evaluate(b.Right, ctx, e.opts)
+	wg.Wait()
+	if errL != nil {
+		return nil, nil, errL
+	}
+	return l, r, errR
+}
+
+// forwardPath mirrors corelinear's forward pass; the condition sets of
+// each step are computed in parallel across predicates and branches.
+func (e *evaluator) forwardPath(p *ast.Path, start *xmltree.Node) (nodeset.Set, error) {
+	frontier := nodeset.New(e.doc)
+	if p.Absolute {
+		frontier.Add(e.doc.Root)
+	} else {
+		frontier.Add(start)
+	}
+	for _, step := range p.Steps {
+		e.step(int64(len(e.doc.Nodes)))
+		next := e.and(e.applyAxis(step.Axis, frontier), nodeset.TestSet(e.doc, step.Axis, step.Test))
+		for _, pred := range step.Preds {
+			cond, err := e.condSet(pred)
+			if err != nil {
+				return nodeset.Set{}, err
+			}
+			next = e.and(next, cond)
+		}
+		frontier = next
+	}
+	return frontier, nil
+}
+
+// condPair evaluates two condition subtrees, concurrently under branch
+// parallelism.
+func (e *evaluator) condPair(l, r ast.Expr) (nodeset.Set, nodeset.Set, error) {
+	if !e.branchy() {
+		ls, err := e.condSet(l)
+		if err != nil {
+			return nodeset.Set{}, nodeset.Set{}, err
+		}
+		rs, err := e.condSet(r)
+		return ls, rs, err
+	}
+	var ls, rs nodeset.Set
+	var errL, errR error
+	select {
+	case e.sem <- struct{}{}:
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-e.sem }()
+			ls, errL = e.condSet(l)
+		}()
+		rs, errR = e.condSet(r)
+		wg.Wait()
+	default:
+		// Worker budget exhausted: evaluate sequentially.
+		ls, errL = e.condSet(l)
+		if errL == nil {
+			rs, errR = e.condSet(r)
+		}
+	}
+	if errL != nil {
+		return nodeset.Set{}, nodeset.Set{}, errL
+	}
+	return ls, rs, errR
+}
+
+func (e *evaluator) condSet(expr ast.Expr) (nodeset.Set, error) {
+	e.step(int64(len(e.doc.Nodes)))
+	switch x := expr.(type) {
+	case *ast.Binary:
+		switch x.Op {
+		case ast.OpAnd:
+			l, r, err := e.condPair(x.Left, x.Right)
+			if err != nil {
+				return nodeset.Set{}, err
+			}
+			return e.and(l, r), nil
+		case ast.OpOr, ast.OpUnion:
+			l, r, err := e.condPair(x.Left, x.Right)
+			if err != nil {
+				return nodeset.Set{}, err
+			}
+			return e.or(l, r), nil
+		default:
+			return nodeset.Set{}, fmt.Errorf("%w: operator %q", corelinear.ErrNotCore, x.Op)
+		}
+	case *ast.Call:
+		switch x.Name {
+		case "not":
+			inner, err := e.condSet(x.Args[0])
+			if err != nil {
+				return nodeset.Set{}, err
+			}
+			return e.not(inner), nil
+		case "boolean":
+			return e.condSet(x.Args[0])
+		case "true":
+			return nodeset.Full(e.doc), nil
+		case "false":
+			return nodeset.New(e.doc), nil
+		default:
+			return nodeset.Set{}, fmt.Errorf("%w: function %q", corelinear.ErrNotCore, x.Name)
+		}
+	case *ast.LabelTest:
+		return nodeset.LabelSet(e.doc, x.Label), nil
+	case *ast.Path:
+		return e.backwardPath(x)
+	default:
+		return nodeset.Set{}, fmt.Errorf("%w: %T in condition", corelinear.ErrNotCore, expr)
+	}
+}
+
+func (e *evaluator) backwardPath(p *ast.Path) (nodeset.Set, error) {
+	s := nodeset.Full(e.doc)
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		step := p.Steps[i]
+		e.step(int64(len(e.doc.Nodes)))
+		s = e.and(s, nodeset.TestSet(e.doc, step.Axis, step.Test))
+		for _, pred := range step.Preds {
+			cond, err := e.condSet(pred)
+			if err != nil {
+				return nodeset.Set{}, err
+			}
+			s = e.and(s, cond)
+		}
+		s = nodeset.ApplyInverseAxis(step.Axis, s)
+	}
+	if p.Absolute {
+		if s.Has(e.doc.Root) {
+			return nodeset.Full(e.doc), nil
+		}
+		return nodeset.New(e.doc), nil
+	}
+	return s, nil
+}
+
+// pointwiseMinChunk is the smallest slice worth spawning a goroutine for.
+const pointwiseMinChunk = 2048
+
+// parallelFor splits [0, n) across workers.
+func (e *evaluator) parallelFor(n int, f func(lo, hi int)) {
+	if !e.datay() || n < 2*pointwiseMinChunk {
+		f(0, n)
+		return
+	}
+	chunk := (n + e.workers - 1) / e.workers
+	if chunk < pointwiseMinChunk {
+		chunk = pointwiseMinChunk
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (e *evaluator) and(a, b nodeset.Set) nodeset.Set {
+	o := nodeset.New(e.doc)
+	e.parallelFor(len(o.Bits), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			o.Bits[i] = a.Bits[i] && b.Bits[i]
+		}
+	})
+	return o
+}
+
+func (e *evaluator) or(a, b nodeset.Set) nodeset.Set {
+	o := nodeset.New(e.doc)
+	e.parallelFor(len(o.Bits), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			o.Bits[i] = a.Bits[i] || b.Bits[i]
+		}
+	})
+	return o
+}
+
+func (e *evaluator) not(a nodeset.Set) nodeset.Set {
+	o := nodeset.New(e.doc)
+	e.parallelFor(len(o.Bits), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			o.Bits[i] = !a.Bits[i]
+		}
+	})
+	return o
+}

@@ -1,0 +1,202 @@
+package parallel
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"xpathcomplexity/internal/eval/corelinear"
+	"xpathcomplexity/internal/eval/enginetest"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/nodeset"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+func engine(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	return Evaluate(expr, ctx, Options{})
+}
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, engine, enginetest.CoreCaps)
+}
+
+func TestConformanceAllGrains(t *testing.T) {
+	for _, g := range []Grain{GrainNone, GrainBranch, GrainData, GrainBoth} {
+		g := g
+		t.Run(g.String(), func(t *testing.T) {
+			enginetest.Run(t, func(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+				return Evaluate(expr, ctx, Options{Grain: g})
+			}, enginetest.CoreCaps)
+		})
+	}
+}
+
+func TestRejectsNonCore(t *testing.T) {
+	d, _ := xmltree.ParseString("<a/>")
+	_, err := Evaluate(parser.MustParse("//a[1]"), evalctx.Root(d), Options{})
+	if !errors.Is(err, corelinear.ErrNotCore) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Agreement with corelinear across grains and worker counts on random
+// Core XPath queries — also serves as a race detector workload
+// (go test -race).
+func TestAgreementWithCorelinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	gen := enginetest.NewQueryGen(rng, enginetest.GenCore)
+	for trial := 0; trial < 200; trial++ {
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 40, MaxFanout: 4, Tags: []string{"a", "b", "c"}, AttrProb: 0.2,
+		})
+		q := gen.Query()
+		expr := parser.MustParse(q)
+		ctx := evalctx.Root(doc)
+		want, err := corelinear.Evaluate(expr, ctx, nil)
+		if err != nil {
+			t.Fatalf("corelinear failed on %q: %v", q, err)
+		}
+		for _, opts := range []Options{
+			{Grain: GrainBoth},
+			{Grain: GrainBranch, Workers: 4},
+			{Grain: GrainData, Workers: 3},
+			{Grain: GrainNone},
+			{Workers: 1},
+		} {
+			got, err := Evaluate(expr, ctx, opts)
+			if err != nil {
+				t.Fatalf("parallel(%v) failed on %q: %v", opts.Grain, q, err)
+			}
+			if !value.Equal(want, got) {
+				t.Fatalf("disagreement on %q with %+v:\n corelinear: %v\n parallel:   %v",
+					q, opts, want, got)
+			}
+		}
+	}
+}
+
+func TestWorkerBudgetRespected(t *testing.T) {
+	// A deeply branching query with a tiny worker budget must still
+	// terminate and be correct (fallback to sequential when the semaphore
+	// is full).
+	d := xmltree.BalancedDocument(4, 3, []string{"a", "b"})
+	q := "//a[(b or a[b and a]) and (a[b or a] or b[a and not(b)])]"
+	want, err := corelinear.Evaluate(parser.MustParse(q), evalctx.Root(d), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Evaluate(parser.MustParse(q), evalctx.Root(d), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(want, got) {
+		t.Fatalf("want %v, got %v", want, got)
+	}
+}
+
+func TestCounterAccumulates(t *testing.T) {
+	d := xmltree.BalancedDocument(5, 2, []string{"a", "b"})
+	ctr := &evalctx.Counter{}
+	if _, err := Evaluate(parser.MustParse("//a[b and not(a)]"), evalctx.Root(d), Options{Counter: ctr}); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Ops == 0 {
+		t.Fatal("counter not accumulated")
+	}
+}
+
+// On large documents with branchy queries, parallel evaluation with
+// multiple workers should not be drastically slower than sequential (a
+// smoke check, not a strict speedup assertion — CI machines vary).
+func TestParallelSmoke(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-CPU environment")
+	}
+	d := xmltree.BalancedDocument(12, 2, []string{"a", "b", "c"})
+	q := parser.MustParse("//a[descendant::b[a or c] and descendant::c[not(b)] or following::b[ancestor::c or preceding::a]]")
+	ctx := evalctx.Root(d)
+	want, err := corelinear.Evaluate(q, ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Evaluate(q, ctx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(want, got) {
+		t.Fatal("parallel result differs on large doc")
+	}
+}
+
+// The NC closure algorithms (pointer doubling, parallel RMQ) agree with
+// the sequential single-sweep closures on random documents, including
+// attribute members — and the whole evaluator agrees with corelinear when
+// they are enabled.
+func TestNCClosuresAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(515))
+	for trial := 0; trial < 25; trial++ {
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 40, MaxFanout: 3, Tags: []string{"a", "b"}, AttrProb: 0.3, TextProb: 0.2,
+		})
+		e := &evaluator{doc: doc, workers: 2, sem: make(chan struct{}, 2), nc: buildNCIndex(doc)}
+		s := nodeset.New(doc)
+		for i := range s.Bits {
+			s.Bits[i] = rng.Intn(3) == 0
+		}
+		for _, axis := range []ast.Axis{
+			ast.AxisDescendant, ast.AxisDescendantOrSelf,
+			ast.AxisAncestor, ast.AxisAncestorOrSelf,
+		} {
+			want := nodeset.ApplyAxis(axis, s)
+			got := e.applyAxis(axis, s)
+			for i := range want.Bits {
+				if want.Bits[i] != got.Bits[i] {
+					t.Fatalf("NC %v differs at node #%d (%v): nc=%v seq=%v\nS=%v\ndoc=%s",
+						axis, i, doc.Nodes[i].Type, got.Bits[i], want.Bits[i], s.Nodes(), doc.XMLString())
+				}
+			}
+		}
+	}
+}
+
+func TestNCClosuresEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(616))
+	gen := enginetest.NewQueryGen(rng, enginetest.GenCore)
+	for trial := 0; trial < 100; trial++ {
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 30, MaxFanout: 3, Tags: []string{"a", "b", "c"},
+		})
+		q := gen.Query()
+		expr := parser.MustParse(q)
+		ctx := evalctx.Root(doc)
+		want, err := corelinear.Evaluate(expr, ctx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Evaluate(expr, ctx, Options{NCClosures: true})
+		if err != nil {
+			t.Fatalf("NC evaluate failed on %q: %v", q, err)
+		}
+		if !value.Equal(want, got) {
+			t.Fatalf("NC closures change semantics on %q", q)
+		}
+	}
+}
+
+// The depth story: pointer doubling needs only ⌈log₂ depth⌉+1 rounds.
+func TestNCIndexDepthLevels(t *testing.T) {
+	d := xmltree.ChainDocument(100, "a")
+	ix := buildNCIndex(d)
+	if len(ix.jump) > 9 { // log2(101) ≈ 6.7 → ≤ 8 levels
+		t.Fatalf("jump levels = %d for depth 100", len(ix.jump))
+	}
+	// The 2^k-th ancestor pointers are correct on the chain.
+	bottom := d.Nodes[len(d.Nodes)-1].Ord
+	if ix.jump[3][bottom] < 0 {
+		t.Fatal("8th ancestor should exist for the deepest chain node")
+	}
+}

@@ -1,0 +1,302 @@
+// Package fragment classifies XPath queries into the fragment lattice of
+// Figure 1 of the paper and reports the combined complexity of query
+// evaluation for the smallest fragment containing the query:
+//
+//	PF               ⊂ positive Core XPath ⊂ {Core XPath, pWF} ⊂ ...
+//	NL-complete        LOGCFL-complete       P-complete  LOGCFL-complete
+//
+//	... Core XPath ⊂ WF,  pWF ⊂ {WF, pXPath},  WF ⊂ XPath, pXPath ⊂ XPath
+//	    P-complete   P-c.                      XPath: P-complete
+//
+// The classifier also exposes the feature analysis (negation depth,
+// iterated predicates, arithmetic depth, functions used, ...) that causes
+// each fragment promotion, and recommends the cheapest evaluator.
+package fragment
+
+import (
+	"sort"
+
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// Fragment identifies a language fragment from Figure 1.
+type Fragment int
+
+// The fragments, ordered by classification preference (subset relations
+// permitting): a query is labeled with the first fragment that contains
+// it.
+const (
+	// PF: location paths without conditions (Section 4).
+	PF Fragment = iota
+	// PositiveCore: Core XPath without negation (Theorem 4.1/4.2).
+	PositiveCore
+	// PWF: the positive Wadler fragment (Definition 5.1).
+	PWF
+	// Core: Core XPath (Definition 2.5).
+	Core
+	// WF: the Wadler fragment (Definition 2.6).
+	WF
+	// PXPath: positive/parallel XPath (Definition 6.1).
+	PXPath
+	// XPath: everything this engine supports.
+	XPath
+)
+
+var fragNames = [...]string{
+	PF: "PF", PositiveCore: "positive Core XPath", PWF: "pWF",
+	Core: "Core XPath", WF: "WF", PXPath: "pXPath", XPath: "XPath",
+}
+
+// String names the fragment as in the paper.
+func (f Fragment) String() string {
+	if int(f) < len(fragNames) {
+		return fragNames[f]
+	}
+	return "unknown"
+}
+
+// ComplexityClass returns the combined complexity of query evaluation for
+// the fragment, per Figure 1 and Theorems 3.2, 4.2, 4.3, 5.5, 6.2.
+func (f Fragment) ComplexityClass() string {
+	switch f {
+	case PF:
+		return "NL-complete"
+	case PositiveCore, PWF, PXPath:
+		return "LOGCFL-complete"
+	case Core, WF, XPath:
+		return "P-complete"
+	default:
+		return "unknown"
+	}
+}
+
+// Parallelizable reports whether the fragment is highly parallelizable
+// (inside NC², per LOGCFL ⊆ NC²).
+func (f Fragment) Parallelizable() bool {
+	switch f {
+	case PF, PositiveCore, PWF, PXPath:
+		return true
+	default:
+		return false
+	}
+}
+
+// Features is the feature analysis driving classification.
+type Features struct {
+	// HasPredicates: any step carries a condition.
+	HasPredicates bool
+	// NegationDepth: maximal not() nesting (0 = negation-free).
+	NegationDepth int
+	// MaxPredicateSeq: longest [e1][e2]... sequence on one step.
+	MaxPredicateSeq int
+	// UsesPositionLast: position() or last() appears.
+	UsesPositionLast bool
+	// UsesArithmetic: numbers or arithmetic operators appear.
+	UsesArithmetic bool
+	// ArithDepth: maximal arithmetic nesting.
+	ArithDepth int
+	// UsesRelOp: a relational operator appears.
+	UsesRelOp bool
+	// RelOpOnNonNumbers: some relational operand is not number-typed
+	// (excludes the query from WF, whose grammar only has nexpr RelOp
+	// nexpr).
+	RelOpOnNonNumbers bool
+	// RelOpOnBooleans: some relational operand is boolean-typed (excluded
+	// from pXPath by Definition 6.1(3)).
+	RelOpOnBooleans bool
+	// UsesStrings: string literals or string-valued functions appear.
+	UsesStrings bool
+	// ForbiddenFunctions: functions excluded from pXPath by Definition
+	// 6.1(2) that appear in the query (not() is tracked by NegationDepth).
+	ForbiddenFunctions []string
+	// Functions: all functions used.
+	Functions []string
+	// UsesUnion: '|' appears.
+	UsesUnion bool
+	// UsesLabelTests: the T(l) extension appears.
+	UsesLabelTests bool
+}
+
+// pxpathForbidden are the pXPath-excluded functions other than not().
+var pxpathForbidden = map[string]bool{
+	"count": true, "sum": true, "string": true, "number": true,
+	"local-name": true, "namespace-uri": true, "name": true,
+	"string-length": true, "normalize-space": true,
+}
+
+// coreFunctions are the only functions allowed in Core XPath (boolean
+// conversions are admitted per Lemma 5.4's convention).
+var coreFunctions = map[string]bool{
+	"not": true, "boolean": true, "true": true, "false": true,
+}
+
+// wfFunctions are the functions of the Wadler fragment: Core plus
+// position() and last().
+var wfFunctions = map[string]bool{
+	"not": true, "boolean": true, "true": true, "false": true,
+	"position": true, "last": true,
+}
+
+// AnalyzeFeatures computes the feature vector of a query.
+func AnalyzeFeatures(expr ast.Expr) Features {
+	f := Features{
+		NegationDepth:   ast.NegationDepth(expr),
+		MaxPredicateSeq: ast.MaxPredicateSeq(expr),
+		ArithDepth:      ast.ArithDepth(expr),
+	}
+	fns := ast.FunctionsUsed(expr)
+	for name := range fns {
+		f.Functions = append(f.Functions, name)
+		if pxpathForbidden[name] {
+			f.ForbiddenFunctions = append(f.ForbiddenFunctions, name)
+		}
+	}
+	sort.Strings(f.Functions)
+	sort.Strings(f.ForbiddenFunctions)
+	f.UsesPositionLast = fns["position"] || fns["last"]
+	stringFns := map[string]bool{
+		"string": true, "concat": true, "starts-with": true, "contains": true,
+		"substring-before": true, "substring-after": true, "substring": true,
+		"string-length": true, "normalize-space": true, "translate": true,
+		"local-name": true, "name": true, "namespace-uri": true,
+	}
+	for name := range fns {
+		if stringFns[name] {
+			f.UsesStrings = true
+		}
+	}
+	ast.Walk(expr, func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.Path:
+			for _, s := range x.Steps {
+				if len(s.Preds) > 0 {
+					f.HasPredicates = true
+				}
+			}
+		case *ast.Binary:
+			switch {
+			case x.Op == ast.OpUnion:
+				f.UsesUnion = true
+			case x.Op.IsArithmetic():
+				f.UsesArithmetic = true
+			case x.Op.IsRelational():
+				f.UsesRelOp = true
+				lt, rt := ast.StaticType(x.Left), ast.StaticType(x.Right)
+				if lt != ast.TypeNumber || rt != ast.TypeNumber {
+					f.RelOpOnNonNumbers = true
+				}
+				if lt == ast.TypeBoolean || rt == ast.TypeBoolean {
+					f.RelOpOnBooleans = true
+				}
+			}
+		case *ast.Unary:
+			f.UsesArithmetic = true
+		case *ast.Number:
+			f.UsesArithmetic = true
+		case *ast.Literal:
+			f.UsesStrings = true
+		case *ast.LabelTest:
+			f.UsesLabelTests = true
+		}
+		return true
+	})
+	return f
+}
+
+// Classification is the result of classifying a query.
+type Classification struct {
+	// Features is the feature analysis.
+	Features Features
+	// Member reports, per fragment, whether the query belongs to it.
+	Member map[Fragment]bool
+	// Minimal is the smallest fragment containing the query (preference
+	// order PF, positive Core, pWF, Core, WF, pXPath, XPath).
+	Minimal Fragment
+}
+
+// ArithDepthBound is the constant K of Definitions 5.1(3)/6.1(4) used for
+// pWF/pXPath membership.
+const ArithDepthBound = 8
+
+// Classify places a query in the Figure 1 lattice.
+func Classify(expr ast.Expr) Classification {
+	f := AnalyzeFeatures(expr)
+	m := make(map[Fragment]bool)
+
+	onlyFns := func(allowed map[string]bool) bool {
+		for _, name := range f.Functions {
+			if !allowed[name] {
+				return false
+			}
+		}
+		return true
+	}
+	isCoreShape := !f.UsesArithmetic && !f.UsesStrings && !f.UsesRelOp &&
+		onlyFns(coreFunctions)
+	m[PF] = isCoreShape && !f.HasPredicates && f.NegationDepth == 0 &&
+		len(f.Functions) == 0 && !f.UsesLabelTests
+	m[Core] = isCoreShape
+	m[PositiveCore] = isCoreShape && f.NegationDepth == 0
+	// Iterated predicates χ::t[e1][e2] are equivalent to χ::t[e1 and e2]
+	// when position() and last() are absent (Remark 5.2), so they only
+	// disqualify a query from pWF/pXPath when positional functions occur.
+	iteratedHarmful := f.MaxPredicateSeq >= 2 && f.UsesPositionLast
+	// WF: Core plus numeric expressions and RelOps over numbers.
+	isWFShape := !f.UsesStrings && !f.RelOpOnNonNumbers && onlyFns(wfFunctions)
+	m[WF] = isWFShape
+	m[PWF] = isWFShape && f.NegationDepth == 0 && !iteratedHarmful &&
+		f.ArithDepth <= ArithDepthBound
+	// pXPath: Definition 6.1 over the full language.
+	m[PXPath] = f.NegationDepth == 0 && !iteratedHarmful &&
+		len(f.ForbiddenFunctions) == 0 && !f.RelOpOnBooleans &&
+		f.ArithDepth <= ArithDepthBound
+	m[XPath] = true
+
+	minimal := XPath
+	for _, frag := range []Fragment{PF, PositiveCore, PWF, Core, WF, PXPath} {
+		if m[frag] {
+			minimal = frag
+			break
+		}
+	}
+	return Classification{Features: f, Member: m, Minimal: minimal}
+}
+
+// Engine names the evaluator the facade should use for a fragment.
+type Engine string
+
+// Engine recommendations.
+const (
+	EngineCoreLinear Engine = "corelinear"
+	EngineNAuxPDA    Engine = "nauxpda"
+	EngineCVT        Engine = "cvt"
+)
+
+// RecommendEngine returns the cheapest evaluator for the query per its
+// classification: the linear-time engine for Core XPath and below, the
+// LOGCFL engine for decision-style pWF/pXPath workloads, and the
+// polynomial context-value-table engine otherwise.
+func (c Classification) RecommendEngine() Engine {
+	switch c.Minimal {
+	case PF, PositiveCore, Core:
+		return EngineCoreLinear
+	case PWF, PXPath:
+		return EngineCVT // materializing full results: cvt is cheaper than dom-loops
+	default:
+		return EngineCVT
+	}
+}
+
+// RecommendDecisionEngine returns the evaluator for decision problems
+// (Singleton-Success style membership checks), where the nauxpda engine's
+// non-materializing evaluation shines.
+func (c Classification) RecommendDecisionEngine() Engine {
+	switch c.Minimal {
+	case PF, PositiveCore, Core:
+		return EngineCoreLinear
+	case PWF, PXPath:
+		return EngineNAuxPDA
+	default:
+		return EngineCVT
+	}
+}

@@ -1,0 +1,174 @@
+package fragment
+
+import (
+	"testing"
+
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+func classify(t *testing.T, q string) Classification {
+	t.Helper()
+	return Classify(parser.MustParse(q))
+}
+
+func TestMinimalFragment(t *testing.T) {
+	cases := []struct {
+		q    string
+		want Fragment
+	}{
+		// PF: condition-free paths.
+		{"/a/b/c", PF},
+		{"//a/descendant::b", PF},
+		{"a | b", PF},
+		{"child::a/parent::*/following-sibling::b", PF},
+		// Positive Core XPath: predicates without negation.
+		{"//a[b]", PositiveCore},
+		{"//a[b and c or d]", PositiveCore},
+		{"a[b[c]]", PositiveCore},
+		{"a[b][c]", PositiveCore}, // iterated preds are harmless without position() (Remark 5.2)
+		{"a[T(G)]", PositiveCore},
+		{"a[boolean(b)]", PositiveCore},
+		// pWF: positional/arithmetic, single predicates, no negation.
+		{"a[position() = 1]", PWF},
+		{"a[position() + 1 = last()]", PWF},
+		{"a[1]", PWF},
+		{"a[last() > 2 and b]", PWF},
+		// Core XPath: negation enters.
+		{"//a[not(b)]", Core},
+		{"a[not(b or not(c))]", Core},
+		{"a[not(T(G))]", Core},
+		// WF: negation + arithmetic, or iterated positional predicates.
+		{"a[not(position() = 2)]", WF},
+		{"a[not(b) and last() = 2]", WF},
+		{"a[position() = 1][last() = 1]", WF}, // iterated preds with position: not pWF
+		// pXPath: strings and general comparisons, still positive.
+		{"a[@x = 'v']", PXPath},
+		{"a[b = 'x']", PXPath},
+		{"a[contains(b, 'x')]", PXPath},
+		{"a[b = c]", PXPath},
+		{"concat('a', 'b')", PXPath},
+		// Full XPath: everything else.
+		{"a[not(b = 'x')]", XPath},
+		{"count(//a)", XPath},
+		{"a[string-length(b) = 2]", XPath},
+		{"sum(a) + 1", XPath},
+		{"a[b = 'x'][c]", PXPath},             // iterated preds harmless without position()
+		{"a[b = 'x'][position() = 1]", XPath}, // iterated preds + position(): P-hard territory
+		{"a[(b and c) = true()]", XPath},      // boolean RelOp
+		{"string(a)", XPath},
+	}
+	for _, tc := range cases {
+		got := classify(t, tc.q)
+		if got.Minimal != tc.want {
+			t.Errorf("Classify(%q).Minimal = %v, want %v (features %+v)",
+				tc.q, got.Minimal, tc.want, got.Features)
+		}
+	}
+}
+
+func TestMembershipMonotone(t *testing.T) {
+	// Subset relations of Figure 1 must hold for every query: membership
+	// in a fragment implies membership in its supersets.
+	supersets := map[Fragment][]Fragment{
+		PF:           {PositiveCore, Core, PWF, WF, PXPath, XPath},
+		PositiveCore: {Core, PWF, WF, PXPath, XPath},
+		PWF:          {WF, PXPath, XPath},
+		Core:         {WF, XPath},
+		WF:           {XPath},
+		PXPath:       {XPath},
+	}
+	queries := []string{
+		"/a/b", "//a[b]", "a[not(b)]", "a[position()=1]", "a[1][2]",
+		"a[b='x']", "count(a)", "a[not(position()=1)]", "a | b[c]",
+		"a[T(G) and not(T(R))]", "sum(a)>2",
+	}
+	for _, q := range queries {
+		c := classify(t, q)
+		for frag, sups := range supersets {
+			if !c.Member[frag] {
+				continue
+			}
+			for _, sup := range sups {
+				if !c.Member[sup] {
+					t.Errorf("query %q: member of %v but not of superset %v", q, frag, sup)
+				}
+			}
+		}
+	}
+}
+
+func TestComplexityClasses(t *testing.T) {
+	cases := []struct {
+		f    Fragment
+		want string
+		par  bool
+	}{
+		{PF, "NL-complete", true},
+		{PositiveCore, "LOGCFL-complete", true},
+		{PWF, "LOGCFL-complete", true},
+		{PXPath, "LOGCFL-complete", true},
+		{Core, "P-complete", false},
+		{WF, "P-complete", false},
+		{XPath, "P-complete", false},
+	}
+	for _, tc := range cases {
+		if got := tc.f.ComplexityClass(); got != tc.want {
+			t.Errorf("%v.ComplexityClass() = %q, want %q", tc.f, got, tc.want)
+		}
+		if got := tc.f.Parallelizable(); got != tc.par {
+			t.Errorf("%v.Parallelizable() = %v, want %v", tc.f, got, tc.par)
+		}
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	f := AnalyzeFeatures(parser.MustParse("//a[not(b[1] = 'x')][count(c) > 2]"))
+	if f.NegationDepth != 1 {
+		t.Errorf("NegationDepth = %d", f.NegationDepth)
+	}
+	if f.MaxPredicateSeq != 2 {
+		t.Errorf("MaxPredicateSeq = %d", f.MaxPredicateSeq)
+	}
+	if !f.UsesStrings || !f.UsesArithmetic || !f.UsesRelOp || !f.RelOpOnNonNumbers {
+		t.Errorf("feature flags wrong: %+v", f)
+	}
+	if len(f.ForbiddenFunctions) != 1 || f.ForbiddenFunctions[0] != "count" {
+		t.Errorf("ForbiddenFunctions = %v", f.ForbiddenFunctions)
+	}
+	f2 := AnalyzeFeatures(parser.MustParse("a[T(G)]"))
+	if !f2.UsesLabelTests || f2.UsesStrings {
+		t.Errorf("label features wrong: %+v", f2)
+	}
+}
+
+func TestRecommendEngine(t *testing.T) {
+	cases := []struct {
+		q        string
+		eval     Engine
+		decision Engine
+	}{
+		{"/a/b", EngineCoreLinear, EngineCoreLinear},
+		{"//a[not(b)]", EngineCoreLinear, EngineCoreLinear},
+		{"a[position()=1]", EngineCVT, EngineNAuxPDA},
+		{"a[b='x']", EngineCVT, EngineNAuxPDA},
+		{"count(a)", EngineCVT, EngineCVT},
+		{"a[not(position()=1)]", EngineCVT, EngineCVT},
+	}
+	for _, tc := range cases {
+		c := classify(t, tc.q)
+		if got := c.RecommendEngine(); got != tc.eval {
+			t.Errorf("RecommendEngine(%q) = %v, want %v", tc.q, got, tc.eval)
+		}
+		if got := c.RecommendDecisionEngine(); got != tc.decision {
+			t.Errorf("RecommendDecisionEngine(%q) = %v, want %v", tc.q, got, tc.decision)
+		}
+	}
+}
+
+func TestFragmentStrings(t *testing.T) {
+	for f := PF; f <= XPath; f++ {
+		if f.String() == "unknown" {
+			t.Errorf("fragment %d has no name", int(f))
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package funcs implements the XPath 1.0 core function library over the
+// value model. All five evaluators dispatch function calls here, so the
+// engines share one set of function semantics.
+//
+// The library is exactly the set of functions the paper's fragments refer
+// to: position() and last() (WF, Definition 2.6), not() (excluded from pWF,
+// Definition 5.1), boolean() (used to make type conversions explicit,
+// Lemma 5.4), and count, sum, string, number and the string functions that
+// Definition 6.1 excludes from pXPath — which must exist for the exclusion
+// to be meaningful.
+package funcs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// Func is a function implementation: it receives the evaluation context
+// (for position(), last(), and the zero-argument string functions) and the
+// already-evaluated arguments.
+type Func func(ctx evalctx.Context, args []value.Value) (value.Value, error)
+
+// Registry maps the supported function names to implementations. It is
+// populated at init and never mutated afterwards.
+var Registry = map[string]Func{
+	"last":             fnLast,
+	"position":         fnPosition,
+	"count":            fnCount,
+	"local-name":       fnLocalName,
+	"name":             fnLocalName, // no namespaces: name() ≡ local-name()
+	"namespace-uri":    fnNamespaceURI,
+	"string":           fnString,
+	"concat":           fnConcat,
+	"starts-with":      fnStartsWith,
+	"contains":         fnContains,
+	"substring-before": fnSubstringBefore,
+	"substring-after":  fnSubstringAfter,
+	"substring":        fnSubstring,
+	"string-length":    fnStringLength,
+	"normalize-space":  fnNormalizeSpace,
+	"translate":        fnTranslate,
+	"boolean":          fnBoolean,
+	"not":              fnNot,
+	"true":             fnTrue,
+	"false":            fnFalse,
+	"number":           fnNumber,
+	"sum":              fnSum,
+	"floor":            fnFloor,
+	"ceiling":          fnCeiling,
+	"round":            fnRound,
+}
+
+// Call invokes the named function. Unknown names are rejected (the parser
+// already guarantees this cannot happen for parsed queries).
+func Call(name string, ctx evalctx.Context, args []value.Value) (value.Value, error) {
+	f, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("xpath: unknown function %q", name)
+	}
+	return f(ctx, args)
+}
+
+func fnLast(ctx evalctx.Context, _ []value.Value) (value.Value, error) {
+	return value.Number(ctx.Size), nil
+}
+
+func fnPosition(ctx evalctx.Context, _ []value.Value) (value.Value, error) {
+	return value.Number(ctx.Pos), nil
+}
+
+func fnCount(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	ns, ok := args[0].(value.NodeSet)
+	if !ok {
+		return nil, &evalctx.TypeError{Op: "count()", Want: "node-set", Got: args[0].Kind().String()}
+	}
+	return value.Number(len(ns)), nil
+}
+
+func fnSum(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	ns, ok := args[0].(value.NodeSet)
+	if !ok {
+		return nil, &evalctx.TypeError{Op: "sum()", Want: "node-set", Got: args[0].Kind().String()}
+	}
+	s := 0.0
+	for _, n := range ns {
+		s += value.ParseNumber(n.StringValue())
+	}
+	return value.Number(s), nil
+}
+
+// argOrContextNodeSet implements the convention that the zero-argument
+// forms of string(), name(), etc. operate on the context node.
+func argOrContextNodeSet(ctx evalctx.Context, args []value.Value) (value.Value, error) {
+	if len(args) == 0 {
+		return value.NewNodeSet(ctx.Node), nil
+	}
+	return args[0], nil
+}
+
+func fnLocalName(ctx evalctx.Context, args []value.Value) (value.Value, error) {
+	v, err := argOrContextNodeSet(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := v.(value.NodeSet)
+	if !ok {
+		return nil, &evalctx.TypeError{Op: "local-name()", Want: "node-set", Got: v.Kind().String()}
+	}
+	if len(ns) == 0 {
+		return value.String(""), nil
+	}
+	return value.String(ns[0].Name), nil
+}
+
+func fnNamespaceURI(ctx evalctx.Context, args []value.Value) (value.Value, error) {
+	v, err := argOrContextNodeSet(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	if ns, ok := v.(value.NodeSet); !ok {
+		return nil, &evalctx.TypeError{Op: "namespace-uri()", Want: "node-set", Got: v.Kind().String()}
+	} else if len(ns) == 0 {
+		return value.String(""), nil
+	}
+	// Namespaces are out of scope; every node is in the null namespace.
+	return value.String(""), nil
+}
+
+func fnString(ctx evalctx.Context, args []value.Value) (value.Value, error) {
+	v, err := argOrContextNodeSet(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return value.String(value.ToString(v)), nil
+}
+
+func fnNumber(ctx evalctx.Context, args []value.Value) (value.Value, error) {
+	v, err := argOrContextNodeSet(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return value.Number(value.ToNumber(v)), nil
+}
+
+func fnBoolean(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	return value.Boolean(value.ToBoolean(args[0])), nil
+}
+
+func fnNot(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	return value.Boolean(!value.ToBoolean(args[0])), nil
+}
+
+func fnTrue(evalctx.Context, []value.Value) (value.Value, error)  { return value.Boolean(true), nil }
+func fnFalse(evalctx.Context, []value.Value) (value.Value, error) { return value.Boolean(false), nil }
+
+func fnConcat(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	var b strings.Builder
+	for _, a := range args {
+		b.WriteString(value.ToString(a))
+	}
+	return value.String(b.String()), nil
+}
+
+func fnStartsWith(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	return value.Boolean(strings.HasPrefix(value.ToString(args[0]), value.ToString(args[1]))), nil
+}
+
+func fnContains(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	return value.Boolean(strings.Contains(value.ToString(args[0]), value.ToString(args[1]))), nil
+}
+
+func fnSubstringBefore(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	s, sep := value.ToString(args[0]), value.ToString(args[1])
+	if i := strings.Index(s, sep); i >= 0 {
+		return value.String(s[:i]), nil
+	}
+	return value.String(""), nil
+}
+
+func fnSubstringAfter(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	s, sep := value.ToString(args[0]), value.ToString(args[1])
+	if i := strings.Index(s, sep); i >= 0 {
+		return value.String(s[i+len(sep):]), nil
+	}
+	return value.String(""), nil
+}
+
+// fnSubstring implements the famously fiddly XPath substring() semantics:
+// positions are 1-based, start and length are round()ed, and the selected
+// range is the positions p with round(start) <= p < round(start)+round(len),
+// with NaN/Infinity handled per §4.2 of the recommendation.
+func fnSubstring(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	runes := []rune(value.ToString(args[0]))
+	start := xpathRound(value.ToNumber(args[1]))
+	end := math.Inf(1)
+	if len(args) == 3 {
+		length := xpathRound(value.ToNumber(args[2]))
+		end = start + length
+	}
+	if math.IsNaN(start) || math.IsNaN(end) {
+		return value.String(""), nil
+	}
+	var b strings.Builder
+	for i, r := range runes {
+		p := float64(i + 1)
+		if p >= start && p < end {
+			b.WriteRune(r)
+		}
+	}
+	return value.String(b.String()), nil
+}
+
+func fnStringLength(ctx evalctx.Context, args []value.Value) (value.Value, error) {
+	v, err := argOrContextNodeSet(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return value.Number(len([]rune(value.ToString(v)))), nil
+}
+
+func fnNormalizeSpace(ctx evalctx.Context, args []value.Value) (value.Value, error) {
+	v, err := argOrContextNodeSet(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return value.String(strings.Join(strings.Fields(value.ToString(v)), " ")), nil
+}
+
+func fnTranslate(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	s := value.ToString(args[0])
+	from := []rune(value.ToString(args[1]))
+	to := []rune(value.ToString(args[2]))
+	m := make(map[rune]rune, len(from))
+	drop := make(map[rune]bool)
+	for i, r := range from {
+		if _, seen := m[r]; seen || drop[r] {
+			continue // first occurrence wins
+		}
+		if i < len(to) {
+			m[r] = to[i]
+		} else {
+			drop[r] = true
+		}
+	}
+	var b strings.Builder
+	for _, r := range s {
+		if drop[r] {
+			continue
+		}
+		if t, ok := m[r]; ok {
+			b.WriteRune(t)
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return value.String(b.String()), nil
+}
+
+func fnFloor(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	return value.Number(math.Floor(value.ToNumber(args[0]))), nil
+}
+
+func fnCeiling(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	return value.Number(math.Ceil(value.ToNumber(args[0]))), nil
+}
+
+func fnRound(_ evalctx.Context, args []value.Value) (value.Value, error) {
+	return value.Number(xpathRound(value.ToNumber(args[0]))), nil
+}
+
+// xpathRound rounds half towards positive infinity (§4.4): round(0.5) = 1,
+// round(-0.5) = -0.
+func xpathRound(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return f
+	}
+	return math.Floor(f + 0.5)
+}
+
+// ResultTypesConsistent verifies that the registry and ast.FuncResultTypes
+// describe the same function set; exposed for the consistency test.
+func ResultTypesConsistent() error {
+	for name := range Registry {
+		if _, ok := ast.FuncResultTypes[name]; !ok {
+			return fmt.Errorf("function %q implemented but missing from ast.FuncResultTypes", name)
+		}
+	}
+	for name := range ast.FuncResultTypes {
+		if _, ok := Registry[name]; !ok {
+			return fmt.Errorf("function %q typed in ast but not implemented", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package funcs
+
+import (
+	"math"
+	"testing"
+
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+)
+
+func call(t *testing.T, name string, ctx evalctx.Context, args ...value.Value) value.Value {
+	t.Helper()
+	v, err := Call(name, ctx, args)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return v
+}
+
+func TestRegistryConsistency(t *testing.T) {
+	if err := ResultTypesConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPositionLast(t *testing.T) {
+	ctx := evalctx.Context{Pos: 3, Size: 7}
+	if got := call(t, "position", ctx); got != value.Number(3) {
+		t.Errorf("position() = %v", got)
+	}
+	if got := call(t, "last", ctx); got != value.Number(7) {
+		t.Errorf("last() = %v", got)
+	}
+}
+
+func TestCountSumTypeErrors(t *testing.T) {
+	if _, err := Call("count", evalctx.Context{}, []value.Value{value.Number(1)}); err == nil {
+		t.Error("count(number) should be a type error")
+	}
+	if _, err := Call("sum", evalctx.Context{}, []value.Value{value.String("x")}); err == nil {
+		t.Error("sum(string) should be a type error")
+	}
+	if _, err := Call("nonesuch", evalctx.Context{}, nil); err == nil {
+		t.Error("unknown function should error")
+	}
+}
+
+func TestCountSum(t *testing.T) {
+	d, err := xmltree.ParseString("<a><b>1</b><b>2.5</b><b>x</b></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := value.NewNodeSet(d.FindAll(func(n *xmltree.Node) bool { return n.Name == "b" })...)
+	if got := call(t, "count", evalctx.Context{}, bs); got != value.Number(3) {
+		t.Errorf("count = %v", got)
+	}
+	s := call(t, "sum", evalctx.Context{}, bs)
+	if !math.IsNaN(float64(s.(value.Number))) {
+		t.Errorf("sum with non-numeric node = %v, want NaN", s)
+	}
+	bs2 := value.NewNodeSet(bs[0], bs[1])
+	if got := call(t, "sum", evalctx.Context{}, bs2); got != value.Number(3.5) {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestStringFunctions(t *testing.T) {
+	ctx := evalctx.Context{}
+	cases := []struct {
+		name string
+		args []value.Value
+		want value.Value
+	}{
+		{"concat", []value.Value{value.String("a"), value.String("b"), value.Number(3)}, value.String("ab3")},
+		{"starts-with", []value.Value{value.String("abc"), value.String("ab")}, value.Boolean(true)},
+		{"starts-with", []value.Value{value.String("abc"), value.String("bc")}, value.Boolean(false)},
+		{"contains", []value.Value{value.String("abc"), value.String("b")}, value.Boolean(true)},
+		{"substring-before", []value.Value{value.String("1999/04/01"), value.String("/")}, value.String("1999")},
+		{"substring-after", []value.Value{value.String("1999/04/01"), value.String("/")}, value.String("04/01")},
+		{"substring-before", []value.Value{value.String("abc"), value.String("z")}, value.String("")},
+		{"normalize-space", []value.Value{value.String("  a  b \t c ")}, value.String("a b c")},
+		{"translate", []value.Value{value.String("bar"), value.String("abc"), value.String("ABC")}, value.String("BAr")},
+		{"translate", []value.Value{value.String("--aaa--"), value.String("abc-"), value.String("ABC")}, value.String("AAA")},
+		{"string-length", []value.Value{value.String("héllo")}, value.Number(5)},
+		{"string", []value.Value{value.Number(3)}, value.String("3")},
+		{"string", []value.Value{value.Boolean(false)}, value.String("false")},
+	}
+	for _, tc := range cases {
+		if got := call(t, tc.name, ctx, tc.args...); got != tc.want {
+			t.Errorf("%s(%v) = %v, want %v", tc.name, tc.args, got, tc.want)
+		}
+	}
+}
+
+// The substring() edge cases straight from §4.2 of the recommendation.
+func TestSubstringSpecExamples(t *testing.T) {
+	ctx := evalctx.Context{}
+	s := value.String("12345")
+	cases := []struct {
+		args []value.Value
+		want string
+	}{
+		{[]value.Value{s, value.Number(2), value.Number(3)}, "234"},
+		{[]value.Value{s, value.Number(1.5), value.Number(2.6)}, "234"},
+		{[]value.Value{s, value.Number(0), value.Number(3)}, "12"},
+		{[]value.Value{s, value.Number(math.NaN()), value.Number(3)}, ""},
+		{[]value.Value{s, value.Number(1), value.Number(math.NaN())}, ""},
+		{[]value.Value{s, value.Number(-42), value.Number(math.Inf(1))}, "12345"},
+		{[]value.Value{s, value.Number(math.Inf(-1)), value.Number(math.Inf(1))}, ""},
+		{[]value.Value{s, value.Number(2)}, "2345"},
+	}
+	for _, tc := range cases {
+		if got := call(t, "substring", ctx, tc.args...); got != value.String(tc.want) {
+			t.Errorf("substring(%v) = %v, want %q", tc.args, got, tc.want)
+		}
+	}
+}
+
+func TestNumericFunctions(t *testing.T) {
+	ctx := evalctx.Context{}
+	cases := []struct {
+		name string
+		arg  float64
+		want float64
+	}{
+		{"floor", 2.6, 2},
+		{"floor", -2.5, -3},
+		{"ceiling", 2.5, 3},
+		{"ceiling", -2.5, -2},
+		{"round", 2.5, 3},
+		{"round", -2.5, -2}, // round half toward +inf
+		{"round", 2.4, 2},
+	}
+	for _, tc := range cases {
+		if got := call(t, tc.name, ctx, value.Number(tc.arg)); got != value.Number(tc.want) {
+			t.Errorf("%s(%v) = %v, want %v", tc.name, tc.arg, got, tc.want)
+		}
+	}
+	if got := call(t, "round", ctx, value.Number(math.NaN())); !math.IsNaN(float64(got.(value.Number))) {
+		t.Error("round(NaN) should be NaN")
+	}
+}
+
+func TestBooleanFunctions(t *testing.T) {
+	ctx := evalctx.Context{}
+	if got := call(t, "not", ctx, value.Boolean(true)); got != value.Boolean(false) {
+		t.Errorf("not(true) = %v", got)
+	}
+	if got := call(t, "not", ctx, value.NodeSet{}); got != value.Boolean(true) {
+		t.Errorf("not(empty) = %v", got)
+	}
+	if got := call(t, "boolean", ctx, value.Number(0)); got != value.Boolean(false) {
+		t.Errorf("boolean(0) = %v", got)
+	}
+	if got := call(t, "true", ctx); got != value.Boolean(true) {
+		t.Errorf("true() = %v", got)
+	}
+	if got := call(t, "false", ctx); got != value.Boolean(false) {
+		t.Errorf("false() = %v", got)
+	}
+}
+
+func TestContextDefaultingFunctions(t *testing.T) {
+	d, err := xmltree.ParseString("<a><b> x  y </b></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.FindFirstElement("b")
+	ctx := evalctx.At(b)
+	if got := call(t, "string", ctx); got != value.String(" x  y ") {
+		t.Errorf("string() = %q", got)
+	}
+	if got := call(t, "normalize-space", ctx); got != value.String("x y") {
+		t.Errorf("normalize-space() = %q", got)
+	}
+	if got := call(t, "local-name", ctx); got != value.String("b") {
+		t.Errorf("local-name() = %q", got)
+	}
+	if got := call(t, "name", ctx); got != value.String("b") {
+		t.Errorf("name() = %q", got)
+	}
+	if got := call(t, "string-length", ctx); got != value.Number(6) {
+		t.Errorf("string-length() = %v", got)
+	}
+	if got := call(t, "number", evalctx.At(b)); got != value.Number(math.NaN()) && !math.IsNaN(float64(got.(value.Number))) {
+		t.Errorf("number() of non-numeric = %v", got)
+	}
+}

@@ -1,0 +1,175 @@
+// Package graph implements directed graphs, BFS reachability and random
+// graph generation — the source problems of the paper's NL- and L-hardness
+// results: directed graph reachability reduces to PF query evaluation
+// (Theorem 4.3, Figure 5) and directed tree reachability witnesses the
+// L-hardness of XPath data complexity (Theorem 7.1).
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is a directed graph over vertices 0..N-1 with an adjacency list.
+type Graph struct {
+	// N is the number of vertices.
+	N int
+	// Adj maps each vertex to its out-neighbours (sorted not required).
+	Adj [][]int
+}
+
+// New returns an edgeless graph with n vertices.
+func New(n int) *Graph {
+	return &Graph{N: n, Adj: make([][]int, n)}
+}
+
+// AddEdge inserts the directed edge u → v.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.N)
+	}
+	g.Adj[u] = append(g.Adj[u], v)
+	return nil
+}
+
+// HasEdge reports whether u → v is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.Adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int {
+	m := 0
+	for _, a := range g.Adj {
+		m += len(a)
+	}
+	return m
+}
+
+// WithSelfLoops returns a copy with a loop at every vertex — the paper's
+// device for turning "reachable in exactly m steps" into "reachable"
+// ("we add a loop for each node of the graph (or equivalently, set the
+// main diagonal of the adjacency matrix to ones only)").
+func (g *Graph) WithSelfLoops() *Graph {
+	out := New(g.N)
+	for u, adj := range g.Adj {
+		for _, v := range adj {
+			out.Adj[u] = append(out.Adj[u], v)
+		}
+		if !g.HasEdge(u, u) {
+			out.Adj[u] = append(out.Adj[u], u)
+		}
+	}
+	return out
+}
+
+// Reachable reports whether dst is reachable from src (in ≥ 0 steps) via
+// BFS; the ground truth for the Theorem 4.3 experiments.
+func (g *Graph) Reachable(src, dst int) bool {
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, g.N)
+	queue := []int{src}
+	seen[src] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if v == dst {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return false
+}
+
+// ReachableIn reports whether dst is reachable from src in exactly m steps
+// (edges may repeat).
+func (g *Graph) ReachableIn(src, dst, m int) bool {
+	cur := make([]bool, g.N)
+	cur[src] = true
+	for step := 0; step < m; step++ {
+		next := make([]bool, g.N)
+		for u, on := range cur {
+			if !on {
+				continue
+			}
+			for _, v := range g.Adj[u] {
+				next[v] = true
+			}
+		}
+		cur = next
+	}
+	return cur[dst]
+}
+
+// AdjacencyMatrix returns the boolean adjacency matrix (row = source).
+func (g *Graph) AdjacencyMatrix() [][]bool {
+	m := make([][]bool, g.N)
+	for u := range m {
+		m[u] = make([]bool, g.N)
+		for _, v := range g.Adj[u] {
+			m[u][v] = true
+		}
+	}
+	return m
+}
+
+// Random generates a graph with n vertices where each possible edge is
+// present with probability p.
+func Random(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < p {
+				g.Adj[u] = append(g.Adj[u], v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree generates a random directed tree with edges pointing from
+// parent to child (vertex 0 is the root); used by the Theorem 7.1
+// experiments.
+func RandomTree(rng *rand.Rand, n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		parent := rng.Intn(v)
+		g.Adj[parent] = append(g.Adj[parent], v)
+	}
+	return g
+}
+
+// Figure5 builds the exact 4-vertex example graph of Figure 5(a):
+// v1→v2, v1→v3 (bidirectional with v3), v3→v1, v2→v4, v4→v3, v2→v2? —
+// reading the transposed adjacency matrix of Figure 5(b), column j lists
+// the sources of vertex j's incoming edges:
+//
+//	matrix (transposed, row i = edges INTO vertex i from column j):
+//	  0 1 0 1
+//	  1 0 0 0
+//	  1 1 0 1
+//	  0 0 1 0
+//
+// i.e. edges: v2→v1, v4→v1, v1→v2, v1→v3, v2→v3, v4→v3, v3→v4.
+func Figure5() *Graph {
+	g := New(4)
+	edges := [][2]int{{1, 0}, {3, 0}, {0, 1}, {0, 2}, {1, 2}, {3, 2}, {2, 3}}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}

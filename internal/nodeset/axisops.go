@@ -1,0 +1,367 @@
+package nodeset
+
+import (
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// ApplyAxis computes the image χ(S) = { m | ∃n ∈ S: m on axis χ from n }
+// in O(|D|).
+func ApplyAxis(a ast.Axis, s Set) Set {
+	switch a {
+	case ast.AxisSelf:
+		return s.Clone()
+	case ast.AxisChild:
+		return childSet(s)
+	case ast.AxisParent:
+		return parentSet(s)
+	case ast.AxisDescendant:
+		return descendantSet(s, false)
+	case ast.AxisDescendantOrSelf:
+		return descendantSet(s, true)
+	case ast.AxisAncestor:
+		return ancestorSet(s, false)
+	case ast.AxisAncestorOrSelf:
+		return ancestorSet(s, true)
+	case ast.AxisFollowingSibling:
+		return followingSiblingSet(s)
+	case ast.AxisPrecedingSibling:
+		return precedingSiblingSet(s)
+	case ast.AxisFollowing:
+		return followingSet(s)
+	case ast.AxisPreceding:
+		return precedingSet(s)
+	case ast.AxisAttribute:
+		return attributeSet(s)
+	default:
+		return New(s.Doc)
+	}
+}
+
+// ApplyInverseAxis computes χ⁻¹(S) = { n | χ(n) ∩ S ≠ ∅ }. For tree nodes
+// this is the image under the inverse axis; attribute context nodes need
+// special treatment because the XPath axes are not symmetric on attributes
+// (e.g. following(attr) covers the owner's subtree, but attributes never
+// appear in any following/preceding result).
+func ApplyInverseAxis(a ast.Axis, s Set) Set {
+	doc := s.Doc
+	switch a {
+	case ast.AxisSelf:
+		return s.Clone()
+	case ast.AxisChild:
+		return parentSet(dropAttrs(s.Clone()))
+	case ast.AxisParent:
+		// parent(n) ∈ S for children of S-members and attributes of
+		// S-members.
+		return childSet(s).Or(attributeSet(s))
+	case ast.AxisDescendant:
+		return ancestorSet(dropAttrs(s.Clone()), false)
+	case ast.AxisDescendantOrSelf:
+		// dos(attr) = {attr}: an attribute qualifies iff it is in S itself.
+		sp := dropAttrs(s.Clone())
+		out := ancestorSet(sp, true)
+		for i, b := range s.Bits {
+			if b && doc.Nodes[i].Type == xmltree.AttributeNode {
+				out.Bits[i] = true
+			}
+		}
+		return out
+	case ast.AxisAncestor:
+		sp := dropAttrs(s.Clone())
+		out := descendantSet(sp, false)
+		return addAttrsWithOwnerIn(out, descendantSet(sp, true))
+	case ast.AxisAncestorOrSelf:
+		sp := dropAttrs(s.Clone())
+		reach := descendantSet(sp, true)
+		out := addAttrsWithOwnerIn(reach.Clone(), reach)
+		for i, b := range s.Bits {
+			if b && doc.Nodes[i].Type == xmltree.AttributeNode {
+				out.Bits[i] = true
+			}
+		}
+		return out
+	case ast.AxisFollowingSibling:
+		return precedingSiblingSet(s)
+	case ast.AxisPrecedingSibling:
+		return followingSiblingSet(s)
+	case ast.AxisFollowing:
+		// following(n) ∩ S ≠ ∅. Tree nodes: the preceding image; attribute
+		// n: following(attr) = every non-attribute node after it in
+		// document order.
+		sp := dropAttrs(s.Clone())
+		out := precedingSet(sp)
+		maxOrd := -1
+		for i := len(sp.Bits) - 1; i >= 0; i-- {
+			if sp.Bits[i] {
+				maxOrd = i
+				break
+			}
+		}
+		if maxOrd >= 0 {
+			for _, n := range doc.Nodes {
+				if n.Type == xmltree.AttributeNode && n.Ord < maxOrd {
+					out.Bits[n.Ord] = true
+				}
+			}
+		}
+		return out
+	case ast.AxisPreceding:
+		// preceding(attr) = preceding(owner).
+		sp := dropAttrs(s.Clone())
+		out := followingSet(sp)
+		return addAttrsWithOwnerIn(out, out)
+	case ast.AxisAttribute:
+		return attributeInverseSet(s)
+	default:
+		return New(doc)
+	}
+}
+
+// TestSet returns the set of nodes matching a node test under axis a (the
+// axis determines the principal node type).
+func TestSet(doc *xmltree.Document, a ast.Axis, t ast.NodeTest) Set {
+	o := New(doc)
+	principal := xmltree.ElementNode
+	if a == ast.AxisAttribute {
+		principal = xmltree.AttributeNode
+	}
+	for i, n := range doc.Nodes {
+		switch t.Kind {
+		case ast.TestName:
+			o.Bits[i] = n.Type == principal && n.Name == t.Name
+		case ast.TestStar:
+			o.Bits[i] = n.Type == principal
+		case ast.TestText:
+			o.Bits[i] = n.Type == xmltree.TextNode
+		case ast.TestComment:
+			o.Bits[i] = n.Type == xmltree.CommentNode
+		case ast.TestPI:
+			o.Bits[i] = n.Type == xmltree.ProcInstNode && (t.Name == "" || n.Name == t.Name)
+		case ast.TestNode:
+			o.Bits[i] = true
+		}
+	}
+	return o
+}
+
+// LabelSet returns the set of nodes carrying the extra label l
+// (Remark 3.1).
+func LabelSet(doc *xmltree.Document, l string) Set {
+	o := New(doc)
+	for i, n := range doc.Nodes {
+		if n.HasLabel(l) {
+			o.Bits[i] = true
+		}
+	}
+	return o
+}
+
+func childSet(s Set) Set {
+	o := New(s.Doc)
+	for i, n := range s.Doc.Nodes {
+		if n.Type == xmltree.AttributeNode {
+			continue
+		}
+		if n.Parent != nil && s.Bits[n.Parent.Ord] {
+			o.Bits[i] = true
+		}
+	}
+	return o
+}
+
+func parentSet(s Set) Set {
+	o := New(s.Doc)
+	for i, b := range s.Bits {
+		if !b {
+			continue
+		}
+		n := s.Doc.Nodes[i]
+		if n.Parent != nil {
+			o.Bits[n.Parent.Ord] = true
+		}
+	}
+	return o
+}
+
+// descendantSet exploits that Document.Nodes is in document order: a
+// single forward pass sees parents before children.
+func descendantSet(s Set, orSelf bool) Set {
+	o := New(s.Doc)
+	for i, n := range s.Doc.Nodes {
+		if n.Type == xmltree.AttributeNode {
+			if orSelf && s.Bits[i] {
+				o.Bits[i] = true
+			}
+			continue
+		}
+		if orSelf && s.Bits[i] {
+			o.Bits[i] = true
+		}
+		if n.Parent != nil && (s.Bits[n.Parent.Ord] || o.Bits[n.Parent.Ord]) {
+			o.Bits[i] = true
+		}
+	}
+	return o
+}
+
+// ancestorSet propagates upward with a single backward pass (children are
+// seen before parents in reverse document order).
+func ancestorSet(s Set, orSelf bool) Set {
+	o := New(s.Doc)
+	for i := len(s.Doc.Nodes) - 1; i >= 0; i-- {
+		n := s.Doc.Nodes[i]
+		if orSelf && s.Bits[i] {
+			o.Bits[i] = true
+		}
+		if (s.Bits[i] || o.Bits[i]) && n.Parent != nil {
+			o.Bits[n.Parent.Ord] = true
+		}
+	}
+	return o
+}
+
+func followingSiblingSet(s Set) Set {
+	o := New(s.Doc)
+	markSiblings(s, o, false)
+	return o
+}
+
+func precedingSiblingSet(s Set) Set {
+	o := New(s.Doc)
+	markSiblings(s, o, true)
+	return o
+}
+
+// markSiblings marks, for every node whose sibling list contains an S
+// member, the siblings after (or before, when reverse) the member.
+func markSiblings(s Set, o Set, reverse bool) {
+	for _, parent := range s.Doc.Nodes {
+		if len(parent.Children) == 0 {
+			continue
+		}
+		kids := parent.Children
+		if !reverse {
+			seen := false
+			for _, c := range kids {
+				if seen {
+					o.Bits[c.Ord] = true
+				}
+				if s.Bits[c.Ord] {
+					seen = true
+				}
+			}
+		} else {
+			seen := false
+			for i := len(kids) - 1; i >= 0; i-- {
+				c := kids[i]
+				if seen {
+					o.Bits[c.Ord] = true
+				}
+				if s.Bits[c.Ord] {
+					seen = true
+				}
+			}
+		}
+	}
+}
+
+// followingSet uses the identity
+// following(S) = desc-or-self(following-sibling(anc-or-self(S))),
+// extended for attribute members, whose following axis additionally covers
+// the owner's subtree below the attribute.
+func followingSet(s Set) Set {
+	tree, attrOwnersKids := splitAttrs(s)
+	out := descendantSet(followingSiblingSet(ancestorSet(tree, true)), true)
+	if attrOwnersKids != nil {
+		out = out.Or(descendantSet(*attrOwnersKids, true))
+	}
+	return dropAttrs(out)
+}
+
+// precedingSet uses preceding(S) = desc-or-self(preceding-sibling(anc-or-self(S)));
+// an attribute member behaves like its owning element.
+func precedingSet(s Set) Set {
+	tree, _ := splitAttrs(s)
+	for i, b := range s.Bits {
+		if b && s.Doc.Nodes[i].Type == xmltree.AttributeNode {
+			tree.Bits[s.Doc.Nodes[i].Parent.Ord] = true
+		}
+	}
+	return dropAttrs(descendantSet(precedingSiblingSet(ancestorSet(tree, true)), true))
+}
+
+// splitAttrs separates attribute members from tree members. For each
+// attribute member, the owner is added to the tree set (an attribute's
+// ancestors/following structure is anchored there) and the owner's
+// children are collected so followingSet can include their subtrees.
+func splitAttrs(s Set) (tree Set, ownersKids *Set) {
+	tree = New(s.Doc)
+	for i, b := range s.Bits {
+		if !b {
+			continue
+		}
+		n := s.Doc.Nodes[i]
+		if n.Type != xmltree.AttributeNode {
+			tree.Bits[i] = true
+			continue
+		}
+		tree.Bits[n.Parent.Ord] = true
+		if ownersKids == nil {
+			k := New(s.Doc)
+			ownersKids = &k
+		}
+		for _, c := range n.Parent.Children {
+			ownersKids.Bits[c.Ord] = true
+		}
+	}
+	return tree, ownersKids
+}
+
+func dropAttrs(s Set) Set {
+	for i, b := range s.Bits {
+		if b && s.Doc.Nodes[i].Type == xmltree.AttributeNode {
+			s.Bits[i] = false
+		}
+	}
+	return s
+}
+
+func attributeSet(s Set) Set {
+	o := New(s.Doc)
+	for i, b := range s.Bits {
+		if !b {
+			continue
+		}
+		for _, a := range s.Doc.Nodes[i].Attrs {
+			o.Bits[a.Ord] = true
+		}
+	}
+	return o
+}
+
+// attributeInverseSet maps attribute members to their owners.
+func attributeInverseSet(s Set) Set {
+	o := New(s.Doc)
+	for i, b := range s.Bits {
+		if !b {
+			continue
+		}
+		n := s.Doc.Nodes[i]
+		if n.Type == xmltree.AttributeNode {
+			o.Bits[n.Parent.Ord] = true
+		}
+	}
+	return o
+}
+
+// addAttrsWithOwnerIn marks every attribute whose owner is in ownerSet,
+// returning the modified out set.
+func addAttrsWithOwnerIn(out, ownerSet Set) Set {
+	res := out.Clone()
+	for _, n := range out.Doc.Nodes {
+		if n.Type == xmltree.AttributeNode && ownerSet.Bits[n.Parent.Ord] {
+			res.Bits[n.Ord] = true
+		}
+	}
+	return res
+}

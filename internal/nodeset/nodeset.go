@@ -1,0 +1,115 @@
+// Package nodeset provides dense node-set representations and O(|D|) set
+// operations for all XPath axes and their inverses. It is the algebraic
+// substrate shared by the corelinear evaluator (Proposition 2.7) and the
+// parallel evaluator (Remark 5.6): the former applies the operations
+// sequentially, the latter partitions them across goroutines.
+//
+// A Set is a membership array indexed by document order (Node.Ord).
+package nodeset
+
+import (
+	"xpathcomplexity/internal/xmltree"
+)
+
+// Set is a node set over one document, represented densely.
+type Set struct {
+	// Doc is the document the set ranges over.
+	Doc *xmltree.Document
+	// Bits holds membership per document-order index.
+	Bits []bool
+}
+
+// New returns the empty set over doc.
+func New(doc *xmltree.Document) Set {
+	return Set{Doc: doc, Bits: make([]bool, len(doc.Nodes))}
+}
+
+// Full returns the set of all nodes of doc.
+func Full(doc *xmltree.Document) Set {
+	s := New(doc)
+	for i := range s.Bits {
+		s.Bits[i] = true
+	}
+	return s
+}
+
+// Clone copies the set.
+func (s Set) Clone() Set {
+	c := Set{Doc: s.Doc, Bits: make([]bool, len(s.Bits))}
+	copy(c.Bits, s.Bits)
+	return c
+}
+
+// Add inserts a node.
+func (s Set) Add(n *xmltree.Node) { s.Bits[n.Ord] = true }
+
+// Has reports membership.
+func (s Set) Has(n *xmltree.Node) bool { return s.Bits[n.Ord] }
+
+// Empty reports whether no node is a member.
+func (s Set) Empty() bool {
+	for _, b := range s.Bits {
+		if b {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of members.
+func (s Set) Count() int {
+	n := 0
+	for _, b := range s.Bits {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Nodes materializes the members in document order.
+func (s Set) Nodes() []*xmltree.Node {
+	var out []*xmltree.Node
+	for i, b := range s.Bits {
+		if b {
+			out = append(out, s.Doc.Nodes[i])
+		}
+	}
+	return out
+}
+
+// And returns s ∩ t.
+func (s Set) And(t Set) Set {
+	o := New(s.Doc)
+	for i := range s.Bits {
+		o.Bits[i] = s.Bits[i] && t.Bits[i]
+	}
+	return o
+}
+
+// Or returns s ∪ t.
+func (s Set) Or(t Set) Set {
+	o := New(s.Doc)
+	for i := range s.Bits {
+		o.Bits[i] = s.Bits[i] || t.Bits[i]
+	}
+	return o
+}
+
+// Not returns the complement of s over all document nodes.
+func (s Set) Not() Set {
+	o := New(s.Doc)
+	for i := range s.Bits {
+		o.Bits[i] = !s.Bits[i]
+	}
+	return o
+}
+
+// FromNodes builds a set from explicit members.
+func FromNodes(doc *xmltree.Document, nodes ...*xmltree.Node) Set {
+	s := New(doc)
+	for _, n := range nodes {
+		s.Add(n)
+	}
+	return s
+}

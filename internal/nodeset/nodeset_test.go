@@ -1,0 +1,148 @@
+package nodeset
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpathcomplexity/internal/axes"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+var allAxes = []ast.Axis{
+	ast.AxisSelf, ast.AxisChild, ast.AxisParent, ast.AxisDescendant,
+	ast.AxisDescendantOrSelf, ast.AxisAncestor, ast.AxisAncestorOrSelf,
+	ast.AxisFollowing, ast.AxisFollowingSibling, ast.AxisPreceding,
+	ast.AxisPrecedingSibling, ast.AxisAttribute,
+}
+
+func randomSet(rng *rand.Rand, d *xmltree.Document) Set {
+	s := New(d)
+	for i := range s.Bits {
+		s.Bits[i] = rng.Intn(3) == 0
+	}
+	return s
+}
+
+// Property: ApplyAxis(χ, S) = ⋃_{n∈S} χ(n), per the reference axes
+// implementation.
+func TestApplyAxisAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 15; trial++ {
+		d := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: 25, MaxFanout: 3, AttrProb: 0.3, TextProb: 0.2})
+		for _, axis := range allAxes {
+			s := randomSet(rng, d)
+			img := ApplyAxis(axis, s)
+			want := New(d)
+			for i, b := range s.Bits {
+				if !b {
+					continue
+				}
+				for _, m := range axes.Nodes(axis, d.Nodes[i]) {
+					want.Add(m)
+				}
+			}
+			for _, n := range d.Nodes {
+				if img.Has(n) != want.Has(n) {
+					t.Fatalf("ApplyAxis(%v) wrong at #%d (%v): got %v want %v\nS=%v\ndoc=%s",
+						axis, n.Ord, n.Type, img.Has(n), want.Has(n), s.Nodes(), d.XMLString())
+				}
+			}
+		}
+	}
+}
+
+// Property: ApplyInverseAxis(χ, S) = { n | χ(n) ∩ S ≠ ∅ }, per the
+// reference Reachable relation — including attribute context nodes.
+func TestApplyInverseAxisAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		d := xmltree.RandomDocument(rng, xmltree.GenConfig{Nodes: 25, MaxFanout: 3, AttrProb: 0.3, TextProb: 0.2})
+		for _, axis := range allAxes {
+			s := randomSet(rng, d)
+			inv := ApplyInverseAxis(axis, s)
+			for _, n := range d.Nodes {
+				want := false
+				for i, b := range s.Bits {
+					if b && axes.Reachable(axis, n, d.Nodes[i]) {
+						want = true
+						break
+					}
+				}
+				if got := inv.Has(n); got != want {
+					t.Fatalf("inverse %v: node #%d (%v): got %v, want %v\nS=%v\ndoc=%s",
+						axis, n.Ord, n.Type, got, want, s.Nodes(), d.XMLString())
+				}
+			}
+		}
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	d, err := xmltree.ParseString("<a><b/><c/></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.FindFirstElement("b")
+	c := d.FindFirstElement("c")
+	s := FromNodes(d, b)
+	u := FromNodes(d, c)
+	if !s.And(u).Empty() {
+		t.Error("disjoint And should be empty")
+	}
+	if got := s.Or(u).Count(); got != 2 {
+		t.Errorf("Or count = %d", got)
+	}
+	if got := s.Not().Count(); got != len(d.Nodes)-1 {
+		t.Errorf("Not count = %d", got)
+	}
+	if Full(d).Count() != len(d.Nodes) {
+		t.Error("Full wrong")
+	}
+	if !New(d).Empty() {
+		t.Error("New not empty")
+	}
+	ns := s.Or(u).Nodes()
+	if len(ns) != 2 || ns[0] != b || ns[1] != c {
+		t.Errorf("Nodes() = %v", ns)
+	}
+	cl := s.Clone()
+	cl.Add(c)
+	if s.Has(c) {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestTestSetPrincipalType(t *testing.T) {
+	d, err := xmltree.ParseString(`<a x="1"><b/>txt</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TestSet(d, ast.AxisChild, ast.NodeTest{Kind: ast.TestStar}).Count(); got != 2 {
+		t.Errorf("child * count = %d, want 2 (a, b)", got)
+	}
+	if got := TestSet(d, ast.AxisAttribute, ast.NodeTest{Kind: ast.TestStar}).Count(); got != 1 {
+		t.Errorf("attribute * count = %d, want 1", got)
+	}
+	if got := TestSet(d, ast.AxisChild, ast.NodeTest{Kind: ast.TestText}).Count(); got != 1 {
+		t.Errorf("text() count = %d", got)
+	}
+	if got := TestSet(d, ast.AxisChild, ast.NodeTest{Kind: ast.TestNode}).Count(); got != len(d.Nodes) {
+		t.Errorf("node() count = %d", got)
+	}
+}
+
+func TestLabelSet(t *testing.T) {
+	v1 := xmltree.ElemL("v", []string{"G"})
+	v2 := xmltree.ElemL("v", []string{"G", "R"})
+	d := xmltree.NewDocument(xmltree.Elem("r", v1, v2))
+	if got := LabelSet(d, "G").Count(); got != 2 {
+		t.Errorf("G count = %d", got)
+	}
+	if got := LabelSet(d, "R").Count(); got != 1 {
+		t.Errorf("R count = %d", got)
+	}
+	if got := LabelSet(d, "X").Count(); got != 0 {
+		t.Errorf("X count = %d", got)
+	}
+}

@@ -1,0 +1,543 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpathcomplexity/internal/circuit"
+	"xpathcomplexity/internal/eval/corelinear"
+	"xpathcomplexity/internal/eval/cvt"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/eval/nauxpda"
+	"xpathcomplexity/internal/eval/parallel"
+	"xpathcomplexity/internal/fragment"
+	"xpathcomplexity/internal/graph"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+// EXP-F2 / EXP-T32: the Figure 2 circuit through the Theorem 3.2
+// reduction, for all 16 inputs, on three engines.
+func TestTheorem32OnFigure2(t *testing.T) {
+	for mask := 0; mask < 16; mask++ {
+		c := circuit.CarryBit2(mask&1 != 0, mask&2 != 0, mask&4 != 0, mask&8 != 0)
+		want, _, err := c.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := BuildTheorem32(c, Options32{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := evalctx.Root(red.Doc)
+		for name, eval := range map[string]func() (value.Value, error){
+			"corelinear": func() (value.Value, error) { return corelinear.Evaluate(red.Expr, ctx, nil) },
+			"cvt":        func() (value.Value, error) { return cvt.Evaluate(red.Expr, ctx, nil) },
+			"parallel":   func() (value.Value, error) { return parallel.Evaluate(red.Expr, ctx, parallel.Options{}) },
+		} {
+			got, err := eval()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			nonEmpty := len(got.(value.NodeSet)) > 0
+			if nonEmpty != want {
+				t.Fatalf("%s: inputs %04b: query nonempty = %v, circuit = %v\nquery: %s",
+					name, mask, nonEmpty, want, red.Query)
+			}
+		}
+	}
+}
+
+// The reduction query must be Core XPath (P-complete region of Figure 1).
+func TestTheorem32QueryIsCore(t *testing.T) {
+	c := circuit.CarryBit2(true, false, true, true)
+	red, err := BuildTheorem32(c, Options32{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corelinear.CheckCore(red.Expr); err != nil {
+		t.Fatalf("reduction query outside Core XPath: %v", err)
+	}
+	cl := fragment.Classify(red.Expr)
+	if cl.Minimal != fragment.Core {
+		t.Fatalf("classified as %v, want Core XPath", cl.Minimal)
+	}
+}
+
+// EXP-T32: random monotone circuits through the reduction.
+func TestTheorem32Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 60; trial++ {
+		c := circuit.RandomMonotone(rng, 2+rng.Intn(5), 1+rng.Intn(8), 3)
+		want, _, err := c.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := BuildTheorem32(c, Options32{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := corelinear.Evaluate(red.Expr, evalctx.Root(red.Doc), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(got.(value.NodeSet)) > 0) != want {
+			t.Fatalf("trial %d: circuit %v, query %v\ncircuit:\n%s\nquery: %s",
+				trial, want, !want, c, red.Query)
+		}
+	}
+}
+
+// Corollary 3.3: the axis-restricted variant uses only child, parent and
+// descendant-or-self, and stays correct.
+func TestCorollary33(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		c := circuit.RandomMonotone(rng, 2+rng.Intn(4), 1+rng.Intn(6), 3)
+		want, _, err := c.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := BuildTheorem32(c, Options32{Corollary33: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		axes := red.AxesUsed()
+		for _, a := range axes {
+			switch a {
+			case "child", "parent", "descendant-or-self":
+			default:
+				t.Fatalf("Corollary 3.3 query uses axis %q", a)
+			}
+		}
+		got, err := corelinear.Evaluate(red.Expr, evalctx.Root(red.Doc), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(got.(value.NodeSet)) > 0) != want {
+			t.Fatalf("trial %d: circuit %v, query nonempty %v", trial, want, !want)
+		}
+	}
+}
+
+// Remark 3.1 / footnote 5: the label lowering T(l) ≡ child::l yields a
+// pure Core XPath instance agreeing with the native-label encoding.
+func TestTheorem32LabelLowering(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for trial := 0; trial < 30; trial++ {
+		c := circuit.RandomMonotone(rng, 2+rng.Intn(4), 1+rng.Intn(6), 3)
+		want, _, err := c.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := BuildTheorem32(c, Options32{LowerLabels: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The lowered query must not contain T(l) at all.
+		cl := fragment.Classify(red.Expr)
+		if cl.Features.UsesLabelTests {
+			t.Fatal("lowered query still contains T(l)")
+		}
+		got, err := corelinear.Evaluate(red.Expr, evalctx.Root(red.Doc), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(got.(value.NodeSet)) > 0) != want {
+			t.Fatalf("trial %d: lowered encoding wrong (circuit %v)", trial, want)
+		}
+	}
+}
+
+// EXP-F4: the induction invariant of the Theorem 3.2 proof —
+// vi ∈ [[ϕk]] ⇔ gate Gi true, for all 1 ≤ i ≤ M+k — checked for every
+// layer k on random circuits (the matchings of Figure 4).
+func TestPhiMatchingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 25; trial++ {
+		c := circuit.RandomMonotone(rng, 2+rng.Intn(4), 1+rng.Intn(6), 3)
+		red, err := BuildTheorem32(c, Options32{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gateVals, err := red.Circuit.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := red.Circuit.NumInputs()
+		n := red.Circuit.NumNonInputs()
+		for k := 0; k <= n; k++ {
+			q := red.PhiQuery(k, Options32{})
+			got, err := corelinear.Evaluate(parser.MustParse(q), evalctx.Root(red.Doc), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matched := make(map[int]bool)
+			for _, node := range got.(value.NodeSet) {
+				for i, v := range red.VNodes {
+					if node == v {
+						matched[i] = true
+					}
+				}
+			}
+			for i := 0; i < m+k; i++ {
+				if matched[i] != gateVals[i] {
+					t.Fatalf("trial %d, layer %d: v%d ∈ [[ϕ%d]] = %v, gate G%d = %v\n%s",
+						trial, k, i+1, k, matched[i], i+1, gateVals[i], red.Circuit)
+				}
+			}
+		}
+	}
+}
+
+// EXP-T42: SAC¹ circuits through the positive reduction: correctness,
+// positivity, and the DAG/unfolded size gap.
+func TestTheorem42(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 25; trial++ {
+		c := circuit.RandomSAC1(rng, 3+rng.Intn(4), 2+rng.Intn(3), 4)
+		want, _, err := c.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := BuildTheorem42(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := corelinear.Evaluate(red.Expr, evalctx.Root(red.Doc), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(got.(value.NodeSet)) > 0) != want {
+			t.Fatalf("trial %d: circuit %v, query nonempty %v\n%s", trial, want, !want, red.Circuit)
+		}
+		// cvt agrees (memoized DAG evaluation).
+		got2, err := cvt.Evaluate(red.Expr, evalctx.Root(red.Doc), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(got, got2) {
+			t.Fatal("cvt disagrees with corelinear on Theorem 4.2 query")
+		}
+	}
+}
+
+func TestTheorem42Positive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := circuit.RandomSAC1(rng, 4, 3, 4)
+	red, err := BuildTheorem42(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := fragment.Classify(red.Expr)
+	if cl.Features.NegationDepth != 0 {
+		t.Fatal("Theorem 4.2 query contains negation")
+	}
+	if cl.Minimal != fragment.PositiveCore {
+		t.Fatalf("classified as %v, want positive Core XPath", cl.Minimal)
+	}
+	if red.DAGSize <= 0 || red.UnfoldedSize < float64(red.DAGSize) {
+		t.Fatalf("size bookkeeping wrong: dag %d, unfolded %v", red.DAGSize, red.UnfoldedSize)
+	}
+}
+
+// The query growth of Theorem 4.2: unfolded size roughly doubles per
+// AND-layer while the DAG stays polynomial.
+func TestTheorem42QueryGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var prevUnfolded float64
+	var prevDAG int
+	for depth := 2; depth <= 8; depth += 2 {
+		c := circuit.RandomSAC1(rng, 4, depth, 4)
+		red, err := BuildTheorem42(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevUnfolded > 0 {
+			if red.UnfoldedSize < prevUnfolded {
+				t.Fatalf("unfolded size should grow with depth: %v then %v", prevUnfolded, red.UnfoldedSize)
+			}
+			// DAG growth is linear-ish: much slower than unfolded growth.
+			if float64(red.DAGSize)/float64(prevDAG) > red.UnfoldedSize/prevUnfolded+8 {
+				t.Fatalf("DAG grows faster than unfolding: dag %d→%d, unfolded %v→%v",
+					prevDAG, red.DAGSize, prevUnfolded, red.UnfoldedSize)
+			}
+		}
+		prevUnfolded = red.UnfoldedSize
+		prevDAG = red.DAGSize
+	}
+}
+
+// The reduction rejects circuits with AND fan-in > 2.
+func TestTheorem42RequiresSemiUnbounded(t *testing.T) {
+	c := circuit.New()
+	a := c.AddInput("a", true)
+	b := c.AddInput("b", true)
+	d := c.AddInput("d", true)
+	g := c.AddAnd(a, b, d)
+	c.SetOutput(g)
+	if _, err := BuildTheorem42(c); err == nil {
+		t.Fatal("fan-in-3 AND accepted")
+	}
+}
+
+// EXP-F5 / EXP-T43: graph reachability through the PF reduction, on the
+// exact Figure 5 graph and on random graphs, against BFS ground truth.
+func TestTheorem43AgainstBFS(t *testing.T) {
+	check := func(t *testing.T, g *graph.Graph) {
+		for src := 0; src < g.N; src++ {
+			for dst := 0; dst < g.N; dst++ {
+				red, err := BuildTheorem43(g, src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cl := fragment.Classify(red.Expr)
+				if cl.Minimal != fragment.PF {
+					t.Fatalf("reduction query not PF: %v", cl.Minimal)
+				}
+				got, err := corelinear.Evaluate(red.Expr, evalctx.Root(red.Doc), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nonEmpty := len(got.(value.NodeSet)) > 0
+				if want := g.Reachable(src, dst); nonEmpty != want {
+					t.Fatalf("reach(%d→%d): query %v, BFS %v\nquery: %.200s...",
+						src, dst, nonEmpty, want, red.Query)
+				}
+			}
+		}
+	}
+	t.Run("figure5", func(t *testing.T) { check(t, graph.Figure5()) })
+	t.Run("random", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(31))
+		for trial := 0; trial < 6; trial++ {
+			check(t, graph.Random(rng, 2+rng.Intn(5), 0.3))
+		}
+	})
+}
+
+// The single ϕ-step of the Theorem 4.3 encoding realizes exactly the edge
+// relation.
+func TestTheorem43StepIsEdgeRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(rng, 2+rng.Intn(6), 0.3).WithSelfLoops()
+		red, err := BuildTheorem43(g, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := parser.MustParse(StepQuery(g.N))
+		for a := 0; a < g.N; a++ {
+			got, err := corelinear.Evaluate(step, evalctx.At(red.VNodes[a]), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reached := make(map[int]bool)
+			for _, node := range got.(value.NodeSet) {
+				found := false
+				for b, vb := range red.VNodes {
+					if node == vb {
+						reached[b] = true
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("step from v%d reached non-vertex node %q (ord %d)", a+1, node.Name, node.Ord)
+				}
+			}
+			for b := 0; b < g.N; b++ {
+				if reached[b] != g.HasEdge(a, b) {
+					t.Fatalf("step(v%d→v%d) = %v, edge = %v", a+1, b+1, reached[b], g.HasEdge(a, b))
+				}
+			}
+		}
+	}
+}
+
+// EXP-T57: the iterated-predicate encoding of Theorem 5.7 — end-to-end
+// correctness on random circuits, evaluated with cvt (the query needs
+// position()/last(), so corelinear cannot run it; nauxpda must reject it).
+func TestTheorem57Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(7777))
+	for trial := 0; trial < 30; trial++ {
+		c := circuit.RandomMonotone(rng, 2+rng.Intn(4), 1+rng.Intn(5), 3)
+		want, _, err := c.Eval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := BuildTheorem57(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cvt.Evaluate(red.Expr, evalctx.Root(red.Doc), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(got.(value.NodeSet)) > 0) != want {
+			t.Fatalf("trial %d: circuit %v, query nonempty %v\n%s\nquery: %s",
+				trial, want, !want, red.Circuit, red.Query)
+		}
+		// The nauxpda engine must reject the query: it lies outside pXPath
+		// by exactly the iterated-predicates restriction.
+		if _, err := nauxpda.Evaluate(red.Expr, evalctx.Root(red.Doc), nauxpda.Options{}); err == nil {
+			t.Fatal("nauxpda accepted an iterated-predicates query")
+		}
+	}
+}
+
+// EXP-T57: the three equivalences of the Theorem 5.7 proof, node by node.
+func TestTheorem57Equivalences(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		c := circuit.RandomMonotone(rng, 2+rng.Intn(3), 1+rng.Intn(4), 3)
+		red32, err := BuildTheorem32(c, Options32{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		red57, err := BuildTheorem57(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := red57.Circuit.NumNonInputs()
+		total := red57.Circuit.NumInputs() + n
+		boolAt := func(doc *evalctx.Context, q string) bool {
+			t.Helper()
+			v, err := cvt.Evaluate(parser.MustParse("boolean("+q+")"), *doc, nil)
+			if err != nil {
+				t.Fatalf("boolean(%s): %v", q, err)
+			}
+			return bool(v.(value.Boolean))
+		}
+		for k := 1; k <= n; k++ {
+			// (1) ϕk ≡ ϕ'k on v1..v(M+N).
+			phi32 := phi32Query(red32.Circuit, k)
+			phi57 := red57.PhiPrimeQuery(k)
+			for i := 0; i < total; i++ {
+				c32 := evalctx.At(red32.VNodes[i])
+				c57 := evalctx.At(red57.VNodes[i])
+				if a, b := boolAt(&c32, phi32), boolAt(&c57, phi57); a != b {
+					t.Fatalf("equiv (1) fails at v%d, k=%d: ϕ=%v ϕ'=%v", i+1, k, a, b)
+				}
+			}
+			// (3) πk ≡ π'k[last() > 1] and not(πk) ≡ π'k[last() = 1] on
+			// v1..v(M+N) (and their primed children, covered via v's).
+			pi32 := pi32Query(red32.Circuit, k)
+			piP := red57.PiPrimeQuery(k)
+			for i := 0; i < total; i++ {
+				c32 := evalctx.At(red32.VNodes[i])
+				c57 := evalctx.At(red57.VNodes[i])
+				want := boolAt(&c32, pi32)
+				if got := boolAt(&c57, piP+"[last() > 1]"); got != want {
+					t.Fatalf("equiv (3a) fails at v%d, k=%d", i+1, k)
+				}
+				if got := boolAt(&c57, piP+"[last()=1]"); got != !want {
+					t.Fatalf("equiv (3b) fails at v%d, k=%d", i+1, k)
+				}
+			}
+		}
+	}
+}
+
+// phi32Query / pi32Query rebuild the Theorem 3.2 subexpressions for the
+// equivalence tests.
+func phi32Query(c *circuit.Circuit, k int) string {
+	return phiString32(c, k)
+}
+
+func phiString32(c *circuit.Circuit, k int) string {
+	if k == 0 {
+		return "T(1)"
+	}
+	m := c.NumInputs()
+	pi := pi32Query(c, k)
+	var psi string
+	if c.Gates[m+k-1].Kind == circuit.And {
+		psi = "not(child::*[T(" + ik(k) + ") and not(" + pi + ")])"
+	} else {
+		psi = "child::*[T(" + ik(k) + ") and " + pi + "]"
+	}
+	return "descendant-or-self::*[T(" + ok(k) + ") and parent::*[" + psi + "]]"
+}
+
+func pi32Query(c *circuit.Circuit, k int) string {
+	return "ancestor-or-self::*[T(G) and " + phiString32(c, k-1) + "]"
+}
+
+// EXP-T71: tree reachability via the fixed PF query.
+func TestTheorem71(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 10; trial++ {
+		tree := graph.RandomTree(rng, 3+rng.Intn(15))
+		for src := 0; src < tree.N; src++ {
+			for dst := 0; dst < tree.N; dst++ {
+				red, err := BuildTheorem71(tree, src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := corelinear.Evaluate(red.Expr, evalctx.Root(red.Doc), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nonEmpty := len(got.(value.NodeSet)) > 0
+				want := src != dst && tree.Reachable(src, dst)
+				if nonEmpty != want {
+					t.Fatalf("tree reach(%d→%d): query %v, want %v", src, dst, nonEmpty, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTheorem71RejectsNonTrees(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, err := BuildTheorem71(g, 0, 1); err == nil {
+		t.Fatal("cycle accepted as tree")
+	}
+}
+
+// Corollary 3.3's depth claim: the native-label encoding has document
+// depth two (v0 → vi → v'i) and the label-lowered encoding depth three
+// (one extra level of label children) — "we overstated the required tree
+// depth ... to allow for multiple node labels to be encoded as additional
+// children". Depths here count edges from the conceptual root, one more
+// than the paper's count from v0.
+func TestReductionDocumentDepth(t *testing.T) {
+	c := circuit.CarryBit2(true, false, true, true)
+	native, err := BuildTheorem32(c, Options32{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxElemDepth(native.Doc); got != 3 {
+		t.Errorf("native-label doc depth = %d (conceptual root + 2), want 3", got)
+	}
+	lowered, err := BuildTheorem32(c, Options32{LowerLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxElemDepth(lowered.Doc); got != 4 {
+		t.Errorf("lowered doc depth = %d (conceptual root + 3), want 4", got)
+	}
+	// Theorem 5.7 adds only sibling w-nodes: depth unchanged.
+	red57, err := BuildTheorem57(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxElemDepth(red57.Doc); got != 3 {
+		t.Errorf("theorem 5.7 doc depth = %d, want 3", got)
+	}
+}
+
+func maxElemDepth(d *xmltree.Document) int {
+	max := 0
+	for _, n := range d.Nodes {
+		if n.Type == xmltree.ElementNode {
+			if dep := n.Depth(); dep > max {
+				max = dep
+			}
+		}
+	}
+	return max
+}

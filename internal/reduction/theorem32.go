@@ -1,0 +1,292 @@
+// Package reduction implements every lower-bound reduction of the paper as
+// executable code:
+//
+//   - Theorem 3.2 / Corollary 3.3: monotone circuit value → Core XPath
+//     evaluation (P-hardness);
+//   - Theorem 4.2: SAC¹ circuit value → positive Core XPath evaluation
+//     (LOGCFL-hardness);
+//   - Theorem 4.3 / Figure 5: directed graph reachability → PF evaluation
+//     (NL-hardness);
+//   - Theorem 5.7 / Corollary 5.8: monotone circuit value → pWF with
+//     iterated predicates (P-hardness of iterated predicates);
+//   - Theorem 7.1: directed tree reachability as a fixed PF query
+//     (L-hardness of data complexity).
+//
+// Each reduction returns both the constructed document and the query (as a
+// string in the paper's notation and as an AST), so tests can verify the
+// reduction's correctness claim end-to-end through the engines.
+package reduction
+
+import (
+	"fmt"
+	"strings"
+
+	"xpathcomplexity/internal/circuit"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+// Theorem32 is the output of the Theorem 3.2 reduction: a document and a
+// Core XPath query whose result is nonempty iff the circuit evaluates to
+// true.
+type Theorem32 struct {
+	// Circuit is the normalized input circuit.
+	Circuit *circuit.Circuit
+	// Doc is the constructed document (depth two: root v0 with children
+	// v1..v(M+N), each vi with a single child v'i).
+	Doc *xmltree.Document
+	// Query is the query in the paper's notation (with T(l) label tests).
+	Query string
+	// Expr is the parsed query.
+	Expr ast.Expr
+	// VNodes[i] is the document node v(i+1) representing gate G(i+1);
+	// VPrime[i] is v'(i+1).
+	VNodes []*xmltree.Node
+	VPrime []*xmltree.Node
+}
+
+// Options32 configure the Theorem 3.2 reduction.
+type Options32 struct {
+	// Corollary33 replaces ancestor-or-self in πk by
+	// descendant-or-self::*/parent::*, restricting the query to the axes
+	// child, parent and descendant-or-self (Corollary 3.3).
+	Corollary33 bool
+	// LowerLabels replaces the native label sets and T(l) tests by the
+	// paper's own lowering: each label l becomes a child element and T(l)
+	// becomes child::l (Remark 3.1, footnote 5), yielding a strictly
+	// standard Core XPath instance.
+	LowerLabels bool
+}
+
+// labelElement maps a paper label to a valid XML element name for the
+// LowerLabels encoding ("0" and "1" are not name characters).
+func labelElement(l string) string {
+	switch l {
+	case "0":
+		return "False"
+	case "1":
+		return "True"
+	default:
+		return l
+	}
+}
+
+// BuildTheorem32 constructs the Theorem 3.2 reduction for a circuit. The
+// circuit is normalized first (footnote 6).
+func BuildTheorem32(c *circuit.Circuit, opts Options32) (*Theorem32, error) {
+	norm, err := c.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("reduction: theorem 3.2: %w", err)
+	}
+	m, n := norm.NumInputs(), norm.NumNonInputs()
+	if n == 0 {
+		return nil, fmt.Errorf("reduction: theorem 3.2 needs at least one non-input gate")
+	}
+
+	labels := gateLabels(norm)
+	doc, vs, vp := buildCircuitDoc(norm, labels, nil, opts.LowerLabels)
+
+	query := theorem32Query(norm, opts)
+	expr, err := parser.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("reduction: theorem 3.2 query does not parse: %w", err)
+	}
+	_ = m
+	return &Theorem32{
+		Circuit: norm, Doc: doc, Query: query, Expr: expr,
+		VNodes: vs, VPrime: vp,
+	}, nil
+}
+
+// gateLabels computes the label sets of v1..v(M+N) and v'1..v'(M+N) per
+// the proof of Theorem 3.2. Index i is 0-based for gate G(i+1); layer k is
+// 1-based.
+type circuitLabels struct {
+	v  []map[string]bool // labels of vi
+	vp []map[string]bool // labels of v'i
+}
+
+func gateLabels(c *circuit.Circuit) circuitLabels {
+	m, n := c.NumInputs(), c.NumNonInputs()
+	total := m + n
+	l := circuitLabels{
+		v:  make([]map[string]bool, total),
+		vp: make([]map[string]bool, total),
+	}
+	for i := 0; i < total; i++ {
+		l.v[i] = map[string]bool{"G": true}
+		l.vp[i] = map[string]bool{}
+	}
+	// Result label on v(M+N).
+	l.v[total-1]["R"] = true
+	// Input truth values.
+	for i := 0; i < m; i++ {
+		if c.Gates[i].Value {
+			l.v[i]["1"] = true
+		} else {
+			l.v[i]["0"] = true
+		}
+	}
+	// Wire labels: if Gi feeds G(M+k) then vi gets Ik and v(M+k) gets Ok.
+	for k := 1; k <= n; k++ {
+		gate := c.Gates[m+k-1]
+		for _, in := range gate.Inputs {
+			l.v[in][ik(k)] = true
+		}
+		l.v[m+k-1][ok(k)] = true
+	}
+	// v'1..v'M carry all I and O labels; v'(M+i) carries {Ik, Ok | k ≥ i}.
+	for i := 0; i < total; i++ {
+		lo := 1
+		if i >= m {
+			lo = i - m + 1
+		}
+		for k := lo; k <= n; k++ {
+			l.vp[i][ik(k)] = true
+			l.vp[i][ok(k)] = true
+		}
+	}
+	return l
+}
+
+func ik(k int) string { return fmt.Sprintf("I%d", k) }
+func ok(k int) string { return fmt.Sprintf("O%d", k) }
+
+// buildCircuitDoc materializes the depth-two document: v0 with children
+// v1..v(M+N), each with single child v'i; extraKids, when non-nil, adds
+// per-node extra children (used by the Theorem 5.7 variant). When lower is
+// set, labels are encoded as child elements instead of native label sets.
+func buildCircuitDoc(c *circuit.Circuit, labels circuitLabels, extra func(i int) []*xmltree.Node, lower bool) (*xmltree.Document, []*xmltree.Node, []*xmltree.Node) {
+	total := c.NumInputs() + c.NumNonInputs()
+	vs := make([]*xmltree.Node, total)
+	vp := make([]*xmltree.Node, total)
+	attach := func(node *xmltree.Node, set map[string]bool) {
+		for l := range set {
+			if lower {
+				node.Children = append(node.Children, xmltree.Elem(labelElement(l)))
+			} else {
+				node.AddLabel(l)
+			}
+		}
+	}
+	var rootKids []*xmltree.Node
+	for i := 0; i < total; i++ {
+		vpN := xmltree.Elem("vp")
+		attach(vpN, labels.vp[i])
+		vN := xmltree.Elem("v", vpN)
+		attach(vN, labels.v[i])
+		if extra != nil {
+			vN.Children = append(vN.Children, extra(i+1)...)
+		}
+		vs[i] = vN
+		rootKids = append(rootKids, vN)
+	}
+	v0 := xmltree.Elem("v0", rootKids...)
+	if extra != nil {
+		v0.Children = append(v0.Children, extra(0)...)
+	}
+	doc := xmltree.NewDocument(v0)
+	// Re-resolve vs/vp after finalization (pointers are unchanged, but be
+	// explicit about ordering guarantees).
+	for i := 0; i < total; i++ {
+		vp[i] = vs[i].Children[0]
+	}
+	return doc, vs, vp
+}
+
+// theorem32Query builds the query string
+// /descendant-or-self::*[T(R) and ϕN] with the recursive ϕ/ψ/π structure
+// of the proof.
+func theorem32Query(c *circuit.Circuit, opts Options32) string {
+	m, n := c.NumInputs(), c.NumNonInputs()
+	test := func(l string) string {
+		if opts.LowerLabels {
+			return "child::" + labelElement(l)
+		}
+		return fmt.Sprintf("T(%s)", l)
+	}
+	phi := test("1") // ϕ0 := T(1)
+	for k := 1; k <= n; k++ {
+		// πk: ancestor-or-self::*[T(G) and ϕ(k-1)], or the Corollary 3.3
+		// axis-restricted form.
+		var pi string
+		if opts.Corollary33 {
+			pi = fmt.Sprintf("descendant-or-self::*/parent::*[%s and %s]", test("G"), phi)
+		} else {
+			pi = fmt.Sprintf("ancestor-or-self::*[%s and %s]", test("G"), phi)
+		}
+		var psi string
+		if c.Gates[m+k-1].Kind == circuit.And {
+			psi = fmt.Sprintf("not(child::*[%s and not(%s)])", test(ik(k)), pi)
+		} else {
+			psi = fmt.Sprintf("child::*[%s and %s]", test(ik(k)), pi)
+		}
+		phi = fmt.Sprintf("descendant-or-self::*[%s and parent::*[%s]]", test(ok(k)), psi)
+	}
+	return fmt.Sprintf("/descendant-or-self::*[%s and %s]", test("R"), phi)
+}
+
+// PhiQuery returns the diagnostic query /descendant-or-self::*[T(G) and ϕk]
+// used by the Figure 4 invariant test: its result restricted to
+// v1..v(M+k) must be exactly the true gates (the claim in the proof of
+// Theorem 3.2).
+func (t *Theorem32) PhiQuery(k int, opts Options32) string {
+	c := t.Circuit
+	m, n := c.NumInputs(), c.NumNonInputs()
+	_ = n
+	test := func(l string) string {
+		if opts.LowerLabels {
+			return "child::" + labelElement(l)
+		}
+		return fmt.Sprintf("T(%s)", l)
+	}
+	phi := test("1")
+	for j := 1; j <= k; j++ {
+		var pi string
+		if opts.Corollary33 {
+			pi = fmt.Sprintf("descendant-or-self::*/parent::*[%s and %s]", test("G"), phi)
+		} else {
+			pi = fmt.Sprintf("ancestor-or-self::*[%s and %s]", test("G"), phi)
+		}
+		var psi string
+		if c.Gates[m+j-1].Kind == circuit.And {
+			psi = fmt.Sprintf("not(child::*[%s and not(%s)])", test(ik(j)), pi)
+		} else {
+			psi = fmt.Sprintf("child::*[%s and %s]", test(ik(j)), pi)
+		}
+		phi = fmt.Sprintf("descendant-or-self::*[%s and parent::*[%s]]", test(ok(j)), psi)
+	}
+	return fmt.Sprintf("/descendant-or-self::*[%s and %s]", test("G"), phi)
+}
+
+// AxesUsed returns the sorted set of axes in the reduction query, for the
+// Corollary 3.3 assertions.
+func (t *Theorem32) AxesUsed() []string {
+	used := ast.AxesUsed(t.Expr)
+	var out []string
+	for a := range used {
+		out = append(out, a.String())
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// QueryDepthStats summarizes the reduction query for reporting.
+func (t *Theorem32) QueryDepthStats() string {
+	return fmt.Sprintf("query size %d, doc nodes %d, gates %d",
+		ast.Size(t.Expr), t.Doc.Size(), len(t.Circuit.Gates))
+}
+
+// describeLabels renders a node's labels for debugging output.
+func describeLabels(n *xmltree.Node) string {
+	return strings.Join(n.Labels(), ",")
+}

@@ -1,0 +1,223 @@
+package reduction
+
+import (
+	"fmt"
+
+	"xpathcomplexity/internal/circuit"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// Theorem42 is the output of the Theorem 4.2 reduction: SAC¹ circuit value
+// encoded into *positive* Core XPath (no negation), establishing
+// LOGCFL-hardness.
+//
+// Negation is eliminated by bounding the ∧ fan-in: an ∧-layer k carries
+// two labels I¹k and I²k, and ψk becomes the conjunction
+//
+//	child::*[T(I¹k) and πk] and child::*[T(I²k) and πk]
+//
+// duplicating the subexpression πk. The query thus grows exponentially in
+// the circuit depth — harmless for SAC¹ circuits, whose depth is
+// logarithmic ("although the query grows exponentially in the depth of the
+// circuit, it can be computed in L because the depth of the circuit ...
+// is only logarithmic").
+//
+// The query is materialized as an AST *DAG*: the two occurrences of πk
+// share one node. Expr therefore has polynomial pointer-size while its
+// string unfolding is exponential; engines that memoize per AST node
+// (corelinear, cvt) evaluate it in polynomial time, while the naive engine
+// pays the exponential price — the behavioural content of the theorem.
+type Theorem42 struct {
+	// Circuit is the normalized semi-unbounded input circuit.
+	Circuit *circuit.Circuit
+	// Doc is the labeled document.
+	Doc *xmltree.Document
+	// Expr is the query as a shared DAG.
+	Expr ast.Expr
+	// DAGSize is the number of distinct AST nodes (polynomial).
+	DAGSize int
+	// UnfoldedSize is the size of the query as a tree/string (may be
+	// exponential in circuit depth), computed without unfolding.
+	UnfoldedSize float64
+	// VNodes[i] is v(i+1).
+	VNodes []*xmltree.Node
+}
+
+// i1k and i2k name the duplicated ∧-layer labels.
+func i1k(k int) string { return fmt.Sprintf("I1_%d", k) }
+func i2k(k int) string { return fmt.Sprintf("I2_%d", k) }
+
+// BuildTheorem42 constructs the Theorem 4.2 reduction. The circuit must be
+// semi-unbounded (AND fan-in ≤ 2).
+func BuildTheorem42(c *circuit.Circuit) (*Theorem42, error) {
+	norm, err := c.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("reduction: theorem 4.2: %w", err)
+	}
+	if !norm.IsSemiUnbounded() {
+		return nil, fmt.Errorf("reduction: theorem 4.2 requires a semi-unbounded circuit (AND fan-in ≤ 2)")
+	}
+	if norm.NumNonInputs() == 0 {
+		return nil, fmt.Errorf("reduction: theorem 4.2 needs at least one non-input gate")
+	}
+	m, n := norm.NumInputs(), norm.NumNonInputs()
+	total := m + n
+
+	// Labels: as in Theorem 3.2, but ∧-layers use the doubled I-labels.
+	vLabels := make([]map[string]bool, total)
+	vpLabels := make([]map[string]bool, total)
+	for i := 0; i < total; i++ {
+		vLabels[i] = map[string]bool{"G": true}
+		vpLabels[i] = map[string]bool{}
+	}
+	vLabels[total-1]["R"] = true
+	for i := 0; i < m; i++ {
+		if norm.Gates[i].Value {
+			vLabels[i]["1"] = true
+		} else {
+			vLabels[i]["0"] = true
+		}
+	}
+	for k := 1; k <= n; k++ {
+		gate := norm.Gates[m+k-1]
+		if gate.Kind == circuit.And {
+			// Fan-in 1 or 2: first input gets I¹k, last gets I²k (for
+			// fan-in 1 the same node gets both — the dummy-style single
+			// input line).
+			first := gate.Inputs[0]
+			last := gate.Inputs[len(gate.Inputs)-1]
+			vLabels[first][i1k(k)] = true
+			vLabels[last][i2k(k)] = true
+		} else {
+			for _, in := range gate.Inputs {
+				vLabels[in][ik(k)] = true
+			}
+		}
+		vLabels[m+k-1][ok(k)] = true
+	}
+	for i := 0; i < total; i++ {
+		lo := 1
+		if i >= m {
+			lo = i - m + 1
+		}
+		for k := lo; k <= n; k++ {
+			if norm.Gates[m+k-1].Kind == circuit.And {
+				vpLabels[i][i1k(k)] = true
+				vpLabels[i][i2k(k)] = true
+			} else {
+				vpLabels[i][ik(k)] = true
+			}
+			vpLabels[i][ok(k)] = true
+		}
+	}
+	doc, vs, _ := buildCircuitDoc(norm, circuitLabels{v: vLabels, vp: vpLabels}, nil, false)
+
+	// Query DAG. Helper constructors for the recurring shapes.
+	label := func(l string) ast.Expr { return &ast.LabelTest{Label: l} }
+	step := func(a ast.Axis, preds ...ast.Expr) *ast.Path {
+		return &ast.Path{Steps: []*ast.Step{{Axis: a, Test: ast.NodeTest{Kind: ast.TestStar}, Preds: preds}}}
+	}
+	and := func(l, r ast.Expr) ast.Expr { return &ast.Binary{Op: ast.OpAnd, Left: l, Right: r} }
+
+	phi := label("1")
+	for k := 1; k <= n; k++ {
+		pi := step(ast.AxisAncestorOrSelf, and(label("G"), phi))
+		var psi ast.Expr
+		if norm.Gates[m+k-1].Kind == circuit.And {
+			// The DAG sharing: both conjuncts reference the same πk node.
+			psi = and(
+				step(ast.AxisChild, and(label(i1k(k)), pi)),
+				step(ast.AxisChild, and(label(i2k(k)), pi)),
+			)
+		} else {
+			psi = step(ast.AxisChild, and(label(ik(k)), pi))
+		}
+		phi = step(ast.AxisDescendantOrSelf, and(label(ok(k)), step(ast.AxisParent, psi)))
+	}
+	query := &ast.Path{
+		Absolute: true,
+		Steps: []*ast.Step{{
+			Axis:  ast.AxisDescendantOrSelf,
+			Test:  ast.NodeTest{Kind: ast.TestStar},
+			Preds: []ast.Expr{and(label("R"), phi)},
+		}},
+	}
+	return &Theorem42{
+		Circuit:      norm,
+		Doc:          doc,
+		Expr:         query,
+		DAGSize:      dagSize(query),
+		UnfoldedSize: unfoldedSize(query),
+		VNodes:       vs,
+	}, nil
+}
+
+// dagSize counts distinct AST nodes reachable from e.
+func dagSize(e ast.Expr) int {
+	seen := make(map[ast.Expr]bool)
+	var visit func(ast.Expr)
+	visit = func(e ast.Expr) {
+		if e == nil || seen[e] {
+			return
+		}
+		seen[e] = true
+		switch x := e.(type) {
+		case *ast.Path:
+			for _, s := range x.Steps {
+				for _, p := range s.Preds {
+					visit(p)
+				}
+			}
+		case *ast.Binary:
+			visit(x.Left)
+			visit(x.Right)
+		case *ast.Unary:
+			visit(x.Operand)
+		case *ast.Call:
+			for _, a := range x.Args {
+				visit(a)
+			}
+		}
+	}
+	visit(e)
+	return len(seen)
+}
+
+// unfoldedSize computes the tree size of the query (counting shared nodes
+// once per occurrence) with memoization, so the exponential number is
+// obtained in polynomial time. Returned as float64 because it can exceed
+// int64 for deep circuits.
+func unfoldedSize(e ast.Expr) float64 {
+	memo := make(map[ast.Expr]float64)
+	var size func(ast.Expr) float64
+	size = func(e ast.Expr) float64 {
+		if e == nil {
+			return 0
+		}
+		if v, ok := memo[e]; ok {
+			return v
+		}
+		total := 1.0
+		switch x := e.(type) {
+		case *ast.Path:
+			for _, s := range x.Steps {
+				total++
+				for _, p := range s.Preds {
+					total += size(p)
+				}
+			}
+		case *ast.Binary:
+			total += size(x.Left) + size(x.Right)
+		case *ast.Unary:
+			total += size(x.Operand)
+		case *ast.Call:
+			for _, a := range x.Args {
+				total += size(a)
+			}
+		}
+		memo[e] = total
+		return total
+	}
+	return size(e)
+}

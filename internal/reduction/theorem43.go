@@ -1,0 +1,212 @@
+package reduction
+
+import (
+	"fmt"
+	"strings"
+
+	"xpathcomplexity/internal/graph"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+// Theorem43 is the output of the Theorem 4.3 reduction: directed graph
+// reachability encoded into the condition-free path fragment PF
+// (NL-hardness). Following the paper's Figure 5, the graph's adjacency
+// structure becomes a tree and one application of
+//
+//	ϕ-step = child::c/descendant::e/parent^{2n}::*/child^{n}::c/parent::*
+//
+// moves from the node labeled v_a to exactly the nodes labeled v_b with
+// (a→b) ∈ E. Iterating the step m = |E| times over the self-loop-closed
+// graph decides reachability.
+//
+// Document layout (n = |V|):
+//
+//   - a main chain of plain nodes from the document element down to depth
+//     2n+1, with the vertex node v_a at depth n+a;
+//   - each v_a has, besides its main-chain child, a branch child labeled
+//     "c" followed by a plain branch chain;
+//   - for each edge (a→b), an "e"-leaf hangs at branch depth n+b-a below
+//     v_a's c-node, i.e. at absolute depth 2n+b+1.
+//
+// Going up 2n levels from that leaf lands on the main chain at depth b+1;
+// descending n-1 plain steps and one child::c step can only end at v_b's
+// c-node (the unique c at depth n+b+1 reachable in that many steps), and
+// the final parent::* lands on v_b.
+type Theorem43 struct {
+	// Graph is the self-loop-closed input graph.
+	Graph *graph.Graph
+	// Doc is the Figure 5(c)-style encoding tree.
+	Doc *xmltree.Document
+	// Src and Dst are the 0-based query endpoints.
+	Src, Dst int
+	// Steps is the iteration count m (= |E| of the closed graph).
+	Steps int
+	// Query is the PF query string.
+	Query string
+	// Expr is the parsed query.
+	Expr ast.Expr
+	// VNodes[a] is the document node labeled v(a+1).
+	VNodes []*xmltree.Node
+}
+
+// vertexName names vertex a (0-based) as in the figure: v1, v2, ...
+func vertexName(a int) string { return fmt.Sprintf("v%d", a+1) }
+
+// BuildTheorem43 constructs the reduction deciding "is dst reachable from
+// src" (0-based vertices).
+func BuildTheorem43(g *graph.Graph, src, dst int) (*Theorem43, error) {
+	if src < 0 || src >= g.N || dst < 0 || dst >= g.N {
+		return nil, fmt.Errorf("reduction: theorem 4.3: vertices (%d,%d) out of range [0,%d)", src, dst, g.N)
+	}
+	closed := g.WithSelfLoops()
+	n := closed.N
+	m := closed.NumEdges()
+
+	// Build the tree bottom-up: main chain depths 1..2n+1 (depth 0 is the
+	// conceptual root; the document element is main-chain depth 1 ... we
+	// place the document element at depth 1 so "absolute depth" below
+	// counts edges from the conceptual root).
+	//
+	// mainNodes[d] = main-chain node at depth d, 1 ≤ d ≤ 2n+1.
+	mainNodes := make([]*xmltree.Node, 2*n+2)
+	vNodes := make([]*xmltree.Node, n)
+	for d := 2*n + 1; d >= 1; d-- {
+		name := "s"
+		if d >= n+1 && d <= 2*n {
+			name = vertexName(d - n - 1)
+		}
+		node := xmltree.Elem(name)
+		if d < 2*n+1 && mainNodes[d+1] != nil {
+			node.Children = append(node.Children, mainNodes[d+1])
+		}
+		mainNodes[d] = node
+		if name != "s" {
+			vNodes[d-n-1] = node
+		}
+	}
+	// Branches: v_a (depth n+a+1 in 0-based a ⇒ paper depth n+a for
+	// 1-based) gets c-child and branch chain with e-leaves.
+	for a := 0; a < n; a++ {
+		va := vNodes[a]
+		// Branch chain below c: branch depth runs 1..2n-1; e-leaf for edge
+		// (a→b) at branch depth n+b-a (1-based vertices: n + (b+1) - (a+1)
+		// = n+b-a in 0-based too).
+		edgeAt := make(map[int]bool)
+		for _, b := range closed.Adj[a] {
+			edgeAt[n+b-a] = true
+		}
+		maxDepth := 2*n - 1
+		var below *xmltree.Node
+		for d := maxDepth; d >= 2; d-- {
+			node := xmltree.Elem("s")
+			if below != nil {
+				node.Children = append(node.Children, below)
+			}
+			if edgeAt[d] {
+				node.Children = append(node.Children, xmltree.Elem("e"))
+			}
+			below = node
+		}
+		c := xmltree.Elem("c")
+		if below != nil {
+			c.Children = append(c.Children, below)
+		}
+		if edgeAt[1] {
+			c.Children = append(c.Children, xmltree.Elem("e"))
+		}
+		va.Children = append(va.Children, c)
+	}
+	doc := xmltree.NewDocument(mainNodes[1])
+
+	query := theorem43Query(n, m, src, dst)
+	expr, err := parser.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("reduction: theorem 4.3 query does not parse: %w", err)
+	}
+	return &Theorem43{
+		Graph: closed, Doc: doc, Src: src, Dst: dst, Steps: m,
+		Query: query, Expr: expr, VNodes: vNodes,
+	}, nil
+}
+
+// StepQuery returns the single ϕ-step as a relative PF path (exposed for
+// the edge-relation property test).
+func StepQuery(n int) string {
+	var b strings.Builder
+	b.WriteString("child::c/descendant::e")
+	for i := 0; i < 2*n; i++ {
+		b.WriteString("/parent::*")
+	}
+	for i := 0; i < n-1; i++ {
+		b.WriteString("/child::*")
+	}
+	b.WriteString("/child::c/parent::*")
+	return b.String()
+}
+
+func theorem43Query(n, m, src, dst int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "/descendant::%s", vertexName(src))
+	step := StepQuery(n)
+	for k := 0; k < m; k++ {
+		b.WriteString("/")
+		b.WriteString(step)
+	}
+	fmt.Fprintf(&b, "/self::%s", vertexName(dst))
+	return b.String()
+}
+
+// Theorem71 is the data-complexity L-hardness witness (Theorem 7.1): a
+// directed tree with uniquely labeled nodes and the *fixed* query shape
+// /descendant-or-self::v_src/descendant::v_dst, which selects a node iff
+// dst is reachable from src in the tree.
+type Theorem71 struct {
+	// Tree is the input directed tree (vertex 0 is the root).
+	Tree *graph.Graph
+	// Doc is the tree as an XML document with unique labels.
+	Doc *xmltree.Document
+	// Query is the fixed reachability query for (src, dst).
+	Query string
+	// Expr is the parsed query.
+	Expr ast.Expr
+}
+
+// BuildTheorem71 encodes a directed tree and the fixed reachability query
+// for src → dst (0-based).
+func BuildTheorem71(tree *graph.Graph, src, dst int) (*Theorem71, error) {
+	if src < 0 || src >= tree.N || dst < 0 || dst >= tree.N {
+		return nil, fmt.Errorf("reduction: theorem 7.1: vertices out of range")
+	}
+	nodes := make([]*xmltree.Node, tree.N)
+	for v := 0; v < tree.N; v++ {
+		nodes[v] = xmltree.Elem(vertexName(v))
+	}
+	indeg := make([]int, tree.N)
+	for u := 0; u < tree.N; u++ {
+		for _, v := range tree.Adj[u] {
+			nodes[u].Children = append(nodes[u].Children, nodes[v])
+			indeg[v]++
+		}
+	}
+	root := -1
+	for v, d := range indeg {
+		if d == 0 {
+			if root >= 0 {
+				return nil, fmt.Errorf("reduction: theorem 7.1: input is a forest (roots %d and %d)", root, v)
+			}
+			root = v
+		}
+	}
+	if root < 0 {
+		return nil, fmt.Errorf("reduction: theorem 7.1: input has no root (cycle)")
+	}
+	doc := xmltree.NewDocument(nodes[root])
+	query := fmt.Sprintf("/descendant-or-self::%s/descendant::%s", vertexName(src), vertexName(dst))
+	expr, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Theorem71{Tree: tree, Doc: doc, Query: query, Expr: expr}, nil
+}

@@ -1,0 +1,115 @@
+package reduction
+
+import (
+	"fmt"
+
+	"xpathcomplexity/internal/circuit"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+// Theorem57 is the output of the Theorem 5.7 reduction: monotone circuit
+// value encoded into pWF *plus iterated predicates* — negation-free, but
+// with predicate sequences of length 2, which is exactly what Definition
+// 5.1(1) forbids. Its existence proves that restriction necessary.
+//
+// The trick (equivalence (3) of the proof): the auxiliary label A on the
+// root makes the path π'k match at least one node always, so
+//
+//	π'k[last() > 1] ⇔ πk         (the real match exists)
+//	π'k[last() = 1] ⇔ not(πk)    (only the A-node matched)
+//
+// and the W-labeled sentinel children make child::*[...][last()=1] count
+// "exactly one match", re-encoding the ∧-gate's universal quantification
+// without not().
+type Theorem57 struct {
+	// Circuit is the normalized input circuit.
+	Circuit *circuit.Circuit
+	// Doc is the document: the Theorem 3.2 document extended with one
+	// W-labeled child wi per vi (i = 0..M+N) and label A on v0.
+	Doc *xmltree.Document
+	// Query is the paper-notation query.
+	Query string
+	// Expr is the parsed query.
+	Expr ast.Expr
+	// VNodes[i] is v(i+1); WNodes[i] is w(i), i.e. WNodes[0] = w0 on the
+	// root.
+	VNodes []*xmltree.Node
+	WNodes []*xmltree.Node
+}
+
+// BuildTheorem57 constructs the Theorem 5.7 reduction.
+func BuildTheorem57(c *circuit.Circuit) (*Theorem57, error) {
+	norm, err := c.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("reduction: theorem 5.7: %w", err)
+	}
+	if norm.NumNonInputs() == 0 {
+		return nil, fmt.Errorf("reduction: theorem 5.7 needs at least one non-input gate")
+	}
+	labels := gateLabels(norm)
+	total := norm.NumInputs() + norm.NumNonInputs()
+	ws := make([]*xmltree.Node, total+1)
+	extra := func(i int) []*xmltree.Node {
+		w := xmltree.ElemL("w", []string{"W"})
+		ws[i] = w
+		return []*xmltree.Node{w}
+	}
+	doc, vs, _ := buildCircuitDoc(norm, labels, extra, false)
+	// Label A on the root element v0.
+	doc.Root.Children[0].AddLabel("A")
+
+	query := theorem57Query(norm)
+	expr, err := parser.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("reduction: theorem 5.7 query does not parse: %w", err)
+	}
+	if d := ast.MaxPredicateSeq(expr); d != 2 {
+		return nil, fmt.Errorf("reduction: theorem 5.7 query has predicate sequences of length %d, want exactly 2 (Corollary 5.8)", d)
+	}
+	if nd := ast.NegationDepth(expr); nd != 0 {
+		return nil, fmt.Errorf("reduction: theorem 5.7 query contains not() (depth %d)", nd)
+	}
+	return &Theorem57{Circuit: norm, Doc: doc, Query: query, Expr: expr, VNodes: vs, WNodes: ws}, nil
+}
+
+// PiPrimeQuery returns π'k as a string, for the equivalence tests.
+func (t *Theorem57) PiPrimeQuery(k int) string {
+	return piPrime57(t.Circuit, k)
+}
+
+// PhiPrimeQuery returns ϕ'k as a string, for the equivalence tests.
+func (t *Theorem57) PhiPrimeQuery(k int) string {
+	return phiPrime57(t.Circuit, k)
+}
+
+// PsiPrimeQuery returns ψ'k as a string, for the equivalence tests.
+func (t *Theorem57) PsiPrimeQuery(k int) string {
+	return psiPrime57(t.Circuit, k)
+}
+
+func phiPrime57(c *circuit.Circuit, k int) string {
+	if k == 0 {
+		return "T(1)"
+	}
+	return fmt.Sprintf("descendant-or-self::*[T(%s) and parent::*[%s]]", ok(k), psiPrime57(c, k))
+}
+
+func psiPrime57(c *circuit.Circuit, k int) string {
+	m := c.NumInputs()
+	pi := piPrime57(c, k)
+	if c.Gates[m+k-1].Kind == circuit.And {
+		return fmt.Sprintf("child::*[(T(%s) and %s[last()=1]) or T(W)][last()=1]", ik(k), pi)
+	}
+	return fmt.Sprintf("child::*[T(%s) and %s[last() > 1]]", ik(k), pi)
+}
+
+func piPrime57(c *circuit.Circuit, k int) string {
+	return fmt.Sprintf("ancestor-or-self::*[(T(G) and %s) or T(A)]", phiPrime57(c, k-1))
+}
+
+func theorem57Query(c *circuit.Circuit) string {
+	n := c.NumNonInputs()
+	return fmt.Sprintf("/descendant-or-self::*[T(R) and %s]", phiPrime57(c, n))
+}

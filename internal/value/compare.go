@@ -1,0 +1,169 @@
+package value
+
+import (
+	"fmt"
+	"math"
+
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// Compare applies an XPath 1.0 comparison (=, !=, <, <=, >, >=) to two
+// values, implementing the existential node-set semantics of §3.4:
+//
+//   - node-set vs node-set: true iff some pair of nodes satisfies the
+//     comparison on their string-values (numbers for relational operators);
+//   - node-set vs scalar: true iff some node satisfies it;
+//   - boolean involved (no node-set): compare as booleans (=/!= only; the
+//     relational operators always convert to numbers);
+//   - number involved: compare as numbers;
+//   - otherwise: compare as strings (=/!=) or numbers (relational).
+func Compare(op ast.BinOp, a, b Value) bool {
+	if !op.IsRelational() {
+		panic(fmt.Sprintf("value: Compare called with non-relational operator %v", op))
+	}
+	an, aIsSet := a.(NodeSet)
+	bn, bIsSet := b.(NodeSet)
+	// §3.4: a node-set compared to a boolean is converted with boolean()
+	// first — this case is NOT existential.
+	if _, ok := a.(Boolean); ok && bIsSet {
+		return compareScalarPair(op, a, Boolean(ToBoolean(b)))
+	}
+	if _, ok := b.(Boolean); ok && aIsSet {
+		return compareScalarPair(op, Boolean(ToBoolean(a)), b)
+	}
+	switch {
+	case aIsSet && bIsSet:
+		for _, x := range an {
+			sx := x.StringValue()
+			for _, y := range bn {
+				if compareStrings(op, sx, y.StringValue()) {
+					return true
+				}
+			}
+		}
+		return false
+	case aIsSet:
+		for _, x := range an {
+			if compareScalarPair(op, nodeScalar(x, b), b) {
+				return true
+			}
+		}
+		return false
+	case bIsSet:
+		for _, y := range bn {
+			if compareScalarPair(op, a, nodeScalar(y, a)) {
+				return true
+			}
+		}
+		return false
+	default:
+		return compareScalarPair(op, a, b)
+	}
+}
+
+// nodeScalar converts a node to the scalar kind demanded by the other
+// comparison operand (§3.4: node-set vs number compares numbers, vs string
+// compares strings; the boolean case is handled before the existential
+// loops in Compare).
+func nodeScalar(n interface{ StringValue() string }, other Value) Value {
+	if _, ok := other.(Number); ok {
+		return Number(ParseNumber(n.StringValue()))
+	}
+	return String(n.StringValue())
+}
+
+func compareScalarPair(op ast.BinOp, a, b Value) bool {
+	if op == ast.OpEq || op == ast.OpNeq {
+		_, aB := a.(Boolean)
+		_, bB := b.(Boolean)
+		if aB || bB {
+			r := ToBoolean(a) == ToBoolean(b)
+			if op == ast.OpNeq {
+				return !r
+			}
+			return r
+		}
+		_, aN := a.(Number)
+		_, bN := b.(Number)
+		if aN || bN {
+			return compareNumbers(op, ToNumber(a), ToNumber(b))
+		}
+		return compareStrings(op, ToString(a), ToString(b))
+	}
+	return compareNumbers(op, ToNumber(a), ToNumber(b))
+}
+
+func compareStrings(op ast.BinOp, a, b string) bool {
+	switch op {
+	case ast.OpEq:
+		return a == b
+	case ast.OpNeq:
+		return a != b
+	default:
+		return compareNumbers(op, ParseNumber(a), ParseNumber(b))
+	}
+}
+
+func compareNumbers(op ast.BinOp, a, b float64) bool {
+	switch op {
+	case ast.OpEq:
+		return a == b
+	case ast.OpNeq:
+		// NaN != x is true in XPath, matching IEEE.
+		return a != b
+	case ast.OpLt:
+		return a < b
+	case ast.OpLe:
+		return a <= b
+	case ast.OpGt:
+		return a > b
+	case ast.OpGe:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// Arith applies an XPath arithmetic operator to two numbers. 'div' is IEEE
+// division (x div 0 yields ±Infinity or NaN); 'mod' follows XPath/Java
+// semantics where the result takes the sign of the dividend.
+func Arith(op ast.BinOp, a, b float64) float64 {
+	switch op {
+	case ast.OpAdd:
+		return a + b
+	case ast.OpSub:
+		return a - b
+	case ast.OpMul:
+		return a * b
+	case ast.OpDiv:
+		return a / b
+	case ast.OpMod:
+		return math.Mod(a, b)
+	default:
+		panic(fmt.Sprintf("value: Arith called with non-arithmetic operator %v", op))
+	}
+}
+
+// Equal reports deep equality of two values of the same kind; used by tests
+// and the engine-agreement harness.
+func Equal(a, b Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch x := a.(type) {
+	case NodeSet:
+		return x.Equal(b.(NodeSet))
+	case Boolean:
+		return x == b.(Boolean)
+	case Number:
+		fa, fb := float64(x), float64(b.(Number))
+		if math.IsNaN(fa) && math.IsNaN(fb) {
+			return true
+		}
+		return fa == fb
+	case String:
+		return x == b.(String)
+	default:
+		return false
+	}
+}

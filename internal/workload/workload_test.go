@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpathcomplexity/internal/eval/corelinear"
+	"xpathcomplexity/internal/eval/cvt"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/eval/naive"
+	"xpathcomplexity/internal/fragment"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+func TestAuctionShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Auction(rng, Config{People: 15, Items: 25, MaxBids: 4})
+	if d.FindFirstElement("site") == nil {
+		t.Fatal("no site element")
+	}
+	persons := d.FindAll(func(n *xmltree.Node) bool {
+		return n.Type == xmltree.ElementNode && n.Name == "person"
+	})
+	if len(persons) != 15 {
+		t.Fatalf("persons = %d", len(persons))
+	}
+	items := d.FindAll(func(n *xmltree.Node) bool {
+		return n.Type == xmltree.ElementNode && n.Name == "item"
+	})
+	if len(items) != 25 {
+		t.Fatalf("items = %d", len(items))
+	}
+	// Every auction (open or closed) references an existing item.
+	itemIDs := map[string]bool{}
+	for _, it := range items {
+		id, _ := it.Attr("id")
+		itemIDs[id] = true
+	}
+	for _, ref := range d.FindAll(func(n *xmltree.Node) bool { return n.Name == "itemref" }) {
+		id, ok := ref.Attr("item")
+		if !ok || !itemIDs[id] {
+			t.Fatalf("dangling itemref %q", id)
+		}
+	}
+	// The document round-trips through XML.
+	if _, err := xmltree.ParseString(d.XMLString()); err != nil {
+		t.Fatalf("auction doc does not re-parse: %v", err)
+	}
+}
+
+// The paper's pXPath thesis on a realistic mix: every query parses,
+// classifies as annotated, and most of the mix is parallelizable.
+func TestQueriesClassifyAsAnnotated(t *testing.T) {
+	parallelizable := 0
+	for _, q := range Queries() {
+		expr, err := parser.Parse(q.Text)
+		if err != nil {
+			t.Fatalf("%s (%q): %v", q.Name, q.Text, err)
+		}
+		got := fragment.Classify(expr)
+		if got.Minimal != q.WantFragment {
+			t.Errorf("%s (%q): classified %v, annotated %v", q.Name, q.Text, got.Minimal, q.WantFragment)
+		}
+		if got.Minimal.Parallelizable() {
+			parallelizable++
+		}
+	}
+	total := len(Queries())
+	if parallelizable*3 < total*2 {
+		t.Fatalf("only %d/%d workload queries are parallelizable; the pXPath thesis expects a clear majority", parallelizable, total)
+	}
+}
+
+// Engines agree on the whole workload.
+func TestWorkloadEngineAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := Auction(rng, Config{People: 25, Items: 40, MaxBids: 5})
+	ctx := evalctx.Root(d)
+	for _, q := range Queries() {
+		expr := parser.MustParse(q.Text)
+		want, err := cvt.Evaluate(expr, ctx, nil)
+		if err != nil {
+			t.Fatalf("%s: cvt: %v", q.Name, err)
+		}
+		got, err := naive.Evaluate(expr, ctx, &evalctx.Counter{Budget: 50_000_000})
+		if err != nil {
+			t.Fatalf("%s: naive: %v", q.Name, err)
+		}
+		if !value.Equal(want, got) {
+			t.Fatalf("%s: naive disagrees with cvt", q.Name)
+		}
+		if q.WantFragment == fragment.PF || q.WantFragment == fragment.PositiveCore || q.WantFragment == fragment.Core {
+			got, err := corelinear.Evaluate(expr, ctx, nil)
+			if err != nil {
+				t.Fatalf("%s: corelinear: %v", q.Name, err)
+			}
+			if !value.Equal(want, got) {
+				t.Fatalf("%s: corelinear disagrees with cvt", q.Name)
+			}
+		}
+	}
+}
+
+// Sanity on the data: the workload queries return plausible, non-trivial
+// results on a generated document.
+func TestWorkloadResultsNonTrivial(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	d := Auction(rng, Config{People: 30, Items: 60, MaxBids: 6})
+	ctx := evalctx.Root(d)
+	nonEmpty := 0
+	for _, q := range Queries() {
+		v, err := cvt.Evaluate(parser.MustParse(q.Text), ctx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch x := v.(type) {
+		case value.NodeSet:
+			if len(x) > 0 {
+				nonEmpty++
+			}
+		case value.Number:
+			if float64(x) > 0 {
+				nonEmpty++
+			}
+		}
+	}
+	if nonEmpty < len(Queries())-2 {
+		t.Fatalf("only %d/%d workload queries returned data; generator too sparse", nonEmpty, len(Queries()))
+	}
+}

@@ -1,0 +1,123 @@
+package xmltree
+
+import "fmt"
+
+// Elem constructs an element node with the given tag and children. The
+// returned node is loose until passed to NewDocument (possibly as a
+// descendant of the root element).
+func Elem(name string, children ...*Node) *Node {
+	return &Node{Type: ElementNode, Name: name, Children: children}
+}
+
+// ElemL constructs an element node carrying extra labels (Remark 3.1).
+func ElemL(name string, labels []string, children ...*Node) *Node {
+	n := Elem(name, children...)
+	for _, l := range labels {
+		n.AddLabel(l)
+	}
+	return n
+}
+
+// Text constructs a text node with the given character data.
+func Text(data string) *Node {
+	return &Node{Type: TextNode, Data: data}
+}
+
+// Comment constructs a comment node.
+func Comment(data string) *Node {
+	return &Node{Type: CommentNode, Data: data}
+}
+
+// ProcInst constructs a processing-instruction node.
+func ProcInst(target, data string) *Node {
+	return &Node{Type: ProcInstNode, Name: target, Data: data}
+}
+
+// Attr constructs an attribute node; attach it with WithAttrs.
+func Attr(name, value string) *Node {
+	return &Node{Type: AttributeNode, Name: name, Data: value}
+}
+
+// WithAttrs attaches attribute nodes to an element and returns the element,
+// enabling fluent construction: WithAttrs(Elem("a"), Attr("x", "1")).
+func WithAttrs(elem *Node, attrs ...*Node) *Node {
+	elem.Attrs = append(elem.Attrs, attrs...)
+	return elem
+}
+
+// AppendChild adds a child to a loose (not yet finalized) node.
+func AppendChild(parent, child *Node) {
+	parent.Children = append(parent.Children, child)
+}
+
+// NewDocument finalizes a tree under a fresh conceptual root node: it wires
+// parent links, sibling indices, document order and pre/post numbering, and
+// returns the resulting Document. The given nodes become the children of
+// the conceptual root; after this call the tree must not be mutated.
+func NewDocument(rootChildren ...*Node) *Document {
+	root := &Node{Type: RootNode}
+	root.Children = rootChildren
+	d := &Document{Root: root}
+	pre, post := 0, 0
+	d.number(root, &pre, &post)
+	return d
+}
+
+// number assigns Parent, SiblingIdx, Ord, Pre and Post over the subtree.
+func (d *Document) number(n *Node, pre, post *int) {
+	n.doc = d
+	n.Pre = *pre
+	*pre++
+	n.Ord = len(d.Nodes)
+	d.Nodes = append(d.Nodes, n)
+	for i, a := range n.Attrs {
+		if a.Type != AttributeNode {
+			panic(fmt.Sprintf("xmltree: non-attribute node %v in Attrs of %q", a.Type, n.Name))
+		}
+		a.doc = d
+		a.Parent = n
+		a.SiblingIdx = i
+		a.Ord = len(d.Nodes)
+		// Attributes share the owner's pre/post interval so that
+		// ancestor-or-self style interval tests behave sensibly.
+		a.Pre = n.Pre
+		d.Nodes = append(d.Nodes, a)
+	}
+	for i, c := range n.Children {
+		c.Parent = n
+		c.SiblingIdx = i
+		d.number(c, pre, post)
+	}
+	n.Post = *post
+	*post++
+	for _, a := range n.Attrs {
+		a.Post = n.Post
+	}
+}
+
+// Copy returns a deep copy of the document. The copy is independently
+// numbered and safe to mutate before re-finalizing.
+func (d *Document) Copy() *Document {
+	var cp func(n *Node) *Node
+	cp = func(n *Node) *Node {
+		m := &Node{Type: n.Type, Name: n.Name, Data: n.Data}
+		if n.labels != nil {
+			m.labels = make(map[string]bool, len(n.labels))
+			for l := range n.labels {
+				m.labels[l] = true
+			}
+		}
+		for _, a := range n.Attrs {
+			m.Attrs = append(m.Attrs, cp(a))
+		}
+		for _, c := range n.Children {
+			m.Children = append(m.Children, cp(c))
+		}
+		return m
+	}
+	rootCopy := cp(d.Root)
+	nd := &Document{Root: rootCopy}
+	pre, post := 0, 0
+	nd.number(rootCopy, &pre, &post)
+	return nd
+}

@@ -1,0 +1,44 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the XML parser never panics and that successfully
+// parsed documents serialize to XML that re-parses with identical
+// structure.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"<a/>", "<a><b x=\"1\">hi</b></a>", "<a>&lt;&amp;</a>",
+		"<a><!--c--><?pi d?></a>", "<a xmlns:n=\"u\"><n:b/></a>",
+		"<a>", "</a>", "text", "<a b=></a>", "<a><b></a></b>",
+		"<a>\xff</a>", strings.Repeat("<a>", 40) + strings.Repeat("</a>", 40),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		out := d.XMLString()
+		d2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("serialized form of %q does not re-parse: %v\nserialized: %q", src, err, out)
+		}
+		s1, s2 := ComputeStats(d), ComputeStats(d2)
+		if s1 != s2 {
+			t.Fatalf("structure drift: %+v vs %+v\nsrc: %q\nout: %q", s1, s2, src, out)
+		}
+		// Pre/post numbering invariants hold on every parsed document.
+		for _, n := range d.Nodes {
+			if n.Type != AttributeNode && n.Parent != nil {
+				if !(n.Parent.Pre < n.Pre && n.Parent.Post > n.Post) {
+					t.Fatalf("interval nesting violated at node %d", n.Ord)
+				}
+			}
+		}
+	})
+}

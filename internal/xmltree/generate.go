@@ -1,0 +1,151 @@
+package xmltree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig controls random document generation for tests and benchmarks.
+type GenConfig struct {
+	// Nodes is the approximate number of element nodes to generate.
+	Nodes int
+	// MaxFanout bounds the number of children per element (≥1).
+	MaxFanout int
+	// Tags is the tag alphabet; defaults to {a,b,c,d,e} when empty.
+	Tags []string
+	// TextProb is the probability that a generated element receives a
+	// short text child.
+	TextProb float64
+	// AttrProb is the probability that a generated element receives a
+	// single attribute id="...".
+	AttrProb float64
+}
+
+func (c *GenConfig) defaults() {
+	if c.MaxFanout < 1 {
+		c.MaxFanout = 4
+	}
+	if len(c.Tags) == 0 {
+		c.Tags = []string{"a", "b", "c", "d", "e"}
+	}
+	if c.Nodes < 1 {
+		c.Nodes = 1
+	}
+}
+
+// RandomDocument generates a pseudo-random document with roughly cfg.Nodes
+// elements, deterministic in the given source.
+func RandomDocument(rng *rand.Rand, cfg GenConfig) *Document {
+	cfg.defaults()
+	budget := cfg.Nodes - 1
+	root := Elem(cfg.Tags[0])
+	frontier := []*Node{root}
+	id := 0
+	for budget > 0 && len(frontier) > 0 {
+		// Pick a random frontier node and give it children.
+		i := rng.Intn(len(frontier))
+		parent := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		k := 1 + rng.Intn(cfg.MaxFanout)
+		if k > budget {
+			k = budget
+		}
+		for j := 0; j < k; j++ {
+			child := Elem(cfg.Tags[rng.Intn(len(cfg.Tags))])
+			if rng.Float64() < cfg.AttrProb {
+				id++
+				child.Attrs = append(child.Attrs, Attr("id", fmt.Sprintf("n%d", id)))
+			}
+			if rng.Float64() < cfg.TextProb {
+				child.Children = append(child.Children, Text(fmt.Sprintf("t%d", rng.Intn(100))))
+			}
+			parent.Children = append(parent.Children, child)
+			frontier = append(frontier, child)
+		}
+		budget -= k
+	}
+	return NewDocument(root)
+}
+
+// ChainDocument builds a degenerate document of the given depth:
+// <a><a>...<a/>...</a></a>. Useful for worst-case depth behaviour.
+func ChainDocument(depth int, tag string) *Document {
+	n := Elem(tag)
+	root := n
+	for i := 1; i < depth; i++ {
+		c := Elem(tag)
+		n.Children = append(n.Children, c)
+		n = c
+	}
+	return NewDocument(root)
+}
+
+// WideDocument builds a root with n children all tagged tag.
+func WideDocument(n int, rootTag, tag string) *Document {
+	kids := make([]*Node, n)
+	for i := range kids {
+		kids[i] = Elem(tag)
+	}
+	return NewDocument(Elem(rootTag, kids...))
+}
+
+// BalancedDocument builds a complete k-ary tree of the given depth, with
+// tags cycling through the provided alphabet per level.
+func BalancedDocument(depth, fanout int, tags []string) *Document {
+	if len(tags) == 0 {
+		tags = []string{"n"}
+	}
+	var build func(level int) *Node
+	build = func(level int) *Node {
+		n := Elem(tags[level%len(tags)])
+		if level < depth {
+			for i := 0; i < fanout; i++ {
+				n.Children = append(n.Children, build(level+1))
+			}
+		}
+		return n
+	}
+	return NewDocument(build(0))
+}
+
+// Stats summarizes a document's shape.
+type Stats struct {
+	Total      int // all nodes including root and attributes
+	Elements   int
+	Attributes int
+	Texts      int
+	Comments   int
+	ProcInsts  int
+	MaxDepth   int
+	MaxFanout  int
+}
+
+// ComputeStats derives shape statistics for the document.
+func ComputeStats(d *Document) Stats {
+	var s Stats
+	s.Total = len(d.Nodes)
+	for _, n := range d.Nodes {
+		switch n.Type {
+		case ElementNode:
+			s.Elements++
+		case AttributeNode:
+			s.Attributes++
+		case TextNode:
+			s.Texts++
+		case CommentNode:
+			s.Comments++
+		case ProcInstNode:
+			s.ProcInsts++
+		}
+		if n.Type != AttributeNode {
+			if d := n.Depth(); d > s.MaxDepth {
+				s.MaxDepth = d
+			}
+			if f := len(n.Children); f > s.MaxFanout {
+				s.MaxFanout = f
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"unicode"
+)
+
+// Parse reads an XML document from r and builds the document tree.
+// Namespace prefixes are kept as part of element and attribute names
+// (namespace semantics are out of scope, see DESIGN.md §7). Whitespace-only
+// text nodes are preserved only when keepSpace is requested via
+// ParseOptions; Parse itself drops them, matching the behaviour XPath test
+// suites conventionally assume for data-oriented documents.
+func Parse(r io.Reader) (*Document, error) {
+	return ParseOptions(r, false)
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ParseOptions parses an XML document; keepSpace preserves whitespace-only
+// text nodes.
+func ParseOptions(r io.Reader, keepSpace bool) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Node
+	var top []*Node // children of the conceptual root
+	addNode := func(n *Node) {
+		if len(stack) == 0 {
+			top = append(top, n)
+		} else {
+			p := stack[len(stack)-1]
+			p.Children = append(p.Children, n)
+		}
+	}
+	seenElement := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if !validFlatName(t.Name.Local) {
+				return nil, fmt.Errorf("xmltree: parse: element name %q is not usable in the namespace-free data model (DESIGN.md §7)", t.Name.Local)
+			}
+			n := Elem(flatName(t.Name))
+			for _, a := range t.Attr {
+				// Drop namespace declarations: encoding/xml reports
+				// xmlns="u" with Local "xmlns" and xmlns:p="u" with
+				// Space "xmlns" (for any p, including ones that are not
+				// valid attribute names on their own).
+				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
+					continue
+				}
+				name := flatName(a.Name)
+				if strings.HasPrefix(name, "xmlns:") {
+					continue
+				}
+				if !validFlatName(name) {
+					return nil, fmt.Errorf("xmltree: parse: attribute name %q is not usable in the namespace-free data model (DESIGN.md §7)", name)
+				}
+				n.Attrs = append(n.Attrs, Attr(name, a.Value))
+			}
+			addNode(n)
+			stack = append(stack, n)
+			seenElement = true
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %q", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			s := string(t)
+			if !keepSpace && strings.TrimSpace(s) == "" {
+				continue
+			}
+			if len(stack) == 0 {
+				// Character data outside the document element is
+				// insignificant whitespace per XML; skip it.
+				continue
+			}
+			// The XPath data model never has adjacent text siblings:
+			// coalesce runs of character data (they arise around ignored
+			// directives and entity boundaries).
+			p := stack[len(stack)-1]
+			if n := len(p.Children); n > 0 && p.Children[n-1].Type == TextNode {
+				p.Children[n-1].Data += s
+				continue
+			}
+			addNode(Text(s))
+		case xml.Comment:
+			addNode(Comment(string(t)))
+		case xml.ProcInst:
+			if t.Target == "xml" {
+				continue
+			}
+			addNode(ProcInst(t.Target, string(t.Inst)))
+		case xml.Directive:
+			// DOCTYPE etc.: ignored.
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: %d unclosed element(s)", len(stack))
+	}
+	if !seenElement {
+		return nil, fmt.Errorf("xmltree: parse: document has no element")
+	}
+	return NewDocument(top...), nil
+}
+
+func flatName(n xml.Name) string {
+	// encoding/xml resolves prefixes to namespace URIs in n.Space; we keep
+	// only local names, which is the right granularity for a
+	// namespace-free XPath data model.
+	return n.Local
+}
+
+// validFlatName reports whether a local name stands on its own as an XML
+// name (encoding/xml validates full qualified names, but a prefixed name
+// like "A:0" has the invalid bare local part "0").
+func validFlatName(s string) bool {
+	for i, r := range s {
+		if i == 0 {
+			if !(r == '_' || unicode.IsLetter(r)) {
+				return false
+			}
+			continue
+		}
+		if !(r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)) {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// ParseFile parses the XML document stored at path.
+func ParseFile(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("xmltree: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}

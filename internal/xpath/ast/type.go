@@ -1,0 +1,84 @@
+package ast
+
+import "fmt"
+
+// Type is a static XPath 1.0 value type.
+type Type int
+
+// The four XPath 1.0 value types.
+const (
+	TypeNodeSet Type = iota
+	TypeBoolean
+	TypeNumber
+	TypeString
+)
+
+// String names the type as in the XPath recommendation.
+func (t Type) String() string {
+	switch t {
+	case TypeNodeSet:
+		return "node-set"
+	case TypeBoolean:
+		return "boolean"
+	case TypeNumber:
+		return "number"
+	case TypeString:
+		return "string"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// FuncResultTypes maps the supported XPath 1.0 core-library functions to
+// their static result types. The funcs package implements exactly this set;
+// a test there asserts the two stay in sync.
+var FuncResultTypes = map[string]Type{
+	// Node-set functions.
+	"last": TypeNumber, "position": TypeNumber, "count": TypeNumber,
+	"local-name": TypeString, "name": TypeString, "namespace-uri": TypeString,
+	// String functions.
+	"string": TypeString, "concat": TypeString, "starts-with": TypeBoolean,
+	"contains": TypeBoolean, "substring-before": TypeString,
+	"substring-after": TypeString, "substring": TypeString,
+	"string-length": TypeNumber, "normalize-space": TypeString,
+	"translate": TypeString,
+	// Boolean functions.
+	"boolean": TypeBoolean, "not": TypeBoolean, "true": TypeBoolean,
+	"false": TypeBoolean,
+	// Number functions.
+	"number": TypeNumber, "sum": TypeNumber, "floor": TypeNumber,
+	"ceiling": TypeNumber, "round": TypeNumber,
+}
+
+// StaticType returns the static type of the expression. Unknown function
+// names are typed as string; the parser rejects them before evaluation.
+func StaticType(e Expr) Type {
+	switch x := e.(type) {
+	case *Path:
+		return TypeNodeSet
+	case *Binary:
+		switch {
+		case x.Op == OpUnion:
+			return TypeNodeSet
+		case x.Op == OpOr || x.Op == OpAnd || x.Op.IsRelational():
+			return TypeBoolean
+		default:
+			return TypeNumber
+		}
+	case *Unary:
+		return TypeNumber
+	case *Call:
+		if t, ok := FuncResultTypes[x.Name]; ok {
+			return t
+		}
+		return TypeString
+	case *Number:
+		return TypeNumber
+	case *Literal:
+		return TypeString
+	case *LabelTest:
+		return TypeBoolean
+	default:
+		return TypeString
+	}
+}

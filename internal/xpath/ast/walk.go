@@ -1,0 +1,181 @@
+package ast
+
+// Walk calls f for e and every subexpression in depth-first pre-order,
+// including predicate expressions inside path steps. Walking a subtree is
+// skipped when f returns false for its root.
+func Walk(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Path:
+		for _, s := range x.Steps {
+			for _, p := range s.Preds {
+				Walk(p, f)
+			}
+		}
+	case *Binary:
+		Walk(x.Left, f)
+		Walk(x.Right, f)
+	case *Unary:
+		Walk(x.Operand, f)
+	case *Call:
+		for _, a := range x.Args {
+			Walk(a, f)
+		}
+	}
+}
+
+// Size returns the number of syntax nodes in the expression, counting each
+// location step and each predicate; this is the |Q| of the paper's bounds.
+func Size(e Expr) int {
+	n := 0
+	Walk(e, func(x Expr) bool {
+		n++
+		if p, ok := x.(*Path); ok {
+			n += len(p.Steps)
+		}
+		return true
+	})
+	return n
+}
+
+// MaxPredicateSeq returns the longest predicate sequence attached to any
+// single step in the expression: ≥2 means "iterated predicates" in the
+// sense of Definition 5.1(1) / Theorem 5.7.
+func MaxPredicateSeq(e Expr) int {
+	m := 0
+	Walk(e, func(x Expr) bool {
+		if p, ok := x.(*Path); ok {
+			for _, s := range p.Steps {
+				if len(s.Preds) > m {
+					m = len(s.Preds)
+				}
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// NegationDepth returns the maximum nesting depth of not(...) calls, the
+// bound of Theorems 5.9/6.3. A query without not() has depth 0.
+func NegationDepth(e Expr) int {
+	var depth func(Expr) int
+	depth = func(e Expr) int {
+		max := 0
+		bump := 0
+		switch x := e.(type) {
+		case *Call:
+			if x.Name == "not" {
+				bump = 1
+			}
+			for _, a := range x.Args {
+				if d := depth(a); d > max {
+					max = d
+				}
+			}
+		case *Binary:
+			if d := depth(x.Left); d > max {
+				max = d
+			}
+			if d := depth(x.Right); d > max {
+				max = d
+			}
+		case *Unary:
+			max = depth(x.Operand)
+		case *Path:
+			for _, s := range x.Steps {
+				for _, p := range s.Preds {
+					if d := depth(p); d > max {
+						max = d
+					}
+				}
+			}
+		}
+		return max + bump
+	}
+	return depth(e)
+}
+
+// ArithDepth returns the maximum nesting depth of arithmetic operators
+// (+ - * div mod, including unary minus), the bound of Definition 5.1(3).
+func ArithDepth(e Expr) int {
+	var depth func(Expr) int
+	depth = func(e Expr) int {
+		max := 0
+		bump := 0
+		switch x := e.(type) {
+		case *Binary:
+			if x.Op.IsArithmetic() {
+				bump = 1
+			}
+			if d := depth(x.Left); d > max {
+				max = d
+			}
+			if d := depth(x.Right); d > max {
+				max = d
+			}
+		case *Unary:
+			bump = 1
+			max = depth(x.Operand)
+		case *Call:
+			for _, a := range x.Args {
+				if d := depth(a); d > max {
+					max = d
+				}
+			}
+		case *Path:
+			for _, s := range x.Steps {
+				for _, p := range s.Preds {
+					if d := depth(p); d > max {
+						max = d
+					}
+				}
+			}
+		}
+		return max + bump
+	}
+	return depth(e)
+}
+
+// UsesPositionOrLast reports whether the expression (transitively) calls
+// position() or last(). Evaluators use this to key context-value tables by
+// context node only when possible (the ICDE'03 improvement, DESIGN.md §5).
+func UsesPositionOrLast(e Expr) bool {
+	found := false
+	Walk(e, func(x Expr) bool {
+		if c, ok := x.(*Call); ok && (c.Name == "position" || c.Name == "last") {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// FunctionsUsed returns the set of function names called anywhere in e.
+func FunctionsUsed(e Expr) map[string]bool {
+	out := make(map[string]bool)
+	Walk(e, func(x Expr) bool {
+		if c, ok := x.(*Call); ok {
+			out[c.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// AxesUsed returns the set of axes appearing anywhere in e.
+func AxesUsed(e Expr) map[Axis]bool {
+	out := make(map[Axis]bool)
+	Walk(e, func(x Expr) bool {
+		if p, ok := x.(*Path); ok {
+			for _, s := range p.Steps {
+				out[s.Axis] = true
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,252 @@
+// Package lexer tokenizes XPath 1.0 queries, implementing the lexical
+// structure of the XPath 1.0 recommendation §3.7 including its
+// disambiguation rules:
+//
+//   - if the previous token is not '@', '::', '(', '[', ',' or an operator,
+//     then '*' is the multiply operator and an NCName must be one of the
+//     operator names 'and', 'or', 'mod', 'div';
+//   - an NCName followed by '(' is a function name unless it is one of the
+//     node types 'comment', 'text', 'processing-instruction', 'node';
+//   - an NCName followed by '::' is an axis name.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"xpathcomplexity/internal/xpath/token"
+)
+
+// Error is a lexical error carrying the byte offset in the query.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("xpath: lex error at offset %d: %s", e.Pos, e.Msg) }
+
+// Tokenize splits a query into tokens, ending with an EOF token.
+func Tokenize(query string) ([]token.Token, error) {
+	l := &lexer{src: query}
+	var toks []token.Token
+	for {
+		t, err := l.next(toks)
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+// precededByOperand implements the §3.7 rule: true when the previous
+// non-EOF token exists and is not '@', '::' (AxisName), '(', '[', ',' or an
+// operator — in which case '*' means multiply and NCNames must be operator
+// names.
+func precededByOperand(prev []token.Token) bool {
+	if len(prev) == 0 {
+		return false
+	}
+	t := prev[len(prev)-1]
+	switch t.Kind {
+	case token.At, token.AxisName, token.LParen, token.LBracket, token.Comma, token.Dollar:
+		return false
+	}
+	return !t.IsOperator()
+}
+
+var nodeTypes = map[string]bool{
+	"comment": true, "text": true, "processing-instruction": true, "node": true,
+}
+
+func (l *lexer) next(prev []token.Token) (token.Token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	mk := func(k token.Kind, n int) (token.Token, error) {
+		l.pos += n
+		return token.Token{Kind: k, Text: l.src[start:l.pos], Pos: start}, nil
+	}
+	two := func() byte {
+		if l.pos+1 < len(l.src) {
+			return l.src[l.pos+1]
+		}
+		return 0
+	}
+	switch c {
+	case '/':
+		if two() == '/' {
+			return mk(token.DoubleSlash, 2)
+		}
+		return mk(token.Slash, 1)
+	case '[':
+		return mk(token.LBracket, 1)
+	case ']':
+		return mk(token.RBracket, 1)
+	case '(':
+		return mk(token.LParen, 1)
+	case ')':
+		return mk(token.RParen, 1)
+	case '.':
+		if two() == '.' {
+			return mk(token.DotDot, 2)
+		}
+		if isDigit(two()) {
+			return l.lexNumber()
+		}
+		return mk(token.Dot, 1)
+	case '@':
+		return mk(token.At, 1)
+	case ',':
+		return mk(token.Comma, 1)
+	case '|':
+		return mk(token.Pipe, 1)
+	case '+':
+		return mk(token.Plus, 1)
+	case '-':
+		return mk(token.Minus, 1)
+	case '$':
+		return mk(token.Dollar, 1)
+	case '=':
+		return mk(token.Eq, 1)
+	case '!':
+		if two() == '=' {
+			return mk(token.Neq, 2)
+		}
+		return token.Token{}, l.errf(start, "unexpected '!' (did you mean '!='?)")
+	case '<':
+		if two() == '=' {
+			return mk(token.Le, 2)
+		}
+		return mk(token.Lt, 1)
+	case '>':
+		if two() == '=' {
+			return mk(token.Ge, 2)
+		}
+		return mk(token.Gt, 1)
+	case '*':
+		if precededByOperand(prev) {
+			return mk(token.Multiply, 1)
+		}
+		return mk(token.Star, 1)
+	case '"', '\'':
+		return l.lexLiteral()
+	}
+	if isDigit(c) {
+		return l.lexNumber()
+	}
+	if isNameStart(rune(c)) {
+		return l.lexName(prev)
+	}
+	return token.Token{}, l.errf(start, "unexpected character %q", c)
+}
+
+func (l *lexer) lexLiteral() (token.Token, error) {
+	start := l.pos
+	quote := l.src[l.pos]
+	l.pos++
+	i := strings.IndexByte(l.src[l.pos:], quote)
+	if i < 0 {
+		return token.Token{}, l.errf(start, "unterminated string literal")
+	}
+	text := l.src[l.pos : l.pos+i]
+	l.pos += i + 1
+	return token.Token{Kind: token.Literal, Text: text, Pos: start}, nil
+}
+
+func (l *lexer) lexNumber() (token.Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token.Token{}, l.errf(start, "bad number %q", text)
+	}
+	return token.Token{Kind: token.Number, Text: text, Num: v, Pos: start}, nil
+}
+
+func (l *lexer) lexName(prev []token.Token) (token.Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isNamePart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	name := l.src[start:l.pos]
+	// Operator-name rule.
+	if precededByOperand(prev) {
+		switch name {
+		case "and":
+			return token.Token{Kind: token.And, Text: name, Pos: start}, nil
+		case "or":
+			return token.Token{Kind: token.Or, Text: name, Pos: start}, nil
+		case "mod":
+			return token.Token{Kind: token.Mod, Text: name, Pos: start}, nil
+		case "div":
+			return token.Token{Kind: token.Div, Text: name, Pos: start}, nil
+		default:
+			return token.Token{}, l.errf(start,
+				"name %q in operator position (expected 'and', 'or', 'mod' or 'div')", name)
+		}
+	}
+	// Look ahead past whitespace for '::' or '('.
+	save := l.pos
+	l.skipSpace()
+	if strings.HasPrefix(l.src[l.pos:], "::") {
+		l.pos += 2
+		return token.Token{Kind: token.AxisName, Text: name, Pos: start}, nil
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '(' {
+		l.pos = save
+		if nodeTypes[name] {
+			return token.Token{Kind: token.NodeType, Text: name, Pos: start}, nil
+		}
+		return token.Token{Kind: token.FuncName, Text: name, Pos: start}, nil
+	}
+	l.pos = save
+	return token.Token{Kind: token.Name, Text: name, Pos: start}, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNamePart(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,138 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"xpathcomplexity/internal/xpath/token"
+)
+
+func kinds(t *testing.T, q string) []token.Kind {
+	t.Helper()
+	toks, err := Tokenize(q)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", q, err)
+	}
+	out := make([]token.Kind, 0, len(toks)-1)
+	for _, tk := range toks {
+		if tk.Kind == token.EOF {
+			break
+		}
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func eq(a, b []token.Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicTokens(t *testing.T) {
+	cases := []struct {
+		q    string
+		want []token.Kind
+	}{
+		{"/", []token.Kind{token.Slash}},
+		{"//a", []token.Kind{token.DoubleSlash, token.Name}},
+		{"child::a", []token.Kind{token.AxisName, token.Name}},
+		{"child::*", []token.Kind{token.AxisName, token.Star}},
+		{"@id", []token.Kind{token.At, token.Name}},
+		{"..", []token.Kind{token.DotDot}},
+		{".", []token.Kind{token.Dot}},
+		{"3.14", []token.Kind{token.Number}},
+		{".5", []token.Kind{token.Number}},
+		{"'str'", []token.Kind{token.Literal}},
+		{`"str"`, []token.Kind{token.Literal}},
+		{"a|b", []token.Kind{token.Name, token.Pipe, token.Name}},
+		{"a!=b", []token.Kind{token.Name, token.Neq, token.Name}},
+		{"a<=b", []token.Kind{token.Name, token.Le, token.Name}},
+		{"text()", []token.Kind{token.NodeType, token.LParen, token.RParen}},
+		{"node()", []token.Kind{token.NodeType, token.LParen, token.RParen}},
+		{"count(a)", []token.Kind{token.FuncName, token.LParen, token.Name, token.RParen}},
+		{"$x", []token.Kind{token.Dollar, token.Name}},
+	}
+	for _, tc := range cases {
+		if got := kinds(t, tc.q); !eq(got, tc.want) {
+			t.Errorf("Tokenize(%q) kinds = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+// The §3.7 disambiguation rules: '*' and operator names depend on the
+// preceding token.
+func TestDisambiguation(t *testing.T) {
+	cases := []struct {
+		q    string
+		want []token.Kind
+	}{
+		// '*' as wildcard at start, after '::', '(', '[', ',', '@', operators.
+		{"*", []token.Kind{token.Star}},
+		{"child::*", []token.Kind{token.AxisName, token.Star}},
+		{"4 * 5", []token.Kind{token.Number, token.Multiply, token.Number}},
+		{"* * *", []token.Kind{token.Star, token.Multiply, token.Star}},
+		{"a[* = 1]", []token.Kind{token.Name, token.LBracket, token.Star, token.Eq, token.Number, token.RBracket}},
+		// 'and'/'or'/'div'/'mod' as names vs operators.
+		{"and", []token.Kind{token.Name}},
+		{"a and b", []token.Kind{token.Name, token.And, token.Name}},
+		{"or or or", []token.Kind{token.Name, token.Or, token.Name}},
+		{"div div div", []token.Kind{token.Name, token.Div, token.Name}},
+		{"mod mod mod", []token.Kind{token.Name, token.Mod, token.Name}},
+		{"child::div", []token.Kind{token.AxisName, token.Name}},
+	}
+	for _, tc := range cases {
+		if got := kinds(t, tc.q); !eq(got, tc.want) {
+			t.Errorf("Tokenize(%q) kinds = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, q := range []string{"'unterminated", "#", "a ! b", "a b"} {
+		if _, err := Tokenize(q); err == nil {
+			t.Errorf("Tokenize(%q): expected error", q)
+		} else if !strings.Contains(err.Error(), "offset") {
+			t.Errorf("Tokenize(%q): error lacks position: %v", q, err)
+		}
+	}
+}
+
+func TestNumberValues(t *testing.T) {
+	toks, err := Tokenize("3.5 + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Num != 3.5 || toks[2].Num != 2 {
+		t.Fatalf("number values = %v, %v", toks[0].Num, toks[2].Num)
+	}
+}
+
+func TestAxisConsumesColons(t *testing.T) {
+	toks, err := Tokenize("descendant-or-self :: node()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.AxisName || toks[0].Text != "descendant-or-self" {
+		t.Fatalf("tok0 = %v", toks[0])
+	}
+	if toks[1].Kind != token.NodeType || toks[1].Text != "node" {
+		t.Fatalf("tok1 = %v", toks[1])
+	}
+}
+
+func TestPositionsReported(t *testing.T) {
+	toks, err := Tokenize("a and b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Pos != 2 {
+		t.Fatalf("pos of 'and' = %d, want 2", toks[1].Pos)
+	}
+}

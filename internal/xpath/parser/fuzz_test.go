@@ -1,0 +1,44 @@
+package parser
+
+import (
+	"testing"
+
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// FuzzParse checks that the parser never panics, and that every
+// successfully parsed query has a canonical form that re-parses to the
+// same canonical form (printer/parser fixpoint).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"/", "//a", "a/b/c", "a[b and not(c)]", "a[position() + 1 = last()]",
+		"count(//a) > 2", "concat('a', \"b\")", "a | b | c[d]",
+		"//*[T(R) and descendant-or-self::*[T(O1)]]",
+		"a[1][2]", "@id", "../*", ".//a", "processing-instruction('x')",
+		"-1 + 2 * 3 div 4 mod 5", "a[b='x' or c!='y']",
+		"((1))", "a[()]", "][", "a[", "child::", "$x", "1e9", "'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		e, err := Parse(q)
+		if err != nil {
+			return
+		}
+		c1 := e.String()
+		e2, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", c1, q, err)
+		}
+		c2 := e2.String()
+		if c1 != c2 {
+			t.Fatalf("canonical form unstable: %q → %q → %q", q, c1, c2)
+		}
+		// Structural metrics must not panic and must agree across the
+		// round trip.
+		if ast.Size(e) != ast.Size(e2) || ast.NegationDepth(e) != ast.NegationDepth(e2) {
+			t.Fatalf("metrics differ across round trip of %q", q)
+		}
+	})
+}

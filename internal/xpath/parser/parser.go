@@ -1,0 +1,423 @@
+// Package parser implements a recursive-descent parser for XPath 1.0
+// producing the AST of package ast. It covers the full grammar of the
+// paper's fragments — location paths over all twelve axes, predicates,
+// boolean connectives, relational and arithmetic operators, the core
+// function library, literals and numbers — plus the abbreviated syntax
+// ('//', '.', '..', '@', implicit child axis, numeric predicates), which is
+// desugared during parsing, and the T(l) label-test extension of
+// Remark 3.1.
+//
+// Out of scope (rejected with a clear error): variable references,
+// filter expressions (a parenthesized expression used as a path prefix),
+// and the namespace axis. None occur in any fragment the paper defines.
+package parser
+
+import (
+	"fmt"
+
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/lexer"
+	"xpathcomplexity/internal/xpath/token"
+)
+
+// Error is a parse error with the byte offset of the offending token.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("xpath: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// arity describes the argument count a function accepts.
+type arity struct{ min, max int }
+
+// funcArity lists the supported XPath 1.0 core functions. It must stay in
+// sync with ast.FuncResultTypes and the funcs package (tested there).
+var funcArity = map[string]arity{
+	"last": {0, 0}, "position": {0, 0}, "count": {1, 1},
+	"local-name": {0, 1}, "name": {0, 1}, "namespace-uri": {0, 1},
+	"string": {0, 1}, "concat": {2, -1}, "starts-with": {2, 2},
+	"contains": {2, 2}, "substring-before": {2, 2}, "substring-after": {2, 2},
+	"substring": {2, 3}, "string-length": {0, 1}, "normalize-space": {0, 1},
+	"translate": {3, 3}, "boolean": {1, 1}, "not": {1, 1}, "true": {0, 0},
+	"false": {0, 0}, "number": {0, 1}, "sum": {1, 1}, "floor": {1, 1},
+	"ceiling": {1, 1}, "round": {1, 1},
+}
+
+// Parse parses a complete XPath expression.
+func Parse(query string) (ast.Expr, error) {
+	toks, err := lexer.Tokenize(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != token.EOF {
+		return nil, p.errf("unexpected %s after complete expression", p.peek())
+	}
+	return e, nil
+}
+
+// MustParse parses a query and panics on error; for tests and reductions
+// that construct known-good queries.
+func MustParse(query string) ast.Expr {
+	e, err := Parse(query)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+func (p *parser) peek() token.Token { return p.toks[p.pos] }
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.peek().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if p.peek().Kind != k {
+		return token.Token{}, p.errf("expected %s, found %s", k, p.peek())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseExpr parses an OrExpr, the start production.
+func (p *parser) parseExpr() (ast.Expr, error) {
+	return p.parseBinaryLevel(0)
+}
+
+// Precedence levels from loosest to tightest; each entry lists the
+// operators parsed left-associatively at that level.
+var levels = [][]struct {
+	tok token.Kind
+	op  ast.BinOp
+}{
+	{{token.Or, ast.OpOr}},
+	{{token.And, ast.OpAnd}},
+	{{token.Eq, ast.OpEq}, {token.Neq, ast.OpNeq}},
+	{{token.Lt, ast.OpLt}, {token.Le, ast.OpLe}, {token.Gt, ast.OpGt}, {token.Ge, ast.OpGe}},
+	{{token.Plus, ast.OpAdd}, {token.Minus, ast.OpSub}},
+	{{token.Multiply, ast.OpMul}, {token.Div, ast.OpDiv}, {token.Mod, ast.OpMod}},
+}
+
+func (p *parser) parseBinaryLevel(level int) (ast.Expr, error) {
+	if level == len(levels) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinaryLevel(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, cand := range levels[level] {
+			if p.peek().Kind == cand.tok {
+				p.next()
+				right, err := p.parseBinaryLevel(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &ast.Binary{Op: cand.op, Left: left, Right: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	if p.accept(token.Minus) {
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Operand: operand}, nil
+	}
+	return p.parseUnion()
+}
+
+func (p *parser) parseUnion() (ast.Expr, error) {
+	left, err := p.parsePathExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == token.Pipe {
+		pipePos := p.peek().Pos
+		p.next()
+		right, err := p.parsePathExpr()
+		if err != nil {
+			return nil, err
+		}
+		if ast.StaticType(left) != ast.TypeNodeSet || ast.StaticType(right) != ast.TypeNodeSet {
+			return nil, &Error{Pos: pipePos, Msg: "operands of '|' must be node-sets"}
+		}
+		left = &ast.Binary{Op: ast.OpUnion, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parsePathExpr parses either a location path or a primary expression.
+func (p *parser) parsePathExpr() (ast.Expr, error) {
+	switch p.peek().Kind {
+	case token.Slash, token.DoubleSlash, token.Dot, token.DotDot,
+		token.At, token.AxisName, token.Name, token.Star, token.NodeType:
+		return p.parseLocationPath()
+	case token.Dollar:
+		return nil, p.errf("variable references are not supported (out of scope, DESIGN.md §7)")
+	case token.LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		if k := p.peek().Kind; k == token.LBracket || k == token.Slash || k == token.DoubleSlash {
+			return nil, p.errf("filter expressions (path continuation after a parenthesized expression) are not supported")
+		}
+		return e, nil
+	case token.Literal:
+		t := p.next()
+		return &ast.Literal{Val: t.Text}, nil
+	case token.Number:
+		t := p.next()
+		return &ast.Number{Val: t.Num}, nil
+	case token.FuncName:
+		return p.parseCall()
+	default:
+		return nil, p.errf("expected expression, found %s", p.peek())
+	}
+}
+
+func (p *parser) parseCall() (ast.Expr, error) {
+	nameTok := p.next()
+	name := nameTok.Text
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	// The T(l) label-test extension of Remark 3.1: the argument is a bare
+	// label name or a string literal.
+	if name == "T" {
+		var label string
+		switch p.peek().Kind {
+		case token.Name:
+			label = p.next().Text
+		case token.Literal:
+			label = p.next().Text
+		case token.Number:
+			// The paper's truth-value labels: T(0) and T(1).
+			label = p.next().Text
+		default:
+			return nil, p.errf("T(...) expects a bare label name or string literal")
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return &ast.LabelTest{Label: label}, nil
+	}
+	ar, known := funcArity[name]
+	if !known {
+		return nil, &Error{Pos: nameTok.Pos, Msg: fmt.Sprintf("unknown function %q", name)}
+	}
+	var args []ast.Expr
+	if p.peek().Kind != token.RParen {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	if len(args) < ar.min || (ar.max >= 0 && len(args) > ar.max) {
+		return nil, &Error{Pos: nameTok.Pos,
+			Msg: fmt.Sprintf("function %q called with %d argument(s), want %s", name, len(args), arityString(ar))}
+	}
+	if k := p.peek().Kind; k == token.LBracket || k == token.Slash || k == token.DoubleSlash {
+		return nil, p.errf("filter expressions (path continuation after a function call) are not supported")
+	}
+	return &ast.Call{Name: name, Args: args}, nil
+}
+
+func arityString(a arity) string {
+	switch {
+	case a.max < 0:
+		return fmt.Sprintf("at least %d", a.min)
+	case a.min == a.max:
+		return fmt.Sprintf("exactly %d", a.min)
+	default:
+		return fmt.Sprintf("%d to %d", a.min, a.max)
+	}
+}
+
+// descendantOrSelfStep is the desugaring of '//'.
+func descendantOrSelfStep() *ast.Step {
+	return &ast.Step{Axis: ast.AxisDescendantOrSelf, Test: ast.NodeTest{Kind: ast.TestNode}}
+}
+
+func (p *parser) parseLocationPath() (ast.Expr, error) {
+	path := &ast.Path{}
+	switch p.peek().Kind {
+	case token.Slash:
+		p.next()
+		path.Absolute = true
+		if !p.startsStep() {
+			// A bare "/" selects the root.
+			return path, nil
+		}
+	case token.DoubleSlash:
+		p.next()
+		path.Absolute = true
+		path.Steps = append(path.Steps, descendantOrSelfStep())
+		if !p.startsStep() {
+			return nil, p.errf("expected location step after '//'")
+		}
+	}
+	for {
+		step, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+		if p.accept(token.Slash) {
+			if !p.startsStep() {
+				return nil, p.errf("expected location step after '/'")
+			}
+			continue
+		}
+		if p.accept(token.DoubleSlash) {
+			path.Steps = append(path.Steps, descendantOrSelfStep())
+			if !p.startsStep() {
+				return nil, p.errf("expected location step after '//'")
+			}
+			continue
+		}
+		return path, nil
+	}
+}
+
+func (p *parser) startsStep() bool {
+	switch p.peek().Kind {
+	case token.Dot, token.DotDot, token.At, token.AxisName, token.Name,
+		token.Star, token.NodeType:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *parser) parseStep() (*ast.Step, error) {
+	switch p.peek().Kind {
+	case token.Dot:
+		p.next()
+		return &ast.Step{Axis: ast.AxisSelf, Test: ast.NodeTest{Kind: ast.TestNode}}, nil
+	case token.DotDot:
+		p.next()
+		return &ast.Step{Axis: ast.AxisParent, Test: ast.NodeTest{Kind: ast.TestNode}}, nil
+	}
+	step := &ast.Step{Axis: ast.AxisChild}
+	switch p.peek().Kind {
+	case token.At:
+		p.next()
+		step.Axis = ast.AxisAttribute
+	case token.AxisName:
+		t := p.next()
+		a, ok := ast.AxisByName[t.Text]
+		if !ok {
+			if t.Text == "namespace" {
+				return nil, &Error{Pos: t.Pos, Msg: "the namespace axis is not supported (out of scope, DESIGN.md §7)"}
+			}
+			return nil, &Error{Pos: t.Pos, Msg: fmt.Sprintf("unknown axis %q", t.Text)}
+		}
+		step.Axis = a
+	}
+	test, err := p.parseNodeTest()
+	if err != nil {
+		return nil, err
+	}
+	step.Test = test
+	for p.peek().Kind == token.LBracket {
+		p.next()
+		pred, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RBracket); err != nil {
+			return nil, err
+		}
+		step.Preds = append(step.Preds, pred)
+	}
+	return step, nil
+}
+
+func (p *parser) parseNodeTest() (ast.NodeTest, error) {
+	switch p.peek().Kind {
+	case token.Name:
+		return ast.NodeTest{Kind: ast.TestName, Name: p.next().Text}, nil
+	case token.Star:
+		p.next()
+		return ast.NodeTest{Kind: ast.TestStar}, nil
+	case token.NodeType:
+		t := p.next()
+		if _, err := p.expect(token.LParen); err != nil {
+			return ast.NodeTest{}, err
+		}
+		var target string
+		if t.Text == "processing-instruction" && p.peek().Kind == token.Literal {
+			target = p.next().Text
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return ast.NodeTest{}, err
+		}
+		switch t.Text {
+		case "text":
+			return ast.NodeTest{Kind: ast.TestText}, nil
+		case "comment":
+			return ast.NodeTest{Kind: ast.TestComment}, nil
+		case "node":
+			return ast.NodeTest{Kind: ast.TestNode}, nil
+		case "processing-instruction":
+			return ast.NodeTest{Kind: ast.TestPI, Name: target}, nil
+		}
+		return ast.NodeTest{}, &Error{Pos: t.Pos, Msg: fmt.Sprintf("unknown node type %q", t.Text)}
+	default:
+		return ast.NodeTest{}, p.errf("expected node test, found %s", p.peek())
+	}
+}

@@ -1,0 +1,228 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// canon parses and re-prints the query in canonical unabbreviated form.
+func canon(t *testing.T, q string) string {
+	t.Helper()
+	e, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return e.String()
+}
+
+func TestParsePaths(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/", "/"},
+		{"/a", "/child::a"},
+		{"a", "child::a"},
+		{"a/b", "child::a/child::b"},
+		{"//a", "/descendant-or-self::node()/child::a"},
+		{"a//b", "child::a/descendant-or-self::node()/child::b"},
+		{".", "self::node()"},
+		{"..", "parent::node()"},
+		{"@id", "attribute::id"},
+		{"a/@id", "child::a/attribute::id"},
+		{"child::a", "child::a"},
+		{"descendant::*", "descendant::*"},
+		{"ancestor-or-self::a", "ancestor-or-self::a"},
+		{"following-sibling::b", "following-sibling::b"},
+		{"preceding::*", "preceding::*"},
+		{"self::text()", "self::text()"},
+		{"comment()", "child::comment()"},
+		{"processing-instruction()", "child::processing-instruction()"},
+		{"a | b", "child::a | child::b"},
+		{"a | b | c", "(child::a | child::b) | child::c"},
+		{"/descendant::a/child::b", "/descendant::a/child::b"},
+	}
+	for _, tc := range cases {
+		if got := canon(t, tc.in); got != tc.want {
+			t.Errorf("canon(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a[b]", "child::a[child::b]"},
+		{"a[1]", "child::a[1]"},
+		{"a[b and c]", "child::a[child::b and child::c]"},
+		{"a[b or c and d]", "child::a[child::b or (child::c and child::d)]"},
+		{"a[not(b)]", "child::a[not(child::b)]"},
+		{"a[position() + 1 = last()]", "child::a[(position() + 1) = last()]"},
+		{"a[b][c]", "child::a[child::b][child::c]"},
+		{"a[.= 'x']", "child::a[self::node() = 'x']"},
+		{"a[@id = '7']", "child::a[attribute::id = '7']"},
+		{"a[T(G) and T(R)]", "child::a[T(G) and T(R)]"},
+		{"a[T('O1')]", "child::a[T(O1)]"},
+	}
+	for _, tc := range cases {
+		if got := canon(t, tc.in); got != tc.want {
+			t.Errorf("canon(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"1 + 2 * 3", "1 + (2 * 3)"},
+		{"(1 + 2) * 3", "(1 + 2) * 3"},
+		{"10 div 2 mod 3", "(10 div 2) mod 3"},
+		{"-1 + 2", "-1 + 2"},
+		{"- count(a)", "-count(child::a)"},
+		{"1 < 2 = true()", "(1 < 2) = true()"},
+		{"concat('a', 'b', 'c')", "concat('a', 'b', 'c')"},
+	}
+	for _, tc := range cases {
+		if got := canon(t, tc.in); got != tc.want {
+			t.Errorf("canon(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// Canonical output must re-parse to the same canonical output (fixpoint).
+func TestCanonicalFixpoint(t *testing.T) {
+	queries := []string{
+		"/descendant::a/child::b[descendant::c and not(following-sibling::d)]",
+		"a[position() + 1 = last()]",
+		"//a//b[@x]",
+		"sum(a/b) > count(//c) + 1",
+		"a[T(G)]/b | c[.. = 'q']",
+		"string-length(normalize-space(a)) = 3",
+	}
+	for _, q := range queries {
+		c1 := canon(t, q)
+		c2 := canon(t, c1)
+		if c1 != c2 {
+			t.Errorf("canonical form not a fixpoint:\n in: %s\n c1: %s\n c2: %s", q, c1, c2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ q, wantSub string }{
+		{"", "expected expression"},
+		{"a/", "expected location step"},
+		{"a//", "expected location step"},
+		{"//", "expected location step"},
+		{"a[", "expected expression"},
+		{"a[]", "expected expression"},
+		{"a[b", "expected ']'"},
+		{"child::", "expected node test"},
+		{"foo::a", "unknown axis"},
+		{"namespace::a", "namespace axis"},
+		{"$x", "variable references"},
+		{"frob(a)", "unknown function"},
+		{"count()", "argument"},
+		{"count(a, b)", "argument"},
+		{"not()", "argument"},
+		{"concat('a')", "argument"},
+		{"(a)[1]", "filter expressions"},
+		{"(a)/b", "filter expressions"},
+		{"true()/a", "filter expressions"},
+		{"1 | a", "node-sets"},
+		{"a | 1", "node-sets"},
+		{"a b", "operator position"},
+		{"a (", "unknown function"},
+		{"T()", "bare label"},
+		{"a]", "unexpected"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.q)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q", tc.q, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", tc.q, err, tc.wantSub)
+		}
+	}
+}
+
+func TestStaticTypes(t *testing.T) {
+	cases := []struct {
+		q    string
+		want ast.Type
+	}{
+		{"a/b", ast.TypeNodeSet},
+		{"a | b", ast.TypeNodeSet},
+		{"a and b", ast.TypeBoolean},
+		{"not(a)", ast.TypeBoolean},
+		{"1 + 2", ast.TypeNumber},
+		{"count(a)", ast.TypeNumber},
+		{"position()", ast.TypeNumber},
+		{"'s'", ast.TypeString},
+		{"concat('a','b')", ast.TypeString},
+		{"a = b", ast.TypeBoolean},
+		{"-a", ast.TypeNumber},
+		{"T(G)", ast.TypeBoolean},
+	}
+	for _, tc := range cases {
+		e, err := Parse(tc.q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.q, err)
+		}
+		if got := ast.StaticType(e); got != tc.want {
+			t.Errorf("StaticType(%q) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	e := MustParse("a[not(b[not(c)])][2]")
+	if got := ast.NegationDepth(e); got != 2 {
+		t.Errorf("NegationDepth = %d, want 2", got)
+	}
+	if got := ast.MaxPredicateSeq(e); got != 2 {
+		t.Errorf("MaxPredicateSeq = %d, want 2", got)
+	}
+	e2 := MustParse("a[1 + 2 * (3 - 4) = 0]")
+	if got := ast.ArithDepth(e2); got != 3 {
+		t.Errorf("ArithDepth = %d, want 3", got)
+	}
+	if !ast.UsesPositionOrLast(MustParse("a[position()=1]")) {
+		t.Error("UsesPositionOrLast should be true")
+	}
+	if ast.UsesPositionOrLast(MustParse("a[b=1]")) {
+		t.Error("UsesPositionOrLast should be false")
+	}
+	fns := ast.FunctionsUsed(MustParse("count(a) + sum(b)"))
+	if !fns["count"] || !fns["sum"] || len(fns) != 2 {
+		t.Errorf("FunctionsUsed = %v", fns)
+	}
+	axes := ast.AxesUsed(MustParse("//a/@x"))
+	if !axes[ast.AxisDescendantOrSelf] || !axes[ast.AxisChild] || !axes[ast.AxisAttribute] {
+		t.Errorf("AxesUsed = %v", axes)
+	}
+	if s := ast.Size(MustParse("a/b")); s < 3 {
+		t.Errorf("Size(a/b) = %d, want >= 3", s)
+	}
+}
+
+func TestPaperQueries(t *testing.T) {
+	// Every concrete query that appears in the paper text must parse.
+	queries := []string{
+		"/descendant::a/child::b",
+		"/descendant::a/child::b[descendant::c and not(following-sibling::d)]",
+		"child::a[position() + 1 = last()]",
+		"child::*[T(a) and T(b) and T(c)]",
+		"/descendant-or-self::*[T(R) and descendant-or-self::*[T(O1) and parent::*[child::*[T(I1)]]]]",
+		"descendant-or-self::*/parent::*",
+		"/descendant::v1/descendant::v2",
+		"/descendant-or-self::v1/descendant::v2",
+		"child::*[(T(I1) and ancestor-or-self::*[T(G)][last()=1]) or T(W)][last()=1]",
+		"child::*[T(I1) and ancestor-or-self::*[T(G)][last() > 1]]",
+		"self::vj",
+	}
+	for _, q := range queries {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("paper query %q failed to parse: %v", q, err)
+		}
+	}
+}

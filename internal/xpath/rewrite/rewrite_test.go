@@ -1,0 +1,189 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpathcomplexity/internal/eval/cvt"
+	"xpathcomplexity/internal/eval/enginetest"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+func canon(t *testing.T, q string, f func(ast.Expr) ast.Expr) string {
+	t.Helper()
+	return f(parser.MustParse(q)).String()
+}
+
+func TestPushNegationShapes(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// De Morgan over and/or.
+		{"not(a and b)", "not(child::a) or not(child::b)"},
+		{"not(a or b)", "not(child::a) and not(child::b)"},
+		{"not(a and (b or c))", "not(child::a) or (not(child::b) and not(child::c))"},
+		// Double negation cancels.
+		{"not(not(a))", "child::a"},
+		{"not(not(not(a)))", "not(child::a)"},
+		// RelOp flips for NaN-free numeric operands.
+		{"not(position() < 3)", "position() >= 3"},
+		{"not(position() + 1 = last())", "(position() + 1) != last()"},
+		{"not(1 <= 2)", "1 > 2"},
+		// div can make NaN: keep the not().
+		{"not(1 div 0 = 2)", "not((1 div 0) = 2)"},
+		// Negation stops at paths.
+		{"not(a/b)", "not(child::a/child::b)"},
+		// boolean() is transparent.
+		{"not(boolean(a))", "not(child::a)"},
+		// Negation inside predicates is rewritten independently.
+		{"a[not(b and c)]", "child::a[not(child::b) or not(child::c)]"},
+		// Non-negated queries are preserved structurally.
+		{"a[b or c]", "child::a[child::b or child::c]"},
+	}
+	for _, tc := range cases {
+		if got := canon(t, tc.in, PushNegation); got != tc.want {
+			t.Errorf("PushNegation(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// After PushNegation, not() occurs only directly around location paths or
+// label tests.
+func TestPushNegationNormalForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	gen := enginetest.NewQueryGen(rng, enginetest.GenFull)
+	for trial := 0; trial < 300; trial++ {
+		e := PushNegation(parser.MustParse(gen.Query()))
+		ast.Walk(e, func(x ast.Expr) bool {
+			if c, ok := x.(*ast.Call); ok && c.Name == "not" {
+				switch c.Args[0].(type) {
+				case *ast.Path, *ast.LabelTest:
+				case *ast.Binary:
+					b := c.Args[0].(*ast.Binary)
+					if b.Op != ast.OpUnion && !b.Op.IsRelational() && !b.Op.IsArithmetic() {
+						t.Fatalf("not() over %v survives in %s", b.Op, e)
+					}
+				case *ast.Call:
+					inner := c.Args[0].(*ast.Call)
+					if inner.Name == "not" || inner.Name == "boolean" {
+						t.Fatalf("not(%s(...)) survives in %s", inner.Name, e)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// PushNegation preserves semantics on random full queries across random
+// documents.
+func TestPushNegationPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	gen := enginetest.NewQueryGen(rng, enginetest.GenFull)
+	for trial := 0; trial < 400; trial++ {
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 18, MaxFanout: 3, Tags: []string{"a", "b", "c"}, TextProb: 0.2,
+		})
+		q := gen.Query()
+		orig := parser.MustParse(q)
+		rewritten := PushNegation(orig)
+		ctx := evalctx.Root(doc)
+		want, err1 := cvt.Evaluate(orig, ctx, nil)
+		got, err2 := cvt.Evaluate(rewritten, ctx, nil)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error divergence on %q: %v vs %v", q, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !value.Equal(want, got) {
+			t.Fatalf("semantics changed on %q:\n orig:      %v\n rewritten: %v (%s)",
+				q, want, got, rewritten)
+		}
+	}
+}
+
+func TestFoldIteratedPredicates(t *testing.T) {
+	cases := []struct {
+		in, want string
+		changed  bool
+	}{
+		{"a[b][c]", "child::a[child::b and child::c]", true},
+		{"a[b][c][d]", "child::a[(child::b and child::c) and child::d]", true},
+		{"a[b]", "child::a[child::b]", false},
+		// Positional predicates must not be folded.
+		{"a[b][1]", "child::a[child::b][1]", false},
+		{"a[position() = 1][b]", "child::a[position() = 1][child::b]", false},
+		{"a[b][last()]", "child::a[child::b][last()]", false},
+		// Nested folding.
+		{"a[b[c][d]]", "child::a[child::b[child::c and child::d]]", true},
+	}
+	for _, tc := range cases {
+		got, changed := FoldIteratedPredicates(parser.MustParse(tc.in))
+		if got.String() != tc.want || changed != tc.changed {
+			t.Errorf("Fold(%q) = %q (changed=%v), want %q (changed=%v)",
+				tc.in, got.String(), changed, tc.want, tc.changed)
+		}
+	}
+}
+
+func TestFoldPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	gen := enginetest.NewQueryGen(rng, enginetest.GenFull)
+	checked := 0
+	for trial := 0; trial < 600 && checked < 150; trial++ {
+		q := gen.Query()
+		orig := parser.MustParse(q)
+		rewritten, changed := FoldIteratedPredicates(orig)
+		if !changed {
+			continue
+		}
+		checked++
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 18, MaxFanout: 3, Tags: []string{"a", "b", "c"},
+		})
+		ctx := evalctx.Root(doc)
+		want, err1 := cvt.Evaluate(orig, ctx, nil)
+		got, err2 := cvt.Evaluate(rewritten, ctx, nil)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors on %q: %v / %v", q, err1, err2)
+		}
+		if !value.Equal(want, got) {
+			t.Fatalf("fold changed semantics on %q → %s", q, rewritten)
+		}
+	}
+	if checked < 30 {
+		t.Fatalf("only %d foldable queries generated", checked)
+	}
+}
+
+func TestEliminateDoubleNegation(t *testing.T) {
+	got, changed := EliminateDoubleNegation(parser.MustParse("a[not(not(b))]"))
+	if !changed || got.String() != "child::a[boolean(child::b)]" {
+		t.Fatalf("got %q (changed=%v)", got.String(), changed)
+	}
+	got, changed = EliminateDoubleNegation(parser.MustParse("a[not(b)]"))
+	if changed || got.String() != "child::a[not(child::b)]" {
+		t.Fatalf("got %q (changed=%v)", got.String(), changed)
+	}
+	// Quadruple negation collapses fully.
+	got, _ = EliminateDoubleNegation(parser.MustParse("not(not(not(not(a))))"))
+	if ast.NegationDepth(got) != 0 {
+		t.Fatalf("residual negation in %q", got.String())
+	}
+}
+
+// The practical payoff: folding moves harmless iterated-predicate queries
+// into the fragment the nauxpda engine accepts (Remark 5.2).
+func TestFoldEnablesNAuxPDA(t *testing.T) {
+	orig := parser.MustParse("//a[b][c]")
+	folded, changed := FoldIteratedPredicates(orig)
+	if !changed {
+		t.Fatal("expected folding")
+	}
+	if ast.MaxPredicateSeq(orig) != 2 || ast.MaxPredicateSeq(folded) != 1 {
+		t.Fatalf("predicate seqs: %d → %d", ast.MaxPredicateSeq(orig), ast.MaxPredicateSeq(folded))
+	}
+}

@@ -1,0 +1,108 @@
+// Package token defines the lexical tokens of XPath 1.0 as used by the
+// lexer and parser. The token set covers the full grammar of the paper's
+// largest fragment (pXPath) plus everything pXPath explicitly excludes
+// (not(), count(), string functions, ...), which the engine must support so
+// that the exclusions of Definitions 5.1 and 6.1 are meaningful.
+package token
+
+import "fmt"
+
+// Kind enumerates the token kinds.
+type Kind int
+
+// Token kinds. Operator-name tokens (And, Or, Mod, Div) and the distinction
+// between Star (wildcard) and Multiply follow the disambiguation rules of
+// XPath 1.0 §3.7, applied by the lexer.
+const (
+	EOF Kind = iota
+	Slash
+	DoubleSlash
+	LBracket
+	RBracket
+	LParen
+	RParen
+	Dot
+	DotDot
+	At
+	Comma
+	Pipe
+	Plus
+	Minus
+	Multiply
+	Eq
+	Neq
+	Lt
+	Le
+	Gt
+	Ge
+	And
+	Or
+	Mod
+	Div
+	Star     // the wildcard node test '*'
+	Name     // an NCName used as a node test or label
+	AxisName // an NCName immediately followed by '::'
+	FuncName // an NCName immediately followed by '(' that is not a node type
+	NodeType // 'comment' | 'text' | 'processing-instruction' | 'node' before '('
+	Number
+	Literal // quoted string
+	Dollar  // '$' (recognized so the parser can reject variables clearly)
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of query", Slash: "'/'", DoubleSlash: "'//'",
+	LBracket: "'['", RBracket: "']'", LParen: "'('", RParen: "')'",
+	Dot: "'.'", DotDot: "'..'", At: "'@'", Comma: "','", Pipe: "'|'",
+	Plus: "'+'", Minus: "'-'", Multiply: "'*' (multiply)",
+	Eq: "'='", Neq: "'!='", Lt: "'<'", Le: "'<='", Gt: "'>'", Ge: "'>='",
+	And: "'and'", Or: "'or'", Mod: "'mod'", Div: "'div'",
+	Star: "'*'", Name: "name", AxisName: "axis name", FuncName: "function name",
+	NodeType: "node type", Number: "number", Literal: "string literal",
+	Dollar: "'$'",
+}
+
+// String returns a human-readable description of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	// Text is the raw lexeme for names, literals and numbers.
+	Text string
+	// Num is the parsed numeric value for Number tokens.
+	Num float64
+	// Pos is the byte offset of the token in the query string.
+	Pos int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case Name, AxisName, FuncName, NodeType:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	case Number:
+		return fmt.Sprintf("number %s", t.Text)
+	case Literal:
+		return fmt.Sprintf("literal %q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsOperator reports whether the token acts as a binary operator for the
+// purposes of the §3.7 disambiguation rule (a '*' or NCName following an
+// operator is a wildcard / plain name, not an operator).
+func (t Token) IsOperator() bool {
+	switch t.Kind {
+	case And, Or, Mod, Div, Multiply, Slash, DoubleSlash, Pipe,
+		Plus, Minus, Eq, Neq, Lt, Le, Gt, Ge:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,53 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := EOF; k <= Dollar; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if !strings.HasPrefix(Kind(999).String(), "kind(") {
+		t.Error("unknown kind should render as kind(n)")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: Name, Text: "foo"}, `name "foo"`},
+		{Token{Kind: AxisName, Text: "child"}, `axis name "child"`},
+		{Token{Kind: Number, Text: "3.5", Num: 3.5}, "number 3.5"},
+		{Token{Kind: Literal, Text: "s"}, `literal "s"`},
+		{Token{Kind: Slash}, "'/'"},
+		{Token{Kind: And}, "'and'"},
+	}
+	for _, tc := range cases {
+		if got := tc.tok.String(); got != tc.want {
+			t.Errorf("Token.String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestIsOperator(t *testing.T) {
+	ops := []Kind{And, Or, Mod, Div, Multiply, Slash, DoubleSlash, Pipe,
+		Plus, Minus, Eq, Neq, Lt, Le, Gt, Ge}
+	for _, k := range ops {
+		if !(Token{Kind: k}).IsOperator() {
+			t.Errorf("%v should be an operator", k)
+		}
+	}
+	nonOps := []Kind{Name, Star, Number, Literal, LParen, RParen, LBracket,
+		RBracket, At, Dot, DotDot, AxisName, FuncName, NodeType, Comma, EOF}
+	for _, k := range nonOps {
+		if (Token{Kind: k}).IsOperator() {
+			t.Errorf("%v should not be an operator", k)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package xpathcomplexity is a complete implementation of the algorithms
+// and reductions of "The Complexity of XPath Query Evaluation" (Gottlob,
+// Koch, Pichler; PODS 2003).
+//
+// It provides an XPath 1.0 engine with five interchangeable evaluation
+// strategies — one per complexity result of the paper:
+//
+//   - EngineNaive: the historical exponential-time evaluator (the
+//     behaviour the paper attributes to pre-2003 engines);
+//   - EngineCVT: the polynomial context-value-table evaluator
+//     (Proposition 2.7);
+//   - EngineCoreLinear: the O(|D|·|Q|) Core XPath evaluator;
+//   - EngineNAuxPDA: the LOGCFL Singleton-Success decision procedure for
+//     pWF/pXPath (Lemma 5.4, Theorems 5.5/6.2), with bounded negation
+//     (Theorems 5.9/6.3);
+//   - EngineParallel: the NC-style parallel evaluator (Remark 5.6).
+//
+// Compile classifies every query into the fragment lattice of Figure 1
+// (PF, positive Core XPath, Core XPath, pWF, WF, pXPath, XPath) and
+// EngineAuto picks the cheapest engine for the query's fragment.
+//
+// The paper's hardness reductions (circuit value → Core XPath, SAC¹ →
+// positive Core XPath, graph reachability → PF, circuit value → pWF with
+// iterated predicates) live in internal/reduction and are exercised by the
+// cmd/ tools and the benchmark suite.
+package xpathcomplexity
+
+import (
+	"fmt"
+	"io"
+
+	"xpathcomplexity/internal/eval/corelinear"
+	"xpathcomplexity/internal/eval/cvt"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/eval/naive"
+	"xpathcomplexity/internal/eval/nauxpda"
+	"xpathcomplexity/internal/eval/parallel"
+	"xpathcomplexity/internal/fragment"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/parser"
+	"xpathcomplexity/internal/xpath/rewrite"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Document is a parsed XML document.
+	Document = xmltree.Document
+	// Node is a document node.
+	Node = xmltree.Node
+	// Value is an XPath 1.0 value: NodeSet, Boolean, Number or String.
+	Value = value.Value
+	// NodeSet is a document-ordered set of nodes.
+	NodeSet = value.NodeSet
+	// Boolean is an XPath boolean value.
+	Boolean = value.Boolean
+	// Number is an XPath number value.
+	Number = value.Number
+	// String is an XPath string value.
+	String = value.String
+	// Context is the XPath evaluation context (node, position, size).
+	Context = evalctx.Context
+	// Counter counts evaluator operations (see EvalOptions).
+	Counter = evalctx.Counter
+	// Fragment is a Figure 1 language fragment.
+	Fragment = fragment.Fragment
+	// Classification is the result of fragment analysis.
+	Classification = fragment.Classification
+)
+
+// Fragment constants, re-exported from the classifier.
+const (
+	PF           = fragment.PF
+	PositiveCore = fragment.PositiveCore
+	PWF          = fragment.PWF
+	Core         = fragment.Core
+	WF           = fragment.WF
+	PXPath       = fragment.PXPath
+	FullXPath    = fragment.XPath
+)
+
+// ParseDocument reads an XML document.
+func ParseDocument(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
+
+// ParseDocumentString parses an XML document from a string.
+func ParseDocumentString(s string) (*Document, error) { return xmltree.ParseString(s) }
+
+// Engine selects an evaluation strategy.
+type Engine int
+
+// The available engines.
+const (
+	// EngineAuto selects the cheapest engine for the query's fragment:
+	// the linear-time engine for Core XPath and below, the context-value-
+	// table engine otherwise.
+	EngineAuto Engine = iota
+	// EngineNaive is the exponential baseline.
+	EngineNaive
+	// EngineCVT is the polynomial dynamic-programming evaluator.
+	EngineCVT
+	// EngineCoreLinear is the O(|D|·|Q|) Core XPath evaluator.
+	EngineCoreLinear
+	// EngineNAuxPDA is the LOGCFL certificate-checking evaluator.
+	EngineNAuxPDA
+	// EngineParallel is the multi-goroutine Core XPath evaluator.
+	EngineParallel
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineNaive:
+		return "naive"
+	case EngineCVT:
+		return "cvt"
+	case EngineCoreLinear:
+		return "corelinear"
+	case EngineNAuxPDA:
+		return "nauxpda"
+	case EngineParallel:
+		return "parallel"
+	default:
+		return "unknown"
+	}
+}
+
+// EngineByName maps engine names (as printed by String) to Engines.
+var EngineByName = map[string]Engine{
+	"auto": EngineAuto, "naive": EngineNaive, "cvt": EngineCVT,
+	"corelinear": EngineCoreLinear, "nauxpda": EngineNAuxPDA,
+	"parallel": EngineParallel,
+}
+
+// Query is a compiled, classified XPath query.
+type Query struct {
+	// Source is the original query text.
+	Source string
+	// Expr is the parsed syntax tree.
+	Expr ast.Expr
+	// Class is the Figure 1 classification.
+	Class Classification
+}
+
+// Compile parses and classifies a query.
+func Compile(query string) (*Query, error) {
+	expr, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Source: query, Expr: expr, Class: fragment.Classify(expr)}, nil
+}
+
+// MustCompile is Compile, panicking on error.
+func MustCompile(query string) *Query {
+	q, err := Compile(query)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Fragment returns the smallest Figure 1 fragment containing the query.
+func (q *Query) Fragment() Fragment { return q.Class.Minimal }
+
+// ComplexityClass returns the combined complexity of the query's
+// fragment, per Figure 1.
+func (q *Query) ComplexityClass() string { return q.Class.Minimal.ComplexityClass() }
+
+// EvalOptions tune evaluation.
+type EvalOptions struct {
+	// Engine selects the strategy; EngineAuto picks by fragment.
+	Engine Engine
+	// Counter, when non-nil, accumulates elementary operation counts and
+	// can enforce a budget.
+	Counter *Counter
+	// NegationBound is the bounded-negation depth for EngineNAuxPDA
+	// (Theorem 5.9); 0 accepts only negation-free pXPath.
+	NegationBound int
+	// Workers bounds EngineParallel's goroutines (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Eval evaluates the query in the given context with default options.
+func (q *Query) Eval(ctx Context) (Value, error) {
+	return q.EvalOptions(ctx, EvalOptions{})
+}
+
+// EvalRoot evaluates the query from the document root.
+func (q *Query) EvalRoot(d *Document) (Value, error) {
+	return q.EvalOptions(evalctx.Root(d), EvalOptions{})
+}
+
+// EvalOptions evaluates the query with explicit options.
+func (q *Query) EvalOptions(ctx Context, opts EvalOptions) (Value, error) {
+	engine := opts.Engine
+	if engine == EngineAuto {
+		if q.Class.RecommendEngine() == fragment.EngineCoreLinear {
+			engine = EngineCoreLinear
+		} else {
+			engine = EngineCVT
+		}
+	}
+	switch engine {
+	case EngineNaive:
+		return naive.Evaluate(q.Expr, ctx, opts.Counter)
+	case EngineCVT:
+		return cvt.Evaluate(q.Expr, ctx, opts.Counter)
+	case EngineCoreLinear:
+		return corelinear.Evaluate(q.Expr, ctx, opts.Counter)
+	case EngineNAuxPDA:
+		return nauxpda.Evaluate(q.Expr, ctx, nauxpda.Options{
+			Limits:  nauxpda.Limits{NegationDepth: opts.NegationBound},
+			Counter: opts.Counter,
+		})
+	case EngineParallel:
+		return parallel.Evaluate(q.Expr, ctx, parallel.Options{
+			Workers: opts.Workers,
+			Counter: opts.Counter,
+		})
+	default:
+		return nil, fmt.Errorf("xpathcomplexity: unknown engine %d", int(engine))
+	}
+}
+
+// Select evaluates a node-set query from the document root.
+func (q *Query) Select(d *Document) (NodeSet, error) {
+	v, err := q.EvalRoot(d)
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := v.(NodeSet)
+	if !ok {
+		return nil, fmt.Errorf("xpathcomplexity: query %q returned %s, not a node-set", q.Source, v.Kind())
+	}
+	return ns, nil
+}
+
+// Matches decides whether node n is in the query's result when evaluated
+// from the document root — the Singleton-Success problem (Definition 5.3).
+// For pWF/pXPath queries this uses the LOGCFL decision procedure, which
+// never materializes node sets; queries that only miss the fragment by a
+// position-free iterated predicate are first folded per Remark 5.2
+// (χ::t[e1][e2] ≡ χ::t[e1 and e2]); other fragments fall back to
+// evaluation.
+func (q *Query) Matches(n *Node) (bool, error) {
+	expr := q.Expr
+	cls := q.Class
+	if cls.RecommendDecisionEngine() != fragment.EngineNAuxPDA {
+		if folded, changed := rewrite.FoldIteratedPredicates(expr); changed {
+			if c2 := fragment.Classify(folded); c2.RecommendDecisionEngine() == fragment.EngineNAuxPDA {
+				expr, cls = folded, c2
+			}
+		}
+	}
+	if cls.RecommendDecisionEngine() == fragment.EngineNAuxPDA {
+		return nauxpda.SingletonSuccess(expr, evalctx.Root(n.Document()),
+			value.NewNodeSet(n), nauxpda.Options{NormalizeNegation: true})
+	}
+	ns, err := q.Select(n.Document())
+	if err != nil {
+		return false, err
+	}
+	return ns.Contains(n), nil
+}
+
+// Why renders the accepting certificate for node n's membership in the
+// query result — the instantiated Table 1 derivation whose polynomial
+// size is the substance of the LOGCFL upper bound — or an explanation
+// that no certificate exists. Available for queries in the pWF/pXPath
+// fragment (after the Remark 5.2 fold), which is where the certificate
+// semantics is defined.
+func (q *Query) Why(n *Node) (string, error) {
+	expr := q.Expr
+	if folded, changed := rewrite.FoldIteratedPredicates(expr); changed {
+		expr = folded
+	}
+	return nauxpda.WhyMember(expr, evalctx.Root(n.Document()), n,
+		nauxpda.Options{NormalizeNegation: true, Limits: nauxpda.Limits{NegationDepth: 1}})
+}
+
+// ResultEquals decides the classical Success problem the paper defines
+// alongside Singleton-Success (Definition 5.3): "given a database, a
+// query, and a query result, to decide whether the given query result is
+// correct". The query is evaluated with the auto-selected engine and the
+// result compared for deep equality (node-sets element-wise in document
+// order; NaN equals NaN).
+func (q *Query) ResultEquals(ctx Context, want Value) (bool, error) {
+	got, err := q.Eval(ctx)
+	if err != nil {
+		return false, err
+	}
+	return value.Equal(got, want), nil
+}
+
+// RootContext returns the canonical evaluation context of a document.
+func RootContext(d *Document) Context { return evalctx.Root(d) }
+
+// At returns an evaluation context focused on a node.
+func At(n *Node) Context { return evalctx.At(n) }

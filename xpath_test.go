@@ -1,0 +1,227 @@
+package xpathcomplexity
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDoc = `<library>` +
+	`<book year="1994"><title>Dune</title><price>12</price></book>` +
+	`<book year="2001"><title>Ptolemy</title><price>30</price></book>` +
+	`</library>`
+
+func TestCompileAndClassify(t *testing.T) {
+	cases := []struct {
+		q     string
+		frag  Fragment
+		class string
+	}{
+		{"/library/book", PF, "NL-complete"},
+		{"//book[title]", PositiveCore, "LOGCFL-complete"},
+		{"//book[not(title)]", Core, "P-complete"},
+		{"//book[position() = 2]", PWF, "LOGCFL-complete"},
+		{"//book[title = 'Dune']", PXPath, "LOGCFL-complete"},
+		{"count(//book)", FullXPath, "P-complete"},
+	}
+	for _, tc := range cases {
+		q, err := Compile(tc.q)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", tc.q, err)
+		}
+		if q.Fragment() != tc.frag {
+			t.Errorf("Fragment(%q) = %v, want %v", tc.q, q.Fragment(), tc.frag)
+		}
+		if q.ComplexityClass() != tc.class {
+			t.Errorf("ComplexityClass(%q) = %q, want %q", tc.q, q.ComplexityClass(), tc.class)
+		}
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := Compile("//a["); err == nil {
+		t.Fatal("bad query compiled")
+	}
+	if _, err := Compile("$var"); err == nil || !strings.Contains(err.Error(), "variable") {
+		t.Fatalf("variable error missing: %v", err)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	d, err := ParseDocumentString(sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := MustCompile("//book[price > 20]/title").Select(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 1 || ns[0].StringValue() != "Ptolemy" {
+		t.Fatalf("Select = %v", ns)
+	}
+}
+
+func TestAllEnginesAgree(t *testing.T) {
+	d, err := ParseDocumentString(sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreQ := MustCompile("//book[title and not(note)]")
+	engines := []Engine{EngineAuto, EngineNaive, EngineCVT, EngineCoreLinear, EngineParallel}
+	for _, e := range engines {
+		v, err := coreQ.EvalOptions(RootContext(d), EvalOptions{Engine: e, NegationBound: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if len(v.(NodeSet)) != 2 {
+			t.Fatalf("%v: got %v", e, v)
+		}
+	}
+	// nauxpda on a pWF query.
+	pwfQ := MustCompile("//book[position() = last()]")
+	for _, e := range []Engine{EngineNaive, EngineCVT, EngineNAuxPDA} {
+		v, err := pwfQ.EvalOptions(RootContext(d), EvalOptions{Engine: e})
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		ns := v.(NodeSet)
+		if len(ns) != 1 {
+			t.Fatalf("%v: got %v", e, ns)
+		}
+		if y, _ := ns[0].Attr("year"); y != "2001" {
+			t.Fatalf("%v: wrong book %v", e, y)
+		}
+	}
+}
+
+func TestMatches(t *testing.T) {
+	d, err := ParseDocumentString(sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	books := d.FindAll(func(n *Node) bool { return n.Name == "book" })
+	q := MustCompile("//book[position() = 2]") // pWF: decision via nauxpda
+	if got, err := q.Matches(books[1]); err != nil || !got {
+		t.Fatalf("Matches(book2) = %v, %v", got, err)
+	}
+	if got, err := q.Matches(books[0]); err != nil || got {
+		t.Fatalf("Matches(book1) = %v, %v", got, err)
+	}
+	// Core query decision path.
+	qc := MustCompile("//book[not(title)]")
+	if got, err := qc.Matches(books[0]); err != nil || got {
+		t.Fatalf("core Matches = %v, %v", got, err)
+	}
+}
+
+func TestAutoEngineSelection(t *testing.T) {
+	d, _ := ParseDocumentString(sampleDoc)
+	// A Core XPath query through auto must succeed (corelinear path).
+	if _, err := MustCompile("//book[not(title)]").EvalRoot(d); err != nil {
+		t.Fatal(err)
+	}
+	// A full-XPath query through auto must succeed (cvt path).
+	v, err := MustCompile("sum(//price)").EvalRoot(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Number(42) {
+		t.Fatalf("sum = %v", v)
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	for name, e := range EngineByName {
+		if e.String() != name {
+			t.Errorf("EngineByName[%q].String() = %q", name, e.String())
+		}
+	}
+}
+
+func TestSelectTypeError(t *testing.T) {
+	d, _ := ParseDocumentString(sampleDoc)
+	if _, err := MustCompile("count(//book)").Select(d); err == nil {
+		t.Fatal("Select of a number query should error")
+	}
+}
+
+// Matches folds harmless iterated predicates (Remark 5.2) so that queries
+// like //book[title][price] still take the LOGCFL decision path.
+func TestMatchesFoldsIteratedPredicates(t *testing.T) {
+	d, err := ParseDocumentString(sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	books := d.FindAll(func(n *Node) bool { return n.Name == "book" })
+	q := MustCompile("//book[title][price]")
+	if q.Fragment() == PWF {
+		t.Fatal("test premise: raw query should not be pWF-minimal") // it is positive core
+	}
+	for _, b := range books {
+		got, err := q.Matches(b)
+		if err != nil {
+			t.Fatalf("Matches: %v", err)
+		}
+		if !got {
+			t.Fatalf("book %v should match", b.Ord)
+		}
+	}
+	// Double negation normalizes away inside Matches.
+	q2 := MustCompile("//book[not(not(title))]")
+	got, err := q2.Matches(books[0])
+	if err != nil || !got {
+		t.Fatalf("Matches(not(not)) = %v, %v", got, err)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	cases := []struct {
+		q       string
+		substrs []string
+	}{
+		{"/a/b", []string{"PF", "NL-complete", "inside NC²", "stream:", "corelinear"}},
+		{"//a[not(b)]", []string{"Core XPath", "P-complete", "negation (depth 1)"}},
+		{"//a[b][c]", []string{"fold into conjunctions"}},
+		{"//a[not(not(b))]", []string{"de Morgan push-down shrinks negation depth 2 → 0"}},
+		{"//a[position() = 1]", []string{"pWF", "position()/last()", "nauxpda"}},
+		{"count(//a[b = true()])", []string{"pXPath-excluded functions: count", "relational operator on booleans"}},
+	}
+	for _, tc := range cases {
+		got := MustCompile(tc.q).Explain()
+		for _, want := range tc.substrs {
+			if !strings.Contains(got, want) {
+				t.Errorf("Explain(%q) missing %q:\n%s", tc.q, want, got)
+			}
+		}
+	}
+	// Non-streamable queries must not claim streaming eligibility.
+	if strings.Contains(MustCompile("//a[b]").Explain(), "stream:") {
+		t.Error("predicated query claimed streaming eligibility")
+	}
+}
+
+func TestWhy(t *testing.T) {
+	d, err := ParseDocumentString(sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	books := d.FindAll(func(n *Node) bool { return n.Name == "book" })
+	q := MustCompile("//book[title and position() = 2]")
+	why, err := q.Why(books[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(why, "IS selected") || !strings.Contains(why, "Table 1 rows") {
+		t.Errorf("Why positive wrong:\n%s", why)
+	}
+	why, err = q.Why(books[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(why, "NOT selected") {
+		t.Errorf("Why negative wrong:\n%s", why)
+	}
+	// Out-of-fragment queries report a clear error.
+	if _, err := MustCompile("//book[count(title) = 1]").Why(books[0]); err == nil {
+		t.Error("count() query should not produce a certificate")
+	}
+}
