@@ -1,8 +1,12 @@
 # Standard targets; no dependencies beyond the Go toolchain.
 
-.PHONY: all build vet test race fuzz bench experiments examples clean
+.PHONY: all build vet test race test-race fuzz fuzz-short bench experiments examples check clean
 
 all: build vet test
+
+# Everything a PR should pass: build, vet, tests, the full race suite
+# and a short fuzz session per target.
+check: all test-race fuzz-short
 
 build:
 	go build ./...
@@ -16,11 +20,23 @@ test:
 race:
 	go test -race ./internal/eval/parallel/ -run . && go test -race -run TestIntegrationConcurrent .
 
+# The full test suite under the race detector (EvalBatch, concurrent
+# index builds, plan-cache contention).
+test-race:
+	go test -race ./...
+
 # Short fuzz sessions over the two parsers (regression seeds always run
 # as part of 'test').
 fuzz:
 	go test -fuzz=FuzzParse -fuzztime=30s ./internal/xpath/parser/
 	go test -fuzz=FuzzParse -fuzztime=30s ./internal/xmltree/
+
+# 30s per fuzz target: both parsers plus the cross-engine differential
+# suite (five engines, warm-vs-cold byte equality).
+fuzz-short:
+	go test -fuzz=FuzzParse -fuzztime=30s ./internal/xpath/parser/
+	go test -fuzz=FuzzParse -fuzztime=30s ./internal/xmltree/
+	go test -fuzz=FuzzDifferentialEngines -fuzztime=30s .
 
 bench:
 	go test -bench=. -benchmem ./...

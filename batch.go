@@ -1,0 +1,70 @@
+package xpathcomplexity
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchResult is the outcome of one query of an EvalBatch call.
+type BatchResult struct {
+	// Query is the query text, as passed to EvalBatch.
+	Query string
+	// Value is the evaluation result; nil when Err is set.
+	Value Value
+	// Err is the compile or evaluation error for this query, if any.
+	Err error
+}
+
+// EvalBatch evaluates independent queries against one document from its
+// root context, sharing a single document index and the default plan
+// cache across all of them. Queries are distributed over
+// min(opts.Workers, len(queries)) goroutines (GOMAXPROCS when
+// opts.Workers is 0); results are returned in input order, with per-
+// query errors carried in the corresponding BatchResult rather than
+// aborting the batch. Documents are immutable and the engines are
+// stateless, so the only shared mutable state is the index build and the
+// plan cache, both of which are concurrency-safe.
+func EvalBatch(d *Document, queries []string, opts EvalOptions) []BatchResult {
+	results := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return results
+	}
+	if !opts.DisableIndex {
+		// Build the shared index up front so the workers never race to
+		// duplicate the O(|D|) build work (the build itself is safe
+		// either way).
+		d.Index()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	ctx := RootContext(d)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r := &results[i]
+				r.Query = queries[i]
+				c, err := Prepare(queries[i])
+				if err != nil {
+					r.Err = err
+					continue
+				}
+				r.Value, r.Err = c.EvalOptions(ctx, opts)
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,245 @@
+package xpathcomplexity
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+)
+
+var batchQueries = []string{
+	"//a",
+	"//b/c",
+	"/descendant::a/child::b",
+	"//a[b]",
+	"//a[not(b)]/following-sibling::c",
+	"count(//a)",
+	"//c[position() = 1]",
+	"string(//b)",
+	"//a/ancestor::b",
+	"//*[@id]",
+	"//a | //b",
+	"//a[b and c]",
+}
+
+func batchDoc(t testing.TB, seed int64, nodes int) *Document {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return xmltree.RandomDocument(rng, xmltree.GenConfig{
+		Nodes: nodes, MaxFanout: 4, Tags: []string{"a", "b", "c"},
+		TextProb: 0.2, AttrProb: 0.2,
+	})
+}
+
+// EvalBatch must agree with evaluating each query sequentially through
+// the plain Query API, including error positions, regardless of worker
+// count. Run with -race this also exercises the shared index and plan
+// cache under concurrency.
+func TestEvalBatchMatchesSequential(t *testing.T) {
+	d := batchDoc(t, 1, 400)
+	queries := append([]string{}, batchQueries...)
+	queries = append(queries, "//a[", "///") // compile errors stay in place
+	var want []BatchResult
+	for _, qs := range queries {
+		r := BatchResult{Query: qs}
+		q, err := Compile(qs)
+		if err != nil {
+			r.Err = err
+		} else {
+			r.Value, r.Err = q.EvalRoot(d)
+		}
+		want = append(want, r)
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		got := EvalBatch(d, queries, EvalOptions{Workers: workers})
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Query != queries[i] {
+				t.Fatalf("workers=%d: result %d is for %q, want %q", workers, i, got[i].Query, queries[i])
+			}
+			if (got[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("workers=%d: query %q err = %v, want %v", workers, queries[i], got[i].Err, want[i].Err)
+			}
+			if got[i].Err != nil {
+				continue
+			}
+			if !value.Equal(got[i].Value, want[i].Value) {
+				t.Fatalf("workers=%d: query %q: batch %s, sequential %s",
+					workers, queries[i], got[i].Value, want[i].Value)
+			}
+		}
+	}
+}
+
+// Many concurrent EvalBatch calls against distinct cold documents race
+// on first index builds and on the default plan cache; under -race this
+// checks both are safe, and the results must still be right.
+func TestEvalBatchConcurrentDocuments(t *testing.T) {
+	const docs = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, docs)
+	for i := 0; i < docs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d := batchDoc(t, int64(100+i), 200)
+			got := EvalBatch(d, batchQueries, EvalOptions{Workers: 4})
+			for j, r := range got {
+				if r.Err != nil {
+					errs <- fmt.Errorf("doc %d query %q: %v", i, batchQueries[j], r.Err)
+					return
+				}
+				q := MustCompile(batchQueries[j])
+				want, err := q.EvalOptions(RootContext(d), EvalOptions{DisableIndex: true})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !value.Equal(r.Value, want) {
+					errs <- fmt.Errorf("doc %d query %q: indexed batch %s, cold %s",
+						i, batchQueries[j], r.Value, want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// Prepare must return the identical *Compiled for repeated calls (the
+// whole point of the plan cache), and the cached plan must evaluate like
+// a fresh compile.
+func TestPrepareCachesPlans(t *testing.T) {
+	c1 := MustPrepare("//a[b][c]")
+	c2 := MustPrepare("//a[b][c]")
+	if c1 != c2 {
+		t.Fatal("Prepare returned distinct plans for the same query text")
+	}
+	d := batchDoc(t, 2, 150)
+	got, err := c1.EvalRoot(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MustCompile("//a[b][c]").EvalRoot(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got, want) {
+		t.Fatalf("prepared plan: %s, fresh compile: %s", got, want)
+	}
+	if _, err := Prepare("//a["); err == nil {
+		t.Fatal("Prepare accepted a syntax error")
+	}
+}
+
+// The Remark 5.2 fold moves //a[b][c] into Core XPath, so a prepared
+// plan binds the linear engine even though the unrewritten query would
+// not; the explicit-engine escape hatch keeps evaluating the original.
+func TestPrepareBindsFoldedPlan(t *testing.T) {
+	c := MustPrepare("//a[b][c]")
+	if c.Bound != EngineCoreLinear {
+		t.Fatalf("//a[b][c] bound %v, want corelinear via predicate fold", c.Bound)
+	}
+	d := batchDoc(t, 3, 150)
+	auto, err := c.EvalRoot(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := c.EvalOptions(RootContext(d), EvalOptions{Engine: EngineNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(auto, explicit) {
+		t.Fatalf("folded plan: %s, naive on original: %s", auto, explicit)
+	}
+}
+
+// A PlanCache stays within its capacity under arbitrary insertions and
+// evicts least-recently-used first.
+func TestPlanCacheBoundedLRU(t *testing.T) {
+	pc := NewPlanCache(8)
+	for i := 0; i < 50; i++ {
+		if _, err := pc.Prepare(fmt.Sprintf("//a[%d]", i)); err != nil {
+			t.Fatal(err)
+		}
+		if pc.Len() > 8 {
+			t.Fatalf("cache grew to %d entries (capacity 8)", pc.Len())
+		}
+	}
+	if pc.Len() != 8 {
+		t.Fatalf("cache holds %d entries after 50 inserts, want 8", pc.Len())
+	}
+	// The most recent 8 are resident: preparing them again is all hits.
+	h0, m0 := pc.Stats()
+	for i := 42; i < 50; i++ {
+		if _, err := pc.Prepare(fmt.Sprintf("//a[%d]", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1, m1 := pc.Stats()
+	if h1-h0 != 8 || m1 != m0 {
+		t.Fatalf("resident set: %d hits %d misses, want 8 hits 0 misses", h1-h0, m1-m0)
+	}
+	// Touch the LRU entry, insert one more, and the touched entry survives.
+	pc.Prepare("//a[42]")
+	pc.Prepare("//b")
+	h2, _ := pc.Stats()
+	pc.Prepare("//a[42]")
+	h3, _ := pc.Stats()
+	if h3-h2 != 1 {
+		t.Fatal("recently touched entry was evicted")
+	}
+	// //a[43] became LRU and must be gone.
+	_, m3 := pc.Stats()
+	pc.Prepare("//a[43]")
+	if _, m4 := pc.Stats(); m4 != m3+1 {
+		t.Fatal("LRU entry was not evicted")
+	}
+}
+
+// Hammer one PlanCache from many goroutines over a working set larger
+// than its capacity; with -race this checks lock coverage, and the
+// cache must never exceed capacity nor serve a wrong plan.
+func TestPlanCacheConcurrent(t *testing.T) {
+	pc := NewPlanCache(16)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 300; i++ {
+				tag := string(rune('a' + rng.Intn(26)))
+				qs := "//" + tag
+				c, err := pc.Prepare(qs)
+				if err != nil {
+					t.Errorf("Prepare(%q): %v", qs, err)
+					return
+				}
+				if c.Source != qs || !strings.Contains(c.Source, tag) {
+					t.Errorf("Prepare(%q) returned plan for %q", qs, c.Source)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if pc.Len() > 16 {
+		t.Fatalf("cache holds %d entries (capacity 16)", pc.Len())
+	}
+	hits, misses := pc.Stats()
+	if hits+misses < goroutines*300 {
+		t.Fatalf("stats lost lookups: %d hits + %d misses < %d", hits, misses, goroutines*300)
+	}
+}

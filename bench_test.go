@@ -592,3 +592,108 @@ func BenchmarkStreaming(b *testing.B) {
 		}
 	})
 }
+
+// --- Performance layer: plan cache + document index ------------------------
+
+// prepBenchDoc is the shared ~4k-node document of the warm-vs-cold
+// benchmarks.
+func prepBenchDoc() *xmltree.Document {
+	rng := rand.New(rand.NewSource(7))
+	return xmltree.RandomDocument(rng, xmltree.GenConfig{
+		Nodes: 4000, MaxFanout: 4, Tags: []string{"a", "b", "c", "d"},
+		TextProb: 0.2, AttrProb: 0.2,
+	})
+}
+
+// prepWorkloads are the repeated-query workloads of the README's
+// Performance section, one pair per engine the index accelerates.
+var prepWorkloads = []struct {
+	name   string
+	query  string
+	engine Engine
+}{
+	{"cvt/descendant-chain", "//a//b//c", EngineCVT},
+	{"cvt/pred", "//a[b]/c", EngineCVT},
+	{"corelinear/path", "/descendant::a/child::b/descendant::c", EngineCoreLinear},
+	{"corelinear/pred", "//a[b and not(c)]", EngineCoreLinear},
+}
+
+// BenchmarkRepeatedQuery measures one query evaluated over and over
+// against one document — cold re-compiles every time and evaluates with
+// the index disabled (the seed behaviour), warm hits the plan cache and
+// the shared document index.
+func BenchmarkRepeatedQuery(b *testing.B) {
+	d := prepBenchDoc()
+	ctx := evalctx.Root(d)
+	for _, w := range prepWorkloads {
+		b.Run(w.name+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q, err := Compile(w.query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := q.EvalOptions(ctx, EvalOptions{Engine: w.engine, DisableIndex: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.name+"/warm", func(b *testing.B) {
+			if _, err := MustPrepare(w.query).EvalOptions(ctx, EvalOptions{Engine: w.engine}); err != nil {
+				b.Fatal(err) // prime plan cache and index
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := Prepare(w.query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.EvalOptions(ctx, EvalOptions{Engine: w.engine}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// batchBenchQueries is the multi-query-per-document workload.
+var batchBenchQueries = []string{
+	"//a//b", "//b//c", "//a[b]/c", "//c[a]", "//a[b and not(c)]",
+	"/descendant::a/child::b", "//d//a", "//a/following-sibling::b",
+	"//b[c]/ancestor::a", "//a//b//c", "//c/preceding-sibling::a", "//d[a]",
+}
+
+// BenchmarkMultiQuery evaluates a 12-query workload against one
+// document: cold compiles each query fresh and evaluates index-disabled,
+// warm runs EvalBatch over the shared index and plan cache.
+func BenchmarkMultiQuery(b *testing.B) {
+	d := prepBenchDoc()
+	ctx := evalctx.Root(d)
+	b.Run("cold-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, qs := range batchBenchQueries {
+				q, err := Compile(qs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := q.EvalOptions(ctx, EvalOptions{DisableIndex: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("warm-batch", func(b *testing.B) {
+		for _, r := range EvalBatch(d, batchBenchQueries, EvalOptions{}) {
+			if r.Err != nil {
+				b.Fatal(r.Err) // prime caches
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range EvalBatch(d, batchBenchQueries, EvalOptions{}) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+}

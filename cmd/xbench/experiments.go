@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	xpath "xpathcomplexity"
 	"xpathcomplexity/internal/circuit"
 	"xpathcomplexity/internal/eval/corelinear"
 	"xpathcomplexity/internal/eval/cvt"
@@ -550,4 +551,91 @@ func expReal(seed int64) {
 	t.print()
 	fmt.Printf("  document: %d nodes; %d/%d queries in parallelizable (LOGCFL/NL) fragments — the paper's closing thesis that pXPath 'contains most practical XPath queries'.\n",
 		doc.Size(), parallelizable, len(workload.Queries()))
+}
+
+// expPrep measures the engineering layer documented in the README's
+// Performance section: wall-clock cold evaluation (fresh compile, index
+// disabled — the seed behaviour) against warm evaluation (plan cache
+// hit + shared document index) for repeated single queries, and
+// cold-sequential against warm EvalBatch for a multi-query workload.
+// Unlike every other experiment this one reports wall-clock time, not
+// operation counts: the plan/index layer changes constant factors only,
+// never the paper's asymptotics (see docs/PAPER_MAP.md).
+func expPrep(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+		Nodes: 4000, MaxFanout: 4, Tags: []string{"a", "b", "c", "d"},
+		TextProb: 0.15, AttrProb: 0.15,
+	})
+	ctx := xpath.RootContext(doc)
+	const reps = 30
+	perRep := func(f func()) time.Duration {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			f()
+		}
+		return time.Since(start) / reps
+	}
+	t := newTable("workload", "engine", "cold/eval", "warm/eval", "speedup")
+	single := []struct {
+		name, query string
+		engine      xpath.Engine
+	}{
+		{"descendant-chain", "//a//b//c", xpath.EngineCVT},
+		{"exists-pred", "//a[b]/c", xpath.EngineCVT},
+		{"path", "/descendant::a/child::b/descendant::c", xpath.EngineCoreLinear},
+		{"neg-pred", "//a[b and not(c)]", xpath.EngineCoreLinear},
+	}
+	for _, w := range single {
+		cold := perRep(func() {
+			q, err := xpath.Compile(w.query)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := q.EvalOptions(ctx, xpath.EvalOptions{Engine: w.engine, DisableIndex: true}); err != nil {
+				panic(err)
+			}
+		})
+		prepared := xpath.MustPrepare(w.query)
+		if _, err := prepared.EvalOptions(ctx, xpath.EvalOptions{Engine: w.engine}); err != nil {
+			panic(err) // prime plan cache and document index
+		}
+		warm := perRep(func() {
+			c, err := xpath.Prepare(w.query)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := c.EvalOptions(ctx, xpath.EvalOptions{Engine: w.engine}); err != nil {
+				panic(err)
+			}
+		})
+		t.add(w.name, w.engine, cold, warm, fmt.Sprintf("%.1fx", float64(cold)/float64(warm)))
+	}
+	batch := []string{
+		"//a//b", "//b//c", "//a[b]/c", "//c[a]", "//a[b and not(c)]",
+		"/descendant::a/child::b", "//d//a", "//a/following-sibling::b",
+		"//b[c]/ancestor::a", "//a//b//c", "//c/preceding-sibling::a", "//d[a]",
+	}
+	cold := perRep(func() {
+		for _, qs := range batch {
+			q, err := xpath.Compile(qs)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := q.EvalOptions(ctx, xpath.EvalOptions{DisableIndex: true}); err != nil {
+				panic(err)
+			}
+		}
+	})
+	xpath.EvalBatch(doc, batch, xpath.EvalOptions{}) // prime
+	warm := perRep(func() {
+		for _, r := range xpath.EvalBatch(doc, batch, xpath.EvalOptions{}) {
+			if r.Err != nil {
+				panic(r.Err)
+			}
+		}
+	})
+	t.add("12-query batch", "auto", cold, warm, fmt.Sprintf("%.1fx", float64(cold)/float64(warm)))
+	t.print()
+	fmt.Printf("  document: %d nodes; cold = per-eval Compile with the index disabled, warm = Prepare plan cache + shared document index.\n", doc.Size())
 }

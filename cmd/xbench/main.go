@@ -16,6 +16,8 @@
 //	t72  Theorem 7.2: data complexity of full XPath (fixed query)
 //	t73  Theorem 7.3: query complexity (fixed document)
 //	par  Remark 5.6: parallel evaluator speedup
+//	prep plan cache + document index: cold vs warm wall-clock (the one
+//	     wall-clock experiment; everything else counts operations)
 //
 // Usage:
 //
@@ -53,6 +55,7 @@ var experiments = []experiment{
 	{"t73", "Theorem 7.3: query complexity", expT73},
 	{"par", "Remark 5.6: parallel speedup", expPar},
 	{"real", "pXPath thesis: realistic XMark-style workload", expReal},
+	{"prep", "plan cache + document index: cold vs warm wall-clock", expPrep},
 }
 
 func main() {

@@ -1,0 +1,202 @@
+package xpathcomplexity
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"xpathcomplexity/internal/fragment"
+	"xpathcomplexity/internal/xpath/ast"
+	"xpathcomplexity/internal/xpath/rewrite"
+)
+
+// Compiled is a fully prepared query: parsed, classified, rewritten into
+// an engine-bound plan, and bound to the engine EngineAuto would select.
+// Unlike Query, whose auto-selection re-derives the engine on every
+// call, a Compiled resolves it once at preparation time; together with
+// the plan cache this makes repeated evaluation of the same query text
+// skip lexing, parsing, classification and rewriting entirely.
+//
+// A Compiled is immutable and safe for concurrent use.
+type Compiled struct {
+	// Query is the underlying parsed and classified query.
+	*Query
+	// Bound is the engine EngineAuto resolves to for this query's plan.
+	Bound Engine
+
+	// plan is the rewritten expression the bound engine evaluates: the
+	// Remark 5.2 predicate fold is applied when it moves the query into
+	// a cheaper fragment, otherwise the plan is the parsed expression.
+	plan ast.Expr
+	// planClass is the classification of plan (== Query.Class when no
+	// rewrite applied).
+	planClass Classification
+}
+
+// bind builds the engine-bound plan for a compiled query: it folds
+// iterated predicates (Remark 5.2: χ::t[e1][e2] ≡ χ::t[e1 and e2] when
+// position-free) when the folded form classifies into a fragment with a
+// cheaper recommended engine, then resolves EngineAuto's choice.
+func bind(q *Query) *Compiled {
+	plan, cls := q.Expr, q.Class
+	// Collapse '//' step pairs into single descendant steps so the
+	// engines see tag-targeted steps instead of whole-tree node()
+	// frontiers; the rewrite guards itself against positional
+	// predicates, so the collapsed plan is always equivalent.
+	if collapsed, changed := rewrite.CollapseDescendantSteps(plan); changed {
+		plan, cls = collapsed, fragment.Classify(collapsed)
+	}
+	if folded, changed := rewrite.FoldIteratedPredicates(plan); changed {
+		if c2 := fragment.Classify(folded); c2.RecommendEngine() == fragment.EngineCoreLinear &&
+			cls.RecommendEngine() != fragment.EngineCoreLinear {
+			plan, cls = folded, c2
+		}
+	}
+	bound := EngineCVT
+	if cls.RecommendEngine() == fragment.EngineCoreLinear {
+		bound = EngineCoreLinear
+	}
+	return &Compiled{Query: q, Bound: bound, plan: plan, planClass: cls}
+}
+
+// Prepare compiles a query through the package's default plan cache:
+// the first call parses, classifies and binds; subsequent calls with
+// the same query text return the cached *Compiled. Errors are not
+// cached.
+func Prepare(query string) (*Compiled, error) {
+	return defaultPlanCache.Prepare(query)
+}
+
+// MustPrepare is Prepare, panicking on error.
+func MustPrepare(query string) *Compiled {
+	c, err := Prepare(query)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Eval evaluates the prepared plan in the given context with default
+// options.
+func (c *Compiled) Eval(ctx Context) (Value, error) {
+	return c.EvalOptions(ctx, EvalOptions{})
+}
+
+// EvalRoot evaluates the prepared plan from the document root.
+func (c *Compiled) EvalRoot(d *Document) (Value, error) {
+	return c.EvalOptions(RootContext(d), EvalOptions{})
+}
+
+// EvalOptions evaluates the prepared plan with explicit options. With
+// Engine left as EngineAuto the preparation-time engine binding is
+// used; an explicit engine overrides the binding but still evaluates
+// the rewritten plan — the plan rewrites guard themselves (positional
+// predicates block them), so the plan is equivalent under every engine.
+func (c *Compiled) EvalOptions(ctx Context, opts EvalOptions) (Value, error) {
+	if opts.Engine == EngineAuto {
+		opts.Engine = c.Bound
+	}
+	return (&Query{Source: c.Source, Expr: c.plan, Class: c.planClass}).EvalOptions(ctx, opts)
+}
+
+// Select evaluates a node-set query from the document root.
+func (c *Compiled) Select(d *Document) (NodeSet, error) {
+	v, err := c.EvalRoot(d)
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := v.(NodeSet)
+	if !ok {
+		return nil, fmt.Errorf("xpathcomplexity: query %q returned %s, not a node-set", c.Source, v.Kind())
+	}
+	return ns, nil
+}
+
+// DefaultPlanCacheCapacity is the capacity of the package-level plan
+// cache behind Prepare.
+const DefaultPlanCacheCapacity = 512
+
+var defaultPlanCache = NewPlanCache(DefaultPlanCacheCapacity)
+
+// PlanCache is a bounded, goroutine-safe LRU cache of prepared queries
+// keyed by query text. The zero value is not usable; construct with
+// NewPlanCache.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *planEntry
+	entries  map[string]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type planEntry struct {
+	query    string
+	compiled *Compiled
+}
+
+// NewPlanCache creates a plan cache holding at most capacity prepared
+// queries (minimum 1); past capacity the least recently used plan is
+// evicted.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Prepare returns the cached plan for the query text, compiling and
+// inserting it on a miss. Compilation runs outside the cache lock, so a
+// slow parse never blocks unrelated lookups; concurrent first calls for
+// the same text may compile twice, with the first insertion winning.
+func (pc *PlanCache) Prepare(query string) (*Compiled, error) {
+	pc.mu.Lock()
+	if el, ok := pc.entries[query]; ok {
+		pc.order.MoveToFront(el)
+		pc.hits++
+		c := el.Value.(*planEntry).compiled
+		pc.mu.Unlock()
+		return c, nil
+	}
+	pc.misses++
+	pc.mu.Unlock()
+
+	q, err := Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	c := bind(q)
+
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.entries[query]; ok { // lost the compile race
+		pc.order.MoveToFront(el)
+		return el.Value.(*planEntry).compiled, nil
+	}
+	el := pc.order.PushFront(&planEntry{query: query, compiled: c})
+	pc.entries[query] = el
+	for pc.order.Len() > pc.capacity {
+		last := pc.order.Back()
+		pc.order.Remove(last)
+		delete(pc.entries, last.Value.(*planEntry).query)
+	}
+	return c, nil
+}
+
+// Len returns the number of cached plans.
+func (pc *PlanCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.order.Len()
+}
+
+// Stats returns the hit and miss counts since construction.
+func (pc *PlanCache) Stats() (hits, misses int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses
+}

@@ -1,0 +1,159 @@
+package xpathcomplexity
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xpathcomplexity/internal/eval/corelinear"
+	"xpathcomplexity/internal/eval/enginetest"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/eval/nauxpda"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+)
+
+// canonValue renders a value in a canonical byte-for-byte comparable
+// form: node sets as ordinal lists, numbers through the XPath number
+// formatting (so NaN and -0 are stable).
+func canonValue(v Value) string {
+	switch x := v.(type) {
+	case NodeSet:
+		var b strings.Builder
+		b.WriteString("nodeset[")
+		for i, n := range x {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", n.Ord)
+		}
+		b.WriteByte(']')
+		return b.String()
+	case Boolean:
+		return fmt.Sprintf("boolean[%v]", bool(x))
+	case Number:
+		return "number[" + value.FormatNumber(float64(x)) + "]"
+	case String:
+		return fmt.Sprintf("string[%q]", string(x))
+	default:
+		return fmt.Sprintf("unknown[%v]", v)
+	}
+}
+
+// nauxpdaOutside reports whether err is one of the fragment-rejection
+// sentinels — the query is legitimately outside (bounded-negation)
+// pXPath and the LOGCFL engine is excused from the vote.
+func nauxpdaOutside(err error) bool {
+	return errors.Is(err, nauxpda.ErrIteratedPredicates) ||
+		errors.Is(err, nauxpda.ErrNegationDepth) ||
+		errors.Is(err, nauxpda.ErrForbiddenFunction) ||
+		errors.Is(err, nauxpda.ErrBooleanRelOp) ||
+		errors.Is(err, nauxpda.ErrArithDepth)
+}
+
+// FuzzDifferentialEngines is the cross-engine differential suite: for a
+// random document and random queries drawn from one of the five
+// generator profiles, every applicable engine must produce the same
+// value, and the warm path (plan cache hit + document index) must agree
+// byte-for-byte with a cold compile evaluated with the index disabled.
+//
+// The seed corpus covers PF, positive Core, Core, pWF and full-XPath
+// profiles, so a plain `go test` run already exercises all five engines
+// on all profiles.
+func FuzzDifferentialEngines(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(10))  // PF
+	f.Add(int64(2), uint8(1), uint8(25))  // positive core
+	f.Add(int64(3), uint8(2), uint8(40))  // core
+	f.Add(int64(4), uint8(3), uint8(55))  // pWF
+	f.Add(int64(5), uint8(4), uint8(70))  // full
+	f.Add(int64(6), uint8(2), uint8(3))   // core on a tiny document
+	f.Add(int64(7), uint8(4), uint8(200)) // full on a wider document
+
+	f.Fuzz(func(t *testing.T, seed int64, profile, shape uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		prof := enginetest.GenProfile(int(profile) % 5)
+		d := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes:     10 + int(shape)%90,
+			MaxFanout: 1 + int(shape)%5,
+			Tags:      []string{"a", "b", "c"},
+			TextProb:  0.2,
+			AttrProb:  0.2,
+		})
+		ctx := RootContext(d)
+		gen := enginetest.NewQueryGen(rng, prof)
+
+		for i := 0; i < 8; i++ {
+			qs := gen.Query()
+			q, err := Compile(qs)
+			if err != nil {
+				t.Fatalf("generator produced invalid query %q: %v", qs, err)
+			}
+
+			type res struct {
+				engine string
+				v      Value
+			}
+			var got []res
+			run := func(name string, opts EvalOptions) {
+				v, err := q.EvalOptions(ctx, opts)
+				if err != nil {
+					t.Fatalf("profile %v query %q: engine %s failed: %v", prof, qs, name, err)
+				}
+				got = append(got, res{name, v})
+			}
+
+			// The naive engine is exponential (Section 3 of the paper), so
+			// rare generated queries would stall the fuzz worker past its
+			// hang limit; a generous operation budget keeps it in the vote
+			// on everything else and excuses only runaway inputs.
+			nctr := &Counter{Budget: 5_000_000}
+			if v, err := q.EvalOptions(ctx, EvalOptions{Engine: EngineNaive, Counter: nctr}); err == nil {
+				got = append(got, res{"naive", v})
+			} else if !errors.Is(err, evalctx.ErrBudget) {
+				t.Fatalf("profile %v query %q: engine naive failed: %v", prof, qs, err)
+			}
+			run("cvt-cold", EvalOptions{Engine: EngineCVT, DisableIndex: true})
+			run("cvt-indexed", EvalOptions{Engine: EngineCVT})
+			if corelinear.CheckCore(q.Expr) == nil {
+				run("corelinear-cold", EvalOptions{Engine: EngineCoreLinear, DisableIndex: true})
+				run("corelinear-indexed", EvalOptions{Engine: EngineCoreLinear})
+				run("parallel", EvalOptions{Engine: EngineParallel, Workers: 2})
+			}
+			if v, err := q.EvalOptions(ctx, EvalOptions{Engine: EngineNAuxPDA, NegationBound: 8}); err == nil {
+				got = append(got, res{"nauxpda", v})
+			} else if !nauxpdaOutside(err) {
+				t.Fatalf("profile %v query %q: nauxpda failed outside the fragment checks: %v", prof, qs, err)
+			}
+
+			for _, r := range got[1:] {
+				if !value.Equal(got[0].v, r.v) {
+					t.Fatalf("profile %v query %q: %s = %s, but %s = %s",
+						prof, qs, got[0].engine, canonValue(got[0].v), r.engine, canonValue(r.v))
+				}
+			}
+
+			// Warm path: plan-cache hit plus shared index must reproduce
+			// the cold auto-engine result byte-for-byte.
+			cold, err := q.EvalOptions(ctx, EvalOptions{DisableIndex: true})
+			if err != nil {
+				t.Fatalf("query %q: cold auto eval failed: %v", qs, err)
+			}
+			c, err := Prepare(qs)
+			if err != nil {
+				t.Fatalf("query %q: Prepare failed after Compile succeeded: %v", qs, err)
+			}
+			if _, err := c.Eval(ctx); err != nil { // populate caches
+				t.Fatalf("query %q: prepared eval failed: %v", qs, err)
+			}
+			warm, err := c.Eval(ctx) // guaranteed warm: plan cached, index built
+			if err != nil {
+				t.Fatalf("query %q: warm eval failed: %v", qs, err)
+			}
+			if cw, cc := canonValue(warm), canonValue(cold); cw != cc {
+				t.Fatalf("query %q: warm %s != cold %s", qs, cw, cc)
+			}
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"xpathcomplexity/internal/eval/enginetest"
 	"xpathcomplexity/internal/eval/evalctx"
 	"xpathcomplexity/internal/eval/nauxpda"
+	"xpathcomplexity/internal/fragment"
 	"xpathcomplexity/internal/graph"
 	"xpathcomplexity/internal/reduction"
 	"xpathcomplexity/internal/value"
@@ -358,5 +359,40 @@ func TestIntegrationConcurrentEvaluation(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// Conformance: every engine runs the shared enginetest case suite
+// through the public API with its declared capability set, so `go test
+// -v` shows per engine exactly which cases run and which are skipped
+// for a missing capability (and why). The indexed and index-disabled
+// paths of the cvt and corelinear engines are separate entries: both
+// must pass the identical suite.
+func TestIntegrationEngineConformance(t *testing.T) {
+	engineFor := func(e Engine, opts EvalOptions) enginetest.Engine {
+		return func(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+			q := &Query{Source: "<conformance>", Expr: expr, Class: fragment.Classify(expr)}
+			o := opts
+			o.Engine = e
+			return q.EvalOptions(ctx, o)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		eng  Engine
+		caps enginetest.Caps
+		opts EvalOptions
+	}{
+		{"naive", EngineNaive, enginetest.FullCaps, EvalOptions{}},
+		{"cvt", EngineCVT, enginetest.FullCaps, EvalOptions{}},
+		{"cvt-noindex", EngineCVT, enginetest.FullCaps, EvalOptions{DisableIndex: true}},
+		{"corelinear", EngineCoreLinear, enginetest.CoreCaps, EvalOptions{}},
+		{"corelinear-noindex", EngineCoreLinear, enginetest.CoreCaps, EvalOptions{DisableIndex: true}},
+		{"parallel", EngineParallel, enginetest.CoreCaps, EvalOptions{}},
+		{"nauxpda", EngineNAuxPDA, enginetest.PXPathCaps, EvalOptions{NegationBound: 8}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			enginetest.Run(t, engineFor(tc.eng, tc.opts), tc.caps)
+		})
 	}
 }

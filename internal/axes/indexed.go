@@ -1,0 +1,94 @@
+package axes
+
+import (
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// candidates returns the index node list matching node test t under axis
+// a (nil, false when no list applies: targeted PI tests keep the generic
+// path, as does the attribute principal type).
+func candidates(ix *xmltree.Index, a ast.Axis, t ast.NodeTest) ([]*xmltree.Node, bool) {
+	if a == ast.AxisAttribute {
+		return nil, false
+	}
+	switch t.Kind {
+	case ast.TestName:
+		return ix.ElementsByTag(t.Name), true
+	case ast.TestStar:
+		return ix.Elements(), true
+	case ast.TestText:
+		return ix.Texts(), true
+	case ast.TestComment:
+		return ix.Comments(), true
+	case ast.TestPI:
+		if t.Name == "" {
+			return ix.ProcInsts(), true
+		}
+		return nil, false
+	case ast.TestNode:
+		return ix.TreeNodes(), true
+	default:
+		return nil, false
+	}
+}
+
+// SelectFast returns the nodes selected by axis::test from n in document
+// order using the document index, and whether an index-accelerated
+// strategy exists for (a, t). Accelerated: descendant and
+// descendant-or-self (subtree slice of the tag list, two binary
+// searches), following (suffix of the tag list) and preceding (prefix
+// scan excluding ancestors) for name, * and text() tests. The returned
+// slice may alias index storage and must not be modified.
+func SelectFast(ix *xmltree.Index, a ast.Axis, t ast.NodeTest, n *xmltree.Node) ([]*xmltree.Node, bool) {
+	list, ok := candidates(ix, a, t)
+	if !ok {
+		return nil, false
+	}
+	switch a {
+	case ast.AxisDescendant:
+		return xmltree.SubtreeSlice(list, n), true
+	case ast.AxisDescendantOrSelf:
+		sub := xmltree.SubtreeSlice(list, n)
+		if !MatchTest(a, n, t) {
+			return sub, true
+		}
+		out := make([]*xmltree.Node, 0, len(sub)+1)
+		out = append(out, n)
+		return append(out, sub...), true
+	case ast.AxisFollowing:
+		return xmltree.FollowingSlice(list, n), true
+	case ast.AxisPreceding:
+		return xmltree.PrecedingScan(nil, list, n), true
+	default:
+		return nil, false
+	}
+}
+
+// SelectIndexed is Select accelerated by the document index where an
+// indexed strategy exists, with a transparent fallback otherwise. The
+// returned slice may alias index storage and must not be modified.
+func SelectIndexed(ix *xmltree.Index, a ast.Axis, t ast.NodeTest, n *xmltree.Node) []*xmltree.Node {
+	if sel, ok := SelectFast(ix, a, t, n); ok {
+		return sel
+	}
+	return Select(a, t, n)
+}
+
+// SelectProximityIndexed is SelectProximity accelerated by the document
+// index. Reverse-axis results are freshly allocated before reversal, so
+// index storage is never mutated.
+func SelectProximityIndexed(ix *xmltree.Index, a ast.Axis, t ast.NodeTest, n *xmltree.Node) []*xmltree.Node {
+	sel, ok := SelectFast(ix, a, t, n)
+	if !ok {
+		return SelectProximity(a, t, n)
+	}
+	if !a.IsReverse() {
+		return sel
+	}
+	out := make([]*xmltree.Node, len(sel))
+	for i, m := range sel {
+		out[len(sel)-1-i] = m
+	}
+	return out
+}

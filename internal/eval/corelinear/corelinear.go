@@ -21,7 +21,9 @@ package corelinear
 import (
 	"errors"
 	"fmt"
+	"sort"
 
+	"xpathcomplexity/internal/axes"
 	"xpathcomplexity/internal/eval/evalctx"
 	"xpathcomplexity/internal/nodeset"
 	"xpathcomplexity/internal/value"
@@ -82,10 +84,26 @@ func checkCore(expr ast.Expr, seen map[ast.Expr]bool) error {
 	}
 }
 
+// Options configure an evaluation.
+type Options struct {
+	// Counter counts elementary operations; may be nil.
+	Counter *evalctx.Counter
+	// DisableIndex evaluates without the per-document index: every node
+	// test is a full scan and no singleton-frontier fast path is taken.
+	// This is the seed behaviour, kept for benchmarks and for the
+	// differential suite's cold reference.
+	DisableIndex bool
+}
+
 // Evaluate evaluates a Core XPath query. Node-set queries return a
 // value.NodeSet; condition queries (boolean combinations at top level)
 // return a value.Boolean for the context node.
 func Evaluate(expr ast.Expr, ctx evalctx.Context, ctr *evalctx.Counter) (value.Value, error) {
+	return EvaluateOptions(expr, ctx, Options{Counter: ctr})
+}
+
+// EvaluateOptions evaluates a Core XPath query with explicit options.
+func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, error) {
 	if err := CheckCore(expr); err != nil {
 		return nil, err
 	}
@@ -94,8 +112,11 @@ func Evaluate(expr ast.Expr, ctx evalctx.Context, ctr *evalctx.Counter) (value.V
 	}
 	e := &evaluator{
 		doc:  ctx.Node.Document(),
-		ctr:  ctr,
+		ctr:  opts.Counter,
 		memo: make(map[ast.Expr]nodeset.Set),
+	}
+	if !opts.DisableIndex {
+		e.idx = e.doc.Index()
 	}
 	if p, ok := expr.(*ast.Path); ok {
 		res, err := e.forwardPath(p, ctx.Node)
@@ -105,11 +126,11 @@ func Evaluate(expr ast.Expr, ctx evalctx.Context, ctr *evalctx.Counter) (value.V
 		return value.NewNodeSet(res.Nodes()...), nil
 	}
 	if b, ok := expr.(*ast.Binary); ok && b.Op == ast.OpUnion {
-		l, err := Evaluate(b.Left, ctx, ctr)
+		l, err := EvaluateOptions(b.Left, ctx, opts)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Evaluate(b.Right, ctx, ctr)
+		r, err := EvaluateOptions(b.Right, ctx, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -123,35 +144,260 @@ func Evaluate(expr ast.Expr, ctx evalctx.Context, ctr *evalctx.Counter) (value.V
 }
 
 type evaluator struct {
-	doc  *xmltree.Document
-	ctr  *evalctx.Counter
-	memo map[ast.Expr]nodeset.Set
+	doc   *xmltree.Document
+	ctr   *evalctx.Counter
+	idx   *xmltree.Index // nil when the index is disabled
+	memo  map[ast.Expr]nodeset.Set
+	marks []bool // scratch dedup bitmap for sparse frontiers, always reset
+}
+
+// testSet returns the membership set of a node test, from the index's
+// shared per-document cache when available. The result is read-only
+// either way: callers only And it into fresh sets.
+func (e *evaluator) testSet(a ast.Axis, t ast.NodeTest) nodeset.Set {
+	if e.idx != nil {
+		return nodeset.TestSetCached(e.idx, a, t)
+	}
+	return nodeset.TestSet(e.doc, a, t)
 }
 
 // forwardPath evaluates a location path from a single start node,
-// left-to-right over set frontiers.
+// left-to-right over set frontiers. With an index it runs in hybrid
+// sparse/dense mode (forwardPathSparse); without one every step is a
+// dense O(|D|) axis pass plus test intersection, the seed behaviour.
 func (e *evaluator) forwardPath(p *ast.Path, start *xmltree.Node) (nodeset.Set, error) {
-	frontier := nodeset.New(e.doc)
+	first := start
 	if p.Absolute {
-		frontier.Add(e.doc.Root)
-	} else {
-		frontier.Add(start)
+		first = e.doc.Root
 	}
+	if e.idx != nil {
+		return e.forwardPathSparse(p, first)
+	}
+	frontier := nodeset.New(e.doc)
+	frontier.Add(first)
 	for _, step := range p.Steps {
 		if err := e.ctr.Step(int64(len(e.doc.Nodes))); err != nil {
 			return nodeset.Set{}, err
 		}
-		next := nodeset.ApplyAxis(step.Axis, frontier).And(nodeset.TestSet(e.doc, step.Axis, step.Test))
+		// The axis image is freshly allocated, so the node test can be
+		// intersected in place.
+		next := nodeset.ApplyAxis(step.Axis, frontier).
+			AndWith(e.testSet(step.Axis, step.Test))
 		for _, pred := range step.Preds {
 			cond, err := e.condSet(pred)
 			if err != nil {
 				return nodeset.Set{}, err
 			}
-			next = next.And(cond)
+			next = next.AndWith(cond)
 		}
 		frontier = next
 	}
 	return frontier, nil
+}
+
+// sparseDivisor bounds list-mode frontiers: a frontier stays an explicit
+// node list while it holds at most |D|/sparseDivisor nodes, and demotes
+// to a dense membership set beyond that. A sparse step touches only the
+// frontier and its image where a dense step makes ~3 full-document
+// passes, so sparse wins until the frontier is a sizable fraction of the
+// document.
+const sparseDivisor = 2
+
+// forwardPathSparse evaluates the steps keeping the frontier as an
+// explicit node list while it is small, so each step costs O(output)
+// via per-node index lookups rather than O(|D|) dense passes. The
+// frontier demotes to a dense set (and stays dense) as soon as it grows
+// past the sparse bound or the step's axis has no sparse selection.
+// Counter charges are identical in both modes — one Step(|D|) per step —
+// so operation counts do not depend on the representation.
+func (e *evaluator) forwardPathSparse(p *ast.Path, first *xmltree.Node) (nodeset.Set, error) {
+	list := []*xmltree.Node{first} // sparse frontier, valid while sparse
+	sparse := true
+	var dense nodeset.Set // dense frontier, valid once !sparse
+	for _, step := range p.Steps {
+		if err := e.ctr.Step(int64(len(e.doc.Nodes))); err != nil {
+			return nodeset.Set{}, err
+		}
+		if sparse {
+			if sel, ok := e.selectSparse(step.Axis, step.Test, list); ok {
+				list = sel
+			} else {
+				dense, sparse = nodeset.FromNodes(e.doc, list...), false
+			}
+		}
+		if !sparse {
+			dense = nodeset.ApplyAxisIndexed(e.idx, step.Axis, dense).
+				AndWith(e.testSet(step.Axis, step.Test))
+		}
+		for _, pred := range step.Preds {
+			cond, err := e.condSet(pred)
+			if err != nil {
+				return nodeset.Set{}, err
+			}
+			if sparse {
+				kept := list[:0] // selectSparse results are freshly allocated
+				for _, n := range list {
+					if cond.Bits[n.Ord] {
+						kept = append(kept, n)
+					}
+				}
+				list = kept
+			} else {
+				dense = dense.AndWith(cond)
+			}
+		}
+		if sparse && len(list) > len(e.doc.Nodes)/sparseDivisor {
+			dense, sparse = nodeset.FromNodes(e.doc, list...), false
+		}
+	}
+	if sparse {
+		return nodeset.FromNodes(e.doc, list...), nil
+	}
+	return dense, nil
+}
+
+// selectSparse computes axis::test over an explicit frontier list for
+// the axes whose cost is bounded by the frontier and output sizes:
+// per-node neighbourhoods with disjoint images (self, child, attribute),
+// parent (deduplicated via the marks scratch), ancestor and
+// following-sibling chains with a visited-stop, and the descendant axes
+// via subtree slices from a nesting-pruned frontier. Following/preceding
+// apply only from a singleton frontier, where SelectFast slices the tag
+// list directly. Preceding-sibling reports ok=false and falls
+// back to the dense passes. The result is freshly allocated, duplicate
+// free, in arbitrary order (Core XPath has no positional predicates, and
+// the final set conversion restores document order).
+func (e *evaluator) selectSparse(a ast.Axis, t ast.NodeTest, list []*xmltree.Node) ([]*xmltree.Node, bool) {
+	var out []*xmltree.Node
+	switch a {
+	case ast.AxisSelf:
+		for _, n := range list {
+			if axes.MatchTest(a, n, t) {
+				out = append(out, n)
+			}
+		}
+	case ast.AxisChild:
+		// Distinct frontier nodes have disjoint child lists: no dedup.
+		for _, n := range list {
+			for _, c := range n.Children {
+				if axes.MatchTest(a, c, t) {
+					out = append(out, c)
+				}
+			}
+		}
+	case ast.AxisAttribute:
+		for _, n := range list {
+			for _, at := range n.Attrs {
+				if axes.MatchTest(a, at, t) {
+					out = append(out, at)
+				}
+			}
+		}
+	case ast.AxisParent:
+		if e.marks == nil {
+			e.marks = make([]bool, len(e.doc.Nodes))
+		}
+		for _, n := range list {
+			if p := n.Parent; p != nil && !e.marks[p.Ord] && axes.MatchTest(a, p, t) {
+				e.marks[p.Ord] = true
+				out = append(out, p)
+			}
+		}
+		for _, n := range out {
+			e.marks[n.Ord] = false
+		}
+	case ast.AxisAncestor, ast.AxisAncestorOrSelf:
+		// Walk parent chains with a visited-stop: once a chain hits an
+		// already-visited node the rest of it is visited too, so the
+		// total walk is O(frontier + distinct ancestors).
+		if e.marks == nil {
+			e.marks = make([]bool, len(e.doc.Nodes))
+		}
+		par := e.idx.ParentOrds()
+		var visited []*xmltree.Node
+		for _, n := range list {
+			j := int32(n.Ord)
+			if a == ast.AxisAncestor {
+				j = par[n.Ord]
+			}
+			for ; j >= 0 && !e.marks[j]; j = par[j] {
+				e.marks[j] = true
+				visited = append(visited, e.doc.Nodes[j])
+			}
+		}
+		for _, m := range visited {
+			e.marks[m.Ord] = false
+			if axes.MatchTest(a, m, t) {
+				out = append(out, m)
+			}
+		}
+	case ast.AxisFollowingSibling:
+		// Same visited-stop trick along next-sibling chains: a visited
+		// node's entire suffix is already visited.
+		if e.marks == nil {
+			e.marks = make([]bool, len(e.doc.Nodes))
+		}
+		next := e.idx.NextSiblingOrds()
+		var visited []*xmltree.Node
+		for _, n := range list {
+			for j := next[n.Ord]; j >= 0 && !e.marks[j]; j = next[j] {
+				e.marks[j] = true
+				visited = append(visited, e.doc.Nodes[j])
+			}
+		}
+		for _, m := range visited {
+			e.marks[m.Ord] = false
+			if axes.MatchTest(a, m, t) {
+				out = append(out, m)
+			}
+		}
+	case ast.AxisDescendant, ast.AxisDescendantOrSelf:
+		// After pruning frontier nodes nested inside other members, the
+		// surviving subtrees are pairwise disjoint, and a pruned member's
+		// whole selection (itself included, for descendant-or-self) lies
+		// inside its covering ancestor's subtree slice.
+		for _, n := range pruneNested(list) {
+			sel, ok := axes.SelectFast(e.idx, a, t, n)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, sel...)
+		}
+	case ast.AxisFollowing, ast.AxisPreceding:
+		if len(list) != 1 {
+			return nil, false
+		}
+		sel, ok := axes.SelectFast(e.idx, a, t, list[0])
+		if !ok {
+			return nil, false
+		}
+		out = append(out, sel...)
+	default:
+		return nil, false
+	}
+	return out, true
+}
+
+// pruneNested drops list members lying inside another member's subtree.
+// Attributes share their owner's pre/post interval, so an attribute
+// survives alongside its owner (its empty/self-only selection adds
+// nothing the owner's subtree slice misses).
+func pruneNested(list []*xmltree.Node) []*xmltree.Node {
+	if len(list) <= 1 {
+		return list
+	}
+	sorted := append([]*xmltree.Node(nil), list...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Pre < sorted[j].Pre })
+	out := sorted[:0]
+	for _, n := range sorted {
+		if len(out) > 0 {
+			if last := out[len(out)-1]; n.Pre > last.Pre && n.Post < last.Post {
+				continue
+			}
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 // condSet computes E[cond] = the set of nodes at which the condition
@@ -228,15 +474,17 @@ func (e *evaluator) backwardPath(p *ast.Path) (nodeset.Set, error) {
 		if err := e.ctr.Step(int64(len(e.doc.Nodes))); err != nil {
 			return nodeset.Set{}, err
 		}
-		s = s.And(nodeset.TestSet(e.doc, step.Axis, step.Test))
+		// s starts as the freshly allocated Full set and every inverse
+		// image below is fresh too, so the intersections run in place.
+		s = s.AndWith(e.testSet(step.Axis, step.Test))
 		for _, pred := range step.Preds {
 			cond, err := e.condSet(pred)
 			if err != nil {
 				return nodeset.Set{}, err
 			}
-			s = s.And(cond)
+			s = s.AndWith(cond)
 		}
-		s = nodeset.ApplyInverseAxis(step.Axis, s)
+		s = nodeset.ApplyInverseAxisIndexed(e.idx, step.Axis, s)
 	}
 	if p.Absolute {
 		// The condition /π holds everywhere or nowhere, depending on the

@@ -44,6 +44,10 @@ type Options struct {
 	// set-semantics recursion; used by tests demonstrating that the
 	// polynomial bound comes from the table, not from set semantics alone.
 	DisableMemo bool
+	// DisableIndex evaluates without the per-document index: every
+	// location step selects by walking the tree (the seed behaviour).
+	// Kept for benchmarks and the differential suite's cold reference.
+	DisableIndex bool
 	// EagerTables precomputes, bottom-up over the query tree, the full
 	// context-value table of every position-insensitive subexpression for
 	// every document node before answering the query — the original
@@ -165,8 +169,23 @@ type ctxKey struct {
 
 type evaluator struct {
 	opts      Options
+	idx       *xmltree.Index // lazily fetched; nil when disabled or unset
+	marks     []bool         // document-sized scratch for makeFrontier
 	sensitive map[ast.Expr]bool
 	tables    map[ast.Expr]map[ctxKey]value.Value
+}
+
+// selectStep selects axis::test from n in proximity order, through the
+// document index unless disabled. The result may alias index storage;
+// evalPath and filterPredicate never modify it in place.
+func (e *evaluator) selectStep(a ast.Axis, t ast.NodeTest, n *xmltree.Node) []*xmltree.Node {
+	if e.opts.DisableIndex {
+		return axes.SelectProximity(a, t, n)
+	}
+	if e.idx == nil {
+		e.idx = n.Document().Index()
+	}
+	return axes.SelectProximityIndexed(e.idx, a, t, n)
 }
 
 // markSensitive computes, per subexpression, whether its value can depend
@@ -347,7 +366,7 @@ func (e *evaluator) evalPath(p *ast.Path, ctx evalctx.Context) (value.Value, err
 	for _, step := range p.Steps {
 		var collected []*xmltree.Node
 		for _, n := range frontier {
-			sel := axes.SelectProximity(step.Axis, step.Test, n)
+			sel := e.selectStep(step.Axis, step.Test, n)
 			if err := e.opts.Counter.Step(int64(len(sel) + 1)); err != nil {
 				return nil, err
 			}
@@ -360,9 +379,40 @@ func (e *evaluator) evalPath(p *ast.Path, ctx evalctx.Context) (value.Value, err
 			}
 			collected = append(collected, sel...)
 		}
-		frontier = value.NewNodeSet(collected...)
+		frontier = e.makeFrontier(collected)
 	}
 	return frontier, nil
+}
+
+// makeFrontier normalizes a step's collected selections into a node set.
+// Sorting costs O(K log K) in the collection size K, which dominates the
+// evaluation when steps fan out from many context nodes; with the index
+// live and a collection comparable to the document, a document-order
+// bitmap scan dedupes in O(|D|+K) instead. Both produce the identical
+// normalized set, and neither touches the operation counter.
+func (e *evaluator) makeFrontier(collected []*xmltree.Node) value.NodeSet {
+	if e.idx == nil || len(collected) < 64 || len(collected)*4 < len(e.idx.Doc().Nodes) {
+		return value.NewNodeSet(collected...)
+	}
+	d := e.idx.Doc()
+	if e.marks == nil {
+		e.marks = make([]bool, len(d.Nodes))
+	}
+	distinct := 0
+	for _, n := range collected {
+		if !e.marks[n.Ord] {
+			e.marks[n.Ord] = true
+			distinct++
+		}
+	}
+	out := make(value.NodeSet, 0, distinct)
+	for _, n := range d.Nodes {
+		if e.marks[n.Ord] {
+			e.marks[n.Ord] = false
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 func (e *evaluator) filterPredicate(sel []*xmltree.Node, pred ast.Expr) ([]*xmltree.Node, error) {

@@ -7,30 +7,36 @@ import (
 
 // ApplyAxis computes the image χ(S) = { m | ∃n ∈ S: m on axis χ from n }
 // in O(|D|).
-func ApplyAxis(a ast.Axis, s Set) Set {
+func ApplyAxis(a ast.Axis, s Set) Set { return ApplyAxisIndexed(nil, a, s) }
+
+// ApplyAxisIndexed is ApplyAxis running over the document index's flat
+// parent/sibling/attribute arrays instead of chasing Node pointers —
+// the same O(|D|) passes over contiguous memory. A nil index recovers
+// the pointer-walking implementation.
+func ApplyAxisIndexed(ix *xmltree.Index, a ast.Axis, s Set) Set {
 	switch a {
 	case ast.AxisSelf:
 		return s.Clone()
 	case ast.AxisChild:
-		return childSet(s)
+		return childSet(ix, s)
 	case ast.AxisParent:
-		return parentSet(s)
+		return parentSet(ix, s)
 	case ast.AxisDescendant:
-		return descendantSet(s, false)
+		return descendantSet(ix, s, false)
 	case ast.AxisDescendantOrSelf:
-		return descendantSet(s, true)
+		return descendantSet(ix, s, true)
 	case ast.AxisAncestor:
-		return ancestorSet(s, false)
+		return ancestorSet(ix, s, false)
 	case ast.AxisAncestorOrSelf:
-		return ancestorSet(s, true)
+		return ancestorSet(ix, s, true)
 	case ast.AxisFollowingSibling:
-		return followingSiblingSet(s)
+		return followingSiblingSet(ix, s)
 	case ast.AxisPrecedingSibling:
-		return precedingSiblingSet(s)
+		return precedingSiblingSet(ix, s)
 	case ast.AxisFollowing:
-		return followingSet(s)
+		return followingSet(ix, s)
 	case ast.AxisPreceding:
-		return precedingSet(s)
+		return precedingSet(ix, s)
 	case ast.AxisAttribute:
 		return attributeSet(s)
 	default:
@@ -43,23 +49,27 @@ func ApplyAxis(a ast.Axis, s Set) Set {
 // special treatment because the XPath axes are not symmetric on attributes
 // (e.g. following(attr) covers the owner's subtree, but attributes never
 // appear in any following/preceding result).
-func ApplyInverseAxis(a ast.Axis, s Set) Set {
+func ApplyInverseAxis(a ast.Axis, s Set) Set { return ApplyInverseAxisIndexed(nil, a, s) }
+
+// ApplyInverseAxisIndexed is ApplyInverseAxis over the document index's
+// flat arrays; a nil index recovers the pointer-walking implementation.
+func ApplyInverseAxisIndexed(ix *xmltree.Index, a ast.Axis, s Set) Set {
 	doc := s.Doc
 	switch a {
 	case ast.AxisSelf:
 		return s.Clone()
 	case ast.AxisChild:
-		return parentSet(dropAttrs(s.Clone()))
+		return parentSet(ix, dropAttrs(ix, s.Clone()))
 	case ast.AxisParent:
 		// parent(n) ∈ S for children of S-members and attributes of
 		// S-members.
-		return childSet(s).Or(attributeSet(s))
+		return childSet(ix, s).Or(attributeSet(s))
 	case ast.AxisDescendant:
-		return ancestorSet(dropAttrs(s.Clone()), false)
+		return ancestorSet(ix, dropAttrs(ix, s.Clone()), false)
 	case ast.AxisDescendantOrSelf:
 		// dos(attr) = {attr}: an attribute qualifies iff it is in S itself.
-		sp := dropAttrs(s.Clone())
-		out := ancestorSet(sp, true)
+		sp := dropAttrs(ix, s.Clone())
+		out := ancestorSet(ix, sp, true)
 		for i, b := range s.Bits {
 			if b && doc.Nodes[i].Type == xmltree.AttributeNode {
 				out.Bits[i] = true
@@ -67,13 +77,13 @@ func ApplyInverseAxis(a ast.Axis, s Set) Set {
 		}
 		return out
 	case ast.AxisAncestor:
-		sp := dropAttrs(s.Clone())
-		out := descendantSet(sp, false)
-		return addAttrsWithOwnerIn(out, descendantSet(sp, true))
+		sp := dropAttrs(ix, s.Clone())
+		out := descendantSet(ix, sp, false)
+		return addAttrsWithOwnerIn(ix, out, descendantSet(ix, sp, true))
 	case ast.AxisAncestorOrSelf:
-		sp := dropAttrs(s.Clone())
-		reach := descendantSet(sp, true)
-		out := addAttrsWithOwnerIn(reach.Clone(), reach)
+		sp := dropAttrs(ix, s.Clone())
+		reach := descendantSet(ix, sp, true)
+		out := addAttrsWithOwnerIn(ix, reach.Clone(), reach)
 		for i, b := range s.Bits {
 			if b && doc.Nodes[i].Type == xmltree.AttributeNode {
 				out.Bits[i] = true
@@ -81,15 +91,15 @@ func ApplyInverseAxis(a ast.Axis, s Set) Set {
 		}
 		return out
 	case ast.AxisFollowingSibling:
-		return precedingSiblingSet(s)
+		return precedingSiblingSet(ix, s)
 	case ast.AxisPrecedingSibling:
-		return followingSiblingSet(s)
+		return followingSiblingSet(ix, s)
 	case ast.AxisFollowing:
 		// following(n) ∩ S ≠ ∅. Tree nodes: the preceding image; attribute
 		// n: following(attr) = every non-attribute node after it in
 		// document order.
-		sp := dropAttrs(s.Clone())
-		out := precedingSet(sp)
+		sp := dropAttrs(ix, s.Clone())
+		out := precedingSet(ix, sp)
 		maxOrd := -1
 		for i := len(sp.Bits) - 1; i >= 0; i-- {
 			if sp.Bits[i] {
@@ -107,11 +117,11 @@ func ApplyInverseAxis(a ast.Axis, s Set) Set {
 		return out
 	case ast.AxisPreceding:
 		// preceding(attr) = preceding(owner).
-		sp := dropAttrs(s.Clone())
-		out := followingSet(sp)
-		return addAttrsWithOwnerIn(out, out)
+		sp := dropAttrs(ix, s.Clone())
+		out := followingSet(ix, sp)
+		return addAttrsWithOwnerIn(ix, out, out)
 	case ast.AxisAttribute:
-		return attributeInverseSet(s)
+		return attributeInverseSet(ix, s)
 	default:
 		return New(doc)
 	}
@@ -144,6 +154,78 @@ func TestSet(doc *xmltree.Document, a ast.Axis, t ast.NodeTest) Set {
 	return o
 }
 
+// testSetKey identifies a node-test membership array in the document
+// index's aux cache. Only the principal node type matters, not the axis
+// itself, so sets are shared across axes and across evaluations.
+type testSetKey struct {
+	principal xmltree.NodeType
+	kind      ast.TestKind
+	name      string
+}
+
+// TestSetCached is TestSet backed by the document index: the membership
+// array for each distinct (principal, test) pair is computed once per
+// document — from the index's per-tag and per-kind node lists rather
+// than a full scan — and shared by every subsequent evaluation. The
+// returned Set aliases the cached array and is strictly read-only;
+// callers may only combine it with And/Or (which allocate fresh sets)
+// or use it as the argument of AndWith.
+func TestSetCached(ix *xmltree.Index, a ast.Axis, t ast.NodeTest) Set {
+	doc := ix.Doc()
+	principal := xmltree.ElementNode
+	if a == ast.AxisAttribute {
+		principal = xmltree.AttributeNode
+	}
+	key := testSetKey{principal: principal, kind: t.Kind, name: t.Name}
+	bits := ix.Aux(key, func() any { return testBits(ix, principal, t) }).([]bool)
+	return Set{Doc: doc, Bits: bits}
+}
+
+// testBits builds the membership array for a node test from the index
+// lists, touching only matching nodes instead of comparing every node.
+func testBits(ix *xmltree.Index, principal xmltree.NodeType, t ast.NodeTest) []bool {
+	doc := ix.Doc()
+	bits := make([]bool, len(doc.Nodes))
+	mark := func(nodes []*xmltree.Node) {
+		for _, n := range nodes {
+			bits[n.Ord] = true
+		}
+	}
+	switch t.Kind {
+	case ast.TestName:
+		if principal == xmltree.AttributeNode {
+			mark(ix.AttributesByName(t.Name))
+		} else {
+			mark(ix.ElementsByTag(t.Name))
+		}
+	case ast.TestStar:
+		if principal == xmltree.AttributeNode {
+			for _, n := range doc.Nodes {
+				if n.Type == xmltree.AttributeNode {
+					bits[n.Ord] = true
+				}
+			}
+		} else {
+			mark(ix.Elements())
+		}
+	case ast.TestText:
+		mark(ix.Texts())
+	case ast.TestComment:
+		mark(ix.Comments())
+	case ast.TestPI:
+		for _, n := range ix.ProcInsts() {
+			if t.Name == "" || n.Name == t.Name {
+				bits[n.Ord] = true
+			}
+		}
+	case ast.TestNode:
+		for i := range bits {
+			bits[i] = true
+		}
+	}
+	return bits
+}
+
 // LabelSet returns the set of nodes carrying the extra label l
 // (Remark 3.1).
 func LabelSet(doc *xmltree.Document, l string) Set {
@@ -156,8 +238,17 @@ func LabelSet(doc *xmltree.Document, l string) Set {
 	return o
 }
 
-func childSet(s Set) Set {
+func childSet(ix *xmltree.Index, s Set) Set {
 	o := New(s.Doc)
+	if ix != nil {
+		parent, attr := ix.ParentOrds(), ix.AttrBits()
+		for i, p := range parent {
+			if p >= 0 && !attr[i] && s.Bits[p] {
+				o.Bits[i] = true
+			}
+		}
+		return o
+	}
 	for i, n := range s.Doc.Nodes {
 		if n.Type == xmltree.AttributeNode {
 			continue
@@ -169,8 +260,17 @@ func childSet(s Set) Set {
 	return o
 }
 
-func parentSet(s Set) Set {
+func parentSet(ix *xmltree.Index, s Set) Set {
 	o := New(s.Doc)
+	if ix != nil {
+		parent := ix.ParentOrds()
+		for i, b := range s.Bits {
+			if b && parent[i] >= 0 {
+				o.Bits[parent[i]] = true
+			}
+		}
+		return o
+	}
 	for i, b := range s.Bits {
 		if !b {
 			continue
@@ -185,8 +285,26 @@ func parentSet(s Set) Set {
 
 // descendantSet exploits that Document.Nodes is in document order: a
 // single forward pass sees parents before children.
-func descendantSet(s Set, orSelf bool) Set {
+func descendantSet(ix *xmltree.Index, s Set, orSelf bool) Set {
 	o := New(s.Doc)
+	if ix != nil {
+		parent, attr := ix.ParentOrds(), ix.AttrBits()
+		for i, p := range parent {
+			if attr[i] {
+				if orSelf && s.Bits[i] {
+					o.Bits[i] = true
+				}
+				continue
+			}
+			if orSelf && s.Bits[i] {
+				o.Bits[i] = true
+			}
+			if p >= 0 && (s.Bits[p] || o.Bits[p]) {
+				o.Bits[i] = true
+			}
+		}
+		return o
+	}
 	for i, n := range s.Doc.Nodes {
 		if n.Type == xmltree.AttributeNode {
 			if orSelf && s.Bits[i] {
@@ -206,8 +324,20 @@ func descendantSet(s Set, orSelf bool) Set {
 
 // ancestorSet propagates upward with a single backward pass (children are
 // seen before parents in reverse document order).
-func ancestorSet(s Set, orSelf bool) Set {
+func ancestorSet(ix *xmltree.Index, s Set, orSelf bool) Set {
 	o := New(s.Doc)
+	if ix != nil {
+		parent := ix.ParentOrds()
+		for i := len(parent) - 1; i >= 0; i-- {
+			if orSelf && s.Bits[i] {
+				o.Bits[i] = true
+			}
+			if (s.Bits[i] || o.Bits[i]) && parent[i] >= 0 {
+				o.Bits[parent[i]] = true
+			}
+		}
+		return o
+	}
 	for i := len(s.Doc.Nodes) - 1; i >= 0; i-- {
 		n := s.Doc.Nodes[i]
 		if orSelf && s.Bits[i] {
@@ -220,21 +350,55 @@ func ancestorSet(s Set, orSelf bool) Set {
 	return o
 }
 
-func followingSiblingSet(s Set) Set {
+func followingSiblingSet(ix *xmltree.Index, s Set) Set {
 	o := New(s.Doc)
-	markSiblings(s, o, false)
+	markSiblings(ix, s, o, false)
 	return o
 }
 
-func precedingSiblingSet(s Set) Set {
+func precedingSiblingSet(ix *xmltree.Index, s Set) Set {
 	o := New(s.Doc)
-	markSiblings(s, o, true)
+	markSiblings(ix, s, o, true)
 	return o
 }
 
 // markSiblings marks, for every node whose sibling list contains an S
-// member, the siblings after (or before, when reverse) the member.
-func markSiblings(s Set, o Set, reverse bool) {
+// member, the siblings after (or before, when reverse) the member. The
+// union over members collapses to a suffix after the first member
+// (resp. a prefix before the last member) of each sibling chain.
+func markSiblings(ix *xmltree.Index, s Set, o Set, reverse bool) {
+	if ix != nil {
+		firstChild, next := ix.FirstChildOrds(), ix.NextSiblingOrds()
+		for _, c := range firstChild {
+			if c < 0 {
+				continue
+			}
+			if !reverse {
+				seen := false
+				for j := c; j >= 0; j = next[j] {
+					if seen {
+						o.Bits[j] = true
+					}
+					if s.Bits[j] {
+						seen = true
+					}
+				}
+			} else {
+				last := int32(-1)
+				for j := c; j >= 0; j = next[j] {
+					if s.Bits[j] {
+						last = j
+					}
+				}
+				if last >= 0 {
+					for j := c; j != last; j = next[j] {
+						o.Bits[j] = true
+					}
+				}
+			}
+		}
+		return
+	}
 	for _, parent := range s.Doc.Nodes {
 		if len(parent.Children) == 0 {
 			continue
@@ -269,25 +433,25 @@ func markSiblings(s Set, o Set, reverse bool) {
 // following(S) = desc-or-self(following-sibling(anc-or-self(S))),
 // extended for attribute members, whose following axis additionally covers
 // the owner's subtree below the attribute.
-func followingSet(s Set) Set {
+func followingSet(ix *xmltree.Index, s Set) Set {
 	tree, attrOwnersKids := splitAttrs(s)
-	out := descendantSet(followingSiblingSet(ancestorSet(tree, true)), true)
+	out := descendantSet(ix, followingSiblingSet(ix, ancestorSet(ix, tree, true)), true)
 	if attrOwnersKids != nil {
-		out = out.Or(descendantSet(*attrOwnersKids, true))
+		out = out.Or(descendantSet(ix, *attrOwnersKids, true))
 	}
-	return dropAttrs(out)
+	return dropAttrs(ix, out)
 }
 
 // precedingSet uses preceding(S) = desc-or-self(preceding-sibling(anc-or-self(S)));
 // an attribute member behaves like its owning element.
-func precedingSet(s Set) Set {
+func precedingSet(ix *xmltree.Index, s Set) Set {
 	tree, _ := splitAttrs(s)
 	for i, b := range s.Bits {
 		if b && s.Doc.Nodes[i].Type == xmltree.AttributeNode {
 			tree.Bits[s.Doc.Nodes[i].Parent.Ord] = true
 		}
 	}
-	return dropAttrs(descendantSet(precedingSiblingSet(ancestorSet(tree, true)), true))
+	return dropAttrs(ix, descendantSet(ix, precedingSiblingSet(ix, ancestorSet(ix, tree, true)), true))
 }
 
 // splitAttrs separates attribute members from tree members. For each
@@ -317,7 +481,15 @@ func splitAttrs(s Set) (tree Set, ownersKids *Set) {
 	return tree, ownersKids
 }
 
-func dropAttrs(s Set) Set {
+func dropAttrs(ix *xmltree.Index, s Set) Set {
+	if ix != nil {
+		for i, a := range ix.AttrBits() {
+			if a {
+				s.Bits[i] = false
+			}
+		}
+		return s
+	}
 	for i, b := range s.Bits {
 		if b && s.Doc.Nodes[i].Type == xmltree.AttributeNode {
 			s.Bits[i] = false
@@ -340,8 +512,17 @@ func attributeSet(s Set) Set {
 }
 
 // attributeInverseSet maps attribute members to their owners.
-func attributeInverseSet(s Set) Set {
+func attributeInverseSet(ix *xmltree.Index, s Set) Set {
 	o := New(s.Doc)
+	if ix != nil {
+		parent, attr := ix.ParentOrds(), ix.AttrBits()
+		for i, b := range s.Bits {
+			if b && attr[i] {
+				o.Bits[parent[i]] = true
+			}
+		}
+		return o
+	}
 	for i, b := range s.Bits {
 		if !b {
 			continue
@@ -356,8 +537,17 @@ func attributeInverseSet(s Set) Set {
 
 // addAttrsWithOwnerIn marks every attribute whose owner is in ownerSet,
 // returning the modified out set.
-func addAttrsWithOwnerIn(out, ownerSet Set) Set {
+func addAttrsWithOwnerIn(ix *xmltree.Index, out, ownerSet Set) Set {
 	res := out.Clone()
+	if ix != nil {
+		parent, attr := ix.ParentOrds(), ix.AttrBits()
+		for i, a := range attr {
+			if a && ownerSet.Bits[parent[i]] {
+				res.Bits[i] = true
+			}
+		}
+		return res
+	}
 	for _, n := range out.Doc.Nodes {
 		if n.Type == xmltree.AttributeNode && ownerSet.Bits[n.Parent.Ord] {
 			res.Bits[n.Ord] = true

@@ -87,6 +87,16 @@ func (s Set) And(t Set) Set {
 	return o
 }
 
+// AndWith intersects t into s in place and returns s. The receiver must
+// be exclusively owned (freshly built, never a cached/shared set); t is
+// not modified, so shared sets are fine on the right.
+func (s Set) AndWith(t Set) Set {
+	for i := range s.Bits {
+		s.Bits[i] = s.Bits[i] && t.Bits[i]
+	}
+	return s
+}
+
 // Or returns s ∪ t.
 func (s Set) Or(t Set) Set {
 	o := New(s.Doc)

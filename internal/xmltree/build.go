@@ -64,7 +64,12 @@ func NewDocument(rootChildren ...*Node) *Document {
 }
 
 // number assigns Parent, SiblingIdx, Ord, Pre and Post over the subtree.
+// It is the single build entry point of the document model, so it also
+// drops any cached index (see Document.Index).
 func (d *Document) number(n *Node, pre, post *int) {
+	if n == d.Root {
+		d.invalidateIndex()
+	}
 	n.doc = d
 	n.Pre = *pre
 	*pre++

@@ -1,0 +1,285 @@
+package xmltree
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Index is the precomputed access-path layer of a document: per-tag node
+// lists, per-kind node lists, and flat first-child/next-sibling/parent
+// arrays in document order. Together with the pre/post numbering already
+// carried by every node it turns the axis evaluations of the engines from
+// tree walks into list slices and binary searches (the SXSI/"whole query
+// optimization" direction: the paper settles the asymptotics, the index
+// buys the constant factors).
+//
+// An Index is immutable once built and is shared freely across
+// goroutines. It is built lazily behind Document.Index and cached on the
+// document; (re)numbering a document through the single build entry point
+// (Document.number, called by NewDocument and Copy) invalidates it.
+type Index struct {
+	doc *Document
+
+	// elemsByTag maps each element tag to its elements in document order
+	// (equivalently: increasing Pre order).
+	elemsByTag map[string][]*Node
+	// attrsByName maps each attribute name to its attribute nodes in
+	// document order.
+	attrsByName map[string][]*Node
+	// elements, texts, comments, procInsts list all nodes of one kind in
+	// document order; treeNodes lists every non-attribute node (what the
+	// node() test selects on the tree axes).
+	elements  []*Node
+	texts     []*Node
+	comments  []*Node
+	procInsts []*Node
+	treeNodes []*Node
+
+	// firstChild, nextSibling and parent are flat arrays indexed by
+	// Node.Ord holding the Ord of the respective neighbour, or -1. They
+	// cover tree nodes only; attribute entries are -1 (parent excepted).
+	// isAttr flags attribute nodes by Ord. Together these four arrays let
+	// the dense set operations of package nodeset run over contiguous
+	// memory instead of chasing Node pointers.
+	firstChild  []int32
+	nextSibling []int32
+	parent      []int32
+	isAttr      []bool
+
+	// aux holds lazily computed evaluator-layer structures keyed by any
+	// comparable key (e.g. the cached node-test membership arrays of
+	// package nodeset). Values must be immutable once published.
+	auxMu sync.RWMutex
+	aux   map[any]any
+}
+
+// Index returns the document's index, building it on first use. The
+// build is concurrency-safe: any number of goroutines may race on the
+// first call and all observe the same index.
+func (d *Document) Index() *Index {
+	if ix := d.idx.Load(); ix != nil {
+		return ix
+	}
+	d.idxMu.Lock()
+	defer d.idxMu.Unlock()
+	if ix := d.idx.Load(); ix != nil {
+		return ix
+	}
+	ix := buildIndex(d)
+	d.idx.Store(ix)
+	return ix
+}
+
+// invalidateIndex drops the cached index; called from the single build
+// entry point (number) so a re-finalized tree never serves stale lists.
+func (d *Document) invalidateIndex() {
+	d.idxMu.Lock()
+	d.idx.Store(nil)
+	d.idxMu.Unlock()
+}
+
+func buildIndex(d *Document) *Index {
+	n := len(d.Nodes)
+	ix := &Index{
+		doc:         d,
+		elemsByTag:  make(map[string][]*Node),
+		attrsByName: make(map[string][]*Node),
+		firstChild:  make([]int32, n),
+		nextSibling: make([]int32, n),
+		parent:      make([]int32, n),
+		isAttr:      make([]bool, n),
+	}
+	for i := range ix.firstChild {
+		ix.firstChild[i] = -1
+		ix.nextSibling[i] = -1
+		ix.parent[i] = -1
+	}
+	for _, m := range d.Nodes {
+		if m.Parent != nil {
+			ix.parent[m.Ord] = int32(m.Parent.Ord)
+		}
+		switch m.Type {
+		case ElementNode:
+			ix.elemsByTag[m.Name] = append(ix.elemsByTag[m.Name], m)
+			ix.elements = append(ix.elements, m)
+		case AttributeNode:
+			ix.attrsByName[m.Name] = append(ix.attrsByName[m.Name], m)
+			ix.isAttr[m.Ord] = true
+			continue // attributes have no child/sibling entries
+		case TextNode:
+			ix.texts = append(ix.texts, m)
+		case CommentNode:
+			ix.comments = append(ix.comments, m)
+		case ProcInstNode:
+			ix.procInsts = append(ix.procInsts, m)
+		}
+		ix.treeNodes = append(ix.treeNodes, m)
+		if len(m.Children) > 0 {
+			ix.firstChild[m.Ord] = int32(m.Children[0].Ord)
+		}
+		if s := m.NextSibling(); s != nil {
+			ix.nextSibling[m.Ord] = int32(s.Ord)
+		}
+	}
+	return ix
+}
+
+// Doc returns the indexed document.
+func (ix *Index) Doc() *Document { return ix.doc }
+
+// ElementsByTag returns every element with the given tag in document
+// order. The returned slice is shared and must not be modified.
+func (ix *Index) ElementsByTag(tag string) []*Node { return ix.elemsByTag[tag] }
+
+// AttributesByName returns every attribute node with the given name in
+// document order. The returned slice is shared and must not be modified.
+func (ix *Index) AttributesByName(name string) []*Node { return ix.attrsByName[name] }
+
+// Elements returns all element nodes in document order (shared slice).
+func (ix *Index) Elements() []*Node { return ix.elements }
+
+// Texts returns all text nodes in document order (shared slice).
+func (ix *Index) Texts() []*Node { return ix.texts }
+
+// Comments returns all comment nodes in document order (shared slice).
+func (ix *Index) Comments() []*Node { return ix.comments }
+
+// ProcInsts returns all processing instructions in document order
+// (shared slice).
+func (ix *Index) ProcInsts() []*Node { return ix.procInsts }
+
+// TreeNodes returns all non-attribute nodes in document order (shared
+// slice): the candidate list of the node() test on the tree axes.
+func (ix *Index) TreeNodes() []*Node { return ix.treeNodes }
+
+// Tags returns the element tag alphabet of the document in sorted order.
+func (ix *Index) Tags() []string {
+	out := make([]string, 0, len(ix.elemsByTag))
+	for t := range ix.elemsByTag {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FirstChildOrd returns the Ord of the first child of the node with the
+// given Ord, or -1.
+func (ix *Index) FirstChildOrd(ord int) int { return int(ix.firstChild[ord]) }
+
+// NextSiblingOrd returns the Ord of the next sibling of the node with
+// the given Ord, or -1.
+func (ix *Index) NextSiblingOrd(ord int) int { return int(ix.nextSibling[ord]) }
+
+// ParentOrd returns the Ord of the parent of the node with the given
+// Ord, or -1 for the conceptual root.
+func (ix *Index) ParentOrd(ord int) int { return int(ix.parent[ord]) }
+
+// ParentOrds returns the flat parent array indexed by Ord (-1 = no
+// parent). Shared storage; read-only.
+func (ix *Index) ParentOrds() []int32 { return ix.parent }
+
+// FirstChildOrds returns the flat first-child array indexed by Ord
+// (-1 = no children; attribute entries are -1). Shared storage;
+// read-only.
+func (ix *Index) FirstChildOrds() []int32 { return ix.firstChild }
+
+// NextSiblingOrds returns the flat next-sibling array indexed by Ord
+// (-1 = last sibling; attribute entries are -1). Shared storage;
+// read-only.
+func (ix *Index) NextSiblingOrds() []int32 { return ix.nextSibling }
+
+// AttrBits returns the attribute-membership array indexed by Ord.
+// Shared storage; read-only.
+func (ix *Index) AttrBits() []bool { return ix.isAttr }
+
+// SubtreeSlice returns the contiguous sublist of list lying strictly
+// inside n's subtree. list must be sorted by document order and contain
+// no attribute nodes (any of the Index node lists qualifies); because
+// pre-order numbers a subtree contiguously, the proper descendants form
+// one slice, found by two binary searches. The result aliases list and
+// must not be modified.
+func SubtreeSlice(list []*Node, n *Node) []*Node {
+	if n.Type == AttributeNode || len(list) == 0 {
+		return nil
+	}
+	// First list member with Pre > n.Pre.
+	lo := sort.Search(len(list), func(i int) bool { return list[i].Pre > n.Pre })
+	// Among those, descendants (Post < n.Post) precede non-descendants.
+	hi := lo + sort.Search(len(list)-lo, func(i int) bool { return list[lo+i].Post > n.Post })
+	return list[lo:hi]
+}
+
+// FollowingSlice returns the suffix of list containing exactly the nodes
+// on n's following axis: after n in document order and not descendants
+// of n. list must be sorted by document order and contain no attribute
+// nodes. For an attribute context node the following axis contains every
+// later non-attribute node, including the owner's subtree. The result
+// aliases list and must not be modified.
+func FollowingSlice(list []*Node, n *Node) []*Node {
+	if len(list) == 0 {
+		return nil
+	}
+	if n.Type == AttributeNode {
+		// Attributes share the owner's Pre; everything strictly after it
+		// (the owner's subtree onward) follows the attribute.
+		lo := sort.Search(len(list), func(i int) bool { return list[i].Pre > n.Pre })
+		return list[lo:]
+	}
+	lo := sort.Search(len(list), func(i int) bool { return list[i].Pre > n.Pre })
+	lo += sort.Search(len(list)-lo, func(i int) bool { return list[lo+i].Post > n.Post })
+	return list[lo:]
+}
+
+// PrecedingScan appends to dst the members of list on n's preceding
+// axis: before n in document order, excluding n's ancestors. list must
+// be sorted by document order and contain no attribute nodes. An
+// attribute context node behaves like its owning element.
+func PrecedingScan(dst []*Node, list []*Node, n *Node) []*Node {
+	anchor := n
+	if n.Type == AttributeNode {
+		anchor = n.Parent
+		if anchor == nil {
+			return dst
+		}
+	}
+	hi := sort.Search(len(list), func(i int) bool { return list[i].Pre >= anchor.Pre })
+	for _, m := range list[:hi] {
+		if m.Post < anchor.Post { // not an ancestor
+			dst = append(dst, m)
+		}
+	}
+	return dst
+}
+
+// Aux returns the auxiliary value cached under key, computing it with
+// build on first use. Concurrent first calls may run build more than
+// once; the first stored value wins, so build must produce values that
+// are interchangeable and immutable once published.
+func (ix *Index) Aux(key any, build func() any) any {
+	ix.auxMu.RLock()
+	v, ok := ix.aux[key]
+	ix.auxMu.RUnlock()
+	if ok {
+		return v
+	}
+	v = build()
+	ix.auxMu.Lock()
+	if ix.aux == nil {
+		ix.aux = make(map[any]any)
+	}
+	if old, ok := ix.aux[key]; ok {
+		v = old
+	} else {
+		ix.aux[key] = v
+	}
+	ix.auxMu.Unlock()
+	return v
+}
+
+// indexCache is the cached-index slot embedded in Document. It lives
+// here (not in node.go) to keep all index machinery in one file.
+type indexCache struct {
+	idxMu sync.Mutex
+	idx   atomic.Pointer[Index]
+}

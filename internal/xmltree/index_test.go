@@ -1,0 +1,248 @@
+package xmltree
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomIndexedDoc builds a random document with some text, attribute,
+// comment and PI variety for index testing.
+func randomIndexedDoc(t *testing.T, seed int64, nodes int) *Document {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := RandomDocument(rng, GenConfig{
+		Nodes: nodes, MaxFanout: 4, Tags: []string{"a", "b", "c", "d"},
+		TextProb: 0.3, AttrProb: 0.3,
+	})
+	return d
+}
+
+// Metamorphic: pre/post interval tests must agree with the naive
+// parent-chain walk on every sampled node pair, and document order (Ord)
+// must agree with the position in a full Walk.
+func TestIndexPrePostAgreesWithWalks(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		d := randomIndexedDoc(t, seed, 120)
+		chainAncestor := func(a, m *Node) bool {
+			for p := m.Parent; p != nil; p = p.Parent {
+				if p == a {
+					return true
+				}
+			}
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed * 7))
+		for trial := 0; trial < 500; trial++ {
+			a := d.Nodes[rng.Intn(len(d.Nodes))]
+			m := d.Nodes[rng.Intn(len(d.Nodes))]
+			if got, want := a.IsAncestorOf(m), chainAncestor(a, m); got != want {
+				t.Fatalf("seed %d: IsAncestorOf(#%d, #%d) = %v, chain walk says %v",
+					seed, a.Ord, m.Ord, got, want)
+			}
+		}
+		// Ord agrees with pre-order Walk position (attributes after owner).
+		i := 0
+		d.Root.Walk(func(n *Node) bool {
+			if n.Ord != i {
+				t.Fatalf("seed %d: walk position %d has Ord %d", seed, i, n.Ord)
+			}
+			i++
+			return true
+		})
+	}
+}
+
+// Metamorphic: every index list must agree with a full document scan.
+func TestIndexListsAgreeWithFullScan(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		d := randomIndexedDoc(t, seed, 150)
+		ix := d.Index()
+		byTag := map[string][]*Node{}
+		byAttr := map[string][]*Node{}
+		var elements, texts []*Node
+		for _, n := range d.Nodes {
+			switch n.Type {
+			case ElementNode:
+				byTag[n.Name] = append(byTag[n.Name], n)
+				elements = append(elements, n)
+			case AttributeNode:
+				byAttr[n.Name] = append(byAttr[n.Name], n)
+			case TextNode:
+				texts = append(texts, n)
+			}
+		}
+		sameNodes := func(what string, got, want []*Node) {
+			t.Helper()
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: %s: %d nodes, scan found %d", seed, what, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d: %s: node %d differs (#%d vs #%d)",
+						seed, what, i, got[i].Ord, want[i].Ord)
+				}
+			}
+		}
+		for tag, want := range byTag {
+			sameNodes("tag "+tag, ix.ElementsByTag(tag), want)
+		}
+		for name, want := range byAttr {
+			sameNodes("attr "+name, ix.AttributesByName(name), want)
+		}
+		sameNodes("elements", ix.Elements(), elements)
+		sameNodes("texts", ix.Texts(), texts)
+		if got := ix.ElementsByTag("no-such-tag"); got != nil {
+			t.Fatalf("unknown tag returned %d nodes", len(got))
+		}
+	}
+}
+
+// Metamorphic: the flat first-child/next-sibling/parent arrays must
+// mirror the pointer structure node by node.
+func TestIndexFlatArraysMirrorPointers(t *testing.T) {
+	d := randomIndexedDoc(t, 42, 200)
+	ix := d.Index()
+	for _, n := range d.Nodes {
+		if n.Type == AttributeNode {
+			if got := ix.ParentOrd(n.Ord); got != n.Parent.Ord {
+				t.Fatalf("attr #%d: ParentOrd = %d, want %d", n.Ord, got, n.Parent.Ord)
+			}
+			continue
+		}
+		wantFC := -1
+		if len(n.Children) > 0 {
+			wantFC = n.Children[0].Ord
+		}
+		if got := ix.FirstChildOrd(n.Ord); got != wantFC {
+			t.Fatalf("#%d: FirstChildOrd = %d, want %d", n.Ord, got, wantFC)
+		}
+		wantNS := -1
+		if s := n.NextSibling(); s != nil {
+			wantNS = s.Ord
+		}
+		if got := ix.NextSiblingOrd(n.Ord); got != wantNS {
+			t.Fatalf("#%d: NextSiblingOrd = %d, want %d", n.Ord, got, wantNS)
+		}
+		wantP := -1
+		if n.Parent != nil {
+			wantP = n.Parent.Ord
+		}
+		if got := ix.ParentOrd(n.Ord); got != wantP {
+			t.Fatalf("#%d: ParentOrd = %d, want %d", n.Ord, got, wantP)
+		}
+	}
+}
+
+// Metamorphic: SubtreeSlice/FollowingSlice/PrecedingScan over every tag
+// list must agree with the naive definition via ancestor walks, for
+// every context node including attributes.
+func TestIndexSlicesAgreeWithNaiveDefinitions(t *testing.T) {
+	for seed := int64(3); seed <= 6; seed++ {
+		d := randomIndexedDoc(t, seed, 100)
+		ix := d.Index()
+		for _, tag := range append(ix.Tags(), "zz") {
+			list := ix.ElementsByTag(tag)
+			for _, n := range d.Nodes {
+				var wantDesc, wantFoll, wantPrec []*Node
+				anchor := n
+				if n.Type == AttributeNode {
+					anchor = n.Parent
+				}
+				for _, m := range list {
+					switch {
+					case n.Type != AttributeNode && n.IsAncestorOf(m):
+						wantDesc = append(wantDesc, m)
+					case n.Type == AttributeNode && m.Ord > n.Ord:
+						wantFoll = append(wantFoll, m)
+					case n.Type != AttributeNode && m.Pre > n.Pre && !n.IsAncestorOf(m):
+						wantFoll = append(wantFoll, m)
+					}
+					if m.Pre < anchor.Pre && !m.IsAncestorOf(anchor) && m != anchor {
+						wantPrec = append(wantPrec, m)
+					}
+				}
+				check := func(what string, got, want []*Node) {
+					t.Helper()
+					if len(got) != len(want) {
+						t.Fatalf("seed %d tag %s ctx #%d: %s: got %d, want %d",
+							seed, tag, n.Ord, what, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("seed %d tag %s ctx #%d: %s differs at %d", seed, tag, n.Ord, what, i)
+						}
+					}
+				}
+				check("subtree", SubtreeSlice(list, n), wantDesc)
+				check("following", FollowingSlice(list, n), wantFoll)
+				if anchor != nil {
+					check("preceding", PrecedingScan(nil, list, n), wantPrec)
+				}
+			}
+		}
+	}
+}
+
+// The index is built exactly once per document, even under concurrent
+// first use (run with -race), and rebuilding the document through the
+// build entry point invalidates it.
+func TestIndexConcurrentFirstBuildAndInvalidation(t *testing.T) {
+	d := randomIndexedDoc(t, 9, 300)
+	const goroutines = 16
+	got := make([]*Index, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = d.Index()
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if got[g] != got[0] {
+			t.Fatalf("goroutine %d observed a different index", g)
+		}
+	}
+	if d.Index() != got[0] {
+		t.Fatal("index not cached after concurrent build")
+	}
+	// Copy re-numbers through the single build entry point: the copy's
+	// index is fresh and the original's stays valid.
+	cp := d.Copy()
+	if cp.Index() == got[0] {
+		t.Fatal("copied document shares the original's index")
+	}
+	if d.Index() != got[0] {
+		t.Fatal("copying invalidated the original document's index")
+	}
+}
+
+// Aux computes each key once and returns the same value thereafter,
+// including under concurrency.
+func TestIndexAuxCache(t *testing.T) {
+	d := randomIndexedDoc(t, 10, 50)
+	ix := d.Index()
+	v1 := ix.Aux("k", func() any { return []bool{true} })
+	v2 := ix.Aux("k", func() any { t.Fatal("built twice"); return nil })
+	if fmt.Sprintf("%p", v1) != fmt.Sprintf("%p", v2) {
+		t.Fatal("Aux returned different values for the same key")
+	}
+	var wg sync.WaitGroup
+	vals := make([]any, 32)
+	for g := range vals {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals[g] = ix.Aux("k2", func() any { return new(int) })
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(vals); g++ {
+		if vals[g] != vals[0] {
+			t.Fatal("Aux published two values for one key")
+		}
+	}
+}

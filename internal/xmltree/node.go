@@ -106,6 +106,8 @@ type Document struct {
 	Root *Node
 	// Nodes holds every node of the document in document order.
 	Nodes []*Node
+
+	indexCache
 }
 
 // Document returns the document the node belongs to.

@@ -283,3 +283,69 @@ func EliminateDoubleNegation(e ast.Expr) (ast.Expr, bool) {
 	}
 	return walk(e), changed
 }
+
+// CollapseDescendantSteps merges the step pair produced by the '//'
+// abbreviation: a bare descendant-or-self::node() step (no predicates)
+// followed by a child::, descendant:: or descendant-or-self:: step
+// collapses into one descendant-axis step carrying the second step's
+// test and predicates. The set equivalences
+//
+//	dos::node()/child::t[e]      ≡ descendant::t[e]
+//	dos::node()/descendant::t[e] ≡ descendant::t[e]
+//	dos::node()/dos::t[e]        ≡ dos::t[e]
+//	dos::node()/self::t[e]       ≡ dos::t[e]
+//
+// hold whenever no predicate observes position() or last() (after the
+// merge a positional predicate would count within a different node
+// list), so positional and numeric predicates block the merge — the
+// same guard as Remark 5.2's predicate folding. The left-to-right pass
+// collapses chains like //.//a completely. It reports whether anything
+// changed.
+func CollapseDescendantSteps(e ast.Expr) (ast.Expr, bool) {
+	changed := false
+	var walk func(e ast.Expr) ast.Expr
+	walk = func(e ast.Expr) ast.Expr {
+		switch x := e.(type) {
+		case *ast.Path:
+			out := &ast.Path{Absolute: x.Absolute}
+			for _, s := range x.Steps {
+				ns := &ast.Step{Axis: s.Axis, Test: s.Test}
+				for _, p := range s.Preds {
+					ns.Preds = append(ns.Preds, walk(p))
+				}
+				if k := len(out.Steps); k > 0 {
+					prev := out.Steps[k-1]
+					if prev.Axis == ast.AxisDescendantOrSelf &&
+						prev.Test.Kind == ast.TestNode && len(prev.Preds) == 0 &&
+						(ns.Axis == ast.AxisChild || ns.Axis == ast.AxisDescendant ||
+							ns.Axis == ast.AxisDescendantOrSelf || ns.Axis == ast.AxisSelf) &&
+						foldable(ns.Preds) {
+						if ns.Axis == ast.AxisChild || ns.Axis == ast.AxisDescendant {
+							ns.Axis = ast.AxisDescendant
+						} else {
+							ns.Axis = ast.AxisDescendantOrSelf
+						}
+						out.Steps[k-1] = ns
+						changed = true
+						continue
+					}
+				}
+				out.Steps = append(out.Steps, ns)
+			}
+			return out
+		case *ast.Binary:
+			return &ast.Binary{Op: x.Op, Left: walk(x.Left), Right: walk(x.Right)}
+		case *ast.Unary:
+			return &ast.Unary{Operand: walk(x.Operand)}
+		case *ast.Call:
+			args := make([]ast.Expr, len(x.Args))
+			for i, a := range x.Args {
+				args[i] = walk(a)
+			}
+			return &ast.Call{Name: x.Name, Args: args}
+		default:
+			return copyExpr(e)
+		}
+	}
+	return walk(e), changed
+}

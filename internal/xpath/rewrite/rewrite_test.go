@@ -2,6 +2,7 @@ package rewrite
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"xpathcomplexity/internal/eval/cvt"
@@ -185,5 +186,80 @@ func TestFoldEnablesNAuxPDA(t *testing.T) {
 	}
 	if ast.MaxPredicateSeq(orig) != 2 || ast.MaxPredicateSeq(folded) != 1 {
 		t.Fatalf("predicate seqs: %d → %d", ast.MaxPredicateSeq(orig), ast.MaxPredicateSeq(folded))
+	}
+}
+
+func TestCollapseDescendantSteps(t *testing.T) {
+	cases := []struct {
+		in, want string
+		changed  bool
+	}{
+		{"//a", "/descendant::a", true},
+		{"//a//b", "/descendant::a/descendant::b", true},
+		{"//a[b]", "/descendant::a[child::b]", true},
+		{".//a", "self::node()/descendant::a", true},
+		{"//.//a", "/descendant::a", true},
+		{"/descendant-or-self::node()/descendant::a", "/descendant::a", true},
+		{"/descendant-or-self::node()/descendant-or-self::a", "/descendant-or-self::a", true},
+		{"/descendant-or-self::node()/self::a", "/descendant-or-self::a", true},
+		// Inside predicates.
+		{"a[.//b]", "child::a[self::node()/descendant::b]", true},
+		// Positional and numeric predicates block the merge.
+		{"//a[1]", "/descendant-or-self::node()/child::a[1]", false},
+		{"//a[position() = 2]", "/descendant-or-self::node()/child::a[position() = 2]", false},
+		{"//a[last()]", "/descendant-or-self::node()/child::a[last()]", false},
+		// A predicate on the descendant-or-self step itself blocks it.
+		{"/descendant-or-self::node()[b]/a", "/descendant-or-self::node()[child::b]/child::a", false},
+		// Non-mergeable following axis.
+		{"//a/parent::b", "/descendant::a/parent::b", true},
+		{"/descendant-or-self::node()/following-sibling::a",
+			"/descendant-or-self::node()/following-sibling::a", false},
+	}
+	for _, tc := range cases {
+		got, changed := CollapseDescendantSteps(parser.MustParse(tc.in))
+		if got.String() != tc.want || changed != tc.changed {
+			t.Errorf("Collapse(%q) = %q (changed=%v), want %q (changed=%v)",
+				tc.in, got.String(), changed, tc.want, tc.changed)
+		}
+	}
+}
+
+func TestCollapsePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	gen := enginetest.NewQueryGen(rng, enginetest.GenFull)
+	checked := 0
+	for trial := 0; trial < 600 && checked < 150; trial++ {
+		// The generator spells axes out and never writes node() tests, so
+		// splice its queries into '//' abbreviations (which parse to the
+		// descendant-or-self::node() steps the rewrite targets).
+		q := gen.Query()
+		if strings.HasPrefix(q, "/") {
+			q = "//" + gen.Tags[rng.Intn(len(gen.Tags))] + "[" + q + "]"
+		} else if trial%2 == 0 {
+			q = "//" + q
+		} else {
+			q = ".//" + q
+		}
+		orig := parser.MustParse(q)
+		rewritten, changed := CollapseDescendantSteps(orig)
+		if !changed {
+			continue
+		}
+		checked++
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 18, MaxFanout: 3, Tags: []string{"a", "b", "c"},
+		})
+		ctx := evalctx.Root(doc)
+		want, err1 := cvt.Evaluate(orig, ctx, nil)
+		got, err2 := cvt.Evaluate(rewritten, ctx, nil)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors on %q: %v / %v", q, err1, err2)
+		}
+		if !value.Equal(want, got) {
+			t.Fatalf("collapse changed semantics on %q → %s", q, rewritten)
+		}
+	}
+	if checked < 30 {
+		t.Fatalf("only %d collapsible queries generated", checked)
 	}
 }

@@ -180,8 +180,15 @@ type EvalOptions struct {
 	// NegationBound is the bounded-negation depth for EngineNAuxPDA
 	// (Theorem 5.9); 0 accepts only negation-free pXPath.
 	NegationBound int
-	// Workers bounds EngineParallel's goroutines (0 = GOMAXPROCS).
+	// Workers bounds EngineParallel's and EvalBatch's goroutines
+	// (0 = GOMAXPROCS).
 	Workers int
+	// DisableIndex evaluates without the per-document index (see the
+	// README's Performance section): the cvt and corelinear engines fall
+	// back to tree walks and full node-test scans, the seed behaviour.
+	// Benchmarks and the differential fuzz suite use this as the cold
+	// reference; production callers should leave it false.
+	DisableIndex bool
 }
 
 // Eval evaluates the query in the given context with default options.
@@ -208,9 +215,13 @@ func (q *Query) EvalOptions(ctx Context, opts EvalOptions) (Value, error) {
 	case EngineNaive:
 		return naive.Evaluate(q.Expr, ctx, opts.Counter)
 	case EngineCVT:
-		return cvt.Evaluate(q.Expr, ctx, opts.Counter)
+		return cvt.EvaluateOptions(q.Expr, ctx, cvt.Options{
+			Counter: opts.Counter, DisableIndex: opts.DisableIndex,
+		})
 	case EngineCoreLinear:
-		return corelinear.Evaluate(q.Expr, ctx, opts.Counter)
+		return corelinear.EvaluateOptions(q.Expr, ctx, corelinear.Options{
+			Counter: opts.Counter, DisableIndex: opts.DisableIndex,
+		})
 	case EngineNAuxPDA:
 		return nauxpda.Evaluate(q.Expr, ctx, nauxpda.Options{
 			Limits:  nauxpda.Limits{NegationDepth: opts.NegationBound},
