@@ -1,6 +1,6 @@
 # Standard targets; no dependencies beyond the Go toolchain.
 
-.PHONY: all build vet test race test-race fuzz fuzz-short bench experiments examples check clean
+.PHONY: all build vet test race test-race fuzz fuzz-short bench experiments profile examples check clean
 
 all: build vet test
 
@@ -45,6 +45,12 @@ bench:
 # table of the paper (see EXPERIMENTS.md).
 experiments:
 	go run ./cmd/xbench
+
+# The observability experiment alone: naive-vs-cvt visit growth with the
+# full metrics/trace layer enabled; writes BENCH_OBS.json (see
+# docs/OBSERVABILITY.md and the EXP-OBS entry in EXPERIMENTS.md).
+profile:
+	go run ./cmd/xbench -run profile
 
 examples:
 	go run ./examples/quickstart

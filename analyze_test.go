@@ -1,0 +1,141 @@
+package xpathcomplexity
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/explain")
+
+// goldenDoc is a small fixed document giving every golden query a
+// non-trivial result: a-elements with and without b/c children, an
+// attribute, and text content for the string comparisons.
+const goldenDoc = `<r><a id="1"><b>x</b><c/></a><a><b/></a><a><c>x</c></a></r>`
+
+// goldenCases covers one query per Figure 1 fragment, bottom of the
+// lattice to the top.
+var goldenCases = []struct {
+	name     string
+	fragment string
+	query    string
+}{
+	{"pf", "PF", "/descendant::a/child::b"},
+	{"positive-core", "positive Core XPath", "//a[b or c]"},
+	{"pwf", "pWF", "//a[position() = 1]"},
+	{"core", "Core XPath", "//a[not(b)]"},
+	{"wf", "WF", "//a[b][position() = last()]"},
+	{"pxpath", "pXPath", "//a[b = 'x']"},
+	{"xpath", "XPath", "count(//a[not(b)])"},
+}
+
+// durRe matches rendered wall-time tokens (time=…, the profile time
+// column); nanosRe matches the index build-time gauge. Both are the only
+// machine-dependent parts of an ExplainAnalyze report — visits, ops and
+// cardinalities are deterministic.
+var (
+	durRe    = regexp.MustCompile(`\d+(?:\.\d+)?(?:ns|µs|ms|s)\b`)
+	durPadRe = regexp.MustCompile(` {2,}<dur>`)
+	nanosRe  = regexp.MustCompile(`(index\.build_nanos\s+)\d+`)
+)
+
+func scrubTimes(s string) string {
+	s = durRe.ReplaceAllString(s, "<dur>")
+	// Durations render right-aligned in a fixed-width column, so their
+	// varying widths leak into the padding; collapse it.
+	s = durPadRe.ReplaceAllString(s, " <dur>")
+	return nanosRe.ReplaceAllString(s, "${1}<nanos>")
+}
+
+// TestExplainAnalyzeGolden locks the rendered Explain and ExplainAnalyze
+// reports for one query per Figure 1 fragment against golden files
+// (regenerate with `go test -run ExplainAnalyzeGolden -update .`). Wall
+// times are scrubbed; everything else in the report — classification,
+// profile visits/ops/cardinalities, metrics — must be byte-stable.
+func TestExplainAnalyzeGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := MustCompile(tc.query)
+			if got := q.Fragment().String(); got != tc.fragment {
+				t.Fatalf("Fragment(%q) = %s, want %s", tc.query, got, tc.fragment)
+			}
+			d, err := ParseDocumentString(goldenDoc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report, err := q.ExplainAnalyze(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(report, q.Explain()) {
+				t.Errorf("ExplainAnalyze does not start with the static Explain report:\n%s", report)
+			}
+			got := scrubTimes(report)
+			path := filepath.Join("testdata", "explain", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test -run ExplainAnalyzeGolden -update .` to create it)", err)
+			}
+			if got != string(want) {
+				t.Errorf("report for %q differs from %s:\n--- got ---\n%s--- want ---\n%s", tc.query, path, got, want)
+			}
+		})
+	}
+}
+
+// TestAnalyzeResult checks the machine-readable half: the profile and
+// metrics of an Analyze run reconcile with the run's own counter, and
+// the naive engine re-visits predicate subexpressions more often than
+// cvt does on an iterated-predicate query (the Section 3 blowup, in
+// miniature).
+func TestAnalyzeResult(t *testing.T) {
+	d, err := ParseDocumentString(goldenDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustCompile("//a[b][position() = last()]")
+	visits := func(engine Engine) (int64, AnalyzeResult) {
+		res, err := q.Analyze(RootContext(d), EvalOptions{Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, row := range res.Profile.Rows() {
+			total += row.Visits
+		}
+		return total, res
+	}
+	nv, nres := visits(EngineNaive)
+	cv, cres := visits(EngineCVT)
+	if nv < cv {
+		t.Errorf("naive visits %d < cvt visits %d on an iterated-predicate query", nv, cv)
+	}
+	for _, res := range []AnalyzeResult{nres, cres} {
+		if res.Ops <= 0 {
+			t.Errorf("%s: Ops = %d, want positive", res.Engine, res.Ops)
+		}
+		name := "engine." + res.Engine.String() + ".ops"
+		if got := res.Metrics.Counter(name); got != res.Ops {
+			t.Errorf("%s: metrics %s = %d, Counter delta = %d", res.Engine, name, got, res.Ops)
+		}
+		if len(res.Subexprs) == 0 {
+			t.Errorf("%s: no subexpression numbering", res.Engine)
+		}
+		root, ok := res.Profile.Row(0)
+		if !ok || root.Visits != 1 {
+			t.Errorf("%s: root subexpression visited %d times, want 1", res.Engine, root.Visits)
+		}
+	}
+}

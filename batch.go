@@ -24,6 +24,12 @@ type BatchResult struct {
 // aborting the batch. Documents are immutable and the engines are
 // stateless, so the only shared mutable state is the index build and the
 // plan cache, both of which are concurrency-safe.
+//
+// When opts.Metrics is set, each worker fills a private registry which is
+// merged into opts.Metrics after the batch (counters and histograms add,
+// gauges take the maximum across workers), followed by the shared plan
+// cache and index statistics — so one snapshot describes the whole batch.
+// A shared opts.Counter is also safe: Counter is atomic.
 func EvalBatch(d *Document, queries []string, opts EvalOptions) []BatchResult {
 	results := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
@@ -42,6 +48,7 @@ func EvalBatch(d *Document, queries []string, opts EvalOptions) []BatchResult {
 	if workers > len(queries) {
 		workers = len(queries)
 	}
+	batchMetrics := opts.Metrics
 	ctx := RootContext(d)
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -49,6 +56,12 @@ func EvalBatch(d *Document, queries []string, opts EvalOptions) []BatchResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wopts := opts
+			if batchMetrics != nil {
+				// Workers write to a private registry to keep handle-map
+				// lookups uncontended; merged below.
+				wopts.Metrics = NewMetrics()
+			}
 			for i := range next {
 				r := &results[i]
 				r.Query = queries[i]
@@ -57,7 +70,11 @@ func EvalBatch(d *Document, queries []string, opts EvalOptions) []BatchResult {
 					r.Err = err
 					continue
 				}
-				r.Value, r.Err = c.EvalOptions(ctx, opts)
+				r.Value, r.Err = c.EvalOptions(ctx, wopts)
+			}
+			if batchMetrics != nil {
+				// Merge is atomic per handle, safe from several workers.
+				batchMetrics.Merge(wopts.Metrics.Snapshot())
 			}
 		}()
 	}
@@ -66,5 +83,9 @@ func EvalBatch(d *Document, queries []string, opts EvalOptions) []BatchResult {
 	}
 	close(next)
 	wg.Wait()
+	if batchMetrics != nil {
+		defaultPlanCache.RecordMetrics(batchMetrics)
+		recordIndexMetrics(batchMetrics, d)
+	}
 	return results
 }

@@ -179,30 +179,39 @@ func TestPlanCacheBoundedLRU(t *testing.T) {
 	if pc.Len() != 8 {
 		t.Fatalf("cache holds %d entries after 50 inserts, want 8", pc.Len())
 	}
+	// 50 inserts into capacity 8 leave 42 evictions, all counted.
+	s0 := pc.Stats()
+	if s0.Size != 8 || s0.Evictions != 42 {
+		t.Fatalf("stats after fill = %+v, want size 8, evictions 42", s0)
+	}
 	// The most recent 8 are resident: preparing them again is all hits.
-	h0, m0 := pc.Stats()
 	for i := 42; i < 50; i++ {
 		if _, err := pc.Prepare(fmt.Sprintf("//a[%d]", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	h1, m1 := pc.Stats()
-	if h1-h0 != 8 || m1 != m0 {
-		t.Fatalf("resident set: %d hits %d misses, want 8 hits 0 misses", h1-h0, m1-m0)
+	s1 := pc.Stats()
+	if s1.Hits-s0.Hits != 8 || s1.Misses != s0.Misses {
+		t.Fatalf("resident set: %d hits %d misses, want 8 hits 0 misses", s1.Hits-s0.Hits, s1.Misses-s0.Misses)
+	}
+	if s1.Evictions != s0.Evictions {
+		t.Fatalf("hits must not evict: %d new evictions", s1.Evictions-s0.Evictions)
 	}
 	// Touch the LRU entry, insert one more, and the touched entry survives.
 	pc.Prepare("//a[42]")
 	pc.Prepare("//b")
-	h2, _ := pc.Stats()
+	s2 := pc.Stats()
 	pc.Prepare("//a[42]")
-	h3, _ := pc.Stats()
-	if h3-h2 != 1 {
+	s3 := pc.Stats()
+	if s3.Hits-s2.Hits != 1 {
 		t.Fatal("recently touched entry was evicted")
 	}
+	if s2.Evictions != s1.Evictions+1 {
+		t.Fatalf("inserting past capacity must evict exactly once, got %d", s2.Evictions-s1.Evictions)
+	}
 	// //a[43] became LRU and must be gone.
-	_, m3 := pc.Stats()
 	pc.Prepare("//a[43]")
-	if _, m4 := pc.Stats(); m4 != m3+1 {
+	if s4 := pc.Stats(); s4.Misses != s3.Misses+1 {
 		t.Fatal("LRU entry was not evicted")
 	}
 }
@@ -238,8 +247,11 @@ func TestPlanCacheConcurrent(t *testing.T) {
 	if pc.Len() > 16 {
 		t.Fatalf("cache holds %d entries (capacity 16)", pc.Len())
 	}
-	hits, misses := pc.Stats()
-	if hits+misses < goroutines*300 {
-		t.Fatalf("stats lost lookups: %d hits + %d misses < %d", hits, misses, goroutines*300)
+	st := pc.Stats()
+	if st.Hits+st.Misses < goroutines*300 {
+		t.Fatalf("stats lost lookups: %d hits + %d misses < %d", st.Hits, st.Misses, goroutines*300)
+	}
+	if st.Size != pc.Len() {
+		t.Fatalf("Stats().Size = %d, Len() = %d", st.Size, pc.Len())
 	}
 }

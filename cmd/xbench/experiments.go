@@ -44,7 +44,7 @@ func expF1(seed int64) {
 		ratio := "-"
 		ctr := &evalctx.Counter{Budget: naiveBudget}
 		_, err := naive.Evaluate(expr, ctx, ctr)
-		naiveOps := ctr.Ops
+		naiveOps := ctr.Ops()
 		if err == nil {
 			nOps = fmt.Sprint(naiveOps)
 		} else {
@@ -61,9 +61,9 @@ func expF1(seed int64) {
 			return
 		}
 		if err == nil {
-			ratio = fmt.Sprintf("%.1f", float64(naiveOps)/float64(c2.Ops))
+			ratio = fmt.Sprintf("%.1f", float64(naiveOps)/float64(c2.Ops()))
 		}
-		t.add(1+2*i, nOps, c2.Ops, c3.Ops, ratio)
+		t.add(1+2*i, nOps, c2.Ops(), c3.Ops(), ratio)
 		q += "/parent::a/b"
 	}
 	t.print()
@@ -191,7 +191,7 @@ func expF5(seed int64) {
 				if (len(got.(value.NodeSet)) > 0) == g.Reachable(src, dst) {
 					agree++
 				}
-				totalOps += ctr.Ops
+				totalOps += ctr.Ops()
 				docNodes = red.Doc.Size()
 				edges = red.Steps
 				var stepCount int
@@ -237,8 +237,8 @@ func expT1(seed int64) {
 			if value.Equal(want, got) {
 				agree++
 			}
-			cvtOps += c1.Ops
-			pdaOps += c2.Ops
+			cvtOps += c1.Ops()
+			pdaOps += c2.Ops()
 		}
 		t.add(size, queries, agree, cvtOps/int64(queries), pdaOps/int64(queries))
 	}
@@ -264,7 +264,7 @@ func expT32(seed int64) {
 		nOps := "-"
 		ctr := &evalctx.Counter{Budget: naiveBudget}
 		if _, err := naive.Evaluate(red.Expr, ctx, ctr); err == nil {
-			nOps = fmt.Sprint(ctr.Ops)
+			nOps = fmt.Sprint(ctr.Ops())
 		} else {
 			nOps = fmt.Sprintf(">%d", naiveBudget)
 		}
@@ -276,7 +276,7 @@ func expT32(seed int64) {
 		if _, err := corelinear.Evaluate(red.Expr, ctx, c3); err != nil {
 			panic(err)
 		}
-		t.add(3+n, ast.Size(red.Expr), nOps, c2.Ops, c3.Ops)
+		t.add(3+n, ast.Size(red.Expr), nOps, c2.Ops(), c3.Ops())
 	}
 	t.print()
 	fmt.Println("  expectation: naiveOps grows exponentially with the gate count and hits the budget; cvt and corelinear grow polynomially (Theorem 3.2 ⇒ no better than poly, Prop. 2.7 ⇒ poly suffices).")
@@ -301,7 +301,7 @@ func expT42(seed int64) {
 			panic(err)
 		}
 		t.add(depth, len(red.Circuit.Gates), red.DAGSize,
-			fmt.Sprintf("%.3g", red.UnfoldedSize), ctr.Ops,
+			fmt.Sprintf("%.3g", red.UnfoldedSize), ctr.Ops(),
 			(len(got.(value.NodeSet)) > 0) == want)
 	}
 	t.print()
@@ -326,7 +326,7 @@ func expT57(seed int64) {
 			panic(err)
 		}
 		t.add(3+n, red.Doc.Size(), ast.Size(red.Expr), ast.MaxPredicateSeq(red.Expr),
-			ctr.Ops, (len(got.(value.NodeSet)) > 0) == want)
+			ctr.Ops(), (len(got.(value.NodeSet)) > 0) == want)
 	}
 	t.print()
 	fmt.Println("  expectation: correct throughout with predicate sequences of length exactly 2 and no not() — iterated predicates alone recover P-hardness (Theorem 5.7/Corollary 5.8).")
@@ -353,7 +353,7 @@ func expT59(seed int64) {
 		if err != nil {
 			panic(err)
 		}
-		t.add(depth, ast.Size(expr), c1.Ops, c2.Ops, value.Equal(got, want))
+		t.add(depth, ast.Size(expr), c1.Ops(), c2.Ops(), value.Equal(got, want))
 		q = "not(descendant::b[" + q + "])"
 	}
 	t.print()
@@ -384,7 +384,7 @@ func expT71(seed int64) {
 			if (len(got.(value.NodeSet)) > 0) == want {
 				agree++
 			}
-			ops += ctr.Ops
+			ops += ctr.Ops()
 		}
 		t.add(n, pairs, agree, ops/int64(pairs))
 	}
@@ -412,7 +412,7 @@ func expT72(seed int64) {
 			if err != nil {
 				panic(err)
 			}
-			t.add(qi+1, doc.Size(), ctr.Ops, stats.Tables, stats.Entries)
+			t.add(qi+1, doc.Size(), ctr.Ops(), stats.Tables, stats.Entries)
 		}
 	}
 	t.print()
@@ -436,7 +436,7 @@ func expT73(seed int64) {
 		if _, err := corelinear.Evaluate(expr, ctx, c2); err != nil {
 			panic(err)
 		}
-		t.add(i, c1.Ops, c2.Ops)
+		t.add(i, c1.Ops(), c2.Ops())
 		// Tags cycle a→b→c by level in BalancedDocument, so this step
 		// pattern keeps a non-empty frontier at every round.
 		q += "/descendant::c[a]/ancestor::a[b]/b/parent::a"
@@ -534,7 +534,7 @@ func expReal(seed int64) {
 		nctr := &evalctx.Counter{Budget: naiveBudget}
 		naiveOps := "-"
 		if _, err := naive.Evaluate(expr, ctx, nctr); err == nil {
-			naiveOps = fmt.Sprint(nctr.Ops)
+			naiveOps = fmt.Sprint(nctr.Ops())
 		} else {
 			naiveOps = fmt.Sprintf(">%d", naiveBudget)
 		}
@@ -546,7 +546,7 @@ func expReal(seed int64) {
 			res = value.ToString(v)
 		}
 		t.add(q.Name, cls.Minimal.String(), cls.Minimal.ComplexityClass(),
-			cls.Minimal.Parallelizable(), ctr.Ops, naiveOps, res)
+			cls.Minimal.Parallelizable(), ctr.Ops(), naiveOps, res)
 	}
 	t.print()
 	fmt.Printf("  document: %d nodes; %d/%d queries in parallelizable (LOGCFL/NL) fragments — the paper's closing thesis that pXPath 'contains most practical XPath queries'.\n",

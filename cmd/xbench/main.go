@@ -18,6 +18,8 @@
 //	par  Remark 5.6: parallel evaluator speedup
 //	prep plan cache + document index: cold vs warm wall-clock (the one
 //	     wall-clock experiment; everything else counts operations)
+//	profile observability layer: per-subexpression visit growth of naive
+//	     vs cvt on an iterated-predicate query (writes BENCH_OBS.json)
 //
 // Usage:
 //
@@ -56,6 +58,7 @@ var experiments = []experiment{
 	{"par", "Remark 5.6: parallel speedup", expPar},
 	{"real", "pXPath thesis: realistic XMark-style workload", expReal},
 	{"prep", "plan cache + document index: cold vs warm wall-clock", expPrep},
+	{"profile", "observability: naive vs cvt visit growth (writes BENCH_OBS.json)", expProfile},
 }
 
 func main() {

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	xpath "xpathcomplexity"
+)
+
+// obsRow is one (document size, engine) measurement of the profile
+// experiment, as written to BENCH_OBS.json.
+type obsRow struct {
+	// Nodes is the document size.
+	Nodes int `json:"nodes"`
+	// Engine is the engine name.
+	Engine string `json:"engine"`
+	// Visits is the total number of subexpression visits recorded by the
+	// tracer (the machine-independent growth number).
+	Visits int64 `json:"visits"`
+	// Ops is the elementary-operation total.
+	Ops int64 `json:"ops"`
+	// WallNanos is the wall time (machine-dependent).
+	WallNanos int64 `json:"wall_nanos"`
+	// HitBudget marks runs aborted by the operation budget; Visits and Ops
+	// then cover the work up to the abort.
+	HitBudget bool `json:"hit_budget,omitempty"`
+	// Metrics is the run's metrics snapshot.
+	Metrics xpath.MetricsSnapshot `json:"metrics"`
+}
+
+// obsReport is the top-level BENCH_OBS.json document.
+type obsReport struct {
+	Experiment string   `json:"experiment"`
+	Seed       int64    `json:"seed"`
+	Query      string   `json:"query"`
+	Budget     int64    `json:"budget"`
+	Rows       []obsRow `json:"rows"`
+}
+
+// obsChainDoc builds the EXP-OBS document family: a chain of nested
+// <a><b><c> units (3·units + 1 nodes), the worst case for evaluation
+// with duplicate contexts — every descendant step from every context
+// rescans the tail of the chain.
+func obsChainDoc(units int) *xpath.Document {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < units; i++ {
+		b.WriteString("<a><b><c>")
+	}
+	for i := 0; i < units; i++ {
+		b.WriteString("</c></b></a>")
+	}
+	b.WriteString("</r>")
+	d, err := xpath.ParseDocumentString(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// expProfile runs the observability layer end to end (EXP-OBS): the same
+// iterated-predicate query is profiled with the naive and cvt engines
+// over a growing chain-document family, and the per-subexpression visit
+// totals show the naive engine's duplicate-context blowup against cvt's
+// context-value-table bound. The measurements are written to
+// BENCH_OBS.json in the current directory.
+func expProfile(seed int64) {
+	const query = "//a//b//c[.//a][.//b]"
+	// The naive engine's duplicate-context blowup is cubic on this query,
+	// so it needs a budget above xbench's usual cap to finish the family.
+	const obsBudget = 100_000_000
+	q, err := xpath.Compile(query)
+	if err != nil {
+		panic(err)
+	}
+	report := obsReport{Experiment: "profile", Seed: seed, Query: query, Budget: obsBudget}
+	t := newTable("docNodes", "engine", "visits", "ops", "wall")
+	type growth struct{ first, last float64 }
+	ratios := map[string]*growth{}
+	for _, units := range []int{21, 42, 63, 84} { // ~64..254 nodes, 4x span
+		doc := obsChainDoc(units)
+		ctx := xpath.RootContext(doc)
+		for _, eng := range []xpath.Engine{xpath.EngineNaive, xpath.EngineCVT} {
+			prof := xpath.NewProfile()
+			metrics := xpath.NewMetrics()
+			ctr := &xpath.Counter{Budget: obsBudget}
+			start := time.Now()
+			_, err := q.EvalOptions(ctx, xpath.EvalOptions{
+				Engine: eng, Counter: ctr, Trace: prof, Metrics: metrics,
+			})
+			wall := time.Since(start)
+			var visits int64
+			for _, r := range prof.Rows() {
+				visits += r.Visits
+			}
+			row := obsRow{
+				Nodes:     doc.Size(),
+				Engine:    eng.String(),
+				Visits:    visits,
+				Ops:       ctr.Ops(),
+				WallNanos: wall.Nanoseconds(),
+				HitBudget: err != nil,
+				Metrics:   metrics.Snapshot(),
+			}
+			report.Rows = append(report.Rows, row)
+			vs := fmt.Sprint(visits)
+			if row.HitBudget {
+				vs += " (budget)"
+			} else {
+				g := ratios[row.Engine]
+				if g == nil {
+					g = &growth{first: float64(visits)}
+					ratios[row.Engine] = g
+				}
+				g.last = float64(visits)
+			}
+			t.add(row.Nodes, row.Engine, vs, row.Ops, wall.Round(time.Microsecond))
+		}
+	}
+	t.print()
+	if n, c := ratios["naive"], ratios["cvt"]; n != nil && c != nil && n.last > 0 && c.last > 0 {
+		ngrow, cgrow := n.last/n.first, c.last/c.first
+		fmt.Printf("  visit growth across the family: naive %.0fx vs cvt %.1fx (%.0fx faster).\n",
+			ngrow, cgrow, ngrow/cgrow)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_OBS.json", append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Println("  wrote BENCH_OBS.json")
+	fmt.Println("  expectation: naive visits grow with the number of duplicate contexts (cubic here) while cvt visits grow linearly — the context-value table bounds work by meaningful contexts (Prop. 2.7 / Theorem 7.2).")
+}

@@ -7,12 +7,15 @@
 //	xpatheval -q '//book[price > 20]/title' -f catalog.xml
 //	cat doc.xml | xpatheval -q '//a[not(b)]' -engine corelinear -ops
 //	xpatheval -q '//book[2]' -f catalog.xml -engine naive -budget 1000000
+//	xpatheval -q '//a[b][c]' -f doc.xml -analyze
+//	xpatheval -q '//a[b][c]' -f doc.xml -engine cvt -metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	xpc "xpathcomplexity"
 	"xpathcomplexity/internal/eval/streaming"
@@ -29,6 +32,8 @@ func main() {
 		negBound = flag.Int("neg", 4, "negation-depth bound for the nauxpda engine")
 		quiet    = flag.Bool("quiet", false, "print only the result")
 		explain  = flag.Bool("explain", false, "print the query analysis and exit")
+		analyze  = flag.Bool("analyze", false, "evaluate and print the merged analysis + per-subexpression profile")
+		metrics  = flag.Bool("metrics", false, "print the engine metrics snapshot after evaluation")
 		whyOrd   = flag.Int("why", -1, "print the Table 1 membership certificate for the node with this document-order index (pWF/pXPath queries)")
 	)
 	flag.Parse()
@@ -82,7 +87,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	if !*quiet {
+	if !*quiet && !*analyze { // -analyze prints its own header
 		fmt.Printf("query:     %s\n", q.Source)
 		fmt.Printf("fragment:  %s (combined complexity: %s)\n", q.Fragment(), q.ComplexityClass())
 		fmt.Printf("engine:    %s\n", eng)
@@ -101,16 +106,42 @@ func main() {
 		return
 	}
 	ctr := &xpc.Counter{Budget: *budget}
-	v, err := q.EvalOptions(xpc.RootContext(doc), xpc.EvalOptions{
-		Engine: eng, Counter: ctr, NegationBound: *negBound,
-	})
+	opts := xpc.EvalOptions{Engine: eng, Counter: ctr, NegationBound: *negBound}
+	if *analyze {
+		report, err := q.ExplainAnalyzeOptions(xpc.RootContext(doc), opts)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Print(report)
+		return
+	}
+	var reg *xpc.Metrics
+	if *metrics {
+		reg = xpc.NewMetrics()
+		opts.Metrics = reg
+	}
+	v, err := q.EvalOptions(xpc.RootContext(doc), opts)
 	if err != nil {
 		fail("%v", err)
 	}
 	printValue(v)
 	if *showOps {
-		fmt.Printf("ops:       %d\n", ctr.Ops)
+		fmt.Printf("ops:       %d\n", ctr.Ops())
 	}
+	if reg != nil {
+		fmt.Printf("metrics:\n")
+		for _, line := range splitLines(reg.Snapshot().String()) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimRight(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
 }
 
 func printValue(v xpc.Value) {

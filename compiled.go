@@ -122,12 +122,13 @@ var defaultPlanCache = NewPlanCache(DefaultPlanCacheCapacity)
 // keyed by query text. The zero value is not usable; construct with
 // NewPlanCache.
 type PlanCache struct {
-	mu       sync.Mutex
-	capacity int
-	order    *list.List // front = most recently used; values are *planEntry
-	entries  map[string]*list.Element
-	hits     int64
-	misses   int64
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used; values are *planEntry
+	entries   map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type planEntry struct {
@@ -183,6 +184,7 @@ func (pc *PlanCache) Prepare(query string) (*Compiled, error) {
 		last := pc.order.Back()
 		pc.order.Remove(last)
 		delete(pc.entries, last.Value.(*planEntry).query)
+		pc.evictions++
 	}
 	return c, nil
 }
@@ -194,9 +196,43 @@ func (pc *PlanCache) Len() int {
 	return pc.order.Len()
 }
 
-// Stats returns the hit and miss counts since construction.
-func (pc *PlanCache) Stats() (hits, misses int64) {
+// PlanCacheStats is the cumulative activity of a PlanCache.
+type PlanCacheStats struct {
+	// Hits and Misses count Prepare lookups since construction.
+	Hits, Misses int64
+	// Evictions counts plans dropped to the capacity bound.
+	Evictions int64
+	// Size is the current number of cached plans.
+	Size int
+}
+
+// Stats returns the cache's cumulative hit/miss/eviction counts and its
+// current size.
+func (pc *PlanCache) Stats() PlanCacheStats {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	return pc.hits, pc.misses
+	return PlanCacheStats{
+		Hits:      pc.hits,
+		Misses:    pc.misses,
+		Evictions: pc.evictions,
+		Size:      pc.order.Len(),
+	}
 }
+
+// RecordMetrics copies the cache's cumulative statistics into a metrics
+// registry as absolute-valued gauges (plan_cache.hits, plan_cache.misses,
+// plan_cache.evictions, plan_cache.size).
+func (pc *PlanCache) RecordMetrics(m *Metrics) {
+	if m == nil {
+		return
+	}
+	st := pc.Stats()
+	m.Gauge("plan_cache.hits").SetMax(st.Hits)
+	m.Gauge("plan_cache.misses").SetMax(st.Misses)
+	m.Gauge("plan_cache.evictions").SetMax(st.Evictions)
+	m.Gauge("plan_cache.size").SetMax(int64(st.Size))
+}
+
+// DefaultPlanCache returns the package-level plan cache behind Prepare,
+// for callers that want its Stats or RecordMetrics.
+func DefaultPlanCache() *PlanCache { return defaultPlanCache }

@@ -74,7 +74,7 @@ func main() {
 				row = append(row, "n/a")
 				continue
 			}
-			row = append(row, fmt.Sprint(ctr.Ops))
+			row = append(row, fmt.Sprint(ctr.Ops()))
 		}
 		fmt.Printf("%-42s %-12s %-12s %-12s\n", src, row[0], row[1], row[2])
 	}

@@ -79,13 +79,13 @@ func main() {
 		nc := &evalctx.Counter{Budget: 20_000_000}
 		naiveOps := "budget!"
 		if _, err := naive.Evaluate(r.Expr, ctx, nc); err == nil {
-			naiveOps = fmt.Sprint(nc.Ops)
+			naiveOps = fmt.Sprint(nc.Ops())
 		}
 		lc := &evalctx.Counter{}
 		if _, err := corelinear.Evaluate(r.Expr, ctx, lc); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-6d %-12s %-12d\n", len(r.Circuit.Gates), naiveOps, lc.Ops)
+		fmt.Printf("  %-6d %-12s %-12d\n", len(r.Circuit.Gates), naiveOps, lc.Ops())
 	}
 }
 

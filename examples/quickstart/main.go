@@ -56,7 +56,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-11s %-28s (%d ops)\n", e, render(v), ctr.Ops)
+		fmt.Printf("  %-11s %-28s (%d ops)\n", e, render(v), ctr.Ops())
 	}
 
 	// Singleton-Success membership (Definition 5.3): is this node in the

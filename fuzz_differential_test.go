@@ -154,6 +154,24 @@ func FuzzDifferentialEngines(f *testing.F) {
 			if cw, cc := canonValue(warm), canonValue(cold); cw != cc {
 				t.Fatalf("query %q: warm %s != cold %s", qs, cw, cc)
 			}
+
+			// Observation must not perturb evaluation: the auto engine
+			// with full tracing and metrics enabled must reproduce the
+			// uninstrumented cold result byte for byte.
+			sink := NewRingSink(512)
+			m := NewMetrics()
+			traced, err := q.EvalOptions(ctx, EvalOptions{
+				DisableIndex: true, Trace: sink, Metrics: m, Counter: &Counter{},
+			})
+			if err != nil {
+				t.Fatalf("query %q: traced eval failed: %v", qs, err)
+			}
+			if ct, cc := canonValue(traced), canonValue(cold); ct != cc {
+				t.Fatalf("query %q: traced %s != plain %s", qs, ct, cc)
+			}
+			if len(sink.Events()) == 0 {
+				t.Fatalf("query %q: tracer produced no events", qs)
+			}
 		}
 	})
 }

@@ -26,6 +26,7 @@ import (
 	"xpathcomplexity/internal/axes"
 	"xpathcomplexity/internal/eval/evalctx"
 	"xpathcomplexity/internal/nodeset"
+	"xpathcomplexity/internal/obs"
 	"xpathcomplexity/internal/value"
 	"xpathcomplexity/internal/xmltree"
 	"xpathcomplexity/internal/xpath/ast"
@@ -93,6 +94,14 @@ type Options struct {
 	// This is the seed behaviour, kept for benchmarks and for the
 	// differential suite's cold reference.
 	DisableIndex bool
+	// Tracer, when non-nil, receives enter/exit events for the top-level
+	// expression and every condition subexpression (which this engine
+	// evaluates once each, to a whole-document set).
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives engine.corelinear.* totals, the
+	// per-step frontier-size distribution (corelinear.frontier) and the
+	// sparse→dense demotion count (corelinear.mode_switches).
+	Metrics *obs.Metrics
 }
 
 // Evaluate evaluates a Core XPath query. Node-set queries return a
@@ -110,14 +119,60 @@ func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Va
 	if ctx.Node == nil {
 		return nil, fmt.Errorf("corelinear: nil context node")
 	}
+	if opts.Counter == nil && (opts.Metrics != nil || opts.Tracer != nil) {
+		// Instrumentation needs a counter to measure op deltas; synthesize
+		// a private one so metrics reconcile even without a caller counter.
+		opts.Counter = new(evalctx.Counter)
+	}
 	e := &evaluator{
 		doc:  ctx.Node.Document(),
 		ctr:  opts.Counter,
+		tr:   opts.Tracer,
 		memo: make(map[ast.Expr]nodeset.Set),
+	}
+	if opts.Metrics != nil {
+		e.frontierHist = opts.Metrics.Histogram("corelinear.frontier")
 	}
 	if !opts.DisableIndex {
 		e.idx = e.doc.Index()
 	}
+	startOps := opts.Counter.Ops()
+	v, err := e.evalTop(expr, ctx)
+	if m := opts.Metrics; m != nil {
+		m.Counter("engine.corelinear.ops").Add(opts.Counter.Ops() - startOps)
+		m.Counter("engine.corelinear.evals").Inc()
+		m.Counter("corelinear.mode_switches").Add(e.modeSwitches)
+	}
+	return v, err
+}
+
+type evaluator struct {
+	doc   *xmltree.Document
+	ctr   *evalctx.Counter
+	tr    *obs.Tracer
+	idx   *xmltree.Index // nil when the index is disabled
+	memo  map[ast.Expr]nodeset.Set
+	marks []bool // scratch dedup bitmap for sparse frontiers, always reset
+	// frontierHist is the corelinear.frontier handle (nil when metrics are
+	// off); modeSwitches counts sparse→dense demotions, flushed at the end.
+	frontierHist *obs.Histogram
+	modeSwitches int64
+}
+
+// evalTop dispatches the top-level expression: a path runs forward from
+// the context node, a union evaluates both sides with the shared memo,
+// and anything else is a condition answered at the context node.
+func (e *evaluator) evalTop(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	if e.tr == nil {
+		return e.evalTopInner(expr, ctx)
+	}
+	sp := e.tr.Enter(expr, ctx, e.ctr)
+	v, err := e.evalTopInner(expr, ctx)
+	e.tr.Exit(sp, v, e.ctr)
+	return v, err
+}
+
+func (e *evaluator) evalTopInner(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
 	if p, ok := expr.(*ast.Path); ok {
 		res, err := e.forwardPath(p, ctx.Node)
 		if err != nil {
@@ -126,11 +181,11 @@ func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Va
 		return value.NewNodeSet(res.Nodes()...), nil
 	}
 	if b, ok := expr.(*ast.Binary); ok && b.Op == ast.OpUnion {
-		l, err := EvaluateOptions(b.Left, ctx, opts)
+		l, err := e.evalTop(b.Left, ctx)
 		if err != nil {
 			return nil, err
 		}
-		r, err := EvaluateOptions(b.Right, ctx, opts)
+		r, err := e.evalTop(b.Right, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -143,12 +198,17 @@ func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Va
 	return value.Boolean(set.Has(ctx.Node)), nil
 }
 
-type evaluator struct {
-	doc   *xmltree.Document
-	ctr   *evalctx.Counter
-	idx   *xmltree.Index // nil when the index is disabled
-	memo  map[ast.Expr]nodeset.Set
-	marks []bool // scratch dedup bitmap for sparse frontiers, always reset
+// observeFrontier records one post-step frontier size; the (linear) dense
+// count is only taken when the histogram is live.
+func (e *evaluator) observeFrontier(sparse bool, list []*xmltree.Node, dense nodeset.Set) {
+	if e.frontierHist == nil {
+		return
+	}
+	if sparse {
+		e.frontierHist.Observe(int64(len(list)))
+	} else {
+		e.frontierHist.Observe(int64(dense.Count()))
+	}
 }
 
 // testSet returns the membership set of a node test, from the index's
@@ -191,6 +251,7 @@ func (e *evaluator) forwardPath(p *ast.Path, start *xmltree.Node) (nodeset.Set, 
 			next = next.AndWith(cond)
 		}
 		frontier = next
+		e.observeFrontier(false, nil, frontier)
 	}
 	return frontier, nil
 }
@@ -223,6 +284,7 @@ func (e *evaluator) forwardPathSparse(p *ast.Path, first *xmltree.Node) (nodeset
 				list = sel
 			} else {
 				dense, sparse = nodeset.FromNodes(e.doc, list...), false
+				e.modeSwitches++
 			}
 		}
 		if !sparse {
@@ -248,7 +310,9 @@ func (e *evaluator) forwardPathSparse(p *ast.Path, first *xmltree.Node) (nodeset
 		}
 		if sparse && len(list) > len(e.doc.Nodes)/sparseDivisor {
 			dense, sparse = nodeset.FromNodes(e.doc, list...), false
+			e.modeSwitches++
 		}
+		e.observeFrontier(sparse, list, dense)
 	}
 	if sparse {
 		return nodeset.FromNodes(e.doc, list...), nil
@@ -402,7 +466,19 @@ func pruneNested(list []*xmltree.Node) []*xmltree.Node {
 
 // condSet computes E[cond] = the set of nodes at which the condition
 // holds. Each syntactic condition node is computed exactly once (memo).
+// Traced visits carry the zero context: a condition set is computed for
+// the whole document, not for one context node.
 func (e *evaluator) condSet(expr ast.Expr) (nodeset.Set, error) {
+	if e.tr == nil {
+		return e.condSetInner(expr)
+	}
+	sp := e.tr.Enter(expr, evalctx.Context{}, e.ctr)
+	s, err := e.condSetInner(expr)
+	e.tr.ExitSet(sp, s, e.ctr)
+	return s, err
+}
+
+func (e *evaluator) condSetInner(expr ast.Expr) (nodeset.Set, error) {
 	if s, ok := e.memo[expr]; ok {
 		return s, nil
 	}

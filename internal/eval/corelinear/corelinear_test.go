@@ -151,10 +151,10 @@ func TestLinearScaling(t *testing.T) {
 		if _, err := Evaluate(q, evalctx.Root(d), ctr); err != nil {
 			t.Fatal(err)
 		}
-		if prev > 0 && ctr.Ops != prev {
+		if prev > 0 && ctr.Ops() != prev {
 			t.Fatalf("ops changed for identical doc") // sanity
 		}
-		prev = ctr.Ops
+		prev = ctr.Ops()
 	}
 	// Growth in |D|.
 	var ops []int64
@@ -164,7 +164,7 @@ func TestLinearScaling(t *testing.T) {
 		if _, err := Evaluate(q, evalctx.Root(d), ctr); err != nil {
 			t.Fatal(err)
 		}
-		ops = append(ops, ctr.Ops)
+		ops = append(ops, ctr.Ops())
 	}
 	r1 := float64(ops[1]) / float64(ops[0])
 	r2 := float64(ops[2]) / float64(ops[1])

@@ -27,6 +27,7 @@ import (
 	"xpathcomplexity/internal/axes"
 	"xpathcomplexity/internal/eval/evalctx"
 	"xpathcomplexity/internal/funcs"
+	"xpathcomplexity/internal/obs"
 	"xpathcomplexity/internal/value"
 	"xpathcomplexity/internal/xmltree"
 	"xpathcomplexity/internal/xpath/ast"
@@ -48,6 +49,13 @@ type Options struct {
 	// location step selects by walking the tree (the seed behaviour).
 	// Kept for benchmarks and the differential suite's cold reference.
 	DisableIndex bool
+	// Tracer, when non-nil, receives enter/exit events for every
+	// (subexpression, context) visit, memo hits included.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives engine.cvt.* and cvt.* totals:
+	// operation counts, memo hits/misses and the per-evaluation
+	// context-value-table size distribution (rows × subexpressions).
+	Metrics *obs.Metrics
 	// EagerTables precomputes, bottom-up over the query tree, the full
 	// context-value table of every position-insensitive subexpression for
 	// every document node before answering the query — the original
@@ -66,18 +74,8 @@ func Evaluate(expr ast.Expr, ctx evalctx.Context, ctr *evalctx.Counter) (value.V
 
 // EvaluateOptions evaluates expr in ctx with explicit options.
 func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, error) {
-	e := &evaluator{
-		opts:      opts,
-		sensitive: make(map[ast.Expr]bool),
-		tables:    make(map[ast.Expr]map[ctxKey]value.Value),
-	}
-	markSensitive(expr, e.sensitive)
-	if opts.EagerTables && ctx.Node != nil {
-		if err := e.fillTables(expr, ctx.Node.Document()); err != nil {
-			return nil, err
-		}
-	}
-	return e.eval(expr, ctx)
+	v, _, err := EvaluateWithStats(expr, ctx, opts)
+	return v, err
 }
 
 // fillTables materializes the context-value table of every
@@ -139,23 +137,42 @@ type TableStats struct {
 
 // EvaluateWithStats is Evaluate plus the table statistics of the run.
 func EvaluateWithStats(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, TableStats, error) {
+	if opts.Counter == nil && (opts.Metrics != nil || opts.Tracer != nil) {
+		// Instrumentation needs a counter to measure op deltas; synthesize
+		// a private one so metrics reconcile even without a caller counter.
+		opts.Counter = new(evalctx.Counter)
+	}
 	e := &evaluator{
 		opts:      opts,
 		sensitive: make(map[ast.Expr]bool),
 		tables:    make(map[ast.Expr]map[ctxKey]value.Value),
 	}
 	markSensitive(expr, e.sensitive)
+	startOps := opts.Counter.Ops()
+	var v value.Value
+	var err error
 	if opts.EagerTables && ctx.Node != nil {
-		if err := e.fillTables(expr, ctx.Node.Document()); err != nil {
-			return nil, TableStats{}, err
-		}
+		err = e.fillTables(expr, ctx.Node.Document())
 	}
-	v, err := e.eval(expr, ctx)
+	if err == nil {
+		v, err = e.eval(expr, ctx)
+	}
 	st := TableStats{Tables: len(e.tables)}
 	for _, tbl := range e.tables {
 		st.Entries += len(tbl)
 	}
-	return v, st, err
+	if m := opts.Metrics; m != nil {
+		m.Counter("engine.cvt.ops").Add(opts.Counter.Ops() - startOps)
+		m.Counter("engine.cvt.evals").Inc()
+		m.Counter("cvt.memo.hits").Add(e.memoHits)
+		m.Counter("cvt.memo.misses").Add(e.memoMisses)
+		m.Histogram("cvt.table.subexprs").Observe(int64(st.Tables))
+		m.Histogram("cvt.table.rows").Observe(int64(st.Entries))
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	return v, st, nil
 }
 
 // ctxKey identifies a context in a context-value table. For
@@ -173,6 +190,10 @@ type evaluator struct {
 	marks     []bool         // document-sized scratch for makeFrontier
 	sensitive map[ast.Expr]bool
 	tables    map[ast.Expr]map[ctxKey]value.Value
+	// memoHits and memoMisses are accumulated privately (one evaluation is
+	// single-goroutine) and flushed to Options.Metrics at the end.
+	memoHits   int64
+	memoMisses int64
 }
 
 // selectStep selects axis::test from n in proximity order, through the
@@ -233,6 +254,16 @@ func (e *evaluator) key(expr ast.Expr, ctx evalctx.Context) ctxKey {
 }
 
 func (e *evaluator) eval(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	if e.opts.Tracer == nil {
+		return e.evalMemo(expr, ctx)
+	}
+	sp := e.opts.Tracer.Enter(expr, ctx, e.opts.Counter)
+	v, err := e.evalMemo(expr, ctx)
+	e.opts.Tracer.Exit(sp, v, e.opts.Counter)
+	return v, err
+}
+
+func (e *evaluator) evalMemo(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
 	if err := e.opts.Counter.Step(1); err != nil {
 		return nil, err
 	}
@@ -241,9 +272,11 @@ func (e *evaluator) eval(expr ast.Expr, ctx evalctx.Context) (value.Value, error
 		k = e.key(expr, ctx)
 		if tbl, ok := e.tables[expr]; ok {
 			if v, hit := tbl[k]; hit {
+				e.memoHits++
 				return v, nil
 			}
 		}
+		e.memoMisses++
 	}
 	v, err := e.compute(expr, ctx)
 	if err != nil {

@@ -46,7 +46,7 @@ func TestPolynomialOnOscillation(t *testing.T) {
 		if len(v.(value.NodeSet)) != 3 {
 			t.Fatalf("wrong result size %d", len(v.(value.NodeSet)))
 		}
-		ops = append(ops, ctr.Ops)
+		ops = append(ops, ctr.Ops())
 		query += "/parent::a/b"
 	}
 	// Growth per added step pair must be bounded by a constant increment

@@ -7,6 +7,7 @@ package evalctx
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"xpathcomplexity/internal/xmltree"
 )
@@ -52,9 +53,13 @@ var ErrBudget = errors.New("evaluation operation budget exceeded")
 // counter once per (subexpression, context) visit, giving a
 // machine-independent work measure for the complexity experiments
 // (EXPERIMENTS.md). A nil *Counter is valid and counts nothing.
+//
+// The operation count is kept atomically, so one counter may be shared
+// by concurrent evaluations (EvalBatch workers, the parallel engine).
+// Budget is a plain field read during evaluation: set it before handing
+// the counter to any evaluator and leave it fixed until they finish.
 type Counter struct {
-	// Ops is the number of elementary operations performed.
-	Ops int64
+	ops atomic.Int64
 	// Budget, when positive, bounds Ops; exceeding it aborts evaluation
 	// with ErrBudget.
 	Budget int64
@@ -66,11 +71,27 @@ func (c *Counter) Step(n int64) error {
 	if c == nil {
 		return nil
 	}
-	c.Ops += n
-	if c.Budget > 0 && c.Ops > c.Budget {
+	total := c.ops.Add(n)
+	if c.Budget > 0 && total > c.Budget {
 		return ErrBudget
 	}
 	return nil
+}
+
+// Add adds n operations without a budget check; evaluators use it to
+// fold privately accumulated counts back into a shared counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.ops.Add(n)
+	}
+}
+
+// Ops returns the number of elementary operations performed so far.
+func (c *Counter) Ops() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.ops.Load()
 }
 
 // TypeError reports an XPath type mismatch (e.g. count() of a number).

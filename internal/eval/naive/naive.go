@@ -22,24 +22,66 @@ import (
 	"xpathcomplexity/internal/axes"
 	"xpathcomplexity/internal/eval/evalctx"
 	"xpathcomplexity/internal/funcs"
+	"xpathcomplexity/internal/obs"
 	"xpathcomplexity/internal/value"
 	"xpathcomplexity/internal/xmltree"
 	"xpathcomplexity/internal/xpath/ast"
 )
 
+// Options configures an evaluation.
+type Options struct {
+	// Counter, when non-nil, is bumped once per subexpression visit and
+	// once per node touched in a location step; give it a Budget to cut
+	// off exponential runs.
+	Counter *evalctx.Counter
+	// Tracer, when non-nil, receives enter/exit events for every
+	// (subexpression, context) visit.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives engine.naive.* totals.
+	Metrics *obs.Metrics
+}
+
 // Evaluate evaluates expr in the given context. The counter (optional) is
 // bumped once per subexpression visit and once per node touched in a
 // location step; give it a Budget to cut off exponential runs.
 func Evaluate(expr ast.Expr, ctx evalctx.Context, ctr *evalctx.Counter) (value.Value, error) {
-	e := &evaluator{ctr: ctr}
-	return e.eval(expr, ctx)
+	return EvaluateOptions(expr, ctx, Options{Counter: ctr})
+}
+
+// EvaluateOptions evaluates expr in the given context with full options.
+func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, error) {
+	ctr := opts.Counter
+	if ctr == nil && (opts.Metrics != nil || opts.Tracer != nil) {
+		// Instrumentation needs a counter to measure op deltas; synthesize
+		// a private one so metrics reconcile even without a caller counter.
+		ctr = new(evalctx.Counter)
+	}
+	e := &evaluator{ctr: ctr, tr: opts.Tracer}
+	start := ctr.Ops()
+	v, err := e.eval(expr, ctx)
+	if m := opts.Metrics; m != nil {
+		m.Counter("engine.naive.ops").Add(ctr.Ops() - start)
+		m.Counter("engine.naive.evals").Inc()
+	}
+	return v, err
 }
 
 type evaluator struct {
 	ctr *evalctx.Counter
+	tr  *obs.Tracer
 }
 
 func (e *evaluator) eval(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	if e.tr == nil {
+		return e.evalInner(expr, ctx)
+	}
+	sp := e.tr.Enter(expr, ctx, e.ctr)
+	v, err := e.evalInner(expr, ctx)
+	e.tr.Exit(sp, v, e.ctr)
+	return v, err
+}
+
+func (e *evaluator) evalInner(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
 	if err := e.ctr.Step(1); err != nil {
 		return nil, err
 	}

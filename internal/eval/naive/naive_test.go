@@ -62,9 +62,9 @@ func TestExponentialBagBlowup(t *testing.T) {
 			t.Fatalf("query %s: got %d nodes, want 3", query, len(v.(value.NodeSet)))
 		}
 		if prevOps > 0 {
-			ratios = append(ratios, float64(ctr.Ops)/float64(prevOps))
+			ratios = append(ratios, float64(ctr.Ops())/float64(prevOps))
 		}
-		prevOps = ctr.Ops
+		prevOps = ctr.Ops()
 		query += "/parent::a/b"
 	}
 	// The last growth ratio should approach the fanout (3); anything

@@ -41,6 +41,7 @@ import (
 	"xpathcomplexity/internal/axes"
 	"xpathcomplexity/internal/eval/evalctx"
 	"xpathcomplexity/internal/funcs"
+	"xpathcomplexity/internal/obs"
 	"xpathcomplexity/internal/value"
 	"xpathcomplexity/internal/xmltree"
 	"xpathcomplexity/internal/xpath/ast"
@@ -63,6 +64,14 @@ type Options struct {
 	// numeric RelOps), which can only shrink the negation depth the
 	// Limits bound is checked against.
 	NormalizeNegation bool
+	// Tracer, when non-nil, receives enter/exit events for every holds and
+	// truth judgment (the certificate-search visits); the exit cardinality
+	// is 1 when the judgment holds and 0 otherwise.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives engine.nauxpda.* totals plus the
+	// certificate-search depth high-water mark (nauxpda.cert_depth) and
+	// the memo-table sizes.
+	Metrics *obs.Metrics
 }
 
 // prepare applies the optional normalization and the fragment check.
@@ -87,6 +96,7 @@ func SingletonSuccess(expr ast.Expr, ctx evalctx.Context, v value.Value, opts Op
 		return false, err
 	}
 	e := newChecker(ctx, opts)
+	defer e.finish(e.opts.Counter.Ops())
 	switch ast.StaticType(expr) {
 	case ast.TypeNodeSet:
 		ns, ok := v.(value.NodeSet)
@@ -135,6 +145,7 @@ func Evaluate(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, er
 		return nil, err
 	}
 	e := newChecker(ctx, opts)
+	defer e.finish(e.opts.Counter.Ops())
 	switch ast.StaticType(expr) {
 	case ast.TypeNodeSet:
 		var out []*xmltree.Node
@@ -177,6 +188,10 @@ type checker struct {
 	holdsMemo map[holdsKey]memoBool
 	// truthMemo caches the truth(expr, node, pos, size) judgment.
 	truthMemo map[truthKey]memoBool
+	// depth and maxDepth track the certificate-search recursion — the
+	// pushdown height of the simulated NAuxPDA run.
+	depth    int
+	maxDepth int
 }
 
 type memoBool uint8
@@ -203,6 +218,11 @@ type truthKey struct {
 }
 
 func newChecker(ctx evalctx.Context, opts Options) *checker {
+	if opts.Counter == nil && (opts.Metrics != nil || opts.Tracer != nil) {
+		// Instrumentation needs a counter to measure op deltas; synthesize
+		// a private one so metrics reconcile even without a caller counter.
+		opts.Counter = new(evalctx.Counter)
+	}
 	return &checker{
 		doc:       ctx.Node.Document(),
 		opts:      opts,
@@ -211,9 +231,36 @@ func newChecker(ctx evalctx.Context, opts Options) *checker {
 	}
 }
 
+// finish flushes the run's metrics; startOps is the counter value at entry.
+func (e *checker) finish(startOps int64) {
+	m := e.opts.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter("engine.nauxpda.ops").Add(e.opts.Counter.Ops() - startOps)
+	m.Counter("engine.nauxpda.evals").Inc()
+	m.Gauge("nauxpda.cert_depth").SetMax(int64(e.maxDepth))
+	m.Gauge("nauxpda.memo.holds").SetMax(int64(len(e.holdsMemo)))
+	m.Gauge("nauxpda.memo.truth").SetMax(int64(len(e.truthMemo)))
+}
+
 // holdsExpr decides whether node-set expression expr, evaluated at context
 // node n, selects node r. Handles unions on top of paths.
 func (e *checker) holdsExpr(expr ast.Expr, n, r *xmltree.Node) (bool, error) {
+	if e.opts.Tracer == nil {
+		return e.holdsExprInner(expr, n, r)
+	}
+	sp := e.opts.Tracer.Enter(expr, evalctx.Context{Node: n, Pos: 1, Size: 1}, e.opts.Counter)
+	ok, err := e.holdsExprInner(expr, n, r)
+	card := 0
+	if ok {
+		card = 1
+	}
+	e.opts.Tracer.ExitCard(sp, card, e.opts.Counter)
+	return ok, err
+}
+
+func (e *checker) holdsExprInner(expr ast.Expr, n, r *xmltree.Node) (bool, error) {
 	if err := e.opts.Counter.Step(1); err != nil {
 		return false, err
 	}
@@ -264,7 +311,12 @@ func (e *checker) holdsSteps(p *ast.Path, i int, n, r *xmltree.Node) (bool, erro
 		}
 		e.holdsMemo[k] = memoInProgress
 	}
+	e.depth++
+	if e.depth > e.maxDepth {
+		e.maxDepth = e.depth
+	}
 	res, err := e.holdsStepsCompute(p, i, n, r)
+	e.depth--
 	if err != nil {
 		return false, err
 	}
@@ -350,6 +402,20 @@ func (e *checker) predicate(pred ast.Expr, ctx evalctx.Context) (bool, error) {
 // truth decides boolean expressions: the and/or/boolean(π)/RelOp rows of
 // Table 1, plus T(l) and the bounded not() of Theorem 5.9.
 func (e *checker) truth(expr ast.Expr, ctx evalctx.Context) (bool, error) {
+	if e.opts.Tracer == nil {
+		return e.truthMemoized(expr, ctx)
+	}
+	sp := e.opts.Tracer.Enter(expr, ctx, e.opts.Counter)
+	ok, err := e.truthMemoized(expr, ctx)
+	card := 0
+	if ok {
+		card = 1
+	}
+	e.opts.Tracer.ExitCard(sp, card, e.opts.Counter)
+	return ok, err
+}
+
+func (e *checker) truthMemoized(expr ast.Expr, ctx evalctx.Context) (bool, error) {
 	k := truthKey{expr: expr, node: ctx.Node, pos: ctx.Pos, size: ctx.Size}
 	if !e.opts.DisableMemo {
 		switch e.truthMemo[k] {
@@ -359,7 +425,12 @@ func (e *checker) truth(expr ast.Expr, ctx evalctx.Context) (bool, error) {
 			return false, nil
 		}
 	}
+	e.depth++
+	if e.depth > e.maxDepth {
+		e.maxDepth = e.depth
+	}
 	res, err := e.truthCompute(expr, ctx)
+	e.depth--
 	if err != nil {
 		return false, err
 	}

@@ -216,8 +216,8 @@ func TestMemoMatters(t *testing.T) {
 	if _, err := Evaluate(q, ctx, Options{Counter: without, DisableMemo: true}); err != nil {
 		t.Fatal(err)
 	}
-	if without.Ops <= withMemo.Ops {
-		t.Fatalf("memo should reduce ops: with=%d without=%d", withMemo.Ops, without.Ops)
+	if without.Ops() <= withMemo.Ops() {
+		t.Fatalf("memo should reduce ops: with=%d without=%d", withMemo.Ops(), without.Ops())
 	}
 }
 

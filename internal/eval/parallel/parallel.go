@@ -31,6 +31,7 @@ import (
 	"xpathcomplexity/internal/eval/corelinear"
 	"xpathcomplexity/internal/eval/evalctx"
 	"xpathcomplexity/internal/nodeset"
+	"xpathcomplexity/internal/obs"
 	"xpathcomplexity/internal/value"
 	"xpathcomplexity/internal/xmltree"
 	"xpathcomplexity/internal/xpath/ast"
@@ -81,6 +82,14 @@ type Options struct {
 	// Θ(|D| log |D|) work for O(log |D|) depth, the classic NC trade-off;
 	// see BenchmarkAblation_NCClosures.
 	NCClosures bool
+	// Tracer, when non-nil, receives enter/exit events for the top-level
+	// expression and every condition subexpression, possibly from several
+	// goroutines (all sinks in package obs are concurrency-safe). While
+	// tracing, operation counts flush to Counter per step rather than once
+	// at the end, so event ops deltas are meaningful.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives engine.parallel.* totals.
+	Metrics *obs.Metrics
 }
 
 func (o Options) workers() int {
@@ -93,6 +102,21 @@ func (o Options) workers() int {
 // Evaluate evaluates a Core XPath query with the configured parallelism.
 // Results are identical to corelinear.Evaluate.
 func Evaluate(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, error) {
+	if opts.Counter == nil && (opts.Metrics != nil || opts.Tracer != nil) {
+		// Instrumentation needs a counter to measure op deltas; synthesize
+		// a private one so metrics reconcile even without a caller counter.
+		opts.Counter = new(evalctx.Counter)
+	}
+	startOps := opts.Counter.Ops()
+	v, err := evaluate(expr, ctx, opts)
+	if m := opts.Metrics; m != nil {
+		m.Counter("engine.parallel.ops").Add(opts.Counter.Ops() - startOps)
+		m.Counter("engine.parallel.evals").Inc()
+	}
+	return v, err
+}
+
+func evaluate(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, error) {
 	if err := corelinear.CheckCore(expr); err != nil {
 		return nil, err
 	}
@@ -110,9 +134,19 @@ func Evaluate(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, er
 	}
 	defer func() {
 		if opts.Counter != nil {
-			opts.Counter.Ops += e.ops.Load()
+			opts.Counter.Add(e.ops.Load())
 		}
 	}()
+	var sp obs.Span
+	if opts.Tracer != nil {
+		sp = opts.Tracer.Enter(expr, ctx, opts.Counter)
+	}
+	v, err := e.evalTop(expr, ctx)
+	opts.Tracer.Exit(sp, v, opts.Counter)
+	return v, err
+}
+
+func (e *evaluator) evalTop(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
 	if p, ok := expr.(*ast.Path); ok {
 		res, err := e.forwardPath(p, ctx.Node)
 		if err != nil {
@@ -161,7 +195,15 @@ func (e *evaluator) applyAxis(a ast.Axis, s nodeset.Set) nodeset.Set {
 	return nodeset.ApplyAxis(a, s)
 }
 
-func (e *evaluator) step(n int64) { e.ops.Add(n) }
+func (e *evaluator) step(n int64) {
+	if e.opts.Tracer != nil {
+		// While tracing, flush to the shared counter per step so traced
+		// exit events carry real op deltas instead of a lump sum.
+		e.opts.Counter.Add(n)
+		return
+	}
+	e.ops.Add(n)
+}
 
 func (e *evaluator) branchy() bool {
 	return (e.opts.Grain == GrainBoth || e.opts.Grain == GrainBranch) && e.workers > 1
@@ -175,11 +217,11 @@ func (e *evaluator) datay() bool {
 // when branch parallelism is on.
 func (e *evaluator) bothValues(b *ast.Binary, ctx evalctx.Context) (value.Value, value.Value, error) {
 	if !e.branchy() {
-		l, err := Evaluate(b.Left, ctx, e.opts)
+		l, err := evaluate(b.Left, ctx, e.opts)
 		if err != nil {
 			return nil, nil, err
 		}
-		r, err := Evaluate(b.Right, ctx, e.opts)
+		r, err := evaluate(b.Right, ctx, e.opts)
 		return l, r, err
 	}
 	var l, r value.Value
@@ -188,9 +230,9 @@ func (e *evaluator) bothValues(b *ast.Binary, ctx evalctx.Context) (value.Value,
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		l, errL = Evaluate(b.Left, ctx, e.opts)
+		l, errL = evaluate(b.Left, ctx, e.opts)
 	}()
-	r, errR = Evaluate(b.Right, ctx, e.opts)
+	r, errR = evaluate(b.Right, ctx, e.opts)
 	wg.Wait()
 	if errL != nil {
 		return nil, nil, errL
@@ -260,6 +302,16 @@ func (e *evaluator) condPair(l, r ast.Expr) (nodeset.Set, nodeset.Set, error) {
 }
 
 func (e *evaluator) condSet(expr ast.Expr) (nodeset.Set, error) {
+	if e.opts.Tracer == nil {
+		return e.condSetInner(expr)
+	}
+	sp := e.opts.Tracer.Enter(expr, evalctx.Context{}, e.opts.Counter)
+	s, err := e.condSetInner(expr)
+	e.opts.Tracer.ExitSet(sp, s, e.opts.Counter)
+	return s, err
+}
+
+func (e *evaluator) condSetInner(expr ast.Expr) (nodeset.Set, error) {
 	e.step(int64(len(e.doc.Nodes)))
 	switch x := expr.(type) {
 	case *ast.Binary:

@@ -104,7 +104,7 @@ func TestCounterAccumulates(t *testing.T) {
 	if _, err := Evaluate(parser.MustParse("//a[b and not(a)]"), evalctx.Root(d), Options{Counter: ctr}); err != nil {
 		t.Fatal(err)
 	}
-	if ctr.Ops == 0 {
+	if ctr.Ops() == 0 {
 		t.Fatal("counter not accumulated")
 	}
 }

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// ProfileRow aggregates every visit of one subexpression.
+type ProfileRow struct {
+	// Subexpr is the pre-order id (-1 collects unnumbered expressions).
+	Subexpr int
+	// Source is the subexpression's source form.
+	Source string
+	// Visits counts enter events — the "how many (subexpression, context)
+	// pairs did the engine touch" number whose growth shape separates the
+	// naive engine from cvt.
+	Visits int64
+	// Ops and Nanos total the operation-count and wall-time deltas of all
+	// exits. Nested visits of the same subexpression double-count their
+	// children's work, as profile tables conventionally do; the row of the
+	// whole query (id 0) holds the true totals.
+	Ops   int64
+	Nanos int64
+	// MaxCard is the largest result cardinality observed (-1 when every
+	// result was scalar).
+	MaxCard int
+}
+
+// Profile is a TraceSink aggregating events into per-subexpression rows;
+// it is the measurement half of ExplainAnalyze. Safe for concurrent use.
+type Profile struct {
+	mu     sync.Mutex
+	engine string
+	rows   map[int]*ProfileRow
+	events int64
+}
+
+// NewProfile creates an empty profile.
+func NewProfile() *Profile { return &Profile{rows: make(map[int]*ProfileRow)} }
+
+// Event aggregates one trace event.
+func (p *Profile) Event(e Event) {
+	p.mu.Lock()
+	p.events++
+	if e.Engine != "" {
+		p.engine = e.Engine
+	}
+	row := p.rows[e.Subexpr]
+	if row == nil {
+		row = &ProfileRow{Subexpr: e.Subexpr, MaxCard: -1}
+		p.rows[e.Subexpr] = row
+	}
+	switch e.Kind {
+	case EnterEvent:
+		row.Visits++
+		if row.Source == "" {
+			row.Source = e.Source
+		}
+	case ExitEvent:
+		row.Ops += e.Ops
+		row.Nanos += e.Nanos
+		if e.Card > row.MaxCard {
+			row.MaxCard = e.Card
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Rows returns the aggregated rows sorted by subexpression id (unknown
+// ids last).
+func (p *Profile) Rows() []ProfileRow {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ProfileRow, 0, len(p.rows))
+	for _, r := range p.rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Subexpr, out[j].Subexpr
+		if (a < 0) != (b < 0) {
+			return b < 0
+		}
+		return a < b
+	})
+	return out
+}
+
+// Row returns the aggregated row for one subexpression id and whether it
+// was visited.
+func (p *Profile) Row(id int) (ProfileRow, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.rows[id]
+	if !ok {
+		return ProfileRow{}, false
+	}
+	return *r, true
+}
+
+// Engine returns the engine name seen on the events (last wins).
+func (p *Profile) Engine() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.engine
+}
+
+// Events returns the total number of events aggregated.
+func (p *Profile) Events() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.events
+}

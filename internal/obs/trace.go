@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// EventKind distinguishes the two halves of a traced visit.
+type EventKind uint8
+
+// The event kinds.
+const (
+	// EnterEvent marks the start of one (subexpression, context) visit.
+	EnterEvent EventKind = iota
+	// ExitEvent marks its completion, carrying the measured deltas.
+	ExitEvent
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	if k == EnterEvent {
+		return "enter"
+	}
+	return "exit"
+}
+
+// MarshalText renders the kind for JSON/NDJSON output.
+func (k EventKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses the kind from JSON/NDJSON input.
+func (k *EventKind) UnmarshalText(b []byte) error {
+	if string(b) == "enter" {
+		*k = EnterEvent
+	} else {
+		*k = ExitEvent
+	}
+	return nil
+}
+
+// Event is one structured trace record. Enter events carry the context
+// (node ordinal, position, size); exit events carry the measured result:
+// cardinality, operation-count delta and wall time of the visit.
+type Event struct {
+	// Seq orders events within one tracer's run (1-based).
+	Seq int64 `json:"seq"`
+	// Kind is enter or exit.
+	Kind EventKind `json:"kind"`
+	// Engine names the evaluator that emitted the event.
+	Engine string `json:"engine"`
+	// Subexpr is the pre-order id of the visited subexpression in the
+	// query tree (see Subexprs), or -1 for an expression outside the
+	// numbered tree.
+	Subexpr int `json:"subexpr"`
+	// Source is the subexpression's source form (enter events only).
+	Source string `json:"source,omitempty"`
+	// NodeOrd is the context node's document-order index, or -1.
+	NodeOrd int `json:"node"`
+	// Pos and Size are the context position and size (enter events).
+	Pos  int `json:"pos"`
+	Size int `json:"size"`
+	// Card is the result cardinality of an exit event: the node count for
+	// node-set results, -1 for scalars and for enter events.
+	Card int `json:"card"`
+	// Ops is the operation-count delta accumulated while the visit was
+	// open (exit events).
+	Ops int64 `json:"ops"`
+	// Nanos is the wall time of the visit in nanoseconds (exit events).
+	Nanos int64 `json:"nanos"`
+}
+
+// TraceSink receives trace events. Implementations must be safe for
+// concurrent use: the parallel engine emits events from many goroutines.
+type TraceSink interface {
+	Event(Event)
+}
+
+// RingSink retains the most recent events in a fixed-size ring — the
+// "flight recorder" sink: always attachable, bounded memory, inspect on
+// demand. Safe for concurrent use.
+type RingSink struct {
+	mu          sync.Mutex
+	buf         []Event
+	next        int
+	full        bool
+	overwritten int64
+}
+
+// NewRingSink creates a ring retaining the last capacity events
+// (minimum 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Event records e, overwriting the oldest retained event when full.
+func (r *RingSink) Event(e Event) {
+	r.mu.Lock()
+	if r.full {
+		r.overwritten++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *RingSink) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Overwritten returns how many events have been dropped to the ring
+// bound.
+func (r *RingSink) Overwritten() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.overwritten
+}
+
+// NDJSONSink streams events as newline-delimited JSON, one event per
+// line — the interchange format for offline analysis. Safe for
+// concurrent use; the first write error is latched and subsequent events
+// are discarded.
+type NDJSONSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewNDJSONSink creates a sink writing to w.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	return &NDJSONSink{enc: json.NewEncoder(w)}
+}
+
+// Event writes e as one JSON line.
+func (s *NDJSONSink) Event(e Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(e)
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first write error, if any.
+func (s *NDJSONSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

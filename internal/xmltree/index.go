@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Index is the precomputed access-path layer of a document: per-tag node
@@ -59,16 +60,42 @@ type Index struct {
 // first call and all observe the same index.
 func (d *Document) Index() *Index {
 	if ix := d.idx.Load(); ix != nil {
+		d.idxReuses.Add(1)
 		return ix
 	}
 	d.idxMu.Lock()
 	defer d.idxMu.Unlock()
 	if ix := d.idx.Load(); ix != nil {
+		d.idxReuses.Add(1)
 		return ix
 	}
+	start := time.Now()
 	ix := buildIndex(d)
+	d.idxBuilds.Add(1)
+	d.idxBuildNanos.Add(time.Since(start).Nanoseconds())
 	d.idx.Store(ix)
 	return ix
+}
+
+// IndexStats reports how often the document's index has been (re)built
+// and reused, and the cumulative build wall time. The counts survive
+// invalidation, so a renumber-heavy workload shows up as Builds > 1.
+// xmltree sits below the observability layer, so the stats are plain
+// values here; the facade copies them into a metrics registry.
+type IndexStats struct {
+	// Builds and Reuses count Index() calls that built vs reused.
+	Builds, Reuses int64
+	// BuildNanos is the total wall time spent building, in nanoseconds.
+	BuildNanos int64
+}
+
+// IndexStats returns the document's index statistics.
+func (d *Document) IndexStats() IndexStats {
+	return IndexStats{
+		Builds:     d.idxBuilds.Load(),
+		Reuses:     d.idxReuses.Load(),
+		BuildNanos: d.idxBuildNanos.Load(),
+	}
 }
 
 // invalidateIndex drops the cached index; called from the single build
@@ -282,4 +309,8 @@ func (ix *Index) Aux(key any, build func() any) any {
 type indexCache struct {
 	idxMu sync.Mutex
 	idx   atomic.Pointer[Index]
+	// Build/reuse statistics, reported by Document.IndexStats.
+	idxBuilds     atomic.Int64
+	idxReuses     atomic.Int64
+	idxBuildNanos atomic.Int64
 }

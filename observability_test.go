@@ -1,0 +1,126 @@
+package xpathcomplexity
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMetricsReconcileWithCounter runs one query through every engine
+// with a caller-supplied counter and asserts the registry's
+// engine.<name>.ops counter equals the evalctx counter's delta — the two
+// accounting paths must never drift (acceptance criterion of the
+// observability layer).
+func TestMetricsReconcileWithCounter(t *testing.T) {
+	d := batchDoc(t, 11, 300)
+	ctx := RootContext(d)
+	q := MustCompile("//a[b]") // inside every engine's fragment
+	for _, eng := range []Engine{EngineNaive, EngineCVT, EngineCoreLinear, EngineNAuxPDA, EngineParallel} {
+		t.Run(eng.String(), func(t *testing.T) {
+			m := NewMetrics()
+			ctr := &Counter{}
+			if _, err := q.EvalOptions(ctx, EvalOptions{Engine: eng, Counter: ctr, Metrics: m, Workers: 4}); err != nil {
+				t.Fatal(err)
+			}
+			s := m.Snapshot()
+			name := "engine." + eng.String() + ".ops"
+			if got, want := s.Counter(name), ctr.Ops(); got != want || want <= 0 {
+				t.Fatalf("%s = %d, Counter.Ops() = %d (want equal and positive)", name, got, want)
+			}
+			if got := s.Counter("engine." + eng.String() + ".evals"); got != 1 {
+				t.Fatalf("engine.%s.evals = %d, want 1", eng, got)
+			}
+		})
+	}
+}
+
+// TestMetricsSynthesizedCounter is the same reconciliation without a
+// caller counter: engines synthesize a private one when metrics are on,
+// so the ops counter must still be positive and match across repeated
+// runs (the engines are deterministic).
+func TestMetricsSynthesizedCounter(t *testing.T) {
+	d := batchDoc(t, 12, 200)
+	ctx := RootContext(d)
+	q := MustCompile("//a[b]")
+	for _, eng := range []Engine{EngineNaive, EngineCVT, EngineCoreLinear, EngineNAuxPDA, EngineParallel} {
+		m1, m2 := NewMetrics(), NewMetrics()
+		for _, m := range []*Metrics{m1, m2} {
+			if _, err := q.EvalOptions(ctx, EvalOptions{Engine: eng, Metrics: m}); err != nil {
+				t.Fatalf("%s: %v", eng, err)
+			}
+		}
+		name := "engine." + eng.String() + ".ops"
+		a, b := m1.Snapshot().Counter(name), m2.Snapshot().Counter(name)
+		if a <= 0 || a != b {
+			t.Fatalf("%s: synthesized-counter ops %d / %d, want equal and positive", eng, a, b)
+		}
+	}
+}
+
+// TestEvalBatchSharedCounter proves EvalBatch workers can share one
+// evalctx.Counter: under -race this would fail before the counter became
+// atomic, and the shared total must equal the sum of per-query totals
+// measured sequentially (the engines are deterministic).
+func TestEvalBatchSharedCounter(t *testing.T) {
+	d := batchDoc(t, 13, 400)
+	var want int64
+	for _, qs := range batchQueries {
+		ctr := &Counter{}
+		// EvalBatch goes through Prepare, so the baseline must run the
+		// same rewritten plans.
+		if _, err := MustPrepare(qs).EvalOptions(RootContext(d), EvalOptions{Counter: ctr}); err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		want += ctr.Ops()
+	}
+	shared := &Counter{}
+	for _, r := range EvalBatch(d, batchQueries, EvalOptions{Workers: 8, Counter: shared}) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Query, r.Err)
+		}
+	}
+	if got := shared.Ops(); got != want {
+		t.Fatalf("shared counter totals %d ops across workers, sequential total is %d", got, want)
+	}
+}
+
+// TestEvalBatchMetricsAggregation checks the one-snapshot-per-batch
+// contract: per-engine op counters sum across workers to the sequential
+// total, and the plan-cache and index gauges are present.
+func TestEvalBatchMetricsAggregation(t *testing.T) {
+	d := batchDoc(t, 14, 400)
+	seq := NewMetrics()
+	for _, qs := range batchQueries {
+		if _, err := MustPrepare(qs).EvalOptions(RootContext(d), EvalOptions{Metrics: seq}); err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+	}
+	batch := NewMetrics()
+	for _, r := range EvalBatch(d, batchQueries, EvalOptions{Workers: 8, Metrics: batch}) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Query, r.Err)
+		}
+	}
+	ss, bs := seq.Snapshot(), batch.Snapshot()
+	var seqOps, batchOps int64
+	for name, v := range ss.Counters {
+		if strings.HasPrefix(name, "engine.") && strings.HasSuffix(name, ".ops") {
+			seqOps += v
+		}
+	}
+	for name, v := range bs.Counters {
+		if strings.HasPrefix(name, "engine.") && strings.HasSuffix(name, ".ops") {
+			batchOps += v
+		}
+	}
+	// The sequential runs above disable nothing, so both paths evaluate
+	// the same plans over the same index; the merged counters must agree.
+	if batchOps != seqOps || batchOps <= 0 {
+		t.Fatalf("batch engine ops %d, sequential %d (want equal and positive)", batchOps, seqOps)
+	}
+	if bs.Gauge("plan_cache.size") <= 0 {
+		t.Error("batch snapshot is missing plan_cache gauges")
+	}
+	if bs.Gauge("index.builds") <= 0 {
+		t.Error("batch snapshot is missing index gauges")
+	}
+}

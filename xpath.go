@@ -36,6 +36,7 @@ import (
 	"xpathcomplexity/internal/eval/nauxpda"
 	"xpathcomplexity/internal/eval/parallel"
 	"xpathcomplexity/internal/fragment"
+	"xpathcomplexity/internal/obs"
 	"xpathcomplexity/internal/value"
 	"xpathcomplexity/internal/xmltree"
 	"xpathcomplexity/internal/xpath/ast"
@@ -68,7 +69,38 @@ type (
 	Fragment = fragment.Fragment
 	// Classification is the result of fragment analysis.
 	Classification = fragment.Classification
+	// Metrics is a registry of named atomic counters, gauges and
+	// histograms filled by the engines (see EvalOptions.Metrics).
+	Metrics = obs.Metrics
+	// MetricsSnapshot is the frozen state of a Metrics registry.
+	MetricsSnapshot = obs.Snapshot
+	// TraceSink receives structured per-subexpression trace events
+	// (see EvalOptions.Trace).
+	TraceSink = obs.TraceSink
+	// TraceEvent is one structured enter/exit trace record.
+	TraceEvent = obs.Event
+	// RingSink is a bounded flight-recorder TraceSink.
+	RingSink = obs.RingSink
+	// NDJSONSink streams trace events as newline-delimited JSON.
+	NDJSONSink = obs.NDJSONSink
+	// Profile is a TraceSink aggregating events into per-subexpression
+	// rows; ExplainAnalyze uses it internally.
+	Profile = obs.Profile
+	// ProfileRow is one aggregated profile row.
+	ProfileRow = obs.ProfileRow
 )
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewRingSink creates a trace sink retaining the last capacity events.
+func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
+
+// NewNDJSONSink creates a trace sink writing one JSON line per event to w.
+func NewNDJSONSink(w io.Writer) *NDJSONSink { return obs.NewNDJSONSink(w) }
+
+// NewProfile creates an empty aggregation profile.
+func NewProfile() *Profile { return obs.NewProfile() }
 
 // Fragment constants, re-exported from the classifier.
 const (
@@ -189,6 +221,17 @@ type EvalOptions struct {
 	// Benchmarks and the differential fuzz suite use this as the cold
 	// reference; production callers should leave it false.
 	DisableIndex bool
+	// Trace, when non-nil, receives paired enter/exit events for every
+	// (subexpression, context) visit the selected engine makes: subexpr
+	// id, context, result cardinality, operation delta and wall time.
+	// See docs/OBSERVABILITY.md. When nil (the default), the engines pay
+	// only a nil check and allocate nothing for tracing.
+	Trace obs.TraceSink
+	// Metrics, when non-nil, collects named engine counters, gauges and
+	// histograms for the run (engine op totals, cvt table sizes,
+	// corelinear frontier distribution, nauxpda certificate depth, index
+	// build/reuse, ...). When nil, metrics cost nothing.
+	Metrics *obs.Metrics
 }
 
 // Eval evaluates the query in the given context with default options.
@@ -201,40 +244,70 @@ func (q *Query) EvalRoot(d *Document) (Value, error) {
 	return q.EvalOptions(evalctx.Root(d), EvalOptions{})
 }
 
+// resolveEngine maps EngineAuto to the fragment-recommended engine.
+func (q *Query) resolveEngine(e Engine) Engine {
+	if e != EngineAuto {
+		return e
+	}
+	if q.Class.RecommendEngine() == fragment.EngineCoreLinear {
+		return EngineCoreLinear
+	}
+	return EngineCVT
+}
+
 // EvalOptions evaluates the query with explicit options.
 func (q *Query) EvalOptions(ctx Context, opts EvalOptions) (Value, error) {
-	engine := opts.Engine
-	if engine == EngineAuto {
-		if q.Class.RecommendEngine() == fragment.EngineCoreLinear {
-			engine = EngineCoreLinear
-		} else {
-			engine = EngineCVT
-		}
+	engine := q.resolveEngine(opts.Engine)
+	var tr *obs.Tracer
+	if opts.Trace != nil {
+		tr = obs.NewTracer(engine.String(), q.Expr, opts.Trace)
 	}
+	v, err := q.evalEngine(ctx, opts, engine, tr)
+	if opts.Metrics != nil && ctx.Node != nil {
+		recordIndexMetrics(opts.Metrics, ctx.Node.Document())
+	}
+	return v, err
+}
+
+func (q *Query) evalEngine(ctx Context, opts EvalOptions, engine Engine, tr *obs.Tracer) (Value, error) {
 	switch engine {
 	case EngineNaive:
-		return naive.Evaluate(q.Expr, ctx, opts.Counter)
+		return naive.EvaluateOptions(q.Expr, ctx, naive.Options{
+			Counter: opts.Counter, Tracer: tr, Metrics: opts.Metrics,
+		})
 	case EngineCVT:
 		return cvt.EvaluateOptions(q.Expr, ctx, cvt.Options{
 			Counter: opts.Counter, DisableIndex: opts.DisableIndex,
+			Tracer: tr, Metrics: opts.Metrics,
 		})
 	case EngineCoreLinear:
 		return corelinear.EvaluateOptions(q.Expr, ctx, corelinear.Options{
 			Counter: opts.Counter, DisableIndex: opts.DisableIndex,
+			Tracer: tr, Metrics: opts.Metrics,
 		})
 	case EngineNAuxPDA:
 		return nauxpda.Evaluate(q.Expr, ctx, nauxpda.Options{
 			Limits:  nauxpda.Limits{NegationDepth: opts.NegationBound},
-			Counter: opts.Counter,
+			Counter: opts.Counter, Tracer: tr, Metrics: opts.Metrics,
 		})
 	case EngineParallel:
 		return parallel.Evaluate(q.Expr, ctx, parallel.Options{
 			Workers: opts.Workers,
-			Counter: opts.Counter,
+			Counter: opts.Counter, Tracer: tr, Metrics: opts.Metrics,
 		})
 	default:
 		return nil, fmt.Errorf("xpathcomplexity: unknown engine %d", int(engine))
 	}
+}
+
+// recordIndexMetrics copies the document's native index statistics into
+// the registry as absolute-valued gauges (xmltree sits below the
+// observability layer and cannot record them itself).
+func recordIndexMetrics(m *obs.Metrics, d *Document) {
+	st := d.IndexStats()
+	m.Gauge("index.builds").SetMax(st.Builds)
+	m.Gauge("index.reuses").SetMax(st.Reuses)
+	m.Gauge("index.build_nanos").SetMax(st.BuildNanos)
 }
 
 // Select evaluates a node-set query from the document root.
