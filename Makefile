@@ -1,12 +1,12 @@
 # Standard targets; no dependencies beyond the Go toolchain.
 
-.PHONY: all build vet test race test-race fuzz fuzz-short bench experiments profile examples check clean
+.PHONY: all build vet test race test-race fuzz fuzz-short bench experiments profile guard guard-race examples check clean
 
 all: build vet test
 
-# Everything a PR should pass: build, vet, tests, the full race suite
-# and a short fuzz session per target.
-check: all test-race fuzz-short
+# Everything a PR should pass: build, vet, tests, the race-enabled guard
+# suite, the full race suite and a short fuzz session per target.
+check: all guard-race test-race fuzz-short
 
 build:
 	go build ./...
@@ -51,6 +51,18 @@ experiments:
 # docs/OBSERVABILITY.md and the EXP-OBS entry in EXPERIMENTS.md).
 profile:
 	go run ./cmd/xbench -run profile
+
+# The resource-governance experiment alone: the same op budget kills the
+# naive engine where cvt completes, plus a deadline row; writes
+# BENCH_GUARD.json (see docs/ROBUSTNESS.md and EXP-GUARD in
+# EXPERIMENTS.md).
+guard:
+	go run ./cmd/xbench -run guard
+
+# Cancellation, budget and fallback tests under the race detector:
+# concurrent batch cancellation and the parallel engine's shared guard.
+guard-race:
+	go test -race -run 'TestGuard|TestEvalBatch' .
 
 examples:
 	go run ./examples/quickstart

@@ -150,6 +150,12 @@ func (c *Compiled) ExplainAnalyze(d *Document) (string, error) {
 func (c *Compiled) ExplainAnalyzeOptions(ctx Context, opts EvalOptions) (string, error) {
 	if opts.Engine == EngineAuto {
 		opts.Engine = c.Bound
+		if opts.Engine == EngineStreaming {
+			// Analysis always traces, and the streaming NFA has no
+			// per-subexpression spans; profile the recommended tree
+			// engine instead.
+			opts.Engine = c.treeEngine()
+		}
 	}
 	return (&Query{Source: c.Source, Expr: c.plan, Class: c.planClass}).ExplainAnalyzeOptions(ctx, opts)
 }

@@ -30,6 +30,13 @@ type BatchResult struct {
 // gauges take the maximum across workers), followed by the shared plan
 // cache and index statistics — so one snapshot describes the whole batch.
 // A shared opts.Counter is also safe: Counter is atomic.
+//
+// Resource limits apply per query, not per batch: opts.Timeout starts a
+// fresh deadline for each query as its evaluation begins, and MaxOps /
+// MaxDepth / MaxNodeSet are enforced by a private guard per evaluation.
+// A caller-provided opts.Context, by contrast, is shared — canceling it
+// aborts every query still running, each reporting ErrCanceled in its
+// BatchResult.
 func EvalBatch(d *Document, queries []string, opts EvalOptions) []BatchResult {
 	results := make([]BatchResult, len(queries))
 	if len(queries) == 0 {

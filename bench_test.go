@@ -6,6 +6,7 @@
 package xpathcomplexity
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -695,5 +696,33 @@ func BenchmarkMultiQuery(b *testing.B) {
 				}
 			}
 		}
+	})
+}
+
+// BenchmarkGuardOverhead is the paired measurement behind the guard's
+// ≤3% disabled-overhead claim: the same cvt evaluation with no guard, a
+// disabled guard (nil — the default for every caller that sets no limit),
+// and an enabled guard with generous limits. "off" vs "on" is the number
+// documented in docs/ROBUSTNESS.md.
+func BenchmarkGuardOverhead(b *testing.B) {
+	d := prepBenchDoc()
+	ctx := evalctx.Root(d)
+	q := MustCompile("//a[b and not(c)]//b")
+	run := func(b *testing.B, opts EvalOptions) {
+		b.Helper()
+		opts.Engine = EngineCVT
+		opts.DisableIndex = true
+		for i := 0; i < b.N; i++ {
+			if _, err := q.EvalOptions(ctx, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, EvalOptions{}) })
+	b.Run("on", func(b *testing.B) {
+		run(b, EvalOptions{
+			Context: context.Background(), MaxOps: 1 << 40,
+			MaxDepth: 1 << 20, MaxNodeSet: 1 << 30,
+		})
 	})
 }

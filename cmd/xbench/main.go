@@ -20,6 +20,9 @@
 //	     wall-clock experiment; everything else counts operations)
 //	profile observability layer: per-subexpression visit growth of naive
 //	     vs cvt on an iterated-predicate query (writes BENCH_OBS.json)
+//	guard resource governance: the same op budget that kills the naive
+//	     engine lets cvt finish, and deadlines abort naive promptly
+//	     (writes BENCH_GUARD.json)
 //
 // Usage:
 //
@@ -59,6 +62,7 @@ var experiments = []experiment{
 	{"real", "pXPath thesis: realistic XMark-style workload", expReal},
 	{"prep", "plan cache + document index: cold vs warm wall-clock", expPrep},
 	{"profile", "observability: naive vs cvt visit growth (writes BENCH_OBS.json)", expProfile},
+	{"guard", "resource guard: op budget kills naive, cvt completes (writes BENCH_GUARD.json)", expGuard},
 }
 
 func main() {
@@ -66,6 +70,8 @@ func main() {
 		run  = flag.String("run", "all", "comma-separated experiment names, or 'all'")
 		seed = flag.Int64("seed", 1, "random seed")
 	)
+	flag.Int64Var(&guardMaxOps, "max-ops", guardMaxOps, "operation budget for the guard experiment")
+	flag.DurationVar(&guardTimeout, "timeout", guardTimeout, "deadline for the guard experiment's timeout row")
 	flag.Parse()
 	want := map[string]bool{}
 	if *run != "all" {

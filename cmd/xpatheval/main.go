@@ -7,11 +7,13 @@
 //	xpatheval -q '//book[price > 20]/title' -f catalog.xml
 //	cat doc.xml | xpatheval -q '//a[not(b)]' -engine corelinear -ops
 //	xpatheval -q '//book[2]' -f catalog.xml -engine naive -budget 1000000
+//	xpatheval -q '//a//b//c[.//a]' -f big.xml -engine naive -timeout 2s -max-ops 10000000
 //	xpatheval -q '//a[b][c]' -f doc.xml -analyze
 //	xpatheval -q '//a[b][c]' -f doc.xml -engine cvt -metrics
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,8 @@ func main() {
 		engine   = flag.String("engine", "auto", "engine: auto|naive|cvt|corelinear|nauxpda|parallel|streaming")
 		showOps  = flag.Bool("ops", false, "print the elementary operation count")
 		budget   = flag.Int64("budget", 0, "abort after this many operations (0 = unlimited)")
+		timeout  = flag.Duration("timeout", 0, "abort evaluation after this long, e.g. 500ms (0 = no deadline)")
+		maxOps   = flag.Int64("max-ops", 0, "per-evaluation operation limit, same units as -budget (0 = unlimited)")
 		negBound = flag.Int("neg", 4, "negation-depth bound for the nauxpda engine")
 		quiet    = flag.Bool("quiet", false, "print only the result")
 		explain  = flag.Bool("explain", false, "print the query analysis and exit")
@@ -106,7 +110,10 @@ func main() {
 		return
 	}
 	ctr := &xpc.Counter{Budget: *budget}
-	opts := xpc.EvalOptions{Engine: eng, Counter: ctr, NegationBound: *negBound}
+	opts := xpc.EvalOptions{
+		Engine: eng, Counter: ctr, NegationBound: *negBound,
+		Timeout: *timeout, MaxOps: *maxOps,
+	}
 	if *analyze {
 		report, err := q.ExplainAnalyzeOptions(xpc.RootContext(doc), opts)
 		if err != nil {
@@ -122,7 +129,14 @@ func main() {
 	}
 	v, err := q.EvalOptions(xpc.RootContext(doc), opts)
 	if err != nil {
-		fail("%v", err)
+		switch {
+		case errors.Is(err, xpc.ErrCanceled):
+			fail("evaluation timed out (-timeout %v): %v", *timeout, err)
+		case errors.Is(err, xpc.ErrBudgetExceeded):
+			fail("evaluation exceeded its resource limit: %v", err)
+		default:
+			fail("%v", err)
+		}
 	}
 	printValue(v)
 	if *showOps {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"xpathcomplexity/internal/eval/streaming"
 	"xpathcomplexity/internal/fragment"
 	"xpathcomplexity/internal/xpath/ast"
 	"xpathcomplexity/internal/xpath/rewrite"
@@ -56,7 +57,23 @@ func bind(q *Query) *Compiled {
 	if cls.RecommendEngine() == fragment.EngineCoreLinear {
 		bound = EngineCoreLinear
 	}
+	// Downward predicate-free paths bind to the single-pass NFA — the
+	// same choice the EngineAuto ladder makes dynamically, resolved once
+	// here.
+	if _, err := streaming.Compile(plan); err == nil {
+		bound = EngineStreaming
+	}
 	return &Compiled{Query: q, Bound: bound, plan: plan, planClass: cls}
+}
+
+// treeEngine is the tree-based engine the plan's fragment recommends —
+// the binding used for runs the streaming NFA cannot serve (tracing and
+// ExplainAnalyze need per-subexpression spans).
+func (c *Compiled) treeEngine() Engine {
+	if c.planClass.RecommendEngine() == fragment.EngineCoreLinear {
+		return EngineCoreLinear
+	}
+	return EngineCVT
 }
 
 // Prepare compiles a query through the package's default plan cache:
@@ -95,6 +112,11 @@ func (c *Compiled) EvalRoot(d *Document) (Value, error) {
 func (c *Compiled) EvalOptions(ctx Context, opts EvalOptions) (Value, error) {
 	if opts.Engine == EngineAuto {
 		opts.Engine = c.Bound
+		if opts.Engine == EngineStreaming && opts.Trace != nil {
+			// The NFA has no per-subexpression spans to trace; traced
+			// runs use the tree engine the fragment recommends instead.
+			opts.Engine = c.treeEngine()
+		}
 	}
 	return (&Query{Source: c.Source, Expr: c.plan, Class: c.planClass}).EvalOptions(ctx, opts)
 }

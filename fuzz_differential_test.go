@@ -1,6 +1,7 @@
 package xpathcomplexity
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -171,6 +172,53 @@ func FuzzDifferentialEngines(f *testing.F) {
 			}
 			if len(sink.Events()) == 0 {
 				t.Fatalf("query %q: tracer produced no events", qs)
+			}
+
+			// A guard with generous limits must be invisible: same bytes
+			// as the unguarded cold run, through the full EngineAuto
+			// ladder (streaming rung included).
+			guarded, err := q.EvalOptions(ctx, EvalOptions{
+				DisableIndex: true,
+				Context:      context.Background(),
+				MaxOps:       50_000_000,
+				MaxDepth:     1 << 20,
+				MaxNodeSet:   1 << 20,
+			})
+			if err != nil {
+				t.Fatalf("query %q: guarded eval failed: %v", qs, err)
+			}
+			if cg, cc := canonValue(guarded), canonValue(cold); cg != cc {
+				t.Fatalf("query %q: guarded %s != unguarded %s", qs, cg, cc)
+			}
+
+			// A tiny budget must produce either the correct complete
+			// value (trivial queries legitimately finish within one op
+			// charge batch) or a typed resource error with no partial
+			// result — from every engine.
+			for _, eng := range []Engine{EngineAuto, EngineNaive, EngineCVT, EngineCoreLinear, EngineNAuxPDA} {
+				if eng == EngineCoreLinear && corelinear.CheckCore(q.Expr) != nil {
+					continue
+				}
+				v, err := q.EvalOptions(ctx, EvalOptions{
+					Engine: eng, MaxOps: 1, NegationBound: 8, DisableIndex: true,
+				})
+				if err == nil {
+					if cv, cc := canonValue(v), canonValue(cold); cv != cc {
+						t.Fatalf("query %q: engine %s under MaxOps=1 returned wrong value %s (want %s)",
+							qs, eng, cv, cc)
+					}
+					continue
+				}
+				if eng == EngineNAuxPDA && nauxpdaOutside(err) {
+					continue
+				}
+				if !errors.Is(err, ErrBudgetExceeded) {
+					t.Fatalf("query %q: engine %s under MaxOps=1 failed with untyped error: %v", qs, eng, err)
+				}
+				if v != nil {
+					t.Fatalf("query %q: engine %s returned partial value %s alongside budget error",
+						qs, eng, canonValue(v))
+				}
 			}
 		}
 	})

@@ -102,6 +102,11 @@ type Options struct {
 	// per-step frontier-size distribution (corelinear.frontier) and the
 	// sparse→dense demotion count (corelinear.mode_switches).
 	Metrics *obs.Metrics
+	// Guard, when non-nil, enforces cancellation, the op budget, the
+	// recursion-depth limit and the node-set cardinality limit. It is
+	// charged in lockstep with Counter, so its MaxOps uses the same units
+	// as Counter.Budget.
+	Guard *evalctx.Guard
 }
 
 // Evaluate evaluates a Core XPath query. Node-set queries return a
@@ -125,10 +130,11 @@ func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Va
 		opts.Counter = new(evalctx.Counter)
 	}
 	e := &evaluator{
-		doc:  ctx.Node.Document(),
-		ctr:  opts.Counter,
-		tr:   opts.Tracer,
-		memo: make(map[ast.Expr]nodeset.Set),
+		doc:   ctx.Node.Document(),
+		ctr:   opts.Counter,
+		tr:    opts.Tracer,
+		guard: opts.Guard,
+		memo:  make(map[ast.Expr]nodeset.Set),
 	}
 	if opts.Metrics != nil {
 		e.frontierHist = opts.Metrics.Histogram("corelinear.frontier")
@@ -150,6 +156,7 @@ type evaluator struct {
 	doc   *xmltree.Document
 	ctr   *evalctx.Counter
 	tr    *obs.Tracer
+	guard *evalctx.Guard
 	idx   *xmltree.Index // nil when the index is disabled
 	memo  map[ast.Expr]nodeset.Set
 	marks []bool // scratch dedup bitmap for sparse frontiers, always reset
@@ -159,10 +166,28 @@ type evaluator struct {
 	modeSwitches int64
 }
 
+// charge bumps the counter and the guard by the same n, so the guard's
+// op budget is denominated exactly like Counter.Budget.
+func (e *evaluator) charge(n int64) error {
+	if err := e.ctr.Step(n); err != nil {
+		return err
+	}
+	if e.guard != nil {
+		return e.guard.Step(n)
+	}
+	return nil
+}
+
 // evalTop dispatches the top-level expression: a path runs forward from
 // the context node, a union evaluates both sides with the shared memo,
 // and anything else is a condition answered at the context node.
 func (e *evaluator) evalTop(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	if g := e.guard; g != nil {
+		if err := g.Enter(); err != nil {
+			return nil, err
+		}
+		defer g.Exit()
+	}
 	if e.tr == nil {
 		return e.evalTopInner(expr, ctx)
 	}
@@ -236,7 +261,7 @@ func (e *evaluator) forwardPath(p *ast.Path, start *xmltree.Node) (nodeset.Set, 
 	frontier := nodeset.New(e.doc)
 	frontier.Add(first)
 	for _, step := range p.Steps {
-		if err := e.ctr.Step(int64(len(e.doc.Nodes))); err != nil {
+		if err := e.charge(int64(len(e.doc.Nodes))); err != nil {
 			return nodeset.Set{}, err
 		}
 		// The axis image is freshly allocated, so the node test can be
@@ -276,7 +301,7 @@ func (e *evaluator) forwardPathSparse(p *ast.Path, first *xmltree.Node) (nodeset
 	sparse := true
 	var dense nodeset.Set // dense frontier, valid once !sparse
 	for _, step := range p.Steps {
-		if err := e.ctr.Step(int64(len(e.doc.Nodes))); err != nil {
+		if err := e.charge(int64(len(e.doc.Nodes))); err != nil {
 			return nodeset.Set{}, err
 		}
 		if sparse {
@@ -311,6 +336,13 @@ func (e *evaluator) forwardPathSparse(p *ast.Path, first *xmltree.Node) (nodeset
 		if sparse && len(list) > len(e.doc.Nodes)/sparseDivisor {
 			dense, sparse = nodeset.FromNodes(e.doc, list...), false
 			e.modeSwitches++
+		}
+		// Only materialized (sparse) frontiers are counted against the
+		// node-set limit; dense bitsets are O(|D|) by construction.
+		if sparse && e.guard != nil {
+			if err := e.guard.CheckNodeSet(len(list)); err != nil {
+				return nodeset.Set{}, err
+			}
 		}
 		e.observeFrontier(sparse, list, dense)
 	}
@@ -469,6 +501,12 @@ func pruneNested(list []*xmltree.Node) []*xmltree.Node {
 // Traced visits carry the zero context: a condition set is computed for
 // the whole document, not for one context node.
 func (e *evaluator) condSet(expr ast.Expr) (nodeset.Set, error) {
+	if g := e.guard; g != nil {
+		if err := g.Enter(); err != nil {
+			return nodeset.Set{}, err
+		}
+		defer g.Exit()
+	}
 	if e.tr == nil {
 		return e.condSetInner(expr)
 	}
@@ -482,7 +520,7 @@ func (e *evaluator) condSetInner(expr ast.Expr) (nodeset.Set, error) {
 	if s, ok := e.memo[expr]; ok {
 		return s, nil
 	}
-	if err := e.ctr.Step(int64(len(e.doc.Nodes))); err != nil {
+	if err := e.charge(int64(len(e.doc.Nodes))); err != nil {
 		return nodeset.Set{}, err
 	}
 	var out nodeset.Set
@@ -547,7 +585,7 @@ func (e *evaluator) backwardPath(p *ast.Path) (nodeset.Set, error) {
 	s := nodeset.Full(e.doc)
 	for i := len(p.Steps) - 1; i >= 0; i-- {
 		step := p.Steps[i]
-		if err := e.ctr.Step(int64(len(e.doc.Nodes))); err != nil {
+		if err := e.charge(int64(len(e.doc.Nodes))); err != nil {
 			return nodeset.Set{}, err
 		}
 		// s starts as the freshly allocated Full set and every inverse

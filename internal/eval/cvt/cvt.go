@@ -65,6 +65,11 @@ type Options struct {
 	// paper's introduction describes. Results are identical; the ablation
 	// benchmark measures the difference.
 	EagerTables bool
+	// Guard, when non-nil, enforces cancellation, the op budget, the
+	// recursion-depth limit and the node-set cardinality limit. It is
+	// charged in lockstep with Counter, so its MaxOps uses the same units
+	// as Counter.Budget.
+	Guard *evalctx.Guard
 }
 
 // Evaluate evaluates expr in ctx with the default options.
@@ -253,7 +258,25 @@ func (e *evaluator) key(expr ast.Expr, ctx evalctx.Context) ctxKey {
 	return ctxKey{node: ctx.Node, pos: ctx.Pos, size: ctx.Size}
 }
 
+// charge bumps the counter and the guard by the same n, so the guard's
+// op budget is denominated exactly like Counter.Budget.
+func (e *evaluator) charge(n int64) error {
+	if err := e.opts.Counter.Step(n); err != nil {
+		return err
+	}
+	if e.opts.Guard != nil {
+		return e.opts.Guard.Step(n)
+	}
+	return nil
+}
+
 func (e *evaluator) eval(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	if g := e.opts.Guard; g != nil {
+		if err := g.Enter(); err != nil {
+			return nil, err
+		}
+		defer g.Exit()
+	}
 	if e.opts.Tracer == nil {
 		return e.evalMemo(expr, ctx)
 	}
@@ -264,7 +287,7 @@ func (e *evaluator) eval(expr ast.Expr, ctx evalctx.Context) (value.Value, error
 }
 
 func (e *evaluator) evalMemo(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
-	if err := e.opts.Counter.Step(1); err != nil {
+	if err := e.charge(1); err != nil {
 		return nil, err
 	}
 	var k ctxKey
@@ -400,7 +423,7 @@ func (e *evaluator) evalPath(p *ast.Path, ctx evalctx.Context) (value.Value, err
 		var collected []*xmltree.Node
 		for _, n := range frontier {
 			sel := e.selectStep(step.Axis, step.Test, n)
-			if err := e.opts.Counter.Step(int64(len(sel) + 1)); err != nil {
+			if err := e.charge(int64(len(sel) + 1)); err != nil {
 				return nil, err
 			}
 			for _, pred := range step.Preds {
@@ -411,6 +434,11 @@ func (e *evaluator) evalPath(p *ast.Path, ctx evalctx.Context) (value.Value, err
 				sel = filtered
 			}
 			collected = append(collected, sel...)
+			if e.opts.Guard != nil {
+				if err := e.opts.Guard.CheckNodeSet(len(collected)); err != nil {
+					return nil, err
+				}
+			}
 		}
 		frontier = e.makeFrontier(collected)
 	}

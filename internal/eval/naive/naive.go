@@ -39,6 +39,11 @@ type Options struct {
 	Tracer *obs.Tracer
 	// Metrics, when non-nil, receives engine.naive.* totals.
 	Metrics *obs.Metrics
+	// Guard, when non-nil, enforces cancellation, the op budget, the
+	// recursion-depth limit and the node-set cardinality limit. It is
+	// charged in lockstep with Counter, so its MaxOps uses the same units
+	// as Counter.Budget.
+	Guard *evalctx.Guard
 }
 
 // Evaluate evaluates expr in the given context. The counter (optional) is
@@ -56,7 +61,7 @@ func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Va
 		// a private one so metrics reconcile even without a caller counter.
 		ctr = new(evalctx.Counter)
 	}
-	e := &evaluator{ctr: ctr, tr: opts.Tracer}
+	e := &evaluator{ctr: ctr, tr: opts.Tracer, guard: opts.Guard}
 	start := ctr.Ops()
 	v, err := e.eval(expr, ctx)
 	if m := opts.Metrics; m != nil {
@@ -67,11 +72,30 @@ func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Va
 }
 
 type evaluator struct {
-	ctr *evalctx.Counter
-	tr  *obs.Tracer
+	ctr   *evalctx.Counter
+	tr    *obs.Tracer
+	guard *evalctx.Guard
+}
+
+// charge bumps the counter and the guard by the same n, so the guard's
+// op budget is denominated exactly like Counter.Budget.
+func (e *evaluator) charge(n int64) error {
+	if err := e.ctr.Step(n); err != nil {
+		return err
+	}
+	if e.guard != nil {
+		return e.guard.Step(n)
+	}
+	return nil
 }
 
 func (e *evaluator) eval(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+	if g := e.guard; g != nil {
+		if err := g.Enter(); err != nil {
+			return nil, err
+		}
+		defer g.Exit()
+	}
 	if e.tr == nil {
 		return e.evalInner(expr, ctx)
 	}
@@ -82,7 +106,7 @@ func (e *evaluator) eval(expr ast.Expr, ctx evalctx.Context) (value.Value, error
 }
 
 func (e *evaluator) evalInner(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
-	if err := e.ctr.Step(1); err != nil {
+	if err := e.charge(1); err != nil {
 		return nil, err
 	}
 	switch x := expr.(type) {
@@ -195,7 +219,7 @@ func (e *evaluator) evalPath(p *ast.Path, ctx evalctx.Context) ([]*xmltree.Node,
 		var next []*xmltree.Node
 		for _, n := range cur {
 			sel := axes.SelectProximity(step.Axis, step.Test, n)
-			if err := e.ctr.Step(int64(len(sel) + 1)); err != nil {
+			if err := e.charge(int64(len(sel) + 1)); err != nil {
 				return nil, err
 			}
 			for _, pred := range step.Preds {
@@ -206,6 +230,13 @@ func (e *evaluator) evalPath(p *ast.Path, ctx evalctx.Context) ([]*xmltree.Node,
 				sel = filtered
 			}
 			next = append(next, sel...)
+			// The intermediate bag is where the exponential blow-up
+			// materializes (Section 3); cap its cardinality.
+			if e.guard != nil {
+				if err := e.guard.CheckNodeSet(len(next)); err != nil {
+					return nil, err
+				}
+			}
 		}
 		cur = next
 	}

@@ -72,6 +72,11 @@ type Options struct {
 	// certificate-search depth high-water mark (nauxpda.cert_depth) and
 	// the memo-table sizes.
 	Metrics *obs.Metrics
+	// Guard, when non-nil, enforces cancellation, the op budget and the
+	// recursion-depth limit (the certificate-search depth). It is charged
+	// in lockstep with Counter, so its MaxOps uses the same units as
+	// Counter.Budget.
+	Guard *evalctx.Guard
 }
 
 // prepare applies the optional normalization and the fragment check.
@@ -244,6 +249,18 @@ func (e *checker) finish(startOps int64) {
 	m.Gauge("nauxpda.memo.truth").SetMax(int64(len(e.truthMemo)))
 }
 
+// charge bumps the counter and the guard by the same n, so the guard's
+// op budget is denominated exactly like Counter.Budget.
+func (e *checker) charge(n int64) error {
+	if err := e.opts.Counter.Step(n); err != nil {
+		return err
+	}
+	if e.opts.Guard != nil {
+		return e.opts.Guard.Step(n)
+	}
+	return nil
+}
+
 // holdsExpr decides whether node-set expression expr, evaluated at context
 // node n, selects node r. Handles unions on top of paths.
 func (e *checker) holdsExpr(expr ast.Expr, n, r *xmltree.Node) (bool, error) {
@@ -261,7 +278,7 @@ func (e *checker) holdsExpr(expr ast.Expr, n, r *xmltree.Node) (bool, error) {
 }
 
 func (e *checker) holdsExprInner(expr ast.Expr, n, r *xmltree.Node) (bool, error) {
-	if err := e.opts.Counter.Step(1); err != nil {
+	if err := e.charge(1); err != nil {
 		return false, err
 	}
 	switch x := expr.(type) {
@@ -311,6 +328,12 @@ func (e *checker) holdsSteps(p *ast.Path, i int, n, r *xmltree.Node) (bool, erro
 		}
 		e.holdsMemo[k] = memoInProgress
 	}
+	if g := e.opts.Guard; g != nil {
+		if err := g.Enter(); err != nil {
+			return false, err
+		}
+		defer g.Exit()
+	}
 	e.depth++
 	if e.depth > e.maxDepth {
 		e.maxDepth = e.depth
@@ -331,7 +354,7 @@ func (e *checker) holdsSteps(p *ast.Path, i int, n, r *xmltree.Node) (bool, erro
 }
 
 func (e *checker) holdsStepsCompute(p *ast.Path, i int, n, r *xmltree.Node) (bool, error) {
-	if err := e.opts.Counter.Step(1); err != nil {
+	if err := e.charge(1); err != nil {
 		return false, err
 	}
 	step := p.Steps[i]
@@ -365,7 +388,7 @@ func (e *checker) holdsStepsCompute(p *ast.Path, i int, n, r *xmltree.Node) (boo
 // Y = χ::t(n) and snew = |Y| — computed by counting, without
 // materializing Y.
 func (e *checker) holdsStep(step *ast.Step, n, r *xmltree.Node) (bool, error) {
-	if err := e.opts.Counter.Step(1); err != nil {
+	if err := e.charge(1); err != nil {
 		return false, err
 	}
 	if !axes.ReachableTest(step.Axis, step.Test, n, r) {
@@ -377,7 +400,7 @@ func (e *checker) holdsStep(step *ast.Step, n, r *xmltree.Node) (bool, error) {
 	// Check is rejected earlier for ≥2 predicates; exactly one here.
 	pred := step.Preds[0]
 	pos, size := axes.CountSelect(step.Axis, step.Test, n, r)
-	if err := e.opts.Counter.Step(int64(len(e.doc.Nodes))); err != nil {
+	if err := e.charge(int64(len(e.doc.Nodes))); err != nil {
 		return false, err
 	}
 	pctx := evalctx.Context{Node: r, Pos: pos, Size: size}
@@ -425,6 +448,12 @@ func (e *checker) truthMemoized(expr ast.Expr, ctx evalctx.Context) (bool, error
 			return false, nil
 		}
 	}
+	if g := e.opts.Guard; g != nil {
+		if err := g.Enter(); err != nil {
+			return false, err
+		}
+		defer g.Exit()
+	}
 	e.depth++
 	if e.depth > e.maxDepth {
 		e.maxDepth = e.depth
@@ -445,7 +474,7 @@ func (e *checker) truthMemoized(expr ast.Expr, ctx evalctx.Context) (bool, error
 }
 
 func (e *checker) truthCompute(expr ast.Expr, ctx evalctx.Context) (bool, error) {
-	if err := e.opts.Counter.Step(1); err != nil {
+	if err := e.charge(1); err != nil {
 		return false, err
 	}
 	switch x := expr.(type) {
@@ -643,7 +672,7 @@ func (e *checker) scalarValue(expr ast.Expr, ctx evalctx.Context) (value.Value, 
 // determined by the context (position(), last(), constants, bounded
 // arithmetic), so the NAuxPDA's guess is forced and we compute directly.
 func (e *checker) number(expr ast.Expr, ctx evalctx.Context) (float64, error) {
-	if err := e.opts.Counter.Step(1); err != nil {
+	if err := e.charge(1); err != nil {
 		return 0, err
 	}
 	switch x := expr.(type) {
@@ -696,7 +725,7 @@ func (e *checker) number(expr ast.Expr, ctx evalctx.Context) (float64, error) {
 // converted via their first node in document order, found by scanning dom
 // with the holds judgment (no materialization).
 func (e *checker) str(expr ast.Expr, ctx evalctx.Context) (string, error) {
-	if err := e.opts.Counter.Step(1); err != nil {
+	if err := e.charge(1); err != nil {
 		return "", err
 	}
 	switch x := expr.(type) {

@@ -90,6 +90,13 @@ type Options struct {
 	Tracer *obs.Tracer
 	// Metrics, when non-nil, receives engine.parallel.* totals.
 	Metrics *obs.Metrics
+	// Guard, when non-nil, enforces cancellation, the op budget and the
+	// recursion-depth limit. One guard is shared by all goroutines of the
+	// evaluation (its state is atomic), so the op budget covers their
+	// combined work and the depth limit bounds the total outstanding
+	// recursion across branches. It is charged in lockstep with Counter,
+	// so its MaxOps uses the same units as Counter.Budget.
+	Guard *evalctx.Guard
 }
 
 func (o Options) workers() int {
@@ -195,14 +202,18 @@ func (e *evaluator) applyAxis(a ast.Axis, s nodeset.Set) nodeset.Set {
 	return nodeset.ApplyAxis(a, s)
 }
 
-func (e *evaluator) step(n int64) {
+func (e *evaluator) step(n int64) error {
 	if e.opts.Tracer != nil {
 		// While tracing, flush to the shared counter per step so traced
 		// exit events carry real op deltas instead of a lump sum.
 		e.opts.Counter.Add(n)
-		return
+	} else {
+		e.ops.Add(n)
 	}
-	e.ops.Add(n)
+	if e.opts.Guard != nil {
+		return e.opts.Guard.Step(n)
+	}
+	return nil
 }
 
 func (e *evaluator) branchy() bool {
@@ -250,7 +261,9 @@ func (e *evaluator) forwardPath(p *ast.Path, start *xmltree.Node) (nodeset.Set, 
 		frontier.Add(start)
 	}
 	for _, step := range p.Steps {
-		e.step(int64(len(e.doc.Nodes)))
+		if err := e.step(int64(len(e.doc.Nodes))); err != nil {
+			return nodeset.Set{}, err
+		}
 		next := e.and(e.applyAxis(step.Axis, frontier), nodeset.TestSet(e.doc, step.Axis, step.Test))
 		for _, pred := range step.Preds {
 			cond, err := e.condSet(pred)
@@ -302,6 +315,12 @@ func (e *evaluator) condPair(l, r ast.Expr) (nodeset.Set, nodeset.Set, error) {
 }
 
 func (e *evaluator) condSet(expr ast.Expr) (nodeset.Set, error) {
+	if g := e.opts.Guard; g != nil {
+		if err := g.Enter(); err != nil {
+			return nodeset.Set{}, err
+		}
+		defer g.Exit()
+	}
 	if e.opts.Tracer == nil {
 		return e.condSetInner(expr)
 	}
@@ -312,7 +331,9 @@ func (e *evaluator) condSet(expr ast.Expr) (nodeset.Set, error) {
 }
 
 func (e *evaluator) condSetInner(expr ast.Expr) (nodeset.Set, error) {
-	e.step(int64(len(e.doc.Nodes)))
+	if err := e.step(int64(len(e.doc.Nodes))); err != nil {
+		return nodeset.Set{}, err
+	}
 	switch x := expr.(type) {
 	case *ast.Binary:
 		switch x.Op {
@@ -361,7 +382,9 @@ func (e *evaluator) backwardPath(p *ast.Path) (nodeset.Set, error) {
 	s := nodeset.Full(e.doc)
 	for i := len(p.Steps) - 1; i >= 0; i-- {
 		step := p.Steps[i]
-		e.step(int64(len(e.doc.Nodes)))
+		if err := e.step(int64(len(e.doc.Nodes))); err != nil {
+			return nodeset.Set{}, err
+		}
 		s = e.and(s, nodeset.TestSet(e.doc, step.Axis, step.Test))
 		for _, pred := range step.Preds {
 			cond, err := e.condSet(pred)

@@ -102,7 +102,10 @@ func Compile(expr ast.Expr) (*Program, error) {
 			return nil, fmt.Errorf("%w: axis %v", ErrNotStreamable, s.Axis)
 		}
 		if len(prog.steps) >= maxSteps {
-			return nil, fmt.Errorf("streaming: query exceeds %d steps", maxSteps)
+			// Wrap ErrNotStreamable like every other rejection, so
+			// errors.Is-based fallback treats an oversized query as
+			// "outside the fragment", not as a fatal evaluation error.
+			return nil, fmt.Errorf("%w: query exceeds %d steps", ErrNotStreamable, maxSteps)
 		}
 		prog.steps = append(prog.steps, step{kind: pending, test: s.Test})
 		pending = childStep

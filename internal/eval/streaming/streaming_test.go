@@ -203,8 +203,21 @@ func TestWideStreaming(t *testing.T) {
 
 func TestStepLimit(t *testing.T) {
 	q := "/" + strings.Repeat("a/", 70) + "a"
-	if _, err := Compile(parser.MustParse(q)); err == nil {
+	_, err := Compile(parser.MustParse(q))
+	if err == nil {
 		t.Fatal("64+ step query should be rejected")
+	}
+	// The rejection is a capacity limit of this NFA encoding, not a
+	// fragment violation — but callers doing errors.Is(err,
+	// ErrNotStreamable) fallback must still catch it, or a 64-step PF
+	// query would abort instead of falling through to a tree engine.
+	if !errors.Is(err, ErrNotStreamable) {
+		t.Errorf("step-limit rejection = %v, want errors.Is ErrNotStreamable", err)
+	}
+	// 63 steps still fits (63 step bits + 1 match bit in a uint64).
+	q63 := "/" + strings.Repeat("a/", 62) + "a"
+	if _, err := Compile(parser.MustParse(q63)); err != nil {
+		t.Errorf("63-step query should compile: %v", err)
 	}
 }
 

@@ -1,0 +1,81 @@
+package streaming
+
+import (
+	"xpathcomplexity/internal/axes"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// EvalTree runs the compiled program over an already-parsed document and
+// returns the selected node set, in document order. It is the tree-backed
+// twin of Run: the same NFA advanced by a pre-order DFS over the child
+// tree, with a subtree pruned as soon as its active-state set has no
+// armed steps left (the state fully determines every future transition).
+// Unlike Run, which consumes decoder tokens, EvalTree sees exactly the
+// nodes the tree engines see, so its results are byte-identical to cvt
+// and corelinear on the downward PF fragment.
+//
+// One operation is charged per visited node — to ctr and g in lockstep —
+// so op accounting is deterministic and an op-budget guard limit uses the
+// same units as Counter.Budget. Both ctr and g may be nil.
+func (p *Program) EvalTree(d *xmltree.Document, ctr *evalctx.Counter, g *evalctx.Guard) (value.NodeSet, error) {
+	full := states(1) << uint(len(p.steps))
+	armed := full - 1 // mask of the step bits (everything below the match bit)
+	var out []*xmltree.Node
+	var walk func(n *xmltree.Node, st states) error
+	walk = func(n *xmltree.Node, st states) error {
+		for _, c := range n.Children {
+			if err := ctr.Step(1); err != nil {
+				return err
+			}
+			if g != nil {
+				if err := g.Step(1); err != nil {
+					return err
+				}
+			}
+			next := p.advanceNode(st, c)
+			if next&full != 0 {
+				out = append(out, c)
+				if g != nil {
+					if err := g.CheckNodeSet(len(out)); err != nil {
+						return err
+					}
+				}
+			}
+			if next&armed != 0 && len(c.Children) > 0 {
+				if err := walk(c, next); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(d.Root, 1); err != nil {
+		return nil, err
+	}
+	return value.NewNodeSet(out...), nil
+}
+
+// advanceNode is advance for a tree node: the node test is evaluated with
+// the same MatchTest predicate the tree engines use for the child axis,
+// so comment and processing-instruction nodes (which the token-stream Run
+// never surfaces) transition identically to cvt's selections.
+func (p *Program) advanceNode(parent states, n *xmltree.Node) states {
+	var next states
+	for i, st := range p.steps {
+		armed := parent&(1<<uint(i)) != 0
+		if st.kind == descendantStep && armed {
+			// A descendant step stays armed at every deeper level.
+			next |= 1 << uint(i)
+		}
+		if !armed {
+			continue
+		}
+		if axes.MatchTest(ast.AxisChild, n, st.test) {
+			next |= 1 << uint(i+1)
+		}
+	}
+	return next
+}

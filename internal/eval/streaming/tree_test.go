@@ -1,0 +1,158 @@
+package streaming
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"xpathcomplexity/internal/eval/corelinear"
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+	"xpathcomplexity/internal/xpath/parser"
+)
+
+func mustDoc(t *testing.T, src string) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEvalTreeBasic(t *testing.T) {
+	d := mustDoc(t, `<a><b><c/><c/></b><b><c><b/></c></b>text</a>`)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"/a", 1},
+		{"/a/b", 2},
+		{"/a/b/c", 3},
+		{"//c", 3},
+		{"//b//b", 1},
+		{"/a/*", 2},
+		{"//*", 7},
+		{"//text()", 1},
+		{"/z", 0},
+	}
+	for _, tc := range cases {
+		ns, err := compile(t, tc.q).EvalTree(d, nil, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.q, err)
+		}
+		if len(ns) != tc.want {
+			t.Errorf("EvalTree(%q) = %d nodes, want %d", tc.q, len(ns), tc.want)
+		}
+		// Matches are collected pre-order, which is document order.
+		for i := 1; i < len(ns); i++ {
+			if ns[i-1].Pre >= ns[i].Pre {
+				t.Errorf("EvalTree(%q) out of document order at %d", tc.q, i)
+			}
+		}
+	}
+}
+
+// EvalTree must agree with corelinear node-for-node (not just in count):
+// it feeds EngineAuto's streaming stage, whose results must be
+// indistinguishable from the tree engines'.
+func TestEvalTreeAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	tags := []string{"a", "b", "c"}
+	for trial := 0; trial < 300; trial++ {
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 30, MaxFanout: 4, Tags: tags,
+		})
+		q := genDownward(rng, tags)
+		expr, err := parser.Parse(q)
+		if err != nil {
+			t.Fatalf("generated %q: %v", q, err)
+		}
+		prog, err := Compile(expr)
+		if err != nil {
+			continue
+		}
+		want, err := corelinear.Evaluate(expr, evalctx.Root(doc), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := prog.EvalTree(doc, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want.(value.NodeSet)) {
+			t.Fatalf("disagreement on %q: streaming %d nodes, corelinear %d\ndoc: %s",
+				q, len(got), len(want.(value.NodeSet)), doc.XMLString())
+		}
+	}
+}
+
+// EvalTree charges exactly one op per visited node, to counter and guard
+// in lockstep.
+func TestEvalTreeOpAccounting(t *testing.T) {
+	d := mustDoc(t, `<a><b><c/></b><b/><d/></a>`)
+	ctr := new(evalctx.Counter)
+	g := evalctx.NewGuard(nil, evalctx.Limits{MaxOps: 1 << 40})
+	ns, err := compile(t, "//b").EvalTree(d, ctr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 2 {
+		t.Fatalf("count = %d", len(ns))
+	}
+	if ctr.Ops() != g.Ops() {
+		t.Errorf("counter ops %d != guard ops %d", ctr.Ops(), g.Ops())
+	}
+	// //b prunes nothing below b... actually every element is visited
+	// except those under pruned subtrees; here all 5 non-root elements are
+	// visited (descendant steps stay armed everywhere).
+	if ctr.Ops() != 5 {
+		t.Errorf("ops = %d, want 5 (one per visited node)", ctr.Ops())
+	}
+}
+
+func TestEvalTreeGuardLimits(t *testing.T) {
+	d := mustDoc(t, `<a><b/><b/><b/><b/><b/></a>`)
+	p := compile(t, "//b")
+
+	_, err := p.EvalTree(d, nil, evalctx.NewGuard(nil, evalctx.Limits{MaxOps: 2}))
+	if !errors.Is(err, evalctx.ErrBudgetExceeded) {
+		t.Errorf("tiny op budget: err = %v, want ErrBudgetExceeded", err)
+	}
+
+	_, err = p.EvalTree(d, nil, evalctx.NewGuard(nil, evalctx.Limits{MaxNodeSet: 3}))
+	var be *evalctx.BudgetError
+	if !errors.As(err, &be) || be.Limit != "node-set" {
+		t.Errorf("match-cardinality cap: err = %v, want BudgetError{Limit: node-set}", err)
+	}
+
+	// The counter budget aborts the walk the same way.
+	ctr := &evalctx.Counter{Budget: 2}
+	if _, err := p.EvalTree(d, ctr, nil); !errors.Is(err, evalctx.ErrBudget) {
+		t.Errorf("counter budget: err = %v, want ErrBudget", err)
+	}
+}
+
+// Comment and processing-instruction children must transition the NFA the
+// same way the tree engines' child axis sees them — node() matches them,
+// name tests don't.
+func TestEvalTreeCommentPI(t *testing.T) {
+	d := mustDoc(t, `<a><!--x--><?pi data?><b/></a>`)
+	for _, tc := range []struct {
+		q    string
+		want int
+	}{
+		{"/a/node()", 3},
+		{"/a/b", 1},
+		{"//*", 2},
+	} {
+		ns, err := compile(t, tc.q).EvalTree(d, nil, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.q, err)
+		}
+		if len(ns) != tc.want {
+			t.Errorf("EvalTree(%q) = %d nodes, want %d", tc.q, len(ns), tc.want)
+		}
+	}
+}

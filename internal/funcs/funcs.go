@@ -274,12 +274,25 @@ func fnRound(_ evalctx.Context, args []value.Value) (value.Value, error) {
 }
 
 // xpathRound rounds half towards positive infinity (§4.4): round(0.5) = 1,
-// round(-0.5) = -0.
+// round(-0.5) = -0. Computed as floor plus an exact fractional-part
+// comparison rather than math.Floor(f+0.5): the addition double-rounds,
+// so round(0.49999999999999994) — the largest double below 0.5 — would
+// come out 1, and it loses the sign of zero that §4.4 requires for
+// inputs in [-0.5, -0) (observable through 1 div round(-0.3) = -Infinity).
 func xpathRound(f float64) float64 {
-	if math.IsNaN(f) || math.IsInf(f, 0) {
+	if math.IsNaN(f) || math.IsInf(f, 0) || f == 0 {
 		return f
 	}
-	return math.Floor(f + 0.5)
+	if f < 0 && f >= -0.5 {
+		return math.Copysign(0, -1)
+	}
+	fl := math.Floor(f)
+	// f - fl is exact (Sterbenz lemma territory: both share an exponent
+	// range where the subtraction cannot round), so the half-way test is.
+	if f-fl >= 0.5 {
+		return fl + 1
+	}
+	return fl
 }
 
 // ResultTypesConsistent verifies that the registry and ast.FuncResultTypes

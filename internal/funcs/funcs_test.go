@@ -142,6 +142,55 @@ func TestNumericFunctions(t *testing.T) {
 	}
 }
 
+// TestRoundSpec pins xpathRound against XPath 1.0 §4.4, including the two
+// cases the old math.Floor(f+0.5) implementation got wrong: the largest
+// double below 0.5 (where f+0.5 double-rounds up to exactly 1), and
+// negative inputs in [-0.5, -0) which must return negative zero. The sign
+// of zero has no direct comparison, so it is observed through division:
+// 1/-0 = -Inf.
+func TestRoundSpec(t *testing.T) {
+	ctx := evalctx.Context{}
+	nearHalf := 0.49999999999999994 // math.Nextafter(0.5, 0)
+	cases := []struct {
+		arg, want float64
+	}{
+		{0.5, 1},
+		{1.5, 2},
+		{2.5, 3},
+		{-0.5, math.Copysign(0, -1)},
+		{-1.5, -1},
+		{-2.5, -2},
+		{nearHalf, 0},
+		{-nearHalf, math.Copysign(0, -1)},
+		{0.3, 0},
+		{-0.3, math.Copysign(0, -1)},
+		{0, 0},
+		{math.Copysign(0, -1), math.Copysign(0, -1)},
+		{1e15 + 0.5, 1e15 + 1},
+		{math.Inf(1), math.Inf(1)},
+		{math.Inf(-1), math.Inf(-1)},
+	}
+	for _, tc := range cases {
+		got := float64(call(t, "round", ctx, value.Number(tc.arg)).(value.Number))
+		if got != tc.want || math.Signbit(got) != math.Signbit(tc.want) {
+			t.Errorf("round(%v) = %v (signbit %v), want %v (signbit %v)",
+				tc.arg, got, math.Signbit(got), tc.want, math.Signbit(tc.want))
+		}
+	}
+	for _, tc := range []struct {
+		arg, wantDiv float64 // 1 div round(arg)
+	}{
+		{-0.3, math.Inf(-1)},
+		{-0.5, math.Inf(-1)},
+		{0.3, math.Inf(1)},
+	} {
+		r := float64(call(t, "round", ctx, value.Number(tc.arg)).(value.Number))
+		if got := 1 / r; got != tc.wantDiv {
+			t.Errorf("1 div round(%v) = %v, want %v", tc.arg, got, tc.wantDiv)
+		}
+	}
+}
+
 func TestBooleanFunctions(t *testing.T) {
 	ctx := evalctx.Context{}
 	if got := call(t, "not", ctx, value.Boolean(true)); got != value.Boolean(false) {

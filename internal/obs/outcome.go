@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"errors"
+
+	"xpathcomplexity/internal/eval/evalctx"
+)
+
+// RecordOutcome classifies how an evaluation ended into the eval.*
+// outcome counters: eval.canceled for context cancellation/deadline,
+// eval.budget_exceeded for any resource limit (guard limits or the
+// legacy Counter budget), eval.failed for every other error. Successful
+// evaluations record nothing — the common path stays counter-free and
+// metrics snapshots of clean runs are unchanged.
+func RecordOutcome(m *Metrics, err error) {
+	if m == nil || err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, evalctx.ErrCanceled):
+		m.Counter("eval.canceled").Inc()
+	case errors.Is(err, evalctx.ErrBudgetExceeded) || errors.Is(err, evalctx.ErrBudget):
+		m.Counter("eval.budget_exceeded").Inc()
+	default:
+		m.Counter("eval.failed").Inc()
+	}
+}

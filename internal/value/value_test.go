@@ -227,6 +227,65 @@ func TestArith(t *testing.T) {
 	}
 }
 
+// TestParseNumberGrammar pins ParseNumber to the §3.7 Number production:
+// Digits ('.' Digits?)? | '.' Digits, with an optional leading '-'
+// (number() applies the unary minus itself) and surrounding XML
+// whitespace. Notably the grammar has no '+' sign and no exponent form,
+// unlike strconv.ParseFloat — those must parse to NaN.
+func TestParseNumberGrammar(t *testing.T) {
+	accept := []struct {
+		in   string
+		want float64
+	}{
+		{"5", 5},
+		{"5.", 5},
+		{".5", 0.5},
+		{"-.5", -0.5},
+		{"-5.", -5},
+		{"1.5", 1.5},
+		{"-0", math.Copysign(0, -1)},
+		{"  12 \t\r\n", 12},
+		{"007", 7},
+	}
+	for _, tc := range accept {
+		got := ParseNumber(tc.in)
+		if got != tc.want || math.Signbit(got) != math.Signbit(tc.want) {
+			t.Errorf("ParseNumber(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	reject := []string{
+		"+5", "1e3", "1E3", "0x10", "1.2.3", ".", "-", "-.",
+		"1,000", "Infinity", "-Infinity", "NaN", "1 2", "5f", "", "  ",
+	}
+	for _, in := range reject {
+		if got := ParseNumber(in); !math.IsNaN(got) {
+			t.Errorf("ParseNumber(%q) = %v, want NaN (outside §3.7 grammar)", in, got)
+		}
+	}
+}
+
+// TestFormatParseRoundTrip feeds FormatNumber output back through
+// ParseNumber for representative finite values — every rendering
+// FormatNumber produces must be inside the §3.7 grammar.
+func TestFormatParseRoundTrip(t *testing.T) {
+	for _, f := range []float64{
+		0, 1, -1, 0.5, -0.5, 1e14, -1e14, 1e15, 123456.75,
+		0.1, 1.0 / 3.0, math.MaxFloat64, math.SmallestNonzeroFloat64,
+	} {
+		s := FormatNumber(f)
+		if got := ParseNumber(s); got != f {
+			t.Errorf("ParseNumber(FormatNumber(%v)) = %v via %q", f, got, s)
+		}
+	}
+	// Specials format to the XPath names, which are NOT in the number
+	// grammar: they re-parse as NaN, matching number('Infinity') = NaN.
+	for _, f := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		if got := ParseNumber(FormatNumber(f)); !math.IsNaN(got) {
+			t.Errorf("ParseNumber(FormatNumber(%v)) = %v, want NaN", f, got)
+		}
+	}
+}
+
 // Property: ParseNumber(FormatNumber(f)) == f for finite, reasonable floats.
 func TestQuickFormatParseRoundTrip(t *testing.T) {
 	f := func(raw int64) bool {

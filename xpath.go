@@ -26,8 +26,12 @@
 package xpathcomplexity
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
+	"time"
 
 	"xpathcomplexity/internal/eval/corelinear"
 	"xpathcomplexity/internal/eval/cvt"
@@ -35,6 +39,7 @@ import (
 	"xpathcomplexity/internal/eval/naive"
 	"xpathcomplexity/internal/eval/nauxpda"
 	"xpathcomplexity/internal/eval/parallel"
+	"xpathcomplexity/internal/eval/streaming"
 	"xpathcomplexity/internal/fragment"
 	"xpathcomplexity/internal/obs"
 	"xpathcomplexity/internal/value"
@@ -138,6 +143,11 @@ const (
 	EngineNAuxPDA
 	// EngineParallel is the multi-goroutine Core XPath evaluator.
 	EngineParallel
+	// EngineStreaming is the single-pass NFA evaluator for the downward
+	// PF fragment (absolute, predicate-free child/descendant paths). It
+	// rejects anything else with ErrNotStreamable; EngineAuto tries it
+	// first and falls back to a tree engine.
+	EngineStreaming
 )
 
 // String names the engine.
@@ -155,6 +165,8 @@ func (e Engine) String() string {
 		return "nauxpda"
 	case EngineParallel:
 		return "parallel"
+	case EngineStreaming:
+		return "streaming"
 	default:
 		return "unknown"
 	}
@@ -164,8 +176,57 @@ func (e Engine) String() string {
 var EngineByName = map[string]Engine{
 	"auto": EngineAuto, "naive": EngineNaive, "cvt": EngineCVT,
 	"corelinear": EngineCoreLinear, "nauxpda": EngineNAuxPDA,
-	"parallel": EngineParallel,
+	"parallel": EngineParallel, "streaming": EngineStreaming,
 }
+
+// Typed evaluation errors. All are matchable with errors.Is; the
+// concrete types carry detail (which limit, the recovered panic value).
+var (
+	// ErrCanceled reports an evaluation stopped by its context — an
+	// explicit cancel or an expired deadline/Timeout. The concrete error
+	// is a *CancelError wrapping the context's own error, so
+	// errors.Is(err, context.DeadlineExceeded) distinguishes the two.
+	ErrCanceled = evalctx.ErrCanceled
+	// ErrBudgetExceeded reports an evaluation stopped by a resource
+	// limit (MaxOps, MaxDepth or MaxNodeSet). The concrete error is a
+	// *BudgetError naming the limit.
+	ErrBudgetExceeded = evalctx.ErrBudgetExceeded
+	// ErrNotStreamable reports a query outside the downward PF fragment
+	// EngineStreaming supports.
+	ErrNotStreamable = streaming.ErrNotStreamable
+	// ErrEvalPanic reports a panic recovered at the public evaluation
+	// boundary; the concrete error is a *PanicError.
+	ErrEvalPanic = errors.New("panic during evaluation")
+)
+
+type (
+	// BudgetError is the concrete resource-limit error; Limit is "ops",
+	// "depth" or "node-set".
+	BudgetError = evalctx.BudgetError
+	// CancelError is the concrete cancellation error; it unwraps to the
+	// context's error.
+	CancelError = evalctx.CancelError
+)
+
+// PanicError is a panic recovered at the public Eval boundary, returned
+// as an error so a malformed plan cannot crash a caller. It matches
+// ErrEvalPanic with errors.Is.
+type PanicError struct {
+	// Query is the source text of the panicking query.
+	Query string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("xpathcomplexity: panic evaluating %q: %v", e.Query, e.Value)
+}
+
+// Is matches the ErrEvalPanic sentinel.
+func (e *PanicError) Is(target error) bool { return target == ErrEvalPanic }
 
 // Query is a compiled, classified XPath query.
 type Query struct {
@@ -232,6 +293,52 @@ type EvalOptions struct {
 	// corelinear frontier distribution, nauxpda certificate depth, index
 	// build/reuse, ...). When nil, metrics cost nothing.
 	Metrics *obs.Metrics
+	// Context, when non-nil, cancels the evaluation cooperatively: the
+	// engines poll it every few hundred operations and return an error
+	// matching ErrCanceled. EvalBatch checks it per query.
+	Context context.Context
+	// Timeout, when positive, derives a fresh per-evaluation deadline
+	// from Context (or context.Background). In EvalBatch every query
+	// gets its own deadline, not one shared across the batch.
+	Timeout time.Duration
+	// MaxOps bounds the elementary operations of one evaluation, in the
+	// same units as Counter.Budget; exceeding it returns a *BudgetError
+	// matching ErrBudgetExceeded. Unlike Counter.Budget it composes with
+	// a shared Counter: the limit is per evaluation, not cumulative.
+	MaxOps int64
+	// MaxDepth bounds evaluator recursion depth (query nesting for the
+	// tree engines, certificate-search depth for nauxpda).
+	MaxDepth int64
+	// MaxNodeSet bounds intermediate node-collection cardinality — the
+	// naive engine's exponentially growing bags in particular.
+	MaxNodeSet int
+	// guard is the resource guard assembled from the fields above; set
+	// by Query.EvalOptions only, never by callers.
+	guard *evalctx.Guard
+}
+
+// buildGuard assembles the evaluation guard from the public limit
+// options; nil when no limit is set. The returned cancel func releases
+// the Timeout-derived context (nil when Timeout is unset) and must run
+// when the evaluation finishes.
+func (opts *EvalOptions) buildGuard() (*evalctx.Guard, context.CancelFunc) {
+	if opts.Context == nil && opts.Timeout <= 0 &&
+		opts.MaxOps <= 0 && opts.MaxDepth <= 0 && opts.MaxNodeSet <= 0 {
+		return nil, nil
+	}
+	ctx := opts.Context
+	var cancel context.CancelFunc
+	if opts.Timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+	}
+	return evalctx.NewGuard(ctx, evalctx.Limits{
+		MaxOps:     opts.MaxOps,
+		MaxDepth:   opts.MaxDepth,
+		MaxNodeSet: opts.MaxNodeSet,
+	}), cancel
 }
 
 // Eval evaluates the query in the given context with default options.
@@ -256,17 +363,110 @@ func (q *Query) resolveEngine(e Engine) Engine {
 }
 
 // EvalOptions evaluates the query with explicit options.
-func (q *Query) EvalOptions(ctx Context, opts EvalOptions) (Value, error) {
-	engine := q.resolveEngine(opts.Engine)
-	var tr *obs.Tracer
-	if opts.Trace != nil {
-		tr = obs.NewTracer(engine.String(), q.Expr, opts.Trace)
+//
+// Any panic escaping an engine is recovered here and returned as a
+// *PanicError matching ErrEvalPanic, so a malformed plan cannot crash a
+// caller; Compiled.EvalOptions and EvalBatch delegate here and share the
+// recovery. When Context, Timeout or a Max* limit is set, the engines
+// run under a resource guard and return errors matching ErrCanceled or
+// ErrBudgetExceeded when a bound is hit.
+func (q *Query) EvalOptions(ctx Context, opts EvalOptions) (v Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, err = nil, &PanicError{Query: q.Source, Value: r, Stack: debug.Stack()}
+			if opts.Metrics != nil {
+				opts.Metrics.Counter("eval.panics").Inc()
+			}
+		}
+	}()
+	guard, cancelTimeout := opts.buildGuard()
+	if cancelTimeout != nil {
+		defer cancelTimeout()
 	}
-	v, err := q.evalEngine(ctx, opts, engine, tr)
-	if opts.Metrics != nil && ctx.Node != nil {
-		recordIndexMetrics(opts.Metrics, ctx.Node.Document())
+	if guard != nil {
+		opts.guard = guard
+		// Fail before any work when the context is already dead.
+		if cerr := guard.Check(); cerr != nil {
+			obs.RecordOutcome(opts.Metrics, cerr)
+			return nil, cerr
+		}
+	}
+	if opts.Engine == EngineAuto {
+		v, err = q.evalAuto(ctx, opts)
+	} else {
+		var tr *obs.Tracer
+		if opts.Trace != nil {
+			tr = obs.NewTracer(opts.Engine.String(), q.Expr, opts.Trace)
+		}
+		v, err = q.evalEngine(ctx, opts, opts.Engine, tr)
+	}
+	if opts.Metrics != nil {
+		if ctx.Node != nil {
+			recordIndexMetrics(opts.Metrics, ctx.Node.Document())
+		}
+		obs.RecordOutcome(opts.Metrics, err)
 	}
 	return v, err
+}
+
+// evalAuto is the EngineAuto ladder: try the streaming NFA when the
+// query compiles to it, try the LOGCFL decision procedure on
+// decision-shaped (statically boolean) queries the classifier recommends
+// it for, then land on the fragment-recommended tree engine (corelinear
+// for Core XPath, cvt otherwise). A fallback happens only on
+// non-resource errors — a cancellation or budget verdict is the user's
+// stop request and is returned as-is — and every fallback or selection
+// is recorded in opts.Metrics under auto.*.
+//
+// The boolean gate on the nauxpda rung matters: the decision engine
+// answers Singleton-Success membership without materializing, which is
+// exactly right for existence checks but re-derives the answer per node
+// when forced to materialize a node-set — cvt is strictly cheaper there
+// (the RecommendEngine comment in internal/fragment says the same).
+//
+// With a trace sink attached, the ladder is bypassed for the static
+// fragment resolution: the streaming NFA and the decision procedure do
+// not emit the per-subexpression spans ExplainAnalyze and traced runs
+// rely on, so tracing observes the tree engine that would otherwise be
+// the ladder's final rung.
+func (q *Query) evalAuto(ctx Context, opts EvalOptions) (Value, error) {
+	if opts.Trace != nil {
+		engine := q.resolveEngine(EngineAuto)
+		tr := obs.NewTracer(engine.String(), q.Expr, opts.Trace)
+		return q.evalEngine(ctx, opts, engine, tr)
+	}
+	m := opts.Metrics
+	record := func(name string) {
+		if m != nil {
+			m.Counter(name).Inc()
+		}
+	}
+	// Both ladder stages need a context document; condition-only
+	// contexts (ctx.Node == nil) go straight to the tree engines.
+	if ctx.Node != nil {
+		if _, serr := streaming.Compile(q.Expr); serr == nil {
+			v, err := q.evalEngine(ctx, opts, EngineStreaming, nil)
+			if err == nil || evalctx.IsResourceError(err) {
+				record("auto.selected.streaming")
+				return v, err
+			}
+			record("auto.fallback.streaming")
+		} else if errors.Is(serr, ErrNotStreamable) {
+			record("auto.fallback.streaming")
+		}
+		if q.Class.RecommendDecisionEngine() == fragment.EngineNAuxPDA &&
+			ast.StaticType(q.Expr) == ast.TypeBoolean {
+			v, err := q.evalEngine(ctx, opts, EngineNAuxPDA, nil)
+			if err == nil || evalctx.IsResourceError(err) {
+				record("auto.selected.nauxpda")
+				return v, err
+			}
+			record("auto.fallback.nauxpda")
+		}
+	}
+	engine := q.resolveEngine(EngineAuto)
+	record("auto.selected." + engine.String())
+	return q.evalEngine(ctx, opts, engine, nil)
 }
 
 func (q *Query) evalEngine(ctx Context, opts EvalOptions, engine Engine, tr *obs.Tracer) (Value, error) {
@@ -274,30 +474,72 @@ func (q *Query) evalEngine(ctx Context, opts EvalOptions, engine Engine, tr *obs
 	case EngineNaive:
 		return naive.EvaluateOptions(q.Expr, ctx, naive.Options{
 			Counter: opts.Counter, Tracer: tr, Metrics: opts.Metrics,
+			Guard: opts.guard,
 		})
 	case EngineCVT:
 		return cvt.EvaluateOptions(q.Expr, ctx, cvt.Options{
 			Counter: opts.Counter, DisableIndex: opts.DisableIndex,
-			Tracer: tr, Metrics: opts.Metrics,
+			Tracer: tr, Metrics: opts.Metrics, Guard: opts.guard,
 		})
 	case EngineCoreLinear:
 		return corelinear.EvaluateOptions(q.Expr, ctx, corelinear.Options{
 			Counter: opts.Counter, DisableIndex: opts.DisableIndex,
-			Tracer: tr, Metrics: opts.Metrics,
+			Tracer: tr, Metrics: opts.Metrics, Guard: opts.guard,
 		})
 	case EngineNAuxPDA:
 		return nauxpda.Evaluate(q.Expr, ctx, nauxpda.Options{
 			Limits:  nauxpda.Limits{NegationDepth: opts.NegationBound},
 			Counter: opts.Counter, Tracer: tr, Metrics: opts.Metrics,
+			Guard: opts.guard,
 		})
 	case EngineParallel:
 		return parallel.Evaluate(q.Expr, ctx, parallel.Options{
 			Workers: opts.Workers,
 			Counter: opts.Counter, Tracer: tr, Metrics: opts.Metrics,
+			Guard: opts.guard,
 		})
+	case EngineStreaming:
+		return q.evalStreaming(ctx, opts, tr)
 	default:
 		return nil, fmt.Errorf("xpathcomplexity: unknown engine %d", int(engine))
 	}
+}
+
+// evalStreaming compiles the query to the streaming NFA and runs it over
+// the context document's tree (Program.EvalTree), charging one op per
+// visited node so counter/metrics reconciliation matches the other
+// engines.
+func (q *Query) evalStreaming(ctx Context, opts EvalOptions, tr *obs.Tracer) (Value, error) {
+	prog, err := streaming.Compile(q.Expr)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Node == nil {
+		return nil, fmt.Errorf("streaming: absolute path with no context document")
+	}
+	ctr := opts.Counter
+	if ctr == nil && (opts.Metrics != nil || tr != nil) {
+		// Instrumentation needs a counter to measure op deltas; synthesize
+		// a private one so metrics reconcile even without a caller counter.
+		ctr = new(evalctx.Counter)
+	}
+	start := ctr.Ops()
+	var sp obs.Span
+	if tr != nil {
+		sp = tr.Enter(q.Expr, ctx, ctr)
+	}
+	v, err := prog.EvalTree(ctx.Node.Document(), ctr, opts.guard)
+	if tr != nil {
+		tr.Exit(sp, v, ctr)
+	}
+	if m := opts.Metrics; m != nil {
+		m.Counter("engine.streaming.ops").Add(ctr.Ops() - start)
+		m.Counter("engine.streaming.evals").Inc()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
 // recordIndexMetrics copies the document's native index statistics into
