@@ -1,12 +1,13 @@
 # Standard targets; no dependencies beyond the Go toolchain.
 
-.PHONY: all build vet test race test-race fuzz fuzz-short bench experiments profile guard guard-race examples check clean
+.PHONY: all build vet test race test-race fuzz fuzz-short bench experiments profile pprof guard guard-race allocgate examples check clean
 
 all: build vet test
 
-# Everything a PR should pass: build, vet, tests, the race-enabled guard
-# suite, the full race suite and a short fuzz session per target.
-check: all guard-race test-race fuzz-short
+# Everything a PR should pass: build, vet, tests, the allocation
+# regression gate, the race-enabled guard suite, the full race suite and
+# a short fuzz session per target.
+check: all allocgate guard-race test-race fuzz-short
 
 build:
 	go build ./...
@@ -63,6 +64,21 @@ guard:
 # concurrent batch cancellation and the parallel engine's shared guard.
 guard-race:
 	go test -race -run 'TestGuard|TestEvalBatch' .
+
+# The allocation regression gate: warm compiled-query evaluations must
+# stay under the checked-in allocs-per-op ceilings of
+# alloc_gate_test.go, then the alloc experiment reports the current
+# steady-state numbers and refreshes BENCH_ALLOC.json (see
+# docs/PERFORMANCE.md and EXP-ALLOC in EXPERIMENTS.md).
+allocgate:
+	go test -run TestAllocGate -count=1 .
+	go run ./cmd/xbench -run alloc
+
+# CPU + heap profiles of the hot evaluation paths, via the alloc
+# experiment's warm workloads. Inspect with `go tool pprof cpu.out`
+# (or mem.out); `top`, `list evalPath`, and `web` are good first moves.
+pprof:
+	go run ./cmd/xbench -run alloc -cpuprofile cpu.out -memprofile mem.out
 
 examples:
 	go run ./examples/quickstart

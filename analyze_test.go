@@ -33,13 +33,16 @@ var goldenCases = []struct {
 }
 
 // durRe matches rendered wall-time tokens (time=…, the profile time
-// column); nanosRe matches the index build-time gauge. Both are the only
-// machine-dependent parts of an ExplainAnalyze report — visits, ops and
-// cardinalities are deterministic.
+// column); nanosRe matches the index build-time gauge; scratchRe matches
+// the scratch-arena pool counters, whose hit/miss split depends on
+// sync.Pool warmth and GC timing. These are the only machine-dependent
+// parts of an ExplainAnalyze report — visits, ops and cardinalities are
+// deterministic.
 var (
-	durRe    = regexp.MustCompile(`\d+(?:\.\d+)?(?:ns|µs|ms|s)\b`)
-	durPadRe = regexp.MustCompile(` {2,}<dur>`)
-	nanosRe  = regexp.MustCompile(`(index\.build_nanos\s+)\d+`)
+	durRe     = regexp.MustCompile(`\d+(?:\.\d+)?(?:ns|µs|ms|s)\b`)
+	durPadRe  = regexp.MustCompile(` {2,}<dur>`)
+	nanosRe   = regexp.MustCompile(`(index\.build_nanos\s+)\d+`)
+	scratchRe = regexp.MustCompile(`(eval\.scratch\.(?:hit|miss)\s+)\d+`)
 )
 
 func scrubTimes(s string) string {
@@ -47,7 +50,8 @@ func scrubTimes(s string) string {
 	// Durations render right-aligned in a fixed-width column, so their
 	// varying widths leak into the padding; collapse it.
 	s = durPadRe.ReplaceAllString(s, " <dur>")
-	return nanosRe.ReplaceAllString(s, "${1}<nanos>")
+	s = nanosRe.ReplaceAllString(s, "${1}<nanos>")
+	return scratchRe.ReplaceAllString(s, "${1}<n>")
 }
 
 // TestExplainAnalyzeGolden locks the rendered Explain and ExplainAnalyze

@@ -37,6 +37,13 @@ type BatchResult struct {
 // A caller-provided opts.Context, by contrast, is shared — canceling it
 // aborts every query still running, each reporting ErrCanceled in its
 // BatchResult.
+//
+// The engines recycle their scratch memory (bitset arenas, node buffers,
+// memo tables) through sync.Pools, so a worker loop like this one reuses
+// warm buffers from query to query instead of reallocating them. Each
+// evaluation checks out private scratch and returns it only after copying
+// out anything the caller sees, so results are stable and workers never
+// share a buffer (TestEvalBatchScratchReuse pins this under -race).
 func EvalBatch(d *Document, queries []string, opts EvalOptions) []BatchResult {
 	results := make([]BatchResult, len(queries))
 	if len(queries) == 0 {

@@ -116,6 +116,67 @@ func TestEvalBatchConcurrentDocuments(t *testing.T) {
 	}
 }
 
+// TestEvalBatchScratchReuse drives the engines' pooled scratch (bitset
+// arenas, node buffers, memo tables — all recycled through sync.Pools)
+// from many concurrent EvalBatch workers across several rounds, so pooled
+// buffers migrate between workers and between documents of different
+// sizes. Under -race (part of the `make guard-race` suite) this fails if
+// a recycled buffer is ever visible to two evaluations at once; race
+// detector aside, it pins the result-stability contract: a node-set
+// handed to the caller must not change when later evaluations reuse the
+// scratch that produced it.
+func TestEvalBatchScratchReuse(t *testing.T) {
+	docA := batchDoc(t, 7, 300)
+	docB := batchDoc(t, 8, 120)
+	ref := func(d *Document) []Value {
+		out := make([]Value, len(batchQueries))
+		for i, qs := range batchQueries {
+			v, err := MustCompile(qs).EvalOptions(RootContext(d), EvalOptions{DisableIndex: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = v
+		}
+		return out
+	}
+	wantA, wantB := ref(docA), ref(docB)
+	check := func(round int, got []BatchResult, want []Value, label string) {
+		t.Helper()
+		for i := range got {
+			if got[i].Err != nil {
+				t.Fatalf("round %d %s query %q: %v", round, label, batchQueries[i], got[i].Err)
+			}
+			if !value.Equal(got[i].Value, want[i]) {
+				t.Fatalf("round %d %s query %q: got %s, want %s",
+					round, label, batchQueries[i], got[i].Value, want[i])
+			}
+		}
+	}
+	// Round 0's results are retained and re-checked after every later
+	// round: if an engine ever returned a view into pooled scratch, the
+	// later rounds would scribble over it.
+	var held []BatchResult
+	for round := 0; round < 4; round++ {
+		var wg sync.WaitGroup
+		res := make([][]BatchResult, 2)
+		for k, d := range []*Document{docA, docB} {
+			wg.Add(1)
+			go func(k int, d *Document) {
+				defer wg.Done()
+				res[k] = EvalBatch(d, batchQueries, EvalOptions{Workers: 8})
+			}(k, d)
+		}
+		wg.Wait()
+		check(round, res[0], wantA, "docA")
+		check(round, res[1], wantB, "docB")
+		if round == 0 {
+			held = res[0]
+		} else {
+			check(round, held, wantA, "held round-0")
+		}
+	}
+}
+
 // Prepare must return the identical *Compiled for repeated calls (the
 // whole point of the plan cache), and the cached plan must evaluate like
 // a fresh compile.

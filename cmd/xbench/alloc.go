@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	xpath "xpathcomplexity"
+	"xpathcomplexity/internal/xmltree"
+)
+
+// allocRow is one warm-evaluation measurement of the allocation
+// experiment, as written to BENCH_ALLOC.json.
+type allocRow struct {
+	// Name is the workload label (engine/family).
+	Name string `json:"name"`
+	// Engine is the engine name.
+	Engine string `json:"engine"`
+	// Query is the query text.
+	Query string `json:"query"`
+	// Nodes is the document size.
+	Nodes int `json:"nodes"`
+	// AllocsPerOp and BytesPerOp are the steady-state per-evaluation
+	// allocation figures (machine-independent up to Go version).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// NsPerOp is the wall time per evaluation (machine-dependent).
+	NsPerOp int64 `json:"ns_per_op"`
+}
+
+// allocReport is the top-level BENCH_ALLOC.json document.
+type allocReport struct {
+	Experiment string     `json:"experiment"`
+	Rows       []allocRow `json:"rows"`
+}
+
+// allocWorkloads are the warm compiled-query workloads measured by
+// EXP-ALLOC. The first four are exactly the BenchmarkRepeatedQuery
+// workloads of the README's Performance section (same 4000-node random
+// document, same queries, same engine bindings), so `go test -bench
+// RepeatedQuery -benchmem` cross-checks the recorded numbers; the last
+// two run the Figure-1 chain family, where the document is one deep
+// spine and per-step clones dominated the seed's evaluation cost.
+var allocWorkloads = []struct {
+	name   string
+	query  string
+	engine xpath.Engine
+	doc    func() *xmltree.Document
+}{
+	{"cvt/descendant-chain", "//a//b//c", xpath.EngineCVT, allocRandomDoc},
+	{"cvt/pred", "//a[b]/c", xpath.EngineCVT, allocRandomDoc},
+	{"corelinear/path", "/descendant::a/child::b/descendant::c", xpath.EngineCoreLinear, allocRandomDoc},
+	{"corelinear/pred", "//a[b and not(c)]", xpath.EngineCoreLinear, allocRandomDoc},
+	{"corelinear/figure1-chain", "//a//b//c", xpath.EngineCoreLinear, allocChainDoc},
+	{"cvt/figure1-chain", "//a//b//c[.//a]", xpath.EngineCVT, allocChainDoc},
+}
+
+// allocRandomDoc is prepBenchDoc of the benchmark suite: the shared
+// ~4k-node random document of the warm-vs-cold experiments.
+func allocRandomDoc() *xmltree.Document {
+	rng := rand.New(rand.NewSource(7))
+	return xmltree.RandomDocument(rng, xmltree.GenConfig{
+		Nodes: 4000, MaxFanout: 4, Tags: []string{"a", "b", "c", "d"},
+		TextProb: 0.2, AttrProb: 0.2,
+	})
+}
+
+// allocChainDoc is the EXP-OBS/EXP-GUARD chain family at 200 units: 601
+// nodes of nested <a><b><c>, maximal depth, fanout 1.
+func allocChainDoc() *xmltree.Document {
+	const units = 200
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < units; i++ {
+		b.WriteString("<a><b><c>")
+	}
+	for i := 0; i < units; i++ {
+		b.WriteString("</c></b></a>")
+	}
+	b.WriteString("</r>")
+	d, err := xmltree.ParseString(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// expAlloc measures steady-state allocations and wall time per warm
+// compiled-query evaluation (EXP-ALLOC): the plan is prepared once, the
+// document index is built, the scratch pools are primed by one throwaway
+// evaluation, and then the evaluation loop is measured with the testing
+// package's benchmark driver. Results go to BENCH_ALLOC.json; the
+// recorded before/after table lives in EXPERIMENTS.md, and `make
+// allocgate` holds a regression ceiling over the same hot paths.
+func expAlloc(seed int64) {
+	report := allocReport{Experiment: "alloc"}
+	t := newTable("workload", "engine", "docNodes", "allocs/op", "B/op", "ns/op")
+	for _, w := range allocWorkloads {
+		d := w.doc()
+		ctx := xpath.RootContext(d)
+		c, err := xpath.Prepare(w.query)
+		if err != nil {
+			panic(err)
+		}
+		opts := xpath.EvalOptions{Engine: w.engine}
+		if _, err := c.EvalOptions(ctx, opts); err != nil { // prime index + pools
+			panic(err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.EvalOptions(ctx, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		row := allocRow{
+			Name: w.name, Engine: w.engine.String(), Query: w.query, Nodes: len(d.Nodes),
+			AllocsPerOp: res.AllocsPerOp(), BytesPerOp: res.AllocedBytesPerOp(),
+			NsPerOp: res.NsPerOp(),
+		}
+		report.Rows = append(report.Rows, row)
+		t.add(row.Name, row.Engine, row.Nodes, row.AllocsPerOp, row.BytesPerOp, row.NsPerOp)
+	}
+	t.print()
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_ALLOC.json", append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Println("  wrote BENCH_ALLOC.json")
+}

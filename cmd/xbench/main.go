@@ -23,18 +23,24 @@
 //	guard resource governance: the same op budget that kills the naive
 //	     engine lets cvt finish, and deadlines abort naive promptly
 //	     (writes BENCH_GUARD.json)
+//	alloc allocation profile of warm compiled-query evaluation: steady-
+//	     state allocs/op, B/op, and ns/op over the RepeatedQuery and
+//	     Figure-1 chain workloads (writes BENCH_ALLOC.json)
 //
 // Usage:
 //
 //	xbench            # run everything
 //	xbench -run f1,t32
 //	xbench -run f5 -seed 7
+//	xbench -run alloc -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 )
 
@@ -63,16 +69,51 @@ var experiments = []experiment{
 	{"prep", "plan cache + document index: cold vs warm wall-clock", expPrep},
 	{"profile", "observability: naive vs cvt visit growth (writes BENCH_OBS.json)", expProfile},
 	{"guard", "resource guard: op budget kills naive, cvt completes (writes BENCH_GUARD.json)", expGuard},
+	{"alloc", "allocation profile of warm compiled-query evaluation (writes BENCH_ALLOC.json)", expAlloc},
 }
 
 func main() {
 	var (
-		run  = flag.String("run", "all", "comma-separated experiment names, or 'all'")
-		seed = flag.Int64("seed", 1, "random seed")
+		run        = flag.String("run", "all", "comma-separated experiment names, or 'all'")
+		seed       = flag.Int64("seed", 1, "random seed")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 	)
 	flag.Int64Var(&guardMaxOps, "max-ops", guardMaxOps, "operation budget for the guard experiment")
 	flag.DurationVar(&guardTimeout, "timeout", guardTimeout, "deadline for the guard experiment's timeout row")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "xbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("\nwrote CPU profile to %s (inspect with `go tool pprof %s`)\n", *cpuprofile, *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "xbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote heap profile to %s (inspect with `go tool pprof %s`)\n", *memprofile, *memprofile)
+		}()
+	}
 	want := map[string]bool{}
 	if *run != "all" {
 		for _, name := range strings.Split(*run, ",") {

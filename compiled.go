@@ -32,6 +32,10 @@ type Compiled struct {
 	// planClass is the classification of plan (== Query.Class when no
 	// rewrite applied).
 	planClass Classification
+	// planQuery wraps plan as a Query once at bind time, so EvalOptions
+	// does not rebuild (and reallocate) one per evaluation. It is
+	// immutable, like the rest of the Compiled.
+	planQuery *Query
 }
 
 // bind builds the engine-bound plan for a compiled query: it folds
@@ -63,7 +67,10 @@ func bind(q *Query) *Compiled {
 	if _, err := streaming.Compile(plan); err == nil {
 		bound = EngineStreaming
 	}
-	return &Compiled{Query: q, Bound: bound, plan: plan, planClass: cls}
+	return &Compiled{
+		Query: q, Bound: bound, plan: plan, planClass: cls,
+		planQuery: &Query{Source: q.Source, Expr: plan, Class: cls},
+	}
 }
 
 // treeEngine is the tree-based engine the plan's fragment recommends —
@@ -118,7 +125,7 @@ func (c *Compiled) EvalOptions(ctx Context, opts EvalOptions) (Value, error) {
 			opts.Engine = c.treeEngine()
 		}
 	}
-	return (&Query{Source: c.Source, Expr: c.plan, Class: c.planClass}).EvalOptions(ctx, opts)
+	return c.planQuery.EvalOptions(ctx, opts)
 }
 
 // Select evaluates a node-set query from the document root.

@@ -133,6 +133,48 @@ func TestGuardOpsBudgetSeparatesEngines(t *testing.T) {
 	}
 }
 
+// TestGuardBudgetUnitParity pins the guard's accounting to Counter units
+// through the pooled scratch-arena evaluation paths: an unguarded run's
+// exact op count is, as a MaxOps limit, the tightest budget that still
+// completes — one unit less must fail. If pooling ever changed what work
+// gets charged (a skipped re-allocation, a cached selection), the two
+// ledgers would drift and this fails.
+func TestGuardBudgetUnitParity(t *testing.T) {
+	d := guardChainDoc(t, 12)
+	for _, tc := range []struct {
+		engine Engine
+		query  string
+	}{
+		{EngineCVT, pathologicalQuery},
+		{EngineCVT, "//c[position() = last()]"},
+		{EngineCoreLinear, "//a[b or not(c)]"},
+		{EngineParallel, "//a[b or not(c)]"},
+	} {
+		for _, disableIndex := range []bool{false, true} {
+			q := MustCompile(tc.query)
+			var ctr Counter
+			if _, err := q.EvalOptions(RootContext(d), EvalOptions{
+				Engine: tc.engine, Counter: &ctr, DisableIndex: disableIndex,
+			}); err != nil {
+				t.Fatalf("%v %q unguarded: %v", tc.engine, tc.query, err)
+			}
+			ops := ctr.Ops()
+			if _, err := q.EvalOptions(RootContext(d), EvalOptions{
+				Engine: tc.engine, MaxOps: ops, DisableIndex: disableIndex,
+			}); err != nil {
+				t.Errorf("%v %q (index=%v): failed at MaxOps=%d, its own op count: %v",
+					tc.engine, tc.query, !disableIndex, ops, err)
+			}
+			if _, err := q.EvalOptions(RootContext(d), EvalOptions{
+				Engine: tc.engine, MaxOps: ops - 1, DisableIndex: disableIndex,
+			}); !errors.Is(err, ErrBudgetExceeded) {
+				t.Errorf("%v %q (index=%v): MaxOps=%d err = %v, want ErrBudgetExceeded",
+					tc.engine, tc.query, !disableIndex, ops-1, err)
+			}
+		}
+	}
+}
+
 func TestGuardMaxDepth(t *testing.T) {
 	d := guardChainDoc(t, 10)
 	// Deeply nested predicates force evaluator recursion.

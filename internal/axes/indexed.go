@@ -92,3 +92,112 @@ func SelectProximityIndexed(ix *xmltree.Index, a ast.Axis, t ast.NodeTest, n *xm
 	}
 	return out
 }
+
+// AppendSelectProximity appends the axis::test selection from n to dst in
+// proximity order and returns the extended slice — the allocation-free
+// variant of SelectProximityIndexed for callers that recycle their own
+// buffers (ix may be nil for the unindexed walk). Unlike
+// SelectProximityIndexed, the appended region never aliases index
+// storage, so callers may overwrite it freely.
+func AppendSelectProximity(dst []*xmltree.Node, ix *xmltree.Index, a ast.Axis, t ast.NodeTest, n *xmltree.Node) []*xmltree.Node {
+	if ix != nil {
+		if sel, ok := SelectFast(ix, a, t, n); ok {
+			if !a.IsReverse() {
+				return append(dst, sel...)
+			}
+			for i := len(sel) - 1; i >= 0; i-- {
+				dst = append(dst, sel[i])
+			}
+			return dst
+		}
+	}
+	return appendSelectProximity(dst, a, t, n)
+}
+
+// appendSelectProximity walks axis a from n directly, appending matches of
+// t in proximity order. It materializes nothing beyond dst: the axes that
+// Nodes serves from existing storage (child, attribute, siblings) are
+// filtered in place, and the computed axes (descendant, ancestor,
+// following, preceding) are walked without an intermediate slice.
+func appendSelectProximity(dst []*xmltree.Node, a ast.Axis, t ast.NodeTest, n *xmltree.Node) []*xmltree.Node {
+	switch a {
+	case ast.AxisSelf:
+		if MatchTest(a, n, t) {
+			dst = append(dst, n)
+		}
+	case ast.AxisParent:
+		if n.Parent != nil && MatchTest(a, n.Parent, t) {
+			dst = append(dst, n.Parent)
+		}
+	case ast.AxisChild:
+		for _, c := range n.Children {
+			if MatchTest(a, c, t) {
+				dst = append(dst, c)
+			}
+		}
+	case ast.AxisAttribute:
+		for _, m := range n.Attrs {
+			if MatchTest(a, m, t) {
+				dst = append(dst, m)
+			}
+		}
+	case ast.AxisDescendant, ast.AxisDescendantOrSelf:
+		if a == ast.AxisDescendantOrSelf && MatchTest(a, n, t) {
+			dst = append(dst, n)
+		}
+		dst = appendMatchingDescendants(dst, a, t, n)
+	case ast.AxisAncestor, ast.AxisAncestorOrSelf:
+		// Reverse axis: proximity order is nearest ancestor first, which
+		// the parent chain yields directly.
+		if a == ast.AxisAncestorOrSelf && MatchTest(a, n, t) {
+			dst = append(dst, n)
+		}
+		for p := n.Parent; p != nil; p = p.Parent {
+			if MatchTest(a, p, t) {
+				dst = append(dst, p)
+			}
+		}
+	case ast.AxisFollowingSibling:
+		if n.Parent != nil && n.Type != xmltree.AttributeNode {
+			for _, m := range n.Parent.Children[n.SiblingIdx+1:] {
+				if MatchTest(a, m, t) {
+					dst = append(dst, m)
+				}
+			}
+		}
+	case ast.AxisPrecedingSibling:
+		if n.Parent != nil && n.Type != xmltree.AttributeNode {
+			sibs := n.Parent.Children[:n.SiblingIdx]
+			for i := len(sibs) - 1; i >= 0; i-- {
+				if MatchTest(a, sibs[i], t) {
+					dst = append(dst, sibs[i])
+				}
+			}
+		}
+	case ast.AxisFollowing:
+		for _, m := range n.Document().Nodes {
+			if m.Type != xmltree.AttributeNode && reachFollowing(n, m) && MatchTest(a, m, t) {
+				dst = append(dst, m)
+			}
+		}
+	case ast.AxisPreceding:
+		nodes := n.Document().Nodes
+		for i := n.Ord - 1; i >= 0; i-- {
+			m := nodes[i]
+			if reachPreceding(n, m) && MatchTest(a, m, t) {
+				dst = append(dst, m)
+			}
+		}
+	}
+	return dst
+}
+
+func appendMatchingDescendants(dst []*xmltree.Node, a ast.Axis, t ast.NodeTest, n *xmltree.Node) []*xmltree.Node {
+	for _, c := range n.Children {
+		if MatchTest(a, c, t) {
+			dst = append(dst, c)
+		}
+		dst = appendMatchingDescendants(dst, a, t, c)
+	}
+	return dst
+}

@@ -21,7 +21,8 @@ package corelinear
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"xpathcomplexity/internal/axes"
 	"xpathcomplexity/internal/eval/evalctx"
@@ -129,13 +130,13 @@ func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Va
 		// a private one so metrics reconcile even without a caller counter.
 		opts.Counter = new(evalctx.Counter)
 	}
-	e := &evaluator{
-		doc:   ctx.Node.Document(),
-		ctr:   opts.Counter,
-		tr:    opts.Tracer,
-		guard: opts.Guard,
-		memo:  make(map[ast.Expr]nodeset.Set),
-	}
+	e := evaluatorPool.Get().(*evaluator)
+	e.doc = ctx.Node.Document()
+	e.ctr = opts.Counter
+	e.tr = opts.Tracer
+	e.guard = opts.Guard
+	e.arena = nodeset.NewArena()
+	defer e.release()
 	if opts.Metrics != nil {
 		e.frontierHist = opts.Metrics.Histogram("corelinear.frontier")
 	}
@@ -148,8 +149,16 @@ func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Va
 		m.Counter("engine.corelinear.ops").Add(opts.Counter.Ops() - startOps)
 		m.Counter("engine.corelinear.evals").Inc()
 		m.Counter("corelinear.mode_switches").Add(e.modeSwitches)
+		hits, misses := e.arena.Stats()
+		obs.RecordScratch(m, hits, misses)
 	}
 	return v, err
+}
+
+// evaluatorPool recycles evaluators (with their memo map buckets and
+// marks bitmap) across evaluations.
+var evaluatorPool = sync.Pool{
+	New: func() any { return &evaluator{memo: make(map[ast.Expr]nodeset.Set)} },
 }
 
 type evaluator struct {
@@ -158,12 +167,37 @@ type evaluator struct {
 	tr    *obs.Tracer
 	guard *evalctx.Guard
 	idx   *xmltree.Index // nil when the index is disabled
+	arena *nodeset.Arena // scratch arena; every transient Set lives here
 	memo  map[ast.Expr]nodeset.Set
 	marks []bool // scratch dedup bitmap for sparse frontiers, always reset
+	// listBuf/selBuf/visBuf/pruneBuf are arena node buffers backing the
+	// sparse frontier machinery; lazily taken, released with the arena.
+	listBuf, selBuf, visBuf, pruneBuf *[]*xmltree.Node
 	// frontierHist is the corelinear.frontier handle (nil when metrics are
 	// off); modeSwitches counts sparse→dense demotions, flushed at the end.
 	frontierHist *obs.Histogram
 	modeSwitches int64
+}
+
+// release returns the evaluator and all its arena-backed scratch memory
+// to the pools. The memo map and marks bitmap are retained (cleared /
+// known-reset) so a warm evaluator allocates nothing.
+func (e *evaluator) release() {
+	clear(e.memo) // memoized sets are arena-backed; drop before the arena goes
+	e.arena.Release()
+	e.doc, e.ctr, e.tr, e.guard, e.idx, e.arena = nil, nil, nil, nil, nil, nil
+	e.listBuf, e.selBuf, e.visBuf, e.pruneBuf = nil, nil, nil, nil
+	e.frontierHist = nil
+	e.modeSwitches = 0
+	evaluatorPool.Put(e)
+}
+
+// buf lazily takes an arena node buffer into the given field.
+func (e *evaluator) buf(p **[]*xmltree.Node) *[]*xmltree.Node {
+	if *p == nil {
+		*p = e.arena.NodeBuf()
+	}
+	return *p
 }
 
 // charge bumps the counter and the guard by the same n, so the guard's
@@ -203,7 +237,10 @@ func (e *evaluator) evalTopInner(expr ast.Expr, ctx evalctx.Context) (value.Valu
 		if err != nil {
 			return nil, err
 		}
-		return value.NewNodeSet(res.Nodes()...), nil
+		// Nodes() materializes into fresh heap memory, so the result
+		// survives the arena release; it is sorted and duplicate free, so
+		// no normalization copy is needed.
+		return value.NodeSetFromOrdered(res.Nodes()), nil
 	}
 	if b, ok := expr.(*ast.Binary); ok && b.Op == ast.OpUnion {
 		l, err := e.evalTop(b.Left, ctx)
@@ -243,7 +280,7 @@ func (e *evaluator) testSet(a ast.Axis, t ast.NodeTest) nodeset.Set {
 	if e.idx != nil {
 		return nodeset.TestSetCached(e.idx, a, t)
 	}
-	return nodeset.TestSet(e.doc, a, t)
+	return nodeset.TestSetArena(e.arena, e.doc, a, t)
 }
 
 // forwardPath evaluates a location path from a single start node,
@@ -258,15 +295,16 @@ func (e *evaluator) forwardPath(p *ast.Path, start *xmltree.Node) (nodeset.Set, 
 	if e.idx != nil {
 		return e.forwardPathSparse(p, first)
 	}
-	frontier := nodeset.New(e.doc)
+	frontier := e.arena.New(e.doc)
 	frontier.Add(first)
 	for _, step := range p.Steps {
 		if err := e.charge(int64(len(e.doc.Nodes))); err != nil {
 			return nodeset.Set{}, err
 		}
-		// The axis image is freshly allocated, so the node test can be
-		// intersected in place.
-		next := nodeset.ApplyAxis(step.Axis, frontier).
+		// The frontier is exclusively ours and the axis image is fresh (or,
+		// for self, the frontier itself), so the node test intersects in
+		// place.
+		next := nodeset.ApplyAxisIndexedOwned(e.arena, nil, step.Axis, frontier).
 			AndWith(e.testSet(step.Axis, step.Test))
 		for _, pred := range step.Preds {
 			cond, err := e.condSet(pred)
@@ -297,7 +335,12 @@ const sparseDivisor = 2
 // Counter charges are identical in both modes — one Step(|D|) per step —
 // so operation counts do not depend on the representation.
 func (e *evaluator) forwardPathSparse(p *ast.Path, first *xmltree.Node) (nodeset.Set, error) {
-	list := []*xmltree.Node{first} // sparse frontier, valid while sparse
+	// The sparse frontier double-buffers between two arena node buffers:
+	// selectSparse reads the current list while appending into the spare,
+	// then the roles swap. Predicate filtering compacts in place.
+	cur, spare := e.buf(&e.listBuf), e.buf(&e.selBuf)
+	*cur = append((*cur)[:0], first)
+	list := *cur // sparse frontier, valid while sparse
 	sparse := true
 	var dense nodeset.Set // dense frontier, valid once !sparse
 	for _, step := range p.Steps {
@@ -305,15 +348,17 @@ func (e *evaluator) forwardPathSparse(p *ast.Path, first *xmltree.Node) (nodeset
 			return nodeset.Set{}, err
 		}
 		if sparse {
-			if sel, ok := e.selectSparse(step.Axis, step.Test, list); ok {
+			if sel, ok := e.selectSparse(step.Axis, step.Test, list, (*spare)[:0]); ok {
+				*spare = sel
 				list = sel
+				cur, spare = spare, cur
 			} else {
-				dense, sparse = nodeset.FromNodes(e.doc, list...), false
+				dense, sparse = e.arena.FromNodes(e.doc, list...), false
 				e.modeSwitches++
 			}
 		}
 		if !sparse {
-			dense = nodeset.ApplyAxisIndexed(e.idx, step.Axis, dense).
+			dense = nodeset.ApplyAxisIndexedOwned(e.arena, e.idx, step.Axis, dense).
 				AndWith(e.testSet(step.Axis, step.Test))
 		}
 		for _, pred := range step.Preds {
@@ -322,19 +367,20 @@ func (e *evaluator) forwardPathSparse(p *ast.Path, first *xmltree.Node) (nodeset
 				return nodeset.Set{}, err
 			}
 			if sparse {
-				kept := list[:0] // selectSparse results are freshly allocated
+				kept := list[:0] // the frontier buffer is exclusively ours
 				for _, n := range list {
-					if cond.Bits[n.Ord] {
+					if cond.HasOrd(n.Ord) {
 						kept = append(kept, n)
 					}
 				}
 				list = kept
+				*cur = kept
 			} else {
 				dense = dense.AndWith(cond)
 			}
 		}
 		if sparse && len(list) > len(e.doc.Nodes)/sparseDivisor {
-			dense, sparse = nodeset.FromNodes(e.doc, list...), false
+			dense, sparse = e.arena.FromNodes(e.doc, list...), false
 			e.modeSwitches++
 		}
 		// Only materialized (sparse) frontiers are counted against the
@@ -347,7 +393,7 @@ func (e *evaluator) forwardPathSparse(p *ast.Path, first *xmltree.Node) (nodeset
 		e.observeFrontier(sparse, list, dense)
 	}
 	if sparse {
-		return nodeset.FromNodes(e.doc, list...), nil
+		return e.arena.FromNodes(e.doc, list...), nil
 	}
 	return dense, nil
 }
@@ -360,11 +406,11 @@ func (e *evaluator) forwardPathSparse(p *ast.Path, first *xmltree.Node) (nodeset
 // via subtree slices from a nesting-pruned frontier. Following/preceding
 // apply only from a singleton frontier, where SelectFast slices the tag
 // list directly. Preceding-sibling reports ok=false and falls
-// back to the dense passes. The result is freshly allocated, duplicate
-// free, in arbitrary order (Core XPath has no positional predicates, and
-// the final set conversion restores document order).
-func (e *evaluator) selectSparse(a ast.Axis, t ast.NodeTest, list []*xmltree.Node) ([]*xmltree.Node, bool) {
-	var out []*xmltree.Node
+// back to the dense passes. The result is appended to out (the caller's
+// spare frontier buffer, sliced to length 0), duplicate free, in
+// arbitrary order (Core XPath has no positional predicates, and the
+// final set conversion restores document order).
+func (e *evaluator) selectSparse(a ast.Axis, t ast.NodeTest, list, out []*xmltree.Node) ([]*xmltree.Node, bool) {
 	switch a {
 	case ast.AxisSelf:
 		for _, n := range list {
@@ -390,7 +436,7 @@ func (e *evaluator) selectSparse(a ast.Axis, t ast.NodeTest, list []*xmltree.Nod
 			}
 		}
 	case ast.AxisParent:
-		if e.marks == nil {
+		if len(e.marks) < len(e.doc.Nodes) {
 			e.marks = make([]bool, len(e.doc.Nodes))
 		}
 		for _, n := range list {
@@ -406,11 +452,12 @@ func (e *evaluator) selectSparse(a ast.Axis, t ast.NodeTest, list []*xmltree.Nod
 		// Walk parent chains with a visited-stop: once a chain hits an
 		// already-visited node the rest of it is visited too, so the
 		// total walk is O(frontier + distinct ancestors).
-		if e.marks == nil {
+		if len(e.marks) < len(e.doc.Nodes) {
 			e.marks = make([]bool, len(e.doc.Nodes))
 		}
 		par := e.idx.ParentOrds()
-		var visited []*xmltree.Node
+		vb := e.buf(&e.visBuf)
+		visited := (*vb)[:0]
 		for _, n := range list {
 			j := int32(n.Ord)
 			if a == ast.AxisAncestor {
@@ -421,6 +468,7 @@ func (e *evaluator) selectSparse(a ast.Axis, t ast.NodeTest, list []*xmltree.Nod
 				visited = append(visited, e.doc.Nodes[j])
 			}
 		}
+		*vb = visited
 		for _, m := range visited {
 			e.marks[m.Ord] = false
 			if axes.MatchTest(a, m, t) {
@@ -430,17 +478,19 @@ func (e *evaluator) selectSparse(a ast.Axis, t ast.NodeTest, list []*xmltree.Nod
 	case ast.AxisFollowingSibling:
 		// Same visited-stop trick along next-sibling chains: a visited
 		// node's entire suffix is already visited.
-		if e.marks == nil {
+		if len(e.marks) < len(e.doc.Nodes) {
 			e.marks = make([]bool, len(e.doc.Nodes))
 		}
 		next := e.idx.NextSiblingOrds()
-		var visited []*xmltree.Node
+		vb := e.buf(&e.visBuf)
+		visited := (*vb)[:0]
 		for _, n := range list {
 			for j := next[n.Ord]; j >= 0 && !e.marks[j]; j = next[j] {
 				e.marks[j] = true
 				visited = append(visited, e.doc.Nodes[j])
 			}
 		}
+		*vb = visited
 		for _, m := range visited {
 			e.marks[m.Ord] = false
 			if axes.MatchTest(a, m, t) {
@@ -452,7 +502,7 @@ func (e *evaluator) selectSparse(a ast.Axis, t ast.NodeTest, list []*xmltree.Nod
 		// surviving subtrees are pairwise disjoint, and a pruned member's
 		// whole selection (itself included, for descendant-or-self) lies
 		// inside its covering ancestor's subtree slice.
-		for _, n := range pruneNested(list) {
+		for _, n := range e.pruneNested(list) {
 			sel, ok := axes.SelectFast(e.idx, a, t, n)
 			if !ok {
 				return nil, false
@@ -478,12 +528,14 @@ func (e *evaluator) selectSparse(a ast.Axis, t ast.NodeTest, list []*xmltree.Nod
 // Attributes share their owner's pre/post interval, so an attribute
 // survives alongside its owner (its empty/self-only selection adds
 // nothing the owner's subtree slice misses).
-func pruneNested(list []*xmltree.Node) []*xmltree.Node {
+func (e *evaluator) pruneNested(list []*xmltree.Node) []*xmltree.Node {
 	if len(list) <= 1 {
 		return list
 	}
-	sorted := append([]*xmltree.Node(nil), list...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Pre < sorted[j].Pre })
+	pb := e.buf(&e.pruneBuf)
+	sorted := append((*pb)[:0], list...)
+	*pb = sorted
+	slices.SortFunc(sorted, func(a, b *xmltree.Node) int { return a.Pre - b.Pre })
 	out := sorted[:0]
 	for _, n := range sorted {
 		if len(out) > 0 {
@@ -536,7 +588,7 @@ func (e *evaluator) condSetInner(expr ast.Expr) (nodeset.Set, error) {
 			if r, err = e.condSet(x.Right); err != nil {
 				return nodeset.Set{}, err
 			}
-			out = l.And(r)
+			out = e.arena.And(l, r)
 		case ast.OpOr, ast.OpUnion:
 			if l, err = e.condSet(x.Left); err != nil {
 				return nodeset.Set{}, err
@@ -544,7 +596,7 @@ func (e *evaluator) condSetInner(expr ast.Expr) (nodeset.Set, error) {
 			if r, err = e.condSet(x.Right); err != nil {
 				return nodeset.Set{}, err
 			}
-			out = l.Or(r)
+			out = e.arena.Or(l, r)
 		default:
 			return nodeset.Set{}, fmt.Errorf("%w: operator %q", ErrNotCore, x.Op)
 		}
@@ -555,18 +607,18 @@ func (e *evaluator) condSetInner(expr ast.Expr) (nodeset.Set, error) {
 			if err != nil {
 				return nodeset.Set{}, err
 			}
-			out = inner.Not()
+			out = e.arena.Not(inner)
 		case "boolean":
 			return e.condSet(x.Args[0])
 		case "true":
-			out = nodeset.Full(e.doc)
+			out = e.arena.Full(e.doc)
 		case "false":
-			out = nodeset.New(e.doc)
+			out = e.arena.New(e.doc)
 		default:
 			return nodeset.Set{}, fmt.Errorf("%w: function %q", ErrNotCore, x.Name)
 		}
 	case *ast.LabelTest:
-		out = nodeset.LabelSet(e.doc, x.Label)
+		out = nodeset.LabelSetArena(e.arena, e.doc, x.Label)
 	case *ast.Path:
 		out, err = e.backwardPath(x)
 		if err != nil {
@@ -582,14 +634,15 @@ func (e *evaluator) condSetInner(expr ast.Expr) (nodeset.Set, error) {
 // backwardPath computes E[π] = { x | π evaluated at x selects ≥1 node }
 // by processing the steps right-to-left with inverse-axis set operations.
 func (e *evaluator) backwardPath(p *ast.Path) (nodeset.Set, error) {
-	s := nodeset.Full(e.doc)
+	s := e.arena.Full(e.doc)
 	for i := len(p.Steps) - 1; i >= 0; i-- {
 		step := p.Steps[i]
 		if err := e.charge(int64(len(e.doc.Nodes))); err != nil {
 			return nodeset.Set{}, err
 		}
-		// s starts as the freshly allocated Full set and every inverse
-		// image below is fresh too, so the intersections run in place.
+		// s starts as the fresh arena Full set and stays exclusively ours
+		// down the chain, so the intersections run in place and the
+		// inverse image may consume it.
 		s = s.AndWith(e.testSet(step.Axis, step.Test))
 		for _, pred := range step.Preds {
 			cond, err := e.condSet(pred)
@@ -598,15 +651,15 @@ func (e *evaluator) backwardPath(p *ast.Path) (nodeset.Set, error) {
 			}
 			s = s.AndWith(cond)
 		}
-		s = nodeset.ApplyInverseAxisIndexed(e.idx, step.Axis, s)
+		s = nodeset.ApplyInverseAxisIndexedOwned(e.arena, e.idx, step.Axis, s)
 	}
 	if p.Absolute {
 		// The condition /π holds everywhere or nowhere, depending on the
 		// root.
 		if s.Has(e.doc.Root) {
-			return nodeset.Full(e.doc), nil
+			return e.arena.Full(e.doc), nil
 		}
-		return nodeset.New(e.doc), nil
+		return e.arena.New(e.doc), nil
 	}
 	return s, nil
 }

@@ -23,6 +23,8 @@ package cvt
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 
 	"xpathcomplexity/internal/axes"
 	"xpathcomplexity/internal/eval/evalctx"
@@ -147,11 +149,8 @@ func EvaluateWithStats(expr ast.Expr, ctx evalctx.Context, opts Options) (value.
 		// a private one so metrics reconcile even without a caller counter.
 		opts.Counter = new(evalctx.Counter)
 	}
-	e := &evaluator{
-		opts:      opts,
-		sensitive: make(map[ast.Expr]bool),
-		tables:    make(map[ast.Expr]map[ctxKey]value.Value),
-	}
+	e := evaluatorPool.Get().(*evaluator)
+	e.opts = opts
 	markSensitive(expr, e.sensitive)
 	startOps := opts.Counter.Ops()
 	var v value.Value
@@ -174,6 +173,13 @@ func EvaluateWithStats(expr ast.Expr, ctx evalctx.Context, opts Options) (value.
 		m.Histogram("cvt.table.subexprs").Observe(int64(st.Tables))
 		m.Histogram("cvt.table.rows").Observe(int64(st.Entries))
 	}
+	obs.RecordScratch(opts.Metrics, e.scratchHits, e.scratchMisses)
+	// Node-set results live in the evaluation's slab, which release()
+	// recycles; copy the one value that escapes to the caller.
+	if ns, ok := v.(value.NodeSet); ok && len(ns) > 0 {
+		v = value.NodeSetFromOrdered(append(make([]*xmltree.Node, 0, len(ns)), ns...))
+	}
+	e.release()
 	if err != nil {
 		return nil, st, err
 	}
@@ -192,26 +198,138 @@ type ctxKey struct {
 type evaluator struct {
 	opts      Options
 	idx       *xmltree.Index // lazily fetched; nil when disabled or unset
-	marks     []bool         // document-sized scratch for makeFrontier
+	marks     []bool         // document-sized scratch for normalizeFrontier
 	sensitive map[ast.Expr]bool
 	tables    map[ast.Expr]map[ctxKey]value.Value
 	// memoHits and memoMisses are accumulated privately (one evaluation is
 	// single-goroutine) and flushed to Options.Metrics at the end.
 	memoHits   int64
 	memoMisses int64
+
+	// Pooled scratch, retained across evaluations via evaluatorPool.
+	// tableFree recycles cleared inner memo maps; bufFree recycles the
+	// frontier/collection/predicate node buffers of evalPath; slab holds
+	// the carved node-set rows that memo values alias (reset wholesale on
+	// release). scratchHits/scratchMisses feed eval.scratch.{hit,miss}.
+	tableFree     []map[ctxKey]value.Value
+	bufFree       [][]*xmltree.Node
+	slab          []*xmltree.Node
+	scratchHits   int64
+	scratchMisses int64
+	// start is the one-node initial frontier of evalPath, hoisted onto
+	// the evaluator because a stack array passed as a slice escapes (one
+	// heap allocation per predicate evaluation). Reuse across the nested
+	// evalPath calls of predicate recursion is safe: the initial frontier
+	// has exactly one element, which runSteps reads before any predicate
+	// can recurse, and later frontiers live in the b0/b1 buffers.
+	start [1]*xmltree.Node
 }
 
+// evaluatorPool recycles evaluators — and, through them, their memo maps,
+// node buffers and result slabs — across evaluations. EvalBatch workers
+// each Get their own instance, so no state is shared concurrently.
+var evaluatorPool = sync.Pool{New: func() any {
+	return &evaluator{
+		sensitive: make(map[ast.Expr]bool),
+		tables:    make(map[ast.Expr]map[ctxKey]value.Value),
+	}
+}}
+
+// release clears all per-evaluation state and returns the evaluator to the
+// pool. Inner memo maps are cleared and kept on tableFree (clearing a map
+// retains its buckets, so the next evaluation of the same query inserts
+// without rehashing); the slab and node buffers keep their capacity but
+// drop their node pointers so a pooled evaluator never pins a document.
+func (e *evaluator) release() {
+	for expr, tbl := range e.tables {
+		clear(tbl)
+		e.tableFree = append(e.tableFree, tbl)
+		delete(e.tables, expr)
+	}
+	clear(e.sensitive)
+	if e.opts.Tracer != nil {
+		// Trace sinks may retain the values they were shown, and node-set
+		// values alias the slab; hand it to the GC instead of recycling.
+		e.slab = nil
+	} else {
+		e.slab = e.slab[:0]
+		clear(e.slab[:cap(e.slab)])
+	}
+	e.opts = Options{}
+	e.idx = nil
+	e.start[0] = nil // don't pin the last document from the pool
+	e.memoHits, e.memoMisses = 0, 0
+	e.scratchHits, e.scratchMisses = 0, 0
+	evaluatorPool.Put(e)
+}
+
+// getBuf hands out a recycled node buffer (empty, arbitrary capacity).
+func (e *evaluator) getBuf() []*xmltree.Node {
+	if n := len(e.bufFree); n > 0 {
+		b := e.bufFree[n-1]
+		e.bufFree = e.bufFree[:n-1]
+		e.scratchHits++
+		return b[:0]
+	}
+	e.scratchMisses++
+	return make([]*xmltree.Node, 0, 64)
+}
+
+// putBuf returns a buffer obtained from getBuf (possibly regrown). The
+// contents are dropped so pooled buffers never pin document nodes.
+func (e *evaluator) putBuf(b []*xmltree.Node) {
+	b = b[:cap(b)]
+	clear(b)
+	e.bufFree = append(e.bufFree, b[:0])
+}
+
+// getTable hands out an empty memo map, recycled when possible.
+func (e *evaluator) getTable() map[ctxKey]value.Value {
+	if n := len(e.tableFree); n > 0 {
+		t := e.tableFree[n-1]
+		e.tableFree = e.tableFree[:n-1]
+		e.scratchHits++
+		return t
+	}
+	e.scratchMisses++
+	return make(map[ctxKey]value.Value)
+}
+
+// carve copies nodes into the evaluation's result slab and returns the row
+// as a node-set. Rows are immutable and stable for the lifetime of the
+// evaluation (memo values alias them); the slab is recycled on release,
+// which is why EvaluateWithStats copies the final result out first.
+func (e *evaluator) carve(nodes []*xmltree.Node) value.NodeSet {
+	if len(e.slab)+len(nodes) > cap(e.slab) {
+		// A full slab stays alive through the rows already carved from it;
+		// only the current one is recycled on release.
+		c := 1024
+		for c < len(nodes) {
+			c <<= 1
+		}
+		e.slab = make([]*xmltree.Node, 0, c)
+	}
+	off := len(e.slab)
+	e.slab = append(e.slab, nodes...)
+	return value.NodeSet(e.slab[off:len(e.slab):len(e.slab)])
+}
+
+// emptyNodeSet is the shared boxed empty result: empty frontiers are
+// common enough that re-boxing one per (path, context) row shows up in
+// allocation profiles.
+var emptyNodeSet value.Value = value.NodeSet{}
+
 // selectStep selects axis::test from n in proximity order, through the
-// document index unless disabled. The result may alias index storage;
-// evalPath and filterPredicate never modify it in place.
-func (e *evaluator) selectStep(a ast.Axis, t ast.NodeTest, n *xmltree.Node) []*xmltree.Node {
+// document index unless disabled, appending to dst (the result never
+// aliases index storage).
+func (e *evaluator) selectStep(dst []*xmltree.Node, a ast.Axis, t ast.NodeTest, n *xmltree.Node) []*xmltree.Node {
 	if e.opts.DisableIndex {
-		return axes.SelectProximity(a, t, n)
+		return axes.AppendSelectProximity(dst, nil, a, t, n)
 	}
 	if e.idx == nil {
 		e.idx = n.Document().Index()
 	}
-	return axes.SelectProximityIndexed(e.idx, a, t, n)
+	return axes.AppendSelectProximity(dst, e.idx, a, t, n)
 }
 
 // markSensitive computes, per subexpression, whether its value can depend
@@ -308,7 +426,7 @@ func (e *evaluator) evalMemo(expr ast.Expr, ctx evalctx.Context) (value.Value, e
 	if !e.opts.DisableMemo {
 		tbl := e.tables[expr]
 		if tbl == nil {
-			tbl = make(map[ctxKey]value.Value)
+			tbl = e.getTable()
 			e.tables[expr] = tbl
 		}
 		tbl[k] = v
@@ -408,65 +526,106 @@ func (e *evaluator) evalBinary(b *ast.Binary, ctx evalctx.Context) (value.Value,
 
 // evalPath evaluates a location path with set semantics: the frontier
 // after every step is a normalized node set, which is the invariant that
-// keeps intermediate results bounded by |D|.
+// keeps intermediate results bounded by |D|. The step frontiers live in
+// two pooled buffers (the step being built and the one being read); only
+// the final frontier is copied into the slab, where the memo keeps it.
 func (e *evaluator) evalPath(p *ast.Path, ctx evalctx.Context) (value.Value, error) {
-	var frontier value.NodeSet
 	if p.Absolute {
 		if ctx.Node == nil {
 			return nil, fmt.Errorf("cvt: absolute path with no context document")
 		}
-		frontier = value.NewNodeSet(ctx.Node.Document().Root)
+		e.start[0] = ctx.Node.Document().Root
 	} else {
-		frontier = value.NewNodeSet(ctx.Node)
+		e.start[0] = ctx.Node
 	}
-	for _, step := range p.Steps {
-		var collected []*xmltree.Node
+	if len(p.Steps) == 0 {
+		return e.carve(e.start[:1]), nil
+	}
+	b0, b1 := e.getBuf(), e.getBuf()
+	frontier, err := e.runSteps(p.Steps, e.start[:1], &b0, &b1)
+	var v value.Value
+	if err == nil {
+		if len(frontier) == 0 {
+			v = emptyNodeSet
+		} else {
+			v = e.carve(frontier)
+		}
+	}
+	e.putBuf(b0)
+	e.putBuf(b1)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// runSteps applies the location steps to the start frontier, alternating
+// between the two caller-provided buffers (written back so regrown
+// capacity is recycled). The returned frontier aliases one of them.
+func (e *evaluator) runSteps(steps []*ast.Step, frontier []*xmltree.Node, b0, b1 *[]*xmltree.Node) ([]*xmltree.Node, error) {
+	for si, step := range steps {
+		buf := b0
+		if si&1 == 1 {
+			buf = b1
+		}
+		collected := (*buf)[:0]
 		for _, n := range frontier {
-			sel := e.selectStep(step.Axis, step.Test, n)
+			base := len(collected)
+			collected = e.selectStep(collected, step.Axis, step.Test, n)
+			sel := collected[base:]
 			if err := e.charge(int64(len(sel) + 1)); err != nil {
 				return nil, err
 			}
 			for _, pred := range step.Preds {
-				filtered, err := e.filterPredicate(sel, pred)
+				kept, err := e.filterPredicate(sel, pred)
 				if err != nil {
 					return nil, err
 				}
-				sel = filtered
+				sel = kept
 			}
-			collected = append(collected, sel...)
+			collected = collected[:base+len(sel)]
 			if e.opts.Guard != nil {
 				if err := e.opts.Guard.CheckNodeSet(len(collected)); err != nil {
 					return nil, err
 				}
 			}
 		}
-		frontier = e.makeFrontier(collected)
+		collected = e.normalizeFrontier(collected)
+		*buf = collected
+		frontier = collected
 	}
 	return frontier, nil
 }
 
-// makeFrontier normalizes a step's collected selections into a node set.
-// Sorting costs O(K log K) in the collection size K, which dominates the
+// normalizeFrontier normalizes a step's collected selections into a node
+// set, in place (the result is a prefix of collected's storage). Sorting
+// costs O(K log K) in the collection size K, which dominates the
 // evaluation when steps fan out from many context nodes; with the index
 // live and a collection comparable to the document, a document-order
 // bitmap scan dedupes in O(|D|+K) instead. Both produce the identical
 // normalized set, and neither touches the operation counter.
-func (e *evaluator) makeFrontier(collected []*xmltree.Node) value.NodeSet {
+func (e *evaluator) normalizeFrontier(collected []*xmltree.Node) []*xmltree.Node {
 	if e.idx == nil || len(collected) < 64 || len(collected)*4 < len(e.idx.Doc().Nodes) {
-		return value.NewNodeSet(collected...)
+		slices.SortFunc(collected, func(a, b *xmltree.Node) int { return a.Ord - b.Ord })
+		out := collected[:0]
+		for _, n := range collected {
+			if len(out) == 0 || out[len(out)-1] != n {
+				out = append(out, n)
+			}
+		}
+		return out
 	}
 	d := e.idx.Doc()
-	if e.marks == nil {
+	if len(e.marks) < len(d.Nodes) {
 		e.marks = make([]bool, len(d.Nodes))
 	}
-	distinct := 0
 	for _, n := range collected {
-		if !e.marks[n.Ord] {
-			e.marks[n.Ord] = true
-			distinct++
-		}
+		e.marks[n.Ord] = true
 	}
-	out := make(value.NodeSet, 0, distinct)
+	// The marked scan emits at most len(collected) distinct nodes, so it
+	// can overwrite collected as it goes: the marking pass above already
+	// consumed the input.
+	out := collected[:0]
 	for _, n := range d.Nodes {
 		if e.marks[n.Ord] {
 			e.marks[n.Ord] = false
@@ -476,8 +635,12 @@ func (e *evaluator) makeFrontier(collected []*xmltree.Node) value.NodeSet {
 	return out
 }
 
+// filterPredicate filters sel in place by pred, per the XPath predicate
+// rule (a number result keeps the node at that proximity position). sel
+// is always storage the evaluator owns — selectStep copies out of index
+// storage — so overwriting it is safe.
 func (e *evaluator) filterPredicate(sel []*xmltree.Node, pred ast.Expr) ([]*xmltree.Node, error) {
-	out := make([]*xmltree.Node, 0, len(sel))
+	out := sel[:0]
 	size := len(sel)
 	for i, n := range sel {
 		pctx := evalctx.Context{Node: n, Pos: i + 1, Size: size}

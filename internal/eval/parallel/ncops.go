@@ -105,11 +105,11 @@ func buildNCIndex(doc *xmltree.Document) *ncIndex {
 // self of n (tree nodes only) is a tree member of S. After round k the
 // horizon is 2^k; ⌈log depth⌉ rounds suffice, each a pointwise pass.
 func (e *evaluator) dosReach(ix *ncIndex, s nodeset.Set) []bool {
-	n := len(s.Bits)
+	n := len(e.doc.Nodes)
 	reach := make([]bool, n)
 	e.parallelFor(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			reach[i] = s.Bits[i] && e.doc.Nodes[i].Type != xmltree.AttributeNode
+			reach[i] = s.HasOrd(i) && e.doc.Nodes[i].Type != xmltree.AttributeNode
 		}
 	})
 	for _, jumpK := range ix.jump {
@@ -135,15 +135,25 @@ func (e *evaluator) dosReach(ix *ncIndex, s nodeset.Set) []bool {
 // or-self member).
 func (e *evaluator) descendantOrSelfDoubling(ix *ncIndex, s nodeset.Set) nodeset.Set {
 	reach := e.dosReach(ix, s)
-	n := len(s.Bits)
-	out := nodeset.New(e.doc)
-	e.parallelFor(n, func(lo, hi int) {
+	n := len(e.doc.Nodes)
+	out := e.arena.New(e.doc)
+	// Word-aligned chunks: concurrent goroutines must never set bits in
+	// the same output word.
+	e.parallelForWords(len(out.Words), func(lw, hw int) {
+		lo, hi := lw<<6, hw<<6
+		if hi > n {
+			hi = n
+		}
 		for i := lo; i < hi; i++ {
 			if e.doc.Nodes[i].Type == xmltree.AttributeNode {
-				out.Bits[i] = s.Bits[i]
+				if s.HasOrd(i) {
+					out.AddOrd(i)
+				}
 				continue
 			}
-			out.Bits[i] = reach[i]
+			if reach[i] {
+				out.AddOrd(i)
+			}
 		}
 	})
 	return out
@@ -153,15 +163,19 @@ func (e *evaluator) descendantOrSelfDoubling(ix *ncIndex, s nodeset.Set) nodeset
 // qualifies iff its parent can reach an S member upward.
 func (e *evaluator) descendantDoubling(ix *ncIndex, s nodeset.Set) nodeset.Set {
 	reach := e.dosReach(ix, s)
-	n := len(s.Bits)
-	out := nodeset.New(e.doc)
-	e.parallelFor(n, func(lo, hi int) {
+	n := len(e.doc.Nodes)
+	out := e.arena.New(e.doc)
+	e.parallelForWords(len(out.Words), func(lw, hw int) {
+		lo, hi := lw<<6, hw<<6
+		if hi > n {
+			hi = n
+		}
 		for i := lo; i < hi; i++ {
 			if e.doc.Nodes[i].Type == xmltree.AttributeNode {
 				continue
 			}
 			if p := ix.parent[i]; p >= 0 && reach[p] {
-				out.Bits[i] = true
+				out.AddOrd(i)
 			}
 		}
 	})
@@ -186,15 +200,15 @@ func (e *evaluator) ancestorRMQ(ix *ncIndex, s nodeset.Set, orSelf bool) nodeset
 	// ancestors are the owner and its ancestors); seed owners.
 	seed := s
 	var attrOwners []int
-	for i, b := range s.Bits {
-		if b && e.doc.Nodes[i].Type == xmltree.AttributeNode {
+	s.ForEachOrd(func(i int) {
+		if e.doc.Nodes[i].Type == xmltree.AttributeNode {
 			attrOwners = append(attrOwners, e.doc.Nodes[i].Parent.Ord)
 		}
-	}
+	})
 	if len(attrOwners) > 0 {
-		seed = s.Clone()
+		seed = e.arena.Clone(s)
 		for _, o := range attrOwners {
-			seed.Bits[o] = true
+			seed.AddOrd(o)
 		}
 	}
 	// level 0: post numbers of S members by preorder position.
@@ -207,7 +221,7 @@ func (e *evaluator) ancestorRMQ(ix *ncIndex, s nodeset.Set, orSelf bool) nodeset
 	e.parallelFor(npre, func(lo, hi int) {
 		for p := lo; p < hi; p++ {
 			base[p] = inf
-			if ord := ix.preOf[p]; ord >= 0 && seed.Bits[ord] {
+			if ord := ix.preOf[p]; ord >= 0 && seed.HasOrd(int(ord)) {
 				base[p] = int32(e.doc.Nodes[ord].Post)
 			}
 		}
@@ -239,15 +253,21 @@ func (e *evaluator) ancestorRMQ(ix *ncIndex, s nodeset.Set, orSelf bool) nodeset
 		}
 		return m
 	}
-	out := nodeset.New(e.doc)
-	nodesN := len(s.Bits)
-	e.parallelFor(nodesN, func(lo, hi int) {
+	out := e.arena.New(e.doc)
+	nodesN := len(e.doc.Nodes)
+	e.parallelForWords(len(out.Words), func(lw, hw int) {
+		lo, hi := lw<<6, hw<<6
+		if hi > nodesN {
+			hi = nodesN
+		}
 		for i := lo; i < hi; i++ {
 			nd := e.doc.Nodes[i]
 			if nd.Type == xmltree.AttributeNode {
 				// Attributes never appear in ancestor(-or-self) images
 				// except as their own or-self member.
-				out.Bits[i] = orSelf && s.Bits[i]
+				if orSelf && s.HasOrd(i) {
+					out.AddOrd(i)
+				}
 				continue
 			}
 			// Nodes after nd in preorder either lie in nd's subtree
@@ -255,11 +275,11 @@ func (e *evaluator) ancestorRMQ(ix *ncIndex, s nodeset.Set, orSelf bool) nodeset
 			// suffix range-min with the ≤/< test decides membership.
 			if orSelf {
 				if rangeMin(nd.Pre, npre) <= int32(nd.Post) {
-					out.Bits[i] = true
+					out.AddOrd(i)
 				}
 			} else {
 				if rangeMin(nd.Pre+1, npre) < int32(nd.Post) {
-					out.Bits[i] = true
+					out.AddOrd(i)
 				}
 			}
 		}
@@ -268,7 +288,7 @@ func (e *evaluator) ancestorRMQ(ix *ncIndex, s nodeset.Set, orSelf bool) nodeset
 		// ancestor(attr) includes the owning element itself, which the
 		// strict subtree test above excludes.
 		for _, o := range attrOwners {
-			out.Bits[o] = true
+			out.AddOrd(o)
 		}
 	}
 	return out

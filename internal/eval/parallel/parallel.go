@@ -135,6 +135,7 @@ func evaluate(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, er
 		opts:    opts,
 		workers: opts.workers(),
 		sem:     make(chan struct{}, opts.workers()),
+		arena:   nodeset.NewArena(),
 	}
 	if opts.NCClosures {
 		e.nc = buildNCIndex(e.doc)
@@ -143,6 +144,14 @@ func evaluate(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, er
 		if opts.Counter != nil {
 			opts.Counter.Add(e.ops.Load())
 		}
+		if opts.Metrics != nil {
+			hits, misses := e.arena.Stats()
+			obs.RecordScratch(opts.Metrics, hits, misses)
+		}
+		// All transient sets are dead once the result value has been
+		// materialized; branch goroutines have been joined, so the shared
+		// arena can be released.
+		e.arena.Release()
 	}()
 	var sp obs.Span
 	if opts.Tracer != nil {
@@ -159,7 +168,9 @@ func (e *evaluator) evalTop(expr ast.Expr, ctx evalctx.Context) (value.Value, er
 		if err != nil {
 			return nil, err
 		}
-		return value.NewNodeSet(res.Nodes()...), nil
+		// Nodes() materializes into fresh heap memory (sorted, duplicate
+		// free), so the result survives the arena release.
+		return value.NodeSetFromOrdered(res.Nodes()), nil
 	}
 	if b, ok := expr.(*ast.Binary); ok && b.Op == ast.OpUnion {
 		l, r, err := e.bothValues(b, ctx)
@@ -181,11 +192,17 @@ type evaluator struct {
 	workers int
 	sem     chan struct{}
 	ops     atomic.Int64
+	// arena pools the evaluation's scratch sets. It is shared by all
+	// branch/data goroutines of this evaluation (its bookkeeping is
+	// locked) and released after the result value is materialized.
+	arena *nodeset.Arena
 	// nc holds the pointer-doubling / RMQ tables when NCClosures is on.
 	nc *ncIndex
 }
 
 // applyAxis routes closure axes through the NC algorithms when enabled.
+// The caller passes ownership of s (forward frontiers are exclusively
+// owned); the result may alias it.
 func (e *evaluator) applyAxis(a ast.Axis, s nodeset.Set) nodeset.Set {
 	if e.nc != nil {
 		switch a {
@@ -199,7 +216,7 @@ func (e *evaluator) applyAxis(a ast.Axis, s nodeset.Set) nodeset.Set {
 			return e.ancestorRMQ(e.nc, s, false)
 		}
 	}
-	return nodeset.ApplyAxis(a, s)
+	return nodeset.ApplyAxisIndexedOwned(e.arena, nil, a, s)
 }
 
 func (e *evaluator) step(n int64) error {
@@ -254,7 +271,7 @@ func (e *evaluator) bothValues(b *ast.Binary, ctx evalctx.Context) (value.Value,
 // forwardPath mirrors corelinear's forward pass; the condition sets of
 // each step are computed in parallel across predicates and branches.
 func (e *evaluator) forwardPath(p *ast.Path, start *xmltree.Node) (nodeset.Set, error) {
-	frontier := nodeset.New(e.doc)
+	frontier := e.arena.New(e.doc)
 	if p.Absolute {
 		frontier.Add(e.doc.Root)
 	} else {
@@ -264,7 +281,7 @@ func (e *evaluator) forwardPath(p *ast.Path, start *xmltree.Node) (nodeset.Set, 
 		if err := e.step(int64(len(e.doc.Nodes))); err != nil {
 			return nodeset.Set{}, err
 		}
-		next := e.and(e.applyAxis(step.Axis, frontier), nodeset.TestSet(e.doc, step.Axis, step.Test))
+		next := e.and(e.applyAxis(step.Axis, frontier), nodeset.TestSetArena(e.arena, e.doc, step.Axis, step.Test))
 		for _, pred := range step.Preds {
 			cond, err := e.condSet(pred)
 			if err != nil {
@@ -363,14 +380,14 @@ func (e *evaluator) condSetInner(expr ast.Expr) (nodeset.Set, error) {
 		case "boolean":
 			return e.condSet(x.Args[0])
 		case "true":
-			return nodeset.Full(e.doc), nil
+			return e.arena.Full(e.doc), nil
 		case "false":
-			return nodeset.New(e.doc), nil
+			return e.arena.New(e.doc), nil
 		default:
 			return nodeset.Set{}, fmt.Errorf("%w: function %q", corelinear.ErrNotCore, x.Name)
 		}
 	case *ast.LabelTest:
-		return nodeset.LabelSet(e.doc, x.Label), nil
+		return nodeset.LabelSetArena(e.arena, e.doc, x.Label), nil
 	case *ast.Path:
 		return e.backwardPath(x)
 	default:
@@ -379,13 +396,13 @@ func (e *evaluator) condSetInner(expr ast.Expr) (nodeset.Set, error) {
 }
 
 func (e *evaluator) backwardPath(p *ast.Path) (nodeset.Set, error) {
-	s := nodeset.Full(e.doc)
+	s := e.arena.Full(e.doc)
 	for i := len(p.Steps) - 1; i >= 0; i-- {
 		step := p.Steps[i]
 		if err := e.step(int64(len(e.doc.Nodes))); err != nil {
 			return nodeset.Set{}, err
 		}
-		s = e.and(s, nodeset.TestSet(e.doc, step.Axis, step.Test))
+		s = e.and(s, nodeset.TestSetArena(e.arena, e.doc, step.Axis, step.Test))
 		for _, pred := range step.Preds {
 			cond, err := e.condSet(pred)
 			if err != nil {
@@ -393,29 +410,51 @@ func (e *evaluator) backwardPath(p *ast.Path) (nodeset.Set, error) {
 			}
 			s = e.and(s, cond)
 		}
-		s = nodeset.ApplyInverseAxis(step.Axis, s)
+		// s is the fresh output of e.and (or the initial Full set), so the
+		// inverse image may consume it.
+		s = nodeset.ApplyInverseAxisIndexedOwned(e.arena, nil, step.Axis, s)
 	}
 	if p.Absolute {
 		if s.Has(e.doc.Root) {
-			return nodeset.Full(e.doc), nil
+			return e.arena.Full(e.doc), nil
 		}
-		return nodeset.New(e.doc), nil
+		return e.arena.New(e.doc), nil
 	}
 	return s, nil
 }
 
-// pointwiseMinChunk is the smallest slice worth spawning a goroutine for.
-const pointwiseMinChunk = 2048
+// pointwiseMinChunk is the smallest per-element slice worth spawning a
+// goroutine for; pointwiseMinChunkWords is its equivalent for loops over
+// bitset words (64 elements each), keeping the spawn threshold at the
+// same number of document nodes.
+const (
+	pointwiseMinChunk      = 2048
+	pointwiseMinChunkWords = pointwiseMinChunk / 64
+)
 
-// parallelFor splits [0, n) across workers.
+// parallelFor splits [0, n) across workers. Only for loops whose
+// iterations write distinct memory locations (per-element arrays);
+// loops that set bits in a shared bitset must use parallelForWords so
+// chunk boundaries align with word boundaries.
 func (e *evaluator) parallelFor(n int, f func(lo, hi int)) {
-	if !e.datay() || n < 2*pointwiseMinChunk {
+	e.parallelChunks(n, pointwiseMinChunk, f)
+}
+
+// parallelForWords splits a word range [0, nWords) across workers. Data
+// partitioning for the bitsets happens per word, never per node: two
+// goroutines writing bits of the same uint64 would race.
+func (e *evaluator) parallelForWords(nWords int, f func(lo, hi int)) {
+	e.parallelChunks(nWords, pointwiseMinChunkWords, f)
+}
+
+func (e *evaluator) parallelChunks(n, minChunk int, f func(lo, hi int)) {
+	if !e.datay() || n < 2*minChunk {
 		f(0, n)
 		return
 	}
 	chunk := (n + e.workers - 1) / e.workers
-	if chunk < pointwiseMinChunk {
-		chunk = pointwiseMinChunk
+	if chunk < minChunk {
+		chunk = minChunk
 	}
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
@@ -433,31 +472,40 @@ func (e *evaluator) parallelFor(n int, f func(lo, hi int)) {
 }
 
 func (e *evaluator) and(a, b nodeset.Set) nodeset.Set {
-	o := nodeset.New(e.doc)
-	e.parallelFor(len(o.Bits), func(lo, hi int) {
+	o := e.arena.New(e.doc)
+	ow, aw, bw := o.Words, a.Words, b.Words
+	e.parallelForWords(len(ow), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			o.Bits[i] = a.Bits[i] && b.Bits[i]
+			ow[i] = aw[i] & bw[i]
 		}
 	})
 	return o
 }
 
 func (e *evaluator) or(a, b nodeset.Set) nodeset.Set {
-	o := nodeset.New(e.doc)
-	e.parallelFor(len(o.Bits), func(lo, hi int) {
+	o := e.arena.New(e.doc)
+	ow, aw, bw := o.Words, a.Words, b.Words
+	e.parallelForWords(len(ow), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			o.Bits[i] = a.Bits[i] || b.Bits[i]
+			ow[i] = aw[i] | bw[i]
 		}
 	})
 	return o
 }
 
 func (e *evaluator) not(a nodeset.Set) nodeset.Set {
-	o := nodeset.New(e.doc)
-	e.parallelFor(len(o.Bits), func(lo, hi int) {
+	o := e.arena.New(e.doc)
+	ow, aw := o.Words, a.Words
+	e.parallelForWords(len(ow), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			o.Bits[i] = !a.Bits[i]
+			ow[i] = ^aw[i]
 		}
 	})
+	// Restore the tail invariant: bits beyond the node count stay zero.
+	if n := len(ow); n > 0 {
+		if r := uint(len(e.doc.Nodes)) & 63; r != 0 {
+			ow[n-1] &= uint64(1)<<r - 1
+		}
+	}
 	return o
 }

@@ -1,46 +1,65 @@
 package nodeset
 
 import (
+	"math/bits"
+
 	"xpathcomplexity/internal/xmltree"
 	"xpathcomplexity/internal/xpath/ast"
 )
 
 // ApplyAxis computes the image χ(S) = { m | ∃n ∈ S: m on axis χ from n }
-// in O(|D|).
-func ApplyAxis(a ast.Axis, s Set) Set { return ApplyAxisIndexed(nil, a, s) }
+// in O(|D|). Compatibility entry point: no index, no arena (heap
+// allocation). Engines use ApplyAxisIndexed with an arena.
+func ApplyAxis(a ast.Axis, s Set) Set { return ApplyAxisIndexed(nil, nil, a, s) }
 
 // ApplyAxisIndexed is ApplyAxis running over the document index's flat
 // parent/sibling/attribute arrays instead of chasing Node pointers —
 // the same O(|D|) passes over contiguous memory. A nil index recovers
-// the pointer-walking implementation.
-func ApplyAxisIndexed(ix *xmltree.Index, a ast.Axis, s Set) Set {
+// the pointer-walking implementation; a nil arena falls back to heap
+// allocation. The result never aliases s.
+func ApplyAxisIndexed(ar *Arena, ix *xmltree.Index, a ast.Axis, s Set) Set {
+	return applyAxis(ar, ix, a, s, false)
+}
+
+// ApplyAxisIndexedOwned is ApplyAxisIndexed for callers that exclusively
+// own s (freshly built, never cached/shared): the result may alias or
+// consume s, and s must not be used afterwards. Concretely this elides
+// the defensive copy of the self axis.
+func ApplyAxisIndexedOwned(ar *Arena, ix *xmltree.Index, a ast.Axis, s Set) Set {
+	return applyAxis(ar, ix, a, s, true)
+}
+
+func applyAxis(ar *Arena, ix *xmltree.Index, a ast.Axis, s Set, owned bool) Set {
 	switch a {
 	case ast.AxisSelf:
-		return s.Clone()
+		if owned {
+			return s
+		}
+		return ar.Clone(s)
 	case ast.AxisChild:
-		return childSet(ix, s)
+		return childSet(ar, ix, s)
 	case ast.AxisParent:
-		return parentSet(ix, s)
+		return parentSet(ar, ix, s)
 	case ast.AxisDescendant:
-		return descendantSet(ix, s, false)
+		return descendantSet(ar, ix, s, false)
 	case ast.AxisDescendantOrSelf:
-		return descendantSet(ix, s, true)
+		return descendantSet(ar, ix, s, true)
 	case ast.AxisAncestor:
-		return ancestorSet(ix, s, false)
+		return ancestorSet(ar, ix, s, false)
 	case ast.AxisAncestorOrSelf:
-		return ancestorSet(ix, s, true)
+		return ancestorSet(ar, ix, s, true)
 	case ast.AxisFollowingSibling:
-		return followingSiblingSet(ix, s)
+		return followingSiblingSet(ar, ix, s)
 	case ast.AxisPrecedingSibling:
-		return precedingSiblingSet(ix, s)
+		return precedingSiblingSet(ar, ix, s)
 	case ast.AxisFollowing:
-		return followingSet(ix, s)
+		return followingSet(ar, ix, s)
 	case ast.AxisPreceding:
-		return precedingSet(ix, s)
+		return precedingSet(ar, ix, s)
 	case ast.AxisAttribute:
-		return attributeSet(s)
+		return attributeSet(ar, s)
 	default:
-		return New(s.Doc)
+		return ar.New(s.Doc)
 	}
 }
 
@@ -48,113 +67,181 @@ func ApplyAxisIndexed(ix *xmltree.Index, a ast.Axis, s Set) Set {
 // this is the image under the inverse axis; attribute context nodes need
 // special treatment because the XPath axes are not symmetric on attributes
 // (e.g. following(attr) covers the owner's subtree, but attributes never
-// appear in any following/preceding result).
-func ApplyInverseAxis(a ast.Axis, s Set) Set { return ApplyInverseAxisIndexed(nil, a, s) }
+// appear in any following/preceding result). Compatibility entry point
+// (no index, no arena).
+func ApplyInverseAxis(a ast.Axis, s Set) Set { return ApplyInverseAxisIndexed(nil, nil, a, s) }
 
 // ApplyInverseAxisIndexed is ApplyInverseAxis over the document index's
-// flat arrays; a nil index recovers the pointer-walking implementation.
-func ApplyInverseAxisIndexed(ix *xmltree.Index, a ast.Axis, s Set) Set {
+// flat arrays; a nil index recovers the pointer-walking implementation,
+// a nil arena falls back to heap allocation. The result never aliases s.
+func ApplyInverseAxisIndexed(ar *Arena, ix *xmltree.Index, a ast.Axis, s Set) Set {
+	return applyInverseAxis(ar, ix, a, s, false)
+}
+
+// ApplyInverseAxisIndexedOwned is ApplyInverseAxisIndexed for callers
+// that exclusively own s: the result may alias or consume s, and s must
+// not be used afterwards. This elides the defensive clones the shared
+// variant needs before its in-place attribute filtering.
+func ApplyInverseAxisIndexedOwned(ar *Arena, ix *xmltree.Index, a ast.Axis, s Set) Set {
+	return applyInverseAxis(ar, ix, a, s, true)
+}
+
+func applyInverseAxis(ar *Arena, ix *xmltree.Index, a ast.Axis, s Set, owned bool) Set {
 	doc := s.Doc
+	// noAttrs returns s without attribute members, cloning first unless
+	// the caller owns s.
+	noAttrs := func(s Set) Set {
+		if !owned {
+			s = ar.Clone(s)
+		}
+		return dropAttrs(ix, s)
+	}
 	switch a {
 	case ast.AxisSelf:
-		return s.Clone()
+		if owned {
+			return s
+		}
+		return ar.Clone(s)
 	case ast.AxisChild:
-		return parentSet(ix, dropAttrs(ix, s.Clone()))
+		return parentSet(ar, ix, noAttrs(s))
 	case ast.AxisParent:
 		// parent(n) ∈ S for children of S-members and attributes of
 		// S-members.
-		return childSet(ix, s).Or(attributeSet(s))
+		out := childSet(ar, ix, s)
+		addMemberAttrs(out, s)
+		return out
 	case ast.AxisDescendant:
-		return ancestorSet(ix, dropAttrs(ix, s.Clone()), false)
+		return ancestorSet(ar, ix, noAttrs(s), false)
 	case ast.AxisDescendantOrSelf:
 		// dos(attr) = {attr}: an attribute qualifies iff it is in S itself.
-		sp := dropAttrs(ix, s.Clone())
-		out := ancestorSet(ix, sp, true)
-		for i, b := range s.Bits {
-			if b && doc.Nodes[i].Type == xmltree.AttributeNode {
-				out.Bits[i] = true
-			}
-		}
-		return out
+		attrs := attrMembers(ar, ix, s) // saved before noAttrs may drop them in place
+		out := ancestorSet(ar, ix, noAttrs(s), true)
+		return out.OrWith(attrs)
 	case ast.AxisAncestor:
-		sp := dropAttrs(ix, s.Clone())
-		out := descendantSet(ix, sp, false)
-		return addAttrsWithOwnerIn(ix, out, descendantSet(ix, sp, true))
+		sp := noAttrs(s)
+		out := descendantSet(ar, ix, sp, false)
+		return addAttrsWithOwnerIn(ix, out, descendantSet(ar, ix, sp, true))
 	case ast.AxisAncestorOrSelf:
-		sp := dropAttrs(ix, s.Clone())
-		reach := descendantSet(ix, sp, true)
-		out := addAttrsWithOwnerIn(ix, reach.Clone(), reach)
-		for i, b := range s.Bits {
-			if b && doc.Nodes[i].Type == xmltree.AttributeNode {
-				out.Bits[i] = true
-			}
-		}
-		return out
+		attrs := attrMembers(ar, ix, s)
+		reach := descendantSet(ar, ix, noAttrs(s), true)
+		// reach is fresh, so the attribute marking may run in place:
+		// owners are never attributes, so the reads and writes are
+		// disjoint positions.
+		return addAttrsWithOwnerIn(ix, reach, reach).OrWith(attrs)
 	case ast.AxisFollowingSibling:
-		return precedingSiblingSet(ix, s)
+		return precedingSiblingSet(ar, ix, s)
 	case ast.AxisPrecedingSibling:
-		return followingSiblingSet(ix, s)
+		return followingSiblingSet(ar, ix, s)
 	case ast.AxisFollowing:
 		// following(n) ∩ S ≠ ∅. Tree nodes: the preceding image; attribute
 		// n: following(attr) = every non-attribute node after it in
 		// document order.
-		sp := dropAttrs(ix, s.Clone())
-		out := precedingSet(ix, sp)
-		maxOrd := -1
-		for i := len(sp.Bits) - 1; i >= 0; i-- {
-			if sp.Bits[i] {
-				maxOrd = i
-				break
-			}
-		}
-		if maxOrd >= 0 {
-			for _, n := range doc.Nodes {
-				if n.Type == xmltree.AttributeNode && n.Ord < maxOrd {
-					out.Bits[n.Ord] = true
-				}
-			}
+		sp := noAttrs(s)
+		out := precedingSet(ar, ix, sp)
+		if maxOrd := sp.MaxOrd(); maxOrd >= 0 {
+			orAttrsBelow(ix, out, maxOrd)
 		}
 		return out
 	case ast.AxisPreceding:
 		// preceding(attr) = preceding(owner).
-		sp := dropAttrs(ix, s.Clone())
-		out := followingSet(ix, sp)
+		out := followingSet(ar, ix, noAttrs(s))
 		return addAttrsWithOwnerIn(ix, out, out)
 	case ast.AxisAttribute:
-		return attributeInverseSet(ix, s)
+		return attributeInverseSet(ar, ix, s)
 	default:
-		return New(doc)
+		return ar.New(doc)
+	}
+}
+
+// addMemberAttrs marks the attributes of every member of s into out.
+func addMemberAttrs(out, s Set) {
+	nodes := s.Doc.Nodes
+	s.ForEachOrd(func(i int) {
+		for _, a := range nodes[i].Attrs {
+			out.AddOrd(a.Ord)
+		}
+	})
+}
+
+// attrMembers returns the attribute members of s as a fresh set
+// (s ∧ attrMask, word-parallel when the index is available).
+func attrMembers(ar *Arena, ix *xmltree.Index, s Set) Set {
+	out := ar.New(s.Doc)
+	if ix != nil {
+		for i, w := range ix.AttrMask() {
+			out.Words[i] = s.Words[i] & w
+		}
+		return out
+	}
+	nodes := s.Doc.Nodes
+	s.ForEachOrd(func(i int) {
+		if nodes[i].Type == xmltree.AttributeNode {
+			out.AddOrd(i)
+		}
+	})
+	return out
+}
+
+// orAttrsBelow marks every attribute with Ord strictly below maxOrd
+// into out.
+func orAttrsBelow(ix *xmltree.Index, out Set, maxOrd int) {
+	if ix != nil {
+		aw := ix.AttrMask()
+		full := maxOrd >> 6
+		for wi := 0; wi < full; wi++ {
+			out.Words[wi] |= aw[wi]
+		}
+		if r := uint(maxOrd) & 63; r != 0 {
+			out.Words[full] |= aw[full] & (uint64(1)<<r - 1)
+		}
+		return
+	}
+	for _, n := range out.Doc.Nodes {
+		if n.Type == xmltree.AttributeNode && n.Ord < maxOrd {
+			out.AddOrd(n.Ord)
+		}
 	}
 }
 
 // TestSet returns the set of nodes matching a node test under axis a (the
-// axis determines the principal node type).
+// axis determines the principal node type). Heap-allocating compatibility
+// entry point; engines use TestSetCached or TestSetArena.
 func TestSet(doc *xmltree.Document, a ast.Axis, t ast.NodeTest) Set {
-	o := New(doc)
+	return TestSetArena(nil, doc, a, t)
+}
+
+// TestSetArena is TestSet allocating through ar (nil falls back to the
+// heap).
+func TestSetArena(ar *Arena, doc *xmltree.Document, a ast.Axis, t ast.NodeTest) Set {
+	o := ar.New(doc)
 	principal := xmltree.ElementNode
 	if a == ast.AxisAttribute {
 		principal = xmltree.AttributeNode
 	}
 	for i, n := range doc.Nodes {
+		match := false
 		switch t.Kind {
 		case ast.TestName:
-			o.Bits[i] = n.Type == principal && n.Name == t.Name
+			match = n.Type == principal && n.Name == t.Name
 		case ast.TestStar:
-			o.Bits[i] = n.Type == principal
+			match = n.Type == principal
 		case ast.TestText:
-			o.Bits[i] = n.Type == xmltree.TextNode
+			match = n.Type == xmltree.TextNode
 		case ast.TestComment:
-			o.Bits[i] = n.Type == xmltree.CommentNode
+			match = n.Type == xmltree.CommentNode
 		case ast.TestPI:
-			o.Bits[i] = n.Type == xmltree.ProcInstNode && (t.Name == "" || n.Name == t.Name)
+			match = n.Type == xmltree.ProcInstNode && (t.Name == "" || n.Name == t.Name)
 		case ast.TestNode:
-			o.Bits[i] = true
+			match = true
+		}
+		if match {
+			o.AddOrd(i)
 		}
 	}
 	return o
 }
 
-// testSetKey identifies a node-test membership array in the document
+// testSetKey identifies a node-test membership bitset in the document
 // index's aux cache. Only the principal node type matters, not the axis
 // itself, so sets are shared across axes and across evaluations.
 type testSetKey struct {
@@ -164,12 +251,13 @@ type testSetKey struct {
 }
 
 // TestSetCached is TestSet backed by the document index: the membership
-// array for each distinct (principal, test) pair is computed once per
+// bitset for each distinct (principal, test) pair is computed once per
 // document — from the index's per-tag and per-kind node lists rather
 // than a full scan — and shared by every subsequent evaluation. The
-// returned Set aliases the cached array and is strictly read-only;
+// returned Set aliases the cached words and is strictly read-only;
 // callers may only combine it with And/Or (which allocate fresh sets)
-// or use it as the argument of AndWith.
+// or use it as the right-hand argument of AndWith/OrWith/AndNotWith.
+// The cached words are never arena-pooled.
 func TestSetCached(ix *xmltree.Index, a ast.Axis, t ast.NodeTest) Set {
 	doc := ix.Doc()
 	principal := xmltree.ElementNode
@@ -177,18 +265,20 @@ func TestSetCached(ix *xmltree.Index, a ast.Axis, t ast.NodeTest) Set {
 		principal = xmltree.AttributeNode
 	}
 	key := testSetKey{principal: principal, kind: t.Kind, name: t.Name}
-	bits := ix.Aux(key, func() any { return testBits(ix, principal, t) }).([]bool)
-	return Set{Doc: doc, Bits: bits}
+	words := ix.Aux(key, func() any { return testWords(ix, principal, t) }).([]uint64)
+	return Set{Doc: doc, Words: words}
 }
 
-// testBits builds the membership array for a node test from the index
+// testWords builds the membership bitset for a node test from the index
 // lists, touching only matching nodes instead of comparing every node.
-func testBits(ix *xmltree.Index, principal xmltree.NodeType, t ast.NodeTest) []bool {
+func testWords(ix *xmltree.Index, principal xmltree.NodeType, t ast.NodeTest) []uint64 {
 	doc := ix.Doc()
-	bits := make([]bool, len(doc.Nodes))
+	n := len(doc.Nodes)
+	words := make([]uint64, WordCount(n))
+	set := func(ord int) { words[ord>>6] |= 1 << (uint(ord) & 63) }
 	mark := func(nodes []*xmltree.Node) {
-		for _, n := range nodes {
-			bits[n.Ord] = true
+		for _, m := range nodes {
+			set(m.Ord)
 		}
 	}
 	switch t.Kind {
@@ -200,11 +290,7 @@ func testBits(ix *xmltree.Index, principal xmltree.NodeType, t ast.NodeTest) []b
 		}
 	case ast.TestStar:
 		if principal == xmltree.AttributeNode {
-			for _, n := range doc.Nodes {
-				if n.Type == xmltree.AttributeNode {
-					bits[n.Ord] = true
-				}
-			}
+			copy(words, ix.AttrMask())
 		} else {
 			mark(ix.Elements())
 		}
@@ -213,151 +299,146 @@ func testBits(ix *xmltree.Index, principal xmltree.NodeType, t ast.NodeTest) []b
 	case ast.TestComment:
 		mark(ix.Comments())
 	case ast.TestPI:
-		for _, n := range ix.ProcInsts() {
-			if t.Name == "" || n.Name == t.Name {
-				bits[n.Ord] = true
+		for _, m := range ix.ProcInsts() {
+			if t.Name == "" || m.Name == t.Name {
+				set(m.Ord)
 			}
 		}
 	case ast.TestNode:
-		for i := range bits {
-			bits[i] = true
-		}
+		(Set{Doc: doc, Words: words}).fill()
 	}
-	return bits
+	return words
 }
 
 // LabelSet returns the set of nodes carrying the extra label l
 // (Remark 3.1).
-func LabelSet(doc *xmltree.Document, l string) Set {
-	o := New(doc)
+func LabelSet(doc *xmltree.Document, l string) Set { return LabelSetArena(nil, doc, l) }
+
+// LabelSetArena is LabelSet allocating through ar.
+func LabelSetArena(ar *Arena, doc *xmltree.Document, l string) Set {
+	o := ar.New(doc)
 	for i, n := range doc.Nodes {
 		if n.HasLabel(l) {
-			o.Bits[i] = true
+			o.AddOrd(i)
 		}
 	}
 	return o
 }
 
-func childSet(ix *xmltree.Index, s Set) Set {
-	o := New(s.Doc)
+func childSet(ar *Arena, ix *xmltree.Index, s Set) Set {
+	o := ar.New(s.Doc)
 	if ix != nil {
-		parent, attr := ix.ParentOrds(), ix.AttrBits()
-		for i, p := range parent {
-			if p >= 0 && !attr[i] && s.Bits[p] {
-				o.Bits[i] = true
+		// Sparse: walk each member's child chain, O(|S| + |result|).
+		// The flat child/sibling arrays never point at attributes.
+		firstChild, next := ix.FirstChildOrds(), ix.NextSiblingOrds()
+		s.ForEachOrd(func(i int) {
+			for j := firstChild[i]; j >= 0; j = next[j] {
+				o.AddOrd(int(j))
 			}
-		}
+		})
 		return o
 	}
 	for i, n := range s.Doc.Nodes {
 		if n.Type == xmltree.AttributeNode {
 			continue
 		}
-		if n.Parent != nil && s.Bits[n.Parent.Ord] {
-			o.Bits[i] = true
+		if n.Parent != nil && s.HasOrd(n.Parent.Ord) {
+			o.AddOrd(i)
 		}
 	}
 	return o
 }
 
-func parentSet(ix *xmltree.Index, s Set) Set {
-	o := New(s.Doc)
+func parentSet(ar *Arena, ix *xmltree.Index, s Set) Set {
+	o := ar.New(s.Doc)
 	if ix != nil {
 		parent := ix.ParentOrds()
-		for i, b := range s.Bits {
-			if b && parent[i] >= 0 {
-				o.Bits[parent[i]] = true
+		s.ForEachOrd(func(i int) {
+			if p := parent[i]; p >= 0 {
+				o.AddOrd(int(p))
 			}
-		}
+		})
 		return o
 	}
-	for i, b := range s.Bits {
-		if !b {
-			continue
+	nodes := s.Doc.Nodes
+	s.ForEachOrd(func(i int) {
+		if p := nodes[i].Parent; p != nil {
+			o.AddOrd(p.Ord)
 		}
-		n := s.Doc.Nodes[i]
-		if n.Parent != nil {
-			o.Bits[n.Parent.Ord] = true
-		}
-	}
+	})
 	return o
 }
 
 // descendantSet exploits that Document.Nodes is in document order: a
-// single forward pass sees parents before children.
-func descendantSet(ix *xmltree.Index, s Set, orSelf bool) Set {
-	o := New(s.Doc)
+// single forward pass sees parents before children. The pass computes
+// the strict (non-self) descendants; the or-self part is a single
+// word-parallel OrWith(s) afterwards — the propagation condition
+// s[p] ∨ o[p] is unchanged by it because parents reached "or-self"
+// are in s already.
+func descendantSet(ar *Arena, ix *xmltree.Index, s Set, orSelf bool) Set {
+	o := ar.New(s.Doc)
 	if ix != nil {
-		parent, attr := ix.ParentOrds(), ix.AttrBits()
+		parent := ix.ParentOrds()
+		aw := ix.AttrMask()
+		sw, ow := s.Words, o.Words
 		for i, p := range parent {
-			if attr[i] {
-				if orSelf && s.Bits[i] {
-					o.Bits[i] = true
-				}
+			if p >= 0 && aw[i>>6]>>(uint(i)&63)&1 == 0 &&
+				(sw[p>>6]|ow[p>>6])>>(uint(p)&63)&1 != 0 {
+				ow[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	} else {
+		for i, n := range s.Doc.Nodes {
+			if n.Type == xmltree.AttributeNode {
 				continue
 			}
-			if orSelf && s.Bits[i] {
-				o.Bits[i] = true
-			}
-			if p >= 0 && (s.Bits[p] || o.Bits[p]) {
-				o.Bits[i] = true
+			if n.Parent != nil && (s.HasOrd(n.Parent.Ord) || o.HasOrd(n.Parent.Ord)) {
+				o.AddOrd(i)
 			}
 		}
-		return o
 	}
-	for i, n := range s.Doc.Nodes {
-		if n.Type == xmltree.AttributeNode {
-			if orSelf && s.Bits[i] {
-				o.Bits[i] = true
-			}
-			continue
-		}
-		if orSelf && s.Bits[i] {
-			o.Bits[i] = true
-		}
-		if n.Parent != nil && (s.Bits[n.Parent.Ord] || o.Bits[n.Parent.Ord]) {
-			o.Bits[i] = true
-		}
+	if orSelf {
+		o.OrWith(s)
 	}
 	return o
 }
 
 // ancestorSet propagates upward with a single backward pass (children are
-// seen before parents in reverse document order).
-func ancestorSet(ix *xmltree.Index, s Set, orSelf bool) Set {
-	o := New(s.Doc)
+// seen before parents in reverse document order). As in descendantSet,
+// the strict ancestors are computed by the pass and the or-self part is
+// one word-parallel OrWith(s). Attribute members propagate to their
+// owner like any child.
+func ancestorSet(ar *Arena, ix *xmltree.Index, s Set, orSelf bool) Set {
+	o := ar.New(s.Doc)
 	if ix != nil {
 		parent := ix.ParentOrds()
 		for i := len(parent) - 1; i >= 0; i-- {
-			if orSelf && s.Bits[i] {
-				o.Bits[i] = true
-			}
-			if (s.Bits[i] || o.Bits[i]) && parent[i] >= 0 {
-				o.Bits[parent[i]] = true
+			if (s.HasOrd(i) || o.HasOrd(i)) && parent[i] >= 0 {
+				o.AddOrd(int(parent[i]))
 			}
 		}
-		return o
+	} else {
+		nodes := s.Doc.Nodes
+		for i := len(nodes) - 1; i >= 0; i-- {
+			if (s.HasOrd(i) || o.HasOrd(i)) && nodes[i].Parent != nil {
+				o.AddOrd(nodes[i].Parent.Ord)
+			}
+		}
 	}
-	for i := len(s.Doc.Nodes) - 1; i >= 0; i-- {
-		n := s.Doc.Nodes[i]
-		if orSelf && s.Bits[i] {
-			o.Bits[i] = true
-		}
-		if (s.Bits[i] || o.Bits[i]) && n.Parent != nil {
-			o.Bits[n.Parent.Ord] = true
-		}
+	if orSelf {
+		o.OrWith(s)
 	}
 	return o
 }
 
-func followingSiblingSet(ix *xmltree.Index, s Set) Set {
-	o := New(s.Doc)
+func followingSiblingSet(ar *Arena, ix *xmltree.Index, s Set) Set {
+	o := ar.New(s.Doc)
 	markSiblings(ix, s, o, false)
 	return o
 }
 
-func precedingSiblingSet(ix *xmltree.Index, s Set) Set {
-	o := New(s.Doc)
+func precedingSiblingSet(ar *Arena, ix *xmltree.Index, s Set) Set {
+	o := ar.New(s.Doc)
 	markSiblings(ix, s, o, true)
 	return o
 }
@@ -377,22 +458,22 @@ func markSiblings(ix *xmltree.Index, s Set, o Set, reverse bool) {
 				seen := false
 				for j := c; j >= 0; j = next[j] {
 					if seen {
-						o.Bits[j] = true
+						o.AddOrd(int(j))
 					}
-					if s.Bits[j] {
+					if s.HasOrd(int(j)) {
 						seen = true
 					}
 				}
 			} else {
 				last := int32(-1)
 				for j := c; j >= 0; j = next[j] {
-					if s.Bits[j] {
+					if s.HasOrd(int(j)) {
 						last = j
 					}
 				}
 				if last >= 0 {
 					for j := c; j != last; j = next[j] {
-						o.Bits[j] = true
+						o.AddOrd(int(j))
 					}
 				}
 			}
@@ -408,9 +489,9 @@ func markSiblings(ix *xmltree.Index, s Set, o Set, reverse bool) {
 			seen := false
 			for _, c := range kids {
 				if seen {
-					o.Bits[c.Ord] = true
+					o.AddOrd(c.Ord)
 				}
-				if s.Bits[c.Ord] {
+				if s.HasOrd(c.Ord) {
 					seen = true
 				}
 			}
@@ -419,9 +500,9 @@ func markSiblings(ix *xmltree.Index, s Set, o Set, reverse bool) {
 			for i := len(kids) - 1; i >= 0; i-- {
 				c := kids[i]
 				if seen {
-					o.Bits[c.Ord] = true
+					o.AddOrd(c.Ord)
 				}
-				if s.Bits[c.Ord] {
+				if s.HasOrd(c.Ord) {
 					seen = true
 				}
 			}
@@ -432,126 +513,117 @@ func markSiblings(ix *xmltree.Index, s Set, o Set, reverse bool) {
 // followingSet uses the identity
 // following(S) = desc-or-self(following-sibling(anc-or-self(S))),
 // extended for attribute members, whose following axis additionally covers
-// the owner's subtree below the attribute.
-func followingSet(ix *xmltree.Index, s Set) Set {
-	tree, attrOwnersKids := splitAttrs(s)
-	out := descendantSet(ix, followingSiblingSet(ix, ancestorSet(ix, tree, true)), true)
+// the owner's subtree below the attribute. Never mutates s.
+func followingSet(ar *Arena, ix *xmltree.Index, s Set) Set {
+	tree, attrOwnersKids := splitAttrs(ar, s)
+	out := descendantSet(ar, ix, followingSiblingSet(ar, ix, ancestorSet(ar, ix, tree, true)), true)
 	if attrOwnersKids != nil {
-		out = out.Or(descendantSet(ix, *attrOwnersKids, true))
+		out.OrWith(descendantSet(ar, ix, *attrOwnersKids, true))
 	}
 	return dropAttrs(ix, out)
 }
 
 // precedingSet uses preceding(S) = desc-or-self(preceding-sibling(anc-or-self(S)));
-// an attribute member behaves like its owning element.
-func precedingSet(ix *xmltree.Index, s Set) Set {
-	tree, _ := splitAttrs(s)
-	for i, b := range s.Bits {
-		if b && s.Doc.Nodes[i].Type == xmltree.AttributeNode {
-			tree.Bits[s.Doc.Nodes[i].Parent.Ord] = true
-		}
-	}
-	return dropAttrs(ix, descendantSet(ix, precedingSiblingSet(ix, ancestorSet(ix, tree, true)), true))
+// an attribute member behaves like its owning element (splitAttrs
+// anchors it at the owner). Never mutates s.
+func precedingSet(ar *Arena, ix *xmltree.Index, s Set) Set {
+	tree, _ := splitAttrs(ar, s)
+	return dropAttrs(ix, descendantSet(ar, ix, precedingSiblingSet(ar, ix, ancestorSet(ar, ix, tree, true)), true))
 }
 
 // splitAttrs separates attribute members from tree members. For each
 // attribute member, the owner is added to the tree set (an attribute's
 // ancestors/following structure is anchored there) and the owner's
 // children are collected so followingSet can include their subtrees.
-func splitAttrs(s Set) (tree Set, ownersKids *Set) {
-	tree = New(s.Doc)
-	for i, b := range s.Bits {
-		if !b {
-			continue
-		}
-		n := s.Doc.Nodes[i]
+func splitAttrs(ar *Arena, s Set) (tree Set, ownersKids *Set) {
+	tree = ar.New(s.Doc)
+	nodes := s.Doc.Nodes
+	s.ForEachOrd(func(i int) {
+		n := nodes[i]
 		if n.Type != xmltree.AttributeNode {
-			tree.Bits[i] = true
-			continue
+			tree.AddOrd(i)
+			return
 		}
-		tree.Bits[n.Parent.Ord] = true
+		tree.AddOrd(n.Parent.Ord)
 		if ownersKids == nil {
-			k := New(s.Doc)
+			k := ar.New(s.Doc)
 			ownersKids = &k
 		}
 		for _, c := range n.Parent.Children {
-			ownersKids.Bits[c.Ord] = true
+			ownersKids.AddOrd(c.Ord)
 		}
-	}
+	})
 	return tree, ownersKids
 }
 
+// dropAttrs removes attribute members from s in place and returns s.
+// The receiver must be exclusively owned.
 func dropAttrs(ix *xmltree.Index, s Set) Set {
 	if ix != nil {
-		for i, a := range ix.AttrBits() {
-			if a {
-				s.Bits[i] = false
-			}
+		for i, w := range ix.AttrMask() {
+			s.Words[i] &^= w
 		}
 		return s
 	}
-	for i, b := range s.Bits {
-		if b && s.Doc.Nodes[i].Type == xmltree.AttributeNode {
-			s.Bits[i] = false
+	nodes := s.Doc.Nodes
+	s.ForEachOrd(func(i int) {
+		if nodes[i].Type == xmltree.AttributeNode {
+			s.ClearOrd(i)
 		}
-	}
+	})
 	return s
 }
 
-func attributeSet(s Set) Set {
-	o := New(s.Doc)
-	for i, b := range s.Bits {
-		if !b {
-			continue
-		}
-		for _, a := range s.Doc.Nodes[i].Attrs {
-			o.Bits[a.Ord] = true
-		}
-	}
+func attributeSet(ar *Arena, s Set) Set {
+	o := ar.New(s.Doc)
+	addMemberAttrs(o, s)
 	return o
 }
 
 // attributeInverseSet maps attribute members to their owners.
-func attributeInverseSet(ix *xmltree.Index, s Set) Set {
-	o := New(s.Doc)
+func attributeInverseSet(ar *Arena, ix *xmltree.Index, s Set) Set {
+	o := ar.New(s.Doc)
 	if ix != nil {
-		parent, attr := ix.ParentOrds(), ix.AttrBits()
-		for i, b := range s.Bits {
-			if b && attr[i] {
-				o.Bits[parent[i]] = true
+		parent := ix.ParentOrds()
+		for wi, w := range ix.AttrMask() {
+			m := s.Words[wi] & w
+			base := wi << 6
+			for m != 0 {
+				i := base + bits.TrailingZeros64(m)
+				o.AddOrd(int(parent[i]))
+				m &= m - 1
 			}
 		}
 		return o
 	}
-	for i, b := range s.Bits {
-		if !b {
-			continue
+	nodes := s.Doc.Nodes
+	s.ForEachOrd(func(i int) {
+		if n := nodes[i]; n.Type == xmltree.AttributeNode {
+			o.AddOrd(n.Parent.Ord)
 		}
-		n := s.Doc.Nodes[i]
-		if n.Type == xmltree.AttributeNode {
-			o.Bits[n.Parent.Ord] = true
-		}
-	}
+	})
 	return o
 }
 
-// addAttrsWithOwnerIn marks every attribute whose owner is in ownerSet,
-// returning the modified out set.
+// addAttrsWithOwnerIn marks every attribute whose owner is in ownerSet
+// into out, in place, and returns out. out must be exclusively owned.
+// out and ownerSet may be the same set: owners are never attributes, so
+// the positions written are disjoint from the positions read.
 func addAttrsWithOwnerIn(ix *xmltree.Index, out, ownerSet Set) Set {
-	res := out.Clone()
 	if ix != nil {
-		parent, attr := ix.ParentOrds(), ix.AttrBits()
-		for i, a := range attr {
-			if a && ownerSet.Bits[parent[i]] {
-				res.Bits[i] = true
+		parent := ix.ParentOrds()
+		attrs := Set{Doc: out.Doc, Words: ix.AttrMask()}
+		attrs.ForEachOrd(func(i int) {
+			if ownerSet.HasOrd(int(parent[i])) {
+				out.AddOrd(i)
 			}
-		}
-		return res
+		})
+		return out
 	}
 	for _, n := range out.Doc.Nodes {
-		if n.Type == xmltree.AttributeNode && ownerSet.Bits[n.Parent.Ord] {
-			res.Bits[n.Ord] = true
+		if n.Type == xmltree.AttributeNode && ownerSet.HasOrd(n.Parent.Ord) {
+			out.AddOrd(n.Ord)
 		}
 	}
-	return res
+	return out
 }

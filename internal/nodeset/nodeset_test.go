@@ -18,8 +18,10 @@ var allAxes = []ast.Axis{
 
 func randomSet(rng *rand.Rand, d *xmltree.Document) Set {
 	s := New(d)
-	for i := range s.Bits {
-		s.Bits[i] = rng.Intn(3) == 0
+	for i := range d.Nodes {
+		if rng.Intn(3) == 0 {
+			s.AddOrd(i)
+		}
 	}
 	return s
 }
@@ -34,14 +36,11 @@ func TestApplyAxisAgainstReference(t *testing.T) {
 			s := randomSet(rng, d)
 			img := ApplyAxis(axis, s)
 			want := New(d)
-			for i, b := range s.Bits {
-				if !b {
-					continue
-				}
+			s.ForEachOrd(func(i int) {
 				for _, m := range axes.Nodes(axis, d.Nodes[i]) {
 					want.Add(m)
 				}
-			}
+			})
 			for _, n := range d.Nodes {
 				if img.Has(n) != want.Has(n) {
 					t.Fatalf("ApplyAxis(%v) wrong at #%d (%v): got %v want %v\nS=%v\ndoc=%s",
@@ -63,8 +62,8 @@ func TestApplyInverseAxisAgainstReference(t *testing.T) {
 			inv := ApplyInverseAxis(axis, s)
 			for _, n := range d.Nodes {
 				want := false
-				for i, b := range s.Bits {
-					if b && axes.Reachable(axis, n, d.Nodes[i]) {
+				for _, m := range s.Nodes() {
+					if axes.Reachable(axis, n, m) {
 						want = true
 						break
 					}

@@ -229,6 +229,26 @@ func (m *Metrics) Histogram(name string) *Histogram {
 	return h
 }
 
+// Names of the scratch-arena metrics recorded by RecordScratch.
+const (
+	// MetricScratchHit counts scratch buffers served from a pool.
+	MetricScratchHit = "eval.scratch.hit"
+	// MetricScratchMiss counts scratch buffers that needed a heap
+	// allocation (cold pools, or sizes beyond the largest pool class).
+	MetricScratchMiss = "eval.scratch.miss"
+)
+
+// RecordScratch flushes one evaluation's scratch-arena pool statistics
+// into the registry as the eval.scratch.{hit,miss} counter pair. A nil
+// registry (or an idle evaluation: 0/0) records nothing.
+func RecordScratch(m *Metrics, hits, misses int64) {
+	if m == nil || (hits == 0 && misses == 0) {
+		return
+	}
+	m.Counter(MetricScratchHit).Add(hits)
+	m.Counter(MetricScratchMiss).Add(misses)
+}
+
 // Snapshot is the frozen state of a registry at one instant.
 type Snapshot struct {
 	// Counters and Gauges map metric names to values.

@@ -11,6 +11,7 @@ package value
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -83,9 +84,15 @@ func NewNodeSet(nodes ...*xmltree.Node) NodeSet {
 	return ns
 }
 
+// NodeSetFromOrdered wraps nodes as a node-set without copying or
+// normalizing. The caller passes ownership and guarantees the slice is
+// already sorted in document order and duplicate free (e.g. a
+// nodeset.Set.Nodes() materialization).
+func NodeSetFromOrdered(nodes []*xmltree.Node) NodeSet { return NodeSet(nodes) }
+
 func (ns *NodeSet) normalize() {
 	s := *ns
-	sort.Slice(s, func(i, j int) bool { return s[i].Ord < s[j].Ord })
+	slices.SortFunc(s, func(a, b *xmltree.Node) int { return a.Ord - b.Ord })
 	out := s[:0]
 	for i, n := range s {
 		if i == 0 || s[i-1] != n {

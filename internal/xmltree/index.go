@@ -47,6 +47,10 @@ type Index struct {
 	nextSibling []int32
 	parent      []int32
 	isAttr      []bool
+	// attrMask is isAttr word-packed (bit Ord%64 of word Ord/64), the
+	// layout of package nodeset's bitsets, so attribute filtering runs
+	// word-parallel.
+	attrMask []uint64
 
 	// aux holds lazily computed evaluator-layer structures keyed by any
 	// comparable key (e.g. the cached node-test membership arrays of
@@ -116,6 +120,7 @@ func buildIndex(d *Document) *Index {
 		nextSibling: make([]int32, n),
 		parent:      make([]int32, n),
 		isAttr:      make([]bool, n),
+		attrMask:    make([]uint64, (n+63)>>6),
 	}
 	for i := range ix.firstChild {
 		ix.firstChild[i] = -1
@@ -133,6 +138,7 @@ func buildIndex(d *Document) *Index {
 		case AttributeNode:
 			ix.attrsByName[m.Name] = append(ix.attrsByName[m.Name], m)
 			ix.isAttr[m.Ord] = true
+			ix.attrMask[m.Ord>>6] |= 1 << (uint(m.Ord) & 63)
 			continue // attributes have no child/sibling entries
 		case TextNode:
 			ix.texts = append(ix.texts, m)
@@ -219,6 +225,11 @@ func (ix *Index) NextSiblingOrds() []int32 { return ix.nextSibling }
 // AttrBits returns the attribute-membership array indexed by Ord.
 // Shared storage; read-only.
 func (ix *Index) AttrBits() []bool { return ix.isAttr }
+
+// AttrMask returns the attribute membership as a word-packed bitset
+// (bit Ord%64 of word Ord/64), matching the layout of package nodeset.
+// Shared storage; read-only.
+func (ix *Index) AttrMask() []uint64 { return ix.attrMask }
 
 // SubtreeSlice returns the contiguous sublist of list lying strictly
 // inside n's subtree. list must be sorted by document order and contain
