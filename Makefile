@@ -1,13 +1,14 @@
 # Standard targets; no dependencies beyond the Go toolchain.
 
-.PHONY: all build vet test race test-race fuzz fuzz-short bench experiments profile pprof guard guard-race allocgate examples check clean
+.PHONY: all build vet test test-shuffle race test-race fuzz fuzz-short bench experiments profile pprof guard guard-race allocgate cachegate examples check clean
 
 all: build vet test
 
-# Everything a PR should pass: build, vet, tests, the allocation
-# regression gate, the race-enabled guard suite, the full race suite and
-# a short fuzz session per target.
-check: all allocgate guard-race test-race fuzz-short
+# Everything a PR should pass: build, vet, tests, the allocation and
+# cache-hit regression gates, the race-enabled guard suite, the full
+# race suite, a shuffled-order test pass and a short fuzz session per
+# target.
+check: all allocgate cachegate guard-race test-race test-shuffle fuzz-short
 
 build:
 	go build ./...
@@ -17,6 +18,12 @@ vet:
 
 test:
 	go test ./...
+
+# The suite in randomized test order: catches tests that only pass by
+# riding state (a warm shared cache, a populated plan cache, a built
+# index) left behind by an earlier test.
+test-shuffle:
+	go test -shuffle=on ./...
 
 race:
 	go test -race ./internal/eval/parallel/ -run . && go test -race -run TestIntegrationConcurrent .
@@ -73,6 +80,14 @@ guard-race:
 allocgate:
 	go test -run TestAllocGate -count=1 .
 	go run ./cmd/xbench -run alloc
+
+# The cache-hit allocation gate: serving a cached result must stay under
+# the cache_gate_test.go ceiling, then the cache experiment reports the
+# uncached-vs-hit numbers and refreshes BENCH_CACHE.json (see
+# docs/CACHING.md and EXP-CACHE in EXPERIMENTS.md).
+cachegate:
+	go test -run TestCacheGate -count=1 .
+	go run ./cmd/xbench -run cache
 
 # CPU + heap profiles of the hot evaluation paths, via the alloc
 # experiment's warm workloads. Inspect with `go tool pprof cpu.out`

@@ -31,6 +31,12 @@ type AnalyzeResult struct {
 	Profile *Profile
 	// Metrics is the run's metrics snapshot.
 	Metrics MetricsSnapshot
+	// CacheOutcome describes the run's relationship to opts.Cache, when
+	// one was attached: analysis always traces, and traced runs bypass
+	// the cache, so this reports whether an untraced evaluation with the
+	// same options would have been served from cache. Empty when no
+	// cache was attached.
+	CacheOutcome string
 }
 
 // ExplainAnalyze evaluates the query from the document root and merges
@@ -81,14 +87,23 @@ func (q *Query) analyze(ctx Context, opts EvalOptions) (AnalyzeResult, error) {
 	if err != nil {
 		return AnalyzeResult{}, err
 	}
+	cacheOutcome := ""
+	if opts.Cache != nil && ctx.Node != nil {
+		if opts.Cache.Contains(q.cacheKey(ctx, opts)) {
+			cacheOutcome = "bypass (analysis traces); entry present — an untraced run would hit"
+		} else {
+			cacheOutcome = "bypass (analysis traces); no entry — an untraced run would miss"
+		}
+	}
 	return AnalyzeResult{
 		Engine:   q.resolveEngine(opts.Engine),
 		Value:    v,
 		Wall:     time.Since(start),
 		Ops:      opts.Counter.Ops() - startOps,
 		Subexprs: obs.Subexprs(q.Expr),
-		Profile:  prof,
-		Metrics:  opts.Metrics.Snapshot(),
+		Profile:      prof,
+		Metrics:      opts.Metrics.Snapshot(),
+		CacheOutcome: cacheOutcome,
 	}, nil
 }
 
@@ -99,6 +114,9 @@ func renderAnalysis(res AnalyzeResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "analyze:    engine=%s time=%s ops=%d result=%s\n",
 		res.Engine, res.Wall, res.Ops, describeValue(res.Value))
+	if res.CacheOutcome != "" {
+		fmt.Fprintf(&b, "cache:      %s\n", res.CacheOutcome)
+	}
 	b.WriteString("profile:    id source                                    visits          ops       time  maxcard\n")
 	for _, sub := range res.Subexprs {
 		row, _ := res.Profile.Row(sub.ID)

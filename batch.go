@@ -38,6 +38,12 @@ type BatchResult struct {
 // aborts every query still running, each reporting ErrCanceled in its
 // BatchResult.
 //
+// A caller-provided opts.Cache is shared across the workers, like the
+// plan cache: duplicate queries in the batch collapse to one engine run
+// (singleflight) with the rest served as hits, and the cache stays warm
+// across batches against the same document. Its cumulative statistics
+// are recorded into opts.Metrics with the final merge.
+//
 // The engines recycle their scratch memory (bitset arenas, node buffers,
 // memo tables) through sync.Pools, so a worker loop like this one reuses
 // warm buffers from query to query instead of reallocating them. Each
@@ -100,6 +106,9 @@ func EvalBatch(d *Document, queries []string, opts EvalOptions) []BatchResult {
 	if batchMetrics != nil {
 		defaultPlanCache.RecordMetrics(batchMetrics)
 		recordIndexMetrics(batchMetrics, d)
+		if opts.Cache != nil {
+			opts.Cache.RecordMetrics(batchMetrics)
+		}
 	}
 	return results
 }

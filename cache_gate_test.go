@@ -1,0 +1,68 @@
+// The cache-hit allocation gate (`make cachegate`, part of `make
+// check`): serving a result from the shared result cache must stay
+// allocation-free apart from the copy-on-hit of the value itself, so a
+// change that sneaks key construction, map boxing or logging onto the
+// hit path fails CI instead of quietly eroding the cache's entire point.
+// Measured as of EXP-CACHE: 2 allocs per hit (the NodeSet header and its
+// backing array); the ceiling leaves headroom, not license.
+//
+// Like the alloc gate, the race detector's instrumentation allocates, so
+// the gate only arms on plain `go test`.
+
+//go:build !race
+
+package xpathcomplexity
+
+import (
+	"testing"
+
+	"xpathcomplexity/internal/eval/evalctx"
+)
+
+// cacheGateCeiling is the maximum tolerated allocations per warm cache
+// hit, across the same workloads the alloc gate holds cold ceilings for.
+const cacheGateCeiling = 8
+
+func TestCacheGate(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates; gate runs uninstrumented")
+	}
+	d := prepBenchDoc()
+	ctx := evalctx.Root(d)
+	workloads := []struct {
+		name   string
+		query  string
+		engine Engine
+	}{
+		{"cvt/descendant-chain", "//a//b//c", EngineCVT},
+		{"cvt/pred", "//a[b]/c", EngineCVT},
+		{"corelinear/path", "/descendant::a/child::b/descendant::c", EngineCoreLinear},
+		{"corelinear/pred", "//a[b and not(c)]", EngineCoreLinear},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			c := MustPrepare(w.query)
+			rc := NewResultCache(0, 0)
+			opts := EvalOptions{Engine: w.engine, Cache: rc}
+			eval := func() {
+				if _, err := c.EvalOptions(ctx, opts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// First call admits; everything after is the hit path under
+			// measurement.
+			for i := 0; i < 5; i++ {
+				eval()
+			}
+			if st := rc.Stats(); st.Hits == 0 {
+				t.Fatalf("gate priming produced no hits: %+v", st)
+			}
+			got := testing.AllocsPerRun(100, eval)
+			if got > cacheGateCeiling {
+				t.Errorf("%s: %.1f allocs per cache hit, ceiling %d — the hit path regressed; "+
+					"compare EXPERIMENTS.md EXP-CACHE and BENCH_CACHE.json",
+					w.name, got, cacheGateCeiling)
+			}
+		})
+	}
+}

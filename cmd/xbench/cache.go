@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	xpath "xpathcomplexity"
+	"xpathcomplexity/internal/xmltree"
+)
+
+// cacheRow is one workload of the result-cache experiment, as written to
+// BENCH_CACHE.json.
+type cacheRow struct {
+	// Name is the workload label (engine/family).
+	Name string `json:"name"`
+	// Engine is the engine name.
+	Engine string `json:"engine"`
+	// Query is the query text.
+	Query string `json:"query"`
+	// Nodes is the document size.
+	Nodes int `json:"nodes"`
+	// UncachedNsPerOp is the warm (plan cached, index built) repeated
+	// evaluation without a result cache — the PR 4 baseline.
+	UncachedNsPerOp int64 `json:"uncached_ns_per_op"`
+	// HitNsPerOp is the same repeated evaluation served from the result
+	// cache.
+	HitNsPerOp int64 `json:"hit_ns_per_op"`
+	// HitAllocsPerOp is the per-hit allocation count (the cachegate
+	// ceiling holds over the same path).
+	HitAllocsPerOp int64 `json:"hit_allocs_per_op"`
+	// Speedup is UncachedNsPerOp / HitNsPerOp.
+	Speedup float64 `json:"speedup"`
+}
+
+// cacheReport is the top-level BENCH_CACHE.json document.
+type cacheReport struct {
+	Experiment string     `json:"experiment"`
+	Rows       []cacheRow `json:"rows"`
+}
+
+// cacheWorkloads reuse the EXP-ALLOC workloads (same documents, queries
+// and engine bindings), so the uncached column is directly comparable to
+// BENCH_ALLOC.json's ns/op.
+var cacheWorkloads = []struct {
+	name   string
+	query  string
+	engine xpath.Engine
+	doc    func() *xmltree.Document
+}{
+	{"cvt/descendant-chain", "//a//b//c", xpath.EngineCVT, allocRandomDoc},
+	{"cvt/pred", "//a[b]/c", xpath.EngineCVT, allocRandomDoc},
+	{"corelinear/path", "/descendant::a/child::b/descendant::c", xpath.EngineCoreLinear, allocRandomDoc},
+	{"corelinear/pred", "//a[b and not(c)]", xpath.EngineCoreLinear, allocRandomDoc},
+	{"cvt/figure1-chain", "//a//b//c[.//a]", xpath.EngineCVT, allocChainDoc},
+}
+
+// expCache measures what the shared result cache is worth on repeated
+// identical queries (EXP-CACHE): the warm uncached evaluation — plan
+// cache hit, document index built, scratch pools primed, the best the
+// engines can do while still evaluating — against the cache hit path,
+// which runs no engine at all. Results go to BENCH_CACHE.json; `make
+// cachegate` holds an allocation ceiling over the same hit path.
+func expCache(seed int64) {
+	report := cacheReport{Experiment: "cache"}
+	t := newTable("workload", "engine", "docNodes", "uncached ns/op", "hit ns/op", "hit allocs/op", "speedup")
+	for _, w := range cacheWorkloads {
+		d := w.doc()
+		ctx := xpath.RootContext(d)
+		c, err := xpath.Prepare(w.query)
+		if err != nil {
+			panic(err)
+		}
+		uncached := xpath.EvalOptions{Engine: w.engine}
+		if _, err := c.EvalOptions(ctx, uncached); err != nil { // prime index + pools
+			panic(err)
+		}
+		base := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.EvalOptions(ctx, uncached); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		rc := xpath.NewResultCache(0, 0)
+		cached := xpath.EvalOptions{Engine: w.engine, Cache: rc}
+		if _, err := c.EvalOptions(ctx, cached); err != nil { // populate the entry
+			panic(err)
+		}
+		hit := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.EvalOptions(ctx, cached); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		row := cacheRow{
+			Name: w.name, Engine: w.engine.String(), Query: w.query, Nodes: len(d.Nodes),
+			UncachedNsPerOp: base.NsPerOp(),
+			HitNsPerOp:      hit.NsPerOp(),
+			HitAllocsPerOp:  hit.AllocsPerOp(),
+			Speedup:         float64(base.NsPerOp()) / float64(hit.NsPerOp()),
+		}
+		report.Rows = append(report.Rows, row)
+		t.add(row.Name, row.Engine, row.Nodes, row.UncachedNsPerOp, row.HitNsPerOp,
+			row.HitAllocsPerOp, fmt.Sprintf("%.1fx", row.Speedup))
+	}
+	t.print()
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_CACHE.json", append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Println("  wrote BENCH_CACHE.json")
+}

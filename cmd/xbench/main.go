@@ -26,6 +26,8 @@
 //	alloc allocation profile of warm compiled-query evaluation: steady-
 //	     state allocs/op, B/op, and ns/op over the RepeatedQuery and
 //	     Figure-1 chain workloads (writes BENCH_ALLOC.json)
+//	cache result cache: warm uncached evaluation vs the cache-hit path
+//	     over the alloc workloads (writes BENCH_CACHE.json)
 //
 // Usage:
 //
@@ -70,6 +72,7 @@ var experiments = []experiment{
 	{"profile", "observability: naive vs cvt visit growth (writes BENCH_OBS.json)", expProfile},
 	{"guard", "resource guard: op budget kills naive, cvt completes (writes BENCH_GUARD.json)", expGuard},
 	{"alloc", "allocation profile of warm compiled-query evaluation (writes BENCH_ALLOC.json)", expAlloc},
+	{"cache", "result cache: warm uncached evaluation vs cache hit (writes BENCH_CACHE.json)", expCache},
 }
 
 func main() {

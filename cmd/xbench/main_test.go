@@ -53,11 +53,21 @@ func TestTablePrinter(t *testing.T) {
 
 // Every experiment runs end to end without panicking (smoke; the
 // assertions about the numbers live in EXPERIMENTS.md and the unit
-// tests).
+// tests). Runs in a temp dir: the guard/alloc/cache experiments write
+// their BENCH_*.json artifact to the working directory, and the
+// checked-in copies live at the repo root, not in this package.
 func TestExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow; skipped in -short mode")
 	}
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
 	for _, e := range experiments {
 		if e.name == "par" || e.name == "t59" || e.name == "f1" || e.name == "t32" {
 			continue // the slowest ones; covered by the xbench runs in EXPERIMENTS.md

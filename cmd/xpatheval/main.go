@@ -10,6 +10,7 @@
 //	xpatheval -q '//a//b//c[.//a]' -f big.xml -engine naive -timeout 2s -max-ops 10000000
 //	xpatheval -q '//a[b][c]' -f doc.xml -analyze
 //	xpatheval -q '//a[b][c]' -f doc.xml -engine cvt -metrics
+//	xpatheval -q '//a[b]/c' -f doc.xml -cache
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	xpc "xpathcomplexity"
 	"xpathcomplexity/internal/eval/streaming"
@@ -38,6 +40,7 @@ func main() {
 		explain  = flag.Bool("explain", false, "print the query analysis and exit")
 		analyze  = flag.Bool("analyze", false, "evaluate and print the merged analysis + per-subexpression profile")
 		metrics  = flag.Bool("metrics", false, "print the engine metrics snapshot after evaluation")
+		cache    = flag.Bool("cache", false, "evaluate twice through a result cache (cold, then warm) and print both timings plus the cache statistics")
 		whyOrd   = flag.Int("why", -1, "print the Table 1 membership certificate for the node with this document-order index (pWF/pXPath queries)")
 	)
 	flag.Parse()
@@ -127,6 +130,19 @@ func main() {
 		reg = xpc.NewMetrics()
 		opts.Metrics = reg
 	}
+	var rc *xpc.ResultCache
+	if *cache {
+		rc = xpc.NewResultCache(0, 0)
+		opts.Cache = rc
+		cold := time.Now()
+		if _, err := q.EvalOptions(xpc.RootContext(doc), opts); err == nil {
+			coldDur := time.Since(cold)
+			warm := time.Now()
+			if _, err := q.EvalOptions(xpc.RootContext(doc), opts); err == nil {
+				fmt.Printf("cache:     cold=%s warm=%s\n", coldDur, time.Since(warm))
+			}
+		}
+	}
 	v, err := q.EvalOptions(xpc.RootContext(doc), opts)
 	if err != nil {
 		switch {
@@ -147,6 +163,11 @@ func main() {
 		for _, line := range splitLines(reg.Snapshot().String()) {
 			fmt.Printf("  %s\n", line)
 		}
+	}
+	if rc != nil {
+		st := rc.Stats()
+		fmt.Printf("cache:     hits=%d misses=%d inflight-waits=%d entries=%d bytes=%d\n",
+			st.Hits, st.Misses, st.InflightWaits, st.Size, st.Bytes)
 	}
 }
 

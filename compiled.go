@@ -116,6 +116,10 @@ func (c *Compiled) EvalRoot(d *Document) (Value, error) {
 // used; an explicit engine overrides the binding but still evaluates
 // the rewritten plan — the plan rewrites guard themselves (positional
 // predicates block them), so the plan is equivalent under every engine.
+//
+// With a Cache attached the result-cache key is built from the original
+// query text and the resolved engine binding, so prepared and ad-hoc
+// evaluations of the same text against the same engine share entries.
 func (c *Compiled) EvalOptions(ctx Context, opts EvalOptions) (Value, error) {
 	if opts.Engine == EngineAuto {
 		opts.Engine = c.Bound

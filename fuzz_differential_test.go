@@ -3,9 +3,8 @@ package xpathcomplexity
 import (
 	"context"
 	"errors"
-	"fmt"
 	"math/rand"
-	"strings"
+	"sync"
 	"testing"
 
 	"xpathcomplexity/internal/eval/corelinear"
@@ -17,31 +16,9 @@ import (
 )
 
 // canonValue renders a value in a canonical byte-for-byte comparable
-// form: node sets as ordinal lists, numbers through the XPath number
-// formatting (so NaN and -0 are stable).
-func canonValue(v Value) string {
-	switch x := v.(type) {
-	case NodeSet:
-		var b strings.Builder
-		b.WriteString("nodeset[")
-		for i, n := range x {
-			if i > 0 {
-				b.WriteByte(' ')
-			}
-			fmt.Fprintf(&b, "%d", n.Ord)
-		}
-		b.WriteByte(']')
-		return b.String()
-	case Boolean:
-		return fmt.Sprintf("boolean[%v]", bool(x))
-	case Number:
-		return "number[" + value.FormatNumber(float64(x)) + "]"
-	case String:
-		return fmt.Sprintf("string[%q]", string(x))
-	default:
-		return fmt.Sprintf("unknown[%v]", v)
-	}
-}
+// form — enginetest.CanonValue, shared with the cached-equivalence
+// harness so "byte-identical" means the same thing in both suites.
+func canonValue(v Value) string { return enginetest.CanonValue(v) }
 
 // nauxpdaOutside reports whether err is one of the fragment-rejection
 // sentinels — the query is legitimately outside (bounded-negation)
@@ -154,6 +131,55 @@ func FuzzDifferentialEngines(f *testing.F) {
 			}
 			if cw, cc := canonValue(warm), canonValue(cold); cw != cc {
 				t.Fatalf("query %q: warm %s != cold %s", qs, cw, cc)
+			}
+
+			// Cache arm: a result served through the shared result cache —
+			// the populating miss, the warm hit, and N concurrent lookups
+			// collapsed to one evaluation by singleflight — must reproduce
+			// the cold result byte for byte.
+			rc := NewResultCache(0, 0)
+			copts := EvalOptions{Cache: rc, DisableIndex: true}
+			first, err := q.EvalOptions(ctx, copts)
+			if err != nil {
+				t.Fatalf("query %q: cache-miss eval failed: %v", qs, err)
+			}
+			warmCached, err := q.EvalOptions(ctx, copts)
+			if err != nil {
+				t.Fatalf("query %q: cache-hit eval failed: %v", qs, err)
+			}
+			if cf, cc := canonValue(first), canonValue(cold); cf != cc {
+				t.Fatalf("query %q: cache miss %s != cold %s", qs, cf, cc)
+			}
+			if cw, cc := canonValue(warmCached), canonValue(cold); cw != cc {
+				t.Fatalf("query %q: cache hit %s != cold %s", qs, cw, cc)
+			}
+			if st := rc.Stats(); st.Hits == 0 {
+				t.Fatalf("query %q: second cached eval was not a hit: %+v", qs, st)
+			}
+			rc2 := NewResultCache(0, 0)
+			const flight = 4
+			var wg sync.WaitGroup
+			concurrent := make([]Value, flight)
+			concurrentErr := make([]error, flight)
+			for k := 0; k < flight; k++ {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					concurrent[k], concurrentErr[k] = q.EvalOptions(ctx, EvalOptions{Cache: rc2, DisableIndex: true})
+				}(k)
+			}
+			wg.Wait()
+			for k := 0; k < flight; k++ {
+				if concurrentErr[k] != nil {
+					t.Fatalf("query %q: concurrent cached eval failed: %v", qs, concurrentErr[k])
+				}
+				if ck, cc := canonValue(concurrent[k]), canonValue(cold); ck != cc {
+					t.Fatalf("query %q: concurrent cached %s != cold %s", qs, ck, cc)
+				}
+			}
+			if st := rc2.Stats(); st.Misses != 1 {
+				t.Fatalf("query %q: %d concurrent identical lookups ran %d evaluations, want 1 (singleflight)",
+					qs, flight, st.Misses)
 			}
 
 			// Observation must not perturb evaluation: the auto engine

@@ -22,6 +22,10 @@ func TestConformance(t *testing.T) {
 	enginetest.Run(t, engine, enginetest.CoreCaps)
 }
 
+func TestCachedEquivalence(t *testing.T) {
+	enginetest.RunCachedEquivalence(t, "corelinear", engine, enginetest.CoreCaps, enginetest.GenCore)
+}
+
 func TestCheckCore(t *testing.T) {
 	good := []string{
 		"/descendant::a/child::b",

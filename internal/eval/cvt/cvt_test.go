@@ -21,6 +21,10 @@ func TestConformance(t *testing.T) {
 	enginetest.Run(t, engine, enginetest.FullCaps)
 }
 
+func TestCachedEquivalence(t *testing.T) {
+	enginetest.RunCachedEquivalence(t, "cvt", engine, enginetest.FullCaps, enginetest.GenFull)
+}
+
 func TestConformanceWithoutAdaptiveKeys(t *testing.T) {
 	enginetest.Run(t, func(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
 		return EvaluateOptions(expr, ctx, Options{DisableAdaptiveKeys: true})

@@ -20,6 +20,13 @@ func TestConformance(t *testing.T) {
 	enginetest.Run(t, engine, enginetest.FullCaps)
 }
 
+func TestCachedEquivalence(t *testing.T) {
+	// Core profile: the naive engine is exponential on the worst of the
+	// full-profile generator's outputs, and the cache must be invisible
+	// regardless of the fragment.
+	enginetest.RunCachedEquivalence(t, "naive", engine, enginetest.FullCaps, enginetest.GenCore)
+}
+
 func TestLabelTest(t *testing.T) {
 	v := xmltree.ElemL("v", []string{"G", "R"})
 	d := xmltree.NewDocument(v)

@@ -22,6 +22,12 @@ func TestConformance(t *testing.T) {
 	enginetest.Run(t, engine, enginetest.PXPathCaps)
 }
 
+func TestCachedEquivalence(t *testing.T) {
+	// The harness skips queries this engine rejects cold (pXPath
+	// fragment limits), so the pWF generator keeps most of them in play.
+	enginetest.RunCachedEquivalence(t, "nauxpda", engine, enginetest.PXPathCaps, enginetest.GenPWF)
+}
+
 func TestFragmentCheck(t *testing.T) {
 	cases := []struct {
 		q       string

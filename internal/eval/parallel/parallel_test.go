@@ -24,6 +24,10 @@ func TestConformance(t *testing.T) {
 	enginetest.Run(t, engine, enginetest.CoreCaps)
 }
 
+func TestCachedEquivalence(t *testing.T) {
+	enginetest.RunCachedEquivalence(t, "parallel", engine, enginetest.CoreCaps, enginetest.GenCore)
+}
+
 func TestConformanceAllGrains(t *testing.T) {
 	for _, g := range []Grain{GrainNone, GrainBranch, GrainData, GrainBoth} {
 		g := g

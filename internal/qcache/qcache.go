@@ -1,0 +1,491 @@
+// Package qcache is the shared result cache of the evaluation stack: a
+// concurrency-safe, bounded (entry count + byte budget, LRU) cache of
+// evaluation results keyed by (document fingerprint, plan identity,
+// context, effective options), with singleflight deduplication so N
+// concurrent identical queries trigger exactly one evaluation.
+//
+// The cache is the operational form of the paper's purity argument: an
+// XPath answer is a pure function of (document, query, context) — the
+// context-value table of Proposition 2.7 is itself a memoization over
+// exactly this key — so an unchanged document may serve a repeated
+// identical query in O(1) instead of another full evaluation. It sits
+// one layer above the plan cache of the facade (which removes repeated
+// parsing/binding); this layer removes the evaluation itself.
+//
+// Correctness rests on three rules:
+//
+//   - Documents are identified by content fingerprint
+//     (xmltree.Document.Fingerprint), so a rebuilt or mutated-and-
+//     renumbered document can never be served a stale answer: its
+//     fingerprint changed, so its keys miss. InvalidateDocument drops a
+//     document's entries eagerly for callers that want the bytes back.
+//   - Values are deep-copied on admission and on every hit. The engines
+//     recycle scratch memory through pools (see internal/nodeset), so
+//     the cache never retains or hands out a buffer an engine might
+//     reuse; callers own what they get, the cache owns what it stores.
+//   - Errors are never cached. Classify types the non-cacheable
+//     outcomes (cancellation, resource budgets, other failures) so
+//     admission bypasses are observable per class; a transient verdict
+//     like a deadline must not poison the key for later callers.
+package qcache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/obs"
+	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/xmltree"
+)
+
+// Metric names recorded by the cache into a caller's obs registry.
+const (
+	// MetricHit counts lookups served from the cache.
+	MetricHit = "cache.hit"
+	// MetricMiss counts lookups that ran the evaluation.
+	MetricMiss = "cache.miss"
+	// MetricEvict counts entries dropped to the entry or byte bound.
+	MetricEvict = "cache.evict"
+	// MetricInflightWait counts lookups that joined an in-flight
+	// identical evaluation instead of starting their own.
+	MetricInflightWait = "cache.inflight_wait"
+	// MetricBytes is the gauge of bytes currently held by the cache.
+	MetricBytes = "cache.bytes"
+	// MetricBypassCanceled, MetricBypassBudget and MetricBypassError
+	// count evaluations whose outcome was not admitted, by Classify
+	// class.
+	MetricBypassCanceled = "cache.bypass.canceled"
+	MetricBypassBudget   = "cache.bypass.budget"
+	MetricBypassError    = "cache.bypass.error"
+	// MetricBypassOversize counts successful results too large for the
+	// cache's byte budget to ever hold.
+	MetricBypassOversize = "cache.bypass.oversize"
+	// MetricBypassTraced counts evaluations that skipped the cache
+	// entirely because a trace sink was attached (recorded by the
+	// facade, not by Do).
+	MetricBypassTraced = "cache.bypass.traced"
+)
+
+// Key identifies one cached result: the purity key (document content,
+// plan, context) plus the result-affecting evaluation options. Two
+// lookups with equal Keys are guaranteed the same answer, so one may
+// serve the other.
+type Key struct {
+	// DocFP is the document content fingerprint
+	// (xmltree.Document.Fingerprint).
+	DocFP uint64
+	// Plan is the compiled-plan identity: the query source text. The
+	// facade's plan rewrites are semantics-preserving (they guard
+	// themselves against positional predicates), so source text is a
+	// sound identity for the answer even when the bound plans differ.
+	Plan string
+	// Engine is the engine binding the caller requested, before auto
+	// resolution ("auto" keys separately from an explicit engine: the
+	// engines agree on answers, but keeping bindings distinct keeps
+	// every entry attributable to the run that produced it).
+	Engine string
+	// CtxOrd is the context node's document-order index; CtxPos and
+	// CtxSize are the context position and size.
+	CtxOrd, CtxPos, CtxSize int
+	// NegationBound and DisableIndex are the remaining result-visible
+	// evaluation options (NegationBound moves the nauxpda fragment
+	// boundary; DisableIndex is result-invariant but kept so cached and
+	// uncached baselines never share entries in benchmarks).
+	NegationBound int
+	DisableIndex  bool
+}
+
+// entry is one admitted result. value is owned by the cache (admitted
+// as a private deep copy) and copied again on every hit.
+type entry struct {
+	key   Key
+	val   value.Value
+	bytes int64
+}
+
+// call is one in-flight evaluation other lookups of the same key wait
+// on. val is the admitted cache-owned copy (nil when err is set or the
+// result was not admissible).
+type call struct {
+	done chan struct{}
+	val  value.Value
+	err  error
+}
+
+// Cache is a bounded shared result cache. Construct with New; the zero
+// value is not usable. All methods are safe for concurrent use.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	order      *list.List // front = most recently used; values are *entry
+	entries    map[Key]*list.Element
+	inflight   map[Key]*call
+
+	hits, misses, evictions, inflightWaits, admissions, invalidations int64
+}
+
+// DefaultMaxEntries and DefaultMaxBytes are the bounds New applies to
+// non-positive arguments.
+const (
+	DefaultMaxEntries = 1024
+	DefaultMaxBytes   = 8 << 20
+)
+
+// New creates a cache bounded by maxEntries results and maxBytes of
+// estimated result payload. Non-positive bounds take the defaults.
+func New(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		order:      list.New(),
+		entries:    make(map[Key]*list.Element),
+		inflight:   make(map[Key]*call),
+	}
+}
+
+// Outcome classifies how an evaluation ended for admission purposes.
+type Outcome int
+
+// The admission classes. Only OutcomeCacheable results are stored:
+// cancellations and budget verdicts are one caller's stop request, not
+// a property of the answer, and other errors are kept cheap to retry
+// rather than pinned into the cache.
+const (
+	// OutcomeCacheable: a successful evaluation; admitted.
+	OutcomeCacheable Outcome = iota
+	// OutcomeCanceled: stopped by context cancellation or deadline.
+	OutcomeCanceled
+	// OutcomeBudget: stopped by a resource limit (ops/depth/node-set,
+	// or the legacy Counter budget).
+	OutcomeBudget
+	// OutcomeFailed: any other evaluation error.
+	OutcomeFailed
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCacheable:
+		return "cacheable"
+	case OutcomeCanceled:
+		return "canceled"
+	case OutcomeBudget:
+		return "budget"
+	case OutcomeFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify types an evaluation outcome for admission: nil errors are
+// cacheable, guard verdicts map to their class, everything else is a
+// plain failure. All non-cacheable classes bypass admission and are
+// counted under the matching cache.bypass.* metric.
+func Classify(err error) Outcome {
+	switch {
+	case err == nil:
+		return OutcomeCacheable
+	case errors.Is(err, evalctx.ErrCanceled):
+		return OutcomeCanceled
+	case evalctx.IsResourceError(err):
+		return OutcomeBudget
+	default:
+		return OutcomeFailed
+	}
+}
+
+// Do looks the key up and returns a private copy of the cached value on
+// a hit. On a miss it runs eval exactly once across all concurrent
+// callers of the same key (singleflight): the first caller becomes the
+// leader, everyone else waits and shares a successful leader's answer.
+// A leader error is returned to the leader only — waiters retry the
+// lookup, so one caller's deadline or budget verdict never becomes
+// another's, and errors are never cached.
+//
+// doc is the document the caller is evaluating against; served node-set
+// values are remapped into it by document-order index when the admitted
+// entry came from a different (content-identical) document, so callers
+// always receive nodes of their own tree. m may be nil.
+func (c *Cache) Do(key Key, doc *xmltree.Document, m *obs.Metrics, eval func() (value.Value, error)) (value.Value, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+			c.hits++
+			e := el.Value.(*entry)
+			v := copyValue(e.val, doc)
+			c.mu.Unlock()
+			m.Counter(MetricHit).Inc()
+			return v, nil
+		}
+		if cl, ok := c.inflight[key]; ok {
+			c.inflightWaits++
+			c.mu.Unlock()
+			m.Counter(MetricInflightWait).Inc()
+			<-cl.done
+			if cl.err == nil && cl.val != nil {
+				return copyValue(cl.val, doc), nil
+			}
+			// The leader failed (or its result was not admissible as a
+			// shared value); retry the lookup. Deterministic failures
+			// degrade to per-caller evaluation, never to a cached error.
+			continue
+		}
+		cl := &call{done: make(chan struct{})}
+		c.inflight[key] = cl
+		c.misses++
+		c.mu.Unlock()
+		m.Counter(MetricMiss).Inc()
+		return c.lead(key, doc, m, cl, eval)
+	}
+}
+
+// lead runs the evaluation as the singleflight leader and settles the
+// call: admit on success, publish the outcome, wake the waiters. The
+// inflight slot is cleared even when eval panics (the facade recovers
+// panics above the cache), so a crashing plan cannot wedge the key.
+func (c *Cache) lead(key Key, doc *xmltree.Document, m *obs.Metrics, cl *call, eval func() (value.Value, error)) (v value.Value, err error) {
+	settled := false
+	settle := func(admitted value.Value, e error) {
+		settled = true
+		cl.val, cl.err = admitted, e
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(cl.done)
+	}
+	defer func() {
+		if !settled { // eval panicked: fail the call and let waiters retry
+			settle(nil, errPanicked)
+		}
+	}()
+
+	v, err = eval()
+	if out := Classify(err); out != OutcomeCacheable {
+		m.Counter(bypassMetric(out)).Inc()
+		settle(nil, err)
+		return v, err
+	}
+	admitted := c.admit(key, v, doc, m)
+	settle(admitted, nil)
+	return v, nil
+}
+
+// errPanicked marks a leader evaluation that panicked; waiters treat it
+// like any leader error and retry. It never escapes the package: the
+// panic itself propagates to the facade's recovery.
+var errPanicked = &panicSentinel{}
+
+type panicSentinel struct{}
+
+func (*panicSentinel) Error() string { return "qcache: leader evaluation panicked" }
+
+// admit stores a private deep copy of v under key and returns that
+// copy (nil when the value exceeds the byte budget outright). Eviction
+// runs inside the same critical section, so bounds hold at every
+// instant.
+func (c *Cache) admit(key Key, v value.Value, doc *xmltree.Document, m *obs.Metrics) value.Value {
+	size := sizeOf(key, v)
+	if size > c.maxBytes {
+		m.Counter(MetricBypassOversize).Inc()
+		return nil
+	}
+	stored := copyValue(v, doc)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		// Lost an admit race (a waiter-turned-leader after our lookup);
+		// keep the incumbent.
+		c.order.MoveToFront(el)
+		bytes := c.bytes
+		c.mu.Unlock()
+		m.Gauge(MetricBytes).Set(bytes)
+		return stored
+	}
+	el := c.order.PushFront(&entry{key: key, val: stored, bytes: size})
+	c.entries[key] = el
+	c.bytes += size
+	c.admissions++
+	evicted := 0
+	for c.order.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		last := c.order.Back()
+		if last == el && c.order.Len() == 1 {
+			break // never evict the entry just admitted below budget
+		}
+		c.removeLocked(last)
+		c.evictions++
+		evicted++
+	}
+	bytes := c.bytes
+	c.mu.Unlock()
+	if evicted > 0 {
+		m.Counter(MetricEvict).Add(int64(evicted))
+	}
+	m.Gauge(MetricBytes).Set(bytes)
+	return stored
+}
+
+// removeLocked unlinks an element; callers hold c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.order.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+}
+
+// Contains reports whether the key currently has an admitted entry,
+// without touching recency or statistics. ExplainAnalyze uses it to
+// report the cache outcome of a run it had to evaluate fresh (traced
+// runs bypass the cache).
+func (c *Cache) Contains(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// InvalidateDocument drops every entry keyed to the given document
+// fingerprint and returns how many were dropped. Content addressing
+// already guarantees a changed document misses (its fingerprint
+// changed); this reclaims the bytes of the old content's entries
+// eagerly instead of waiting for LRU pressure.
+func (c *Cache) InvalidateDocument(fp uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*entry).key.DocFP == fp {
+			c.removeLocked(el)
+			n++
+		}
+		el = next
+	}
+	c.invalidations += int64(n)
+	return n
+}
+
+// Clear drops every entry.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.invalidations += int64(c.order.Len())
+	c.order.Init()
+	c.entries = make(map[Key]*list.Element)
+	c.bytes = 0
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Bytes returns the estimated bytes currently held.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats is the cumulative activity of a Cache.
+type Stats struct {
+	// Hits and Misses count Do lookups; InflightWaits counts lookups
+	// that joined an in-flight evaluation (a subset of neither).
+	Hits, Misses, InflightWaits int64
+	// Admissions counts stored results; Evictions counts entries
+	// dropped to a bound; Invalidations counts entries dropped by
+	// InvalidateDocument/Clear.
+	Admissions, Evictions, Invalidations int64
+	// Size and Bytes are the current entry count and payload estimate.
+	Size  int
+	Bytes int64
+}
+
+// Stats returns the cache's cumulative counters and current size.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, InflightWaits: c.inflightWaits,
+		Admissions: c.admissions, Evictions: c.evictions, Invalidations: c.invalidations,
+		Size: c.order.Len(), Bytes: c.bytes,
+	}
+}
+
+// RecordMetrics copies the cache's cumulative statistics into a metrics
+// registry as absolute-valued gauges (cache.size, cache.bytes,
+// cache.hits_total, ...), the pattern PlanCache.RecordMetrics set.
+func (c *Cache) RecordMetrics(m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	st := c.Stats()
+	m.Gauge("cache.size").SetMax(int64(st.Size))
+	m.Gauge(MetricBytes).SetMax(st.Bytes)
+	m.Gauge("cache.hits_total").SetMax(st.Hits)
+	m.Gauge("cache.misses_total").SetMax(st.Misses)
+	m.Gauge("cache.evictions_total").SetMax(st.Evictions)
+	m.Gauge("cache.inflight_waits_total").SetMax(st.InflightWaits)
+}
+
+func bypassMetric(o Outcome) string {
+	switch o {
+	case OutcomeCanceled:
+		return MetricBypassCanceled
+	case OutcomeBudget:
+		return MetricBypassBudget
+	default:
+		return MetricBypassError
+	}
+}
+
+// copyValue returns a caller-owned copy of v. Scalars are immutable Go
+// values and copy by assignment; node-sets get a fresh backing slice so
+// neither side can observe the other's mutations, with each node
+// remapped by document-order index when it belongs to a different
+// (content-identical, by fingerprint keying) document than doc.
+func copyValue(v value.Value, doc *xmltree.Document) value.Value {
+	ns, ok := v.(value.NodeSet)
+	if !ok {
+		return v
+	}
+	out := make(value.NodeSet, len(ns))
+	for i, n := range ns {
+		if doc != nil && n.Document() != doc && n.Ord < len(doc.Nodes) {
+			out[i] = doc.Nodes[n.Ord]
+		} else {
+			out[i] = n
+		}
+	}
+	return out
+}
+
+// sizeOf estimates the resident bytes of one entry: key overhead plus
+// the value payload (8 bytes per node pointer, string length, a fixed
+// header otherwise). An estimate is enough — the byte budget bounds
+// growth, it does not account the heap.
+func sizeOf(key Key, v value.Value) int64 {
+	const entryOverhead = 160 // entry + list element + map slot, roughly
+	size := int64(entryOverhead + len(key.Plan) + len(key.Engine))
+	switch x := v.(type) {
+	case value.NodeSet:
+		size += int64(24 + 8*len(x))
+	case value.String:
+		size += int64(16 + len(x))
+	default:
+		size += 16
+	}
+	return size
+}

@@ -69,6 +69,7 @@ func NewDocument(rootChildren ...*Node) *Document {
 func (d *Document) number(n *Node, pre, post *int) {
 	if n == d.Root {
 		d.invalidateIndex()
+		d.invalidateFingerprint()
 	}
 	n.doc = d
 	n.Pre = *pre

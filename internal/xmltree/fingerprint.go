@@ -1,0 +1,105 @@
+package xmltree
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// fpCache is the cached-fingerprint slot embedded in Document, the
+// sibling of indexCache: computed lazily, dropped on renumber.
+type fpCache struct {
+	fpSet atomic.Bool
+	fp    atomic.Uint64
+}
+
+// Fingerprint returns a 64-bit content fingerprint of the document: a
+// deterministic FNV-1a hash over the full tree in document order — node
+// kinds, names, character data, attributes and extra labels (Remark 3.1).
+// Two documents with the same content hash to the same fingerprint even
+// when parsed or built independently, and any content difference changes
+// it (up to 64-bit hash collisions, which the result cache tolerates by
+// remapping served nodes by document-order index).
+//
+// The fingerprint is computed once per document on first use and cached;
+// subsequent calls are a single atomic load. Re-finalizing the tree
+// through the single build entry point (NewDocument, Copy — anything
+// that renumbers) drops the cached value, so a rebuilt document never
+// reports a stale fingerprint. Like the index, the cache relies on the
+// document being immutable while shared: mutate (AddLabel included),
+// renumber, then fingerprint.
+//
+// The result cache (internal/qcache) keys entries by this value, which
+// is what makes "same content ⇒ same answers" — the purity argument
+// behind the paper's context-value tables (Proposition 2.7) — operational
+// as O(1) repeated evaluation.
+func (d *Document) Fingerprint() uint64 {
+	if d.fpSet.Load() {
+		return d.fp.Load()
+	}
+	fp := fingerprintDocument(d)
+	// Racing first callers compute the same value; publication order
+	// (value before flag) keeps readers consistent.
+	d.fp.Store(fp)
+	d.fpSet.Store(true)
+	return fp
+}
+
+// invalidateFingerprint drops the cached fingerprint; called from the
+// single build entry point (number), alongside index invalidation.
+func (d *Document) invalidateFingerprint() {
+	d.fpSet.Store(false)
+}
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+type fnv64 uint64
+
+func (h *fnv64) byte(b byte) {
+	*h = (*h ^ fnv64(b)) * fnvPrime64
+}
+
+func (h *fnv64) string(s string) {
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+	// Length-delimit so ("ab","c") and ("a","bc") differ.
+	h.uvarint(uint64(len(s)))
+}
+
+func (h *fnv64) uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	for i := 0; i < n; i++ {
+		h.byte(buf[i])
+	}
+}
+
+func fingerprintDocument(d *Document) uint64 {
+	h := fnv64(fnvOffset64)
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		h.byte(byte(n.Type))
+		h.string(n.Name)
+		h.string(n.Data)
+		for _, l := range n.Labels() {
+			h.byte('L')
+			h.string(l)
+		}
+		for _, a := range n.Attrs {
+			h.byte('A')
+			h.string(a.Name)
+			h.string(a.Data)
+		}
+		h.byte('(')
+		for _, c := range n.Children {
+			visit(c)
+		}
+		h.byte(')')
+	}
+	visit(d.Root)
+	return uint64(h)
+}

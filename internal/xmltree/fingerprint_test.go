@@ -1,0 +1,117 @@
+package xmltree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestFingerprintDeterministic(t *testing.T) {
+	const src = `<r><a x="1">hi</a><b/><!--c--><?p q?></r>`
+	d1, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Fingerprint() != d2.Fingerprint() {
+		t.Fatalf("independently parsed identical documents disagree: %x vs %x",
+			d1.Fingerprint(), d2.Fingerprint())
+	}
+	if d1.Fingerprint() != d1.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	if cp := d1.Copy(); cp.Fingerprint() != d1.Fingerprint() {
+		t.Fatalf("deep copy changed the fingerprint: %x vs %x",
+			cp.Fingerprint(), d1.Fingerprint())
+	}
+}
+
+// Any content difference — tag, text, attribute name or value, labels,
+// structure — must change the fingerprint, and concatenation boundaries
+// must not alias ("ab"+"c" vs "a"+"bc").
+func TestFingerprintDistinguishesContent(t *testing.T) {
+	sources := []string{
+		`<r><a/></r>`,
+		`<r><b/></r>`,
+		`<r><a/><a/></r>`,
+		`<r><a><a/></a></r>`,
+		`<r><a>x</a></r>`,
+		`<r><a>y</a></r>`,
+		`<r><a x="1"/></r>`,
+		`<r><a x="2"/></r>`,
+		`<r><a y="1"/></r>`,
+		`<r>ab<a>c</a></r>`,
+		`<r>a<a>bc</a></r>`,
+		`<r><!--c--></r>`,
+		`<r><?c ?></r>`,
+	}
+	seen := map[uint64]string{}
+	for _, src := range sources {
+		d, err := ParseString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := d.Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("fingerprint collision between %q and %q: %x", prev, src, fp)
+		}
+		seen[fp] = src
+	}
+
+	// Labels are content too (Remark 3.1: the reductions store facts in
+	// them), so they must be hashed.
+	plain := NewDocument(Elem("a"))
+	labeled := NewDocument(ElemL("a", []string{"t"}))
+	if plain.Fingerprint() == labeled.Fingerprint() {
+		t.Error("extra labels do not change the fingerprint")
+	}
+}
+
+// Rebuilding a document through the single build entry point must drop
+// the cached fingerprint, the invalidation path the result cache's
+// correctness rests on.
+func TestFingerprintInvalidatedByRenumber(t *testing.T) {
+	d, err := ParseString(`<r><a/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Fingerprint()
+
+	cp := d.Copy()
+	AppendChild(cp.Root.Children[0], Elem("b"))
+	rebuilt := NewDocument(cp.Root.Children...)
+	if rebuilt.Fingerprint() == before {
+		t.Fatal("mutated rebuild kept the old fingerprint")
+	}
+	want, err := ParseString(`<r><a/><b/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("rebuilt document fingerprint %x != equivalently parsed %x",
+			rebuilt.Fingerprint(), want.Fingerprint())
+	}
+}
+
+func TestFingerprintConcurrentFirstUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := RandomDocument(rng, GenConfig{Nodes: 500, MaxFanout: 3, TextProb: 0.3, AttrProb: 0.3})
+	var wg sync.WaitGroup
+	got := make([]uint64, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = d.Fingerprint()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatalf("racing first calls disagree: %x vs %x", got[i], got[0])
+		}
+	}
+}

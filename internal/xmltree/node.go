@@ -108,6 +108,7 @@ type Document struct {
 	Nodes []*Node
 
 	indexCache
+	fpCache
 }
 
 // Document returns the document the node belongs to.

@@ -42,6 +42,7 @@ import (
 	"xpathcomplexity/internal/eval/streaming"
 	"xpathcomplexity/internal/fragment"
 	"xpathcomplexity/internal/obs"
+	"xpathcomplexity/internal/qcache"
 	"xpathcomplexity/internal/value"
 	"xpathcomplexity/internal/xmltree"
 	"xpathcomplexity/internal/xpath/ast"
@@ -93,7 +94,22 @@ type (
 	Profile = obs.Profile
 	// ProfileRow is one aggregated profile row.
 	ProfileRow = obs.ProfileRow
+	// ResultCache is a shared, bounded evaluation-result cache keyed by
+	// (document fingerprint, query, engine, context, result-visible
+	// options). Attach one via EvalOptions.Cache; see docs/CACHING.md.
+	ResultCache = qcache.Cache
+	// ResultCacheStats is a point-in-time summary of a ResultCache.
+	ResultCacheStats = qcache.Stats
 )
+
+// NewResultCache creates a result cache bounded to at most maxEntries
+// entries and maxBytes of estimated value memory; non-positive arguments
+// select the package defaults. The cache is safe for concurrent use and
+// may be shared across queries, documents, goroutines and EvalBatch
+// workers.
+func NewResultCache(maxEntries int, maxBytes int64) *ResultCache {
+	return qcache.New(maxEntries, maxBytes)
+}
 
 // NewMetrics creates an empty metrics registry.
 func NewMetrics() *Metrics { return obs.NewMetrics() }
@@ -312,6 +328,14 @@ type EvalOptions struct {
 	// MaxNodeSet bounds intermediate node-collection cardinality — the
 	// naive engine's exponentially growing bags in particular.
 	MaxNodeSet int
+	// Cache, when non-nil, memoizes evaluation results. XPath answers are
+	// pure functions of (document, query, context), so a repeated
+	// evaluation can be served from the cache without running an engine;
+	// concurrent identical evaluations are deduplicated to a single run.
+	// Traced runs (Trace != nil) and node-less contexts bypass the cache,
+	// and errors are never cached. The same cache may be shared freely
+	// across goroutines and EvalBatch workers. See docs/CACHING.md.
+	Cache *ResultCache
 	// guard is the resource guard assembled from the fields above; set
 	// by Query.EvalOptions only, never by callers.
 	guard *evalctx.Guard
@@ -391,14 +415,21 @@ func (q *Query) EvalOptions(ctx Context, opts EvalOptions) (v Value, err error) 
 			return nil, cerr
 		}
 	}
-	if opts.Engine == EngineAuto {
-		v, err = q.evalAuto(ctx, opts)
+	if q.cacheEligible(ctx, opts) {
+		// A hit returns without running an engine: no operations are
+		// charged to Counter or the guard, and the caller receives a
+		// private copy of the cached value. Errors are classified inside
+		// Do and never admitted; concurrent identical evaluations share
+		// one engine run (singleflight).
+		v, err = opts.Cache.Do(q.cacheKey(ctx, opts), ctx.Node.Document(), opts.Metrics,
+			func() (Value, error) { return q.evalUncached(ctx, opts) })
 	} else {
-		var tr *obs.Tracer
-		if opts.Trace != nil {
-			tr = obs.NewTracer(opts.Engine.String(), q.Expr, opts.Trace)
+		if opts.Cache != nil && opts.Trace != nil && opts.Metrics != nil {
+			// Traced runs must execute for real — the sink's spans are the
+			// point — so they bypass the cache in both directions.
+			opts.Metrics.Counter(qcache.MetricBypassTraced).Inc()
 		}
-		v, err = q.evalEngine(ctx, opts, opts.Engine, tr)
+		v, err = q.evalUncached(ctx, opts)
 	}
 	if opts.Metrics != nil {
 		if ctx.Node != nil {
@@ -407,6 +438,48 @@ func (q *Query) EvalOptions(ctx Context, opts EvalOptions) (v Value, err error) 
 		obs.RecordOutcome(opts.Metrics, err)
 	}
 	return v, err
+}
+
+// cacheEligible reports whether this evaluation can go through
+// opts.Cache: a cache must be attached, the run must not be traced (the
+// sink needs real engine spans), and the context must carry a node (the
+// document fingerprint anchors the key).
+func (q *Query) cacheEligible(ctx Context, opts EvalOptions) bool {
+	return opts.Cache != nil && opts.Trace == nil && ctx.Node != nil
+}
+
+// cacheKey builds the result-cache key for this evaluation: everything
+// that the answer is a function of — document content, query text, the
+// requested engine binding, the evaluation context, and the two
+// result-visible options (NegationBound moves the nauxpda fragment
+// boundary; DisableIndex keeps cold and cached index behaviour aligned).
+// Budgets, counters, metrics, workers and timeouts are deliberately
+// excluded: they change how an evaluation runs, never what it returns.
+func (q *Query) cacheKey(ctx Context, opts EvalOptions) qcache.Key {
+	return qcache.Key{
+		DocFP:         ctx.Node.Document().Fingerprint(),
+		Plan:          q.Source,
+		Engine:        opts.Engine.String(),
+		CtxOrd:        ctx.Node.Ord,
+		CtxPos:        ctx.Pos,
+		CtxSize:       ctx.Size,
+		NegationBound: opts.NegationBound,
+		DisableIndex:  opts.DisableIndex,
+	}
+}
+
+// evalUncached dispatches to the engines with the cache out of the
+// picture; the cache's singleflight leader and every cache-ineligible
+// evaluation land here.
+func (q *Query) evalUncached(ctx Context, opts EvalOptions) (Value, error) {
+	if opts.Engine == EngineAuto {
+		return q.evalAuto(ctx, opts)
+	}
+	var tr *obs.Tracer
+	if opts.Trace != nil {
+		tr = obs.NewTracer(opts.Engine.String(), q.Expr, opts.Trace)
+	}
+	return q.evalEngine(ctx, opts, opts.Engine, tr)
 }
 
 // evalAuto is the EngineAuto ladder: try the streaming NFA when the
