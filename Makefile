@@ -1,14 +1,14 @@
 # Standard targets; no dependencies beyond the Go toolchain.
 
-.PHONY: all build vet test test-shuffle race test-race fuzz fuzz-short bench experiments profile pprof guard guard-race allocgate cachegate examples check clean
+.PHONY: all build vet test test-shuffle race test-race fuzz fuzz-short bench experiments profile pprof guard guard-race allocgate cachegate vmgate examples check clean
 
 all: build vet test
 
-# Everything a PR should pass: build, vet, tests, the allocation and
-# cache-hit regression gates, the race-enabled guard suite, the full
-# race suite, a shuffled-order test pass and a short fuzz session per
-# target.
-check: all allocgate cachegate guard-race test-race test-shuffle fuzz-short
+# Everything a PR should pass: build, vet, tests, the allocation,
+# cache-hit and VM regression gates, the race-enabled guard suite, the
+# full race suite, a shuffled-order test pass and a short fuzz session
+# per target.
+check: all allocgate cachegate vmgate guard-race test-race test-shuffle fuzz-short
 
 build:
 	go build ./...
@@ -68,9 +68,10 @@ guard:
 	go run ./cmd/xbench -run guard
 
 # Cancellation, budget and fallback tests under the race detector:
-# concurrent batch cancellation and the parallel engine's shared guard.
+# concurrent batch cancellation, the parallel engine's shared guard, and
+# the bytecode VM's shared-program/private-state seam.
 guard-race:
-	go test -race -run 'TestGuard|TestEvalBatch' .
+	go test -race -run 'TestGuard|TestEvalBatch|TestVM' .
 
 # The allocation regression gate: warm compiled-query evaluations must
 # stay under the checked-in allocs-per-op ceilings of
@@ -80,6 +81,14 @@ guard-race:
 allocgate:
 	go test -run TestAllocGate -count=1 .
 	go run ./cmd/xbench -run alloc
+
+# The bytecode-VM regression gate: warm VM evaluations must stay under
+# the vm_gate_test.go allocs-per-op ceilings, then the VM experiment
+# reports corelinear-vs-vm warm wall-clock and refreshes BENCH_VM.json
+# (see docs/VM.md and EXP-VM in EXPERIMENTS.md).
+vmgate:
+	go test -run TestVMAllocGate -count=1 .
+	go run ./cmd/xbench -run vm
 
 # The cache-hit allocation gate: serving a cached result must stay under
 # the cache_gate_test.go ceiling, then the cache experiment reports the

@@ -168,10 +168,10 @@ func (c *Compiled) ExplainAnalyze(d *Document) (string, error) {
 func (c *Compiled) ExplainAnalyzeOptions(ctx Context, opts EvalOptions) (string, error) {
 	if opts.Engine == EngineAuto {
 		opts.Engine = c.Bound
-		if opts.Engine == EngineStreaming {
-			// Analysis always traces, and the streaming NFA has no
-			// per-subexpression spans; profile the recommended tree
-			// engine instead.
+		if opts.Engine == EngineStreaming || opts.Engine == EngineVM {
+			// Analysis always traces, and neither the streaming NFA nor
+			// the flat bytecode has per-subexpression spans; profile the
+			// recommended tree engine instead.
 			opts.Engine = c.treeEngine()
 		}
 	}

@@ -204,12 +204,13 @@ func TestPrepareCachesPlans(t *testing.T) {
 }
 
 // The Remark 5.2 fold moves //a[b][c] into Core XPath, so a prepared
-// plan binds the linear engine even though the unrewritten query would
-// not; the explicit-engine escape hatch keeps evaluating the original.
+// plan binds the bytecode VM (the compiled form of the linear engine)
+// even though the unrewritten query would not; the explicit-engine
+// escape hatch keeps evaluating the original.
 func TestPrepareBindsFoldedPlan(t *testing.T) {
 	c := MustPrepare("//a[b][c]")
-	if c.Bound != EngineCoreLinear {
-		t.Fatalf("//a[b][c] bound %v, want corelinear via predicate fold", c.Bound)
+	if c.Bound != EngineVM {
+		t.Fatalf("//a[b][c] bound %v, want vm via predicate fold", c.Bound)
 	}
 	d := batchDoc(t, 3, 150)
 	auto, err := c.EvalRoot(d)

@@ -72,6 +72,7 @@ var experiments = []experiment{
 	{"profile", "observability: naive vs cvt visit growth (writes BENCH_OBS.json)", expProfile},
 	{"guard", "resource guard: op budget kills naive, cvt completes (writes BENCH_GUARD.json)", expGuard},
 	{"alloc", "allocation profile of warm compiled-query evaluation (writes BENCH_ALLOC.json)", expAlloc},
+	{"vm", "bytecode VM vs corelinear: warm wall-clock on the EXP-ALLOC families (writes BENCH_VM.json)", expVM},
 	{"cache", "result cache: warm uncached evaluation vs cache hit (writes BENCH_CACHE.json)", expCache},
 }
 

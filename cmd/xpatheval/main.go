@@ -30,7 +30,7 @@ func main() {
 	var (
 		queryStr = flag.String("q", "", "XPath query (required)")
 		file     = flag.String("f", "", "XML document file (default: stdin)")
-		engine   = flag.String("engine", "auto", "engine: auto|naive|cvt|corelinear|nauxpda|parallel|streaming")
+		engine   = flag.String("engine", "auto", "engine: auto|naive|cvt|corelinear|nauxpda|parallel|streaming|vm")
 		showOps  = flag.Bool("ops", false, "print the elementary operation count")
 		budget   = flag.Int64("budget", 0, "abort after this many operations (0 = unlimited)")
 		timeout  = flag.Duration("timeout", 0, "abort evaluation after this long, e.g. 500ms (0 = no deadline)")

@@ -61,6 +61,14 @@ func bind(q *Query) *Compiled {
 	if cls.RecommendEngine() == fragment.EngineCoreLinear {
 		bound = EngineCoreLinear
 	}
+	planQuery := &Query{Source: q.Source, Expr: plan, Class: cls}
+	// Core XPath plans bind to the bytecode VM — the corelinear
+	// algorithm with its interpretation overhead compiled away. The
+	// lowering runs here, at bind time, so the plan cache carries the
+	// bytecode alongside the rewritten AST.
+	if _, err := planQuery.vmProgram(); err == nil {
+		bound = EngineVM
+	}
 	// Downward predicate-free paths bind to the single-pass NFA — the
 	// same choice the EngineAuto ladder makes dynamically, resolved once
 	// here.
@@ -69,7 +77,7 @@ func bind(q *Query) *Compiled {
 	}
 	return &Compiled{
 		Query: q, Bound: bound, plan: plan, planClass: cls,
-		planQuery: &Query{Source: q.Source, Expr: plan, Class: cls},
+		planQuery: planQuery,
 	}
 }
 
@@ -123,9 +131,10 @@ func (c *Compiled) EvalRoot(d *Document) (Value, error) {
 func (c *Compiled) EvalOptions(ctx Context, opts EvalOptions) (Value, error) {
 	if opts.Engine == EngineAuto {
 		opts.Engine = c.Bound
-		if opts.Engine == EngineStreaming && opts.Trace != nil {
-			// The NFA has no per-subexpression spans to trace; traced
-			// runs use the tree engine the fragment recommends instead.
+		if (opts.Engine == EngineStreaming || opts.Engine == EngineVM) && opts.Trace != nil {
+			// Neither the NFA nor the flat bytecode has per-subexpression
+			// spans to trace; traced runs use the tree engine the fragment
+			// recommends instead.
 			opts.Engine = c.treeEngine()
 		}
 	}

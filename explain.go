@@ -76,6 +76,13 @@ func (q *Query) Explain() string {
 	if _, err := streaming.Compile(q.Expr); err == nil {
 		b.WriteString("stream:     eligible — downward PF evaluates in one pass with O(depth) memory\n")
 	}
+	if prog, err := q.vmProgram(); err == nil {
+		fmt.Fprintf(&b, "vm:         eligible — %d instructions, %d tests, %d labels, %d condition slots\n",
+			len(prog.Code), len(prog.Tests), len(prog.Labels), prog.NumSlots)
+		for _, line := range strings.Split(strings.TrimRight(prog.Disassemble(), "\n"), "\n") {
+			b.WriteString("            | " + line + "\n")
+		}
+	}
 	return b.String()
 }
 

@@ -12,6 +12,7 @@ import (
 	"xpathcomplexity/internal/eval/evalctx"
 	"xpathcomplexity/internal/eval/nauxpda"
 	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/vm"
 	"xpathcomplexity/internal/xmltree"
 )
 
@@ -98,6 +99,21 @@ func FuzzDifferentialEngines(f *testing.F) {
 				run("corelinear-cold", EvalOptions{Engine: EngineCoreLinear, DisableIndex: true})
 				run("corelinear-indexed", EvalOptions{Engine: EngineCoreLinear})
 				run("parallel", EvalOptions{Engine: EngineParallel, Workers: 2})
+			}
+			if _, err := q.vmProgram(); err == nil {
+				run("vm-cold", EvalOptions{Engine: EngineVM, DisableIndex: true})
+				run("vm-indexed", EvalOptions{Engine: EngineVM})
+				// Fusion is an encoding choice, never a semantic one: the
+				// superinstruction-free bytecode must stay in the vote too.
+				unfused, err := vm.CompileWith(q.Expr, vm.Options{DisableFusion: true})
+				if err != nil {
+					t.Fatalf("query %q: fused bytecode compiled but unfused did not: %v", qs, err)
+				}
+				v, err := unfused.Run(ctx, vm.RunOptions{})
+				if err != nil {
+					t.Fatalf("query %q: unfused vm run failed: %v", qs, err)
+				}
+				got = append(got, res{"vm-unfused", v})
 			}
 			if v, err := q.EvalOptions(ctx, EvalOptions{Engine: EngineNAuxPDA, NegationBound: 8}); err == nil {
 				got = append(got, res{"nauxpda", v})
@@ -221,9 +237,14 @@ func FuzzDifferentialEngines(f *testing.F) {
 			// value (trivial queries legitimately finish within one op
 			// charge batch) or a typed resource error with no partial
 			// result — from every engine.
-			for _, eng := range []Engine{EngineAuto, EngineNaive, EngineCVT, EngineCoreLinear, EngineNAuxPDA} {
+			for _, eng := range []Engine{EngineAuto, EngineNaive, EngineCVT, EngineCoreLinear, EngineVM, EngineNAuxPDA} {
 				if eng == EngineCoreLinear && corelinear.CheckCore(q.Expr) != nil {
 					continue
+				}
+				if eng == EngineVM {
+					if _, err := q.vmProgram(); err != nil {
+						continue
+					}
 				}
 				v, err := q.EvalOptions(ctx, EvalOptions{
 					Engine: eng, MaxOps: 1, NegationBound: 8, DisableIndex: true,

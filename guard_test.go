@@ -256,7 +256,7 @@ func TestGuardAutoLadderMetrics(t *testing.T) {
 		}
 	})
 
-	t.Run("fallback-to-corelinear", func(t *testing.T) {
+	t.Run("fallback-to-vm", func(t *testing.T) {
 		m := NewMetrics()
 		if _, err := MustCompile("//a[not(b)]").EvalOptions(ctx, EvalOptions{Metrics: m}); err != nil {
 			t.Fatal(err)
@@ -265,8 +265,11 @@ func TestGuardAutoLadderMetrics(t *testing.T) {
 		if s.Counter("auto.fallback.streaming") != 1 {
 			t.Errorf("auto.fallback.streaming = %d, want 1; counters: %v", s.Counter("auto.fallback.streaming"), s.Counters)
 		}
-		if s.Counter("auto.selected.corelinear") != 1 {
-			t.Errorf("auto.selected.corelinear = %d, want 1; counters: %v", s.Counter("auto.selected.corelinear"), s.Counters)
+		if s.Counter("auto.selected.vm") != 1 {
+			t.Errorf("auto.selected.vm = %d, want 1; counters: %v", s.Counter("auto.selected.vm"), s.Counters)
+		}
+		if s.Counter("engine.vm.evals") != 1 {
+			t.Errorf("engine.vm.evals = %d, want 1; counters: %v", s.Counter("engine.vm.evals"), s.Counters)
 		}
 	})
 

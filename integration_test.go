@@ -388,6 +388,8 @@ func TestIntegrationEngineConformance(t *testing.T) {
 		{"cvt-noindex", EngineCVT, enginetest.FullCaps, EvalOptions{DisableIndex: true}},
 		{"corelinear", EngineCoreLinear, enginetest.CoreCaps, EvalOptions{}},
 		{"corelinear-noindex", EngineCoreLinear, enginetest.CoreCaps, EvalOptions{DisableIndex: true}},
+		{"vm", EngineVM, enginetest.CoreCaps, EvalOptions{}},
+		{"vm-noindex", EngineVM, enginetest.CoreCaps, EvalOptions{DisableIndex: true}},
 		{"parallel", EngineParallel, enginetest.CoreCaps, EvalOptions{}},
 		{"nauxpda", EngineNAuxPDA, enginetest.PXPathCaps, EvalOptions{NegationBound: 8}},
 	} {

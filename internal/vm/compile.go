@@ -1,0 +1,396 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"xpathcomplexity/internal/xpath/ast"
+)
+
+// ErrNotVM reports a query outside the fragment the VM compiles: Core
+// XPath (Definition 2.5 with the Remark 3.1 label test and the explicit
+// boolean()/true()/false() conversions), with top-level unions
+// restricted to location-path operands — the same de-facto surface the
+// corelinear evaluator serves.
+var ErrNotVM = errors.New("query does not compile to VM bytecode")
+
+// DisableFusion is a test hook: when set before Compile, the emitted
+// bytecode uses only unfused opcodes (OpAxisF/OpTestF/OpFilterF and
+// OpTestAnd/OpAndAcc/OpInvAxis) so the differential suites can prove
+// the fused and unfused execution paths agree. The unfused forward path
+// also runs without the sparse-frontier fast path — the
+// superinstructions are what carry it — making this the dense reference
+// execution. Not for concurrent mutation; tests that need per-call
+// control use CompileWith.
+var DisableFusion bool
+
+// Options control compilation; the zero value is the production
+// configuration.
+type Options struct {
+	// DisableFusion emits only unfused opcodes (see the DisableFusion
+	// package hook).
+	DisableFusion bool
+	// DisableConstDedup appends a fresh constant-pool entry per use
+	// instead of sharing equal entries. Evaluation results must not
+	// depend on pool layout; the metamorphic suite proves it.
+	DisableConstDedup bool
+}
+
+// Compile lowers a Core XPath expression to bytecode. Queries outside
+// the fragment return an error wrapping ErrNotVM.
+func Compile(expr ast.Expr) (*Program, error) {
+	return CompileWith(expr, Options{DisableFusion: DisableFusion})
+}
+
+// CompileWith is Compile with explicit options.
+func CompileWith(expr ast.Expr, opts Options) (*Program, error) {
+	c := &compiler{opts: opts, slots: make(map[ast.Expr]uint16)}
+	if !opts.DisableConstDedup {
+		c.testIdx = make(map[TestEntry]uint16)
+		c.labelIdx = make(map[string]uint16)
+	}
+	if err := c.top(expr); err != nil {
+		return nil, err
+	}
+	return &Program{
+		Code:     c.code,
+		Tests:    c.tests,
+		Labels:   c.labels,
+		NumSlots: int(c.next),
+	}, nil
+}
+
+type compiler struct {
+	opts     Options
+	code     []Instr
+	tests    []TestEntry
+	testIdx  map[TestEntry]uint16 // nil with DisableConstDedup
+	labels   []string
+	labelIdx map[string]uint16 // nil with DisableConstDedup
+	// slots memoizes condition subexpressions by syntactic identity —
+	// the same keying as corelinear's runtime memo, resolved at compile
+	// time — so each is computed (and charged) once per evaluation.
+	slots map[ast.Expr]uint16
+	next  uint16
+}
+
+func (c *compiler) emit(in Instr) { c.code = append(c.code, in) }
+
+func (c *compiler) alloc() (uint16, error) {
+	if c.next == ^uint16(0) {
+		return 0, fmt.Errorf("%w: more than %d condition slots", ErrNotVM, ^uint16(0))
+	}
+	s := c.next
+	c.next++
+	return s, nil
+}
+
+// testRef interns a node test in the constant pool.
+func (c *compiler) testRef(a ast.Axis, t ast.NodeTest) (uint16, error) {
+	e := TestEntry{Test: t, Attr: a == ast.AxisAttribute}
+	if c.testIdx != nil {
+		if i, ok := c.testIdx[e]; ok {
+			return i, nil
+		}
+	}
+	if len(c.tests) > int(^uint16(0)) {
+		return 0, fmt.Errorf("%w: node-test pool overflow", ErrNotVM)
+	}
+	i := uint16(len(c.tests))
+	c.tests = append(c.tests, e)
+	if c.testIdx != nil {
+		c.testIdx[e] = i
+	}
+	return i, nil
+}
+
+// labelRef interns a Remark 3.1 label in the constant pool.
+func (c *compiler) labelRef(l string) (uint16, error) {
+	if c.labelIdx != nil {
+		if i, ok := c.labelIdx[l]; ok {
+			return i, nil
+		}
+	}
+	if len(c.labels) > int(^uint16(0)) {
+		return 0, fmt.Errorf("%w: label pool overflow", ErrNotVM)
+	}
+	i := uint16(len(c.labels))
+	c.labels = append(c.labels, l)
+	if c.labelIdx != nil {
+		c.labelIdx[l] = i
+	}
+	return i, nil
+}
+
+// top compiles the top-level expression: a path materializes forward, a
+// union of paths evaluates each side and unions the frontiers, anything
+// else is a condition answered at the context node.
+func (c *compiler) top(expr ast.Expr) error {
+	if p, ok := expr.(*ast.Path); ok {
+		if err := c.fwdPath(p); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpRetSet})
+		return nil
+	}
+	if b, ok := expr.(*ast.Binary); ok && b.Op == ast.OpUnion {
+		paths, ok := flattenUnion(expr, nil)
+		if !ok {
+			return fmt.Errorf("%w: top-level union of non-path operands", ErrNotVM)
+		}
+		tmp, err := c.alloc()
+		if err != nil {
+			return err
+		}
+		for i, p := range paths {
+			// Each union side runs nested, like the tree evaluator's
+			// per-side recursion.
+			c.emit(Instr{Op: OpEnter})
+			if err := c.fwdPath(p); err != nil {
+				return err
+			}
+			c.emit(Instr{Op: OpExit})
+			if i > 0 {
+				c.emit(Instr{Op: OpOrF, A: tmp})
+			}
+			if i < len(paths)-1 {
+				c.emit(Instr{Op: OpSaveF, Dst: tmp})
+			}
+		}
+		c.emit(Instr{Op: OpRetSet})
+		return nil
+	}
+	s, err := c.cond(expr)
+	if err != nil {
+		return err
+	}
+	c.emit(Instr{Op: OpRetBool, A: s})
+	return nil
+}
+
+// flattenUnion collects the location-path leaves of a top-level union
+// tree in evaluation order; ok is false when any leaf is not a path.
+func flattenUnion(expr ast.Expr, acc []*ast.Path) ([]*ast.Path, bool) {
+	switch x := expr.(type) {
+	case *ast.Path:
+		return append(acc, x), true
+	case *ast.Binary:
+		if x.Op != ast.OpUnion {
+			return nil, false
+		}
+		acc, ok := flattenUnion(x.Left, acc)
+		if !ok {
+			return nil, false
+		}
+		return flattenUnion(x.Right, acc)
+	default:
+		return nil, false
+	}
+}
+
+// fwdPath emits the forward pass for a materialized location path: an
+// init, then per step the predicates' condition subprograms followed by
+// the (possibly fused) step instruction and any residual filters.
+func (c *compiler) fwdPath(p *ast.Path) error {
+	if p.Absolute {
+		c.emit(Instr{Op: OpInitRoot})
+	} else {
+		c.emit(Instr{Op: OpInitCtx})
+	}
+	for _, step := range p.Steps {
+		preds, err := c.conds(step.Preds)
+		if err != nil {
+			return err
+		}
+		ti, err := c.testRef(step.Axis, step.Test)
+		if err != nil {
+			return err
+		}
+		// B=1 marks the instruction that ends the step: the machine runs
+		// the sparse demote/guard bookkeeping there, after every predicate
+		// filter, exactly where corelinear runs it.
+		switch {
+		case !c.opts.DisableFusion && len(preds) == 0:
+			c.emit(Instr{Op: OpStep, Axis: step.Axis, Test: ti, B: 1})
+		case !c.opts.DisableFusion:
+			end := uint16(0)
+			if len(preds) == 1 {
+				end = 1
+			}
+			c.emit(Instr{Op: OpStepCond, Axis: step.Axis, Test: ti, A: preds[0], B: end})
+			preds = preds[1:]
+		default:
+			c.emit(Instr{Op: OpAxisF, Axis: step.Axis})
+			c.emit(Instr{Op: OpTestF, Test: ti})
+		}
+		for i, ps := range preds {
+			end := uint16(0)
+			if i == len(preds)-1 {
+				end = 1
+			}
+			c.emit(Instr{Op: OpFilterF, A: ps, B: end})
+		}
+	}
+	return nil
+}
+
+// conds compiles a predicate list to condition slots.
+func (c *compiler) conds(preds []ast.Expr) ([]uint16, error) {
+	if len(preds) == 0 {
+		return nil, nil
+	}
+	out := make([]uint16, len(preds))
+	for i, p := range preds {
+		s, err := c.cond(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// cond compiles a condition subexpression to the slot holding its
+// whole-document set E[cond], emitting nothing when the identical
+// subexpression was already compiled (the compile-time memo).
+func (c *compiler) cond(expr ast.Expr) (uint16, error) {
+	if s, ok := c.slots[expr]; ok {
+		return s, nil
+	}
+	c.emit(Instr{Op: OpEnter})
+	s, err := c.condInner(expr)
+	if err != nil {
+		return 0, err
+	}
+	c.emit(Instr{Op: OpExit})
+	c.slots[expr] = s
+	return s, nil
+}
+
+func (c *compiler) condInner(expr ast.Expr) (uint16, error) {
+	switch x := expr.(type) {
+	case *ast.Binary:
+		var op Op
+		switch x.Op {
+		case ast.OpAnd:
+			op = OpAnd
+		case ast.OpOr, ast.OpUnion:
+			op = OpOr
+		default:
+			return 0, fmt.Errorf("%w: operator %q", ErrNotVM, x.Op)
+		}
+		l, err := c.cond(x.Left)
+		if err != nil {
+			return 0, err
+		}
+		r, err := c.cond(x.Right)
+		if err != nil {
+			return 0, err
+		}
+		dst, err := c.alloc()
+		if err != nil {
+			return 0, err
+		}
+		c.emit(Instr{Op: op, Dst: dst, A: l, B: r})
+		return dst, nil
+	case *ast.Call:
+		switch x.Name {
+		case "not":
+			a, err := c.cond(x.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			dst, err := c.alloc()
+			if err != nil {
+				return 0, err
+			}
+			c.emit(Instr{Op: OpNot, Dst: dst, A: a})
+			return dst, nil
+		case "boolean":
+			a, err := c.cond(x.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			dst, err := c.alloc()
+			if err != nil {
+				return 0, err
+			}
+			c.emit(Instr{Op: OpCopy, Dst: dst, A: a})
+			return dst, nil
+		case "true", "false":
+			dst, err := c.alloc()
+			if err != nil {
+				return 0, err
+			}
+			op := OpCondTrue
+			if x.Name == "false" {
+				op = OpCondFalse
+			}
+			c.emit(Instr{Op: op, Dst: dst})
+			return dst, nil
+		default:
+			return 0, fmt.Errorf("%w: function %q", ErrNotVM, x.Name)
+		}
+	case *ast.LabelTest:
+		li, err := c.labelRef(x.Label)
+		if err != nil {
+			return 0, err
+		}
+		dst, err := c.alloc()
+		if err != nil {
+			return 0, err
+		}
+		c.emit(Instr{Op: OpCondLabel, Dst: dst, Test: li})
+		return dst, nil
+	case *ast.Path:
+		return c.bwdPath(x)
+	default:
+		return 0, fmt.Errorf("%w: %T in condition", ErrNotVM, expr)
+	}
+}
+
+// bwdPath emits the backward pass computing E[π] = { x | π from x
+// selects ≥1 node }, right-to-left with inverse-axis operations. All
+// predicate condition subprograms are hoisted ahead of the chain — the
+// machine has a single backward accumulator, so a nested condition path
+// must finish before this one starts.
+func (c *compiler) bwdPath(p *ast.Path) (uint16, error) {
+	predSlots := make([][]uint16, len(p.Steps))
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		ps, err := c.conds(p.Steps[i].Preds)
+		if err != nil {
+			return 0, err
+		}
+		predSlots[i] = ps
+	}
+	dst, err := c.alloc()
+	if err != nil {
+		return 0, err
+	}
+	c.emit(Instr{Op: OpBegin})
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		step := p.Steps[i]
+		ti, err := c.testRef(step.Axis, step.Test)
+		if err != nil {
+			return 0, err
+		}
+		ps := predSlots[i]
+		switch {
+		case !c.opts.DisableFusion && len(ps) == 0:
+			c.emit(Instr{Op: OpInvStep, Axis: step.Axis, Test: ti})
+		case !c.opts.DisableFusion && len(ps) == 1:
+			c.emit(Instr{Op: OpInvStepCond, Axis: step.Axis, Test: ti, A: ps[0]})
+		default:
+			c.emit(Instr{Op: OpTestAnd, Test: ti})
+			for _, s := range ps {
+				c.emit(Instr{Op: OpAndAcc, A: s})
+			}
+			c.emit(Instr{Op: OpInvAxis, Axis: step.Axis})
+		}
+	}
+	if p.Absolute {
+		c.emit(Instr{Op: OpAnchorRoot})
+	}
+	c.emit(Instr{Op: OpStore, Dst: dst})
+	return dst, nil
+}

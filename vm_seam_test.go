@@ -1,0 +1,211 @@
+// Facade-level seam tests for the bytecode VM: shared immutable
+// bytecode under concurrent execution (run with -race via `make
+// test-race`), and the guard seam — a budget stop must surface as the
+// typed resource error with no partial result, exactly like the tree
+// engines.
+
+package xpathcomplexity
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/value"
+)
+
+// vmSeamDoc builds a document large enough that concurrent evaluations
+// overlap in time and per-goroutine scratch actually gets exercised.
+func vmSeamDoc(t testing.TB) *Document {
+	t.Helper()
+	var b []byte
+	b = append(b, "<root>"...)
+	for i := 0; i < 300; i++ {
+		switch i % 3 {
+		case 0:
+			b = append(b, "<a><b/><c/></a>"...)
+		case 1:
+			b = append(b, "<a><b><a><c/></a></b></a>"...)
+		case 2:
+			b = append(b, "<c><a/></c>"...)
+		}
+	}
+	b = append(b, "</root>"...)
+	d, err := ParseDocumentString(string(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestVMConcurrentCompiled: one Compiled whose plan bound EngineVM,
+// evaluated from many goroutines at once. The bytecode Program is
+// shared and immutable; every per-run register (frontier, accumulator,
+// condition slots, scratch arena) is checked out per goroutine, so all
+// results must be identical and the race detector must stay silent.
+func TestVMConcurrentCompiled(t *testing.T) {
+	d := vmSeamDoc(t)
+	ctx := RootContext(d)
+	queries := []string{"//a[b and not(c)]", "//a[b]/c", "//a[.//c]"}
+	for _, qs := range queries {
+		c := MustPrepare(qs)
+		if c.Bound != EngineVM {
+			t.Fatalf("%s bound %v, want vm", qs, c.Bound)
+		}
+		want, err := c.EvalOptions(ctx, EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const goroutines = 16
+		var wg sync.WaitGroup
+		results := make([]Value, goroutines)
+		errs := make([]error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for rep := 0; rep < 8; rep++ {
+					results[g], errs[g] = c.EvalOptions(ctx, EvalOptions{})
+					if errs[g] != nil {
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for g := 0; g < goroutines; g++ {
+			if errs[g] != nil {
+				t.Fatalf("%s goroutine %d: %v", qs, g, errs[g])
+			}
+			if !value.Equal(want, results[g]) {
+				t.Fatalf("%s goroutine %d: %s != sequential %s", qs, g, results[g], want)
+			}
+		}
+	}
+}
+
+// TestVMEvalBatch: a batch of duplicate and distinct VM-bound queries
+// through EvalBatch's worker pool — shared bytecode via the plan cache,
+// per-goroutine execution state via the scratch pools.
+func TestVMEvalBatch(t *testing.T) {
+	d := vmSeamDoc(t)
+	// All four queries carry predicates, so none is streaming-eligible
+	// and every one binds the VM.
+	base := []string{"//a[b and not(c)]", "//a[b]/c", "//a[.//c]", "//c[a]"}
+	var queries []string
+	for i := 0; i < 8; i++ {
+		queries = append(queries, base...)
+	}
+	m := NewMetrics()
+	results := EvalBatch(d, queries, EvalOptions{Workers: 4, Metrics: m})
+	want := make(map[string]Value)
+	for _, qs := range base {
+		v, err := MustPrepare(qs).EvalRoot(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[qs] = v
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Query, r.Err)
+		}
+		if !value.Equal(r.Value, want[r.Query]) {
+			t.Fatalf("%s: batch %s != direct %s", r.Query, r.Value, want[r.Query])
+		}
+	}
+	if got := m.Snapshot().Counter("engine.vm.evals"); got != int64(len(queries)) {
+		t.Errorf("engine.vm.evals = %d, want %d (every batch query should have run the VM)", got, len(queries))
+	}
+}
+
+// TestVMGuardSeam: resource limits cut the VM off with the typed budget
+// error and no partial result, at opcode granularity, through the public
+// options — the same contract the tree engines honor.
+func TestVMGuardSeam(t *testing.T) {
+	d := vmSeamDoc(t)
+	ctx := RootContext(d)
+	for _, qs := range []string{"//a[b and not(c)]", "//a[b]/c", "//a[.//c]"} {
+		v, err := MustCompile(qs).EvalOptions(ctx, EvalOptions{Engine: EngineVM, MaxOps: 1})
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("%s: err = %v, want ErrBudgetExceeded", qs, err)
+		}
+		var be *evalctx.BudgetError
+		if !errors.As(err, &be) || be.Limit != "ops" {
+			t.Fatalf("%s: err = %v, want *BudgetError{Limit: %q}", qs, err, "ops")
+		}
+		if v != nil {
+			t.Fatalf("%s: partial result %s alongside budget error", qs, v)
+		}
+	}
+	// The node-set ceiling fires on the VM's per-step check as well. The
+	// query must keep its frontier sparse (dense bitsets are O(|D|) and
+	// exempt, exactly as in corelinear): root/* materializes all ~300
+	// children of the root element as an explicit list.
+	v, err := MustCompile("root/*").EvalOptions(ctx, EvalOptions{Engine: EngineVM, MaxNodeSet: 2})
+	var be *evalctx.BudgetError
+	if !errors.As(err, &be) || be.Limit != "node-set" {
+		t.Fatalf("node-set limit: err = %v, want *BudgetError{Limit: %q}", err, "node-set")
+	}
+	if v != nil {
+		t.Fatalf("node-set limit: partial result %s alongside budget error", v)
+	}
+	// Generous limits are invisible.
+	got, err := MustCompile("//a[b and not(c)]").EvalOptions(ctx, EvalOptions{
+		Engine: EngineVM, MaxOps: 50_000_000, MaxNodeSet: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MustCompile("//a[b and not(c)]").EvalOptions(ctx, EvalOptions{Engine: EngineCoreLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got, want) {
+		t.Fatalf("guarded vm %s != corelinear %s", got, want)
+	}
+}
+
+// TestVMBudgetConcurrent: budget-stopped and successful VM runs
+// interleaved across goroutines — guard state is per evaluation, so a
+// trip in one goroutine must never leak into another (run under -race
+// via `make guard-race`).
+func TestVMBudgetConcurrent(t *testing.T) {
+	d := vmSeamDoc(t)
+	ctx := RootContext(d)
+	c := MustPrepare("//a[b and not(c)]")
+	want, err := c.EvalOptions(ctx, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				if g%2 == 0 {
+					v, err := c.EvalOptions(ctx, EvalOptions{MaxOps: 1})
+					if !errors.Is(err, ErrBudgetExceeded) || v != nil {
+						errCh <- fmt.Errorf("budgeted run: v=%v err=%v", v, err)
+						return
+					}
+				} else {
+					v, err := c.EvalOptions(ctx, EvalOptions{})
+					if err != nil || !value.Equal(v, want) {
+						errCh <- fmt.Errorf("unbudgeted run: v=%v err=%v", v, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

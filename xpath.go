@@ -2,7 +2,7 @@
 // and reductions of "The Complexity of XPath Query Evaluation" (Gottlob,
 // Koch, Pichler; PODS 2003).
 //
-// It provides an XPath 1.0 engine with five interchangeable evaluation
+// It provides an XPath 1.0 engine with interchangeable evaluation
 // strategies — one per complexity result of the paper:
 //
 //   - EngineNaive: the historical exponential-time evaluator (the
@@ -13,7 +13,12 @@
 //   - EngineNAuxPDA: the LOGCFL Singleton-Success decision procedure for
 //     pWF/pXPath (Lemma 5.4, Theorems 5.5/6.2), with bounded negation
 //     (Theorems 5.9/6.3);
-//   - EngineParallel: the NC-style parallel evaluator (Remark 5.6).
+//   - EngineParallel: the NC-style parallel evaluator (Remark 5.6);
+//   - EngineStreaming: the single-pass NFA evaluator for downward
+//     predicate-free paths;
+//   - EngineVM: the Core XPath bytecode compiler and register machine,
+//     computing exactly what EngineCoreLinear computes with the
+//     per-evaluation interpretation overhead compiled away.
 //
 // Compile classifies every query into the fragment lattice of Figure 1
 // (PF, positive Core XPath, Core XPath, pWF, WF, pXPath, XPath) and
@@ -31,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"xpathcomplexity/internal/eval/corelinear"
@@ -44,6 +50,7 @@ import (
 	"xpathcomplexity/internal/obs"
 	"xpathcomplexity/internal/qcache"
 	"xpathcomplexity/internal/value"
+	"xpathcomplexity/internal/vm"
 	"xpathcomplexity/internal/xmltree"
 	"xpathcomplexity/internal/xpath/ast"
 	"xpathcomplexity/internal/xpath/parser"
@@ -164,6 +171,14 @@ const (
 	// rejects anything else with ErrNotStreamable; EngineAuto tries it
 	// first and falls back to a tree engine.
 	EngineStreaming
+	// EngineVM executes Core XPath queries compiled to flat bytecode
+	// (package internal/vm): the corelinear algorithm with the
+	// per-evaluation interpretation overhead — fragment checks, memo
+	// maps, node-test resolution — moved to compile time. It rejects
+	// queries outside Core XPath with an error wrapping vm.ErrNotVM;
+	// EngineAuto prefers it over EngineCoreLinear when the query
+	// compiles.
+	EngineVM
 )
 
 // String names the engine.
@@ -183,6 +198,8 @@ func (e Engine) String() string {
 		return "parallel"
 	case EngineStreaming:
 		return "streaming"
+	case EngineVM:
+		return "vm"
 	default:
 		return "unknown"
 	}
@@ -193,6 +210,7 @@ var EngineByName = map[string]Engine{
 	"auto": EngineAuto, "naive": EngineNaive, "cvt": EngineCVT,
 	"corelinear": EngineCoreLinear, "nauxpda": EngineNAuxPDA,
 	"parallel": EngineParallel, "streaming": EngineStreaming,
+	"vm": EngineVM,
 }
 
 // Typed evaluation errors. All are matchable with errors.Is; the
@@ -252,6 +270,23 @@ type Query struct {
 	Expr ast.Expr
 	// Class is the Figure 1 classification.
 	Class Classification
+
+	// vmProg/vmErr memoize the bytecode lowering of Expr (EngineVM);
+	// computed at most once per Query, so plan-cached queries carry
+	// their bytecode alongside the AST.
+	vmOnce sync.Once
+	vmProg *vm.Program
+	vmErr  error
+}
+
+// vmProgram lowers the query to EngineVM bytecode, once; subsequent
+// calls (and every evaluation of a plan-cached query) reuse the program
+// or the memoized rejection.
+func (q *Query) vmProgram() (*vm.Program, error) {
+	q.vmOnce.Do(func() {
+		q.vmProg, q.vmErr = vm.Compile(q.Expr)
+	})
+	return q.vmProg, q.vmErr
 }
 
 // Compile parses and classifies a query.
@@ -536,6 +571,18 @@ func (q *Query) evalAuto(ctx Context, opts EvalOptions) (Value, error) {
 			}
 			record("auto.fallback.nauxpda")
 		}
+		// Core XPath queries run on the bytecode VM — the corelinear
+		// algorithm with its interpretation overhead compiled away. The
+		// lowering is memoized on the Query, so the rung costs one check
+		// per evaluation.
+		if _, verr := q.vmProgram(); verr == nil {
+			v, err := q.evalEngine(ctx, opts, EngineVM, nil)
+			if err == nil || evalctx.IsResourceError(err) {
+				record("auto.selected.vm")
+				return v, err
+			}
+			record("auto.fallback.vm")
+		}
 	}
 	engine := q.resolveEngine(EngineAuto)
 	record("auto.selected." + engine.String())
@@ -573,6 +620,8 @@ func (q *Query) evalEngine(ctx Context, opts EvalOptions, engine Engine, tr *obs
 		})
 	case EngineStreaming:
 		return q.evalStreaming(ctx, opts, tr)
+	case EngineVM:
+		return q.evalVM(ctx, opts, tr)
 	default:
 		return nil, fmt.Errorf("xpathcomplexity: unknown engine %d", int(engine))
 	}
@@ -613,6 +662,22 @@ func (q *Query) evalStreaming(ctx Context, opts EvalOptions, tr *obs.Tracer) (Va
 		return nil, err
 	}
 	return v, nil
+}
+
+// evalVM runs the query's memoized bytecode program. The program itself
+// mirrors the corelinear evaluator step for step (same results, same
+// operation charges), so counters, guards, metrics and the result cache
+// all see an interchangeable engine. A tracer receives one top-level
+// span: the bytecode is flat and has no per-subexpression recursion.
+func (q *Query) evalVM(ctx Context, opts EvalOptions, tr *obs.Tracer) (Value, error) {
+	prog, err := q.vmProgram()
+	if err != nil {
+		return nil, err
+	}
+	return prog.Run(ctx, vm.RunOptions{
+		Counter: opts.Counter, DisableIndex: opts.DisableIndex,
+		Tracer: tr, Root: q.Expr, Metrics: opts.Metrics, Guard: opts.guard,
+	})
 }
 
 // recordIndexMetrics copies the document's native index statistics into

@@ -179,7 +179,7 @@ func TestExplain(t *testing.T) {
 		substrs []string
 	}{
 		{"/a/b", []string{"PF", "NL-complete", "inside NC²", "stream:", "corelinear"}},
-		{"//a[not(b)]", []string{"Core XPath", "P-complete", "negation (depth 1)"}},
+		{"//a[not(b)]", []string{"Core XPath", "P-complete", "negation (depth 1)", "vm:", "stepcond", "invstep"}},
 		{"//a[b][c]", []string{"fold into conjunctions"}},
 		{"//a[not(not(b))]", []string{"de Morgan push-down shrinks negation depth 2 → 0"}},
 		{"//a[position() = 1]", []string{"pWF", "position()/last()", "nauxpda"}},
@@ -196,6 +196,10 @@ func TestExplain(t *testing.T) {
 	// Non-streamable queries must not claim streaming eligibility.
 	if strings.Contains(MustCompile("//a[b]").Explain(), "stream:") {
 		t.Error("predicated query claimed streaming eligibility")
+	}
+	// Queries outside Core XPath must not claim VM eligibility.
+	if strings.Contains(MustCompile("//a[position() = 1]").Explain(), "vm:") {
+		t.Error("positional query claimed vm eligibility")
 	}
 }
 
