@@ -1,14 +1,14 @@
 # Standard targets; no dependencies beyond the Go toolchain.
 
-.PHONY: all build vet test test-shuffle race test-race fuzz fuzz-short bench experiments profile pprof guard guard-race allocgate cachegate vmgate examples check clean
+.PHONY: all build vet test test-shuffle race test-race fuzz fuzz-short bench experiments profile pprof guard guard-race allocgate cachegate vmgate obsgate examples check clean
 
 all: build vet test
 
 # Everything a PR should pass: build, vet, tests, the allocation,
-# cache-hit and VM regression gates, the race-enabled guard suite, the
-# full race suite, a shuffled-order test pass and a short fuzz session
-# per target.
-check: all allocgate cachegate vmgate guard-race test-race test-shuffle fuzz-short
+# cache-hit, VM and flight-recorder regression gates, the race-enabled
+# guard suite, the full race suite, a shuffled-order test pass and a
+# short fuzz session per target.
+check: all allocgate cachegate vmgate obsgate guard-race test-race test-shuffle fuzz-short
 
 build:
 	go build ./...
@@ -97,6 +97,16 @@ vmgate:
 cachegate:
 	go test -run TestCacheGate -count=1 .
 	go run ./cmd/xbench -run cache
+
+# The flight-recorder overhead gate: attaching EvalOptions.Flight on
+# the disabled and sampled-out paths must add at most the
+# obs_gate_test.go allocs-per-op delta, then the obs2 experiment reports
+# disabled-vs-sampled-vs-capture-all overhead and refreshes
+# BENCH_OBS2.json (see docs/OBSERVABILITY.md and EXP-OBS2 in
+# EXPERIMENTS.md).
+obsgate:
+	go test -run TestObsGate -count=1 .
+	go run ./cmd/xbench -run obs2
 
 # CPU + heap profiles of the hot evaluation paths, via the alloc
 # experiment's warm workloads. Inspect with `go tool pprof cpu.out`

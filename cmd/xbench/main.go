@@ -74,6 +74,7 @@ var experiments = []experiment{
 	{"alloc", "allocation profile of warm compiled-query evaluation (writes BENCH_ALLOC.json)", expAlloc},
 	{"vm", "bytecode VM vs corelinear: warm wall-clock on the EXP-ALLOC families (writes BENCH_VM.json)", expVM},
 	{"cache", "result cache: warm uncached evaluation vs cache hit (writes BENCH_CACHE.json)", expCache},
+	{"obs2", "flight recorder overhead: disabled vs sampled-out vs capture-all (writes BENCH_OBS2.json)", expObs2},
 }
 
 func main() {

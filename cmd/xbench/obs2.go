@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	xpath "xpathcomplexity"
+)
+
+// obs2Row is one (workload, recorder mode) measurement of EXP-OBS2, as
+// written to BENCH_OBS2.json.
+type obs2Row struct {
+	// Name is the workload label (engine/family); Mode is the recorder
+	// mode (disabled, sampled, always).
+	Name string `json:"name"`
+	Mode string `json:"mode"`
+	// NsPerOp and AllocsPerOp are the steady-state per-evaluation figures
+	// for this mode.
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// OverheadPct is this mode's ns/op overhead over the same workload's
+	// disabled mode, in percent (0 for the disabled rows themselves).
+	OverheadPct float64 `json:"overhead_pct"`
+	// Seen/Slow/Sampled are the recorder's counters after the measured
+	// run, confirming which path the mode actually exercised.
+	Seen    int64 `json:"seen"`
+	Slow    int64 `json:"slow"`
+	Sampled int64 `json:"sampled"`
+}
+
+// obs2Report is the top-level BENCH_OBS2.json document.
+type obs2Report struct {
+	Experiment string    `json:"experiment"`
+	Rows       []obs2Row `json:"rows"`
+}
+
+// obs2Modes are the recorder configurations of EXP-OBS2, covering the
+// three paths an evaluation can take through the flight recorder:
+//
+//   - disabled: EvalOptions.Flight is nil — the baseline, and the path
+//     `make obsgate` holds at zero extra allocations;
+//   - sampled: a recorder with a tiny reservoir and an unreachable slow
+//     threshold — after warm-up nearly every evaluation is sampled out,
+//     the steady state of a production recorder under load;
+//   - always: a one-nanosecond threshold marks every evaluation slow —
+//     the worst case, each record taking the mutex into the slow ring.
+var obs2Modes = []struct {
+	name string
+	make func() *xpath.FlightRecorder
+}{
+	{"disabled", func() *xpath.FlightRecorder { return nil }},
+	{"sampled", func() *xpath.FlightRecorder {
+		return xpath.NewFlightRecorder(xpath.FlightRecorderConfig{
+			RecentCapacity: 4, SlowThreshold: time.Hour,
+		})
+	}},
+	{"always", func() *xpath.FlightRecorder {
+		return xpath.NewFlightRecorder(xpath.FlightRecorderConfig{SlowThreshold: 1})
+	}},
+}
+
+// expObs2 measures the flight recorder's overhead on warm compiled-query
+// evaluation (EXP-OBS2): the EXP-ALLOC random-document workloads run in
+// each recorder mode, and every attached mode reports its ns/op overhead
+// over the disabled baseline. Results go to BENCH_OBS2.json; the
+// recorded table lives in EXPERIMENTS.md, and `make obsgate` holds the
+// allocation side as a regression gate.
+func expObs2(seed int64) {
+	report := obs2Report{Experiment: "obs2"}
+	t := newTable("workload", "mode", "ns/op", "allocs/op", "overhead", "seen/slow/sampled")
+	for _, w := range allocWorkloads[:4] { // the random-document families
+		d := w.doc()
+		ctx := xpath.RootContext(d)
+		c, err := xpath.Prepare(w.query)
+		if err != nil {
+			panic(err)
+		}
+		var baseline int64
+		for _, mode := range obs2Modes {
+			fr := mode.make()
+			opts := xpath.EvalOptions{Engine: w.engine, Flight: fr}
+			if _, err := c.EvalOptions(ctx, opts); err != nil { // prime index + pools
+				panic(err)
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.EvalOptions(ctx, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			row := obs2Row{
+				Name: w.name, Mode: mode.name,
+				NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp(),
+			}
+			if mode.name == "disabled" {
+				baseline = row.NsPerOp
+			} else if baseline > 0 {
+				row.OverheadPct = 100 * float64(row.NsPerOp-baseline) / float64(baseline)
+			}
+			if fr != nil {
+				st := fr.Stats()
+				row.Seen, row.Slow, row.Sampled = st.Seen, st.Slow, st.Sampled
+			}
+			report.Rows = append(report.Rows, row)
+			t.add(row.Name, row.Mode, row.NsPerOp, row.AllocsPerOp,
+				fmt.Sprintf("%+.1f%%", row.OverheadPct),
+				fmt.Sprintf("%d/%d/%d", row.Seen, row.Slow, row.Sampled))
+		}
+	}
+	t.print()
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_OBS2.json", append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Println("  wrote BENCH_OBS2.json")
+}

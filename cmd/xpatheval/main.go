@@ -11,13 +11,18 @@
 //	xpatheval -q '//a[b][c]' -f doc.xml -analyze
 //	xpatheval -q '//a[b][c]' -f doc.xml -engine cvt -metrics
 //	xpatheval -q '//a[b]/c' -f doc.xml -cache
+//	xpatheval -q '//a[b]/c' -f doc.xml -flight
+//	xpatheval -q '//a[b]/c' -f doc.xml -metrics-addr localhost:6060
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -42,6 +47,8 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print the engine metrics snapshot after evaluation")
 		cache    = flag.Bool("cache", false, "evaluate twice through a result cache (cold, then warm) and print both timings plus the cache statistics")
 		whyOrd   = flag.Int("why", -1, "print the Table 1 membership certificate for the node with this document-order index (pWF/pXPath queries)")
+		flightF  = flag.Bool("flight", false, "record the evaluation in a capture-all flight recorder and print its records as NDJSON")
+		mAddr    = flag.String("metrics-addr", "", "serve /metrics, /debug/xpath/* and /debug/pprof/ on this address after evaluating, until interrupted (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *queryStr == "" {
@@ -126,9 +133,16 @@ func main() {
 		return
 	}
 	var reg *xpc.Metrics
-	if *metrics {
+	if *metrics || *mAddr != "" {
 		reg = xpc.NewMetrics()
 		opts.Metrics = reg
+	}
+	var fr *xpc.FlightRecorder
+	if *flightF || *mAddr != "" {
+		// Capture-all: a one-nanosecond threshold marks every evaluation
+		// slow, so the single CLI run is retained deterministically.
+		fr = xpc.NewFlightRecorder(xpc.FlightRecorderConfig{SlowThreshold: 1})
+		opts.Flight = fr
 	}
 	var rc *xpc.ResultCache
 	if *cache {
@@ -168,6 +182,30 @@ func main() {
 		st := rc.Stats()
 		fmt.Printf("cache:     hits=%d misses=%d inflight-waits=%d entries=%d bytes=%d\n",
 			st.Hits, st.Misses, st.InflightWaits, st.Size, st.Bytes)
+	}
+	if *flightF {
+		fmt.Printf("flight:\n")
+		enc := json.NewEncoder(os.Stdout)
+		for _, rec := range fr.Slow() {
+			if err := enc.Encode(rec); err != nil {
+				fail("%v", err)
+			}
+		}
+	}
+	if *mAddr != "" {
+		mux := xpc.NewDebugMux(reg, fr, xpc.DefaultPlanCache(), rc)
+		srv := &http.Server{Addr: *mAddr, Handler: mux}
+		done := make(chan error, 1)
+		go func() { done <- srv.ListenAndServe() }()
+		fmt.Fprintf(os.Stderr, "xpatheval: serving /metrics, /debug/xpath/{obs,flight,plans} and /debug/pprof/ on http://%s (ctrl-c to exit)\n", *mAddr)
+		interrupt := make(chan os.Signal, 1)
+		signal.Notify(interrupt, os.Interrupt)
+		select {
+		case err := <-done:
+			fail("%v", err)
+		case <-interrupt:
+			srv.Close()
+		}
 	}
 }
 

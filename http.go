@@ -1,0 +1,32 @@
+package xpathcomplexity
+
+import (
+	"net/http"
+
+	"xpathcomplexity/internal/obs/httpobs"
+)
+
+// NewDebugMux builds the HTTP debug surface for a set of observability
+// sinks: Prometheus text exposition on /metrics, the same snapshot as
+// stable JSON on /debug/xpath/obs, the flight recorder on
+// /debug/xpath/flight (?format=ndjson, ?n=k), plan- and result-cache
+// statistics on /debug/xpath/plans, and net/http/pprof under
+// /debug/pprof/. Any argument may be nil — its endpoints then serve
+// empty documents. Pass DefaultPlanCache() to expose the package-level
+// plan cache. See docs/OBSERVABILITY.md for the endpoint table.
+//
+//	mux := xpathcomplexity.NewDebugMux(metrics, recorder, xpathcomplexity.DefaultPlanCache(), cache)
+//	go http.ListenAndServe("localhost:6060", mux)
+func NewDebugMux(m *Metrics, fr *FlightRecorder, pc *PlanCache, rc *ResultCache) *http.ServeMux {
+	cfg := httpobs.Config{Metrics: m, Flight: fr}
+	if pc != nil {
+		cfg.Plans = func() httpobs.PlanStats {
+			s := pc.Stats()
+			return httpobs.PlanStats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Size: s.Size}
+		}
+	}
+	if rc != nil {
+		cfg.Results = func() ResultCacheStats { return rc.Stats() }
+	}
+	return httpobs.NewMux(cfg)
+}

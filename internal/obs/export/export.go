@@ -1,0 +1,241 @@
+// Package export renders an obs.Snapshot for consumption outside the
+// process: Prometheus text exposition format (the `/metrics` endpoint
+// the xpathd north star mounts) and a stable JSON document for debug
+// endpoints and offline diffing.
+//
+// Both renderings are deterministic for a given snapshot — metric
+// families sorted by name, histogram buckets by index — so goldens and
+// scrapes diff cleanly. Metric names pass through Sanitize, which maps
+// the registry's dotted names ("engine.cvt.ops") onto the Prometheus
+// grammar ("xpath_engine_cvt_ops_total").
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xpathcomplexity/internal/obs"
+)
+
+// DefaultNamespace prefixes every exported metric name.
+const DefaultNamespace = "xpath"
+
+// Options tune the exporters. The zero value is ready to use.
+type Options struct {
+	// Namespace is prepended (with an underscore) to every metric name;
+	// empty means DefaultNamespace. Set "-" for no prefix.
+	Namespace string
+}
+
+func (o Options) prefix() string {
+	switch o.Namespace {
+	case "":
+		return DefaultNamespace + "_"
+	case "-":
+		return ""
+	default:
+		return Sanitize(o.Namespace) + "_"
+	}
+}
+
+// Sanitize maps an arbitrary registry metric name onto the Prometheus
+// metric-name grammar [a-zA-Z_:][a-zA-Z0-9_:]*: dots, dashes, slashes
+// and every other invalid byte become underscores, and a leading digit
+// gains an underscore prefix. Sanitize is idempotent and never returns
+// an empty string.
+func Sanitize(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// bucketLE renders the Prometheus `le` (less-or-equal) boundary of
+// power-of-two bucket i: bucket 0 holds observations ≤ 0, bucket i ≥ 1
+// holds [2^(i-1), 2^i − 1], so its inclusive integer upper bound is the
+// exact boundary.
+func bucketLE(i int) string {
+	_, hi := obs.HistogramBucketBounds(i)
+	return strconv.FormatInt(hi, 10)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4): counters as `<name>_total`, gauges as plain
+// samples, histograms as cumulative `_bucket{le=...}` series plus
+// `_sum` and `_count`. Families are sorted by exported name; the HELP
+// line carries the registry's original dotted name so a scrape can be
+// mapped back to docs/OBSERVABILITY.md.
+func WritePrometheus(w io.Writer, s obs.Snapshot, o Options) error {
+	p := o.prefix()
+	var b strings.Builder
+
+	type family struct {
+		exported string
+		emit     func()
+	}
+	var fams []family
+
+	for name, v := range s.Counters {
+		name, v := name, v
+		exported := p + Sanitize(name) + "_total"
+		fams = append(fams, family{exported, func() {
+			fmt.Fprintf(&b, "# HELP %s obs counter %q\n", exported, name)
+			fmt.Fprintf(&b, "# TYPE %s counter\n", exported)
+			fmt.Fprintf(&b, "%s %d\n", exported, v)
+		}})
+	}
+	for name, v := range s.Gauges {
+		name, v := name, v
+		exported := p + Sanitize(name)
+		fams = append(fams, family{exported, func() {
+			fmt.Fprintf(&b, "# HELP %s obs gauge %q\n", exported, name)
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", exported)
+			fmt.Fprintf(&b, "%s %d\n", exported, v)
+		}})
+	}
+	for name, h := range s.Histograms {
+		name, h := name, h
+		exported := p + Sanitize(name)
+		fams = append(fams, family{exported, func() {
+			fmt.Fprintf(&b, "# HELP %s obs histogram %q\n", exported, name)
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", exported)
+			var cum int64
+			for _, i := range sortedBucketIndexes(h.Buckets) {
+				cum += h.Buckets[i]
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", exported, bucketLE(i), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", exported, h.Count)
+			fmt.Fprintf(&b, "%s_sum %d\n", exported, h.Sum)
+			fmt.Fprintf(&b, "%s_count %d\n", exported, h.Count)
+		}})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].exported < fams[j].exported })
+	for _, f := range fams {
+		f.emit()
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PrometheusString is WritePrometheus into a string with default
+// options.
+func PrometheusString(s obs.Snapshot) string {
+	var b strings.Builder
+	WritePrometheus(&b, s, Options{})
+	return b.String()
+}
+
+func sortedBucketIndexes(buckets map[int]int64) []int {
+	out := make([]int, 0, len(buckets))
+	for i := range buckets {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// JSONBucket is one histogram bucket of the JSON rendering.
+type JSONBucket struct {
+	// Bucket is the power-of-two bucket index.
+	Bucket int `json:"bucket"`
+	// LE is the bucket's inclusive upper bound (the Prometheus `le`).
+	LE int64 `json:"le"`
+	// Count is the bucket's own (non-cumulative) count.
+	Count int64 `json:"count"`
+	// Cumulative is the count of observations ≤ LE.
+	Cumulative int64 `json:"cumulative"`
+}
+
+// JSONHistogram is one histogram of the JSON rendering, with the
+// summary statistics and estimated quantiles alongside the buckets.
+type JSONHistogram struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Max     int64        `json:"max"`
+	Mean    float64      `json:"mean"`
+	P50     int64        `json:"p50"`
+	P90     int64        `json:"p90"`
+	P99     int64        `json:"p99"`
+	Buckets []JSONBucket `json:"buckets,omitempty"`
+}
+
+// JSONSnapshot is the stable JSON document rendered by WriteJSON.
+// encoding/json sorts map keys, so marshaling is deterministic for a
+// given snapshot.
+type JSONSnapshot struct {
+	// Version identifies the document schema; consumers should reject
+	// versions they don't know.
+	Version int `json:"version"`
+	// Counters, Gauges and Histograms carry the registry's dotted names
+	// unchanged (sanitization is a Prometheus concern).
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]int64         `json:"gauges"`
+	Histograms map[string]JSONHistogram `json:"histograms"`
+}
+
+// JSONVersion is the schema version written by WriteJSON.
+const JSONVersion = 1
+
+// BuildJSON converts a snapshot into its JSON document form.
+func BuildJSON(s obs.Snapshot) JSONSnapshot {
+	out := JSONSnapshot{
+		Version:    JSONVersion,
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]JSONHistogram{},
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		jh := JSONHistogram{
+			Count: h.Count, Sum: h.Sum, Max: h.Max, Mean: h.Mean(),
+			P50: h.P50(), P90: h.P90(), P99: h.P99(),
+		}
+		var cum int64
+		for _, i := range sortedBucketIndexes(h.Buckets) {
+			cum += h.Buckets[i]
+			_, hi := obs.HistogramBucketBounds(i)
+			jh.Buckets = append(jh.Buckets, JSONBucket{
+				Bucket: i, LE: hi, Count: h.Buckets[i], Cumulative: cum,
+			})
+		}
+		out.Histograms[name] = jh
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as an indented, deterministic JSON
+// document (schema JSONVersion).
+func WriteJSON(w io.Writer, s obs.Snapshot) error {
+	data, err := json.MarshalIndent(BuildJSON(s), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

@@ -1,0 +1,186 @@
+package flight
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"xpathcomplexity/internal/eval/evalctx"
+)
+
+func rec(i int, wall time.Duration) Record {
+	return Record{
+		Unix:  int64(i),
+		Query: fmt.Sprintf("//q%d", i), Engine: "cvt", Fragment: "Core XPath",
+		Wall: wall, Ops: int64(i), Card: i,
+	}
+}
+
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.Observe(rec(1, time.Second)) // must not panic
+	if got := r.Recent(); got != nil {
+		t.Errorf("nil Recent() = %v, want nil", got)
+	}
+	if got := r.Slow(); got != nil {
+		t.Errorf("nil Slow() = %v, want nil", got)
+	}
+	if got := r.Stats(); got != (Stats{}) {
+		t.Errorf("nil Stats() = %+v, want zero", got)
+	}
+	r.Reset()
+}
+
+func TestSlowCapture(t *testing.T) {
+	r := New(Config{SlowCapacity: 4, SlowThreshold: 10 * time.Millisecond})
+	for i := 0; i < 10; i++ {
+		r.Observe(rec(i, time.Duration(i)*5*time.Millisecond))
+	}
+	// i=2..9 have wall ≥ 10ms: 8 slow records through a 4-ring keeps the
+	// most recent 4 (i = 6..9), oldest first.
+	slow := r.Slow()
+	if len(slow) != 4 {
+		t.Fatalf("len(Slow()) = %d, want 4", len(slow))
+	}
+	for k, want := range []int64{6, 7, 8, 9} {
+		if slow[k].Unix != want {
+			t.Errorf("Slow()[%d].Unix = %d, want %d", k, slow[k].Unix, want)
+		}
+		if !slow[k].Slow {
+			t.Errorf("Slow()[%d] not marked Slow", k)
+		}
+	}
+	st := r.Stats()
+	if st.Seen != 10 || st.Slow != 8 || st.SlowLen != 4 {
+		t.Errorf("Stats = %+v, want seen=10 slow=8 slow_len=4", st)
+	}
+}
+
+func TestThresholdDisabled(t *testing.T) {
+	r := New(Config{SlowThreshold: -1, RecentCapacity: 8})
+	for i := 0; i < 20; i++ {
+		r.Observe(rec(i, time.Hour)) // way over any threshold
+	}
+	if got := len(r.Slow()); got != 0 {
+		t.Errorf("disabled threshold captured %d slow records, want 0", got)
+	}
+	if got := len(r.Recent()); got != 8 {
+		t.Errorf("reservoir holds %d, want 8 (capacity)", got)
+	}
+}
+
+func TestCaptureAll(t *testing.T) {
+	r := New(Config{SlowThreshold: 1, SlowCapacity: 64})
+	for i := 0; i < 10; i++ {
+		r.Observe(rec(i, time.Duration(i+1))) // every wall ≥ 1ns
+	}
+	if got := len(r.Slow()); got != 10 {
+		t.Errorf("capture-all stored %d, want 10", got)
+	}
+}
+
+// TestReservoirBoundsAndUniformity: the reservoir never exceeds its
+// capacity, and across a long stream every region of the stream stays
+// represented (a loose uniformity check, not a χ² test).
+func TestReservoirBoundsAndUniformity(t *testing.T) {
+	const capR, stream = 64, 10_000
+	r := New(Config{RecentCapacity: capR, SlowThreshold: time.Hour})
+	for i := 0; i < stream; i++ {
+		r.Observe(rec(i, time.Microsecond))
+	}
+	got := r.Recent()
+	if len(got) != capR {
+		t.Fatalf("reservoir holds %d, want %d", len(got), capR)
+	}
+	var firstHalf int
+	for _, rc := range got {
+		if rc.Unix < stream/2 {
+			firstHalf++
+		}
+	}
+	// A uniform sample has ~32 from each half; demand at least a few
+	// from each so sticky-early or sticky-late bugs fail loudly.
+	if firstHalf < 8 || firstHalf > capR-8 {
+		t.Errorf("reservoir skewed: %d/%d records from the first half of the stream", firstHalf, capR)
+	}
+	if st := r.Stats(); st.Seen != stream {
+		t.Errorf("Seen = %d, want %d", st.Seen, stream)
+	}
+}
+
+func TestSlowest(t *testing.T) {
+	r := New(Config{RecentCapacity: 16, SlowCapacity: 16, SlowThreshold: 100 * time.Millisecond})
+	r.Observe(rec(1, time.Millisecond))
+	r.Observe(rec(2, 200*time.Millisecond)) // slow
+	r.Observe(rec(3, 5*time.Millisecond))
+	r.Observe(rec(4, 300*time.Millisecond)) // slow
+	top := r.Slowest(2)
+	if len(top) != 2 || top[0].Unix != 4 || top[1].Unix != 2 {
+		t.Errorf("Slowest(2) = %+v, want records 4 then 2", top)
+	}
+	if got := r.Slowest(0); got != nil {
+		t.Errorf("Slowest(0) = %v, want nil", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New(Config{})
+	r.Observe(rec(1, time.Second))
+	r.Observe(rec(2, time.Microsecond))
+	r.Reset()
+	if st := r.Stats(); st.Seen != 0 || st.RecentLen != 0 || st.SlowLen != 0 {
+		t.Errorf("Stats after Reset = %+v, want zeroes", st)
+	}
+}
+
+func TestErrKind(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{evalctx.ErrCanceled, "canceled"},
+		{fmt.Errorf("wrap: %w", evalctx.ErrCanceled), "canceled"},
+		{context.Canceled, "failed"}, // raw context errors are not the typed verdict
+		{evalctx.ErrBudget, "budget"},
+		{errors.New("boom"), "failed"},
+	}
+	for _, tc := range cases {
+		if got := ErrKind(tc.err); got != tc.want {
+			t.Errorf("ErrKind(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestConcurrentObserve hammers one recorder from many goroutines; run
+// under -race via `make test-race`, and the bounds must hold after.
+func TestConcurrentObserve(t *testing.T) {
+	r := New(Config{RecentCapacity: 32, SlowCapacity: 16, SlowThreshold: 500 * time.Nanosecond})
+	var wg sync.WaitGroup
+	const workers, per = 8, 400
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Observe(rec(w*per+i, time.Duration(i%1000)))
+				if i%100 == 0 {
+					r.Recent()
+					r.Slow()
+					r.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Seen != workers*per {
+		t.Errorf("Seen = %d, want %d", st.Seen, workers*per)
+	}
+	if st.RecentLen > 32 || st.SlowLen > 16 {
+		t.Errorf("bounds violated: recent=%d slow=%d", st.RecentLen, st.SlowLen)
+	}
+}

@@ -1,0 +1,173 @@
+// Package httpobs is the HTTP debug surface over the observability
+// layer — the exact handler set the xpathd daemon will mount:
+//
+//	/metrics                  Prometheus text exposition of the registry
+//	                          (plus the flight recorder's own counters)
+//	/debug/xpath/obs          the registry as a stable JSON document
+//	/debug/xpath/flight       recent + slow + slowest evaluations
+//	                          (?format=ndjson streams records one per
+//	                          line; ?n= bounds each list)
+//	/debug/xpath/plans        plan-cache and result-cache statistics
+//	/debug/pprof/...          the standard net/http/pprof handlers
+//
+// The package sits below the public facade (it cannot import the root
+// package), so cache statistics arrive through closures; the facade's
+// NewDebugMux wires them for callers.
+package httpobs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"xpathcomplexity/internal/obs"
+	"xpathcomplexity/internal/obs/export"
+	"xpathcomplexity/internal/obs/flight"
+	"xpathcomplexity/internal/qcache"
+)
+
+// PlanStats mirrors the facade's PlanCacheStats without importing it.
+type PlanStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+}
+
+// Config wires the debug surface to one process's observability state.
+// Every field may be nil; the matching endpoint then reports an empty
+// document rather than failing.
+type Config struct {
+	// Metrics backs /metrics and /debug/xpath/obs.
+	Metrics *obs.Metrics
+	// Flight backs /debug/xpath/flight.
+	Flight *flight.Recorder
+	// Plans and Results supply cache statistics for /debug/xpath/plans.
+	Plans   func() PlanStats
+	Results func() qcache.Stats
+	// Namespace overrides the Prometheus metric prefix (see
+	// export.Options).
+	Namespace string
+}
+
+// Mount registers the debug surface on mux.
+func Mount(mux *http.ServeMux, cfg Config) {
+	mux.HandleFunc("/metrics", cfg.metricsHandler)
+	mux.HandleFunc("/debug/xpath/obs", cfg.obsHandler)
+	mux.HandleFunc("/debug/xpath/flight", cfg.flightHandler)
+	mux.HandleFunc("/debug/xpath/plans", cfg.plansHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// NewMux returns a fresh mux with the debug surface mounted.
+func NewMux(cfg Config) *http.ServeMux {
+	mux := http.NewServeMux()
+	Mount(mux, cfg)
+	return mux
+}
+
+// snapshot freezes the registry and folds the flight recorder's own
+// counters in, so one scrape carries both.
+func (cfg Config) snapshot() obs.Snapshot {
+	s := cfg.Metrics.Snapshot()
+	if cfg.Flight != nil {
+		if s.Counters == nil {
+			s.Counters = make(map[string]int64)
+		}
+		if s.Gauges == nil {
+			s.Gauges = make(map[string]int64)
+		}
+		st := cfg.Flight.Stats()
+		s.Counters["flight.seen"] = st.Seen
+		s.Counters["flight.slow"] = st.Slow
+		s.Counters["flight.sampled"] = st.Sampled
+		s.Gauges["flight.recent_len"] = int64(st.RecentLen)
+		s.Gauges["flight.slow_len"] = int64(st.SlowLen)
+	}
+	return s
+}
+
+func (cfg Config) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	export.WritePrometheus(w, cfg.snapshot(), export.Options{Namespace: cfg.Namespace})
+}
+
+func (cfg Config) obsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	export.WriteJSON(w, cfg.snapshot())
+}
+
+// FlightDoc is the JSON document served by /debug/xpath/flight.
+type FlightDoc struct {
+	Stats   flight.Stats    `json:"stats"`
+	Recent  []flight.Record `json:"recent"`
+	Slow    []flight.Record `json:"slow"`
+	Slowest []flight.Record `json:"slowest"`
+}
+
+func (cfg Config) flightHandler(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	recent, slow := cfg.Flight.Recent(), cfg.Flight.Slow()
+	if len(recent) > n {
+		recent = recent[len(recent)-n:] // newest n of the sample
+	}
+	if len(slow) > n {
+		slow = slow[len(slow)-n:]
+	}
+	if r.URL.Query().Get("format") == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, rec := range slow {
+			enc.Encode(rec)
+		}
+		for _, rec := range recent {
+			enc.Encode(rec)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	doc := FlightDoc{
+		Stats: cfg.Flight.Stats(), Recent: recent, Slow: slow,
+		Slowest: cfg.Flight.Slowest(n),
+	}
+	writeJSON(w, doc)
+}
+
+// PlansDoc is the JSON document served by /debug/xpath/plans.
+type PlansDoc struct {
+	PlanCache   *PlanStats    `json:"plan_cache"`
+	ResultCache *qcache.Stats `json:"result_cache"`
+}
+
+func (cfg Config) plansHandler(w http.ResponseWriter, r *http.Request) {
+	var doc PlansDoc
+	if cfg.Plans != nil {
+		st := cfg.Plans()
+		doc.PlanCache = &st
+	}
+	if cfg.Results != nil {
+		st := cfg.Results()
+		doc.ResultCache = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, doc)
+}
+
+func writeJSON(w http.ResponseWriter, doc any) {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(data, '\n'))
+}

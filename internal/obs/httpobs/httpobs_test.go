@@ -1,0 +1,173 @@
+package httpobs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xpathcomplexity/internal/obs"
+	"xpathcomplexity/internal/obs/flight"
+	"xpathcomplexity/internal/qcache"
+)
+
+func testConfig() Config {
+	m := obs.NewMetrics()
+	m.Counter("engine.cvt.ops").Add(99)
+	m.Gauge("plan_cache.size").Set(3)
+	m.Histogram("corelinear.frontier").Observe(5)
+	fr := flight.New(flight.Config{SlowThreshold: 10 * time.Millisecond})
+	fr.Observe(flight.Record{Unix: 1, Query: "//a", Engine: "cvt", Fragment: "Core XPath", Wall: time.Millisecond, Card: 2})
+	fr.Observe(flight.Record{Unix: 2, Query: "//slow", Engine: "naive", Fragment: "XPath", Wall: time.Second, Card: 0})
+	return Config{
+		Metrics: m,
+		Flight:  fr,
+		Plans:   func() PlanStats { return PlanStats{Hits: 10, Misses: 2, Size: 2} },
+		Results: func() qcache.Stats { return qcache.Stats{Hits: 5, Misses: 1, Size: 1, Bytes: 640} },
+	}
+}
+
+func get(t *testing.T, cfg Config, url string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	mux := NewMux(cfg)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+	body, _ := io.ReadAll(rr.Result().Body)
+	return rr, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	rr, body := get(t, testConfig(), "/metrics")
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content-type = %q", ct)
+	}
+	for _, want := range []string{
+		"xpath_engine_cvt_ops_total 99",
+		"xpath_plan_cache_size 3",
+		"xpath_corelinear_frontier_count 1",
+		"xpath_flight_seen_total 2", // flight stats folded into the scrape
+		"xpath_flight_slow_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestObsJSONEndpoint(t *testing.T) {
+	rr, body := get(t, testConfig(), "/debug/xpath/obs")
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var doc struct {
+		Version  int              `json:"version"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if doc.Version != 1 || doc.Counters["engine.cvt.ops"] != 99 {
+		t.Errorf("unexpected document: %+v", doc)
+	}
+}
+
+func TestFlightEndpoint(t *testing.T) {
+	rr, body := get(t, testConfig(), "/debug/xpath/flight")
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var doc FlightDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if doc.Stats.Seen != 2 {
+		t.Errorf("stats.seen = %d, want 2", doc.Stats.Seen)
+	}
+	if len(doc.Slow) != 1 || doc.Slow[0].Query != "//slow" || !doc.Slow[0].Slow {
+		t.Errorf("slow = %+v, want the //slow record", doc.Slow)
+	}
+	if len(doc.Recent) != 1 || doc.Recent[0].Query != "//a" {
+		t.Errorf("recent = %+v, want the //a record", doc.Recent)
+	}
+	if len(doc.Slowest) < 1 || doc.Slowest[0].Query != "//slow" {
+		t.Errorf("slowest = %+v, want //slow first", doc.Slowest)
+	}
+}
+
+func TestFlightNDJSON(t *testing.T) {
+	rr, body := get(t, testConfig(), "/debug/xpath/flight?format=ndjson")
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content-type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d NDJSON lines, want 2:\n%s", len(lines), body)
+	}
+	for _, line := range lines {
+		var rec flight.Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("invalid NDJSON line %q: %v", line, err)
+		}
+	}
+}
+
+func TestFlightLimit(t *testing.T) {
+	cfg := testConfig()
+	for i := 0; i < 50; i++ {
+		cfg.Flight.Observe(flight.Record{Unix: int64(100 + i), Query: "//bulk", Wall: time.Second})
+	}
+	_, body := get(t, cfg, "/debug/xpath/flight?n=3")
+	var doc FlightDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Slow) > 3 || len(doc.Recent) > 3 || len(doc.Slowest) > 3 {
+		t.Errorf("n=3 not honored: slow=%d recent=%d slowest=%d", len(doc.Slow), len(doc.Recent), len(doc.Slowest))
+	}
+}
+
+func TestPlansEndpoint(t *testing.T) {
+	rr, body := get(t, testConfig(), "/debug/xpath/plans")
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var doc PlansDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if doc.PlanCache == nil || doc.PlanCache.Hits != 10 {
+		t.Errorf("plan_cache = %+v, want hits=10", doc.PlanCache)
+	}
+	if doc.ResultCache == nil || doc.ResultCache.Hits != 5 || doc.ResultCache.Bytes != 640 {
+		t.Errorf("result_cache = %+v, want hits=5 bytes=640", doc.ResultCache)
+	}
+}
+
+// TestNilConfig: every endpoint must serve (empty) documents with no
+// metrics, recorder or caches attached.
+func TestNilConfig(t *testing.T) {
+	for _, url := range []string{"/metrics", "/debug/xpath/obs", "/debug/xpath/flight", "/debug/xpath/plans"} {
+		rr, _ := get(t, Config{}, url)
+		if rr.Code != 200 {
+			t.Errorf("GET %s with empty config: status %d, want 200", url, rr.Code)
+		}
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	rr, body := get(t, testConfig(), "/debug/pprof/")
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing profiles:\n%.200s", body)
+	}
+}

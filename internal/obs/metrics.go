@@ -15,6 +15,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -129,6 +130,72 @@ func (h HistogramSnapshot) Mean() float64 {
 	}
 	return float64(h.Sum) / float64(h.Count)
 }
+
+// HistogramBucketBounds returns the inclusive value range [lo, hi] of
+// bucket i: bucket 0 holds observations ≤ 0 (reported as [0, 0]), bucket
+// i ≥ 1 holds [2^(i-1), 2^i − 1]. The exporters use the upper bounds as
+// the Prometheus `le` boundaries.
+func HistogramBucketBounds(i int) (lo, hi int64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	if i >= 64 { // unreachable from Observe (int64 inputs fill ≤ bucket 63)
+		return 1 << 62, math.MaxInt64
+	}
+	return 1 << (i - 1), 1<<i - 1
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the recorded
+// distribution from the power-of-two bucket boundaries: the bucket
+// containing the rank ⌈q·Count⌉ is located, then the value is linearly
+// interpolated by rank within the bucket's [lo, hi] range. The top
+// populated bucket is clamped to the exact observed Max, so a histogram
+// whose samples share one bucket (or one value) reports exactly. Returns
+// 0 when empty; q ≥ 1 returns Max.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i == 0 {
+				return 0
+			}
+			lo, hi := HistogramBucketBounds(i)
+			if hi > h.Max {
+				hi = h.Max // the bucket holding Max cannot exceed it
+			}
+			if hi <= lo {
+				return lo
+			}
+			frac := float64(rank-cum-1) / float64(n)
+			return lo + int64(frac*float64(hi-lo+1))
+		}
+		cum += n
+	}
+	return h.Max
+}
+
+// P50, P90 and P99 are the conventional latency quantiles.
+func (h HistogramSnapshot) P50() int64 { return h.Quantile(0.50) }
+
+// P90 estimates the 90th-percentile observation.
+func (h HistogramSnapshot) P90() int64 { return h.Quantile(0.90) }
+
+// P99 estimates the 99th-percentile observation.
+func (h HistogramSnapshot) P99() int64 { return h.Quantile(0.99) }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
@@ -325,8 +392,8 @@ func (s Snapshot) String() string {
 	sort.Strings(hnames)
 	for _, name := range hnames {
 		h := s.Histograms[name]
-		fmt.Fprintf(&b, "histogram  %-32s count=%d sum=%d max=%d mean=%.1f\n",
-			name, h.Count, h.Sum, h.Max, h.Mean())
+		fmt.Fprintf(&b, "histogram  %-32s count=%d sum=%d max=%d mean=%.1f p50=%d p90=%d p99=%d\n",
+			name, h.Count, h.Sum, h.Max, h.Mean(), h.P50(), h.P90(), h.P99())
 	}
 	return b.String()
 }

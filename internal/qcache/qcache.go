@@ -399,18 +399,23 @@ func (c *Cache) Bytes() int64 {
 	return c.bytes
 }
 
-// Stats is the cumulative activity of a Cache.
+// Stats is the cumulative activity of a Cache. The JSON form is served
+// by the /debug/xpath/plans endpoint (internal/obs/httpobs).
 type Stats struct {
 	// Hits and Misses count Do lookups; InflightWaits counts lookups
 	// that joined an in-flight evaluation (a subset of neither).
-	Hits, Misses, InflightWaits int64
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	InflightWaits int64 `json:"inflight_waits"`
 	// Admissions counts stored results; Evictions counts entries
 	// dropped to a bound; Invalidations counts entries dropped by
 	// InvalidateDocument/Clear.
-	Admissions, Evictions, Invalidations int64
+	Admissions    int64 `json:"admissions"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
 	// Size and Bytes are the current entry count and payload estimate.
-	Size  int
-	Bytes int64
+	Size  int   `json:"size"`
+	Bytes int64 `json:"bytes"`
 }
 
 // Stats returns the cache's cumulative counters and current size.

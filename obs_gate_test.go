@@ -1,0 +1,86 @@
+// The flight-recorder overhead gate (`make obsgate`, part of `make
+// check`): attaching EvalOptions.Flight must stay near-free on the two
+// paths production traffic actually takes —
+//
+//   - disabled (Flight == nil): exactly the pre-flight evaluation, zero
+//     extra allocations;
+//   - sampled-out (recorder attached, evaluation under the slow
+//     threshold and losing the reservoir draw): two atomic adds, one
+//     random draw, no lock, no allocation beyond the pooled per-eval
+//     scratch.
+//
+// The gate compares allocs-per-op between the two paths directly, so it
+// is immune to workload drift: whatever the engines allocate, the
+// recorder may add at most podCeiling on top. BENCH_OBS2.json
+// (EXPERIMENTS.md EXP-OBS2) tracks the wall-clock side.
+//
+// The race detector's instrumentation allocates, and coverage
+// instrumentation can too, so the gate only arms on plain `go test`.
+
+//go:build !race
+
+package xpathcomplexity
+
+import (
+	"testing"
+	"time"
+
+	"xpathcomplexity/internal/eval/evalctx"
+)
+
+// podCeiling is the tolerated allocs-per-op delta of the sampled-out
+// recorder path over the disabled path. The budget covers nothing but
+// pool-refill noise after a GC: the steady state is zero.
+const podCeiling = 0.5
+
+func TestObsGate(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates; gate runs uninstrumented")
+	}
+	d := prepBenchDoc()
+	ctx := evalctx.Root(d)
+	workloads := []struct {
+		name   string
+		query  string
+		engine Engine
+	}{
+		{"cvt/descendant-chain", "//a//b//c", EngineCVT},
+		{"corelinear/pred", "//a[b and not(c)]", EngineCoreLinear},
+		{"vm/path", "//a/b", EngineVM},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			c := MustPrepare(w.query)
+			measure := func(opts EvalOptions) float64 {
+				eval := func() {
+					if _, err := c.EvalOptions(ctx, opts); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for i := 0; i < 5; i++ {
+					eval() // warm plan cache, index, pools
+				}
+				return testing.AllocsPerRun(200, eval)
+			}
+			disabled := measure(EvalOptions{Engine: w.engine})
+
+			// A tiny reservoir and an unreachable slow threshold: after the
+			// warm-up fills the 4 slots, virtually every evaluation is
+			// sampled out — the hot path a production recorder sits on.
+			fr := NewFlightRecorder(FlightRecorderConfig{
+				RecentCapacity: 4,
+				SlowThreshold:  time.Hour,
+			})
+			sampled := measure(EvalOptions{Engine: w.engine, Flight: fr})
+
+			if delta := sampled - disabled; delta > podCeiling {
+				t.Errorf("%s: recorder adds %.2f allocs per warm evaluation (disabled %.1f → sampled-out %.1f), ceiling %.1f — "+
+					"the flight hot path regressed; see internal/obs/flight and finishFlight",
+					w.name, delta, disabled, sampled, podCeiling)
+			}
+			if st := fr.Stats(); st.Seen == 0 {
+				t.Fatalf("recorder saw no evaluations — the gate measured nothing")
+			}
+		})
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"xpathcomplexity/internal/eval/streaming"
 	"xpathcomplexity/internal/fragment"
 	"xpathcomplexity/internal/obs"
+	"xpathcomplexity/internal/obs/flight"
 	"xpathcomplexity/internal/qcache"
 	"xpathcomplexity/internal/value"
 	"xpathcomplexity/internal/vm"
@@ -107,6 +108,17 @@ type (
 	ResultCache = qcache.Cache
 	// ResultCacheStats is a point-in-time summary of a ResultCache.
 	ResultCacheStats = qcache.Stats
+	// FlightRecorder is the bounded per-evaluation flight recorder:
+	// slow-query capture over a threshold, reservoir sampling for the
+	// rest. Attach one via EvalOptions.Flight; see docs/OBSERVABILITY.md.
+	FlightRecorder = flight.Recorder
+	// FlightRecorderConfig bounds a FlightRecorder (capacities,
+	// slow-query threshold).
+	FlightRecorderConfig = flight.Config
+	// FlightRecord is one recorded evaluation.
+	FlightRecord = flight.Record
+	// FlightStats is a point-in-time summary of a FlightRecorder.
+	FlightStats = flight.Stats
 )
 
 // NewResultCache creates a result cache bounded to at most maxEntries
@@ -120,6 +132,11 @@ func NewResultCache(maxEntries int, maxBytes int64) *ResultCache {
 
 // NewMetrics creates an empty metrics registry.
 func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewFlightRecorder creates a flight recorder (zero config fields take
+// the package defaults: a 256-record reservoir, a 64-record slow ring,
+// a 10ms slow threshold).
+func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder { return flight.New(cfg) }
 
 // NewRingSink creates a trace sink retaining the last capacity events.
 func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
@@ -371,10 +388,58 @@ type EvalOptions struct {
 	// and errors are never cached. The same cache may be shared freely
 	// across goroutines and EvalBatch workers. See docs/CACHING.md.
 	Cache *ResultCache
+	// Flight, when non-nil, records every completed evaluation into the
+	// bounded flight recorder: slow queries over its threshold are always
+	// captured, the rest are reservoir-sampled. The same recorder may be
+	// shared freely across goroutines and EvalBatch workers. When nil,
+	// evaluation pays only a nil check. See docs/OBSERVABILITY.md.
+	Flight *FlightRecorder
 	// guard is the resource guard assembled from the fields above; set
 	// by Query.EvalOptions only, never by callers.
 	guard *evalctx.Guard
+	// flight is the pooled per-evaluation flight state; set by
+	// Query.EvalOptions only when Flight is attached.
+	flight *flightEval
 }
+
+// flightEval is the per-evaluation scratch behind EvalOptions.Flight:
+// which engine served, which EngineAuto rungs rejected the query, and
+// how the result cache participated. Instances are pooled; every field
+// is re-initialized on checkout.
+type flightEval struct {
+	engine    Engine
+	fallbacks uint8
+	cache     flight.CacheOutcome
+	// ctr is the synthesized counter used when the caller attached none,
+	// so Record.Ops is available without changing the engines' behaviour.
+	// It is never reset — finishFlight charges the delta from ops0.
+	ctr  Counter
+	ops0 int64
+}
+
+// EngineAuto rung-rejection bits, in ladder order.
+const (
+	flightFellStreaming uint8 = 1 << iota
+	flightFellNAuxPDA
+	flightFellVM
+)
+
+// autoPathNames maps the fallback bitmask to its constant string, so
+// building a Record never concatenates.
+var autoPathNames = [8]string{
+	"",
+	"streaming",
+	"nauxpda",
+	"streaming,nauxpda",
+	"vm",
+	"streaming,vm",
+	"nauxpda,vm",
+	"streaming,nauxpda,vm",
+}
+
+func (fe *flightEval) autoPath() string { return autoPathNames[fe.fallbacks&7] }
+
+var flightEvalPool = sync.Pool{New: func() any { return new(flightEval) }}
 
 // buildGuard assembles the evaluation guard from the public limit
 // options; nil when no limit is set. The returned cancel func releases
@@ -430,12 +495,34 @@ func (q *Query) resolveEngine(e Engine) Engine {
 // run under a resource guard and return errors matching ErrCanceled or
 // ErrBudgetExceeded when a bound is hit.
 func (q *Query) EvalOptions(ctx Context, opts EvalOptions) (v Value, err error) {
+	var t0 time.Time
+	if opts.Flight != nil {
+		fe := flightEvalPool.Get().(*flightEval)
+		fe.engine = opts.Engine
+		fe.fallbacks = 0
+		fe.cache = flight.CacheNone
+		if opts.Counter == nil {
+			// Synthesize an ops counter so the record carries the engine's
+			// operation count; fe.ops0 makes reuse of the pooled counter
+			// safe without a reset.
+			opts.Counter = &fe.ctr
+		}
+		fe.ops0 = opts.Counter.Ops()
+		opts.flight = fe
+		t0 = time.Now()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			v, err = nil, &PanicError{Query: q.Source, Value: r, Stack: debug.Stack()}
 			if opts.Metrics != nil {
 				opts.Metrics.Counter("eval.panics").Inc()
 			}
+		}
+		// Recording sits after the recover so panicking evaluations are
+		// captured too (as ErrKind "failed" with the PanicError text).
+		if opts.flight != nil {
+			q.finishFlight(ctx, opts, t0, v, err)
+			flightEvalPool.Put(opts.flight)
 		}
 	}()
 	guard, cancelTimeout := opts.buildGuard()
@@ -456,13 +543,33 @@ func (q *Query) EvalOptions(ctx Context, opts EvalOptions) (v Value, err error) 
 		// private copy of the cached value. Errors are classified inside
 		// Do and never admitted; concurrent identical evaluations share
 		// one engine run (singleflight).
+		if opts.flight != nil {
+			// Assume a hit; the leader closure flips it when the engine
+			// actually runs. Followers that join an in-flight run record
+			// a hit too — they did no engine work.
+			opts.flight.cache = flight.CacheHit
+		}
 		v, err = opts.Cache.Do(q.cacheKey(ctx, opts), ctx.Node.Document(), opts.Metrics,
-			func() (Value, error) { return q.evalUncached(ctx, opts) })
+			func() (Value, error) {
+				if opts.flight != nil {
+					opts.flight.cache = flight.CacheMiss
+				}
+				return q.evalUncached(ctx, opts)
+			})
 	} else {
-		if opts.Cache != nil && opts.Trace != nil && opts.Metrics != nil {
-			// Traced runs must execute for real — the sink's spans are the
-			// point — so they bypass the cache in both directions.
-			opts.Metrics.Counter(qcache.MetricBypassTraced).Inc()
+		if opts.Cache != nil {
+			if opts.flight != nil {
+				if opts.Trace != nil {
+					opts.flight.cache = flight.CacheBypassTraced
+				} else {
+					opts.flight.cache = flight.CacheBypassNoNode
+				}
+			}
+			if opts.Trace != nil && opts.Metrics != nil {
+				// Traced runs must execute for real — the sink's spans are the
+				// point — so they bypass the cache in both directions.
+				opts.Metrics.Counter(qcache.MetricBypassTraced).Inc()
+			}
 		}
 		v, err = q.evalUncached(ctx, opts)
 	}
@@ -473,6 +580,33 @@ func (q *Query) EvalOptions(ctx Context, opts EvalOptions) (v Value, err error) 
 		obs.RecordOutcome(opts.Metrics, err)
 	}
 	return v, err
+}
+
+// finishFlight builds the flight Record for one completed evaluation
+// and hands it to the recorder. It runs inside Query.EvalOptions'
+// deferred recovery, so panicking runs are recorded as failures. The
+// Record copies only scalars and strings that outlive the evaluation
+// (q.Source, engine and fragment names) — never node sets or pooled
+// scratch — so retained records cannot be mutated by later runs.
+func (q *Query) finishFlight(ctx Context, opts EvalOptions, t0 time.Time, v Value, err error) {
+	fe := opts.flight
+	wall := time.Since(t0)
+	rec := flight.Record{
+		Unix:     t0.UnixNano() + int64(wall),
+		Query:    q.Source,
+		Engine:   fe.engine.String(),
+		Fragment: q.Class.Minimal.String(),
+		Wall:     wall,
+		Ops:      opts.Counter.Ops() - fe.ops0,
+		Card:     obs.Cardinality(v),
+		Cache:    fe.cache,
+		AutoPath: fe.autoPath(),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+		rec.ErrKind = flight.ErrKind(err)
+	}
+	opts.Flight.Observe(rec)
 }
 
 // cacheEligible reports whether this evaluation can go through
@@ -540,6 +674,9 @@ func (q *Query) evalUncached(ctx Context, opts EvalOptions) (Value, error) {
 func (q *Query) evalAuto(ctx Context, opts EvalOptions) (Value, error) {
 	if opts.Trace != nil {
 		engine := q.resolveEngine(EngineAuto)
+		if opts.flight != nil {
+			opts.flight.engine = engine
+		}
 		tr := obs.NewTracer(engine.String(), q.Expr, opts.Trace)
 		return q.evalEngine(ctx, opts, engine, tr)
 	}
@@ -549,6 +686,16 @@ func (q *Query) evalAuto(ctx Context, opts EvalOptions) (Value, error) {
 			m.Counter(name).Inc()
 		}
 	}
+	selected := func(e Engine) {
+		if opts.flight != nil {
+			opts.flight.engine = e
+		}
+	}
+	fellback := func(bit uint8) {
+		if opts.flight != nil {
+			opts.flight.fallbacks |= bit
+		}
+	}
 	// Both ladder stages need a context document; condition-only
 	// contexts (ctx.Node == nil) go straight to the tree engines.
 	if ctx.Node != nil {
@@ -556,20 +703,25 @@ func (q *Query) evalAuto(ctx Context, opts EvalOptions) (Value, error) {
 			v, err := q.evalEngine(ctx, opts, EngineStreaming, nil)
 			if err == nil || evalctx.IsResourceError(err) {
 				record("auto.selected.streaming")
+				selected(EngineStreaming)
 				return v, err
 			}
 			record("auto.fallback.streaming")
+			fellback(flightFellStreaming)
 		} else if errors.Is(serr, ErrNotStreamable) {
 			record("auto.fallback.streaming")
+			fellback(flightFellStreaming)
 		}
 		if q.Class.RecommendDecisionEngine() == fragment.EngineNAuxPDA &&
 			ast.StaticType(q.Expr) == ast.TypeBoolean {
 			v, err := q.evalEngine(ctx, opts, EngineNAuxPDA, nil)
 			if err == nil || evalctx.IsResourceError(err) {
 				record("auto.selected.nauxpda")
+				selected(EngineNAuxPDA)
 				return v, err
 			}
 			record("auto.fallback.nauxpda")
+			fellback(flightFellNAuxPDA)
 		}
 		// Core XPath queries run on the bytecode VM — the corelinear
 		// algorithm with its interpretation overhead compiled away. The
@@ -579,13 +731,16 @@ func (q *Query) evalAuto(ctx Context, opts EvalOptions) (Value, error) {
 			v, err := q.evalEngine(ctx, opts, EngineVM, nil)
 			if err == nil || evalctx.IsResourceError(err) {
 				record("auto.selected.vm")
+				selected(EngineVM)
 				return v, err
 			}
 			record("auto.fallback.vm")
+			fellback(flightFellVM)
 		}
 	}
 	engine := q.resolveEngine(EngineAuto)
 	record("auto.selected." + engine.String())
+	selected(engine)
 	return q.evalEngine(ctx, opts, engine, nil)
 }
 
