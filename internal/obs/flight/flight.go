@@ -10,8 +10,9 @@
 //     just hurt" view;
 //   - reservoir sample: everything under the threshold feeds an
 //     Algorithm-R reservoir of Config.RecentCapacity records, a uniform
-//     sample over the recorder's whole history — the "what does normal
-//     traffic look like" view.
+//     sample over the recorder's sub-threshold history — the "what does
+//     normal traffic look like" view (slow records live in their own
+//     ring and do not dilute the sample).
 //
 // The common (sampled-out) path is two atomic adds, one lock-free
 // random draw and a threshold compare; nothing allocates and no lock is
@@ -183,7 +184,8 @@ type Stats struct {
 type Recorder struct {
 	threshold time.Duration
 
-	seen    atomic.Int64 // every Observe; also the reservoir's stream count
+	seen    atomic.Int64 // every Observe
+	fast    atomic.Int64 // sub-threshold Observes; the reservoir's stream count
 	slow    atomic.Int64
 	sampled atomic.Int64
 
@@ -221,7 +223,7 @@ func (r *Recorder) Observe(rec Record) {
 	if r == nil {
 		return
 	}
-	n := r.seen.Add(1)
+	r.seen.Add(1)
 	if r.threshold > 0 && rec.Wall >= r.threshold {
 		rec.Slow = true
 		r.slow.Add(1)
@@ -239,10 +241,13 @@ func (r *Recorder) Observe(rec Record) {
 		r.mu.Unlock()
 		return
 	}
-	// Algorithm R: record i of the stream replaces a uniformly random
-	// reservoir slot with probability cap/i. The draw is lock-free
-	// (math/rand/v2's per-goroutine state); the lock is taken only when
-	// the record is actually stored.
+	// Algorithm R: sub-threshold record i of the stream replaces a
+	// uniformly random reservoir slot with probability cap/i. The stream
+	// count deliberately excludes slow records (they never reach the
+	// reservoir), keeping the sample uniform over sub-threshold history.
+	// The draw is lock-free (math/rand/v2's per-goroutine state); the
+	// lock is taken only when the record is actually stored.
+	n := r.fast.Add(1)
 	capR := int64(cap(r.recent))
 	if n <= capR {
 		r.sampled.Add(1)
@@ -259,13 +264,25 @@ func (r *Recorder) Observe(rec Record) {
 	if j := rand.Int64N(n); j < capR {
 		r.sampled.Add(1)
 		r.mu.Lock()
-		r.recent[j] = rec
+		// The stream count and the store length can disagree (a Reset
+		// racing this Observe truncates the store after the draw), so the
+		// slot is re-validated under the lock: append while there is
+		// room, else store in-bounds.
+		switch m := int64(len(r.recent)); {
+		case j < m:
+			r.recent[j] = rec
+		case m < capR:
+			r.recent = append(r.recent, rec)
+		default:
+			r.recent[rand.Int64N(capR)] = rec
+		}
 		r.mu.Unlock()
 	}
 }
 
 // Recent returns the reservoir contents ordered oldest-first by
-// completion time — a uniform sample of the recorder's whole history.
+// completion time — a uniform sample of the recorder's sub-threshold
+// history (slow records are captured separately; see Slow).
 func (r *Recorder) Recent() []Record {
 	if r == nil {
 		return nil
@@ -342,6 +359,7 @@ func (r *Recorder) Reset() {
 	r.slowNext, r.slowFull = 0, false
 	r.mu.Unlock()
 	r.seen.Store(0)
+	r.fast.Store(0)
 	r.slow.Store(0)
 	r.sampled.Store(0)
 }

@@ -111,6 +111,65 @@ func TestReservoirBoundsAndUniformity(t *testing.T) {
 	}
 }
 
+// TestSlowBurstThenFast: regression for a panic where the reservoir's
+// stream count included slow records (which never enter the reservoir),
+// so after a slow burst the Algorithm-R branch indexed past the
+// still-short recent store. The stream count must track sub-threshold
+// records only, so a fast stream after a slow burst both stays in
+// bounds and fills the reservoir completely.
+func TestSlowBurstThenFast(t *testing.T) {
+	const capR = 4
+	r := New(Config{RecentCapacity: capR, SlowCapacity: 8, SlowThreshold: time.Millisecond})
+	for i := 0; i < 100; i++ {
+		r.Observe(rec(i, time.Second)) // all slow; reservoir stays empty
+	}
+	if got := len(r.Recent()); got != 0 {
+		t.Fatalf("reservoir holds %d after slow-only stream, want 0", got)
+	}
+	for i := 100; i < 100+capR; i++ {
+		r.Observe(rec(i, time.Microsecond)) // must not panic
+	}
+	// The first capR sub-threshold records are the whole sub-threshold
+	// stream so far; a uniform sample over that stream holds all of them.
+	if got := len(r.Recent()); got != capR {
+		t.Errorf("reservoir holds %d after %d fast records, want %d", got, capR, capR)
+	}
+	for i := 0; i < 1000; i++ {
+		r.Observe(rec(200+i, time.Microsecond)) // steady state; must not panic
+	}
+	if got := len(r.Recent()); got != capR {
+		t.Errorf("reservoir holds %d in steady state, want %d", got, capR)
+	}
+}
+
+// TestResetDuringObserve: Reset truncating the stores must never send a
+// racing Observe out of bounds (run under -race via `make test-race`).
+func TestResetDuringObserve(t *testing.T) {
+	r := New(Config{RecentCapacity: 8, SlowCapacity: 8, SlowThreshold: 500 * time.Nanosecond})
+	var wg sync.WaitGroup
+	const workers, per = 4, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Observe(rec(w*per+i, time.Duration(i%1000)))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			r.Reset()
+		}
+	}()
+	wg.Wait()
+	if st := r.Stats(); st.RecentLen > 8 || st.SlowLen > 8 {
+		t.Errorf("bounds violated after Reset race: %+v", st)
+	}
+}
+
 func TestSlowest(t *testing.T) {
 	r := New(Config{RecentCapacity: 16, SlowCapacity: 16, SlowThreshold: 100 * time.Millisecond})
 	r.Observe(rec(1, time.Millisecond))
