@@ -1,14 +1,14 @@
 # Standard targets; no dependencies beyond the Go toolchain.
 
-.PHONY: all build vet test test-shuffle race test-race fuzz fuzz-short bench experiments profile pprof guard guard-race allocgate cachegate vmgate obsgate examples check clean
+.PHONY: all build vet test test-shuffle race test-race fuzz fuzz-short bench experiments profile pprof guard guard-race allocgate cachegate vmgate obsgate servegate examples check clean
 
 all: build vet test
 
 # Everything a PR should pass: build, vet, tests, the allocation,
-# cache-hit, VM and flight-recorder regression gates, the race-enabled
-# guard suite, the full race suite, a shuffled-order test pass and a
-# short fuzz session per target.
-check: all allocgate cachegate vmgate obsgate guard-race test-race test-shuffle fuzz-short
+# cache-hit, VM, flight-recorder and serving regression gates, the
+# race-enabled guard suite, the full race suite, a shuffled-order test
+# pass and a short fuzz session per target.
+check: all allocgate cachegate vmgate obsgate servegate guard-race test-race test-shuffle fuzz-short
 
 build:
 	go build ./...
@@ -107,6 +107,17 @@ cachegate:
 obsgate:
 	go test -run TestObsGate -count=1 .
 	go run ./cmd/xbench -run obs2
+
+# The serving gate: the xpathd daemon suite (admission, registry,
+# tenancy, shedding — internal/server) plus the serve experiment's
+# quick mode against a live in-process daemon, which must complete
+# within the timeout, shed under saturation and expose the shed counter
+# on /metrics. Writes a scratch BENCH_SERVE.quick.json (gitignored);
+# the checked-in BENCH_SERVE.json comes from the full `xbench -run
+# serve` (see docs/SERVING.md and EXP-SERVE in EXPERIMENTS.md).
+servegate:
+	go test -run 'TestServe|TestTenant|TestBudgetHeaders|TestCeilingClamp|TestEval|TestDocument|TestConcurrentTenants|TestHealthz|TestRegistry|TestFingerprint' -timeout 120s -count=1 ./internal/server/
+	XBENCH_SERVE_QUICK=1 XBENCH_SERVE_OUT=BENCH_SERVE.quick.json go run ./cmd/xbench -run serve
 
 # CPU + heap profiles of the hot evaluation paths, via the alloc
 # experiment's warm workloads. Inspect with `go tool pprof cpu.out`

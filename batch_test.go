@@ -1,11 +1,14 @@
 package xpathcomplexity
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"xpathcomplexity/internal/value"
 	"xpathcomplexity/internal/xmltree"
@@ -315,5 +318,60 @@ func TestPlanCacheConcurrent(t *testing.T) {
 	}
 	if st.Size != pc.Len() {
 		t.Fatalf("Stats().Size = %d, Len() = %d", st.Size, pc.Len())
+	}
+}
+
+// TestEvalBatchSharedContextCanceled pins the batch-cancellation error
+// contract: a canceled shared opts.Context aborts every query with
+// ErrCanceled — never misreported as per-query budget exhaustion, even
+// with a tight MaxOps riding along — and the shared flight recorder
+// records the canceled tail as failures (Card -1, ErrKind "canceled"),
+// not as partial results.
+func TestEvalBatchSharedContextCanceled(t *testing.T) {
+	d := batchDoc(t, 2, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before the batch starts: every query is a canceled tail
+	fr := NewFlightRecorder(FlightRecorderConfig{RecentCapacity: 64, SlowThreshold: -1})
+	results := EvalBatch(d, batchQueries, EvalOptions{
+		Context: ctx, MaxOps: 1, Workers: 2, Flight: fr,
+	})
+	for _, r := range results {
+		if !errors.Is(r.Err, ErrCanceled) {
+			t.Errorf("%s: err = %v, want ErrCanceled", r.Query, r.Err)
+		}
+		if errors.Is(r.Err, ErrBudgetExceeded) {
+			t.Errorf("%s: canceled context misreported as budget exhaustion: %v", r.Query, r.Err)
+		}
+		if r.Value != nil {
+			t.Errorf("%s: canceled query carries a value: %v", r.Query, r.Value)
+		}
+	}
+	recs := append(fr.Recent(), fr.Slow()...)
+	if len(recs) == 0 {
+		t.Fatal("flight recorder captured nothing")
+	}
+	for _, rec := range recs {
+		if rec.ErrKind != "canceled" {
+			t.Errorf("flight record %q: ErrKind = %q, want canceled", rec.Query, rec.ErrKind)
+		}
+		if rec.Card != -1 {
+			t.Errorf("flight record %q: Card = %d, want -1 (no partial results for canceled evaluations)", rec.Query, rec.Card)
+		}
+	}
+}
+
+// TestEvalBatchPerQueryTimeoutIsolated pins the other half of the
+// contract: opts.Timeout is per query, so one slow query timing out
+// must not poison the rest of the batch.
+func TestEvalBatchPerQueryTimeoutIsolated(t *testing.T) {
+	d := batchDoc(t, 3, 400)
+	queries := []string{"//a", "//b/c", "count(//a)"}
+	results := EvalBatch(d, queries, EvalOptions{
+		Timeout: time.Minute, Workers: 2,
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: err = %v, want success under a generous per-query deadline", r.Query, r.Err)
+		}
 	}
 }

@@ -28,6 +28,10 @@
 //	     Figure-1 chain workloads (writes BENCH_ALLOC.json)
 //	cache result cache: warm uncached evaluation vs the cache-hit path
 //	     over the alloc workloads (writes BENCH_CACHE.json)
+//	serve xpathd serving benchmark: boot the daemon in-process, drive the
+//	     weighted XMark serving mix through sustained and saturation
+//	     phases, record qps / latency quantiles / shed rate
+//	     (writes BENCH_SERVE.json)
 //
 // Usage:
 //
@@ -75,6 +79,7 @@ var experiments = []experiment{
 	{"vm", "bytecode VM vs corelinear: warm wall-clock on the EXP-ALLOC families (writes BENCH_VM.json)", expVM},
 	{"cache", "result cache: warm uncached evaluation vs cache hit (writes BENCH_CACHE.json)", expCache},
 	{"obs2", "flight recorder overhead: disabled vs sampled-out vs capture-all (writes BENCH_OBS2.json)", expObs2},
+	{"serve", "xpathd under closed-loop load: qps, latency quantiles, shed rate (writes BENCH_SERVE.json)", expServe},
 }
 
 func main() {

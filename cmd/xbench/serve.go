@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	xpath "xpathcomplexity"
+	"xpathcomplexity/internal/server"
+	"xpathcomplexity/internal/workload"
+)
+
+// servePhase is one load phase of EXP-SERVE, as written to
+// BENCH_SERVE.json.
+type servePhase struct {
+	// Name is "sustained" (clients = workers, no overload expected) or
+	// "saturation" (clients >> workers, shedding expected).
+	Name string `json:"name"`
+	// Clients is the closed-loop client count; DurationMs the phase wall
+	// time.
+	Clients    int   `json:"clients"`
+	DurationMs int64 `json:"duration_ms"`
+	// Requests counts attempts; OK, Shed, Budget and Errors partition
+	// the responses (200 / 429 / 422 / anything else).
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Shed     int64 `json:"shed"`
+	Budget   int64 `json:"budget"`
+	Errors   int64 `json:"errors"`
+	// QPS is completed (OK) requests per second; ShedRate is
+	// Shed/Requests.
+	QPS      float64 `json:"qps"`
+	ShedRate float64 `json:"shed_rate"`
+	// P50Us/P99Us are client-observed request latencies from a
+	// power-of-two histogram over this phase only.
+	P50Us int64 `json:"p50_us"`
+	P99Us int64 `json:"p99_us"`
+	// RetryAfterSeen reports that every observed 429 carried Retry-After.
+	RetryAfterSeen bool `json:"retry_after_seen"`
+}
+
+// serveReport is the top-level BENCH_SERVE.json document.
+type serveReport struct {
+	Experiment string `json:"experiment"`
+	// Workers/QueueDepth echo the daemon's admission configuration; Docs
+	// the resident document count; Queries the serving-mix size.
+	Workers    int          `json:"workers"`
+	QueueDepth int          `json:"queue_depth"`
+	Docs       int          `json:"docs"`
+	Queries    int          `json:"queries"`
+	Phases     []servePhase `json:"phases"`
+	// ServerP99Us is the daemon's own request-latency p99
+	// (server.eval.wall_us, cumulative over both phases) and ServerShed
+	// its shed counter — both also visible on /metrics.
+	ServerP99Us int64 `json:"server_p99_us"`
+	ServerShed  int64 `json:"server_shed"`
+	// MetricsExposesShed reports that the Prometheus plane served the
+	// shed counter after the saturation phase.
+	MetricsExposesShed bool `json:"metrics_exposes_shed"`
+}
+
+// expServe runs EXP-SERVE: boot xpathd in-process on a loopback
+// listener, load XMark-style documents over HTTP, then drive the
+// weighted serving mix through two phases — sustained (clients =
+// workers) and saturation (clients >> workers, expecting 429 +
+// Retry-After) — and record qps, latency quantiles and shed rate.
+// Honors XBENCH_SERVE_OUT (output path, default BENCH_SERVE.json) and
+// XBENCH_SERVE_QUICK (shorter phases, the servegate smoke mode).
+func expServe(seed int64) {
+	// Size the pool to the machine: XPath evaluation is CPU-bound, so a
+	// worker per core is the honest capacity — with more, the Go
+	// scheduler becomes an invisible unbounded queue in front of the
+	// admission gate and nothing ever sheds.
+	workers := runtime.GOMAXPROCS(0)
+	cfg := server.Config{
+		Workers:           workers,
+		QueueDepth:        2,
+		QueueWait:         2 * time.Millisecond,
+		TenantConcurrency: workers + 2,
+		DefaultTimeout:    2 * time.Second,
+	}
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Resident documents: three auction sites of increasing size, loaded
+	// over the wire like any client would.
+	rng := rand.New(rand.NewSource(seed))
+	sizes := []workload.Config{
+		{People: 40, Items: 60, MaxBids: 4},
+		{People: 120, Items: 180, MaxBids: 5},
+		{People: 300, Items: 450, MaxBids: 6},
+	}
+	var fps []string
+	for _, sz := range sizes {
+		doc := workload.Auction(rng, sz)
+		resp, err := http.Post(base+"/v1/documents", "application/xml", strings.NewReader(doc.XMLString()))
+		if err != nil {
+			panic(err)
+		}
+		var info server.DocInfo
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			panic(fmt.Sprintf("load: status %d", resp.StatusCode))
+		}
+		fps = append(fps, info.Fingerprint)
+	}
+
+	mix := workload.ServeMix()
+	sustained, saturation := 3*time.Second, 1500*time.Millisecond
+	if os.Getenv("XBENCH_SERVE_QUICK") != "" {
+		sustained, saturation = 600*time.Millisecond, 400*time.Millisecond
+	}
+
+	report := serveReport{
+		Experiment: "EXP-SERVE",
+		Workers:    workers,
+		QueueDepth: cfg.QueueDepth,
+		Docs:       len(fps),
+		Queries:    len(mix),
+	}
+	// Sustained: as many clients as workers, single cache-friendly
+	// queries — the steady state. Saturation: 8x the clients, each
+	// request a batch of cache-busting queries, so admitted requests
+	// hold their worker slot for milliseconds and the gate sheds.
+	report.Phases = append(report.Phases,
+		runServePhase(servePhaseSpec{
+			name: "sustained", base: base, fps: fps, mix: mix,
+			seed: seed, clients: workers, dur: sustained, batch: 1,
+		}),
+		runServePhase(servePhaseSpec{
+			name: "saturation", base: base, fps: fps, mix: mix,
+			seed: seed + 1, clients: 8 * (workers + cfg.QueueDepth), dur: saturation,
+			batch: 16, cacheBust: true,
+		}),
+	)
+
+	snap := srv.Metrics().Snapshot()
+	report.ServerP99Us = snap.Histograms["server.eval.wall_us"].P99()
+	report.ServerShed = snap.Counter("server.shed")
+	if resp, err := http.Get(base + "/metrics"); err == nil {
+		text, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		report.MetricsExposesShed = bytes.Contains(text, []byte("server_shed"))
+	}
+
+	fmt.Println("EXP-SERVE: xpathd under closed-loop load (weighted XMark serving mix)")
+	fmt.Printf("daemon: %d workers, queue %d; %d resident docs, %d-query mix\n\n",
+		workers, cfg.QueueDepth, len(fps), len(mix))
+	t := newTable("phase", "clients", "reqs", "qps", "p50(us)", "p99(us)", "shed", "shed-rate")
+	for _, p := range report.Phases {
+		t.add(p.Name, p.Clients, p.Requests, fmt.Sprintf("%.0f", p.QPS),
+			p.P50Us, p.P99Us, p.Shed, fmt.Sprintf("%.2f", p.ShedRate))
+	}
+	t.print()
+	fmt.Printf("\nserver-side p99 %dus, shed counter %d, /metrics exposes shed: %v\n",
+		report.ServerP99Us, report.ServerShed, report.MetricsExposesShed)
+	sat := report.Phases[1]
+	switch {
+	case sat.Shed == 0:
+		fmt.Println("WARNING: saturation phase shed nothing — raise client count")
+	case !sat.RetryAfterSeen:
+		fmt.Println("WARNING: a 429 arrived without Retry-After")
+	default:
+		fmt.Println("saturation shed with Retry-After on every 429, as configured")
+	}
+
+	out := os.Getenv("XBENCH_SERVE_OUT")
+	if out == "" {
+		out = "BENCH_SERVE.json"
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// servePhaseSpec parameterizes one load phase.
+type servePhaseSpec struct {
+	name    string
+	base    string
+	fps     []string
+	mix     []workload.ServeQuery
+	seed    int64
+	clients int
+	dur     time.Duration
+	// batch is the queries per request; cacheBust randomizes a numeric
+	// predicate per query so every evaluation misses the result cache
+	// and holds its admission slot for real engine work.
+	batch     int
+	cacheBust bool
+}
+
+// runServePhase drives `clients` closed-loop clients against the daemon
+// for the phase duration, each drawing (document, query) pairs from the
+// weighted mix, and reduces the client-side observations into one
+// servePhase row.
+func runServePhase(spec servePhaseSpec) servePhase {
+	// Client latencies go through the same power-of-two histogram type
+	// the server uses, so p50/p99 here and on /metrics are comparable.
+	m := xpath.NewMetrics()
+	var (
+		mu                               sync.Mutex
+		requests, ok, shed, budget, errs int64
+		missingRetryAfter                int64
+	)
+	deadline := time.Now().Add(spec.dur)
+	var wg sync.WaitGroup
+	for c := 0; c < spec.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(spec.seed + int64(c)*7919))
+			client := &http.Client{Timeout: 10 * time.Second}
+			hist := m // shared; Histogram/Counter lookups are lock-cheap
+			for time.Now().Before(deadline) {
+				queries := make([]string, spec.batch)
+				for i := range queries {
+					if spec.cacheBust {
+						// A fresh numeric constant per draw: same engine
+						// work every time, never a result-cache hit.
+						queries[i] = fmt.Sprintf("//open_auction[current > %d]", rng.Intn(1<<20))
+					} else {
+						queries[i] = workload.PickServe(rng, spec.mix).Text
+					}
+				}
+				body, _ := json.Marshal(map[string]any{
+					"doc":     spec.fps[rng.Intn(len(spec.fps))],
+					"queries": queries,
+				})
+				req, _ := http.NewRequest(http.MethodPost, spec.base+"/v1/eval", bytes.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set(server.HeaderTenant, fmt.Sprintf("bench-%d", c%3))
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				wall := time.Since(t0)
+				mu.Lock()
+				requests++
+				if err != nil {
+					errs++
+					mu.Unlock()
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok++
+					hist.Histogram("client.wall_us").Observe(wall.Microseconds())
+				case http.StatusTooManyRequests:
+					shed++
+					if resp.Header.Get("Retry-After") == "" {
+						missingRetryAfter++
+					}
+				case http.StatusUnprocessableEntity:
+					budget++
+				default:
+					errs++
+				}
+				mu.Unlock()
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+	h := m.Snapshot().Histograms["client.wall_us"]
+	p := servePhase{
+		Name: spec.name, Clients: spec.clients, DurationMs: spec.dur.Milliseconds(),
+		Requests: requests, OK: ok, Shed: shed, Budget: budget, Errors: errs,
+		P50Us: h.Quantile(0.50), P99Us: h.P99(),
+		RetryAfterSeen: shed > 0 && missingRetryAfter == 0,
+	}
+	if secs := spec.dur.Seconds(); secs > 0 {
+		p.QPS = float64(ok) / secs
+	}
+	if requests > 0 {
+		p.ShedRate = float64(shed) / float64(requests)
+	}
+	return p
+}

@@ -1,0 +1,112 @@
+// Command xpathd serves XPath evaluation over HTTP: a resident document
+// registry keyed by content fingerprint, per-tenant admission control
+// with the guard budgets as request headers, the shared result/plan
+// caches, 429 + Retry-After load shedding, and the full telemetry
+// surface (/metrics, /debug/xpath/*, /debug/pprof/) on one listener.
+// See docs/SERVING.md for the endpoint and header reference.
+//
+// Usage:
+//
+//	xpathd -addr localhost:8080
+//	xpathd -addr :8080 -preload 'testdata/*.xml' -workers 8 -max-resident-mb 512
+//	xpathd -addr :8080 -default-timeout 500ms -max-ops-ceiling 10000000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"time"
+
+	"xpathcomplexity/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:8080", "listen address")
+		preload    = flag.String("preload", "", "glob of XML files to load into the registry at startup")
+		workers    = flag.Int("workers", 0, "evaluation concurrency (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue", 0, "admission wait-queue depth (0 = 2x workers)")
+		tenantCap  = flag.Int("tenant-concurrency", 0, "per-tenant concurrent evaluations (0 = workers)")
+		residentMB = flag.Int64("max-resident-mb", 0, "registry resident-document budget in MiB (0 = 256)")
+		docMB      = flag.Int64("max-document-mb", 0, "per-document load bound in MiB (0 = 32)")
+		cacheEnt   = flag.Int("cache-entries", 0, "result-cache entry bound (0 = package default)")
+		cacheMB    = flag.Int64("cache-mb", 0, "result-cache byte bound in MiB (0 = package default)")
+		defTimeout = flag.Duration("default-timeout", 0, "per-query deadline when no header is sent (0 = 2s)")
+		maxTimeout = flag.Duration("max-timeout", 0, "per-query deadline ceiling (0 = 30s)")
+		opsCeiling = flag.Int64("max-ops-ceiling", 0, "per-query op-budget ceiling (0 = default)")
+		nsCeiling  = flag.Int("max-node-set-ceiling", 0, "per-query node-set bound ceiling (0 = default)")
+		retryAfter = flag.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = 1s)")
+		slowThresh = flag.Duration("slow-threshold", 0, "flight-recorder slow-query threshold (0 = 10ms)")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		TenantConcurrency: *tenantCap,
+		MaxResidentBytes:  *residentMB << 20,
+		MaxDocumentBytes:  *docMB << 20,
+		CacheEntries:      *cacheEnt,
+		CacheBytes:        *cacheMB << 20,
+		DefaultTimeout:    *defTimeout,
+		MaxTimeout:        *maxTimeout,
+		MaxOpsCeiling:     *opsCeiling,
+		MaxNodeSetCeiling: *nsCeiling,
+		RetryAfter:        *retryAfter,
+	}
+	cfg.FlightConfig.SlowThreshold = *slowThresh
+	srv := server.New(cfg)
+
+	if *preload != "" {
+		files, err := filepath.Glob(*preload)
+		if err != nil {
+			fatalf("bad -preload pattern: %v", err)
+		}
+		if len(files) == 0 {
+			fatalf("-preload %q matches no files", *preload)
+		}
+		for _, path := range files {
+			f, err := os.Open(path)
+			if err != nil {
+				fatalf("preload %s: %v", path, err)
+			}
+			info, err := srv.Registry().Load(f)
+			f.Close()
+			if err != nil {
+				fatalf("preload %s: %v", path, err)
+			}
+			fmt.Printf("xpathd: loaded %s -> %s (%d nodes)\n", path, info.Fingerprint, info.Nodes)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("xpathd: serving on http://%s (metrics on /metrics)\n", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	fmt.Println("\nxpathd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutdownCtx)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xpathd: "+format+"\n", args...)
+	os.Exit(1)
+}

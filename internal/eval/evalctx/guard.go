@@ -157,6 +157,21 @@ func (g *Guard) Check() error {
 	return nil
 }
 
+// canceledOr resolves the precedence between a dead context and a
+// tripped resource limit: cancellation wins. The context polls on a
+// 256-op cadence, so a limit can trip while a cancel (or an expired
+// batch deadline) is already pending; reporting the BudgetError then
+// misattributes the stop to the query's own budget — under EvalBatch a
+// canceled shared context would surface as per-query budget exhaustion.
+// Every limit-error path routes through here so the verdict matches the
+// actual cause.
+func (g *Guard) canceledOr(budget error) error {
+	if err := g.ctx.Err(); err != nil {
+		return &CancelError{Cause: err}
+	}
+	return budget
+}
+
 // Step charges n operations against the budget and polls the context
 // every guardPollOps operations. Engines call it wherever they charge
 // the Counter, with the same n, so MaxOps and Counter.Budget are
@@ -167,7 +182,7 @@ func (g *Guard) Step(n int64) error {
 	}
 	ops := g.ops.Add(n)
 	if g.limits.MaxOps > 0 && ops > g.limits.MaxOps {
-		return &BudgetError{Limit: "ops", Max: g.limits.MaxOps, Used: ops}
+		return g.canceledOr(&BudgetError{Limit: "ops", Max: g.limits.MaxOps, Used: ops})
 	}
 	if g.sincePoll.Add(n) >= guardPollOps {
 		g.sincePoll.Store(0)
@@ -189,7 +204,7 @@ func (g *Guard) Enter() error {
 	d := g.depth.Add(1)
 	if g.limits.MaxDepth > 0 && d > g.limits.MaxDepth {
 		g.depth.Add(-1)
-		return &BudgetError{Limit: "depth", Max: g.limits.MaxDepth, Used: d}
+		return g.canceledOr(&BudgetError{Limit: "depth", Max: g.limits.MaxDepth, Used: d})
 	}
 	if g.sincePoll.Add(1) >= guardPollOps {
 		g.sincePoll.Store(0)
@@ -223,7 +238,7 @@ func (g *Guard) CheckNodeSet(card int) error {
 		return nil
 	}
 	if g.limits.MaxNodeSet > 0 && card > g.limits.MaxNodeSet {
-		return &BudgetError{Limit: "node-set", Max: int64(g.limits.MaxNodeSet), Used: int64(card)}
+		return g.canceledOr(&BudgetError{Limit: "node-set", Max: int64(g.limits.MaxNodeSet), Used: int64(card)})
 	}
 	return nil
 }

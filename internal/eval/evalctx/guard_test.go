@@ -181,3 +181,73 @@ func TestIsResourceError(t *testing.T) {
 		}
 	}
 }
+
+// TestGuardCancellationBeatsBudget pins the error-precedence contract:
+// when the context is already dead at the moment a resource limit
+// trips, the guard reports the cancellation, not the budget. The poll
+// cadence makes the race real — a limit can exceed between polls while
+// a cancel is pending — and under EvalBatch a shared canceled context
+// must never surface as per-query budget exhaustion.
+func TestGuardCancellationBeatsBudget(t *testing.T) {
+	newDead := func() context.Context {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		return ctx
+	}
+
+	t.Run("step", func(t *testing.T) {
+		g := NewGuard(newDead(), Limits{MaxOps: 1})
+		err := g.Step(5) // trips MaxOps on a dead context
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("Step over budget on canceled context = %v, want ErrCanceled", err)
+		}
+		if errors.Is(err, ErrBudgetExceeded) {
+			t.Error("error must not also match ErrBudgetExceeded")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error should unwrap to context.Canceled: %v", err)
+		}
+	})
+
+	t.Run("enter", func(t *testing.T) {
+		g := NewGuard(newDead(), Limits{MaxDepth: 1})
+		if err := g.Enter(); err != nil {
+			t.Fatalf("first Enter: %v", err)
+		}
+		err := g.Enter() // trips MaxDepth on a dead context
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("Enter over depth on canceled context = %v, want ErrCanceled", err)
+		}
+		if got := g.Depth(); got != 1 {
+			t.Errorf("depth after rejected Enter = %d, want 1 (rollback)", got)
+		}
+	})
+
+	t.Run("node-set", func(t *testing.T) {
+		g := NewGuard(newDead(), Limits{MaxNodeSet: 1})
+		err := g.CheckNodeSet(2)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("CheckNodeSet over limit on canceled context = %v, want ErrCanceled", err)
+		}
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+		defer cancel()
+		<-ctx.Done()
+		err := NewGuard(ctx, Limits{MaxOps: 1}).Step(5)
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Step over budget past deadline = %v, want ErrCanceled unwrapping to DeadlineExceeded", err)
+		}
+	})
+
+	// A live context keeps the budget verdict untouched.
+	t.Run("live-context-still-budget", func(t *testing.T) {
+		g := NewGuard(context.Background(), Limits{MaxOps: 1})
+		err := g.Step(5)
+		var be *BudgetError
+		if !errors.As(err, &be) || be.Limit != "ops" {
+			t.Fatalf("Step over budget on live context = %v, want BudgetError{ops}", err)
+		}
+	})
+}

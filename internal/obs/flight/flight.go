@@ -183,6 +183,11 @@ type Stats struct {
 // are safe for concurrent use (EvalBatch workers share one).
 type Recorder struct {
 	threshold time.Duration
+	// recentCap mirrors cap(recent). The reservoir draw reads the
+	// capacity before taking the lock, and reading cap(r.recent) there
+	// would race with the slice-header writes (append, Reset) made under
+	// it — so the lock-free path reads this immutable copy instead.
+	recentCap int64
 
 	seen    atomic.Int64 // every Observe
 	fast    atomic.Int64 // sub-threshold Observes; the reservoir's stream count
@@ -210,6 +215,7 @@ func New(cfg Config) *Recorder {
 	}
 	return &Recorder{
 		threshold: cfg.SlowThreshold,
+		recentCap: int64(cfg.RecentCapacity),
 		recent:    make([]Record, 0, cfg.RecentCapacity),
 		slowRing:  make([]Record, 0, cfg.SlowCapacity),
 	}
@@ -248,7 +254,7 @@ func (r *Recorder) Observe(rec Record) {
 	// The draw is lock-free (math/rand/v2's per-goroutine state); the
 	// lock is taken only when the record is actually stored.
 	n := r.fast.Add(1)
-	capR := int64(cap(r.recent))
+	capR := r.recentCap
 	if n <= capR {
 		r.sampled.Add(1)
 		r.mu.Lock()

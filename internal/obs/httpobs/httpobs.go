@@ -110,12 +110,39 @@ type FlightDoc struct {
 	Slowest []flight.Record `json:"slowest"`
 }
 
+// parseN parses the flight endpoint's ?n= bound: a canonical, strictly
+// positive decimal integer. Anything else — negative, zero, non-numeric,
+// out of range, or zero-padded ("007", and in particular a huge string
+// of digits hidden behind leading zeros) — is the caller's error and is
+// rejected rather than silently clamped to the default.
+func parseN(q string) (int, error) {
+	if len(q) > 1 && q[0] == '0' {
+		return 0, strconv.ErrSyntax
+	}
+	for i := 0; i < len(q); i++ {
+		if q[i] < '0' || q[i] > '9' {
+			return 0, strconv.ErrSyntax
+		}
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil {
+		return 0, err
+	}
+	if v <= 0 {
+		return 0, strconv.ErrRange
+	}
+	return v, nil
+}
+
 func (cfg Config) flightHandler(w http.ResponseWriter, r *http.Request) {
 	n := 32
 	if q := r.URL.Query().Get("n"); q != "" {
-		if v, err := strconv.Atoi(q); err == nil && v > 0 {
-			n = v
+		v, err := parseN(q)
+		if err != nil {
+			http.Error(w, "bad n: want a positive decimal integer, got "+strconv.Quote(q), http.StatusBadRequest)
+			return
 		}
+		n = v
 	}
 	recent, slow := cfg.Flight.Recent(), cfg.Flight.Slow()
 	if len(recent) > n {

@@ -134,6 +134,42 @@ func TestFlightLimit(t *testing.T) {
 	}
 }
 
+// TestFlightBadN: malformed ?n= values are the caller's error and must
+// come back 400, never a silent fall-through to the default bound.
+func TestFlightBadN(t *testing.T) {
+	cases := []struct {
+		name string
+		url  string
+		want int
+	}{
+		{"default", "/debug/xpath/flight", 200},
+		{"positive", "/debug/xpath/flight?n=5", 200},
+		{"one", "/debug/xpath/flight?n=1", 200},
+		{"zero", "/debug/xpath/flight?n=0", 400},
+		{"negative", "/debug/xpath/flight?n=-1", 400},
+		{"non-numeric", "/debug/xpath/flight?n=abc", 400},
+		{"trailing-junk", "/debug/xpath/flight?n=5x", 400},
+		{"float", "/debug/xpath/flight?n=1.5", 400},
+		{"zero-padded", "/debug/xpath/flight?n=007", 400},
+		{"zero-padded-huge", "/debug/xpath/flight?n=" + strings.Repeat("0", 40) + "9", 400},
+		{"overflow", "/debug/xpath/flight?n=99999999999999999999999999", 400},
+		{"plus-sign", "/debug/xpath/flight?n=%2B5", 400},
+		{"empty-treated-as-default", "/debug/xpath/flight?n=", 200},
+		{"ndjson-bad-n", "/debug/xpath/flight?format=ndjson&n=-3", 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rr, body := get(t, testConfig(), tc.url)
+			if rr.Code != tc.want {
+				t.Fatalf("GET %s: status %d, want %d\n%s", tc.url, rr.Code, tc.want, body)
+			}
+			if tc.want == 400 && !strings.Contains(body, "bad n") {
+				t.Errorf("400 body should name the parameter, got %q", body)
+			}
+		})
+	}
+}
+
 func TestPlansEndpoint(t *testing.T) {
 	rr, body := get(t, testConfig(), "/debug/xpath/plans")
 	if rr.Code != 200 {

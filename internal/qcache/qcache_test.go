@@ -431,3 +431,93 @@ func TestConcurrentMixedUse(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestLeaderErrorConcurrentInvalidation pins the seam between a failing
+// singleflight leader and concurrent fingerprint invalidation: while N
+// callers hammer one key whose evaluation always fails, another
+// goroutine loops InvalidateDocument on the same fingerprint. Every
+// caller must observe the error — never a stale entry, never a nil
+// value with a nil error — and the bypass.error metric must charge
+// exactly one increment per leader evaluation that ran, no matter how
+// the invalidations interleave with leader settles and waiter retries.
+// Run under -race this also proves the inflight map, the entry map and
+// the metric counters stay coherent across the three parties.
+func TestLeaderErrorConcurrentInvalidation(t *testing.T) {
+	d := testDoc(t, `<r><a/></r>`)
+	c := New(8, 1<<16)
+	m := obs.NewMetrics()
+	key := keyFor(d, "//always-fails")
+	boom := errors.New("deterministic evaluation failure")
+	var evals atomic.Int64
+	eval := func() (value.Value, error) {
+		evals.Add(1)
+		runtime.Gosched() // widen the leader window so waiters really wait
+		return nil, boom
+	}
+
+	stop := make(chan struct{})
+	var invalidations sync.WaitGroup
+	invalidations.Add(1)
+	go func() {
+		defer invalidations.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.InvalidateDocument(d.Fingerprint())
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	const callers, rounds = 8, 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, callers*rounds)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				v, err := c.Do(key, d, m, eval)
+				if err == nil {
+					errCh <- fmt.Errorf("Do returned nil error for an always-failing key (value %v)", v)
+					return
+				}
+				if !errors.Is(err, boom) {
+					errCh <- fmt.Errorf("Do returned %v, want the leader's error", err)
+					return
+				}
+				if v != nil {
+					errCh <- fmt.Errorf("Do returned value %v alongside error %v", v, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	invalidations.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Errors are never cached, and each leader run charges the error
+	// bypass exactly once — waiter retries that become leaders charge
+	// their own run, nothing double-counts.
+	if c.Len() != 0 {
+		t.Errorf("cache holds %d entries after error-only traffic, want 0", c.Len())
+	}
+	snap := m.Snapshot()
+	if got, want := snap.Counter(MetricBypassError), evals.Load(); got != want {
+		t.Errorf("cache.bypass.error = %d, want %d (one per leader evaluation)", got, want)
+	}
+	if snap.Counter(MetricHit) != 0 {
+		t.Errorf("cache.hit = %d, want 0 — a failing leader must never seed a hit", snap.Counter(MetricHit))
+	}
+	st := c.Stats()
+	if st.Hits != 0 {
+		t.Errorf("stats.hits = %d, want 0", st.Hits)
+	}
+}

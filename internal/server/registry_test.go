@@ -1,0 +1,183 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	xpath "xpathcomplexity"
+)
+
+func mustParse(t *testing.T, xml string) *xpath.Document {
+	t.Helper()
+	d, err := xpath.ParseDocumentString(xml)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return d
+}
+
+// docOfSize builds a document whose estimated footprint grows with n.
+func docOfSize(t *testing.T, tag string, n int) *xpath.Document {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("<" + tag + ">")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<item id="%d">payload-%d</item>`, i, i)
+	}
+	b.WriteString("</" + tag + ">")
+	return mustParse(t, b.String())
+}
+
+func TestFingerprintRoundTrip(t *testing.T) {
+	for _, fp := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+		s := FormatFingerprint(fp)
+		if len(s) != 16 {
+			t.Errorf("FormatFingerprint(%d) = %q, want 16 hex chars", fp, s)
+		}
+		got, err := ParseFingerprint(s)
+		if err != nil || got != fp {
+			t.Errorf("round trip %d -> %q -> %d, %v", fp, s, got, err)
+		}
+	}
+	for _, bad := range []string{"", "zz", "not-hex!", strings.Repeat("f", 17)} {
+		if _, err := ParseFingerprint(bad); err == nil {
+			t.Errorf("ParseFingerprint(%q): want error", bad)
+		}
+	}
+}
+
+func TestRegistryDedupAndLRU(t *testing.T) {
+	// One shard with room for roughly two mid-sized documents makes the
+	// eviction order observable.
+	d1 := docOfSize(t, "a", 50)
+	budget := 2*estimateDocBytes(d1) + estimateDocBytes(d1)/2
+	r := NewRegistry(1, budget, nil)
+
+	i1, err := r.Add(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical content (fresh parse) dedupes to the resident tree.
+	if i1b, err := r.Add(mustParse(t, d1.XMLString())); err != nil || i1b.Fingerprint != i1.Fingerprint {
+		t.Fatalf("dedup: %+v, %v", i1b, err)
+	}
+	if st := r.Stats(); st.Loads != 1 || st.Dedups != 1 {
+		t.Fatalf("after dedup: %+v", st)
+	}
+
+	d2 := docOfSize(t, "b", 50)
+	if _, err := r.Add(d2); err != nil {
+		t.Fatal(err)
+	}
+	// Touch d1 so d2 is the LRU victim when d3 arrives.
+	if _, ok := r.Get(d1.Fingerprint()); !ok {
+		t.Fatal("d1 not resident")
+	}
+	d3 := docOfSize(t, "c", 50)
+	if _, err := r.Add(d3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(d2.Fingerprint()); ok {
+		t.Error("d2 should have been evicted (LRU)")
+	}
+	if _, ok := r.Get(d1.Fingerprint()); !ok {
+		t.Error("d1 (recently used) should have survived")
+	}
+	st := r.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("expected evictions: %+v", st)
+	}
+	if st.Bytes > budget {
+		t.Errorf("resident bytes %d exceed budget %d", st.Bytes, budget)
+	}
+
+	// A document larger than the whole shard budget is rejected.
+	if _, err := r.Add(docOfSize(t, "huge", 2000)); !isOverBudget(err) {
+		t.Errorf("oversize add: want errDocTooLarge, got %v", err)
+	}
+}
+
+func TestRegistryEvictionInvalidatesCache(t *testing.T) {
+	cache := xpath.NewResultCache(0, 0)
+	d1 := docOfSize(t, "a", 40)
+	r := NewRegistry(1, estimateDocBytes(d1)+estimateDocBytes(d1)/2, cache)
+	if _, err := r.Add(d1); err != nil {
+		t.Fatal(err)
+	}
+	// Cache a result for d1.
+	q := xpath.MustCompile("//item")
+	if _, err := q.EvalOptions(xpath.RootContext(d1), xpath.EvalOptions{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Stats().Size == 0 {
+		t.Fatal("no cached entry to invalidate")
+	}
+	// Adding d2 evicts d1 and must drop its cached results.
+	if _, err := r.Add(docOfSize(t, "b", 40)); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Invalidations == 0 {
+		t.Errorf("eviction did not invalidate the cache: %+v", st)
+	}
+}
+
+func TestRegistryDeleteAndList(t *testing.T) {
+	r := NewRegistry(4, 0, nil)
+	d := docOfSize(t, "a", 10)
+	info, err := r.Add(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.List(); len(got) != 1 || got[0].Fingerprint != info.Fingerprint {
+		t.Fatalf("list: %+v", got)
+	}
+	if !r.Delete(d.Fingerprint()) {
+		t.Fatal("delete reported not resident")
+	}
+	if r.Delete(d.Fingerprint()) {
+		t.Fatal("second delete reported resident")
+	}
+	if got := r.List(); len(got) != 0 {
+		t.Fatalf("list after delete: %+v", got)
+	}
+	if st := r.Stats(); st.Docs != 0 || st.Bytes != 0 || st.Deletes != 1 {
+		t.Fatalf("stats after delete: %+v", st)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines
+// under -race: loads of a few distinct documents, gets, deletes.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry(4, 1<<20, xpath.NewResultCache(0, 0))
+	docs := make([]*xpath.Document, 4)
+	for i := range docs {
+		docs[i] = docOfSize(t, fmt.Sprintf("t%d", i), 10+i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d := docs[(g+i)%len(docs)]
+				switch i % 5 {
+				case 0:
+					if _, err := r.Add(d); err != nil {
+						t.Errorf("add: %v", err)
+					}
+				case 4:
+					r.Delete(d.Fingerprint())
+				default:
+					r.Get(d.Fingerprint())
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Docs < 0 || st.Bytes < 0 {
+		t.Fatalf("inconsistent stats: %+v", st)
+	}
+}

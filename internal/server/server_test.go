@@ -1,0 +1,435 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testDoc is small enough to evaluate instantly but deep enough that
+// //b and predicate queries return interesting node-sets.
+const testDoc = `<root><a><b id="1"/><b id="2"><c/></b></a><a><b id="3"/></a><d>text</d></root>`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func loadDoc(t *testing.T, ts *httptest.Server, xml string) DocInfo {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/documents", "application/xml", strings.NewReader(xml))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("load: status %d: %s", resp.StatusCode, body)
+	}
+	var info DocInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("load: decode: %v", err)
+	}
+	return info
+}
+
+func evalReq(t *testing.T, ts *httptest.Server, doc string, queries []string, hdr map[string]string) (*http.Response, evalResponse) {
+	t.Helper()
+	body, _ := json.Marshal(evalRequest{Doc: doc, Queries: queries})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/eval", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("eval request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var er evalResponse
+	_ = json.Unmarshal(raw, &er)
+	return resp, er
+}
+
+// TestServeLifecycle is the end-to-end flow the issue names: document
+// load → eval → cache hit → budget-exceeded 4xx → shed 429.
+func TestServeLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	// Load; reloading identical content dedupes to the same fingerprint.
+	info := loadDoc(t, ts, testDoc)
+	if info.Nodes <= 0 || info.Fingerprint == "" {
+		t.Fatalf("bad DocInfo: %+v", info)
+	}
+	again := loadDoc(t, ts, testDoc)
+	if again.Fingerprint != info.Fingerprint {
+		t.Fatalf("reload changed fingerprint: %s vs %s", again.Fingerprint, info.Fingerprint)
+	}
+	if st := s.Registry().Stats(); st.Loads != 1 || st.Dedups != 1 || st.Docs != 1 {
+		t.Fatalf("registry stats after dedup load: %+v", st)
+	}
+
+	// Eval: a node-set query and a scalar.
+	resp, er := evalReq(t, ts, info.Fingerprint, []string{"//b", "count(//b)"}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eval status %d", resp.StatusCode)
+	}
+	if len(er.Results) != 2 {
+		t.Fatalf("want 2 results, got %+v", er)
+	}
+	if er.Results[0].Card != 3 || len(er.Results[0].Ords) != 3 {
+		t.Errorf("//b: want card 3 with 3 ords, got %+v", er.Results[0])
+	}
+	if er.Results[1].Kind != "number" || er.Results[1].Value != "3" {
+		t.Errorf("count(//b): want number 3, got %+v", er.Results[1])
+	}
+
+	// Cache hit: repeating the eval serves from the shared result cache.
+	misses0 := s.cache.Stats().Misses
+	hits0 := s.cache.Stats().Hits
+	if _, er2 := evalReq(t, ts, info.Fingerprint, []string{"//b"}, nil); er2.Results[0].Card != 3 {
+		t.Fatalf("warm eval: %+v", er2)
+	}
+	st := s.cache.Stats()
+	if st.Hits <= hits0 {
+		t.Errorf("expected a cache hit: before hits=%d, after %+v", hits0, st)
+	}
+	if st.Misses != misses0 {
+		t.Errorf("warm eval should not miss: before misses=%d, after %+v", misses0, st)
+	}
+
+	// Budget exceeded: a 1-op budget cannot finish, and a single-query
+	// request maps that onto 422.
+	resp, er = evalReq(t, ts, info.Fingerprint, []string{"//b[c]//a"}, map[string]string{HeaderMaxOps: "1"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("budget eval: want 422, got %d (%+v)", resp.StatusCode, er)
+	}
+	if er.Results[0].ErrKind != "budget" {
+		t.Errorf("want err_kind budget, got %+v", er.Results[0])
+	}
+
+	// Shed: with the worker pool and queue wedged from the outside, the
+	// next request is shed with 429 + Retry-After and the counter moves.
+	release := wedgeAdmission(s)
+	resp, _ = evalReq(t, ts, info.Fingerprint, []string{"//b"}, nil)
+	release()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated eval: want 429, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := s.metrics.Counter("server.shed").Value(); got < 1 {
+		t.Errorf("server.shed = %d, want >= 1", got)
+	}
+
+	// The shed counter is visible on the mounted /metrics plane.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	text, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(text), "server_shed") {
+		t.Errorf("/metrics does not expose the shed counter:\n%.2000s", text)
+	}
+}
+
+// wedgeAdmission fills every worker slot and queue ticket so the next
+// acquire sheds immediately, returning a release func.
+func wedgeAdmission(s *Server) func() {
+	for i := 0; i < cap(s.adm.global); i++ {
+		s.adm.global <- struct{}{}
+	}
+	for i := 0; i < cap(s.adm.queue); i++ {
+		s.adm.queue <- struct{}{}
+	}
+	return func() {
+		for i := 0; i < cap(s.adm.global); i++ {
+			<-s.adm.global
+		}
+		for i := 0; i < cap(s.adm.queue); i++ {
+			<-s.adm.queue
+		}
+	}
+}
+
+// TestTenantShed pins the per-tenant gate: a tenant at its concurrency
+// cap is shed even while the pool has room, and other tenants pass.
+func TestTenantShed(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, TenantConcurrency: 1})
+	info := loadDoc(t, ts, testDoc)
+
+	// Wedge tenant "alpha" at its single slot.
+	slots := s.adm.tenantSlots("alpha")
+	slots <- struct{}{}
+	defer func() { <-slots }()
+
+	resp, _ := evalReq(t, ts, info.Fingerprint, []string{"//b"}, map[string]string{HeaderTenant: "alpha"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alpha: want 429, got %d", resp.StatusCode)
+	}
+	if got := s.metrics.Counter("server.shed.tenant.alpha").Value(); got != 1 {
+		t.Errorf("server.shed.tenant.alpha = %d, want 1", got)
+	}
+	resp, er := evalReq(t, ts, info.Fingerprint, []string{"//b"}, map[string]string{HeaderTenant: "beta"})
+	if resp.StatusCode != http.StatusOK || er.Results[0].Card != 3 {
+		t.Fatalf("beta should pass: status %d, %+v", resp.StatusCode, er)
+	}
+}
+
+// TestBudgetHeaders rejects malformed budget headers with 400 — the
+// same discipline the httpobs `?n=` fix enforces.
+func TestBudgetHeaders(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	info := loadDoc(t, ts, testDoc)
+	bad := []struct{ header, value string }{
+		{HeaderMaxOps, "bogus"},
+		{HeaderMaxOps, "-5"},
+		{HeaderMaxOps, "0"},
+		{HeaderMaxOps, "00000000000000000000000000000009"},
+		{HeaderMaxNodeSet, "1e6"},
+		{HeaderMaxNodeSet, "-1"},
+		{HeaderTimeoutMs, "500ms"},
+		{HeaderTimeoutMs, "0"},
+	}
+	for _, tc := range bad {
+		resp, _ := evalReq(t, ts, info.Fingerprint, []string{"//b"}, map[string]string{tc.header: tc.value})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s=%q: want 400, got %d", tc.header, tc.value, resp.StatusCode)
+		}
+	}
+	// Valid headers (clamped by ceilings) pass.
+	resp, er := evalReq(t, ts, info.Fingerprint, []string{"//b"}, map[string]string{
+		HeaderMaxOps: "1000000", HeaderMaxNodeSet: "10000", HeaderTimeoutMs: "2000",
+	})
+	if resp.StatusCode != http.StatusOK || er.Results[0].Card != 3 {
+		t.Fatalf("valid headers: status %d, %+v", resp.StatusCode, er)
+	}
+}
+
+// TestCeilingClamp pins that a header cannot widen budgets past the
+// operator ceiling: with a 64-op ceiling, a request asking for billions
+// still exhausts at the ceiling.
+func TestCeilingClamp(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxOpsCeiling: 8})
+	info := loadDoc(t, ts, testDoc)
+	resp, er := evalReq(t, ts, info.Fingerprint, []string{"//b[c]//a[b]"}, map[string]string{HeaderMaxOps: "999999999999"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("want 422 at the ceiling, got %d (%+v)", resp.StatusCode, er)
+	}
+}
+
+// TestEvalErrors covers the request-shape and status-mapping edges.
+func TestEvalErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatchQueries: 2})
+	info := loadDoc(t, ts, testDoc)
+
+	cases := []struct {
+		name    string
+		doc     string
+		queries []string
+		want    int
+	}{
+		{"unknown doc", "00000000deadbeef", []string{"//b"}, http.StatusNotFound},
+		{"malformed fingerprint", "not-hex!", []string{"//b"}, http.StatusBadRequest},
+		{"empty batch", info.Fingerprint, nil, http.StatusBadRequest},
+		{"oversized batch", info.Fingerprint, []string{"//a", "//b", "//c"}, http.StatusBadRequest},
+		{"compile error", info.Fingerprint, []string{"//b["}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, _ := evalReq(t, ts, tc.doc, tc.queries, nil)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: want %d, got %d", tc.name, tc.want, resp.StatusCode)
+		}
+	}
+
+	// A multi-query batch with one failing query stays 200 with the
+	// error inline.
+	resp, er := evalReq(t, ts, info.Fingerprint, []string{"//b", "//b["}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial batch: want 200, got %d", resp.StatusCode)
+	}
+	if er.Results[0].Err != "" || er.Results[1].Err == "" || er.Results[1].ErrKind != "compile" {
+		t.Errorf("partial batch results: %+v", er.Results)
+	}
+
+	// Unknown engine.
+	body, _ := json.Marshal(evalRequest{Doc: info.Fingerprint, Queries: []string{"//b"}, Engine: "warp"})
+	resp2, err := http.Post(ts.URL+"/v1/eval", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown engine: want 400, got %d", resp2.StatusCode)
+	}
+}
+
+// TestDocumentLifecycle covers list, delete, delete-invalidates-cache
+// and load rejection.
+func TestDocumentLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	info := loadDoc(t, ts, testDoc)
+
+	// Warm the cache, then delete the document: its cached results must
+	// not survive into a re-load of identical content.
+	evalReq(t, ts, info.Fingerprint, []string{"//b"}, nil)
+	evalReq(t, ts, info.Fingerprint, []string{"//b"}, nil)
+	if s.cache.Stats().Hits == 0 {
+		t.Fatal("expected a warm hit before delete")
+	}
+
+	listResp, err := http.Get(ts.URL + "/v1/documents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Docs  []DocInfo     `json:"docs"`
+		Stats RegistryStats `json:"stats"`
+	}
+	if err := json.NewDecoder(listResp.Body).Decode(&listing); err != nil {
+		t.Fatalf("list decode: %v", err)
+	}
+	listResp.Body.Close()
+	if len(listing.Docs) != 1 || listing.Docs[0].Fingerprint != info.Fingerprint {
+		t.Fatalf("listing: %+v", listing)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/documents/"+info.Fingerprint, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: want 204, got %d", dresp.StatusCode)
+	}
+	if inv := s.cache.Stats().Invalidations; inv == 0 {
+		t.Error("delete did not invalidate cached results")
+	}
+	// Deleting again is a 404.
+	dresp2, _ := http.DefaultClient.Do(req)
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusNotFound {
+		t.Errorf("second delete: want 404, got %d", dresp2.StatusCode)
+	}
+	// Re-load of identical content misses the cache (entries were
+	// invalidated, not orphaned).
+	misses0 := s.cache.Stats().Misses
+	info2 := loadDoc(t, ts, testDoc)
+	if info2.Fingerprint != info.Fingerprint {
+		t.Fatalf("same content, new fingerprint: %s vs %s", info2.Fingerprint, info.Fingerprint)
+	}
+	evalReq(t, ts, info2.Fingerprint, []string{"//b"}, nil)
+	if s.cache.Stats().Misses != misses0+1 {
+		t.Errorf("post-delete eval should miss: misses %d -> %d", misses0, s.cache.Stats().Misses)
+	}
+
+	// Malformed XML is the caller's 400.
+	bresp, err := http.Post(ts.URL+"/v1/documents", "application/xml", strings.NewReader("<root><unclosed>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed XML: want 400, got %d", bresp.StatusCode)
+	}
+}
+
+// TestConcurrentTenants runs several tenants against one registry and
+// shared caches under -race: every response must be one of the defined
+// statuses and the counters must reconcile with what clients saw.
+func TestConcurrentTenants(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 2, QueueWait: time.Millisecond, TenantConcurrency: 2})
+	docA := loadDoc(t, ts, testDoc)
+	docB := loadDoc(t, ts, `<log><e lvl="i"/><e lvl="w"><m/></e><e lvl="i"/></log>`)
+
+	queries := []string{"//b", "count(//b)", "//e[m]", "//e[@lvl]", "/root/a/b", "//*"}
+	var (
+		wg               sync.WaitGroup
+		mu               sync.Mutex
+		ok, shed, budget int
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", g%3)
+			for i := 0; i < 30; i++ {
+				doc := docA.Fingerprint
+				if (g+i)%2 == 1 {
+					doc = docB.Fingerprint
+				}
+				hdr := map[string]string{HeaderTenant: tenant}
+				if i%7 == 3 {
+					hdr[HeaderMaxOps] = "1"
+				}
+				body, _ := json.Marshal(evalRequest{Doc: doc, Queries: []string{queries[(g+i)%len(queries)]}})
+				req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/eval", bytes.NewReader(body))
+				for k, v := range hdr {
+					req.Header.Set(k, v)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Errorf("tenant %s: %v", tenant, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				mu.Lock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok++
+				case http.StatusTooManyRequests:
+					shed++
+				case http.StatusUnprocessableEntity:
+					budget++
+				default:
+					t.Errorf("unexpected status %d", resp.StatusCode)
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Fatal("no request succeeded")
+	}
+	if got := s.metrics.Counter("server.shed").Value(); got != int64(shed) {
+		t.Errorf("shed counter %d != observed 429s %d", got, shed)
+	}
+	if budget > 0 && s.metrics.Counter("server.budget_exceeded").Value() == 0 {
+		t.Error("clients saw 422s but the budget counter is zero")
+	}
+	if st := s.Registry().Stats(); st.Docs != 2 {
+		t.Errorf("registry should hold both documents: %+v", st)
+	}
+}
+
+// TestHealthz pins the liveness endpoint.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}

@@ -121,6 +121,52 @@ type Query struct {
 	Comment string
 }
 
+// ServeQuery is one entry of the serving mix: a workload query plus its
+// relative request weight.
+type ServeQuery struct {
+	Query
+	// Weight is the query's relative share of serving traffic.
+	Weight int
+}
+
+// ServeMix returns the query mix the xpathd load generator draws from:
+// cheap navigation dominates (the cache-friendly head of real traffic),
+// predicate and value-comparison queries form the body, and aggregates
+// the expensive tail — roughly the shape of the XMark read mix.
+func ServeMix() []ServeQuery {
+	var mix []ServeQuery
+	weights := map[string]int{
+		"Q1": 20, "Q3": 20, // navigation head
+		"Q2": 10, "Q4": 10, "Q5": 8, // structural predicates
+		"Q6": 5, "Q14": 3, // negation
+		"Q7": 5, "Q8": 2, // positional
+		"Q9": 6, "Q10": 5, "Q11": 3, "Q15": 3, // value comparisons
+		"Q12": 2, "Q13": 2, // aggregates
+	}
+	for _, q := range Queries() {
+		if w := weights[q.Name]; w > 0 {
+			mix = append(mix, ServeQuery{Query: q, Weight: w})
+		}
+	}
+	return mix
+}
+
+// PickServe draws one query from the weighted mix.
+func PickServe(rng *rand.Rand, mix []ServeQuery) Query {
+	total := 0
+	for _, q := range mix {
+		total += q.Weight
+	}
+	n := rng.Intn(total)
+	for _, q := range mix {
+		if n < q.Weight {
+			return q.Query
+		}
+		n -= q.Weight
+	}
+	return mix[len(mix)-1].Query
+}
+
 // Queries returns the workload query mix with expected classifications.
 func Queries() []Query {
 	return []Query{

@@ -605,6 +605,11 @@ func (q *Query) finishFlight(ctx Context, opts EvalOptions, t0 time.Time, v Valu
 	if err != nil {
 		rec.Err = err.Error()
 		rec.ErrKind = flight.ErrKind(err)
+		// A failed evaluation has no result: whatever v holds is at best a
+		// partial value (a canceled batch tail, a budget-killed node set).
+		// Recording its cardinality would present the partial answer as
+		// the evaluation's outcome, so errors always record Card -1.
+		rec.Card = -1
 	}
 	opts.Flight.Observe(rec)
 }
