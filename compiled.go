@@ -7,6 +7,7 @@ import (
 
 	"xpathcomplexity/internal/eval/streaming"
 	"xpathcomplexity/internal/fragment"
+	"xpathcomplexity/internal/vm"
 	"xpathcomplexity/internal/xpath/ast"
 	"xpathcomplexity/internal/xpath/rewrite"
 )
@@ -62,10 +63,11 @@ func bind(q *Query) *Compiled {
 		bound = EngineCoreLinear
 	}
 	planQuery := &Query{Source: q.Source, Expr: plan, Class: cls}
-	// Core XPath plans bind to the bytecode VM — the corelinear
-	// algorithm with its interpretation overhead compiled away. The
-	// lowering runs here, at bind time, so the plan cache carries the
-	// bytecode alongside the rewritten AST.
+	// Counting-fragment plans (Core XPath plus countable positional
+	// predicates) bind to the bytecode VM — the corelinear algorithm
+	// with its interpretation overhead compiled away and peephole
+	// optimized. The lowering runs here, at bind time, so the plan
+	// cache carries the optimized bytecode alongside the rewritten AST.
 	if _, err := planQuery.vmProgram(); err == nil {
 		bound = EngineVM
 	}
@@ -139,6 +141,17 @@ func (c *Compiled) EvalOptions(ctx Context, opts EvalOptions) (Value, error) {
 		}
 	}
 	return c.planQuery.EvalOptions(ctx, opts)
+}
+
+// VMProgram returns the bytecode EngineVM runs for this query —
+// compiled from the rewritten plan (descendant-step collapse,
+// predicate folds) and peephole optimized — or the compile error when
+// the plan falls outside the VM's fragment. Callers get the exact
+// production program, bit-for-bit; harnesses that need variant
+// lowerings (fusion or peephole disabled) compile the plan themselves
+// with vm.CompileWith.
+func (c *Compiled) VMProgram() (*vm.Program, error) {
+	return c.planQuery.vmProgram()
 }
 
 // Select evaluates a node-set query from the document root.

@@ -38,9 +38,9 @@ func nauxpdaOutside(err error) bool {
 // value, and the warm path (plan cache hit + document index) must agree
 // byte-for-byte with a cold compile evaluated with the index disabled.
 //
-// The seed corpus covers PF, positive Core, Core, pWF and full-XPath
-// profiles, so a plain `go test` run already exercises all five engines
-// on all profiles.
+// The seed corpus covers PF, positive Core, Core, pWF, full-XPath and
+// positional profiles, so a plain `go test` run already exercises all
+// engines on all profiles.
 func FuzzDifferentialEngines(f *testing.F) {
 	f.Add(int64(1), uint8(0), uint8(10))  // PF
 	f.Add(int64(2), uint8(1), uint8(25))  // positive core
@@ -49,10 +49,12 @@ func FuzzDifferentialEngines(f *testing.F) {
 	f.Add(int64(5), uint8(4), uint8(70))  // full
 	f.Add(int64(6), uint8(2), uint8(3))   // core on a tiny document
 	f.Add(int64(7), uint8(4), uint8(200)) // full on a wider document
+	f.Add(int64(8), uint8(5), uint8(45))  // positional (counting fragment)
+	f.Add(int64(9), uint8(5), uint8(6))   // positional on a tiny document
 
 	f.Fuzz(func(t *testing.T, seed int64, profile, shape uint8) {
 		rng := rand.New(rand.NewSource(seed))
-		prof := enginetest.GenProfile(int(profile) % 5)
+		prof := enginetest.GenProfile(int(profile) % 6)
 		d := xmltree.RandomDocument(rng, xmltree.GenConfig{
 			Nodes:     10 + int(shape)%90,
 			MaxFanout: 1 + int(shape)%5,
@@ -95,25 +97,48 @@ func FuzzDifferentialEngines(f *testing.F) {
 			}
 			run("cvt-cold", EvalOptions{Engine: EngineCVT, DisableIndex: true})
 			run("cvt-indexed", EvalOptions{Engine: EngineCVT})
-			if corelinear.CheckCore(q.Expr) == nil {
+			if corelinear.CheckCounting(q.Expr) == nil {
 				run("corelinear-cold", EvalOptions{Engine: EngineCoreLinear, DisableIndex: true})
 				run("corelinear-indexed", EvalOptions{Engine: EngineCoreLinear})
+			}
+			// The parallel engine serves strict Core XPath only — no
+			// positional predicates.
+			if corelinear.CheckCore(q.Expr) == nil {
 				run("parallel", EvalOptions{Engine: EngineParallel, Workers: 2})
 			}
 			if _, err := q.vmProgram(); err == nil {
 				run("vm-cold", EvalOptions{Engine: EngineVM, DisableIndex: true})
 				run("vm-indexed", EvalOptions{Engine: EngineVM})
-				// Fusion is an encoding choice, never a semantic one: the
-				// superinstruction-free bytecode must stay in the vote too.
-				unfused, err := vm.CompileWith(q.Expr, vm.Options{DisableFusion: true})
-				if err != nil {
-					t.Fatalf("query %q: fused bytecode compiled but unfused did not: %v", qs, err)
+				// Fusion and the peephole pass are encoding choices, never
+				// semantic ones: the superinstruction-free and unoptimized
+				// bytecode must stay in the vote too.
+				for _, alt := range []struct {
+					name string
+					opts vm.Options
+				}{
+					{"vm-unfused", vm.Options{DisableFusion: true}},
+					{"vm-peephole-off", vm.Options{DisablePeephole: true}},
+				} {
+					prog, err := vm.CompileWith(q.Expr, alt.opts)
+					if err != nil {
+						t.Fatalf("query %q: default bytecode compiled but %s did not: %v", qs, alt.name, err)
+					}
+					v, err := prog.Run(ctx, vm.RunOptions{})
+					if err != nil {
+						t.Fatalf("query %q: %s run failed: %v", qs, alt.name, err)
+					}
+					got = append(got, res{alt.name, v})
 				}
-				v, err := unfused.Run(ctx, vm.RunOptions{})
+				// Dispatch strategy is invisible too.
+				tbl, err := vm.Compile(q.Expr)
 				if err != nil {
-					t.Fatalf("query %q: unfused vm run failed: %v", qs, err)
+					t.Fatalf("query %q: vm recompile failed: %v", qs, err)
 				}
-				got = append(got, res{"vm-unfused", v})
+				v, err := tbl.Run(ctx, vm.RunOptions{TableDispatch: true})
+				if err != nil {
+					t.Fatalf("query %q: table-dispatch vm run failed: %v", qs, err)
+				}
+				got = append(got, res{"vm-table", v})
 			}
 			if v, err := q.EvalOptions(ctx, EvalOptions{Engine: EngineNAuxPDA, NegationBound: 8}); err == nil {
 				got = append(got, res{"nauxpda", v})
@@ -238,7 +263,7 @@ func FuzzDifferentialEngines(f *testing.F) {
 			// charge batch) or a typed resource error with no partial
 			// result — from every engine.
 			for _, eng := range []Engine{EngineAuto, EngineNaive, EngineCVT, EngineCoreLinear, EngineVM, EngineNAuxPDA} {
-				if eng == EngineCoreLinear && corelinear.CheckCore(q.Expr) != nil {
+				if eng == EngineCoreLinear && corelinear.CheckCounting(q.Expr) != nil {
 					continue
 				}
 				if eng == EngineVM {

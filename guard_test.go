@@ -290,8 +290,9 @@ func TestGuardAutoLadderMetrics(t *testing.T) {
 			t.Errorf("auto.selected.nauxpda = %d, want 1; counters: %v", s.Counter("auto.selected.nauxpda"), s.Counters)
 		}
 
-		// The same query materialized is a node-set: the rung is skipped
-		// and the tree engine is selected directly.
+		// The same query materialized is a node-set: the rung is skipped.
+		// The positional predicate is in the counting fragment, so the
+		// ladder lands on the bytecode VM.
 		m2 := NewMetrics()
 		if _, err := MustCompile("//a[position() = last()]").EvalOptions(ctx, EvalOptions{Metrics: m2}); err != nil {
 			t.Fatal(err)
@@ -300,8 +301,23 @@ func TestGuardAutoLadderMetrics(t *testing.T) {
 		if s2.Counter("auto.selected.nauxpda") != 0 {
 			t.Errorf("materializing query took the nauxpda rung; counters: %v", s2.Counters)
 		}
-		if s2.Counter("auto.selected.cvt") != 1 {
-			t.Errorf("auto.selected.cvt = %d, want 1; counters: %v", s2.Counter("auto.selected.cvt"), s2.Counters)
+		if s2.Counter("auto.selected.vm") != 1 {
+			t.Errorf("auto.selected.vm = %d, want 1; counters: %v", s2.Counter("auto.selected.vm"), s2.Counters)
+		}
+
+		// A positional shape outside the counting fragment misses the VM
+		// rung with a tagged reason and lands on cvt.
+		m3 := NewMetrics()
+		if _, err := MustCompile("//a[position() + 1 = last()]").EvalOptions(ctx, EvalOptions{Metrics: m3}); err != nil {
+			t.Fatal(err)
+		}
+		s3 := m3.Snapshot()
+		if s3.Counter("vm.ineligible.positional-shape") != 1 {
+			t.Errorf("vm.ineligible.positional-shape = %d, want 1; counters: %v",
+				s3.Counter("vm.ineligible.positional-shape"), s3.Counters)
+		}
+		if s3.Counter("auto.selected.cvt") != 1 {
+			t.Errorf("auto.selected.cvt = %d, want 1; counters: %v", s3.Counter("auto.selected.cvt"), s3.Counters)
 		}
 	})
 

@@ -14,8 +14,16 @@
 //     package nodeset, again O(|D|) each.
 //
 // Every query-tree node is processed exactly once, so the total running
-// time is O(|D|·|Q|). The package rejects queries outside Core XPath with
-// ErrNotCore.
+// time is O(|D|·|Q|).
+//
+// Beyond Core XPath the evaluator serves the counting fragment of
+// package counting: positional predicates ([k], [last()],
+// position()/last() comparisons) on child/attribute steps compile to
+// one whole-document counting pass each — a node's rank among its
+// parent's test-passing children is context independent — keeping the
+// same set-per-query-node structure and O(|D|·|Q|) bound. The package
+// rejects queries outside the fragment with ErrNotCore (CheckCore) or
+// counting.ErrNotCounting (CheckCounting, the evaluation gate).
 package corelinear
 
 import (
@@ -25,6 +33,7 @@ import (
 	"sync"
 
 	"xpathcomplexity/internal/axes"
+	"xpathcomplexity/internal/counting"
 	"xpathcomplexity/internal/eval/evalctx"
 	"xpathcomplexity/internal/nodeset"
 	"xpathcomplexity/internal/obs"
@@ -86,6 +95,16 @@ func checkCore(expr ast.Expr, seen map[ast.Expr]bool) error {
 	}
 }
 
+// CheckCounting verifies that expr is in the full fragment this
+// evaluator serves: Core XPath extended with the counting fragment's
+// positional predicates. It is the gate EvaluateOptions applies;
+// CheckCore remains the strict Core XPath check for callers (the
+// parallel engine, Theorem 4.2 reductions) that must exclude
+// positional queries.
+func CheckCounting(expr ast.Expr) error {
+	return counting.Check(expr)
+}
+
 // Options configure an evaluation.
 type Options struct {
 	// Counter counts elementary operations; may be nil.
@@ -119,7 +138,7 @@ func Evaluate(expr ast.Expr, ctx evalctx.Context, ctr *evalctx.Counter) (value.V
 
 // EvaluateOptions evaluates a Core XPath query with explicit options.
 func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Value, error) {
-	if err := CheckCore(expr); err != nil {
+	if err := CheckCounting(expr); err != nil {
 		return nil, err
 	}
 	if ctx.Node == nil {
@@ -158,7 +177,54 @@ func EvaluateOptions(expr ast.Expr, ctx evalctx.Context, opts Options) (value.Va
 // evaluatorPool recycles evaluators (with their memo map buckets and
 // marks bitmap) across evaluations.
 var evaluatorPool = sync.Pool{
-	New: func() any { return &evaluator{memo: make(map[ast.Expr]nodeset.Set)} },
+	New: func() any { return &evaluator{memo: make(map[condKey]nodeset.Set)} },
+}
+
+// condKey keys the condition memo. Position-insensitive conditions
+// memoize by syntactic identity alone; positional conditions
+// additionally key on the owning (step, predicate-index) pair, because
+// their meaning depends on where they sit. The VM compiler uses the
+// identical keying, which is what keeps op charges engine-independent.
+type condKey struct {
+	expr ast.Expr
+	step *ast.Step
+	pred int
+}
+
+// posEnv is the evaluation context of a condition subexpression (see
+// the identically-shaped condEnv in internal/vm).
+type posEnv struct {
+	// step and pred locate the owning predicate (step nil at top level).
+	step *ast.Step
+	pred int
+	// base is the conjunction of the step's earlier predicates' sets
+	// (zero when pred 0 or no positional predicate follows).
+	base nodeset.Set
+	// root marks the predicate root, where the XPath number-predicate
+	// special forms apply ([k] selects by position).
+	root bool
+	// boolCtx marks a boolean-converting context, where number
+	// constants fold by the ≠0 rule.
+	boolCtx bool
+}
+
+// inner is the environment for subexpressions of a boolean connective.
+func (v posEnv) inner() posEnv {
+	v.root = false
+	v.boolCtx = true
+	return v
+}
+
+// keyFor computes the memo key of a condition in its environment.
+func keyFor(expr ast.Expr, env posEnv) condKey {
+	sens := counting.Sensitive(expr)
+	if env.root {
+		sens = counting.SensitiveRoot(expr)
+	}
+	if sens && env.step != nil {
+		return condKey{expr, env.step, env.pred}
+	}
+	return condKey{expr: expr}
 }
 
 type evaluator struct {
@@ -168,7 +234,7 @@ type evaluator struct {
 	guard *evalctx.Guard
 	idx   *xmltree.Index // nil when the index is disabled
 	arena *nodeset.Arena // scratch arena; every transient Set lives here
-	memo  map[ast.Expr]nodeset.Set
+	memo  map[condKey]nodeset.Set
 	marks []bool // scratch dedup bitmap for sparse frontiers, always reset
 	// listBuf/selBuf/visBuf/pruneBuf are arena node buffers backing the
 	// sparse frontier machinery; lazily taken, released with the arena.
@@ -253,7 +319,7 @@ func (e *evaluator) evalTopInner(expr ast.Expr, ctx evalctx.Context) (value.Valu
 		}
 		return l.(value.NodeSet).Union(r.(value.NodeSet)), nil
 	}
-	set, err := e.condSet(expr)
+	set, err := e.condSet(expr, posEnv{})
 	if err != nil {
 		return nil, err
 	}
@@ -306,8 +372,9 @@ func (e *evaluator) forwardPath(p *ast.Path, start *xmltree.Node) (nodeset.Set, 
 		// place.
 		next := nodeset.ApplyAxisIndexedOwned(e.arena, nil, step.Axis, frontier).
 			AndWith(e.testSet(step.Axis, step.Test))
-		for _, pred := range step.Preds {
-			cond, err := e.condSet(pred)
+		pe := e.predEval(step)
+		for i := range step.Preds {
+			cond, err := pe.set(i)
 			if err != nil {
 				return nodeset.Set{}, err
 			}
@@ -361,8 +428,9 @@ func (e *evaluator) forwardPathSparse(p *ast.Path, first *xmltree.Node) (nodeset
 			dense = nodeset.ApplyAxisIndexedOwned(e.arena, e.idx, step.Axis, dense).
 				AndWith(e.testSet(step.Axis, step.Test))
 		}
-		for _, pred := range step.Preds {
-			cond, err := e.condSet(pred)
+		pe := e.predEval(step)
+		for i := range step.Preds {
+			cond, err := pe.set(i)
 			if err != nil {
 				return nodeset.Set{}, err
 			}
@@ -408,8 +476,9 @@ func (e *evaluator) forwardPathSparse(p *ast.Path, first *xmltree.Node) (nodeset
 // list directly. Preceding-sibling reports ok=false and falls
 // back to the dense passes. The result is appended to out (the caller's
 // spare frontier buffer, sliced to length 0), duplicate free, in
-// arbitrary order (Core XPath has no positional predicates, and the
-// final set conversion restores document order).
+// arbitrary order (positional ranks come from whole-document counting
+// sets filtered by membership, never from frontier order, and the final
+// set conversion restores document order).
 func (e *evaluator) selectSparse(a ast.Axis, t ast.NodeTest, list, out []*xmltree.Node) ([]*xmltree.Node, bool) {
 	switch a {
 	case ast.AxisSelf:
@@ -548,11 +617,89 @@ func (e *evaluator) pruneNested(list []*xmltree.Node) []*xmltree.Node {
 	return out
 }
 
+// predEval evaluates a step's predicate list left to right, supplying
+// each predicate its positional environment. For a positional predicate
+// at index i > 0, rank counting is restricted to siblings that pass the
+// earlier predicates, so predEval lazily accumulates the conjunction of
+// preceding condition sets — only while a position-sensitive predicate
+// still follows (lastSens), exactly as the VM compiler chains OpAndSlot.
+// The accumulated base aliases memoized condition sets and is only ever
+// read, never mutated.
+type predEval struct {
+	e        *evaluator
+	step     *ast.Step
+	lastSens int
+	base     nodeset.Set
+}
+
+func (e *evaluator) predEval(step *ast.Step) predEval {
+	pe := predEval{e: e, step: step, lastSens: -1}
+	if len(step.Preds) > 1 {
+		for i, p := range step.Preds {
+			if counting.SensitiveRoot(p) {
+				pe.lastSens = i
+			}
+		}
+	}
+	return pe
+}
+
+// set computes predicate i's condition set.
+func (pe *predEval) set(i int) (nodeset.Set, error) {
+	env := posEnv{step: pe.step, pred: i, root: true, boolCtx: true}
+	if i > 0 {
+		env.base = pe.base
+	}
+	cond, err := pe.e.condSet(pe.step.Preds[i], env)
+	if err != nil {
+		return nodeset.Set{}, err
+	}
+	if i < pe.lastSens {
+		if pe.base.Words == nil {
+			pe.base = cond
+		} else {
+			pe.base = pe.e.arena.And(pe.base, cond)
+		}
+	}
+	return cond, nil
+}
+
+// posSet materializes a recognized positional condition as a
+// whole-document set: the nodes whose rank among their parent's
+// test-and-base-passing children satisfies the comparison. On the
+// singleton axes the rank is always 1 of 1 and the condition folds to a
+// constant. The uncharged counting pass mirrors OpCondPos.
+func (e *evaluator) posSet(cnd counting.Cond, env posEnv) (nodeset.Set, error) {
+	if cnd.IsConst {
+		if cnd.Const {
+			return e.arena.Full(e.doc), nil
+		}
+		return e.arena.New(e.doc), nil
+	}
+	step := env.step
+	if step == nil {
+		return nodeset.Set{}, fmt.Errorf("%w: positional comparison outside a predicate", ErrNotCore)
+	}
+	if counting.SingletonAxis(step.Axis) {
+		if cnd.Cmp.Eval(1, 1) {
+			return e.arena.Full(e.doc), nil
+		}
+		return e.arena.New(e.doc), nil
+	}
+	if !counting.CountableAxis(step.Axis) {
+		return nodeset.Set{}, fmt.Errorf("%w: positional predicate on the %s axis", ErrNotCore, step.Axis)
+	}
+	out := e.arena.New(e.doc)
+	counting.Fill(e.doc, step.Axis, e.testSet(step.Axis, step.Test), env.base, cnd.Cmp, out)
+	return out, nil
+}
+
 // condSet computes E[cond] = the set of nodes at which the condition
-// holds. Each syntactic condition node is computed exactly once (memo).
-// Traced visits carry the zero context: a condition set is computed for
-// the whole document, not for one context node.
-func (e *evaluator) condSet(expr ast.Expr) (nodeset.Set, error) {
+// holds. Each syntactic condition node is computed exactly once (memo);
+// position-sensitive conditions are computed once per owning predicate
+// (see condKey). Traced visits carry the zero context: a condition set
+// is computed for the whole document, not for one context node.
+func (e *evaluator) condSet(expr ast.Expr, env posEnv) (nodeset.Set, error) {
 	if g := e.guard; g != nil {
 		if err := g.Enter(); err != nil {
 			return nodeset.Set{}, err
@@ -560,20 +707,34 @@ func (e *evaluator) condSet(expr ast.Expr) (nodeset.Set, error) {
 		defer g.Exit()
 	}
 	if e.tr == nil {
-		return e.condSetInner(expr)
+		return e.condSetInner(expr, env)
 	}
 	sp := e.tr.Enter(expr, evalctx.Context{}, e.ctr)
-	s, err := e.condSetInner(expr)
+	s, err := e.condSetInner(expr, env)
 	e.tr.ExitSet(sp, s, e.ctr)
 	return s, err
 }
 
-func (e *evaluator) condSetInner(expr ast.Expr) (nodeset.Set, error) {
-	if s, ok := e.memo[expr]; ok {
+func (e *evaluator) condSetInner(expr ast.Expr, env posEnv) (nodeset.Set, error) {
+	key := keyFor(expr, env)
+	if s, ok := e.memo[key]; ok {
 		return s, nil
 	}
 	if err := e.charge(int64(len(e.doc.Nodes))); err != nil {
 		return nodeset.Set{}, err
+	}
+	if env.root {
+		// The XPath number-predicate forms: [k] is position()=k, [last()]
+		// is position()=last(), a bare [position()] is constantly true.
+		if cnd, ok := counting.RecognizeRoot(expr); ok {
+			out, err := e.posSet(cnd, env)
+			if err != nil {
+				return nodeset.Set{}, err
+			}
+			e.memo[key] = out
+			return out, nil
+		}
+		env.root = false
 	}
 	var out nodeset.Set
 	var err error
@@ -582,38 +743,64 @@ func (e *evaluator) condSetInner(expr ast.Expr) (nodeset.Set, error) {
 		var l, r nodeset.Set
 		switch x.Op {
 		case ast.OpAnd:
-			if l, err = e.condSet(x.Left); err != nil {
+			if l, err = e.condSet(x.Left, env.inner()); err != nil {
 				return nodeset.Set{}, err
 			}
-			if r, err = e.condSet(x.Right); err != nil {
+			if r, err = e.condSet(x.Right, env.inner()); err != nil {
 				return nodeset.Set{}, err
 			}
 			out = e.arena.And(l, r)
 		case ast.OpOr, ast.OpUnion:
-			if l, err = e.condSet(x.Left); err != nil {
+			if l, err = e.condSet(x.Left, env.inner()); err != nil {
 				return nodeset.Set{}, err
 			}
-			if r, err = e.condSet(x.Right); err != nil {
+			if r, err = e.condSet(x.Right, env.inner()); err != nil {
 				return nodeset.Set{}, err
 			}
 			out = e.arena.Or(l, r)
 		default:
-			return nodeset.Set{}, fmt.Errorf("%w: operator %q", ErrNotCore, x.Op)
+			if x.Op.IsRelational() {
+				cnd, ok := counting.RecognizeCmp(x)
+				if !ok {
+					return nodeset.Set{}, fmt.Errorf("%w: relational %q over non-positional operands", ErrNotCore, x.Op)
+				}
+				if out, err = e.posSet(cnd, env); err != nil {
+					return nodeset.Set{}, err
+				}
+				break
+			}
+			cnd, ok := counting.Cond{}, false
+			if env.boolCtx {
+				cnd, ok = counting.RecognizeBool(expr)
+			}
+			if !ok {
+				return nodeset.Set{}, fmt.Errorf("%w: operator %q", ErrNotCore, x.Op)
+			}
+			if out, err = e.posSet(cnd, env); err != nil {
+				return nodeset.Set{}, err
+			}
 		}
 	case *ast.Call:
 		switch x.Name {
 		case "not":
-			inner, err := e.condSet(x.Args[0])
+			inner, err := e.condSet(x.Args[0], env.inner())
 			if err != nil {
 				return nodeset.Set{}, err
 			}
 			out = e.arena.Not(inner)
 		case "boolean":
-			return e.condSet(x.Args[0])
+			return e.condSet(x.Args[0], env.inner())
 		case "true":
 			out = e.arena.Full(e.doc)
 		case "false":
 			out = e.arena.New(e.doc)
+		case "position", "last":
+			// In a boolean context both are constantly true: positions are
+			// numbered from one. Number-typed at top level is out of scope.
+			if !env.boolCtx {
+				return nodeset.Set{}, fmt.Errorf("%w: number-typed %s() at top level", ErrNotCore, x.Name)
+			}
+			out = e.arena.Full(e.doc)
 		default:
 			return nodeset.Set{}, fmt.Errorf("%w: function %q", ErrNotCore, x.Name)
 		}
@@ -625,9 +812,18 @@ func (e *evaluator) condSetInner(expr ast.Expr) (nodeset.Set, error) {
 			return nodeset.Set{}, err
 		}
 	default:
-		return nodeset.Set{}, fmt.Errorf("%w: %T in condition", ErrNotCore, expr)
+		cnd, ok := counting.Cond{}, false
+		if env.boolCtx {
+			cnd, ok = counting.RecognizeBool(expr)
+		}
+		if !ok {
+			return nodeset.Set{}, fmt.Errorf("%w: %T in condition", ErrNotCore, expr)
+		}
+		if out, err = e.posSet(cnd, env); err != nil {
+			return nodeset.Set{}, err
+		}
 	}
-	e.memo[expr] = out
+	e.memo[key] = out
 	return out, nil
 }
 
@@ -644,8 +840,9 @@ func (e *evaluator) backwardPath(p *ast.Path) (nodeset.Set, error) {
 		// down the chain, so the intersections run in place and the
 		// inverse image may consume it.
 		s = s.AndWith(e.testSet(step.Axis, step.Test))
-		for _, pred := range step.Preds {
-			cond, err := e.condSet(pred)
+		pe := e.predEval(step)
+		for pi := range step.Preds {
+			cond, err := pe.set(pi)
 			if err != nil {
 				return nodeset.Set{}, err
 			}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"xpathcomplexity/internal/counting"
 	"xpathcomplexity/internal/eval/cvt"
 	"xpathcomplexity/internal/eval/enginetest"
 	"xpathcomplexity/internal/eval/evalctx"
@@ -60,10 +61,52 @@ func TestCheckCore(t *testing.T) {
 }
 
 func TestRejectsNonCoreOnEvaluate(t *testing.T) {
+	// Positional predicates on countable axes now evaluate (the counting
+	// fragment); the evaluation gate is CheckCounting, so only queries
+	// outside it are rejected at Evaluate time.
 	d, _ := xmltree.ParseString("<a/>")
-	_, err := Evaluate(parser.MustParse("//a[1]"), evalctx.Root(d), nil)
-	if !errors.Is(err, ErrNotCore) {
-		t.Fatalf("err = %v, want ErrNotCore", err)
+	_, err := Evaluate(parser.MustParse("count(a)"), evalctx.Root(d), nil)
+	if !errors.Is(err, counting.ErrNotCounting) {
+		t.Fatalf("err = %v, want ErrNotCounting", err)
+	}
+}
+
+func TestCheckCounting(t *testing.T) {
+	good := []string{
+		"a[1]",
+		"//a[last()]/b",
+		"a[position() = 1]",
+		"//a[position() < 3][b]",
+		"//a[b][position() = last()]",
+		"a[not(position() = 1)]",
+		"a[3 < 4]",
+		"self::a[2]",   // singleton axis: folds to a constant
+		"parent::a[1]", // singleton axis
+		"//*[@x][2]",
+	}
+	for _, q := range good {
+		if err := CheckCounting(parser.MustParse(q)); err != nil {
+			t.Errorf("CheckCounting(%q) = %v, want nil", q, err)
+		}
+	}
+	bad := []string{
+		"ancestor::a[2]",            // positional on an uncountable axis
+		"//a/following-sibling::b[1]",
+		"position() = 1",            // positional comparison outside a predicate
+		"a[position() + 1 = last()]", // arithmetic over position()
+		"count(a)",
+		"a[b = 'x']",
+		"1 + 2", // number-typed at top level
+	}
+	for _, q := range bad {
+		err := CheckCounting(parser.MustParse(q))
+		if !errors.Is(err, counting.ErrNotCounting) {
+			t.Errorf("CheckCounting(%q) = %v, want ErrNotCounting", q, err)
+		}
+		// The stricter Core check must reject these too.
+		if err := CheckCore(parser.MustParse(q)); !errors.Is(err, ErrNotCore) {
+			t.Errorf("CheckCore(%q) = %v, want ErrNotCore", q, err)
+		}
 	}
 }
 
@@ -125,6 +168,65 @@ func TestAgreementWithCVTRandom(t *testing.T) {
 			expr := parser.MustParse(q)
 			// Evaluate from several context nodes, not just the root.
 			for _, ctxNode := range []*xmltree.Node{doc.Root, doc.Nodes[len(doc.Nodes)/2], doc.Nodes[len(doc.Nodes)-1]} {
+				ctx := evalctx.At(ctxNode)
+				want, err := cvt.Evaluate(expr, ctx, nil)
+				if err != nil {
+					t.Fatalf("cvt failed on %q: %v", q, err)
+				}
+				got, err := Evaluate(expr, ctx, nil)
+				if err != nil {
+					t.Fatalf("corelinear failed on %q: %v", q, err)
+				}
+				if !value.Equal(want, got) {
+					t.Fatalf("disagreement on %q from #%d:\n cvt:        %v\n corelinear: %v\n doc: %s",
+						q, ctxNode.Ord, want, got, doc.XMLString())
+				}
+			}
+		}
+	}
+}
+
+// TestPositionalAgreementWithCVT checks the counting-fragment
+// evaluation against the context-value-table engine — the reference
+// for full XPath positional semantics — on the predicate shapes the
+// fragment admits, including renumbering after an earlier predicate
+// ([b][2] counts among the b-having siblings only).
+func TestPositionalAgreementWithCVT(t *testing.T) {
+	queries := []string{
+		"a[1]",
+		"//a[2]",
+		"//a[last()]",
+		"//a[last()]/b",
+		"//b[position() < 3]",
+		"//a[position() = 1]/b",
+		"//a[position() >= 2][c]",
+		"//a[b][2]",
+		"//a[b][position() = last()]",
+		"//a[b][c][2]",
+		"//a[position() > 1][1]",
+		"//a[position() = 1 or position() = last()]",
+		"//a[not(position() = 1)]",
+		"//*[@x][1]",
+		"//a/@*[2]",
+		"//a[3 < 4]",
+		"//a[0]",
+		"//a[position() != 2]/c",
+		"self::a[1]",
+		"//c/parent::a[1]",
+		"//a[.//b[2]]",
+		"//a[1][2]", // positions renumber: first a, then [2] of that singleton → empty
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		doc := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 40, MaxFanout: 4, Tags: []string{"a", "b", "c"}, TextProb: 0.2, AttrProb: 0.3,
+		})
+		for _, q := range queries {
+			expr := parser.MustParse(q)
+			if err := CheckCounting(expr); err != nil {
+				t.Fatalf("CheckCounting(%q) = %v, want nil", q, err)
+			}
+			for _, ctxNode := range []*xmltree.Node{doc.Root, doc.Nodes[len(doc.Nodes)/2]} {
 				ctx := evalctx.At(ctxNode)
 				want, err := cvt.Evaluate(expr, ctx, nil)
 				if err != nil {

@@ -24,6 +24,11 @@ const (
 	// GenFull: everything the engine supports, including negation,
 	// iterated predicates, aggregates and string functions.
 	GenFull
+	// GenPositional: the counting fragment — Core XPath shapes biased
+	// toward countable axes, plus positional predicates: bare numbers,
+	// [last()], and position()/last() comparisons against constants and
+	// each other, iterated for renumbering coverage.
+	GenPositional
 )
 
 // String names the profile.
@@ -39,6 +44,8 @@ func (p GenProfile) String() string {
 		return "pWF"
 	case GenFull:
 		return "full"
+	case GenPositional:
+		return "positional"
 	default:
 		return "unknown"
 	}
@@ -75,6 +82,12 @@ var genAxes = []string{
 	"following-sibling", "preceding-sibling", "following", "preceding",
 }
 
+// genPositionalAxes are the axes positional predicates may sit on in
+// the counting fragment: countable (child, attribute) and singleton
+// (self, parent). The generator also mixes in descendant steps without
+// positional predicates for realistic paths.
+var genPositionalAxes = []string{"child", "child", "attribute", "self", "parent"}
+
 // Query produces one random query string.
 func (g *QueryGen) Query() string {
 	return g.path(g.MaxDepth, g.rng.Intn(2) == 0)
@@ -99,17 +112,44 @@ func (g *QueryGen) path(depth int, absolute bool) string {
 		if i > 0 {
 			b.WriteString("/")
 		}
-		b.WriteString(g.pick(genAxes))
+		axis := g.pick(genAxes)
+		if g.profile == GenPositional && g.rng.Intn(2) == 0 {
+			axis = g.pick(genPositionalAxes)
+		}
+		b.WriteString(axis)
 		b.WriteString("::")
-		b.WriteString(g.nodeTest())
+		if axis == "attribute" {
+			b.WriteString("*")
+		} else {
+			b.WriteString(g.nodeTest())
+		}
 		if g.profile != GenPF && depth > 0 {
-			g.writePreds(&b, depth)
+			g.writePreds(&b, depth, axis)
 		}
 	}
 	return b.String()
 }
 
-func (g *QueryGen) writePreds(b *strings.Builder, depth int) {
+func (g *QueryGen) writePreds(b *strings.Builder, depth int, axis string) {
+	if g.profile == GenPositional {
+		// Positional predicates only go on counting-fragment axes;
+		// iterated sequences exercise renumbering ([b][2] counts among
+		// the b-having siblings).
+		positionalOK := false
+		switch axis {
+		case "child", "attribute", "self", "parent":
+			positionalOK = true
+		}
+		nPreds := g.rng.Intn(3)
+		for i := 0; i < nPreds; i++ {
+			if positionalOK && g.rng.Intn(2) == 0 {
+				fmt.Fprintf(b, "[%s]", g.positionalPred())
+			} else {
+				fmt.Fprintf(b, "[%s]", g.condition(depth-1))
+			}
+		}
+		return
+	}
 	nPreds := 0
 	switch {
 	case g.rng.Intn(3) == 0:
@@ -119,6 +159,24 @@ func (g *QueryGen) writePreds(b *strings.Builder, depth int) {
 	}
 	for i := 0; i < nPreds; i++ {
 		fmt.Fprintf(b, "[%s]", g.condition(depth-1))
+	}
+}
+
+// positionalPred emits one counting-fragment positional predicate.
+func (g *QueryGen) positionalPred() string {
+	switch g.rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(4)) // bare number, 0 included
+	case 1:
+		return "last()"
+	case 2:
+		return fmt.Sprintf("position() %s %d", g.relop(), g.rng.Intn(4))
+	case 3:
+		return fmt.Sprintf("position() %s last()", g.relop())
+	case 4:
+		return fmt.Sprintf("%d %s last()", g.rng.Intn(4), g.relop())
+	default:
+		return fmt.Sprintf("not(position() %s %d)", g.relop(), 1+g.rng.Intn(3))
 	}
 }
 

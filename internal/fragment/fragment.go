@@ -16,6 +16,7 @@ package fragment
 import (
 	"sort"
 
+	"xpathcomplexity/internal/counting"
 	"xpathcomplexity/internal/xpath/ast"
 )
 
@@ -212,6 +213,13 @@ type Classification struct {
 	// Minimal is the smallest fragment containing the query (preference
 	// order PF, positive Core, pWF, Core, WF, pXPath, XPath).
 	Minimal Fragment
+	// Counting reports membership in the counting fragment the
+	// linear-time engines serve: Core XPath plus positional predicates
+	// ([k], [last()], position()/last() comparisons) on
+	// child/attribute/self/parent steps. It cuts across the Figure 1
+	// lattice — positional queries classify as pWF or WF, yet the
+	// counting ones still evaluate in one O(|D|·|Q|) pass.
+	Counting bool
 }
 
 // ArithDepthBound is the constant K of Definitions 5.1(3)/6.1(4) used for
@@ -259,7 +267,10 @@ func Classify(expr ast.Expr) Classification {
 			break
 		}
 	}
-	return Classification{Features: f, Member: m, Minimal: minimal}
+	return Classification{
+		Features: f, Member: m, Minimal: minimal,
+		Counting: counting.Check(expr) == nil,
+	}
 }
 
 // Engine names the evaluator the facade should use for a fragment.
@@ -273,10 +284,13 @@ const (
 )
 
 // RecommendEngine returns the cheapest evaluator for the query per its
-// classification: the linear-time engine for Core XPath and below, the
-// LOGCFL engine for decision-style pWF/pXPath workloads, and the
-// polynomial context-value-table engine otherwise.
+// classification: the linear-time engine for the counting fragment
+// (Core XPath and below, plus the countable positional queries), and
+// the polynomial context-value-table engine otherwise.
 func (c Classification) RecommendEngine() Engine {
+	if c.Counting {
+		return EngineCoreLinear
+	}
 	switch c.Minimal {
 	case PF, PositiveCore, Core:
 		return EngineCoreLinear

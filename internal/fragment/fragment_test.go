@@ -149,10 +149,14 @@ func TestRecommendEngine(t *testing.T) {
 	}{
 		{"/a/b", EngineCoreLinear, EngineCoreLinear},
 		{"//a[not(b)]", EngineCoreLinear, EngineCoreLinear},
-		{"a[position()=1]", EngineCVT, EngineNAuxPDA},
+		// Counting-fragment positional queries evaluate linearly.
+		{"a[position()=1]", EngineCoreLinear, EngineNAuxPDA},
+		{"a[not(position()=1)]", EngineCoreLinear, EngineCVT},
+		// Positional shapes outside the counting fragment do not.
+		{"a[position()+1=last()]", EngineCVT, EngineNAuxPDA},
+		{"//a/following-sibling::b[1]", EngineCVT, EngineNAuxPDA},
 		{"a[b='x']", EngineCVT, EngineNAuxPDA},
 		{"count(a)", EngineCVT, EngineCVT},
-		{"a[not(position()=1)]", EngineCVT, EngineCVT},
 	}
 	for _, tc := range cases {
 		c := classify(t, tc.q)

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"xpathcomplexity/internal/counting"
 	"xpathcomplexity/internal/xpath/ast"
 )
 
@@ -60,10 +61,20 @@ var opByName = func() map[string]Op {
 // the disassembly comment; field printing is value-driven either way).
 func (o Op) usesAxis() bool {
 	switch o {
-	case OpStep, OpStepCond, OpAxisF, OpInvStep, OpInvStepCond, OpInvAxis:
+	case OpStep, OpStepCond, OpAxisF, OpInvStep, OpInvStepCond, OpInvAxis,
+		OpStepPos, OpStepPosBase, OpCondPos:
 		return true
 	}
 	return false
+}
+
+// relopByName maps the relational operators' source spellings (which
+// are single whitespace-free tokens) back to ast.BinOp for the poscond
+// pool directive.
+var relopByName = map[string]ast.BinOp{
+	"=": ast.OpEq, "!=": ast.OpNeq,
+	"<": ast.OpLt, "<=": ast.OpLe,
+	">": ast.OpGt, ">=": ast.OpGe,
 }
 
 // Disassemble renders the program in the round-trippable assembly form:
@@ -72,6 +83,9 @@ func (p *Program) Disassemble() string {
 	var b strings.Builder
 	b.WriteString("vm bytecode v1\n")
 	fmt.Fprintf(&b, "slots %d\n", p.NumSlots)
+	if p.PreCharge != 0 {
+		fmt.Fprintf(&b, "precharge %d\n", p.PreCharge)
+	}
 	for i, e := range p.Tests {
 		principal := "elem"
 		if e.Attr {
@@ -81,6 +95,9 @@ func (p *Program) Disassemble() string {
 	}
 	for i, l := range p.Labels {
 		fmt.Fprintf(&b, "label %d %s\n", i, strconv.Quote(l))
+	}
+	for i, c := range p.PosConds {
+		fmt.Fprintf(&b, "poscond %d %s %s %s\n", i, c.Left, c.Op, c.Right)
 	}
 	for i, in := range p.Code {
 		fmt.Fprintf(&b, "%3d: %s", i, in.Op)
@@ -103,6 +120,18 @@ func (p *Program) Disassemble() string {
 			// The source-form comment: axis::test as the query spelled it.
 			e := p.Tests[in.Test]
 			fmt.Fprintf(&b, "\t; %s::%s", in.Axis, e.Test)
+			// The positional opcodes append their comparison.
+			pi := -1
+			switch in.Op {
+			case OpStepPos, OpStepPosBase:
+				pi = int(in.A)
+			case OpCondPos:
+				pi = int(in.B)
+			}
+			if pi >= 0 && pi < len(p.PosConds) {
+				c := p.PosConds[pi]
+				fmt.Fprintf(&b, "[%s %s %s]", c.Left, c.Op, c.Right)
+			}
 		} else if in.Op == OpCondLabel && int(in.Test) < len(p.Labels) {
 			fmt.Fprintf(&b, "\t; T(%s)", p.Labels[in.Test])
 		}
@@ -176,6 +205,36 @@ func Assemble(src string) (*Program, error) {
 			}
 			e.Test.Name = name
 			p.Tests = append(p.Tests, e)
+		case "precharge":
+			n, err := atoiField(fields, 1, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			p.PreCharge = n
+		case "poscond":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("vm: line %d: want %q", lineNo, "poscond <idx> <left> <op> <right>")
+			}
+			i, err := atoiField(fields, 1, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if i != len(p.PosConds) {
+				return nil, fmt.Errorf("vm: line %d: poscond index %d out of order", lineNo, i)
+			}
+			var c counting.Cmp
+			if c.Left, err = counting.ParseOperand(fields[2]); err != nil {
+				return nil, fmt.Errorf("vm: line %d: %v", lineNo, err)
+			}
+			op, ok := relopByName[fields[3]]
+			if !ok {
+				return nil, fmt.Errorf("vm: line %d: unknown relational operator %q", lineNo, fields[3])
+			}
+			c.Op = op
+			if c.Right, err = counting.ParseOperand(fields[4]); err != nil {
+				return nil, fmt.Errorf("vm: line %d: %v", lineNo, err)
+			}
+			p.PosConds = append(p.PosConds, c)
 		case "label":
 			if len(fields) < 3 {
 				return nil, fmt.Errorf("vm: line %d: want %q", lineNo, "label <idx> <name>")

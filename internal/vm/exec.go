@@ -2,10 +2,12 @@ package vm
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
 	"sync"
 
 	"xpathcomplexity/internal/axes"
+	"xpathcomplexity/internal/counting"
 	"xpathcomplexity/internal/eval/evalctx"
 	"xpathcomplexity/internal/nodeset"
 	"xpathcomplexity/internal/obs"
@@ -37,6 +39,10 @@ type RunOptions struct {
 	// limits at opcode granularity. It is charged in lockstep with
 	// Counter, so its MaxOps uses the same units as Counter.Budget.
 	Guard *evalctx.Guard
+	// TableDispatch runs the program on the function-table dispatcher
+	// instead of the switch loop — the EXP-VM2 experiment. Semantics
+	// and charges are identical; only the dispatch mechanism differs.
+	TableDispatch bool
 }
 
 // Run executes the program for one evaluation context. Node-set queries
@@ -113,6 +119,11 @@ type machine struct {
 	visBuf       *[]*xmltree.Node
 	pruneBuf     *[]*xmltree.Node
 	modeSwitches int64
+
+	// posRank/posTotal are per-parent counter scratch for the dense
+	// positional step (indexed by parent ord, zeroed at each use).
+	posRank  []int32
+	posTotal []int32
 }
 
 // release returns the machine and its arena-backed scratch memory to
@@ -176,16 +187,23 @@ func (m *machine) run(ctx evalctx.Context, opts RunOptions) (value.Value, error)
 		}
 		defer g.Exit()
 	}
+	run := (*machine).exec
+	if opts.TableDispatch {
+		run = (*machine).execTable
+	}
 	if opts.Tracer == nil {
-		return m.exec(ctx)
+		return run(m, ctx)
 	}
 	sp := opts.Tracer.Enter(opts.Root, ctx, m.ctr)
-	v, err := m.exec(ctx)
+	v, err := run(m, ctx)
 	opts.Tracer.Exit(sp, v, m.ctr)
 	return v, err
 }
 
-func (m *machine) exec(ctx evalctx.Context) (value.Value, error) {
+// prep sizes the registers and bills the peephole pass's folded-out
+// charges (PreCharge), keeping MaxOps budgets identical to the tree
+// evaluator, which still visits the folded condition nodes.
+func (m *machine) prep() error {
 	p := m.prog
 	if cap(m.slots) < p.NumSlots {
 		m.slots = make([]nodeset.Set, p.NumSlots)
@@ -198,6 +216,19 @@ func (m *machine) exec(ctx evalctx.Context) (value.Value, error) {
 	} else {
 		m.tsets = m.tsets[:len(p.Tests)]
 		clear(m.tsets)
+	}
+	for i := 0; i < p.PreCharge; i++ {
+		if err := m.charge(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *machine) exec(ctx evalctx.Context) (value.Value, error) {
+	p := m.prog
+	if err := m.prep(); err != nil {
+		return nil, err
 	}
 	for _, in := range p.Code {
 		switch in.Op {
@@ -327,6 +358,20 @@ func (m *machine) exec(ctx evalctx.Context) (value.Value, error) {
 			return value.NodeSetFromOrdered(m.dense.Nodes()), nil
 		case OpRetBool:
 			return value.Boolean(m.slots[in.A].HasOrd(ctx.Node.Ord)), nil
+		case OpCondPos:
+			if err := m.condPos(in); err != nil {
+				return nil, err
+			}
+		case OpStepPos:
+			if err := m.stepPos(in.Axis, in.Test, p.PosConds[in.A], nodeset.Set{}, in.B != 0); err != nil {
+				return nil, err
+			}
+		case OpStepPosBase:
+			if err := m.stepPos(in.Axis, in.Test, p.PosConds[in.A], m.slots[in.Dst], in.B != 0); err != nil {
+				return nil, err
+			}
+		case OpAndSlot:
+			m.slots[in.Dst] = m.arena.And(m.slots[in.A], m.slots[in.B])
 		default:
 			return nil, fmt.Errorf("vm: invalid opcode %d", in.Op)
 		}
@@ -434,6 +479,190 @@ func (m *machine) step(a ast.Axis, ti uint16, cond nodeset.Set, endStep bool) er
 		return m.endStep()
 	}
 	return nil
+}
+
+// condPos fills a positional condition slot: one charge (the condition
+// node) and one O(|D|) counting pass ranking every node among its
+// parent's test∧base-passing children (package counting).
+func (m *machine) condPos(in Instr) error {
+	if err := m.charge(); err != nil {
+		return err
+	}
+	base := nodeset.Set{}
+	if in.A != NoBaseSlot {
+		base = m.slots[in.A]
+	}
+	out := m.arena.New(m.doc)
+	counting.Fill(m.doc, in.Axis, m.testSet(in.Test), base, m.prog.PosConds[in.B], out)
+	m.slots[in.Dst] = out
+	return nil
+}
+
+// stepPos executes the fused positional superinstructions
+// (OpStepPos/OpStepPosBase): a forward child/attribute step whose
+// positional predicate ranks siblings passing the node test and, when
+// base is non-zero, the base set (the conjunction of the step's
+// earlier predicates). Two charges (the step and the condition node),
+// matching the tree evaluator. On a sparse frontier the ranks come
+// free: selectSparse appends each frontier parent's test-passing
+// children as one contiguous run in sibling order. On a dense frontier
+// the step is candidate-driven: it walks the words of test∧base — the
+// candidates, usually a small fraction of the document — in ord order,
+// which visits each parent's children (and attributes) in sibling
+// order, and ranks them with per-parent counters. Cost is
+// O(|test∧base| + |D|/64), with no axis-image materialization and no
+// whole-document counting pass.
+func (m *machine) stepPos(a ast.Axis, ti uint16, cm counting.Cmp, base nodeset.Set, endStep bool) error {
+	if err := m.charge(); err != nil {
+		return err
+	}
+	if err := m.charge(); err != nil {
+		return err
+	}
+	if m.sparse {
+		if sel, ok := m.selectSparse(a, ti, m.list, (*m.spare)[:0]); ok {
+			*m.spare = sel
+			m.list = sel
+			m.cur, m.spare = m.spare, m.cur
+			m.rankFilter(cm, base)
+			if endStep {
+				return m.endStep()
+			}
+			return nil
+		}
+		m.demote()
+	}
+	ts := m.testSet(ti)
+	out := m.arena.New(m.doc)
+	nodes := m.doc.Nodes
+	n := len(nodes)
+	needLast := cm.UsesLast()
+	if cap(m.posRank) < n {
+		m.posRank = make([]int32, n)
+	}
+	rank := m.posRank[:n]
+	clear(rank)
+	tw, bw, fw, ow := ts.Words, base.Words, m.dense.Words, out.Words
+	attrAxis := a == ast.AxisAttribute
+	// The node-type guard: a node() test set contains every node, but
+	// only attribute nodes are attribute-axis candidates and attribute
+	// nodes are nobody's children. The root (Parent == nil) is skipped
+	// the same way.
+	candidate := func(c *xmltree.Node) bool {
+		if attrAxis {
+			return c.Type == xmltree.AttributeNode
+		}
+		return c.Type != xmltree.AttributeNode && c.Parent != nil
+	}
+	if needLast {
+		// Pass 1: per-parent totals of test∧base-passing siblings, for
+		// parents in the frontier.
+		if cap(m.posTotal) < n {
+			m.posTotal = make([]int32, n)
+		}
+		total := m.posTotal[:n]
+		clear(total)
+		for wi, w := range tw {
+			if bw != nil {
+				w &= bw[wi]
+			}
+			for w != 0 {
+				ord := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				c := nodes[ord]
+				if !candidate(c) {
+					continue
+				}
+				po := c.Parent.Ord
+				if fw[po>>6]&(1<<(uint(po)&63)) != 0 {
+					total[po]++
+				}
+			}
+		}
+		for wi, w := range tw {
+			if bw != nil {
+				w &= bw[wi]
+			}
+			for w != 0 {
+				ord := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				c := nodes[ord]
+				if !candidate(c) {
+					continue
+				}
+				po := c.Parent.Ord
+				if fw[po>>6]&(1<<(uint(po)&63)) == 0 {
+					continue
+				}
+				r := rank[po] + 1
+				rank[po] = r
+				if cm.Eval(int(r), int(total[po])) {
+					ow[ord>>6] |= 1 << (uint(ord) & 63)
+				}
+			}
+		}
+	} else {
+		for wi, w := range tw {
+			if bw != nil {
+				w &= bw[wi]
+			}
+			for w != 0 {
+				ord := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				c := nodes[ord]
+				if !candidate(c) {
+					continue
+				}
+				po := c.Parent.Ord
+				if fw[po>>6]&(1<<(uint(po)&63)) == 0 {
+					continue
+				}
+				r := rank[po] + 1
+				rank[po] = r
+				if cm.Eval(int(r), 0) {
+					ow[ord>>6] |= 1 << (uint(ord) & 63)
+				}
+			}
+		}
+	}
+	m.dense = out
+	return nil
+}
+
+// rankFilter compacts the sparse frontier to the nodes whose rank in
+// their same-parent run satisfies the comparison. The frontier is
+// duplicate free, so each parent contributes exactly one run. A
+// non-zero base restricts both the ranking and the survivors to its
+// members (OpStepPosBase).
+func (m *machine) rankFilter(cm counting.Cmp, base nodeset.Set) {
+	hasBase := base.Words != nil
+	list := m.list
+	kept := list[:0]
+	for i := 0; i < len(list); {
+		j := i + 1
+		for j < len(list) && list[j].Parent == list[i].Parent {
+			j++
+		}
+		last := 0
+		for k := i; k < j; k++ {
+			if !hasBase || base.HasOrd(list[k].Ord) {
+				last++
+			}
+		}
+		rank := 0
+		for k := i; k < j; k++ {
+			if hasBase && !base.HasOrd(list[k].Ord) {
+				continue
+			}
+			rank++
+			if cm.Eval(rank, last) {
+				kept = append(kept, list[k])
+			}
+		}
+		i = j
+	}
+	m.list = kept
+	*m.cur = kept
 }
 
 // selectSparse computes axis::test over an explicit frontier list, for

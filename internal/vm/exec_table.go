@@ -1,0 +1,239 @@
+package vm
+
+// The function-table dispatcher: the computed-goto analogue Go can
+// express. Where exec's switch compiles to a branch (or jump table)
+// re-entered through one shared loop head, execTable indexes an array
+// of per-opcode functions — each dispatch is an indirect call with its
+// own return, which is what threaded-code interpreters buy on machines
+// with poor indirect-branch prediction. EXP-VM2 measures both on the
+// EXP-VM families; the switch stays the default (see docs/VM.md for
+// the measured result). Semantics and charges are byte-identical by
+// construction of the shared machine helpers, and the differential
+// suite asserts it.
+
+import (
+	"fmt"
+
+	"xpathcomplexity/internal/eval/evalctx"
+	"xpathcomplexity/internal/nodeset"
+	"xpathcomplexity/internal/value"
+)
+
+// tableState carries the per-run dispatch state the switch loop keeps
+// in local variables: the evaluation context and the return value.
+type tableState struct {
+	ctx  evalctx.Context
+	ret  value.Value
+	done bool
+}
+
+// opFunc executes one instruction; setting st.done ends the program.
+type opFunc func(m *machine, in Instr, st *tableState) error
+
+var opTable = [int(OpStepPosBase) + 1]opFunc{
+	OpInitCtx: func(m *machine, _ Instr, st *tableState) error {
+		m.initFrontier(st.ctx.Node)
+		return nil
+	},
+	OpInitRoot: func(m *machine, _ Instr, _ *tableState) error {
+		m.initFrontier(m.doc.Root)
+		return nil
+	},
+	OpStep: func(m *machine, in Instr, _ *tableState) error {
+		return m.step(in.Axis, in.Test, nodeset.Set{}, in.B != 0)
+	},
+	OpStepCond: func(m *machine, in Instr, _ *tableState) error {
+		return m.step(in.Axis, in.Test, m.slots[in.A], in.B != 0)
+	},
+	OpAxisF: func(m *machine, in Instr, _ *tableState) error {
+		if err := m.charge(); err != nil {
+			return err
+		}
+		m.ensureDense()
+		m.dense = nodeset.ApplyAxisIndexedOwned(m.arena, m.ix, in.Axis, m.dense)
+		return nil
+	},
+	OpTestF: func(m *machine, in Instr, _ *tableState) error {
+		m.dense = m.dense.AndWith(m.testSet(in.Test))
+		return nil
+	},
+	OpFilterF: func(m *machine, in Instr, _ *tableState) error {
+		if m.sparse {
+			m.filterSparse(m.slots[in.A])
+			if in.B != 0 {
+				return m.endStep()
+			}
+			return nil
+		}
+		m.dense = m.dense.AndWith(m.slots[in.A])
+		return nil
+	},
+	OpSaveF: func(m *machine, in Instr, _ *tableState) error {
+		m.ensureDense()
+		m.slots[in.Dst] = m.dense
+		return nil
+	},
+	OpOrF: func(m *machine, in Instr, _ *tableState) error {
+		m.ensureDense()
+		m.dense = m.dense.OrWith(m.slots[in.A])
+		return nil
+	},
+	OpEnter: func(m *machine, _ Instr, _ *tableState) error {
+		if g := m.guard; g != nil {
+			return g.Enter()
+		}
+		return nil
+	},
+	OpExit: func(m *machine, _ Instr, _ *tableState) error {
+		if g := m.guard; g != nil {
+			g.Exit()
+		}
+		return nil
+	},
+	OpBegin: func(m *machine, _ Instr, _ *tableState) error {
+		if err := m.charge(); err != nil {
+			return err
+		}
+		m.acc = m.arena.Full(m.doc)
+		return nil
+	},
+	OpInvStep: func(m *machine, in Instr, _ *tableState) error {
+		if err := m.charge(); err != nil {
+			return err
+		}
+		m.acc = nodeset.ApplyInverseAxisIndexedOwned(m.arena, m.ix, in.Axis,
+			m.acc.AndWith(m.testSet(in.Test)))
+		return nil
+	},
+	OpInvStepCond: func(m *machine, in Instr, _ *tableState) error {
+		if err := m.charge(); err != nil {
+			return err
+		}
+		m.acc = nodeset.ApplyInverseAxisIndexedOwned(m.arena, m.ix, in.Axis,
+			m.acc.AndWith(m.testSet(in.Test)).AndWith(m.slots[in.A]))
+		return nil
+	},
+	OpTestAnd: func(m *machine, in Instr, _ *tableState) error {
+		if err := m.charge(); err != nil {
+			return err
+		}
+		m.acc = m.acc.AndWith(m.testSet(in.Test))
+		return nil
+	},
+	OpAndAcc: func(m *machine, in Instr, _ *tableState) error {
+		m.acc = m.acc.AndWith(m.slots[in.A])
+		return nil
+	},
+	OpInvAxis: func(m *machine, in Instr, _ *tableState) error {
+		m.acc = nodeset.ApplyInverseAxisIndexedOwned(m.arena, m.ix, in.Axis, m.acc)
+		return nil
+	},
+	OpAnchorRoot: func(m *machine, _ Instr, _ *tableState) error {
+		if m.acc.Has(m.doc.Root) {
+			m.acc = m.arena.Full(m.doc)
+		} else {
+			m.acc = m.arena.New(m.doc)
+		}
+		return nil
+	},
+	OpStore: func(m *machine, in Instr, _ *tableState) error {
+		m.slots[in.Dst] = m.acc
+		return nil
+	},
+	OpCondTrue: func(m *machine, in Instr, _ *tableState) error {
+		if err := m.charge(); err != nil {
+			return err
+		}
+		m.slots[in.Dst] = m.arena.Full(m.doc)
+		return nil
+	},
+	OpCondFalse: func(m *machine, in Instr, _ *tableState) error {
+		if err := m.charge(); err != nil {
+			return err
+		}
+		m.slots[in.Dst] = m.arena.New(m.doc)
+		return nil
+	},
+	OpCondLabel: func(m *machine, in Instr, _ *tableState) error {
+		if err := m.charge(); err != nil {
+			return err
+		}
+		m.slots[in.Dst] = nodeset.LabelSetArena(m.arena, m.doc, m.prog.Labels[in.Test])
+		return nil
+	},
+	OpAnd: func(m *machine, in Instr, _ *tableState) error {
+		if err := m.charge(); err != nil {
+			return err
+		}
+		m.slots[in.Dst] = m.arena.And(m.slots[in.A], m.slots[in.B])
+		return nil
+	},
+	OpOr: func(m *machine, in Instr, _ *tableState) error {
+		if err := m.charge(); err != nil {
+			return err
+		}
+		m.slots[in.Dst] = m.arena.Or(m.slots[in.A], m.slots[in.B])
+		return nil
+	},
+	OpNot: func(m *machine, in Instr, _ *tableState) error {
+		if err := m.charge(); err != nil {
+			return err
+		}
+		m.slots[in.Dst] = m.arena.Not(m.slots[in.A])
+		return nil
+	},
+	OpCopy: func(m *machine, in Instr, _ *tableState) error {
+		if err := m.charge(); err != nil {
+			return err
+		}
+		m.slots[in.Dst] = m.slots[in.A]
+		return nil
+	},
+	OpRetSet: func(m *machine, _ Instr, st *tableState) error {
+		if m.sparse {
+			st.ret = value.NodeSetFromOrdered(m.arena.FromNodes(m.doc, m.list...).Nodes())
+		} else {
+			st.ret = value.NodeSetFromOrdered(m.dense.Nodes())
+		}
+		st.done = true
+		return nil
+	},
+	OpRetBool: func(m *machine, in Instr, st *tableState) error {
+		st.ret = value.Boolean(m.slots[in.A].HasOrd(st.ctx.Node.Ord))
+		st.done = true
+		return nil
+	},
+	OpCondPos: func(m *machine, in Instr, _ *tableState) error {
+		return m.condPos(in)
+	},
+	OpStepPos: func(m *machine, in Instr, _ *tableState) error {
+		return m.stepPos(in.Axis, in.Test, m.prog.PosConds[in.A], nodeset.Set{}, in.B != 0)
+	},
+	OpStepPosBase: func(m *machine, in Instr, _ *tableState) error {
+		return m.stepPos(in.Axis, in.Test, m.prog.PosConds[in.A], m.slots[in.Dst], in.B != 0)
+	},
+	OpAndSlot: func(m *machine, in Instr, _ *tableState) error {
+		m.slots[in.Dst] = m.arena.And(m.slots[in.A], m.slots[in.B])
+		return nil
+	},
+}
+
+// execTable is exec on the function table.
+func (m *machine) execTable(ctx evalctx.Context) (value.Value, error) {
+	if err := m.prep(); err != nil {
+		return nil, err
+	}
+	st := tableState{ctx: ctx}
+	for _, in := range m.prog.Code {
+		if int(in.Op) >= len(opTable) || opTable[in.Op] == nil {
+			return nil, fmt.Errorf("vm: invalid opcode %d", in.Op)
+		}
+		if err := opTable[in.Op](m, in, &st); err != nil {
+			return nil, err
+		}
+		if st.done {
+			return st.ret, nil
+		}
+	}
+	return nil, fmt.Errorf("vm: program ended without a return instruction")
+}

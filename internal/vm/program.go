@@ -23,6 +23,7 @@
 package vm
 
 import (
+	"xpathcomplexity/internal/counting"
 	"xpathcomplexity/internal/xpath/ast"
 )
 
@@ -103,6 +104,36 @@ const (
 	OpRetSet
 	// OpRetBool returns slots[A] ∋ context node as a boolean.
 	OpRetBool
+	// OpCondPos fills a positional condition slot (counting fragment):
+	// slots[Dst] ← the nodes whose rank among their parent's
+	// tests[Test]-passing children (∩ slots[A] when A ≠ NoBaseSlot; the
+	// conjunction of the step's earlier predicates) satisfies
+	// PosConds[B]. Axis is child or attribute. Charges one condition
+	// node; one O(|D|) counting pass.
+	OpCondPos
+	// OpStepPos is the fused positional superinstruction: a forward
+	// step whose only positional predicate comes first,
+	// F ← { c ∈ axis(F) ∩ tests[Test] | PosConds[A](rank of c) }.
+	// On a sparse frontier ranks fall out of the ordered selection —
+	// same-parent children are contiguous runs; on a dense frontier the
+	// machine walks the frontier's child (or attribute) lists directly.
+	// Either way the cost is bounded by the frontier's fan-out, never
+	// the whole-document counting pass the unfused form pays. B=1 marks
+	// end-of-step (see OpStep). Charges one step plus one condition
+	// node, matching the tree evaluator's two visits.
+	OpStepPos
+	// OpAndSlot assembles a positional base set:
+	// slots[Dst] ← slots[A] ∩ slots[B]. Uncharged — corelinear builds
+	// the same conjunction outside its charge points.
+	OpAndSlot
+	// OpStepPosBase is OpStepPos for a positional predicate with
+	// earlier predicates on its step: slots[Dst] holds their
+	// conjunction, and ranks count only siblings in it —
+	// F ← { c ∈ axis(F) ∩ tests[Test] ∩ slots[Dst] |
+	//       PosConds[A](rank of c among tests[Test] ∩ slots[Dst]) }.
+	// The base probe subsumes the earlier predicates' filters, so no
+	// residual OpFilterF is emitted for them. Charges like OpStepPos.
+	OpStepPosBase
 )
 
 var opNames = [...]string{
@@ -117,6 +148,8 @@ var opNames = [...]string{
 	OpCondTrue: "condtrue", OpCondFalse: "condfalse", OpCondLabel: "condlabel",
 	OpAnd: "and", OpOr: "or", OpNot: "not", OpCopy: "copy",
 	OpRetSet: "retset", OpRetBool: "retbool",
+	OpCondPos: "condpos", OpStepPos: "steppos", OpAndSlot: "andslot",
+	OpStepPosBase: "stepposbase",
 }
 
 // String returns the opcode's assembly mnemonic.
@@ -134,11 +167,16 @@ func (o Op) charges() bool {
 	switch o {
 	case OpStep, OpStepCond, OpAxisF, OpBegin, OpInvStep, OpInvStepCond,
 		OpTestAnd, OpCondTrue, OpCondFalse, OpCondLabel,
-		OpAnd, OpOr, OpNot, OpCopy:
+		OpAnd, OpOr, OpNot, OpCopy, OpCondPos:
 		return true
 	}
 	return false
 }
+
+// NoBaseSlot is the OpCondPos A-operand meaning "no base set" (the
+// positional predicate has no earlier predicates on its step). The
+// slot allocator never hands out this value.
+const NoBaseSlot = ^uint16(0)
 
 // Instr is one fixed-size bytecode instruction. Unused operand fields
 // are zero; which fields an opcode uses is listed in the Op docs and
@@ -178,8 +216,17 @@ type Program struct {
 	Tests []TestEntry
 	// Labels is the Remark 3.1 label constant pool.
 	Labels []string
+	// PosConds is the positional-comparison constant pool (counting
+	// fragment), indexed by OpCondPos.B and OpStepPos/OpStepPosBase.A.
+	PosConds []counting.Cmp
 	// NumSlots is the number of condition-set registers the machine
 	// needs (one per distinct condition subexpression plus union
 	// temporaries).
 	NumSlots int
+	// PreCharge is the number of |D|-sized charge units the peephole
+	// pass folded out of the instruction stream (constant conditions,
+	// dead condition subprograms). The machine bills them up front so
+	// MaxOps budgets keep exact parity with the tree evaluator, which
+	// still evaluates those condition nodes.
+	PreCharge int
 }

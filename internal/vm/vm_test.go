@@ -33,7 +33,9 @@ func TestCachedEquivalence(t *testing.T) {
 
 // corpusQueries exercises every opcode: fused and unfused steps, both
 // init forms, backward chains with hoisted predicate conditions, the
-// boolean connectives, label tests, unions, and absolute conditions.
+// boolean connectives, label tests, unions, absolute conditions, and
+// the positional counting forms (fused OpStepPos, slot-form OpCondPos
+// with and without base chains, singleton folds, constant folds).
 var corpusQueries = []string{
 	"/descendant::a/child::b",
 	"//a//b//c",
@@ -55,6 +57,23 @@ var corpusQueries = []string{
 	"//*[@x]/attribute::y",
 	"self::a/descendant-or-self::b",
 	"//a[descendant::b and ancestor::c]",
+	// Positional predicates (the counting fragment).
+	"//a[2]",
+	"//a[last()]/b",
+	"//b[position() < 3]",
+	"//a[b][2]",
+	"//a[b][position() = last()]",
+	"//a[position() > 1][1]",
+	"//a[position() = 1 or position() = last()]",
+	"//a[not(position() = 1)]",
+	"//*[@x][1]",
+	"//a/@*[2]",
+	"//a[.//b[2]]",
+	"self::a[1]/descendant::b",
+	"//c/parent::a[1]",
+	"//a[3 < 4]/b",
+	"//a[0]",
+	"//a[b][c][2]",
 }
 
 func corpusDocs(t *testing.T) []*xmltree.Document {
@@ -89,7 +108,7 @@ func TestAgreementWithCorelinear(t *testing.T) {
 				if err != nil {
 					t.Fatalf("corelinear %q: %v", q, err)
 				}
-				for _, opts := range []Options{{}, {DisableFusion: true}, {DisableConstDedup: true}} {
+				for _, opts := range []Options{{}, {DisableFusion: true}, {DisableConstDedup: true}, {DisablePeephole: true}, {DisableFusion: true, DisablePeephole: true}} {
 					prog, err := CompileWith(expr, opts)
 					if err != nil {
 						t.Fatalf("compile %q (%+v): %v", q, opts, err)
@@ -157,17 +176,33 @@ func TestAgreementRandom(t *testing.T) {
 }
 
 func TestRejectsNonVM(t *testing.T) {
-	for _, q := range []string{
-		"a[position() = 1]",
-		"a[1]",
-		"count(a)",
-		"a[b = 'x']",
-		"1 + 2",
-		"'lit'",
+	for _, tc := range []struct {
+		q      string
+		reason string
+	}{
+		{"count(a)", "function"},
+		{"a[b = 'x']", "positional-shape"},
+		{"1 + 2", "operator"},
+		{"'lit'", "expr-type"},
+		{"ancestor::a[2]", "positional-axis"},
+		{"//a/following-sibling::b[1]", "positional-axis"},
+		{"position() = 1", "positional-context"},
+		{"a[position() + 1 = last()]", "positional-shape"},
+		{"a[b * 2]", "operator"},
 	} {
-		_, err := Compile(parser.MustParse(q))
+		_, err := Compile(parser.MustParse(tc.q))
 		if !errors.Is(err, ErrNotVM) {
-			t.Errorf("Compile(%q) = %v, want ErrNotVM", q, err)
+			t.Errorf("Compile(%q) = %v, want ErrNotVM", tc.q, err)
+			continue
+		}
+		if got := Reason(err); got != tc.reason {
+			t.Errorf("Reason(Compile(%q)) = %q, want %q", tc.q, got, tc.reason)
+		}
+	}
+	// Formerly-rejected positional queries now compile.
+	for _, q := range []string{"a[1]", "a[position() = 1]", "//a[last()]"} {
+		if _, err := Compile(parser.MustParse(q)); err != nil {
+			t.Errorf("Compile(%q) = %v, want nil", q, err)
 		}
 	}
 	// A top-level union with a non-path operand cannot be parsed, but
@@ -210,7 +245,7 @@ func TestDisableFusionHook(t *testing.T) {
 func TestDisasmRoundTrip(t *testing.T) {
 	for _, q := range corpusQueries {
 		expr := parser.MustParse(q)
-		for _, opts := range []Options{{}, {DisableFusion: true}, {DisableConstDedup: true}} {
+		for _, opts := range []Options{{}, {DisableFusion: true}, {DisableConstDedup: true}, {DisablePeephole: true}} {
 			prog, err := CompileWith(expr, opts)
 			if err != nil {
 				t.Fatalf("compile %q: %v", q, err)
@@ -222,6 +257,136 @@ func TestDisasmRoundTrip(t *testing.T) {
 			}
 			if !reflect.DeepEqual(prog, back) {
 				t.Fatalf("round-trip mismatch for %q (%+v):\n%s\nreassembled:\n%s", q, opts, asm, back.Disassemble())
+			}
+		}
+	}
+}
+
+// TestPeepholeMetamorphic: the peephole optimizer may only change the
+// encoding — results and operation charges must be identical with the
+// pass disabled, on every corpus query, fused and unfused.
+func TestPeepholeMetamorphic(t *testing.T) {
+	docs := corpusDocs(t)
+	shrunk := 0
+	for _, q := range corpusQueries {
+		expr := parser.MustParse(q)
+		for _, base := range []Options{{}, {DisableFusion: true}} {
+			off := base
+			off.DisablePeephole = true
+			opt, err := CompileWith(expr, base)
+			if err != nil {
+				t.Fatalf("compile %q: %v", q, err)
+			}
+			ref, err := CompileWith(expr, off)
+			if err != nil {
+				t.Fatalf("compile %q peephole-off: %v", q, err)
+			}
+			if len(opt.Code) > len(ref.Code) {
+				t.Fatalf("%q: peephole grew the program %d → %d:\n%s", q, len(ref.Code), len(opt.Code), opt.Disassemble())
+			}
+			if len(opt.Code) < len(ref.Code) {
+				shrunk++
+			}
+			if ref.PreCharge != 0 {
+				t.Fatalf("%q: unoptimized program has PreCharge %d", q, ref.PreCharge)
+			}
+			for _, d := range docs {
+				for _, ctx := range []evalctx.Context{evalctx.Root(d), evalctx.At(d.Nodes[len(d.Nodes)/2])} {
+					actr := &evalctx.Counter{}
+					a, err := opt.Run(ctx, RunOptions{Counter: actr})
+					if err != nil {
+						t.Fatalf("%q optimized: %v", q, err)
+					}
+					bctr := &evalctx.Counter{}
+					b, err := ref.Run(ctx, RunOptions{Counter: bctr})
+					if err != nil {
+						t.Fatalf("%q peephole-off: %v", q, err)
+					}
+					if !value.Equal(a, b) {
+						t.Fatalf("%q: peephole changed the result:\n optimized: %v\n reference: %v\n%s", q, a, b, opt.Disassemble())
+					}
+					if actr.Ops() != bctr.Ops() {
+						t.Fatalf("%q: peephole changed the op charges: optimized %d, reference %d\n%s",
+							q, actr.Ops(), bctr.Ops(), opt.Disassemble())
+					}
+				}
+			}
+		}
+	}
+	if shrunk == 0 {
+		t.Fatal("peephole never shrank a corpus program; add a foldable query")
+	}
+}
+
+// TestPeepholeFoldsConstants pins concrete expectations on the pass: a
+// constant condition disappears into PreCharge, and the folded program
+// still charges like the reference evaluator.
+func TestPeepholeFoldsConstants(t *testing.T) {
+	prog, err := Compile(parser.MustParse("a[true() or false()]/b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range prog.Code {
+		switch in.Op {
+		case OpOr, OpCondFalse, OpStepCond, OpFilterF:
+			t.Fatalf("constant condition survived the peephole:\n%s", prog.Disassemble())
+		}
+	}
+	if prog.PreCharge == 0 {
+		t.Fatalf("folded charges not preserved in PreCharge:\n%s", prog.Disassemble())
+	}
+	// A constant-false condition turns the whole filter into an
+	// always-empty intersection, but charges are still parity-exact.
+	prog2, err := Compile(parser.MustParse("//a[false()]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := xmltree.BalancedDocument(3, 2, []string{"a", "b"})
+	ctr := &evalctx.Counter{}
+	v, err := prog2.Run(evalctx.Root(d), RunOptions{Counter: ctr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns, ok := v.(value.NodeSet); !ok || len(ns) != 0 {
+		t.Fatalf("//a[false()] = %v, want empty node-set", v)
+	}
+	ref := &evalctx.Counter{}
+	if _, err := corelinear.Evaluate(parser.MustParse("//a[false()]"), evalctx.Root(d), ref); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Ops() != ref.Ops() {
+		t.Fatalf("op divergence on //a[false()]: vm %d, corelinear %d", ctr.Ops(), ref.Ops())
+	}
+}
+
+// TestTableDispatchAgreement: the function-table dispatcher is an
+// execution-strategy choice only — identical results and identical
+// charges on every corpus query.
+func TestTableDispatchAgreement(t *testing.T) {
+	docs := corpusDocs(t)
+	for _, q := range corpusQueries {
+		prog, err := Compile(parser.MustParse(q))
+		if err != nil {
+			t.Fatalf("compile %q: %v", q, err)
+		}
+		for _, d := range docs {
+			for _, ctx := range []evalctx.Context{evalctx.Root(d), evalctx.At(d.Nodes[len(d.Nodes)/2])} {
+				sctr := &evalctx.Counter{}
+				sw, err := prog.Run(ctx, RunOptions{Counter: sctr})
+				if err != nil {
+					t.Fatalf("%q switch: %v", q, err)
+				}
+				tctr := &evalctx.Counter{}
+				tb, err := prog.Run(ctx, RunOptions{Counter: tctr, TableDispatch: true})
+				if err != nil {
+					t.Fatalf("%q table: %v", q, err)
+				}
+				if !value.Equal(sw, tb) {
+					t.Fatalf("%q: dispatch strategies disagree:\n switch: %v\n table:  %v", q, sw, tb)
+				}
+				if sctr.Ops() != tctr.Ops() {
+					t.Fatalf("%q: dispatch changed charges: switch %d, table %d", q, sctr.Ops(), tctr.Ops())
+				}
 			}
 		}
 	}

@@ -35,6 +35,12 @@ var vmAllocCeilings = []struct {
 	{"vm/pred", "//a[b]/c", 10},
 	{"vm/path", "/descendant::a/child::b/descendant::c", 10},
 	{"vm/pred-neg", "//a[b and not(c)]", 10},
+	// Positional families: the counting opcodes must stay on the pooled
+	// arena — rank filtering happens in place on the frontier buffers.
+	{"vm/pos-index", "//a[3]/b", 10},
+	{"vm/pos-last", "//b[last()]", 10},
+	{"vm/pos-range", "//a[position() < 3]/c", 10},
+	{"vm/pos-rerank", "//a[b][position() = last()]", 10},
 }
 
 func TestVMAllocGate(t *testing.T) {

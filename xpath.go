@@ -16,9 +16,11 @@
 //   - EngineParallel: the NC-style parallel evaluator (Remark 5.6);
 //   - EngineStreaming: the single-pass NFA evaluator for downward
 //     predicate-free paths;
-//   - EngineVM: the Core XPath bytecode compiler and register machine,
-//     computing exactly what EngineCoreLinear computes with the
-//     per-evaluation interpretation overhead compiled away.
+//   - EngineVM: the counting-fragment bytecode compiler (Core XPath
+//     plus countable positional predicates), peephole optimizer and
+//     register machine, computing exactly what EngineCoreLinear
+//     computes with the per-evaluation interpretation overhead
+//     compiled away.
 //
 // Compile classifies every query into the fragment lattice of Figure 1
 // (PF, positive Core XPath, Core XPath, pWF, WF, pXPath, XPath) and
@@ -188,13 +190,15 @@ const (
 	// rejects anything else with ErrNotStreamable; EngineAuto tries it
 	// first and falls back to a tree engine.
 	EngineStreaming
-	// EngineVM executes Core XPath queries compiled to flat bytecode
+	// EngineVM executes counting-fragment queries — Core XPath plus
+	// positional predicates ([k], [last()], position()/last()
+	// comparisons) on countable axes — compiled to flat bytecode
 	// (package internal/vm): the corelinear algorithm with the
 	// per-evaluation interpretation overhead — fragment checks, memo
-	// maps, node-test resolution — moved to compile time. It rejects
-	// queries outside Core XPath with an error wrapping vm.ErrNotVM;
-	// EngineAuto prefers it over EngineCoreLinear when the query
-	// compiles.
+	// maps, node-test resolution — moved to compile time, then peephole
+	// optimized. It rejects queries outside the fragment with an error
+	// wrapping vm.ErrNotVM (vm.Reason names the gap); EngineAuto
+	// prefers it over EngineCoreLinear when the query compiles.
 	EngineVM
 )
 
@@ -741,6 +745,10 @@ func (q *Query) evalAuto(ctx Context, opts EvalOptions) (Value, error) {
 			}
 			record("auto.fallback.vm")
 			fellback(flightFellVM)
+		} else if reason := vm.Reason(verr); reason != "" {
+			// Why the query missed the VM rung, for fleet-level tallies of
+			// which fragment gaps would pay to close next.
+			record("vm.ineligible." + reason)
 		}
 	}
 	engine := q.resolveEngine(EngineAuto)

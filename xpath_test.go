@@ -197,9 +197,15 @@ func TestExplain(t *testing.T) {
 	if strings.Contains(MustCompile("//a[b]").Explain(), "stream:") {
 		t.Error("predicated query claimed streaming eligibility")
 	}
-	// Queries outside Core XPath must not claim VM eligibility.
-	if strings.Contains(MustCompile("//a[position() = 1]").Explain(), "vm:") {
-		t.Error("positional query claimed vm eligibility")
+	// Counting-fragment positional queries compile to bytecode with a
+	// positional-condition pool; shapes outside the fragment must not
+	// claim VM eligibility.
+	if got := MustCompile("//a[position() = 2]").Explain(); !strings.Contains(got, "vm:") ||
+		!strings.Contains(got, "poscond") {
+		t.Errorf("counting positional query missing vm section or poscond pool:\n%s", got)
+	}
+	if strings.Contains(MustCompile("//a[position() + 1 = last()]").Explain(), "vm:") {
+		t.Error("non-counting positional query claimed vm eligibility")
 	}
 }
 
