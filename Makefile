@@ -1,6 +1,6 @@
 # Standard targets; no dependencies beyond the Go toolchain.
 
-.PHONY: all build vet test test-shuffle race test-race fuzz fuzz-short bench experiments profile pprof guard guard-race allocgate cachegate vmgate obsgate servegate examples check clean
+.PHONY: all build vet test test-shuffle race test-race fuzz fuzz-short bench experiments profile pprof guard guard-race allocgate cachegate vmgate obsgate servegate storegate examples check clean
 
 all: build vet test
 
@@ -8,7 +8,7 @@ all: build vet test
 # cache-hit, VM, flight-recorder and serving regression gates, the
 # race-enabled guard suite, the full race suite, a shuffled-order test
 # pass and a short fuzz session per target.
-check: all allocgate cachegate vmgate obsgate servegate guard-race test-race test-shuffle fuzz-short
+check: all allocgate cachegate vmgate obsgate servegate storegate guard-race test-race test-shuffle fuzz-short
 
 build:
 	go build ./...
@@ -116,8 +116,19 @@ obsgate:
 # the checked-in BENCH_SERVE.json comes from the full `xbench -run
 # serve` (see docs/SERVING.md and EXP-SERVE in EXPERIMENTS.md).
 servegate:
-	go test -run 'TestServe|TestTenant|TestBudgetHeaders|TestCeilingClamp|TestEval|TestDocument|TestConcurrentTenants|TestHealthz|TestRegistry|TestFingerprint' -timeout 120s -count=1 ./internal/server/
+	go test -run 'TestServe|TestTenant|TestBudgetHeaders|TestCeilingClamp|TestEval|TestDocument|TestConcurrentTenants|TestHealthz|TestRegistry|TestFingerprint|TestLoadBackendSelection' -timeout 120s -count=1 ./internal/server/
 	XBENCH_SERVE_QUICK=1 XBENCH_SERVE_OUT=BENCH_SERVE.quick.json go run ./cmd/xbench -run serve
+
+# The storage backend gate: the columnar encoding must stay >=2x
+# smaller than the pointer tree, and evaluating through a columnar
+# document's hydrated view must match the pointer backend's warm
+# allocs/op and stay within 10% of its wall time (store_gate_test.go).
+# Then the store experiment reports the footprint and overhead tables
+# and refreshes BENCH_STORE.json (see docs/STORAGE.md and EXP-STORE in
+# EXPERIMENTS.md).
+storegate:
+	go test -run 'TestStoreGate' -count=1 .
+	go run ./cmd/xbench -run store
 
 # CPU + heap profiles of the hot evaluation paths, via the alloc
 # experiment's warm workloads. Inspect with `go tool pprof cpu.out`

@@ -80,6 +80,7 @@ var experiments = []experiment{
 	{"cache", "result cache: warm uncached evaluation vs cache hit (writes BENCH_CACHE.json)", expCache},
 	{"obs2", "flight recorder overhead: disabled vs sampled-out vs capture-all (writes BENCH_OBS2.json)", expObs2},
 	{"serve", "xpathd under closed-loop load: qps, latency quantiles, shed rate (writes BENCH_SERVE.json)", expServe},
+	{"store", "document storage backends: pointer vs columnar footprint and warm-eval overhead (writes BENCH_STORE.json)", expStore},
 }
 
 func main() {

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	xpath "xpathcomplexity"
+	"xpathcomplexity/internal/xmltree"
+)
+
+// storeMemRow is one memory-per-document measurement of the storage
+// experiment: the same content held by each backend.
+type storeMemRow struct {
+	// Family is the document family label.
+	Family string `json:"family"`
+	// Nodes is the document size.
+	Nodes int `json:"nodes"`
+	// PointerBytes is the pointer backend's measured store footprint
+	// (the *Node graph itself — view and store are the same thing).
+	PointerBytes int64 `json:"pointer_bytes"`
+	// ColumnarStoreBytes is the compact columnar encoding alone;
+	// ColumnarResidentBytes adds the hydrated node-handle view that
+	// evaluation runs on.
+	ColumnarStoreBytes    int64 `json:"columnar_store_bytes"`
+	ColumnarResidentBytes int64 `json:"columnar_resident_bytes"`
+	// PointerBPN and ColumnarBPN are bytes per node for the two stores.
+	PointerBPN  float64 `json:"pointer_bytes_per_node"`
+	ColumnarBPN float64 `json:"columnar_bytes_per_node"`
+	// Ratio is PointerBytes / ColumnarStoreBytes — the at-rest saving a
+	// demoted registry entry realizes.
+	Ratio float64 `json:"ratio"`
+}
+
+// storeEvalRow is one warm-evaluation overhead measurement: the same
+// compiled query on a pointer-backed vs a columnar-backed document.
+type storeEvalRow struct {
+	Workload string `json:"workload"`
+	Engine   string `json:"engine"`
+	Query    string `json:"query"`
+	Nodes    int    `json:"nodes"`
+	// PointerNsPerOp / ColumnarNsPerOp are warm wall times per eval.
+	PointerNsPerOp  int64 `json:"pointer_ns_per_op"`
+	ColumnarNsPerOp int64 `json:"columnar_ns_per_op"`
+	// PointerAllocs / ColumnarAllocs are warm allocs per eval — the
+	// hydrated view is a plain *Node graph, so these should be equal.
+	PointerAllocs  int64 `json:"pointer_allocs_per_op"`
+	ColumnarAllocs int64 `json:"columnar_allocs_per_op"`
+	// OverheadPct is (columnar-pointer)/pointer wall time, in percent.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// storeReport is the top-level BENCH_STORE.json document.
+type storeReport struct {
+	Experiment string         `json:"experiment"`
+	Memory     []storeMemRow  `json:"memory"`
+	Eval       []storeEvalRow `json:"eval"`
+}
+
+// storeMemFamilies are the document families measured for footprint:
+// the two EXP-ALLOC shapes plus a larger random document where interned
+// tag tables amortize.
+var storeMemFamilies = []struct {
+	family string
+	doc    func() *xmltree.Document
+}{
+	{"random-4k", allocRandomDoc},
+	{"chain-200", allocChainDoc},
+	{"random-50k", func() *xmltree.Document {
+		rng := rand.New(rand.NewSource(11))
+		return xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 50000, MaxFanout: 6, Tags: []string{"a", "b", "c", "d", "e"},
+			TextProb: 0.25, AttrProb: 0.25,
+		})
+	}},
+}
+
+// expStore compares the document storage backends (EXP-STORE): the
+// memory table holds the same content in the pointer encoding, the
+// compact columnar encoding, and columnar-plus-hydrated-view; the eval
+// table reruns the EXP-ALLOC warm compiled-query workloads on a
+// columnar-backed document to price the hydration seam. Results go to
+// BENCH_STORE.json; `make storegate` holds the ≥2x store ratio and the
+// warm-eval parity as a regression gate.
+func expStore(seed int64) {
+	report := storeReport{Experiment: "store"}
+
+	mt := newTable("family", "nodes", "pointer B", "columnar B", "resident B", "ptr B/node", "col B/node", "ratio")
+	for _, f := range storeMemFamilies {
+		pd := f.doc()
+		cd := xmltree.Compact(f.doc())
+		n := len(pd.Nodes)
+		row := storeMemRow{
+			Family: f.family, Nodes: n,
+			PointerBytes:          pd.StoreSizeBytes(),
+			ColumnarStoreBytes:    cd.StoreSizeBytes(),
+			ColumnarResidentBytes: cd.ResidentBytes(),
+		}
+		row.PointerBPN = float64(row.PointerBytes) / float64(n)
+		row.ColumnarBPN = float64(row.ColumnarStoreBytes) / float64(n)
+		row.Ratio = float64(row.PointerBytes) / float64(row.ColumnarStoreBytes)
+		report.Memory = append(report.Memory, row)
+		mt.add(row.Family, row.Nodes, row.PointerBytes, row.ColumnarStoreBytes,
+			row.ColumnarResidentBytes, fmt.Sprintf("%.1f", row.PointerBPN),
+			fmt.Sprintf("%.1f", row.ColumnarBPN), fmt.Sprintf("%.2fx", row.Ratio))
+	}
+	mt.print()
+
+	et := newTable("workload", "engine", "ptr ns/op", "col ns/op", "overhead", "ptr allocs", "col allocs")
+	for _, w := range allocWorkloads {
+		pd := w.doc()
+		cd := xmltree.Compact(w.doc())
+		c, err := xpath.Prepare(w.query)
+		if err != nil {
+			panic(err)
+		}
+		opts := xpath.EvalOptions{Engine: w.engine}
+		measure := func(d *xmltree.Document) (ns, allocs int64) {
+			ctx := xpath.RootContext(d)
+			if _, err := c.EvalOptions(ctx, opts); err != nil { // prime index + pools
+				panic(err)
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.EvalOptions(ctx, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			return res.NsPerOp(), res.AllocsPerOp()
+		}
+		pns, pallocs := measure(pd)
+		cns, callocs := measure(cd)
+		row := storeEvalRow{
+			Workload: w.name, Engine: w.engine.String(), Query: w.query, Nodes: len(pd.Nodes),
+			PointerNsPerOp: pns, ColumnarNsPerOp: cns,
+			PointerAllocs: pallocs, ColumnarAllocs: callocs,
+			OverheadPct: 100 * float64(cns-pns) / float64(pns),
+		}
+		report.Eval = append(report.Eval, row)
+		et.add(row.Workload, row.Engine, row.PointerNsPerOp, row.ColumnarNsPerOp,
+			fmt.Sprintf("%+.1f%%", row.OverheadPct), row.PointerAllocs, row.ColumnarAllocs)
+	}
+	et.print()
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("BENCH_STORE.json", append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Println("  wrote BENCH_STORE.json")
+}

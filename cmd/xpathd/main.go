@@ -29,6 +29,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", "localhost:8080", "listen address")
 		preload    = flag.String("preload", "", "glob of XML files to load into the registry at startup")
+		backend    = flag.String("backend", "", "default document storage backend: pointer or columnar (\"\" = pointer)")
 		workers    = flag.Int("workers", 0, "evaluation concurrency (0 = GOMAXPROCS)")
 		queueDepth = flag.Int("queue", 0, "admission wait-queue depth (0 = 2x workers)")
 		tenantCap  = flag.Int("tenant-concurrency", 0, "per-tenant concurrent evaluations (0 = workers)")
@@ -58,6 +59,7 @@ func main() {
 		MaxOpsCeiling:     *opsCeiling,
 		MaxNodeSetCeiling: *nsCeiling,
 		RetryAfter:        *retryAfter,
+		DefaultBackend:    *backend,
 	}
 	cfg.FlightConfig.SlowThreshold = *slowThresh
 	srv := server.New(cfg)
@@ -75,7 +77,7 @@ func main() {
 			if err != nil {
 				fatalf("preload %s: %v", path, err)
 			}
-			info, err := srv.Registry().Load(f)
+			info, err := srv.Registry().Load(f, *backend)
 			f.Close()
 			if err != nil {
 				fatalf("preload %s: %v", path, err)

@@ -153,6 +153,41 @@ func FuzzDifferentialEngines(f *testing.F) {
 				}
 			}
 
+			// Backend arm: the storage backend is an encoding choice, never
+			// a semantic one. Re-evaluating on the columnar conversion of
+			// the same document must reproduce the pointer-backed results
+			// byte for byte (the backends share Ord numbering), engine by
+			// engine, cold (index disabled) and indexed.
+			cdoc := CompactDocument(d)
+			if cdoc.Fingerprint() != d.Fingerprint() {
+				t.Fatalf("columnar conversion changed the fingerprint: %x vs %x",
+					cdoc.Fingerprint(), d.Fingerprint())
+			}
+			cctx := RootContext(cdoc)
+			runBackendArm := func(name string, opts EvalOptions) {
+				pv, perr := q.EvalOptions(ctx, opts)
+				cv, cerr := q.EvalOptions(cctx, opts)
+				if (perr == nil) != (cerr == nil) {
+					t.Fatalf("profile %v query %q: engine %s backends disagree on error: pointer %v, columnar %v",
+						prof, qs, name, perr, cerr)
+				}
+				if perr != nil {
+					return
+				}
+				if pc, cc := canonValue(pv), canonValue(cv); pc != cc {
+					t.Fatalf("profile %v query %q: engine %s pointer %s != columnar %s",
+						prof, qs, name, pc, cc)
+				}
+			}
+			runBackendArm("auto-cold", EvalOptions{DisableIndex: true})
+			runBackendArm("cvt-indexed", EvalOptions{Engine: EngineCVT})
+			if corelinear.CheckCounting(q.Expr) == nil {
+				runBackendArm("corelinear-indexed", EvalOptions{Engine: EngineCoreLinear})
+			}
+			if _, err := q.vmProgram(); err == nil {
+				runBackendArm("vm-indexed", EvalOptions{Engine: EngineVM})
+			}
+
 			// Warm path: plan-cache hit plus shared index must reproduce
 			// the cold auto-engine result byte-for-byte.
 			cold, err := q.EvalOptions(ctx, EvalOptions{DisableIndex: true})

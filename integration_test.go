@@ -398,3 +398,48 @@ func TestIntegrationEngineConformance(t *testing.T) {
 		})
 	}
 }
+
+// The same conformance matrix, duplicated across document storage
+// backends: every engine must pass the identical suite whether the
+// corpus documents are pointer trees or columnar-hydrated views. Rows
+// with evaluation-path variance (index disabled, guard budgets) are
+// included so the backend seam is exercised on both the indexed and
+// walk-the-tree paths and under budget accounting.
+func TestIntegrationEngineBackendConformance(t *testing.T) {
+	engineFor := func(e Engine, opts EvalOptions) enginetest.Engine {
+		return func(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
+			q := &Query{Source: "<conformance>", Expr: expr, Class: fragment.Classify(expr)}
+			o := opts
+			o.Engine = e
+			return q.EvalOptions(ctx, o)
+		}
+	}
+	rows := []struct {
+		name string
+		eng  Engine
+		caps enginetest.Caps
+		opts EvalOptions
+	}{
+		{"naive", EngineNaive, enginetest.FullCaps, EvalOptions{}},
+		{"cvt", EngineCVT, enginetest.FullCaps, EvalOptions{}},
+		{"cvt-noindex", EngineCVT, enginetest.FullCaps, EvalOptions{DisableIndex: true}},
+		{"cvt-budgeted", EngineCVT, enginetest.FullCaps, EvalOptions{MaxOps: 1 << 20, MaxDepth: 256}},
+		{"corelinear", EngineCoreLinear, enginetest.CoreCaps, EvalOptions{}},
+		{"corelinear-noindex", EngineCoreLinear, enginetest.CoreCaps, EvalOptions{DisableIndex: true}},
+		{"vm", EngineVM, enginetest.CoreCaps, EvalOptions{}},
+		{"vm-noindex", EngineVM, enginetest.CoreCaps, EvalOptions{DisableIndex: true}},
+		{"parallel", EngineParallel, enginetest.CoreCaps, EvalOptions{}},
+		{"nauxpda", EngineNAuxPDA, enginetest.PXPathCaps, EvalOptions{NegationBound: 8}},
+	}
+	for _, backend := range Backends() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			for _, tc := range rows {
+				tc := tc
+				t.Run(tc.name, func(t *testing.T) {
+					enginetest.RunBackend(t, engineFor(tc.eng, tc.opts), tc.caps, backend)
+				})
+			}
+		})
+	}
+}

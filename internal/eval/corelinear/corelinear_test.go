@@ -27,6 +27,14 @@ func TestCachedEquivalence(t *testing.T) {
 	enginetest.RunCachedEquivalence(t, "corelinear", engine, enginetest.CoreCaps, enginetest.GenCore)
 }
 
+func TestConformanceColumnarBackend(t *testing.T) {
+	enginetest.RunBackend(t, engine, enginetest.CoreCaps, xmltree.BackendColumnar)
+}
+
+func TestBackendEquivalence(t *testing.T) {
+	enginetest.RunBackendEquivalence(t, "corelinear", engine, enginetest.CoreCaps, enginetest.GenCore)
+}
+
 func TestCheckCore(t *testing.T) {
 	good := []string{
 		"/descendant::a/child::b",

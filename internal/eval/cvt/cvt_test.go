@@ -25,6 +25,14 @@ func TestCachedEquivalence(t *testing.T) {
 	enginetest.RunCachedEquivalence(t, "cvt", engine, enginetest.FullCaps, enginetest.GenFull)
 }
 
+func TestConformanceColumnarBackend(t *testing.T) {
+	enginetest.RunBackend(t, engine, enginetest.FullCaps, xmltree.BackendColumnar)
+}
+
+func TestBackendEquivalence(t *testing.T) {
+	enginetest.RunBackendEquivalence(t, "cvt", engine, enginetest.FullCaps, enginetest.GenFull)
+}
+
 func TestConformanceWithoutAdaptiveKeys(t *testing.T) {
 	enginetest.Run(t, func(expr ast.Expr, ctx evalctx.Context) (value.Value, error) {
 		return EvaluateOptions(expr, ctx, Options{DisableAdaptiveKeys: true})

@@ -262,7 +262,15 @@ func needsMissing(need, have Caps) (bool, string) {
 // RunCase executes a single conformance case against an engine.
 func RunCase(t *testing.T, engine Engine, tc Case) {
 	t.Helper()
-	doc := MustDoc(tc.Doc)
+	RunCaseDoc(t, engine, tc, MustDoc(tc.Doc))
+}
+
+// RunCaseDoc executes a single conformance case against an engine on a
+// caller-supplied parse of the case's corpus document — the seam the
+// per-backend conformance matrix uses to run the same cases over
+// documents held in different storage backends.
+func RunCaseDoc(t *testing.T, engine Engine, tc Case, doc *xmltree.Document) {
+	t.Helper()
 	ctx := evalctx.Root(doc)
 	if tc.CtxID != "" {
 		n := NodeByID(doc, tc.CtxID)

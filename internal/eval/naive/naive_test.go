@@ -20,6 +20,14 @@ func TestConformance(t *testing.T) {
 	enginetest.Run(t, engine, enginetest.FullCaps)
 }
 
+func TestConformanceColumnarBackend(t *testing.T) {
+	enginetest.RunBackend(t, engine, enginetest.FullCaps, xmltree.BackendColumnar)
+}
+
+func TestBackendEquivalence(t *testing.T) {
+	enginetest.RunBackendEquivalence(t, "naive", engine, enginetest.FullCaps, enginetest.GenCore)
+}
+
 func TestCachedEquivalence(t *testing.T) {
 	// Core profile: the naive engine is exponential on the worst of the
 	// full-profile generator's outputs, and the cache must be invisible

@@ -28,6 +28,14 @@ func TestCachedEquivalence(t *testing.T) {
 	enginetest.RunCachedEquivalence(t, "nauxpda", engine, enginetest.PXPathCaps, enginetest.GenPWF)
 }
 
+func TestConformanceColumnarBackend(t *testing.T) {
+	enginetest.RunBackend(t, engine, enginetest.PXPathCaps, xmltree.BackendColumnar)
+}
+
+func TestBackendEquivalence(t *testing.T) {
+	enginetest.RunBackendEquivalence(t, "nauxpda", engine, enginetest.PXPathCaps, enginetest.GenPWF)
+}
+
 func TestFragmentCheck(t *testing.T) {
 	cases := []struct {
 		q       string

@@ -28,6 +28,14 @@ func TestCachedEquivalence(t *testing.T) {
 	enginetest.RunCachedEquivalence(t, "parallel", engine, enginetest.CoreCaps, enginetest.GenCore)
 }
 
+func TestConformanceColumnarBackend(t *testing.T) {
+	enginetest.RunBackend(t, engine, enginetest.CoreCaps, xmltree.BackendColumnar)
+}
+
+func TestBackendEquivalence(t *testing.T) {
+	enginetest.RunBackendEquivalence(t, "parallel", engine, enginetest.CoreCaps, enginetest.GenCore)
+}
+
 func TestConformanceAllGrains(t *testing.T) {
 	for _, g := range []Grain{GrainNone, GrainBranch, GrainData, GrainBoth} {
 		g := g

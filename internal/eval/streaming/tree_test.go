@@ -88,6 +88,45 @@ func TestEvalTreeAgreement(t *testing.T) {
 	}
 }
 
+// EvalTree must be blind to the document storage backend: evaluating on
+// a columnar-hydrated view must select exactly the ords it selects on
+// the pointer tree (the backends share Ord numbering by construction).
+func TestEvalTreeColumnarBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	tags := []string{"a", "b", "c"}
+	for trial := 0; trial < 100; trial++ {
+		pd := xmltree.RandomDocument(rng, xmltree.GenConfig{
+			Nodes: 40, MaxFanout: 4, Tags: tags, TextProb: 0.2, AttrProb: 0.2,
+		})
+		cd := xmltree.Compact(pd)
+		q := genDownward(rng, tags)
+		expr, err := parser.Parse(q)
+		if err != nil {
+			t.Fatalf("generated %q: %v", q, err)
+		}
+		prog, err := Compile(expr)
+		if err != nil {
+			continue
+		}
+		want, err := prog.EvalTree(pd, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := prog.EvalTree(cd, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("backend disagreement on %q: columnar %d nodes, pointer %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Ord != want[i].Ord {
+				t.Fatalf("backend disagreement on %q at %d: ord %d vs %d", q, i, got[i].Ord, want[i].Ord)
+			}
+		}
+	}
+}
+
 // EvalTree charges exactly one op per visited node, to counter and guard
 // in lockstep.
 func TestEvalTreeOpAccounting(t *testing.T) {

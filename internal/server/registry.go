@@ -17,7 +17,7 @@ var errDocTooLarge = errors.New("document too large for the registry")
 
 // Registry is the daemon's resident document set: a sharded,
 // concurrency-safe map from content fingerprint to parsed document,
-// bounded by estimated resident bytes with per-shard LRU eviction.
+// bounded by resident bytes with per-shard LRU eviction.
 //
 // Documents are keyed by xmltree.Document.Fingerprint — the same content
 // hash the result cache keys by — so loading byte-identical content
@@ -26,6 +26,16 @@ var errDocTooLarge = errors.New("document too large for the registry")
 // document is evicted its result-cache entries are dropped eagerly
 // (Cache.InvalidateDocument), so the cache's byte budget is not left
 // holding answers for documents the registry no longer serves.
+//
+// Byte accounting delegates to the document's storage backend
+// (DocStore.SizeBytes via Document.ResidentBytes), so eviction pressure
+// matches the real encoding rather than a per-node guess. Columnar-
+// backed documents additionally support demotion: under byte pressure
+// the shard first drops the cold entries' hydrated node-handle views —
+// keeping the compact store resident — and only evicts whole documents
+// when demotion alone cannot fit the budget. A demoted document
+// rehydrates transparently on its next Get with identical Ord
+// numbering, so fingerprint-keyed cache entries survive the round trip.
 type Registry struct {
 	shards   []*regShard
 	maxBytes int64 // per-shard share of the resident budget
@@ -33,8 +43,6 @@ type Registry struct {
 	// cache, when non-nil, is invalidated for a document's fingerprint
 	// when the registry drops it.
 	cache *xpath.ResultCache
-
-	loads, dedups, hits, misses, evictions, deletes int64 // summed over shards
 }
 
 // regShard is one registry shard: fingerprint map + LRU order + resident
@@ -46,13 +54,17 @@ type regShard struct {
 	bytes int64
 
 	loads, dedups, hits, misses, evictions, deletes int64
+	demotions, rehydrations                         int64
 }
 
-// regEntry is one resident document.
+// regEntry is one resident document: the storage backend (always
+// resident) plus the hydrated node-handle view (nil while demoted).
 type regEntry struct {
-	doc    *xpath.Document
+	doc    *xpath.Document // hydrated view; nil while demoted
+	store  xpath.DocStore
 	fp     uint64
-	bytes  int64
+	bytes  int64 // current resident charge: store + view when hydrated
+	nodes  int
 	loaded time.Time
 	hits   int64
 }
@@ -63,10 +75,17 @@ type DocInfo struct {
 	// Fingerprint is the content fingerprint in fixed-width hex — the
 	// handle eval requests pass as "doc".
 	Fingerprint string `json:"fingerprint"`
-	// Nodes and Bytes are the document size and its estimated resident
-	// footprint.
+	// Nodes and Bytes are the document size and its current resident
+	// footprint as reported by the storage backend (store plus hydrated
+	// view; store only while demoted).
 	Nodes int   `json:"nodes"`
 	Bytes int64 `json:"bytes"`
+	// Backend names the document's storage encoding.
+	Backend string `json:"backend"`
+	// StoreBytes is the footprint of the storage encoding alone;
+	// Hydrated reports whether the node-handle view is resident too.
+	StoreBytes int64 `json:"store_bytes"`
+	Hydrated   bool  `json:"hydrated"`
 	// Hits counts eval requests served from this document.
 	Hits int64 `json:"hits"`
 	// LoadedUnix is the load time in Unix nanoseconds.
@@ -88,6 +107,11 @@ type RegistryStats struct {
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 	Deletes   int64 `json:"deletes"`
+	// Demotions counts hydrated views dropped under byte pressure
+	// (columnar backend only); Rehydrations counts demoted documents
+	// rebuilt on Get.
+	Demotions    int64 `json:"demotions"`
+	Rehydrations int64 `json:"rehydrations"`
 }
 
 // NewRegistry creates a registry of `shards` shards bounded to maxBytes
@@ -136,13 +160,15 @@ func ParseFingerprint(s string) (uint64, error) {
 	return fp, nil
 }
 
-// Load parses one XML document from src and admits it. Content already
-// resident (same fingerprint) dedupes: the existing tree is kept and
-// refreshed in LRU order. Admission may evict least-recently-used
-// documents of the same shard to stay under the byte bound; a document
-// larger than a whole shard's budget is rejected.
-func (r *Registry) Load(src io.Reader) (DocInfo, error) {
-	doc, err := xpath.ParseDocument(src)
+// Load parses one XML document from src into the named storage backend
+// ("" = pointer) and admits it. Content already resident (same
+// fingerprint, regardless of backend) dedupes: the existing document is
+// kept and refreshed in LRU order. Admission may demote or evict
+// least-recently-used documents of the same shard to stay under the
+// byte bound; a document larger than a whole shard's budget is
+// rejected.
+func (r *Registry) Load(src io.Reader, backend string) (DocInfo, error) {
+	doc, err := xpath.ParseDocumentBackend(src, backend)
 	if err != nil {
 		return DocInfo{}, err
 	}
@@ -150,12 +176,14 @@ func (r *Registry) Load(src io.Reader) (DocInfo, error) {
 }
 
 // Add admits an already-parsed document (Load's seam, and the preload
-// path of cmd/xpathd).
+// path of cmd/xpathd). The document's own storage backend decides the
+// byte charge.
 func (r *Registry) Add(doc *xpath.Document) (DocInfo, error) {
 	fp := doc.Fingerprint()
-	bytes := estimateDocBytes(doc)
+	store := doc.Store()
+	bytes := doc.ResidentBytes()
 	if bytes > r.maxBytes {
-		return DocInfo{}, fmt.Errorf("%w: ~%d estimated bytes exceeds the shard budget (%d)", errDocTooLarge, bytes, r.maxBytes)
+		return DocInfo{}, fmt.Errorf("%w: %d resident bytes (%s backend) exceeds the shard budget (%d)", errDocTooLarge, bytes, store.Backend(), r.maxBytes)
 	}
 	// Build the index before publishing so concurrent first evals never
 	// duplicate the O(|D|) build.
@@ -170,27 +198,56 @@ func (r *Registry) Add(doc *xpath.Document) (DocInfo, error) {
 		s.mu.Unlock()
 		return info, nil
 	}
-	e := &regEntry{doc: doc, fp: fp, bytes: bytes, loaded: time.Now()}
+	e := &regEntry{doc: doc, store: store, fp: fp, bytes: bytes, nodes: doc.Size(), loaded: time.Now()}
 	el := s.order.PushFront(e)
 	s.docs[fp] = el
 	s.bytes += bytes
 	s.loads++
-	var invalidate []uint64
-	for s.bytes > r.maxBytes && s.order.Len() > 1 {
-		last := s.order.Back()
-		dropped := last.Value.(*regEntry)
-		s.removeLocked(last)
-		s.evictions++
-		invalidate = append(invalidate, dropped.fp)
-	}
+	invalidate := s.fitLocked(r.maxBytes)
 	info := e.info()
 	s.mu.Unlock()
 	r.invalidateAll(invalidate)
 	return info, nil
 }
 
+// fitLocked brings the shard under budget: first demote hydrated
+// columnar views coldest-first (the store stays resident, so no cache
+// invalidation is owed), then evict whole documents LRU. The entry at
+// the front (just admitted or just used) is left hydrated. Returns the
+// fingerprints of evicted documents.
+func (s *regShard) fitLocked(maxBytes int64) []uint64 {
+	for el := s.order.Back(); s.bytes > maxBytes && el != nil && el != s.order.Front(); el = el.Prev() {
+		e := el.Value.(*regEntry)
+		if e.doc == nil {
+			continue
+		}
+		if e.store.Backend() == xpath.BackendPointer {
+			continue // the view is the store; nothing to drop short of eviction
+		}
+		storeOnly := e.store.SizeBytes()
+		if delta := e.bytes - storeOnly; delta > 0 {
+			// A separate hydrated view exists (columnar backend): drop it.
+			e.doc = nil
+			e.bytes = storeOnly
+			s.bytes -= delta
+			s.demotions++
+		}
+	}
+	var invalidate []uint64
+	for s.bytes > maxBytes && s.order.Len() > 1 {
+		last := s.order.Back()
+		dropped := last.Value.(*regEntry)
+		s.removeLocked(last)
+		s.evictions++
+		invalidate = append(invalidate, dropped.fp)
+	}
+	return invalidate
+}
+
 // Get returns the resident document for a fingerprint, refreshing its
-// LRU position and hit count.
+// LRU position and hit count. A demoted document is rehydrated from its
+// store — same content, same Ord numbering, so cached results keyed by
+// its fingerprint remain valid.
 func (r *Registry) Get(fp uint64) (*xpath.Document, bool) {
 	s := r.shard(fp)
 	s.mu.Lock()
@@ -204,6 +261,14 @@ func (r *Registry) Get(fp uint64) (*xpath.Document, bool) {
 	s.hits++
 	e := el.Value.(*regEntry)
 	e.hits++
+	if e.doc == nil {
+		doc := e.store.Document()
+		doc.Index()
+		s.rehydrations++
+		s.bytes += doc.ResidentBytes() - e.bytes
+		e.bytes = doc.ResidentBytes()
+		e.doc = doc
+	}
 	return e.doc, true
 }
 
@@ -251,6 +316,8 @@ func (r *Registry) Stats() RegistryStats {
 		st.Misses += s.misses
 		st.Evictions += s.evictions
 		st.Deletes += s.deletes
+		st.Demotions += s.demotions
+		st.Rehydrations += s.rehydrations
 		s.mu.Unlock()
 	}
 	return st
@@ -267,6 +334,8 @@ func (r *Registry) RecordMetrics(m *xpath.Metrics) {
 	m.Gauge("registry.bytes").Set(st.Bytes)
 	m.Gauge("registry.loads_total").SetMax(st.Loads)
 	m.Gauge("registry.evictions_total").SetMax(st.Evictions)
+	m.Gauge("registry.demotions_total").SetMax(st.Demotions)
+	m.Gauge("registry.rehydrations_total").SetMax(st.Rehydrations)
 }
 
 func (s *regShard) removeLocked(el *list.Element) {
@@ -288,26 +357,12 @@ func (r *Registry) invalidateAll(fps []uint64) {
 func (e *regEntry) info() DocInfo {
 	return DocInfo{
 		Fingerprint: FormatFingerprint(e.fp),
-		Nodes:       e.doc.Size(),
+		Nodes:       e.nodes,
 		Bytes:       e.bytes,
+		Backend:     e.store.Backend(),
+		StoreBytes:  e.store.SizeBytes(),
+		Hydrated:    e.doc != nil,
 		Hits:        e.hits,
 		LoadedUnix:  e.loaded.UnixNano(),
 	}
-}
-
-// estimateDocBytes estimates a document's resident footprint: a fixed
-// per-node overhead (Node struct, Nodes slice slot, child/attr slice
-// headers, index share) plus the variable string payloads. An estimate
-// is all the byte bound needs — it caps growth, it does not account the
-// heap.
-func estimateDocBytes(doc *xpath.Document) int64 {
-	const perNode = 160
-	size := int64(64)
-	for _, n := range doc.Nodes {
-		size += perNode + int64(len(n.Name)+len(n.Data))
-		for _, a := range n.Attrs {
-			size += 48 + int64(len(a.Name)+len(a.Data))
-		}
-	}
-	return size
 }

@@ -52,7 +52,7 @@ func TestRegistryDedupAndLRU(t *testing.T) {
 	// One shard with room for roughly two mid-sized documents makes the
 	// eviction order observable.
 	d1 := docOfSize(t, "a", 50)
-	budget := 2*estimateDocBytes(d1) + estimateDocBytes(d1)/2
+	budget := 2*d1.ResidentBytes() + d1.ResidentBytes()/2
 	r := NewRegistry(1, budget, nil)
 
 	i1, err := r.Add(d1)
@@ -102,7 +102,7 @@ func TestRegistryDedupAndLRU(t *testing.T) {
 func TestRegistryEvictionInvalidatesCache(t *testing.T) {
 	cache := xpath.NewResultCache(0, 0)
 	d1 := docOfSize(t, "a", 40)
-	r := NewRegistry(1, estimateDocBytes(d1)+estimateDocBytes(d1)/2, cache)
+	r := NewRegistry(1, d1.ResidentBytes()+d1.ResidentBytes()/2, cache)
 	if _, err := r.Add(d1); err != nil {
 		t.Fatal(err)
 	}
@@ -120,6 +120,101 @@ func TestRegistryEvictionInvalidatesCache(t *testing.T) {
 	}
 	if st := cache.Stats(); st.Invalidations == 0 {
 		t.Errorf("eviction did not invalidate the cache: %+v", st)
+	}
+}
+
+// columnarDocOfSize is docOfSize on the columnar backend, the encoding
+// whose hydrated view can be demoted under byte pressure.
+func columnarDocOfSize(t *testing.T, tag string, n int) *xpath.Document {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("<" + tag + ">")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<item id="%d">payload-%d</item>`, i, i)
+	}
+	b.WriteString("</" + tag + ">")
+	d, err := xpath.ParseDocumentBackend(strings.NewReader(b.String()), xpath.BackendColumnar)
+	if err != nil {
+		t.Fatalf("parse columnar: %v", err)
+	}
+	return d
+}
+
+// Under byte pressure the registry demotes cold columnar entries —
+// dropping the hydrated view, keeping the store — before evicting
+// anything, and rehydrates transparently on Get with cached results
+// surviving the round trip.
+func TestRegistryDemotionAndRehydration(t *testing.T) {
+	cache := xpath.NewResultCache(0, 0)
+	d1 := columnarDocOfSize(t, "a", 60)
+	d2 := columnarDocOfSize(t, "b", 60)
+	r1, s1 := d1.ResidentBytes(), d1.StoreSizeBytes()
+	if r1 <= s1 {
+		t.Fatalf("columnar view adds no bytes: resident %d, store %d", r1, s1)
+	}
+	// Room for both stores plus one hydrated view, not two.
+	budget := d2.ResidentBytes() + s1 + (r1-s1)/2
+	r := NewRegistry(1, budget, cache)
+
+	if _, err := r.Add(d1); err != nil {
+		t.Fatal(err)
+	}
+	q := xpath.MustCompile("count(//item)")
+	want, err := q.EvalOptions(xpath.RootContext(d1), xpath.EvalOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add(d2); err != nil {
+		t.Fatal(err)
+	}
+
+	st := r.Stats()
+	if st.Demotions != 1 || st.Evictions != 0 {
+		t.Fatalf("adding d2 should demote d1, not evict: %+v", st)
+	}
+	if st.Bytes > budget {
+		t.Fatalf("resident bytes %d exceed budget %d", st.Bytes, budget)
+	}
+	if inv := cache.Stats().Invalidations; inv != 0 {
+		t.Fatalf("demotion must not invalidate the cache: %d invalidations", inv)
+	}
+	var demoted DocInfo
+	for _, info := range r.List() {
+		if info.Fingerprint == FormatFingerprint(d1.Fingerprint()) {
+			demoted = info
+		}
+	}
+	if demoted.Hydrated || demoted.Bytes != demoted.StoreBytes || demoted.Backend != xpath.BackendColumnar {
+		t.Fatalf("demoted entry not store-only: %+v", demoted)
+	}
+
+	got, ok := r.Get(d1.Fingerprint())
+	if !ok {
+		t.Fatal("demoted document not resident")
+	}
+	if got == d1 {
+		t.Fatal("Get returned the dropped view instance")
+	}
+	if st := r.Stats(); st.Rehydrations != 1 {
+		t.Fatalf("stats after rehydration: %+v", st)
+	}
+	for _, info := range r.List() {
+		if info.Fingerprint == FormatFingerprint(d1.Fingerprint()) && !info.Hydrated {
+			t.Fatalf("entry still demoted after Get: %+v", info)
+		}
+	}
+	// The rehydrated view keeps identical Ord numbering, so the result
+	// cached before demotion still hits — and agrees.
+	hits := cache.Stats().Hits
+	v, err := q.EvalOptions(xpath.RootContext(got), xpath.EvalOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Stats().Hits != hits+1 {
+		t.Fatal("cached result did not survive the demote/rehydrate round trip")
+	}
+	if fmt.Sprint(v) != fmt.Sprint(want) {
+		t.Fatalf("rehydrated eval = %v, want %v", v, want)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	xpath "xpathcomplexity"
@@ -74,6 +75,9 @@ type Config struct {
 	// (defaults: 16 shards, DefaultMaxResidentBytes).
 	RegistryShards   int
 	MaxResidentBytes int64
+	// DefaultBackend is the document storage backend for loads that do
+	// not name one via ?backend= ("" = pointer; see docs/STORAGE.md).
+	DefaultBackend string
 	// MaxDocumentBytes bounds one load request body (default
 	// DefaultMaxDocumentBytes).
 	MaxDocumentBytes int64
@@ -442,7 +446,16 @@ func (s *Server) shed(w http.ResponseWriter, tenant string, cause sheddingCause)
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Counter("server.requests").Inc()
-	info, err := s.registry.Load(http.MaxBytesReader(w, r.Body, s.cfg.MaxDocumentBytes))
+	backend := r.URL.Query().Get("backend")
+	if backend == "" {
+		backend = s.cfg.DefaultBackend
+	}
+	if !xpath.ValidBackend(backend) {
+		s.httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown document backend %q (have: %s)", backend, strings.Join(xpath.Backends(), ", ")))
+		return
+	}
+	info, err := s.registry.Load(http.MaxBytesReader(w, r.Body, s.cfg.MaxDocumentBytes), backend)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		switch {

@@ -433,3 +433,53 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz: %d", resp.StatusCode)
 	}
 }
+
+// TestLoadBackendSelection pins the ?backend= load seam: explicit
+// per-request backend choice, the configured default, and a 400 that
+// names the valid backends on a bad value.
+func TestLoadBackendSelection(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Post(ts.URL+"/v1/documents?backend=columnar", "application/xml", strings.NewReader(testDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("columnar load: status %d: %s", resp.StatusCode, body)
+	}
+	var info DocInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Backend != "columnar" || !info.Hydrated {
+		t.Fatalf("columnar load info: %+v", info)
+	}
+	if info.StoreBytes <= 0 || info.Bytes <= info.StoreBytes {
+		t.Fatalf("columnar accounting: %+v", info)
+	}
+	// The columnar-backed document serves evaluations like any other.
+	if r2, er := evalReq(t, ts, info.Fingerprint, []string{"count(//b)"}, nil); r2.StatusCode != http.StatusOK || len(er.Results) != 1 {
+		t.Fatalf("eval on columnar doc: %d %+v", r2.StatusCode, er)
+	}
+
+	bad, err := http.Post(ts.URL+"/v1/documents?backend=no-such", "application/xml", strings.NewReader(testDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Body.Close()
+	body, _ := io.ReadAll(bad.Body)
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad backend: status %d: %s", bad.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("columnar")) || !bytes.Contains(body, []byte("pointer")) {
+		t.Fatalf("bad-backend error does not name the valid backends: %s", body)
+	}
+
+	// A configured default applies when the request names no backend.
+	_, ts2 := newTestServer(t, Config{DefaultBackend: "columnar"})
+	if info := loadDoc(t, ts2, testDoc); info.Backend != "columnar" {
+		t.Fatalf("DefaultBackend not applied: %+v", info)
+	}
+}

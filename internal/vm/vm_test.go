@@ -31,6 +31,14 @@ func TestCachedEquivalence(t *testing.T) {
 	enginetest.RunCachedEquivalence(t, "vm", engine, enginetest.CoreCaps, enginetest.GenCore)
 }
 
+func TestConformanceColumnarBackend(t *testing.T) {
+	enginetest.RunBackend(t, engine, enginetest.CoreCaps, xmltree.BackendColumnar)
+}
+
+func TestBackendEquivalence(t *testing.T) {
+	enginetest.RunBackendEquivalence(t, "vm", engine, enginetest.CoreCaps, enginetest.GenCore)
+}
+
 // corpusQueries exercises every opcode: fused and unfused steps, both
 // init forms, backward chains with hoisted predicate conditions, the
 // boolean connectives, label tests, unions, absolute conditions, and

@@ -70,6 +70,7 @@ func (d *Document) number(n *Node, pre, post *int) {
 	if n == d.Root {
 		d.invalidateIndex()
 		d.invalidateFingerprint()
+		d.invalidateStore()
 	}
 	n.doc = d
 	n.Pre = *pre

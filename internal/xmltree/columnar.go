@@ -1,0 +1,357 @@
+package xmltree
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"unsafe"
+)
+
+// Columnar is the struct-of-arrays document backend: the structural
+// truth of one document held as flat arrays indexed by document order
+// (Node.Ord), with all names interned in one table and all character
+// data concatenated in one blob. Per node it costs ~29 bytes of arrays
+// (kind, label id, parent, first-child, next-sibling, pre, post, data
+// offset) against the pointer tree's per-node struct, slice backings and
+// un-interned strings — the cache-friendly flat encoding the ROADMAP
+// names as the unlock for registry-resident document sets, and the shape
+// the SXSI line of work (PAPERS.md) shows matches the engines' access
+// patterns.
+//
+// A Columnar is immutable once built and safe to share. It serves
+// evaluation by hydrating a node-handle view (Document): one contiguous
+// Node slab wired from the arrays, strings aliasing the interned tables,
+// child/attr slices carved from two shared backings. Hydration is
+// deterministic — same store, same Ord numbering, same fingerprint — so
+// a view can be dropped under memory pressure and rebuilt later without
+// invalidating fingerprint-keyed caches.
+type Columnar struct {
+	// kind is the node kind per ord.
+	kind []NodeType
+	// label indexes names per ord (element tag, attribute name, PI
+	// target); -1 for root, text and comment nodes.
+	label []int32
+	// parent, firstChild and nextSibling are the structural links as
+	// ords, -1 when absent. Attribute entries carry parent only.
+	parent      []int32
+	firstChild  []int32
+	nextSibling []int32
+	// pre and post are the pre/post-order numbers (attributes share
+	// their owner's interval, as in the pointer tree).
+	pre, post []int32
+	// dataOff is the n+1 monotone offset table into blob: the character
+	// data of ord i is blob[dataOff[i]:dataOff[i+1]].
+	dataOff []uint32
+	// blob is every text, attribute-value, comment and PI payload,
+	// concatenated in document order.
+	blob string
+	// names is the interned name table label indexes into.
+	names []string
+	// tagOrds and attrOrds are the per-tag element and per-name
+	// attribute candidate lists, in document order.
+	tagOrds  map[string][]int32
+	attrOrds map[string][]int32
+	// extraLabels carries the sparse Remark 3.1 labels (reduction-built
+	// documents only; empty for parsed XML).
+	extraLabels map[int32][]string
+	// fp is the content fingerprint, computed from the source tree at
+	// conversion so cold stores answer Fingerprint without hydrating.
+	fp uint64
+}
+
+// NewColumnar converts a finalized document to the columnar encoding in
+// one pass over its node list. The source document is not retained: a
+// caller that converts a freshly parsed tree and keeps only the hydrated
+// view lets the parse-time pointer tree go to the collector.
+func NewColumnar(d *Document) *Columnar {
+	n := len(d.Nodes)
+	if n > math.MaxInt32 {
+		panic(fmt.Sprintf("xmltree: document of %d nodes exceeds the columnar ord width", n))
+	}
+	c := &Columnar{
+		kind:        make([]NodeType, n),
+		label:       make([]int32, n),
+		parent:      make([]int32, n),
+		firstChild:  make([]int32, n),
+		nextSibling: make([]int32, n),
+		pre:         make([]int32, n),
+		post:        make([]int32, n),
+		dataOff:     make([]uint32, n+1),
+		tagOrds:     make(map[string][]int32),
+		attrOrds:    make(map[string][]int32),
+		fp:          d.Fingerprint(),
+	}
+	intern := make(map[string]int32)
+	internName := func(s string) int32 {
+		if id, ok := intern[s]; ok {
+			return id
+		}
+		id := int32(len(c.names))
+		c.names = append(c.names, s)
+		intern[s] = id
+		return id
+	}
+	var blob strings.Builder
+	for ord, m := range d.Nodes {
+		c.kind[ord] = m.Type
+		c.pre[ord] = int32(m.Pre)
+		c.post[ord] = int32(m.Post)
+		c.label[ord] = -1
+		if m.Name != "" {
+			c.label[ord] = internName(m.Name)
+		}
+		c.parent[ord] = -1
+		if m.Parent != nil {
+			c.parent[ord] = int32(m.Parent.Ord)
+		}
+		c.firstChild[ord] = -1
+		c.nextSibling[ord] = -1
+		if m.Type != AttributeNode {
+			if len(m.Children) > 0 {
+				c.firstChild[ord] = int32(m.Children[0].Ord)
+			}
+			if s := m.NextSibling(); s != nil {
+				c.nextSibling[ord] = int32(s.Ord)
+			}
+		}
+		c.dataOff[ord] = uint32(blob.Len())
+		blob.WriteString(m.Data)
+		switch m.Type {
+		case ElementNode:
+			c.tagOrds[m.Name] = append(c.tagOrds[m.Name], int32(ord))
+		case AttributeNode:
+			c.attrOrds[m.Name] = append(c.attrOrds[m.Name], int32(ord))
+		}
+		if ls := m.Labels(); len(ls) > 0 {
+			if c.extraLabels == nil {
+				c.extraLabels = make(map[int32][]string)
+			}
+			c.extraLabels[int32(ord)] = ls
+		}
+	}
+	c.dataOff[n] = uint32(blob.Len())
+	c.blob = blob.String()
+	return c
+}
+
+// Backend implements DocStore.
+func (c *Columnar) Backend() string { return BackendColumnar }
+
+// NumNodes implements DocStore.
+func (c *Columnar) NumNodes() int { return len(c.kind) }
+
+// Kind implements DocStore.
+func (c *Columnar) Kind(ord int) NodeType { return c.kind[ord] }
+
+// Name implements DocStore.
+func (c *Columnar) Name(ord int) string {
+	if id := c.label[ord]; id >= 0 {
+		return c.names[id]
+	}
+	return ""
+}
+
+// Data implements DocStore.
+func (c *Columnar) Data(ord int) string {
+	return c.blob[c.dataOff[ord]:c.dataOff[ord+1]]
+}
+
+// Labels implements DocStore.
+func (c *Columnar) Labels(ord int) []string { return c.extraLabels[int32(ord)] }
+
+// ParentOrd implements DocStore.
+func (c *Columnar) ParentOrd(ord int) int { return int(c.parent[ord]) }
+
+// FirstChildOrd implements DocStore.
+func (c *Columnar) FirstChildOrd(ord int) int { return int(c.firstChild[ord]) }
+
+// NextSiblingOrd implements DocStore.
+func (c *Columnar) NextSiblingOrd(ord int) int { return int(c.nextSibling[ord]) }
+
+// Pre implements DocStore.
+func (c *Columnar) Pre(ord int) int { return int(c.pre[ord]) }
+
+// Post implements DocStore.
+func (c *Columnar) Post(ord int) int { return int(c.post[ord]) }
+
+// TagOrds implements DocStore.
+func (c *Columnar) TagOrds(tag string) []int32 { return c.tagOrds[tag] }
+
+// AttrOrds implements DocStore.
+func (c *Columnar) AttrOrds(name string) []int32 { return c.attrOrds[name] }
+
+// SubtreeOrdSpan implements DocStore.
+func (c *Columnar) SubtreeOrdSpan(ord int) (int, int) { return subtreeOrdSpan(c, ord) }
+
+// Fingerprint implements DocStore: the content hash computed at
+// conversion, byte-identical to the pointer tree's for the same content.
+func (c *Columnar) Fingerprint() uint64 { return c.fp }
+
+// Tags returns the element tag alphabet in sorted order.
+func (c *Columnar) Tags() []string { return sortedKeys(c.tagOrds) }
+
+// SizeBytes implements DocStore: the exact array, table and blob
+// footprint of the encoding at rest (no hydrated view included).
+func (c *Columnar) SizeBytes() int64 {
+	const (
+		sliceHeader = int64(unsafe.Sizeof([]int32{}))
+		strHeader   = int64(unsafe.Sizeof(""))
+		mapEntry    = 48 // bucket share per key, coarse
+	)
+	n := int64(len(c.kind))
+	size := int64(unsafe.Sizeof(*c))
+	size += n * 1                 // kind
+	size += n * 4 * 6             // label, parent, firstChild, nextSibling, pre, post
+	size += (n + 1) * 4           // dataOff
+	size += int64(len(c.blob))    // blob payload
+	size += sliceHeader * 8       // the eight array headers
+	size += strHeader * int64(len(c.names))
+	for _, s := range c.names {
+		size += int64(len(s))
+	}
+	for tag, ords := range c.tagOrds {
+		size += mapEntry + int64(len(tag)) + sliceHeader + int64(cap(ords))*4
+	}
+	for name, ords := range c.attrOrds {
+		size += mapEntry + int64(len(name)) + sliceHeader + int64(cap(ords))*4
+	}
+	for _, ls := range c.extraLabels {
+		size += mapEntry
+		for _, l := range ls {
+			size += strHeader + int64(len(l))
+		}
+	}
+	return size
+}
+
+// Document implements DocStore: it hydrates a node-handle view of the
+// store — one contiguous Node slab, child and attribute slices carved
+// from two shared backing arrays, name and data strings aliasing the
+// interned tables (no character copied). Numbering (Ord, Pre, Post,
+// SiblingIdx) is read straight from the arrays, so every hydration of
+// the same store is content- and order-identical: node sets cached by
+// (fingerprint, ord) remap cleanly onto any view of the store.
+func (c *Columnar) Document() *Document {
+	n := len(c.kind)
+	slab := make([]Node, n)
+	nodes := make([]*Node, n)
+	// Count child/attr arity per node, then carve exact sub-slices out
+	// of two shared backings: no per-node slice allocations, no append
+	// slack.
+	childCount := make([]int32, n)
+	attrCount := make([]int32, n)
+	totChild, totAttr := 0, 0
+	for ord := 0; ord < n; ord++ {
+		p := c.parent[ord]
+		if p < 0 {
+			continue
+		}
+		if c.kind[ord] == AttributeNode {
+			attrCount[p]++
+			totAttr++
+		} else {
+			childCount[p]++
+			totChild++
+		}
+	}
+	childBacking := make([]*Node, totChild)
+	attrBacking := make([]*Node, totAttr)
+	childNext := make([]int32, n)
+	attrNext := make([]int32, n)
+	for ord, off := 0, int32(0); ord < n; ord++ {
+		childNext[ord] = off
+		off += childCount[ord]
+	}
+	for ord, off := 0, int32(0); ord < n; ord++ {
+		attrNext[ord] = off
+		off += attrCount[ord]
+	}
+	d := &Document{}
+	for ord := 0; ord < n; ord++ {
+		m := &slab[ord]
+		nodes[ord] = m
+		m.Type = c.kind[ord]
+		if id := c.label[ord]; id >= 0 {
+			m.Name = c.names[id]
+		}
+		m.Data = c.blob[c.dataOff[ord]:c.dataOff[ord+1]]
+		m.Pre = int(c.pre[ord])
+		m.Post = int(c.post[ord])
+		m.Ord = ord
+		m.doc = d
+		if p := c.parent[ord]; p >= 0 {
+			par := &slab[p]
+			m.Parent = par
+			if c.kind[ord] == AttributeNode {
+				i := attrNext[p]
+				attrNext[p]++
+				attrBacking[i] = m
+			} else {
+				i := childNext[p]
+				childNext[p]++
+				childBacking[i] = m
+			}
+		}
+	}
+	// Second pass: install the carved slices and sibling indices (the
+	// offsets were consumed above; recompute the starts).
+	for ord, off := 0, int32(0); ord < n; ord++ {
+		cnt := childCount[ord]
+		if cnt > 0 {
+			slab[ord].Children = childBacking[off : off+cnt : off+cnt]
+			for i, ch := range slab[ord].Children {
+				ch.SiblingIdx = i
+			}
+		}
+		off += cnt
+	}
+	for ord, off := 0, int32(0); ord < n; ord++ {
+		cnt := attrCount[ord]
+		if cnt > 0 {
+			slab[ord].Attrs = attrBacking[off : off+cnt : off+cnt]
+			for i, a := range slab[ord].Attrs {
+				a.SiblingIdx = i
+			}
+		}
+		off += cnt
+	}
+	for ord, ls := range c.extraLabels {
+		m := &slab[ord]
+		m.labels = make(map[string]bool, len(ls))
+		for _, l := range ls {
+			m.labels[l] = true
+		}
+	}
+	d.Root = &slab[0]
+	d.Nodes = nodes
+	// Prime the fingerprint from the store and install the backend: the
+	// view never recomputes what the encoding already knows.
+	d.fp.Store(c.fp)
+	d.fpSet.Store(true)
+	d.setStore(c, c.viewBytes(n, totChild, totAttr))
+	return d
+}
+
+// viewBytes is the resident cost of one hydrated view over this store:
+// the Node slab, the two carved backings and the Nodes pointer slice.
+// Strings alias the store's interned tables and are not charged again.
+func (c *Columnar) viewBytes(n, totChild, totAttr int) int64 {
+	const (
+		nodeSize = int64(unsafe.Sizeof(Node{}))
+		ptrSize  = int64(unsafe.Sizeof((*Node)(nil)))
+	)
+	size := int64(n)*nodeSize + int64(totChild+totAttr+n)*ptrSize
+	size += int64(len(c.extraLabels)) * 48
+	return size
+}
+
+// Compact returns a columnar-backed equivalent of the document: the
+// document itself when it is already columnar-backed, otherwise the
+// hydrated view of a fresh conversion. Content, numbering and
+// fingerprint are identical; only the storage encoding changes.
+func Compact(d *Document) *Document {
+	if d.Backend() == BackendColumnar {
+		return d
+	}
+	return NewColumnar(d).Document()
+}

@@ -111,6 +111,9 @@ func (d *Document) invalidateIndex() {
 }
 
 func buildIndex(d *Document) *Index {
+	if c := d.columnarStore(); c != nil && c.NumNodes() == len(d.Nodes) {
+		return buildIndexColumnar(d, c)
+	}
 	n := len(d.Nodes)
 	ix := &Index{
 		doc:         d,
@@ -154,6 +157,58 @@ func buildIndex(d *Document) *Index {
 		if s := m.NextSibling(); s != nil {
 			ix.nextSibling[m.Ord] = int32(s.Ord)
 		}
+	}
+	return ix
+}
+
+// buildIndexColumnar builds the index of a columnar-backed view without
+// recomputing structure: the flat first-child/next-sibling/parent arrays
+// are shared zero-copy with the store (both sides treat them as
+// immutable), and the per-tag/per-attribute lists are the store's ord
+// lists mapped through the hydrated slab. Only the per-kind lists and
+// the attribute mask are built fresh.
+func buildIndexColumnar(d *Document, c *Columnar) *Index {
+	n := len(d.Nodes)
+	ix := &Index{
+		doc:         d,
+		elemsByTag:  make(map[string][]*Node, len(c.tagOrds)),
+		attrsByName: make(map[string][]*Node, len(c.attrOrds)),
+		firstChild:  c.firstChild,
+		nextSibling: c.nextSibling,
+		parent:      c.parent,
+		isAttr:      make([]bool, n),
+		attrMask:    make([]uint64, (n+63)>>6),
+	}
+	for tag, ords := range c.tagOrds {
+		list := make([]*Node, len(ords))
+		for i, o := range ords {
+			list[i] = d.Nodes[o]
+		}
+		ix.elemsByTag[tag] = list
+	}
+	for name, ords := range c.attrOrds {
+		list := make([]*Node, len(ords))
+		for i, o := range ords {
+			list[i] = d.Nodes[o]
+		}
+		ix.attrsByName[name] = list
+	}
+	for _, m := range d.Nodes {
+		switch m.Type {
+		case ElementNode:
+			ix.elements = append(ix.elements, m)
+		case AttributeNode:
+			ix.isAttr[m.Ord] = true
+			ix.attrMask[m.Ord>>6] |= 1 << (uint(m.Ord) & 63)
+			continue // attributes have no child/sibling entries
+		case TextNode:
+			ix.texts = append(ix.texts, m)
+		case CommentNode:
+			ix.comments = append(ix.comments, m)
+		case ProcInstNode:
+			ix.procInsts = append(ix.procInsts, m)
+		}
+		ix.treeNodes = append(ix.treeNodes, m)
 	}
 	return ix
 }

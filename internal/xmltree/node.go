@@ -109,6 +109,7 @@ type Document struct {
 
 	indexCache
 	fpCache
+	storeCache
 }
 
 // Document returns the document the node belongs to.

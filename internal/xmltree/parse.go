@@ -24,6 +24,36 @@ func ParseString(s string) (*Document, error) {
 	return Parse(strings.NewReader(s))
 }
 
+// ParseConfig bundles parse-time options for ParseWith.
+type ParseConfig struct {
+	// KeepSpace preserves whitespace-only text nodes.
+	KeepSpace bool
+	// Backend selects the storage backend of the returned document:
+	// BackendPointer (the default, also selected by ""), or
+	// BackendColumnar to convert the parse into the struct-of-arrays
+	// encoding and return its hydrated view.
+	Backend string
+}
+
+// ParseWith parses an XML document under the given configuration. With
+// the columnar backend the parse-time pointer tree is discarded after
+// conversion; content, numbering and fingerprint are identical across
+// backends.
+func ParseWith(r io.Reader, cfg ParseConfig) (*Document, error) {
+	d, err := ParseOptions(r, cfg.KeepSpace)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Backend {
+	case "", BackendPointer:
+		return d, nil
+	case BackendColumnar:
+		return Compact(d), nil
+	default:
+		return nil, fmt.Errorf("xmltree: unknown document backend %q", cfg.Backend)
+	}
+}
+
 // ParseOptions parses an XML document; keepSpace preserves whitespace-only
 // text nodes.
 func ParseOptions(r io.Reader, keepSpace bool) (*Document, error) {

@@ -1,0 +1,407 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const storeTestXML = `<library kind="public">
+  <book id="b1" lang="en"><title>First</title><author>A. One</author></book>
+  <book id="b2"><title>Second</title><!--review pending--></book>
+  <shelf><?mark pos="3"?><book id="b3"><title>Third</title></book></shelf>
+</library>`
+
+func storeTestDocs(t *testing.T) map[string]*Document {
+	t.Helper()
+	parsed, err := ParseString(storeTestXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled := NewDocument(
+		Elem("r",
+			Elem("a", Text("x")),
+			WithAttrs(Elem("a"), Attr("k", "v")),
+		),
+	)
+	labeled.Nodes[2].AddLabel("S1")
+	labeled.Nodes[2].AddLabel("S0")
+	random := RandomDocument(rand.New(rand.NewSource(11)), GenConfig{
+		Nodes: 500, MaxFanout: 5, Tags: []string{"a", "b", "c"},
+		TextProb: 0.3, AttrProb: 0.3,
+	})
+	return map[string]*Document{"parsed": parsed, "labeled": labeled, "random": random}
+}
+
+// checkStoreAgainstTree asserts every DocStore primitive against the
+// pointer graph of the given view document (whose Nodes are the ground
+// truth for ords).
+func checkStoreAgainstTree(t *testing.T, s DocStore, view *Document) {
+	t.Helper()
+	if s.NumNodes() != len(view.Nodes) {
+		t.Fatalf("NumNodes = %d, want %d", s.NumNodes(), len(view.Nodes))
+	}
+	for ord, n := range view.Nodes {
+		if got := s.Kind(ord); got != n.Type {
+			t.Fatalf("ord %d: Kind = %v, want %v", ord, got, n.Type)
+		}
+		if got := s.Name(ord); got != n.Name {
+			t.Fatalf("ord %d: Name = %q, want %q", ord, got, n.Name)
+		}
+		if got := s.Data(ord); got != n.Data {
+			t.Fatalf("ord %d: Data = %q, want %q", ord, got, n.Data)
+		}
+		if got, want := s.Pre(ord), n.Pre; got != want {
+			t.Fatalf("ord %d: Pre = %d, want %d", ord, got, want)
+		}
+		if got, want := s.Post(ord), n.Post; got != want {
+			t.Fatalf("ord %d: Post = %d, want %d", ord, got, want)
+		}
+		wantParent := -1
+		if n.Parent != nil {
+			wantParent = n.Parent.Ord
+		}
+		if got := s.ParentOrd(ord); got != wantParent {
+			t.Fatalf("ord %d: ParentOrd = %d, want %d", ord, got, wantParent)
+		}
+		wantFC := -1
+		if n.Type != AttributeNode && len(n.Children) > 0 {
+			wantFC = n.Children[0].Ord
+		}
+		if got := s.FirstChildOrd(ord); got != wantFC {
+			t.Fatalf("ord %d: FirstChildOrd = %d, want %d", ord, got, wantFC)
+		}
+		wantNS := -1
+		if sib := n.NextSibling(); sib != nil {
+			wantNS = sib.Ord
+		}
+		if got := s.NextSiblingOrd(ord); got != wantNS {
+			t.Fatalf("ord %d: NextSiblingOrd = %d, want %d", ord, got, wantNS)
+		}
+		if got, want := s.Labels(ord), n.Labels(); strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Fatalf("ord %d: Labels = %v, want %v", ord, got, want)
+		}
+		lo, hi := s.SubtreeOrdSpan(ord)
+		if lo != ord {
+			t.Fatalf("ord %d: SubtreeOrdSpan lo = %d", ord, lo)
+		}
+		wantHi := ord + 1
+		if n.Type != AttributeNode {
+			// The subtree span covers every node whose Pre lies inside
+			// [n.Pre, ...] with Post < n.Post, plus attributes; count by
+			// scanning document order.
+			wantHi = len(view.Nodes)
+			for j := ord + 1; j < len(view.Nodes); j++ {
+				m := view.Nodes[j]
+				anc := m
+				for anc != nil && anc != n {
+					anc = anc.Parent
+				}
+				if anc == nil {
+					wantHi = j
+					break
+				}
+			}
+		}
+		if hi != wantHi {
+			t.Fatalf("ord %d (%v %q): SubtreeOrdSpan hi = %d, want %d", ord, n.Type, n.Name, hi, wantHi)
+		}
+	}
+	// Per-tag and per-attribute lists match a document-order scan.
+	tags := map[string][]int32{}
+	attrs := map[string][]int32{}
+	for ord, n := range view.Nodes {
+		switch n.Type {
+		case ElementNode:
+			tags[n.Name] = append(tags[n.Name], int32(ord))
+		case AttributeNode:
+			attrs[n.Name] = append(attrs[n.Name], int32(ord))
+		}
+	}
+	for tag, want := range tags {
+		got := s.TagOrds(tag)
+		if len(got) != len(want) {
+			t.Fatalf("TagOrds(%q) = %v, want %v", tag, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("TagOrds(%q) = %v, want %v", tag, got, want)
+			}
+		}
+	}
+	for name, want := range attrs {
+		got := s.AttrOrds(name)
+		if len(got) != len(want) {
+			t.Fatalf("AttrOrds(%q) = %v, want %v", name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("AttrOrds(%q) = %v, want %v", name, got, want)
+			}
+		}
+	}
+	if got := s.TagOrds("no-such-tag"); len(got) != 0 {
+		t.Fatalf("TagOrds(no-such-tag) = %v", got)
+	}
+	if got := s.AttrOrds("no-such-attr"); len(got) != 0 {
+		t.Fatalf("AttrOrds(no-such-attr) = %v", got)
+	}
+}
+
+func TestPointerStorePrimitives(t *testing.T) {
+	for name, d := range storeTestDocs(t) {
+		t.Run(name, func(t *testing.T) {
+			s := d.Store()
+			if s.Backend() != BackendPointer {
+				t.Fatalf("Backend = %q", s.Backend())
+			}
+			if s.Document() != d {
+				t.Fatal("pointer store Document() is not the adapted tree")
+			}
+			if s.Fingerprint() != d.Fingerprint() {
+				t.Fatal("pointer store fingerprint mismatch")
+			}
+			checkStoreAgainstTree(t, s, d)
+		})
+	}
+}
+
+func TestColumnarStorePrimitives(t *testing.T) {
+	for name, d := range storeTestDocs(t) {
+		t.Run(name, func(t *testing.T) {
+			c := NewColumnar(d)
+			if c.Backend() != BackendColumnar {
+				t.Fatalf("Backend = %q", c.Backend())
+			}
+			// The primitives must agree with the source tree...
+			checkStoreAgainstTree(t, c, d)
+			// ...and with the hydrated view's own graph.
+			h := c.Document()
+			checkStoreAgainstTree(t, c, h)
+		})
+	}
+}
+
+// Hydration must be a faithful, deterministic reconstruction: same
+// numbering, same content, same fingerprint, every time.
+func TestColumnarHydrationFaithful(t *testing.T) {
+	for name, d := range storeTestDocs(t) {
+		t.Run(name, func(t *testing.T) {
+			c := NewColumnar(d)
+			h1, h2 := c.Document(), c.Document()
+			for _, h := range []*Document{h1, h2} {
+				if len(h.Nodes) != len(d.Nodes) {
+					t.Fatalf("hydrated %d nodes, want %d", len(h.Nodes), len(d.Nodes))
+				}
+				if h.Backend() != BackendColumnar {
+					t.Fatalf("hydrated backend = %q", h.Backend())
+				}
+				if h.Fingerprint() != d.Fingerprint() {
+					t.Fatalf("hydrated fingerprint %x, want %x", h.Fingerprint(), d.Fingerprint())
+				}
+				for ord, n := range h.Nodes {
+					m := d.Nodes[ord]
+					if n.Ord != ord || n.Type != m.Type || n.Name != m.Name || n.Data != m.Data ||
+						n.Pre != m.Pre || n.Post != m.Post || n.SiblingIdx != m.SiblingIdx {
+						t.Fatalf("ord %d: hydrated {%v %q %q pre=%d post=%d sib=%d}, want {%v %q %q pre=%d post=%d sib=%d}",
+							ord, n.Type, n.Name, n.Data, n.Pre, n.Post, n.SiblingIdx,
+							m.Type, m.Name, m.Data, m.Pre, m.Post, m.SiblingIdx)
+					}
+					if len(n.Children) != len(m.Children) || len(n.Attrs) != len(m.Attrs) {
+						t.Fatalf("ord %d: arity mismatch", ord)
+					}
+					for i := range n.Children {
+						if n.Children[i].Ord != m.Children[i].Ord {
+							t.Fatalf("ord %d child %d: ord %d, want %d", ord, i, n.Children[i].Ord, m.Children[i].Ord)
+						}
+					}
+					for i := range n.Attrs {
+						if n.Attrs[i].Ord != m.Attrs[i].Ord {
+							t.Fatalf("ord %d attr %d: ord %d, want %d", ord, i, n.Attrs[i].Ord, m.Attrs[i].Ord)
+						}
+					}
+					if n.Document() != h {
+						t.Fatalf("ord %d: node does not point at its view document", ord)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFingerprintIdenticalAcrossBackends(t *testing.T) {
+	p1, err := ParseString(storeTestXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := ParseWith(strings.NewReader(storeTestXML), ParseConfig{Backend: BackendColumnar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Fingerprint() != c1.Fingerprint() {
+		t.Fatalf("backends disagree on fingerprint: pointer %x, columnar %x",
+			p1.Fingerprint(), c1.Fingerprint())
+	}
+	if p1.Backend() != BackendPointer || c1.Backend() != BackendColumnar {
+		t.Fatalf("backends = %q / %q", p1.Backend(), c1.Backend())
+	}
+}
+
+func TestParseWithBackendSelection(t *testing.T) {
+	if _, err := ParseWith(strings.NewReader("<r/>"), ParseConfig{Backend: "bogus"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	for _, b := range []string{"", BackendPointer, BackendColumnar} {
+		d, err := ParseWith(strings.NewReader("<r><a/></r>"), ParseConfig{Backend: b})
+		if err != nil {
+			t.Fatalf("backend %q: %v", b, err)
+		}
+		want := b
+		if want == "" {
+			want = BackendPointer
+		}
+		if d.Backend() != want {
+			t.Fatalf("backend %q: document reports %q", b, d.Backend())
+		}
+	}
+	if !ValidBackend("") || !ValidBackend(BackendPointer) || !ValidBackend(BackendColumnar) {
+		t.Fatal("ValidBackend rejects a known backend")
+	}
+	if ValidBackend("bogus") {
+		t.Fatal("ValidBackend accepts bogus")
+	}
+	if got := Backends(); len(got) != 2 || got[0] != BackendPointer || got[1] != BackendColumnar {
+		t.Fatalf("Backends() = %v", got)
+	}
+}
+
+// Compact is idempotent and renumbering (the single mutation entry
+// point) reverts a document to the pointer backend so a stale store is
+// never served.
+func TestCompactAndInvalidation(t *testing.T) {
+	d, err := ParseString(storeTestXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := Compact(d)
+	if cd == d {
+		t.Fatal("Compact returned the pointer-backed original")
+	}
+	if Compact(cd) != cd {
+		t.Fatal("Compact of a columnar document must be the identity")
+	}
+	// Copy renumbers through the single build entry point: the copy is
+	// an independent pointer-backed tree.
+	cp := cd.Copy()
+	if cp.Backend() != BackendPointer {
+		t.Fatalf("copy backend = %q, want %q", cp.Backend(), BackendPointer)
+	}
+	if cp.Fingerprint() != cd.Fingerprint() {
+		t.Fatal("copy changed the fingerprint")
+	}
+}
+
+// The columnar encoding must be dramatically smaller than the pointer
+// tree at rest, and the documented two-tier accounting must hold:
+// ResidentBytes = store + view for columnar, = tree alone for pointer.
+func TestStoreSizeAccounting(t *testing.T) {
+	d := RandomDocument(rand.New(rand.NewSource(7)), GenConfig{
+		Nodes: 4000, MaxFanout: 4, Tags: []string{"a", "b", "c", "d"},
+		TextProb: 0.3, AttrProb: 0.25,
+	})
+	pointerBytes := d.StoreSizeBytes()
+	if pointerBytes <= 0 {
+		t.Fatalf("pointer StoreSizeBytes = %d", pointerBytes)
+	}
+	if got := d.ResidentBytes(); got != pointerBytes {
+		t.Fatalf("pointer ResidentBytes = %d, want store bytes %d", got, pointerBytes)
+	}
+	cd := Compact(d)
+	storeBytes := cd.StoreSizeBytes()
+	if storeBytes <= 0 {
+		t.Fatalf("columnar StoreSizeBytes = %d", storeBytes)
+	}
+	if pointerBytes < 2*storeBytes {
+		t.Fatalf("columnar store not ≥2x smaller: pointer %d, columnar %d (%.2fx)",
+			pointerBytes, storeBytes, float64(pointerBytes)/float64(storeBytes))
+	}
+	resident := cd.ResidentBytes()
+	if resident <= storeBytes {
+		t.Fatalf("columnar ResidentBytes = %d must exceed store-only %d (hydrated view is resident)",
+			resident, storeBytes)
+	}
+	nodes := int64(len(d.Nodes))
+	t.Logf("per-node: pointer %.1f B, columnar store %.1f B, columnar resident %.1f B",
+		float64(pointerBytes)/float64(nodes), float64(storeBytes)/float64(nodes),
+		float64(resident)/float64(nodes))
+}
+
+// The index of a columnar-backed view shares the store's structural
+// arrays zero-copy and must expose exactly the same lists as the index
+// built by the pointer walk.
+func TestIndexZeroCopyOnColumnar(t *testing.T) {
+	for name, d := range storeTestDocs(t) {
+		t.Run(name, func(t *testing.T) {
+			c := NewColumnar(d)
+			h := c.Document()
+			hix, dix := h.Index(), d.Index()
+			if &hix.firstChild[0] != &c.firstChild[0] ||
+				&hix.nextSibling[0] != &c.nextSibling[0] ||
+				&hix.parent[0] != &c.parent[0] {
+				t.Fatal("columnar-backed index did not share the store arrays")
+			}
+			for i := range dix.firstChild {
+				if hix.firstChild[i] != dix.firstChild[i] ||
+					hix.nextSibling[i] != dix.nextSibling[i] ||
+					hix.parent[i] != dix.parent[i] ||
+					hix.isAttr[i] != dix.isAttr[i] {
+					t.Fatalf("ord %d: flat arrays disagree with pointer-built index", i)
+				}
+			}
+			for _, tag := range dix.Tags() {
+				want := dix.ElementsByTag(tag)
+				got := hix.ElementsByTag(tag)
+				if len(got) != len(want) {
+					t.Fatalf("tag %q: %d elements, want %d", tag, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Ord != want[i].Ord {
+						t.Fatalf("tag %q elem %d: ord %d, want %d", tag, i, got[i].Ord, want[i].Ord)
+					}
+				}
+			}
+			if len(hix.TreeNodes()) != len(dix.TreeNodes()) ||
+				len(hix.Elements()) != len(dix.Elements()) ||
+				len(hix.Texts()) != len(dix.Texts()) {
+				t.Fatal("per-kind lists disagree")
+			}
+		})
+	}
+}
+
+// Store(), hydration and size accounting must be safe under concurrent
+// first use (run with -race).
+func TestStoreConcurrency(t *testing.T) {
+	d, err := ParseString(storeTestXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewColumnar(d)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = d.Store().SizeBytes()
+				_ = d.Store().TagOrds("book")
+				h := c.Document()
+				_ = h.Index()
+				_ = h.ResidentBytes()
+				_ = c.SizeBytes()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,138 @@
+package xpathcomplexity
+
+import (
+	"strings"
+	"testing"
+)
+
+const storageTestXML = `<inv><item sku="s1"><qty>2</qty></item><item sku="s2"><qty>5</qty></item></inv>`
+
+// The public parse surface must thread backend selection through and
+// keep content identity (fingerprint) independent of the encoding.
+func TestPublicBackendSelection(t *testing.T) {
+	pd, err := ParseDocumentString(storageTestXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := ParseDocumentBackend(strings.NewReader(storageTestXML), BackendColumnar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Backend() != BackendPointer || cd.Backend() != BackendColumnar {
+		t.Fatalf("backends = %q / %q", pd.Backend(), cd.Backend())
+	}
+	if pd.Fingerprint() != cd.Fingerprint() {
+		t.Fatal("backends disagree on content fingerprint")
+	}
+	if _, err := ParseDocumentBackend(strings.NewReader(storageTestXML), "no-such-backend"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if got := Backends(); len(got) != 2 {
+		t.Fatalf("Backends() = %v", got)
+	}
+	if !ValidBackend(BackendColumnar) || ValidBackend("no-such-backend") {
+		t.Fatal("ValidBackend misclassifies")
+	}
+	if c2 := CompactDocument(cd); c2 != cd {
+		t.Fatal("CompactDocument of a columnar document must be the identity")
+	}
+	if pd.StoreSizeBytes() <= cd.StoreSizeBytes() {
+		t.Fatalf("columnar store (%d B) not smaller than pointer (%d B)",
+			cd.StoreSizeBytes(), pd.StoreSizeBytes())
+	}
+}
+
+// The shared result cache is keyed by content fingerprint, so a columnar
+// document hits entries populated from a pointer parse of the same
+// content — and a re-parse with different content must miss.
+func TestResultCacheAcrossBackendsAndReparse(t *testing.T) {
+	pd, err := ParseDocumentString(storageTestXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := CompactDocument(pd.Copy())
+	cache := NewResultCache(0, 0)
+	q := MustCompile("//item[qty > 1]")
+
+	cold, err := q.EvalOptions(RootContext(pd), EvalOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := q.EvalOptions(RootContext(cd), EvalOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("columnar doc did not hit the entry cached from the pointer parse: %+v", st)
+	}
+	if ch, cc := canonValue(hit), canonValue(cold); ch != cc {
+		t.Fatalf("cross-backend hit %s != cold %s", ch, cc)
+	}
+	hitNS, ok := hit.(NodeSet)
+	if !ok || len(hitNS) == 0 {
+		t.Fatalf("fixture query returned %v", hit)
+	}
+	for _, n := range hitNS {
+		if n.Document() != cd {
+			t.Fatal("cross-backend hit returned nodes of the other document instance")
+		}
+	}
+
+	// Re-parse with changed content: new fingerprint, so the first
+	// evaluation must miss (never served the stale entry) — and the
+	// re-parse on the other backend then hits the fresh entry, because
+	// content identity is still shared across encodings.
+	changed := strings.Replace(storageTestXML, "<qty>5</qty>", "<qty>0</qty>", 1)
+	for i, backend := range Backends() {
+		rd, err := ParseDocumentBackend(strings.NewReader(changed), backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd.Fingerprint() == pd.Fingerprint() {
+			t.Fatal("content change kept the fingerprint")
+		}
+		misses, hits := cache.Stats().Misses, cache.Stats().Hits
+		got, err := q.EvalOptions(RootContext(rd), EvalOptions{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 && cache.Stats().Misses != misses+1 {
+			t.Fatalf("backend %s: re-parsed document was served a stale entry", backend)
+		}
+		if i > 0 && cache.Stats().Hits != hits+1 {
+			t.Fatalf("backend %s: re-parse missed the entry just cached for this content", backend)
+		}
+		if ns := got.(NodeSet); len(ns) != 1 {
+			t.Fatalf("backend %s: re-parsed content evaluated wrong: %s", backend, canonValue(got))
+		}
+	}
+}
+
+// Compiled queries and EvalBatch must be backend-blind through the
+// public API (run under -race: the hydrated view is shared).
+func TestCompiledQueryOnColumnarDocument(t *testing.T) {
+	cd, err := ParseDocumentBackend(strings.NewReader(storageTestXML), BackendColumnar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Prepare("count(//qty)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Eval(RootContext(cd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := v.(Number); !ok || float64(n) != 2 {
+		t.Fatalf("count(//qty) on columnar doc = %v", v)
+	}
+	// Warm pass over the now-built (zero-copy) index.
+	v2, err := c.Eval(RootContext(cd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonValue(v2) != canonValue(v) {
+		t.Fatalf("warm eval drifted: %s vs %s", canonValue(v2), canonValue(v))
+	}
+}

@@ -1,0 +1,142 @@
+// The storage backend regression gate (`make storegate`, part of `make
+// check`): the columnar encoding must stay at least 2x smaller than the
+// pointer tree on the EXP-ALLOC document families, and evaluating
+// through a columnar-backed document's hydrated view must cost the same
+// warm allocations and at most 10% more wall time than the pointer
+// backend. A change that bloats the compact encoding or puts an
+// allocation or indirection on the hydration seam fails here instead of
+// surfacing as registry memory pressure in production. Reference
+// numbers live in BENCH_STORE.json / EXPERIMENTS.md EXP-STORE.
+//
+// The race detector skews both allocation counts and wall time, so the
+// gate only arms on plain `go test` (the alloc-gate pattern).
+
+//go:build !race
+
+package xpathcomplexity
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xpathcomplexity/internal/xmltree"
+)
+
+// storeGateChainDoc is the EXP-ALLOC Figure-1 chain family: one deep
+// <a><b><c> spine, the shape least favorable to per-tag interning.
+func storeGateChainDoc() *xmltree.Document {
+	const units = 200
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < units; i++ {
+		b.WriteString("<a><b><c>")
+	}
+	for i := 0; i < units; i++ {
+		b.WriteString("</c></b></a>")
+	}
+	b.WriteString("</r>")
+	d, err := xmltree.ParseString(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// TestStoreGate/memory holds the at-rest footprint contract: the
+// columnar store must be at least half the size of the pointer tree for
+// the same content (measured: 4.5-4.9x smaller, EXP-STORE).
+func TestStoreGateMemory(t *testing.T) {
+	families := []struct {
+		name string
+		doc  func() *xmltree.Document
+	}{
+		{"random-4k", prepBenchDoc},
+		{"chain-200", storeGateChainDoc},
+	}
+	for _, f := range families {
+		t.Run(f.name, func(t *testing.T) {
+			pd := f.doc()
+			cd := xmltree.Compact(f.doc())
+			pb, cb := pd.StoreSizeBytes(), cd.StoreSizeBytes()
+			if pb < 2*cb {
+				t.Errorf("pointer store %d B vs columnar store %d B (%.2fx) — the columnar "+
+					"encoding must stay at least 2x smaller; compare BENCH_STORE.json",
+					pb, cb, float64(pb)/float64(cb))
+			}
+			if resident := cd.ResidentBytes(); resident <= cb {
+				t.Errorf("columnar resident bytes %d not above store bytes %d — view accounting broke", resident, cb)
+			}
+		})
+	}
+}
+
+// TestStoreGateEvalParity holds the evaluation-cost contract: a
+// columnar-backed document evaluates through a hydrated view that is a
+// plain *Node graph, so warm compiled-query evaluation must allocate
+// exactly like the pointer backend and run within 10% of its wall time
+// on the EXP-ALLOC workloads.
+func TestStoreGateEvalParity(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates and slows hot paths; gate runs uninstrumented")
+	}
+	pd := prepBenchDoc()
+	cd := xmltree.Compact(prepBenchDoc())
+	pctx, cctx := RootContext(pd), RootContext(cd)
+	for _, w := range allocCeilings {
+		t.Run(w.name, func(t *testing.T) {
+			c := MustPrepare(w.query)
+			opts := EvalOptions{Engine: w.engine}
+			evalOn := func(ctx Context) func() {
+				return func() {
+					if _, err := c.EvalOptions(ctx, opts); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			peval, ceval := evalOn(pctx), evalOn(cctx)
+			for i := 0; i < 5; i++ { // prime index, plan cache, pools
+				peval()
+				ceval()
+			}
+
+			pallocs := testing.AllocsPerRun(50, peval)
+			callocs := testing.AllocsPerRun(50, ceval)
+			if callocs > pallocs+1 {
+				t.Errorf("warm allocs/op: columnar %.1f vs pointer %.1f — the hydrated view "+
+					"must evaluate like a pointer tree", callocs, pallocs)
+			}
+
+			// Wall time: interleaved min-of-samples is robust to noise; a
+			// failing measurement is retried before it counts.
+			sample := func(eval func(), iters int) time.Duration {
+				start := time.Now()
+				for i := 0; i < iters; i++ {
+					eval()
+				}
+				return time.Since(start)
+			}
+			per := sample(peval, 3) / 3
+			iters := int(20*time.Millisecond/per) + 1
+			for attempt := 0; ; attempt++ {
+				pmin, cmin := time.Duration(1<<62), time.Duration(1<<62)
+				for s := 0; s < 5; s++ {
+					if d := sample(peval, iters); d < pmin {
+						pmin = d
+					}
+					if d := sample(ceval, iters); d < cmin {
+						cmin = d
+					}
+				}
+				if float64(cmin) <= 1.10*float64(pmin) {
+					break
+				}
+				if attempt == 2 {
+					t.Errorf("warm wall time: columnar %v vs pointer %v per %d evals (%.1f%% over; ceiling 10%%)",
+						cmin, pmin, iters, 100*(float64(cmin)/float64(pmin)-1))
+					break
+				}
+			}
+		})
+	}
+}

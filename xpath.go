@@ -166,6 +166,51 @@ func ParseDocument(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
 // ParseDocumentString parses an XML document from a string.
 func ParseDocumentString(s string) (*Document, error) { return xmltree.ParseString(s) }
 
+// DocStore is the pluggable document storage backend: the structural
+// primitives the engines consume, behind a swappable encoding. See
+// docs/STORAGE.md.
+type DocStore = xmltree.DocStore
+
+// DocParseConfig bundles document parse options (whitespace handling,
+// storage backend).
+type DocParseConfig = xmltree.ParseConfig
+
+// Storage backend names, as accepted by DocParseConfig.Backend,
+// ParseDocumentBackend and the xpathd registry.
+const (
+	// BackendPointer is the classic pointer tree (the default).
+	BackendPointer = xmltree.BackendPointer
+	// BackendColumnar is the struct-of-arrays encoding: flat structural
+	// arrays, interned name tables, one shared character-data blob —
+	// several times smaller at rest, identical evaluation semantics.
+	BackendColumnar = xmltree.BackendColumnar
+)
+
+// ParseDocumentWith parses an XML document under the given configuration.
+func ParseDocumentWith(r io.Reader, cfg DocParseConfig) (*Document, error) {
+	return xmltree.ParseWith(r, cfg)
+}
+
+// ParseDocumentBackend parses an XML document into the named storage
+// backend ("" selects the pointer default). Content, document order and
+// Fingerprint are identical across backends, so result caches and
+// registry deduplication work regardless of encoding.
+func ParseDocumentBackend(r io.Reader, backend string) (*Document, error) {
+	return xmltree.ParseWith(r, xmltree.ParseConfig{Backend: backend})
+}
+
+// CompactDocument returns a columnar-backed equivalent of the document
+// (the document itself when already columnar). Useful to convert a
+// built or parsed tree before registering it with a long-lived registry.
+func CompactDocument(d *Document) *Document { return xmltree.Compact(d) }
+
+// ValidBackend reports whether name selects a known storage backend
+// ("" selects the pointer default).
+func ValidBackend(name string) bool { return xmltree.ValidBackend(name) }
+
+// Backends lists the selectable document storage backends.
+func Backends() []string { return xmltree.Backends() }
+
 // Engine selects an evaluation strategy.
 type Engine int
 
